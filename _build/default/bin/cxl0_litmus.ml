@@ -1,0 +1,75 @@
+(* cxl0-litmus: run the paper's litmus tests (Fig. 4 / Fig. 5) through
+   the CXL0 model checker and print the verdict table.
+
+     dune exec bin/cxl0_litmus.exe                 # all paper tests
+     dune exec bin/cxl0_litmus.exe -- --only fig4  # just the Fig. 4 table
+     dune exec bin/cxl0_litmus.exe -- --name fig4.5 --trace *)
+
+open Cmdliner
+
+let run only name trace =
+  let tests =
+    match only with
+    | "fig4" -> Cxl0.Litmus.fig4
+    | "fig5" -> Cxl0.Litmus.fig5
+    | _ -> Cxl0.Litmus.all
+  in
+  let tests =
+    match name with
+    | None -> tests
+    | Some n -> List.filter (fun t -> t.Cxl0.Litmus.name = n) tests
+  in
+  if tests = [] then begin
+    Fmt.epr "no litmus test matches@.";
+    exit 2
+  end;
+  let all_ok = ref true in
+  List.iter
+    (fun t ->
+      Fmt.pr "%a@." Cxl0.Litmus.pp_result t;
+      if t.Cxl0.Litmus.descr <> "" then Fmt.pr "    %s@." t.Cxl0.Litmus.descr;
+      if not (Cxl0.Litmus.agrees t) then all_ok := false;
+      if trace then begin
+        let final =
+          Cxl0.Explore.run t.Cxl0.Litmus.system Cxl0.Config.init
+            t.Cxl0.Litmus.events
+        in
+        Fmt.pr "    reachable final configurations (%d):@."
+          (Cxl0.Explore.cardinal final);
+        List.iter
+          (fun cfg -> Fmt.pr "      %a@." Cxl0.Config.pp cfg)
+          (Cxl0.Explore.elements final)
+      end)
+    tests;
+  if !all_ok then begin
+    Fmt.pr "@.model and paper agree on all %d tests@." (List.length tests);
+    0
+  end
+  else begin
+    Fmt.pr "@.DISAGREEMENT between model and paper@.";
+    1
+  end
+
+let only =
+  Arg.(
+    value
+    & opt string "all"
+    & info [ "only" ] ~docv:"SET" ~doc:"Which set to run: all, fig4, or fig5.")
+
+let test_name =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "name" ] ~docv:"NAME" ~doc:"Run a single litmus test by name.")
+
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Print the reachable final configurations.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "cxl0-litmus" ~doc:"Run the paper's CXL0 litmus tests")
+    Term.(const run $ only $ test_name $ trace)
+
+let () = exit (Cmd.eval' cmd)

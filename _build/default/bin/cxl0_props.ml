@@ -1,0 +1,84 @@
+(* cxl0-props: bounded model checking of Proposition 1 (the eight
+   simulation items, proved in Coq by the authors and re-verified here
+   by exhaustive state-space exploration).
+
+     dune exec bin/cxl0_props.exe                      # default domain
+     dune exec bin/cxl0_props.exe -- -n 3 --locs 2     # bigger domain
+     dune exec bin/cxl0_props.exe -- --item 7          # one item *)
+
+open Cmdliner
+
+let run n locs vals item volatile =
+  let persistence =
+    if volatile then Cxl0.Machine.Volatile else Cxl0.Machine.Non_volatile
+  in
+  let sys = Cxl0.Machine.uniform ~persistence n in
+  let locations =
+    List.init locs (fun i -> Cxl0.Loc.v ~owner:(i mod n) (i / n))
+  in
+  let values = List.init vals Fun.id in
+  let items =
+    match item with
+    | None -> Cxl0.Props.items
+    | Some i -> [ Cxl0.Props.item i ]
+  in
+  let n_configs =
+    List.length (Cxl0.Props.enum_configs sys ~locs:locations ~vals:values)
+  in
+  Fmt.pr
+    "checking %d item(s) over %d machines (%s), %d locations, %d values: %d \
+     start configurations@."
+    (List.length items) n
+    (if volatile then "volatile" else "non-volatile")
+    locs vals n_configs;
+  let failures =
+    Cxl0.Props.check_exhaustive ~items sys ~locs:locations ~vals:values
+  in
+  List.iter
+    (fun it ->
+      let f =
+        List.filter
+          (fun f -> f.Cxl0.Props.item_id = it.Cxl0.Props.id)
+          failures
+      in
+      Fmt.pr "  (%d) %-55s %s@." it.Cxl0.Props.id it.Cxl0.Props.name
+        (if f = [] then "HOLDS" else "FAILS"))
+    items;
+  if failures = [] then begin
+    Fmt.pr "@.Proposition 1 verified exhaustively over this domain@.";
+    0
+  end
+  else begin
+    List.iter (fun f -> Fmt.pr "%a@." Cxl0.Props.pp_failure f) failures;
+    1
+  end
+
+let n =
+  Arg.(value & opt int 2 & info [ "n" ] ~docv:"N" ~doc:"Number of machines.")
+
+let locs =
+  Arg.(
+    value & opt int 2
+    & info [ "locs" ] ~docv:"L"
+        ~doc:"Number of locations (owners assigned round-robin).")
+
+let vals =
+  Arg.(
+    value & opt int 2
+    & info [ "vals" ] ~docv:"V" ~doc:"Number of distinct values (including 0).")
+
+let item =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "item" ] ~docv:"I" ~doc:"Check a single Proposition 1 item (1-8).")
+
+let volatile =
+  Arg.(value & flag & info [ "volatile" ] ~doc:"Use volatile shared memory.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "cxl0-props" ~doc:"Exhaustively check Proposition 1")
+    Term.(const run $ n $ locs $ vals $ item $ volatile)
+
+let () = exit (Cmd.eval' cmd)

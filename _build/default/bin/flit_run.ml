@@ -1,0 +1,127 @@
+(* flit-run: execute a crash-injected concurrent workload on a
+   transformed object and check the recorded history for durable
+   linearizability.
+
+     dune exec bin/flit_run.exe -- --object queue --transform alg3-rstore
+     dune exec bin/flit_run.exe -- --object stack --crash home --seeds 50
+     dune exec bin/flit_run.exe -- --matrix            # the whole E7 matrix *)
+
+open Cmdliner
+
+let kind_of_string s =
+  List.find_opt
+    (fun k -> Harness.Objects.kind_name k = s)
+    Harness.Objects.all_kinds
+
+let crash_spec ~machine seed : Harness.Workload.crash_spec =
+  {
+    Harness.Workload.at = 15 + (seed mod 17);
+    machine;
+    restart_at = 22 + (seed mod 17);
+    recovery_threads = 1;
+    recovery_ops = 2;
+  }
+
+let run_one kind transform ~crash ~seeds ~verbose =
+  let module T = (val transform : Flit.Flit_intf.S) in
+  let failures = ref [] in
+  for seed = 1 to seeds do
+    let c = Harness.Workload.default_config kind transform in
+    let crashes =
+      match crash with
+      | "none" -> []
+      | "home" -> [ crash_spec ~machine:2 seed ]
+      | _ -> [ crash_spec ~machine:0 seed ]
+    in
+    let c = { c with Harness.Workload.seed; crashes } in
+    let v = Harness.Workload.check c in
+    if not v.Lincheck.Durable.durable then begin
+      failures := seed :: !failures;
+      if verbose then
+        Fmt.pr "@.seed %d violation:@.%a@." seed Lincheck.Durable.pp_verdict v
+    end
+  done;
+  let fails = List.length !failures in
+  Fmt.pr "%-10s %-16s crash=%-6s  %d/%d seeds durably linearizable%s@."
+    (Harness.Objects.kind_name kind)
+    T.name crash (seeds - fails) seeds
+    (if fails > 0 then
+       Fmt.str "  (failing seeds: %a)" Fmt.(list ~sep:sp int) (List.rev !failures)
+     else "");
+  fails
+
+let run object_ transform crash seeds matrix verbose =
+  if matrix then begin
+    (* the full E7 matrix: every object x every transformation x both
+       crash regimes *)
+    List.iter
+      (fun crash ->
+        Fmt.pr "@.=== crash regime: %s ===@." crash;
+        List.iter
+          (fun t ->
+            List.iter
+              (fun kind -> ignore (run_one kind t ~crash ~seeds ~verbose))
+              Harness.Objects.all_kinds)
+          Flit.Registry.all)
+      [ "worker"; "home" ];
+    Fmt.pr
+      "@.expected: durable transformations never fail under worker crashes; \
+       Alg 3/3' may fail under home crashes (Finding F1, see DESIGN.md); \
+       the noflush control fails under either.@.";
+    0
+  end
+  else
+    match (kind_of_string object_, Flit.Registry.find transform) with
+    | None, _ ->
+        Fmt.epr "unknown object %S (register/counter/stack/queue/set/map)@."
+          object_;
+        2
+    | _, None ->
+        Fmt.epr "unknown transformation %S; available: %a@." transform
+          Fmt.(list ~sep:comma string)
+          (List.map
+             (fun (module T : Flit.Flit_intf.S) -> T.name)
+             Flit.Registry.all);
+        2
+    | Some kind, Some t ->
+        if run_one kind t ~crash ~seeds ~verbose > 0 then 1 else 0
+
+let object_ =
+  Arg.(
+    value & opt string "queue"
+    & info [ "object" ] ~docv:"OBJ"
+        ~doc:"Object kind: register, counter, stack, queue, set, map.")
+
+let transform =
+  Arg.(
+    value
+    & opt string "alg3'-weakest"
+    & info [ "transform" ] ~docv:"T"
+        ~doc:
+          "Transformation: simple, alg2-mstore, alg3-rstore, alg3'-weakest, \
+           weakest-lflush, noflush-control.")
+
+let crash =
+  Arg.(
+    value & opt string "worker"
+    & info [ "crash" ] ~docv:"WHO"
+        ~doc:"Crash regime: none, worker (compute node), home (data owner).")
+
+let seeds =
+  Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds to sweep.")
+
+let matrix =
+  Arg.(
+    value & flag
+    & info [ "matrix" ] ~doc:"Run the full object x transformation matrix.")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print violating histories.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "flit-run"
+       ~doc:"Crash-injected durability runs for transformed objects")
+    Term.(const run $ object_ $ transform $ crash $ seeds $ matrix $ verbose)
+
+let () = exit (Cmd.eval' cmd)

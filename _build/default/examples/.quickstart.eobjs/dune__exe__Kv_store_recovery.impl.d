@@ -1,0 +1,1 @@
+examples/kv_store_recovery.ml: Array Dstruct Fabric Flit Fmt Random Runtime

@@ -1,0 +1,1 @@
+examples/litmus_walkthrough.ml: Config Cxl0 Fabric Fmt Loc Machine Option Semantics

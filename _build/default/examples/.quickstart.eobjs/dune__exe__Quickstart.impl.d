@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Cxl0 Dstruct Explore Fabric Flit Fmt Label List Litmus Loc Machine Runtime

@@ -1,0 +1,1 @@
+examples/task_queue.ml: Dstruct Fabric Flit Fmt List Runtime

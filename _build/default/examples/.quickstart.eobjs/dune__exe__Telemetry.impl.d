@@ -1,0 +1,1 @@
+examples/telemetry.ml: Dstruct Fabric Flit Fmt Printf Runtime

@@ -1,0 +1,88 @@
+(* Telemetry with relaxed durability: sensors on compute nodes append
+   readings to a log on a CXL memory node.  Losing the last few readings
+   to a crash is acceptable — losing throughput to a flush per reading is
+   not.  This is the workload class for which the paper's §7 anticipates
+   relaxed (buffered) durability, and the trade-off is measurable:
+
+   - Algorithm 2 (MStore): every completed append survives, at full
+     fabric cost per reading;
+   - buffered + sync every k: an order of magnitude cheaper, losing at
+     most the unsynced tail — and, because the log is a multi-location
+     structure, the recovered tail can even have holes (the
+     consistent-cut problem; see EXPERIMENTS.md E11).
+
+   Run with: dune exec examples/telemetry.exe *)
+
+let readings_per_sensor = 30
+
+let run name (module T : Flit.Flit_intf.S) ~sync_every =
+  let module Log = Dstruct.Dlog.Make (T) in
+  let fab =
+    Fabric.create ~seed:14 ~evict_prob:0.05
+      [|
+        Fabric.machine ~cache_capacity:16 "sensor-1";
+        Fabric.machine ~cache_capacity:16 "sensor-2";
+        Fabric.machine ~cache_capacity:256 "telemetry-memnode";
+      |]
+  in
+  let sched = Runtime.Sched.create ~seed:21 fab in
+  let log = ref None in
+  let completed = ref 0 in
+  ignore
+    (Runtime.Sched.spawn sched ~machine:2 ~name:"init" (fun ctx ->
+         let l = Log.create ctx ~capacity:128 ~home:2 () in
+         log := Some l;
+         Fabric.Stats.reset (Fabric.stats fab);
+         for m = 0 to 1 do
+           ignore
+             (Runtime.Sched.spawn sched ~machine:m
+                ~name:(Printf.sprintf "sensor-%d" (m + 1))
+                (fun ctx ->
+                  for i = 1 to readings_per_sensor do
+                    (* a reading: 100*sensor + sequence number *)
+                    let r = (100 * (m + 1)) + i in
+                    if Log.append l ctx r >= 0 then incr completed;
+                    if sync_every > 0 && i mod sync_every = 0 then
+                      Flit.Buffered.sync ctx
+                  done))
+         done));
+  ignore (Runtime.Sched.run sched);
+  let cycles = Fabric.cycles fab in
+  (* the memory node power-cycles *)
+  Fabric.crash fab 2;
+  (* recovery: count what survived *)
+  let survived = ref 0 and holes = ref 0 in
+  let sched2 = Runtime.Sched.create ~seed:22 fab in
+  ignore
+    (Runtime.Sched.spawn sched2 ~machine:0 ~name:"collector" (fun ctx ->
+         match !log with
+         | None -> ()
+         | Some l ->
+             let n = Log.size l ctx in
+             for i = 0 to n - 1 do
+               let v = Log.read l ctx i in
+               if v > 0 then incr survived else incr holes
+             done));
+  ignore (Runtime.Sched.run sched2);
+  Flit.Buffered.drop_fabric fab;
+  Flit.Counters.drop_fabric fab;
+  Fmt.pr
+    "  %-28s %5.0f cycles/append   completed %d, survived %d, lost %d%s@."
+    name
+    (float_of_int cycles /. float_of_int (max 1 !completed))
+    !completed !survived
+    (!completed - !survived)
+    (if !holes > 0 then Fmt.str " (%d holes in the recovered log!)" !holes
+     else "")
+
+let () =
+  Fmt.pr "telemetry on disaggregated memory: durability vs throughput@.@.";
+  run "alg2-mstore (full DL)" (module Flit.Mstore) ~sync_every:0;
+  run "buffered, sync every 4" (module Flit.Buffered) ~sync_every:4;
+  run "buffered, sync every 16" (module Flit.Buffered) ~sync_every:16;
+  run "buffered, never sync" (module Flit.Buffered) ~sync_every:0;
+  Fmt.pr
+    "@.shape: each relaxation step trades bounded tail loss for cheaper \
+     appends; holes appear when the log's length counter persisted ahead \
+     of a slot — the consistent-cut problem of buffered durability in \
+     the partial-crash model (paper §7, EXPERIMENTS.md E11).@."

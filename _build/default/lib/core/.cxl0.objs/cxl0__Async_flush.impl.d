@@ -1,0 +1,1 @@
+lib/core/async_flush.ml: Config Fmt Int Label List Loc Machine Map Option Semantics Set

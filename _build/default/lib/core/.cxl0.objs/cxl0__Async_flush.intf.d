@@ -1,0 +1,1 @@
+lib/core/async_flush.mli: Config Fmt Label Loc Machine Map Set

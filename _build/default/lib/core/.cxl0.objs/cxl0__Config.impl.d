@@ -1,0 +1,1 @@
+lib/core/config.ml: Fmt Hashtbl Int List Loc Machine Map Set Value

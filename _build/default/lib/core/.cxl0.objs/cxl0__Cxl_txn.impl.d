@@ -1,0 +1,1 @@
+lib/core/cxl_txn.ml: Fmt Label List Printf

@@ -1,0 +1,1 @@
+lib/core/cxl_txn.mli: Fmt Label Loc Machine Value

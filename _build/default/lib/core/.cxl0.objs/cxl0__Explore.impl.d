@@ -1,0 +1,1 @@
+lib/core/explore.ml: Config Fmt Label List Semantics Value

@@ -1,0 +1,1 @@
+lib/core/explore.mli: Config Fmt Label Loc Machine Value

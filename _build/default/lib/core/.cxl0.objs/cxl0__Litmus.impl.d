@@ -1,0 +1,1 @@
+lib/core/litmus.ml: Config Explore Fmt Label List Loc Machine

@@ -1,0 +1,1 @@
+lib/core/litmus.mli: Fmt Label Machine

@@ -1,0 +1,1 @@
+lib/core/machine.ml: Array Fmt Fun List Printf

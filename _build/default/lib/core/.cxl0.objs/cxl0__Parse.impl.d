@@ -1,0 +1,1 @@
+lib/core/parse.ml: Fmt Label List Loc Result String Value

@@ -1,0 +1,1 @@
+lib/core/props.ml: Config Explore Fmt Fun Label List Loc Machine Value

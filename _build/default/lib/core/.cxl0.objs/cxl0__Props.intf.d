@@ -1,0 +1,1 @@
+lib/core/props.mli: Config Fmt Label Loc Machine Value

@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Config Label Loc Machine Printf Value

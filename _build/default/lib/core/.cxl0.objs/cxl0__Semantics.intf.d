@@ -1,0 +1,1 @@
+lib/core/semantics.mli: Config Label Loc Machine Value

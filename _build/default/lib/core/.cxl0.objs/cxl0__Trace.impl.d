@@ -1,0 +1,1 @@
+lib/core/trace.ml: Config Fmt Label List Machine Random Semantics

@@ -1,0 +1,1 @@
+lib/core/trace.mli: Config Fmt Label Loc Machine Value

@@ -1,0 +1,179 @@
+(** CXL0 configurations (§3.3).
+
+    A configuration is a pair [γ = (Cache, Mem)] where [Cacheᵢ : Loc → Val ⊎ {⊥}]
+    and [Memᵢ : Locᵢ → Val].  We represent both components as canonical
+    immutable maps so configurations support structural equality, ordering
+    and hashing — the model checker manipulates *sets* of configurations:
+
+    - [cache] maps [(i, x)] to a value; an absent binding is [⊥];
+    - [mem] maps [x] to a value; an absent binding is the initial value
+      [Value.zero] (bindings to zero are never stored, keeping the
+      representation canonical).
+
+    The static system descriptor ({!Machine.system}) is deliberately not
+    part of the configuration: it never changes, so keeping it outside
+    makes configuration comparison cheap and meaningful. *)
+
+module Ck = struct
+  (* Cache keys: (machine, location). *)
+  type t = Machine.id * Loc.t
+
+  let compare (i1, x1) (i2, x2) =
+    match Int.compare i1 i2 with 0 -> Loc.compare x1 x2 | c -> c
+end
+
+module Cmap = Map.Make (Ck)
+module Mmap = Loc.Map
+
+type t = {
+  cache : Value.t Cmap.t;  (** absent = ⊥ *)
+  mem : Value.t Mmap.t;    (** absent = initial value 0 *)
+}
+
+(** The initial configuration: all caches empty, all memories zero. *)
+let init = { cache = Cmap.empty; mem = Mmap.empty }
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** [cache_get t i x] is [Some v] if machine [i]'s cache holds [v] for
+    [x], and [None] if the line is invalid ([⊥]) there. *)
+let cache_get t i x = Cmap.find_opt (i, x) t.cache
+
+(** [mem_get t x] is the value of [x] in its owner's physical memory. *)
+let mem_get t x =
+  match Mmap.find_opt x t.mem with Some v -> v | None -> Value.zero
+
+(** [cached_value sys t x] is [Some (i, v)] for some machine [i] whose
+    cache holds [x] (with value [v]), or [None] if no cache holds [x].
+    By the coherence invariant all holders agree on [v]. *)
+let cached_value sys t x =
+  let n = Machine.n_machines sys in
+  let rec go i =
+    if i >= n then None
+    else
+      match cache_get t i x with
+      | Some v -> Some (i, v)
+      | None -> go (i + 1)
+  in
+  go 0
+
+(** [holders sys t x] is the list of machines whose caches hold [x]. *)
+let holders sys t x =
+  List.filter (fun i -> cache_get t i x <> None) (Machine.ids sys)
+
+(** [visible_value sys t x] is the value a coherent load of [x] observes:
+    the unique cached value if any cache holds [x], otherwise the value in
+    the owner's memory. *)
+let visible_value sys t x =
+  match cached_value sys t x with
+  | Some (_, v) -> v
+  | None -> mem_get t x
+
+(* ------------------------------------------------------------------ *)
+(* Updates (all canonical-representation preserving)                   *)
+(* ------------------------------------------------------------------ *)
+
+let cache_set t i x v = { t with cache = Cmap.add (i, x) v t.cache }
+
+let cache_invalidate t i x = { t with cache = Cmap.remove (i, x) t.cache }
+
+(** [cache_invalidate_all t x] sets [x] to ⊥ in every cache. *)
+let cache_invalidate_all t x =
+  { t with cache = Cmap.filter (fun (_, y) _ -> not (Loc.equal x y)) t.cache }
+
+(** [cache_invalidate_others t i x] sets [x] to ⊥ in every cache except
+    machine [i]'s. *)
+let cache_invalidate_others t i x =
+  {
+    t with
+    cache =
+      Cmap.filter (fun (j, y) _ -> j = i || not (Loc.equal x y)) t.cache;
+  }
+
+let mem_set t x v =
+  if Value.equal v Value.zero then { t with mem = Mmap.remove x t.mem }
+  else { t with mem = Mmap.add x v t.mem }
+
+(** [wipe_cache t i] empties machine [i]'s cache (crash). *)
+let wipe_cache t i =
+  { t with cache = Cmap.filter (fun (j, _) _ -> j <> i) t.cache }
+
+(** [wipe_mem t i] re-initialises every location owned by machine [i]
+    to zero (crash of a machine with volatile memory). *)
+let wipe_mem t i =
+  { t with mem = Mmap.filter (fun x _ -> Loc.owner x <> i) t.mem }
+
+(* ------------------------------------------------------------------ *)
+(* Invariant                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** The single-value coherence invariant of §3.3:
+
+    [∀ i j x. Cacheᵢ(x) ≠ ⊥ ∧ Cacheⱼ(x) ≠ ⊥ ⟹ Cacheᵢ(x) = Cacheⱼ(x)]
+
+    i.e. at most one distinct value for each location is present across
+    all caches. *)
+let invariant t =
+  let tbl = Hashtbl.create 16 in
+  Cmap.for_all
+    (fun (_, x) v ->
+      match Hashtbl.find_opt tbl (Loc.owner x, Loc.off x) with
+      | Some v' -> Value.equal v v'
+      | None ->
+          Hashtbl.add tbl (Loc.owner x, Loc.off x) v;
+          true)
+    t.cache
+
+(* ------------------------------------------------------------------ *)
+(* Comparison / hashing                                                *)
+(* ------------------------------------------------------------------ *)
+
+let compare a b =
+  match Cmap.compare Value.compare a.cache b.cache with
+  | 0 -> Mmap.compare Value.compare a.mem b.mem
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let hash t =
+  let h = ref 0x9e3779b9 in
+  let mix k = h := (!h * 31) lxor k in
+  Cmap.iter
+    (fun (i, x) v ->
+      mix i;
+      mix (Loc.hash x);
+      mix (Value.hash v))
+    t.cache;
+  Mmap.iter
+    (fun x v ->
+      mix (Loc.hash x);
+      mix (Value.hash v + 7))
+    t.mem;
+  !h land max_int
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pp ppf t =
+  let pp_cache_entry ppf ((i, x), v) =
+    Fmt.pf ppf "C%d[%a]=%a" (i + 1) Loc.pp x Value.pp v
+  in
+  let pp_mem_entry ppf (x, v) =
+    Fmt.pf ppf "Mem[%a]=%a" Loc.pp x Value.pp v
+  in
+  Fmt.pf ppf "@[<h>{%a | %a}@]"
+    Fmt.(list ~sep:(any ",@ ") pp_cache_entry)
+    (Cmap.bindings t.cache)
+    Fmt.(list ~sep:(any ",@ ") pp_mem_entry)
+    (Mmap.bindings t.mem)
+
+let to_string = Fmt.to_to_string pp
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

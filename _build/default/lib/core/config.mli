@@ -1,0 +1,77 @@
+(** CXL0 configurations — pairs [γ = (Cache, Mem)] (§3.3).
+
+    Immutable values with canonical representations, so the model checker
+    can manipulate *sets* of configurations: absent cache bindings mean
+    [⊥], absent memory bindings mean the initial value 0 (zero bindings
+    are never stored).
+
+    The representation is exposed read-only for the semantics and the
+    exploration machinery; construct configurations through the update
+    functions, which preserve canonicity. *)
+
+module Ck : sig
+  type t = Machine.id * Loc.t
+
+  val compare : t -> t -> int
+end
+
+module Cmap : Map.S with type key = Ck.t
+module Mmap : Map.S with type key = Loc.t
+
+type t = {
+  cache : Value.t Cmap.t;  (** absent = ⊥ *)
+  mem : Value.t Mmap.t;    (** absent = initial value 0 *)
+}
+
+val init : t
+(** All caches empty, all memories zero. *)
+
+(** {1 Accessors} *)
+
+val cache_get : t -> Machine.id -> Loc.t -> Value.t option
+(** [None] means the line is invalid ([⊥]) in that cache. *)
+
+val mem_get : t -> Loc.t -> Value.t
+(** The value in the location's owner's physical memory. *)
+
+val cached_value : Machine.system -> t -> Loc.t -> (Machine.id * Value.t) option
+(** Some holder and the (unique, by the invariant) cached value. *)
+
+val holders : Machine.system -> t -> Loc.t -> Machine.id list
+(** The machines whose caches hold the location. *)
+
+val visible_value : Machine.system -> t -> Loc.t -> Value.t
+(** What a coherent load observes: the cached value if any cache holds
+    the location, otherwise the owner's memory value. *)
+
+(** {1 Updates} *)
+
+val cache_set : t -> Machine.id -> Loc.t -> Value.t -> t
+val cache_invalidate : t -> Machine.id -> Loc.t -> t
+val cache_invalidate_all : t -> Loc.t -> t
+val cache_invalidate_others : t -> Machine.id -> Loc.t -> t
+val mem_set : t -> Loc.t -> Value.t -> t
+
+val wipe_cache : t -> Machine.id -> t
+(** Crash effect on the machine's cache. *)
+
+val wipe_mem : t -> Machine.id -> t
+(** Crash effect on a *volatile* machine's owned locations. *)
+
+(** {1 Invariant} *)
+
+val invariant : t -> bool
+(** The single-value coherence invariant:
+    [∀ i j x.  Cacheᵢ(x) ≠ ⊥ ∧ Cacheⱼ(x) ≠ ⊥ ⟹ Cacheᵢ(x) = Cacheⱼ(x)].
+    Preserved by every step rule (property-tested). *)
+
+(** {1 Comparison} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+module Set : Set.S with type elt = t

@@ -1,0 +1,114 @@
+(** Concrete CXL 3.1 transactions and their mapping to CXL0 (Table 1).
+
+    The CXL.cache / CXL.mem sub-protocols define many low-level
+    transactions; the paper classifies the write and flush transactions by
+    their postconditions into the five abstract CXL0 instructions
+    (many-to-one), and maps every read transaction to the single [Load].
+    This module exposes that mapping programmatically: a program may be
+    written against concrete transaction names and executed on the CXL0
+    semantics, and per-transaction statistics can be accounted (used by
+    the fabric's {!Stats}-style accounting and the Table 1 test). *)
+
+type t =
+  (* --- writes mapped to LStore --- *)
+  | WOWrInv       (** weakly-ordered write, invalidating *)
+  | WOWrInvF      (** weakly-ordered full-line write, invalidating *)
+  | MemWrFwd      (** memory write forwarded — data stays cached *)
+  (* --- writes mapped to RStore --- *)
+  | MemWrPtl      (** partial-line memory write *)
+  | MemWr         (** memory write *)
+  | WrCur         (** write current — deposits at the owner *)
+  | ItoMWr        (** invalid-to-modified write *)
+  (* --- writes mapped to MStore --- *)
+  | WrInv         (** write invalidate — completes at physical memory *)
+  (* --- flushes --- *)
+  | CLFlush       (** cacheline flush (local) *)
+  | DirtyEvict    (** evict modified line to owning memory *)
+  | CleanEvict    (** evict clean line to owning memory *)
+  (* --- reads (all mapped to Load) --- *)
+  | RdShared      (** read for shared state *)
+  | RdAny         (** read for any state *)
+  | RdCurr        (** read current value, non-caching *)
+  | MemRd         (** memory read *)
+
+let all =
+  [
+    WOWrInv; WOWrInvF; MemWrFwd; MemWrPtl; MemWr; WrCur; ItoMWr; WrInv;
+    CLFlush; DirtyEvict; CleanEvict; RdShared; RdAny; RdCurr; MemRd;
+  ]
+
+let name = function
+  | WOWrInv -> "WOWrInv"
+  | WOWrInvF -> "WOWrInvF"
+  | MemWrFwd -> "MemWrFwd"
+  | MemWrPtl -> "MemWrPtl"
+  | MemWr -> "MemWr"
+  | WrCur -> "WrCur"
+  | ItoMWr -> "ItoMWr"
+  | WrInv -> "WrInv"
+  | CLFlush -> "CLFlush"
+  | DirtyEvict -> "DirtyEvict"
+  | CleanEvict -> "CleanEvict"
+  | RdShared -> "RdShared"
+  | RdAny -> "RdAny"
+  | RdCurr -> "RdCurr"
+  | MemRd -> "MemRd"
+
+type abstract =
+  | Store of Label.store_kind
+  | Flush of Label.flush_kind
+  | Load
+
+(** The Table 1 classification. *)
+let classify = function
+  | WOWrInv | WOWrInvF | MemWrFwd -> Store Label.L
+  | MemWrPtl | MemWr | WrCur | ItoMWr -> Store Label.R
+  | WrInv -> Store Label.M
+  | CLFlush -> Flush Label.LF
+  | DirtyEvict | CleanEvict -> Flush Label.RF
+  | RdShared | RdAny | RdCurr | MemRd -> Load
+
+let pp_abstract ppf = function
+  | Store k -> Label.pp_store_kind ppf k
+  | Flush k -> Label.pp_flush_kind ppf k
+  | Load -> Fmt.string ppf "Load"
+
+let pp ppf t = Fmt.string ppf (name t)
+
+(** [to_label txn i x v] is the CXL0 label for issuing [txn] from machine
+    [i] on location [x].  Write transactions require [v = Some value];
+    read transactions require the expected observed value in [v] (the
+    litmus style); flushes ignore [v]. *)
+let to_label txn i x v : Label.t =
+  let value ctx =
+    match v with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Cxl_txn.to_label: %s needs a value" ctx)
+  in
+  match classify txn with
+  | Store k -> Label.Store (k, i, x, value (name txn))
+  | Flush k -> Label.Flush (k, i, x)
+  | Load -> Label.Load (i, x, value (name txn))
+
+(** [is_write t], [is_read t], [is_flush t] — protocol role predicates. *)
+let is_write t = match classify t with Store _ -> true | _ -> false
+let is_read t = match classify t with Load -> true | _ -> false
+let is_flush t = match classify t with Flush _ -> true | _ -> false
+
+(** The rows of Table 1, for printing/regression: CXL0 instruction name
+    paired with the concrete transactions mapped to it. *)
+let table1 : (string * t list) list =
+  [
+    ("LStore", [ WOWrInv; WOWrInvF; MemWrFwd ]);
+    ("RStore", [ MemWrPtl; MemWr; WrCur; ItoMWr ]);
+    ("MStore", [ WrInv ]);
+    ("LFlush", [ CLFlush ]);
+    ("RFlush", [ DirtyEvict; CleanEvict ]);
+    ("Load", [ RdShared; RdAny; RdCurr; MemRd ]);
+  ]
+
+let pp_table1 ppf () =
+  List.iter
+    (fun (row, txns) ->
+      Fmt.pf ppf "%-7s | %a@." row Fmt.(list ~sep:(any ", ") pp) txns)
+    table1

@@ -1,0 +1,43 @@
+(** Concrete CXL 3.1 transactions and their Table 1 mapping to CXL0.
+
+    The mapping is many-to-one: several CXL.cache/CXL.mem write
+    transactions share a postcondition and therefore an abstract
+    instruction; all read transactions map to the single [Load]. *)
+
+type t =
+  | WOWrInv | WOWrInvF | MemWrFwd            (* → LStore *)
+  | MemWrPtl | MemWr | WrCur | ItoMWr        (* → RStore *)
+  | WrInv                                    (* → MStore *)
+  | CLFlush                                  (* → LFlush *)
+  | DirtyEvict | CleanEvict                  (* → RFlush *)
+  | RdShared | RdAny | RdCurr | MemRd        (* → Load *)
+
+val all : t list
+val name : t -> string
+
+type abstract =
+  | Store of Label.store_kind
+  | Flush of Label.flush_kind
+  | Load
+
+val classify : t -> abstract
+(** The Table 1 classification. *)
+
+val pp_abstract : abstract Fmt.t
+val pp : t Fmt.t
+
+val to_label : t -> Machine.id -> Loc.t -> Value.t option -> Label.t
+(** Build the CXL0 label for issuing the transaction.  Writes require
+    the stored value, reads the expected observed value (litmus style);
+    flushes ignore it.  Raises [Invalid_argument] when a required value
+    is missing. *)
+
+val is_write : t -> bool
+val is_read : t -> bool
+val is_flush : t -> bool
+
+val table1 : (string * t list) list
+(** The rows of Table 1: CXL0 instruction name paired with the concrete
+    transactions mapped to it. *)
+
+val pp_table1 : unit Fmt.t

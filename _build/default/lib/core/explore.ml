@@ -1,0 +1,89 @@
+(** Reachable-set exploration for the CXL0 LTS.
+
+    The paper writes [γ ⟹^{α₁…αₙ} γ'] for a sequence of transitions
+    labelled [α₁ … αₙ] *possibly interleaved with additional silent
+    τ-steps*.  This module computes the corresponding reachable sets:
+    starting from a set of configurations, saturate with τ-steps, apply a
+    visible label to every member, saturate again, and so on.  Because
+    flushes are modelled as blocking preconditions, applying a flush label
+    simply *filters* the τ-saturated set.
+
+    All operations work on {!Config.Set.t}; litmus tests and the
+    Proposition 1 simulation checks are built directly on top. *)
+
+type t = Config.Set.t
+
+let of_config = Config.Set.singleton
+
+(** [tau_closure sys s] is the closure of [s] under the two internal
+    propagation rules — every configuration reachable from a member of
+    [s] by zero or more τ-steps.  Terminates because each τ-step strictly
+    shrinks the multiset of cache entries (cache→cache moves an entry
+    toward the owner, which can happen at most once per entry before a
+    cache→memory step removes it; formally the measure
+    [Σ_{(i,x) ∈ cache} (if i = owner x then 1 else 2)] strictly
+    decreases). *)
+let tau_closure sys (s : t) : t =
+  let seen = ref s in
+  let frontier = ref (Config.Set.elements s) in
+  while !frontier <> [] do
+    let next =
+      List.concat_map
+        (fun cfg -> List.map snd (Semantics.taus sys cfg))
+        !frontier
+    in
+    let fresh =
+      List.filter (fun cfg -> not (Config.Set.mem cfg !seen)) next
+    in
+    List.iter (fun cfg -> seen := Config.Set.add cfg !seen) fresh;
+    frontier := fresh
+  done;
+  !seen
+
+(** [apply_label sys s l] applies visible label [l] to every member of
+    [s], keeping the successors of members where [l] is enabled.  It does
+    *not* τ-saturate; see {!step}. *)
+let apply_label sys (s : t) (l : Label.t) : t =
+  Config.Set.fold
+    (fun cfg acc ->
+      match Semantics.apply sys cfg l with
+      | Some cfg' -> Config.Set.add cfg' acc
+      | None -> acc)
+    s Config.Set.empty
+
+(** [step sys s l] is the set of configurations reachable from [s] by
+    (τ* ; l): saturate with τ-steps, then apply [l]. *)
+let step sys s l = apply_label sys (tau_closure sys s) l
+
+(** [run sys cfg ls] is the set of configurations reachable from [cfg]
+    via the labels [ls] in order, with τ-steps interleaved anywhere —
+    including before the first and after the last label (the trailing
+    closure makes reachable-set inclusion the right notion for the
+    Proposition 1 simulations).  The result is empty iff the labelled
+    sequence is infeasible. *)
+let run sys cfg ls =
+  tau_closure sys (List.fold_left (step sys) (of_config cfg) ls)
+
+(** [feasible sys cfg ls] is [true] iff some execution realises the
+    labelled sequence [ls] from [cfg]. *)
+let feasible sys cfg ls = not (Config.Set.is_empty (run sys cfg ls))
+
+(** [load_outcomes sys s i x] is the set of values a load of [x] by
+    machine [i] can observe from some configuration in the τ-closure of
+    [s] — i.e. the possible outcomes of the *next* load. *)
+let load_outcomes sys s i x =
+  Config.Set.fold
+    (fun cfg acc ->
+      let v, _ = Semantics.load sys cfg i x in
+      v :: acc)
+    (tau_closure sys s) []
+  |> List.sort_uniq Value.compare
+
+(** [subset a b] is reachable-set inclusion. *)
+let subset (a : t) (b : t) = Config.Set.subset a b
+
+let cardinal = Config.Set.cardinal
+let elements = Config.Set.elements
+
+let pp ppf s =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Config.pp) (elements s)

@@ -1,0 +1,39 @@
+(** Reachable-set exploration: the decision procedure behind the litmus
+    tests and the Proposition 1 checks.
+
+    The paper writes [γ ⟹^{α₁…αₙ} γ'] for transitions labelled
+    [α₁ … αₙ] possibly interleaved with silent τ-steps; this module
+    computes the corresponding reachable sets by alternating τ-closure
+    and label application (flushes, being blocking preconditions, act as
+    filters). *)
+
+type t = Config.Set.t
+
+val of_config : Config.t -> t
+
+val tau_closure : Machine.system -> t -> t
+(** Closure under the two propagation rules; terminates (each step
+    strictly decreases a multiset measure on cache entries). *)
+
+val apply_label : Machine.system -> t -> Label.t -> t
+(** Apply one visible label pointwise (no τ-saturation). *)
+
+val step : Machine.system -> t -> Label.t -> t
+(** τ* followed by the label. *)
+
+val run : Machine.system -> Config.t -> Label.t list -> t
+(** All configurations reachable via the labels in order, with τ-steps
+    interleaved anywhere — including before the first and after the last
+    label (the trailing closure makes set inclusion the right notion for
+    the simulation checks).  Empty iff the sequence is infeasible. *)
+
+val feasible : Machine.system -> Config.t -> Label.t list -> bool
+
+val load_outcomes : Machine.system -> t -> Machine.id -> Loc.t -> Value.t list
+(** The values the *next* load could observe from some configuration in
+    the τ-closure of the set, sorted and deduplicated. *)
+
+val subset : t -> t -> bool
+val cardinal : t -> int
+val elements : t -> Config.t list
+val pp : t Fmt.t

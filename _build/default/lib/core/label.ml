@@ -1,0 +1,102 @@
+(** Transition labels of the CXL0 labelled transition system (§3.3).
+
+    The labels are:
+    - the six instruction labels emitted by machines —
+      [LStoreᵢ(x,v)], [RStoreᵢ(x,v)], [MStoreᵢ(x,v)], [Loadᵢ(x,v)],
+      [LFlushᵢ(x)], [RFlushᵢ(x)];
+    - the silent internal-propagation label [τ] (which we split into its
+      two rule instances, cache→cache and cache→memory, so that traces
+      record *which* propagation happened — the paper treats both as τ);
+    - the per-machine crash label [𝑓ᵢ]. *)
+
+type store_kind =
+  | L  (** LStore — complete once in the issuer's cache *)
+  | R  (** RStore — complete once in the owner's cache (or memory) *)
+  | M  (** MStore — complete only once in the owner's physical memory *)
+
+let pp_store_kind ppf = function
+  | L -> Fmt.string ppf "LStore"
+  | R -> Fmt.string ppf "RStore"
+  | M -> Fmt.string ppf "MStore"
+
+type flush_kind =
+  | LF  (** LFlush — write the line back one level (issuer's cache empty) *)
+  | RF  (** RFlush — write the line back to owning memory (no cache holds it) *)
+
+let pp_flush_kind ppf = function
+  | LF -> Fmt.string ppf "LFlush"
+  | RF -> Fmt.string ppf "RFlush"
+
+type t =
+  | Store of store_kind * Machine.id * Loc.t * Value.t
+      (** [Store (k, i, x, v)]: machine [i] stores [v] to [x] with
+          strength [k]. *)
+  | Load of Machine.id * Loc.t * Value.t
+      (** [Load (i, x, v)]: machine [i] loads [x] and observes [v]. *)
+  | Flush of flush_kind * Machine.id * Loc.t
+      (** [Flush (k, i, x)]: machine [i] flushes [x] with strength [k]. *)
+  | Prop_cache_cache of Machine.id * Loc.t
+      (** τ: the value of [x] held in machine [i]'s cache propagates
+          horizontally to the cache of [x]'s owner. *)
+  | Prop_cache_mem of Loc.t
+      (** τ: the value of [x] held in its owner's cache propagates
+          vertically into the owner's physical memory. *)
+  | Crash of Machine.id
+      (** [𝑓ᵢ]: machine [i] crashes. *)
+
+(* Convenience constructors mirroring the paper's notation. *)
+
+let lstore i x v = Store (L, i, x, v)
+let rstore i x v = Store (R, i, x, v)
+let mstore i x v = Store (M, i, x, v)
+let load i x v = Load (i, x, v)
+let lflush i x = Flush (LF, i, x)
+let rflush i x = Flush (RF, i, x)
+let crash i = Crash i
+
+(** [is_silent l] is true for the τ-labels (internal propagation). *)
+let is_silent = function
+  | Prop_cache_cache _ | Prop_cache_mem _ -> true
+  | Store _ | Load _ | Flush _ | Crash _ -> false
+
+(** [is_instruction l] is true for labels emitted by a program (stores,
+    loads, flushes) — i.e. neither τ nor crash. *)
+let is_instruction = function
+  | Store _ | Load _ | Flush _ -> true
+  | Prop_cache_cache _ | Prop_cache_mem _ | Crash _ -> false
+
+let machine = function
+  | Store (_, i, _, _) | Load (i, _, _) | Flush (_, i, _)
+  | Prop_cache_cache (i, _) | Crash i ->
+      Some i
+  | Prop_cache_mem _ -> None
+
+let loc = function
+  | Store (_, _, x, _) | Load (_, x, _) | Flush (_, _, x)
+  | Prop_cache_cache (_, x) | Prop_cache_mem x ->
+      Some x
+  | Crash _ -> None
+
+let equal a b =
+  match (a, b) with
+  | Store (k1, i1, x1, v1), Store (k2, i2, x2, v2) ->
+      k1 = k2 && i1 = i2 && Loc.equal x1 x2 && Value.equal v1 v2
+  | Load (i1, x1, v1), Load (i2, x2, v2) ->
+      i1 = i2 && Loc.equal x1 x2 && Value.equal v1 v2
+  | Flush (k1, i1, x1), Flush (k2, i2, x2) -> k1 = k2 && i1 = i2 && Loc.equal x1 x2
+  | Prop_cache_cache (i1, x1), Prop_cache_cache (i2, x2) ->
+      i1 = i2 && Loc.equal x1 x2
+  | Prop_cache_mem x1, Prop_cache_mem x2 -> Loc.equal x1 x2
+  | Crash i1, Crash i2 -> i1 = i2
+  | _ -> false
+
+let pp ppf = function
+  | Store (k, i, x, v) ->
+      Fmt.pf ppf "%a_%d(%a,%a)" pp_store_kind k (i + 1) Loc.pp x Value.pp v
+  | Load (i, x, v) -> Fmt.pf ppf "Load_%d(%a,%a)" (i + 1) Loc.pp x Value.pp v
+  | Flush (k, i, x) -> Fmt.pf ppf "%a_%d(%a)" pp_flush_kind k (i + 1) Loc.pp x
+  | Prop_cache_cache (i, x) -> Fmt.pf ppf "tau[cache-cache M%d %a]" (i + 1) Loc.pp x
+  | Prop_cache_mem x -> Fmt.pf ppf "tau[cache-mem %a]" Loc.pp x
+  | Crash i -> Fmt.pf ppf "crash_%d" (i + 1)
+
+let to_string = Fmt.to_to_string pp

@@ -1,0 +1,54 @@
+(** Transition labels of the CXL0 labelled transition system (§3.3):
+    the six instruction labels, the silent propagation steps (τ, split
+    into its two rule instances), and per-machine crashes. *)
+
+type store_kind =
+  | L  (** LStore — complete once in the issuer's cache *)
+  | R  (** RStore — complete once at the owner's cache *)
+  | M  (** MStore — complete only once in the owner's physical memory *)
+
+val pp_store_kind : store_kind Fmt.t
+
+type flush_kind =
+  | LF  (** LFlush — the line has left the issuer's cache *)
+  | RF  (** RFlush — the line has reached the owner's physical memory *)
+
+val pp_flush_kind : flush_kind Fmt.t
+
+type t =
+  | Store of store_kind * Machine.id * Loc.t * Value.t
+  | Load of Machine.id * Loc.t * Value.t
+      (** carries the value the load observes (litmus style) *)
+  | Flush of flush_kind * Machine.id * Loc.t
+  | Prop_cache_cache of Machine.id * Loc.t
+      (** τ: machine [i]'s copy of [x] moves to the owner's cache *)
+  | Prop_cache_mem of Loc.t
+      (** τ: the owner's copy of [x] is written back to its memory *)
+  | Crash of Machine.id
+
+(** Constructors mirroring the paper's notation. *)
+
+val lstore : Machine.id -> Loc.t -> Value.t -> t
+val rstore : Machine.id -> Loc.t -> Value.t -> t
+val mstore : Machine.id -> Loc.t -> Value.t -> t
+val load : Machine.id -> Loc.t -> Value.t -> t
+val lflush : Machine.id -> Loc.t -> t
+val rflush : Machine.id -> Loc.t -> t
+val crash : Machine.id -> t
+
+val is_silent : t -> bool
+(** [true] exactly for the τ-labels. *)
+
+val is_instruction : t -> bool
+(** [true] for program-emitted labels: stores, loads, flushes. *)
+
+val machine : t -> Machine.id option
+(** The machine a label involves; [None] for cache-to-memory propagation
+    (which belongs to the location's owner implicitly). *)
+
+val loc : t -> Loc.t option
+(** The location a label involves; [None] for crashes. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string

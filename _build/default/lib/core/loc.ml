@@ -1,0 +1,59 @@
+(** Shared memory locations.
+
+    Per §3.3, the set of locations is partitioned across machines:
+    [Loc = ⋃ᵢ Locᵢ] with the [Locᵢ] pairwise disjoint.  Every location is
+    therefore tagged with its *owner* — the machine that hosts its physical
+    memory and manages its coherence — plus an offset distinguishing it
+    from the owner's other locations.
+
+    The paper writes a location allocated on machine [i] as [xⁱ]; we print
+    the same way. *)
+
+type t = {
+  owner : Machine.id;  (** machine whose physical memory holds this address *)
+  off : int;           (** offset within the owner's address space *)
+}
+
+let v ~owner off =
+  if owner < 0 then invalid_arg "Loc.v: negative owner";
+  if off < 0 then invalid_arg "Loc.v: negative offset";
+  { owner; off }
+
+let owner t = t.owner
+let off t = t.off
+
+let equal a b = a.owner = b.owner && a.off = b.off
+
+let compare a b =
+  match Int.compare a.owner b.owner with
+  | 0 -> Int.compare a.off b.off
+  | c -> c
+
+let hash t = (t.owner * 0x1000193) lxor t.off
+
+(** Names follow the paper's convention: [x], [y], [z], then [w%d], with
+    the owner as a superscript-like suffix, e.g. [x^2] for a location on
+    machine 2 (1-based as in the paper). *)
+let pp ppf t =
+  let base =
+    match t.off with
+    | 0 -> "x"
+    | 1 -> "y"
+    | 2 -> "z"
+    | n -> Printf.sprintf "w%d" n
+  in
+  Fmt.pf ppf "%s^%d" base (t.owner + 1)
+
+let to_string = Fmt.to_to_string pp
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,32 @@
+(** Shared memory locations (§3.3).
+
+    Locations are partitioned across machines: every location carries its
+    *owner* — the machine hosting its physical memory and managing its
+    coherence — and an offset within that owner's address space.  The
+    paper writes a location on machine [i] as [xⁱ]; {!pp} prints the
+    same way. *)
+
+type t = private {
+  owner : Machine.id;
+  off : int;
+}
+
+val v : owner:Machine.id -> int -> t
+(** [v ~owner off] — the location at [off] on [owner].  Raises
+    [Invalid_argument] on negative arguments. *)
+
+val owner : t -> Machine.id
+val off : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : t Fmt.t
+(** Offsets 0/1/2 print as [x]/[y]/[z] with a 1-based owner suffix,
+    e.g. [x^2] for offset 0 on machine 1. *)
+
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,123 @@
+(** Parsing the paper's litmus notation.
+
+    Accepts exactly what {!Label.pp} prints (minus the internal τ-steps,
+    which no user program contains):
+
+    {v
+      LStore_1(x^2,1)   RStore_2(y^1,0)   MStore_1(x^1,5)
+      Load_1(x^2,0)     LFlush_1(x^2)     RFlush_2(y^1)
+      crash_2
+    v}
+
+    Machine indices are 1-based as in the paper; locations are a base
+    name ([x]/[y]/[z], or [wN] for offset N ≥ 3) with the owner as a
+    [^k] suffix.  The parser is the front end of the [cxl0-explore] CLI
+    and round-trips with the printer (property-tested). *)
+
+let ( let* ) = Result.bind
+
+let fail fmt = Fmt.kstr (fun s -> Error s) fmt
+
+(* "x^2" -> Loc; base x/y/z -> off 0/1/2; wN -> off N *)
+let loc (s : string) : (Loc.t, string) result =
+  match String.index_opt s '^' with
+  | None -> fail "location %S: missing ^owner suffix" s
+  | Some caret -> (
+      let base = String.sub s 0 caret in
+      let owner = String.sub s (caret + 1) (String.length s - caret - 1) in
+      let* off =
+        match base with
+        | "x" -> Ok 0
+        | "y" -> Ok 1
+        | "z" -> Ok 2
+        | _ when String.length base > 1 && base.[0] = 'w' -> (
+            match int_of_string_opt (String.sub base 1 (String.length base - 1)) with
+            | Some n when n >= 3 -> Ok n
+            | _ -> fail "location %S: bad w-offset" s)
+        | _ -> fail "location %S: unknown base (use x/y/z/wN)" s
+      in
+      match int_of_string_opt owner with
+      | Some k when k >= 1 -> Ok (Loc.v ~owner:(k - 1) off)
+      | _ -> fail "location %S: bad owner" s)
+
+(* split "op_k(args)" into (op, k, args-list) *)
+let split_call (s : string) : (string * int * string list, string) result =
+  let s = String.trim s in
+  let* op, rest =
+    match String.index_opt s '_' with
+    | Some u -> Ok (String.sub s 0 u, String.sub s (u + 1) (String.length s - u - 1))
+    | None -> fail "%S: expected op_machine(...)" s
+  in
+  match String.index_opt rest '(' with
+  | None -> (
+      (* no argument list: crash_2 *)
+      match int_of_string_opt rest with
+      | Some k when k >= 1 -> Ok (op, k - 1, [])
+      | _ -> fail "%S: bad machine index" s)
+  | Some lp -> (
+      if rest.[String.length rest - 1] <> ')' then fail "%S: missing )" s
+      else
+        let* k =
+          match int_of_string_opt (String.sub rest 0 lp) with
+          | Some k when k >= 1 -> Ok (k - 1)
+          | _ -> fail "%S: bad machine index" s
+        in
+        let inner = String.sub rest (lp + 1) (String.length rest - lp - 2) in
+        let args =
+          if String.trim inner = "" then []
+          else List.map String.trim (String.split_on_char ',' inner)
+        in
+        Ok (op, k, args))
+
+let value (s : string) : (Value.t, string) result =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> fail "bad value %S" s
+
+(** [label s] — parse one event. *)
+let label (s : string) : (Label.t, string) result =
+  let* op, k, args = split_call s in
+  match (String.lowercase_ascii op, args) with
+  | "lstore", [ l; v ] ->
+      let* l = loc l in
+      let* v = value v in
+      Ok (Label.lstore k l v)
+  | "rstore", [ l; v ] ->
+      let* l = loc l in
+      let* v = value v in
+      Ok (Label.rstore k l v)
+  | "mstore", [ l; v ] ->
+      let* l = loc l in
+      let* v = value v in
+      Ok (Label.mstore k l v)
+  | "load", [ l; v ] ->
+      let* l = loc l in
+      let* v = value v in
+      Ok (Label.load k l v)
+  | "lflush", [ l ] ->
+      let* l = loc l in
+      Ok (Label.lflush k l)
+  | "rflush", [ l ] ->
+      let* l = loc l in
+      Ok (Label.rflush k l)
+  | "crash", [] -> Ok (Label.crash k)
+  | op, _ -> fail "unknown or mis-applied op %S" op
+
+(** [program ss] — parse a sequence; also accepts a single string with
+    [;]-separated events. *)
+let program (ss : string list) : (Label.t list, string) result =
+  let pieces =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun p -> if String.trim p = "" then None else Some (String.trim p))
+          (String.split_on_char ';' s))
+      ss
+  in
+  List.fold_left
+    (fun acc s ->
+      let* acc = acc in
+      let* l = label s in
+      Ok (l :: acc))
+    (Ok []) pieces
+  |> Result.map List.rev

@@ -1,0 +1,18 @@
+(** Parsing the paper's litmus notation — the exact syntax {!Label.pp}
+    prints (minus internal τ-steps): [LStore_1(x^2,1)], [Load_1(x^2,0)],
+    [RFlush_2(y^1)], [crash_2].  Machine indices are 1-based; location
+    bases are [x]/[y]/[z] (offsets 0/1/2) or [wN] (offset N ≥ 3), with
+    the owner as a [^k] suffix.  Round-trips with the printer
+    (property-tested). *)
+
+val loc : string -> (Loc.t, string) result
+
+val value : string -> (Value.t, string) result
+
+val label : string -> (Label.t, string) result
+(** Parse one event.  Case-insensitive in the operation name; tolerant
+    of whitespace around arguments. *)
+
+val program : string list -> (Label.t list, string) result
+(** Parse a sequence; each string may itself contain several
+    [;]-separated events. *)

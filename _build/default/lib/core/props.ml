@@ -1,0 +1,213 @@
+(** Mechanical checking of Proposition 1 (§3.3).
+
+    The paper proves (in Coq) eight simulation statements between labelled
+    action sequences, e.g. "RStore is stronger than LStore": every
+    configuration reachable via [RStoreᵢ(x,v)] (with interleaved τ-steps)
+    is also reachable via [LStoreᵢ(x,v)].  We reproduce the mechanisation
+    by *bounded model checking*: for a given system and starting
+    configuration, the reachable sets of both sequences are computed by
+    {!Explore.run} and compared for inclusion.  {!check_exhaustive} does
+    this from *every* invariant-satisfying configuration over small
+    domains; the test-suite additionally samples random larger instances.
+
+    Since every step rule treats locations and values uniformly (no rule
+    inspects a value or compares distinct locations beyond equality and
+    ownership), a violation at any scale would already manifest at small
+    scale, so exhaustion over N ≤ 3 machines / ≤ 3 locations / 2 values
+    gives high confidence — this is the standard small-scope argument. *)
+
+type item = {
+  id : int;          (** item number within Proposition 1 *)
+  name : string;
+  (* [lhs]/[rhs] build the two label sequences from (i, x, v); the
+     statement is R_lhs(γ) ⊆ R_rhs(γ) for all γ and valid (i, x, v). *)
+  lhs : Machine.id -> Loc.t -> Value.t -> Label.t list;
+  rhs : Machine.id -> Loc.t -> Value.t -> Label.t list;
+  (* Which issuing machines the item quantifies over, given the owner
+     [k] of [x] and the system size. *)
+  issuers : owner:Machine.id -> n:int -> Machine.id list;
+}
+
+let all_machines ~owner:_ ~n = List.init n Fun.id
+let non_owners ~owner ~n = List.filter (fun i -> i <> owner) (List.init n Fun.id)
+let owner_only ~owner ~n:_ = [ owner ]
+
+(** The eight items of Proposition 1, in the paper's order and numbering. *)
+let items : item list =
+  [
+    {
+      id = 1;
+      name = "RStore is stronger than LStore";
+      lhs = (fun i x v -> [ Label.rstore i x v ]);
+      rhs = (fun i x v -> [ Label.lstore i x v ]);
+      issuers = all_machines;
+    };
+    {
+      id = 2;
+      name = "RStore and LStore by the owner are equivalent";
+      lhs = (fun k x v -> [ Label.lstore k x v ]);
+      rhs = (fun k x v -> [ Label.rstore k x v ]);
+      issuers = owner_only;
+    };
+    {
+      id = 3;
+      name = "MStore is stronger than RStore";
+      lhs = (fun i x v -> [ Label.mstore i x v ]);
+      rhs = (fun i x v -> [ Label.rstore i x v ]);
+      issuers = all_machines;
+    };
+    {
+      id = 4;
+      name = "RFlush is stronger than LFlush";
+      lhs = (fun i x _ -> [ Label.rflush i x ]);
+      rhs = (fun i x _ -> [ Label.lflush i x ]);
+      issuers = all_machines;
+    };
+    {
+      id = 5;
+      name = "LFlush after RStore by non-owner is redundant";
+      lhs = (fun j x v -> [ Label.rstore j x v ]);
+      rhs = (fun j x v -> [ Label.rstore j x v; Label.lflush j x ]);
+      issuers = non_owners;
+    };
+    {
+      id = 6;
+      name = "RFlush after MStore is redundant";
+      lhs = (fun i x v -> [ Label.mstore i x v ]);
+      rhs = (fun i x v -> [ Label.mstore i x v; Label.rflush i x ]);
+      issuers = all_machines;
+    };
+    {
+      id = 7;
+      name = "RStore by non-owner is simulated by LStore and LFlush";
+      lhs = (fun j x v -> [ Label.lstore j x v; Label.lflush j x ]);
+      rhs = (fun j x v -> [ Label.rstore j x v ]);
+      issuers = non_owners;
+    };
+    {
+      id = 8;
+      name = "MStore is simulated by LStore and RFlush";
+      lhs = (fun i x v -> [ Label.lstore i x v; Label.rflush i x ]);
+      rhs = (fun i x v -> [ Label.mstore i x v ]);
+      issuers = all_machines;
+    };
+  ]
+
+let item id = List.find (fun it -> it.id = id) items
+
+(* ------------------------------------------------------------------ *)
+(* Checking                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type failure = {
+  item_id : int;
+  start : Config.t;
+  issuer : Machine.id;
+  location : Loc.t;
+  value : Value.t;
+  witness : Config.t;  (** reachable via lhs but not via rhs *)
+}
+
+let pp_failure ppf f =
+  Fmt.pf ppf
+    "Prop1(%d) fails: from %a, issuer M%d, loc %a, value %a: %a reachable \
+     via lhs only"
+    f.item_id Config.pp f.start (f.issuer + 1) Loc.pp f.location Value.pp
+    f.value Config.pp f.witness
+
+(** [check_item sys it cfg ~locs ~vals] checks item [it] from [cfg] for
+    every issuer/location/value instantiation over [locs]/[vals].
+    Returns the first failure found, if any. *)
+let check_item sys it cfg ~locs ~vals : failure option =
+  let n = Machine.n_machines sys in
+  let exception Found of failure in
+  try
+    List.iter
+      (fun x ->
+        let issuers = it.issuers ~owner:(Loc.owner x) ~n in
+        List.iter
+          (fun i ->
+            List.iter
+              (fun v ->
+                let r_lhs = Explore.run sys cfg (it.lhs i x v) in
+                let r_rhs = Explore.run sys cfg (it.rhs i x v) in
+                if not (Explore.subset r_lhs r_rhs) then
+                  let witness =
+                    Config.Set.min_elt (Config.Set.diff r_lhs r_rhs)
+                  in
+                  raise
+                    (Found
+                       {
+                         item_id = it.id;
+                         start = cfg;
+                         issuer = i;
+                         location = x;
+                         value = v;
+                         witness;
+                       }))
+              vals)
+          issuers)
+      locs;
+    None
+  with Found f -> Some f
+
+(* ------------------------------------------------------------------ *)
+(* Configuration enumeration                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** [enum_configs sys ~locs ~vals] enumerates every configuration over
+    [locs]/[vals] satisfying the coherence invariant: independently per
+    location, either no cache holds it, or a non-empty set of machines all
+    hold the same value; the owner's memory holds any value. *)
+let enum_configs sys ~locs ~vals : Config.t list =
+  let n = Machine.n_machines sys in
+  let holder_subsets =
+    (* all non-empty subsets of machines, as bitmasks *)
+    List.init ((1 lsl n) - 1) (fun m -> m + 1)
+  in
+  let per_loc x =
+    let cached_choices =
+      None
+      :: List.concat_map
+           (fun v -> List.map (fun mask -> Some (v, mask)) holder_subsets)
+           vals
+    in
+    List.concat_map
+      (fun cached -> List.map (fun mv -> (x, cached, mv)) vals)
+      cached_choices
+  in
+  let apply_choice cfg (x, cached, mv) =
+    let cfg = Config.mem_set cfg x mv in
+    match cached with
+    | None -> cfg
+    | Some (v, mask) ->
+        List.fold_left
+          (fun cfg i ->
+            if mask land (1 lsl i) <> 0 then Config.cache_set cfg i x v
+            else cfg)
+          cfg (List.init n Fun.id)
+  in
+  List.fold_left
+    (fun cfgs x ->
+      List.concat_map
+        (fun cfg -> List.map (apply_choice cfg) (per_loc x))
+        cfgs)
+    [ Config.init ] locs
+
+(** [check_exhaustive sys ~locs ~vals] checks all eight items from every
+    invariant-satisfying configuration.  Returns all failures (empty list
+    = Proposition 1 validated over this bounded domain). *)
+let check_exhaustive ?(items = items) sys ~locs ~vals : failure list =
+  let cfgs = enum_configs sys ~locs ~vals in
+  List.concat_map
+    (fun it ->
+      List.filter_map (fun cfg -> check_item sys it cfg ~locs ~vals) cfgs)
+    items
+
+(** Default bounded domain: 2 NV machines, one location each, values
+    {0, 1}.  [check_default ()] is the entry point used by the CLI. *)
+let check_default () =
+  let sys = Machine.uniform 2 in
+  let locs = [ Loc.v ~owner:0 0; Loc.v ~owner:1 0 ] in
+  let vals = [ 0; 1 ] in
+  (sys, check_exhaustive sys ~locs ~vals)

@@ -1,0 +1,58 @@
+(** Mechanical checking of Proposition 1 (§3.3) by bounded model
+    checking: each of the paper's eight simulation items is a
+    reachable-set inclusion, checked from every invariant-satisfying
+    configuration over a bounded domain (the authors verified the same
+    statements in Coq).  See DESIGN.md for the small-scope argument. *)
+
+type item = {
+  id : int;          (** item number within Proposition 1 *)
+  name : string;
+  lhs : Machine.id -> Loc.t -> Value.t -> Label.t list;
+  rhs : Machine.id -> Loc.t -> Value.t -> Label.t list;
+      (** the statement is [R_lhs(γ) ⊆ R_rhs(γ)] for all γ and valid
+          (issuer, location, value) *)
+  issuers : owner:Machine.id -> n:int -> Machine.id list;
+      (** which issuers the item quantifies over *)
+}
+
+(** Issuer quantifiers for building custom items. *)
+
+val all_machines : owner:Machine.id -> n:int -> Machine.id list
+val non_owners : owner:Machine.id -> n:int -> Machine.id list
+val owner_only : owner:Machine.id -> n:int -> Machine.id list
+
+val items : item list
+(** The eight items, in the paper's order and numbering. *)
+
+val item : int -> item
+(** [item i] — item [i] (1-8).  Raises [Not_found] otherwise. *)
+
+type failure = {
+  item_id : int;
+  start : Config.t;
+  issuer : Machine.id;
+  location : Loc.t;
+  value : Value.t;
+  witness : Config.t;  (** reachable via lhs but not via rhs *)
+}
+
+val pp_failure : failure Fmt.t
+
+val check_item :
+  Machine.system -> item -> Config.t -> locs:Loc.t list ->
+  vals:Value.t list -> failure option
+(** Check one item from one configuration over all instantiations;
+    first failure if any. *)
+
+val enum_configs :
+  Machine.system -> locs:Loc.t list -> vals:Value.t list -> Config.t list
+(** Every invariant-satisfying configuration over the domain. *)
+
+val check_exhaustive :
+  ?items:item list ->
+  Machine.system -> locs:Loc.t list -> vals:Value.t list -> failure list
+(** All items from all enumerated configurations; empty = verified. *)
+
+val check_default : unit -> Machine.system * failure list
+(** The default domain: 2 NV machines, one location each, values
+    {0, 1}. *)

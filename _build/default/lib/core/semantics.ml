@@ -1,0 +1,162 @@
+(** The CXL0 operational semantics — the step rules of Fig. 3.
+
+    Each rule is a function from configurations to configurations (or an
+    enabledness predicate, for the blocking flush rules).  The generic
+    entry point {!apply} takes any {!Label.t} and returns the successor
+    configuration, or [None] when the label is not enabled in the given
+    configuration (a flush whose precondition fails, a load observing a
+    different value, or a τ-step with nothing to propagate). *)
+
+(* ------------------------------------------------------------------ *)
+(* Store rules                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** LSTORE: machine [i] writes [v] to its own cache; every *other* cache
+    invalidates [x] (so no stale value survives anywhere). *)
+let lstore _sys cfg i x v =
+  Config.cache_set (Config.cache_invalidate_others cfg i x) i x v
+
+(** RSTORE: the value is deposited in the *owner*'s cache; all other
+    caches invalidate [x].  When [i] is the owner this coincides with
+    LSTORE (Proposition 1(2)). *)
+let rstore _sys cfg i x v =
+  ignore i;
+  let k = Loc.owner x in
+  Config.cache_set (Config.cache_invalidate_others cfg k x) k x v
+
+(** MSTORE: the value is written directly to the owner's physical memory;
+    every cache invalidates [x]. *)
+let mstore _sys cfg i x v =
+  ignore i;
+  Config.mem_set (Config.cache_invalidate_all cfg x) x v
+
+let store sys cfg kind i x v =
+  match (kind : Label.store_kind) with
+  | L -> lstore sys cfg i x v
+  | R -> rstore sys cfg i x v
+  | M -> mstore sys cfg i x v
+
+(* ------------------------------------------------------------------ *)
+(* Load rule                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** LOAD: if some cache holds [x], the (unique, by the coherence
+    invariant) cached value is returned and additionally copied into the
+    loading machine's cache — this copy is what makes litmus tests 6 and 7
+    of Fig. 4 forbidden.  Otherwise the value comes from the owner's
+    physical memory, without populating any cache (see DESIGN.md, key
+    decision 2).
+
+    The load is deterministic: [load sys cfg i x] is the observed value
+    together with the successor configuration. *)
+let load sys cfg i x =
+  match Config.cached_value sys cfg x with
+  | Some (_, v) -> (v, Config.cache_set cfg i x v)
+  | None -> (Config.mem_get cfg x, cfg)
+
+(* ------------------------------------------------------------------ *)
+(* Flush rules                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** LFLUSH precondition: machine [i]'s cache no longer holds [x].  As in
+    the paper (§3.3, following the x86-TSO MFENCE modelling of Raad et
+    al.), the flush does not itself move data — it *blocks* until the
+    non-deterministic propagation steps have drained the issuer's cache
+    of [x]. *)
+let lflush_enabled _sys cfg i x = Config.cache_get cfg i x = None
+
+(** RFLUSH precondition: *no* cache in the system holds [x], hence the
+    latest value resides in the owner's physical memory. *)
+let rflush_enabled sys cfg _i x = Config.cached_value sys cfg x = None
+
+let flush_enabled sys cfg kind i x =
+  match (kind : Label.flush_kind) with
+  | LF -> lflush_enabled sys cfg i x
+  | RF -> rflush_enabled sys cfg i x
+
+(* ------------------------------------------------------------------ *)
+(* Internal propagation (τ) rules                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** CACHE-CACHE propagation: the value of [x] held in non-owner machine
+    [i]'s cache moves to the owner's cache, vanishing from [i]'s.  Only
+    enabled when [i ≠ owner x] and [Cacheᵢ(x) ≠ ⊥]. *)
+let prop_cache_cache _sys cfg i x =
+  if i = Loc.owner x then None
+  else
+    match Config.cache_get cfg i x with
+    | None -> None
+    | Some v ->
+        let k = Loc.owner x in
+        Some (Config.cache_set (Config.cache_invalidate cfg i x) k x v)
+
+(** CACHE-MEM propagation: the value of [x] held in the *owner*'s cache is
+    written back to the owner's physical memory, and [x] is removed from
+    every cache. *)
+let prop_cache_mem _sys cfg x =
+  let k = Loc.owner x in
+  match Config.cache_get cfg k x with
+  | None -> None
+  | Some v -> Some (Config.mem_set (Config.cache_invalidate_all cfg x) x v)
+
+(** [taus sys cfg] enumerates every enabled τ-transition from [cfg],
+    as [(label, successor)] pairs. *)
+let taus sys cfg =
+  let ccs =
+    Config.Cmap.fold
+      (fun (i, x) _ acc ->
+        match prop_cache_cache sys cfg i x with
+        | Some cfg' -> (Label.Prop_cache_cache (i, x), cfg') :: acc
+        | None -> acc)
+      cfg.Config.cache []
+  in
+  let cms =
+    Config.Cmap.fold
+      (fun (i, x) _ acc ->
+        if i = Loc.owner x then
+          match prop_cache_mem sys cfg x with
+          | Some cfg' -> (Label.Prop_cache_mem x, cfg') :: acc
+          | None -> acc
+        else acc)
+      cfg.Config.cache []
+  in
+  ccs @ cms
+
+(* ------------------------------------------------------------------ *)
+(* Crash rule                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** CRASH of machine [i]: its cache is emptied; if its memory is volatile
+    the locations it owns are re-initialised to zero; other machines are
+    unaffected. *)
+let crash sys cfg i =
+  let cfg = Config.wipe_cache cfg i in
+  if Machine.is_volatile sys i then Config.wipe_mem cfg i else cfg
+
+(* ------------------------------------------------------------------ *)
+(* Generic application                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** [apply sys cfg l] is the successor of [cfg] under label [l], or
+    [None] when [l] is not enabled.  For [Load (i, x, v)] the step is
+    enabled only when the deterministic load observes exactly [v]. *)
+let apply sys cfg (l : Label.t) =
+  match l with
+  | Store (k, i, x, v) -> Some (store sys cfg k i x v)
+  | Load (i, x, v) ->
+      let v', cfg' = load sys cfg i x in
+      if Value.equal v v' then Some cfg' else None
+  | Flush (k, i, x) -> if flush_enabled sys cfg k i x then Some cfg else None
+  | Prop_cache_cache (i, x) -> prop_cache_cache sys cfg i x
+  | Prop_cache_mem x -> prop_cache_mem sys cfg x
+  | Crash i -> Some (crash sys cfg i)
+
+(** [apply_exn sys cfg l] is like {!apply} but raises [Invalid_argument]
+    when the label is not enabled. *)
+let apply_exn sys cfg l =
+  match apply sys cfg l with
+  | Some cfg' -> cfg'
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Semantics.apply_exn: label %s not enabled in %s"
+           (Label.to_string l) (Config.to_string cfg))

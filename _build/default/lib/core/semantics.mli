@@ -1,0 +1,71 @@
+(** The CXL0 operational semantics — the step rules of Fig. 3.
+
+    Store and load rules are functions on configurations; the blocking
+    flush rules are enabledness predicates (a flush never moves data — it
+    waits for the silent propagation steps, as in the paper's
+    MFENCE-style modelling); {!taus} enumerates the enabled propagation
+    steps; {!apply} dispatches any {!Label.t}. *)
+
+(** {1 Stores} *)
+
+val lstore : Machine.system -> Config.t -> Machine.id -> Loc.t -> Value.t -> Config.t
+(** The value lands in the issuer's cache; all other caches invalidate. *)
+
+val rstore : Machine.system -> Config.t -> Machine.id -> Loc.t -> Value.t -> Config.t
+(** The value lands in the owner's cache; all other caches invalidate. *)
+
+val mstore : Machine.system -> Config.t -> Machine.id -> Loc.t -> Value.t -> Config.t
+(** The value is written to the owner's physical memory; every cache
+    invalidates. *)
+
+val store :
+  Machine.system -> Config.t -> Label.store_kind -> Machine.id -> Loc.t ->
+  Value.t -> Config.t
+
+(** {1 Load} *)
+
+val load : Machine.system -> Config.t -> Machine.id -> Loc.t -> Value.t * Config.t
+(** Deterministic: the unique cached value if some cache holds the
+    location (copying it into the loader's cache — what makes litmus
+    fig4.6/fig4.7 forbidden), otherwise the owner's memory value
+    (without populating any cache; DESIGN.md decision 2). *)
+
+(** {1 Flushes (blocking preconditions)} *)
+
+val lflush_enabled : Machine.system -> Config.t -> Machine.id -> Loc.t -> bool
+(** The issuer's cache no longer holds the location. *)
+
+val rflush_enabled : Machine.system -> Config.t -> Machine.id -> Loc.t -> bool
+(** No cache in the system holds the location. *)
+
+val flush_enabled :
+  Machine.system -> Config.t -> Label.flush_kind -> Machine.id -> Loc.t -> bool
+
+(** {1 Internal propagation (τ)} *)
+
+val prop_cache_cache :
+  Machine.system -> Config.t -> Machine.id -> Loc.t -> Config.t option
+(** Non-owner machine's copy moves to the owner's cache; [None] when not
+    enabled. *)
+
+val prop_cache_mem : Machine.system -> Config.t -> Loc.t -> Config.t option
+(** The owner's copy is written back to its memory and every cache drops
+    the line; [None] when the owner's cache does not hold it. *)
+
+val taus : Machine.system -> Config.t -> (Label.t * Config.t) list
+(** Every enabled τ-transition. *)
+
+(** {1 Crash} *)
+
+val crash : Machine.system -> Config.t -> Machine.id -> Config.t
+(** Cache wiped; owned locations re-initialised to zero iff the
+    machine's memory is volatile. *)
+
+(** {1 Generic application} *)
+
+val apply : Machine.system -> Config.t -> Label.t -> Config.t option
+(** [None] when the label is not enabled (a failing flush precondition, a
+    load observing a different value, or a τ with nothing to move). *)
+
+val apply_exn : Machine.system -> Config.t -> Label.t -> Config.t
+(** Like {!apply}, raising [Invalid_argument] when disabled. *)

@@ -1,0 +1,112 @@
+(** Executions of the CXL0 LTS: recorded traces and random walks.
+
+    A trace is the sequence of labels fired from the initial configuration
+    together with every intermediate configuration.  Random walks drive
+    property-based tests (invariant preservation, coherence of loads,
+    cross-validation against the runtime fabric) from a deterministic
+    seed. *)
+
+type step = {
+  label : Label.t;
+  after : Config.t;
+}
+
+type t = {
+  system : Machine.system;
+  steps : step list;  (** in execution order *)
+  final : Config.t;
+}
+
+let empty sys = { system = sys; steps = []; final = Config.init }
+
+let extend t label =
+  match Semantics.apply t.system t.final label with
+  | None -> None
+  | Some after ->
+      Some { t with steps = t.steps @ [ { label; after } ]; final = after }
+
+let labels t = List.map (fun s -> s.label) t.steps
+
+let configs t = Config.init :: List.map (fun s -> s.after) t.steps
+
+(** [invariant_holds t] — does every configuration along the trace satisfy
+    the coherence invariant? *)
+let invariant_holds t = List.for_all Config.invariant (configs t)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(list ~sep:cut (fun ppf s ->
+             Fmt.pf ppf "%a -> %a" Label.pp s.label Config.pp s.after))
+    t.steps
+
+(* ------------------------------------------------------------------ *)
+(* Random walks                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** [candidates sys cfg ~locs ~vals] enumerates a set of enabled labels
+    from [cfg]: all stores, loads (with the value they would observe),
+    enabled flushes, enabled τ-steps, and crashes. *)
+let candidates sys cfg ~locs ~vals =
+  let machines = Machine.ids sys in
+  let stores =
+    List.concat_map
+      (fun i ->
+        List.concat_map
+          (fun x ->
+            List.concat_map
+              (fun v ->
+                [ Label.lstore i x v; Label.rstore i x v; Label.mstore i x v ])
+              vals)
+          locs)
+      machines
+  in
+  let loads =
+    List.concat_map
+      (fun i ->
+        List.map
+          (fun x ->
+            let v, _ = Semantics.load sys cfg i x in
+            Label.load i x v)
+          locs)
+      machines
+  in
+  let flushes =
+    List.concat_map
+      (fun i ->
+        List.concat_map
+          (fun x ->
+            let lf =
+              if Semantics.lflush_enabled sys cfg i x then
+                [ Label.lflush i x ]
+              else []
+            in
+            let rf =
+              if Semantics.rflush_enabled sys cfg i x then
+                [ Label.rflush i x ]
+              else []
+            in
+            lf @ rf)
+          locs)
+      machines
+  in
+  let taus = List.map fst (Semantics.taus sys cfg) in
+  let crashes = List.map Label.crash machines in
+  stores @ loads @ flushes @ taus @ crashes
+
+(** [random_walk ~seed ~len sys ~locs ~vals] performs [len] uniformly
+    chosen enabled steps from the initial configuration.  Deterministic in
+    [seed]. *)
+let random_walk ~seed ~len sys ~locs ~vals =
+  let rng = Random.State.make [| seed |] in
+  let rec go t remaining =
+    if remaining = 0 then t
+    else
+      let cands = candidates sys t.final ~locs ~vals in
+      if cands = [] then t
+      else
+        let l = List.nth cands (Random.State.int rng (List.length cands)) in
+        match extend t l with
+        | Some t' -> go t' (remaining - 1)
+        | None -> go t remaining (* cannot happen: candidates are enabled *)
+  in
+  go (empty sys) len

@@ -1,0 +1,42 @@
+(** Recorded executions and seeded random walks over the LTS; the engine
+    behind the invariant-preservation property tests and the
+    fabric-vs-model cross-validation. *)
+
+type step = {
+  label : Label.t;
+  after : Config.t;
+}
+
+type t = {
+  system : Machine.system;
+  steps : step list;  (** in execution order *)
+  final : Config.t;
+}
+
+val empty : Machine.system -> t
+
+val extend : t -> Label.t -> t option
+(** [None] when the label is not enabled in the final configuration. *)
+
+val labels : t -> Label.t list
+
+val configs : t -> Config.t list
+(** Initial configuration included. *)
+
+val invariant_holds : t -> bool
+(** Coherence invariant at every point of the trace. *)
+
+val pp : t Fmt.t
+
+val candidates :
+  Machine.system -> Config.t -> locs:Loc.t list -> vals:Value.t list ->
+  Label.t list
+(** A set of enabled labels from the configuration: all stores, the
+    loads with the values they would observe, enabled flushes and
+    τ-steps, and crashes. *)
+
+val random_walk :
+  seed:int -> len:int -> Machine.system -> locs:Loc.t list ->
+  vals:Value.t list -> t
+(** [len] uniformly chosen enabled steps from the initial configuration;
+    deterministic in [seed]. *)

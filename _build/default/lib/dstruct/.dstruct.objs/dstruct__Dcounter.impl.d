@@ -1,0 +1,1 @@
+lib/dstruct/dcounter.ml: Fabric Flit Runtime

@@ -1,0 +1,1 @@
+lib/dstruct/dcounter.mli: Fabric Flit Runtime

@@ -1,0 +1,1 @@
+lib/dstruct/dlog.ml: Absent Fabric Flit List Runtime

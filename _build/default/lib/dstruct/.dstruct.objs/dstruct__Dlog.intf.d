@@ -1,0 +1,1 @@
+lib/dstruct/dlog.mli: Fabric Flit Runtime

@@ -1,0 +1,1 @@
+lib/dstruct/dreg.ml: Fabric Flit Runtime

@@ -1,0 +1,1 @@
+lib/dstruct/dreg.mli: Fabric Flit Runtime

@@ -1,0 +1,1 @@
+lib/dstruct/hmap.ml: Absent Array Fabric Flit Ptr Runtime

@@ -1,0 +1,1 @@
+lib/dstruct/hmap.mli: Fabric Flit Runtime

@@ -1,0 +1,1 @@
+lib/dstruct/listset.ml: Fabric Flit Ptr Runtime

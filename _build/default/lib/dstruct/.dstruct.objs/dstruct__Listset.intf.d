@@ -1,0 +1,1 @@
+lib/dstruct/listset.mli: Fabric Flit Runtime

@@ -1,0 +1,1 @@
+lib/dstruct/msqueue.ml: Absent Fabric Flit Ptr Runtime

@@ -1,0 +1,1 @@
+lib/dstruct/msqueue.mli: Fabric Flit Runtime

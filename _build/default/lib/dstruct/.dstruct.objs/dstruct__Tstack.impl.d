@@ -1,0 +1,1 @@
+lib/dstruct/tstack.ml: Absent Fabric Flit Ptr Runtime

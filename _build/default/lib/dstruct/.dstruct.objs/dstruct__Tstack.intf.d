@@ -1,0 +1,1 @@
+lib/dstruct/tstack.mli: Fabric Flit Runtime

@@ -1,0 +1,7 @@
+(** The "empty/missing" result sentinel.
+
+    Matches {!Lincheck.Spec.absent} (= -1); kept separate so the data
+    structures do not depend on the checker.  The test-suite asserts the
+    two constants agree.  Payload values must therefore be positive. *)
+
+let absent = -1

@@ -1,0 +1,5 @@
+(** The "empty/missing" result sentinel (-1); matches
+    {!Lincheck.Spec.absent} (tested), kept separate so the structures do
+    not depend on the checker.  Payload values must be positive. *)
+
+val absent : int

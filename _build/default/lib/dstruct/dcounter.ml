@@ -1,0 +1,44 @@
+(** Durable fetch-and-increment counter.
+
+    [inc] is a CAS loop (read the current value, publish [v+1] with the
+    transformation's CAS protocol); [get] is a shared load.  The CAS loop
+    makes the counter a genuinely contended lock-free object, so it
+    exercises the transformation's CAS path under retries. *)
+
+module Make (F : Flit.Flit_intf.S) = struct
+  type t = {
+    cell : Fabric.loc;
+    pflag : bool;
+  }
+
+  let create (ctx : Runtime.Sched.ctx) ?(pflag = true) ~home () =
+    { cell = Fabric.alloc ctx.fab ~owner:home; pflag }
+
+  let root t = t.cell
+
+  let attach (_ctx : Runtime.Sched.ctx) ?(pflag = true) cell =
+    { cell; pflag }
+
+  (** [inc t ctx] — atomically increment; returns the previous value. *)
+  let inc t ctx =
+    let rec loop () =
+      let v = F.shared_load ctx t.cell ~pflag:t.pflag in
+      if F.shared_cas ctx t.cell ~expected:v ~desired:(v + 1) ~pflag:t.pflag
+      then v
+      else loop ()
+    in
+    let v = loop () in
+    F.complete_op ctx;
+    v
+
+  let get t ctx =
+    let v = F.shared_load ctx t.cell ~pflag:t.pflag in
+    F.complete_op ctx;
+    v
+
+  let dispatch t ctx op args =
+    match (op, args) with
+    | "inc", [] -> inc t ctx
+    | "get", [] -> get t ctx
+    | _ -> invalid_arg "Dcounter.dispatch"
+end

@@ -1,0 +1,18 @@
+(** Durable fetch-and-increment counter (CAS-loop increment, so it
+    exercises the transformation's CAS path under contention). *)
+
+module Make (F : Flit.Flit_intf.S) : sig
+  type t
+
+  val create : Runtime.Sched.ctx -> ?pflag:bool -> home:int -> unit -> t
+  val root : t -> Fabric.loc
+  val attach : Runtime.Sched.ctx -> ?pflag:bool -> Fabric.loc -> t
+
+  val inc : t -> Runtime.Sched.ctx -> int
+  (** Atomically increment; returns the previous value. *)
+
+  val get : t -> Runtime.Sched.ctx -> int
+
+  val dispatch : t -> Runtime.Sched.ctx -> string -> int list -> int
+  (** ["inc" []], ["get" []] — {!Lincheck.Specs.Counter}. *)
+end

@@ -1,0 +1,23 @@
+(** Durable lock-free sorted-list set (Harris construction): logical
+    deletion via a mark bit in the node's next field, physical unlinking
+    by any traversal.  Keys must be positive. *)
+
+module Make (F : Flit.Flit_intf.S) : sig
+  type t
+
+  val create : Runtime.Sched.ctx -> ?pflag:bool -> home:int -> unit -> t
+  val root : t -> Fabric.loc
+  val attach : Runtime.Sched.ctx -> ?pflag:bool -> Fabric.loc -> t
+
+  val add : t -> Runtime.Sched.ctx -> int -> int
+  (** 1 if inserted, 0 if already present. *)
+
+  val remove : t -> Runtime.Sched.ctx -> int -> int
+  (** 1 if present and removed (linearizes at the marking CAS), else 0. *)
+
+  val contains : t -> Runtime.Sched.ctx -> int -> int
+  (** Read-only traversal; a marked match counts as absent. *)
+
+  val dispatch : t -> Runtime.Sched.ctx -> string -> int list -> int
+  (** ["add"/"remove"/"contains" [k]] — {!Lincheck.Specs.Set_}. *)
+end

@@ -1,0 +1,38 @@
+(** Pointer encoding for linked structures on the fabric.
+
+    Fabric locations are dense non-negative integers, and cells hold
+    plain integers, so linked structures store pointers as encoded ints:
+
+    - [null] is [0];
+    - a plain pointer to location [l] is [l + 1];
+    - Harris-style marked pointers (the mark tags the *containing* node
+      as logically deleted) shift the pointer left and keep the mark in
+      the low bit: [(l + 1) * 2 + mark]. *)
+
+let null = 0
+
+(* --- plain pointers --- *)
+
+let of_loc l = l + 1
+let to_loc p = p - 1
+let is_null p = p = 0
+
+(* --- marked pointers --- *)
+
+let marked_of_loc ?(mark = false) l = (2 * (l + 1)) + if mark then 1 else 0
+
+(** [marked_null] — the encoded (null, unmarked) pointer. *)
+let marked_null = 0
+
+let mark_of p = p land 1 = 1
+
+(** [loc_of_marked p] — the target location, or [-1] when null. *)
+let loc_of_marked p = (p / 2) - 1
+
+let is_marked_null p = p / 2 = 0
+
+(** [with_mark p] / [without_mark p] — set/clear the mark, preserving the
+    target. *)
+let with_mark p = p lor 1
+
+let without_mark p = p land lnot 1

@@ -1,0 +1,26 @@
+(** Pointer encoding for linked structures on the fabric: locations are
+    dense non-negative ints and cells hold plain ints, so pointers are
+    encoded — [null] is 0, plain pointers are [loc+1], and Harris-style
+    marked pointers shift left and keep the deletion mark (of the
+    *containing* node) in the low bit. *)
+
+val null : int
+
+(** {1 Plain pointers} *)
+
+val of_loc : int -> int
+val to_loc : int -> int
+val is_null : int -> bool
+
+(** {1 Marked pointers} *)
+
+val marked_of_loc : ?mark:bool -> int -> int
+val marked_null : int
+val mark_of : int -> bool
+
+val loc_of_marked : int -> int
+(** The target location, or [-1] when null. *)
+
+val is_marked_null : int -> bool
+val with_mark : int -> int
+val without_mark : int -> int

@@ -1,0 +1,1 @@
+lib/fabric/fabric.ml: Array Cxl0 Fmt Latency List Printf Queue Random Stats Topology

@@ -1,0 +1,1 @@
+lib/fabric/fabric.mli: Cxl0 Fmt Latency Stats Topology

@@ -1,0 +1,1 @@
+lib/fabric/latency.ml: Fmt

@@ -1,0 +1,1 @@
+lib/fabric/stats.ml: Fmt

@@ -1,0 +1,1 @@
+lib/fabric/topology.ml: Array Fmt List

@@ -1,0 +1,524 @@
+(** The simulated CXL fabric: an executable, mutable implementation of the
+    CXL0 abstract machine.
+
+    Where {!Cxl0.Semantics} is the pure *formal* model (immutable
+    configurations, nondeterminism as sets), this module is the same
+    machine built for running programs: it exploits the coherence
+    invariant — all caches holding [x] hold the same value — to represent
+    a location as a single record
+
+    {[ { holders : bitmask; cval; mem } ]}
+
+    so every primitive is O(1).  Nondeterministic propagation (τ) becomes
+    the cache-replacement machinery: each machine has a bounded cache with
+    FIFO replacement, and the scheduler may additionally trigger
+    spontaneous evictions ({!maybe_evict}) so that durability bugs
+    manifest.  Tests cross-validate this module against the formal
+    semantics step by step ({!to_config}). *)
+
+(* [fabric.ml] shares its name with the library, so it is the library's
+   interface module; re-export the siblings. *)
+module Stats = Stats
+module Latency = Latency
+module Topology = Topology
+
+type machine_conf = {
+  name : string;
+  volatile : bool;       (** shared memory lost on crash *)
+  cache_capacity : int;  (** max lines cached; >= 1 *)
+}
+
+let machine ?(volatile = false) ?(cache_capacity = 1024) name =
+  if cache_capacity < 1 then invalid_arg "Fabric.machine: capacity < 1";
+  { name; volatile; cache_capacity }
+
+type loc = int
+(** Locations are dense indices into the fabric's location table. *)
+
+type loc_state = {
+  owner : int;
+  coff : int;            (** offset within the owner's address space *)
+  mutable holders : int; (** bitmask of machines caching this line *)
+  mutable cval : int;    (** the (unique) cached value, if [holders <> 0] *)
+  mutable mem : int;     (** value in the owner's physical memory *)
+}
+
+type t = {
+  uid : int;  (** unique per fabric instance; keys side tables *)
+  conf : machine_conf array;
+  mutable locs : loc_state array;
+  mutable n_locs : int;
+  next_off : int array;        (** per-owner next free offset *)
+  queues : loc Queue.t array;  (** FIFO replacement order per machine *)
+  live : int array;            (** live cache entries per machine *)
+  stats : Stats.t;
+  model : Latency.t;
+  topology : Topology.t;
+  mutable rng : Random.State.t;
+  mutable evict_prob : float;  (** chance of spontaneous eviction per tick *)
+}
+
+let next_uid = ref 0
+
+let create ?(model = Latency.default) ?topology ?(seed = 0)
+    ?(evict_prob = 0.05) conf =
+  let n = Array.length conf in
+  if n = 0 then invalid_arg "Fabric.create: no machines";
+  if n > 62 then invalid_arg "Fabric.create: more than 62 machines";
+  let topology =
+    match topology with
+    | None -> Topology.flat n
+    | Some t ->
+        if Topology.size t <> n then
+          invalid_arg "Fabric.create: topology size mismatch";
+        t
+  in
+  incr next_uid;
+  {
+    uid = !next_uid;
+    conf;
+    locs = Array.make 64 { owner = 0; coff = 0; holders = 0; cval = 0; mem = 0 };
+    n_locs = 0;
+    next_off = Array.make n 0;
+    queues = Array.init n (fun _ -> Queue.create ());
+    live = Array.make n 0;
+    stats = Stats.create ();
+    model;
+    topology;
+    rng = Random.State.make [| seed |];
+    evict_prob;
+  }
+
+(** [uniform n] — an [n]-machine non-volatile fabric with defaults. *)
+let uniform ?model ?topology ?seed ?evict_prob ?(volatile = false)
+    ?cache_capacity n =
+  create ?model ?topology ?seed ?evict_prob
+    (Array.init n (fun i ->
+         machine ~volatile ?cache_capacity (Printf.sprintf "M%d" (i + 1))))
+
+let uid t = t.uid
+let n_machines t = Array.length t.conf
+let stats t = t.stats
+let cycles t = t.stats.Stats.cycles
+let n_locs t = t.n_locs
+let is_volatile t i = t.conf.(i).volatile
+let set_evict_prob t p = t.evict_prob <- p
+let reseed t seed = t.rng <- Random.State.make [| seed |]
+
+let charge t c = t.stats.Stats.cycles <- t.stats.Stats.cycles + c
+
+(* Cost of machine [i] reaching machine [k] across the fabric: the base
+   remote cost plus the per-hop surcharge for every switch hop beyond
+   the first.  Remote accesses are routed via the location's home agent,
+   so the distance that matters is issuer-to-owner. *)
+let remote_to t i k base =
+  base + ((Topology.hops t.topology i k - 1) * t.model.Latency.per_hop)
+
+let topology t = t.topology
+
+let state t x =
+  if x < 0 || x >= t.n_locs then invalid_arg "Fabric: bad location";
+  t.locs.(x)
+
+let owner t x = (state t x).owner
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** [alloc t ~owner] returns a fresh location hosted on [owner]'s memory,
+    initialised to zero.  Allocation is a fabric-management operation and
+    is not part of the modelled instruction set (no cycles charged). *)
+let alloc t ~owner =
+  if owner < 0 || owner >= n_machines t then invalid_arg "Fabric.alloc";
+  if t.n_locs = Array.length t.locs then begin
+    let bigger =
+      Array.make (2 * Array.length t.locs)
+        { owner = 0; coff = 0; holders = 0; cval = 0; mem = 0 }
+    in
+    Array.blit t.locs 0 bigger 0 t.n_locs;
+    t.locs <- bigger
+  end;
+  let x = t.n_locs in
+  let coff = t.next_off.(owner) in
+  t.next_off.(owner) <- coff + 1;
+  t.locs.(x) <- { owner; coff; holders = 0; cval = 0; mem = 0 };
+  t.n_locs <- x + 1;
+  x
+
+let alloc_n t ~owner n = List.init n (fun _ -> alloc t ~owner)
+
+(* ------------------------------------------------------------------ *)
+(* Holder-set plumbing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let bit i = 1 lsl i
+
+let holds st i = st.holders land bit i <> 0
+
+(* Clear every holder bit, updating per-machine live counts. *)
+let clear_all_holders t st =
+  let m = ref st.holders in
+  let i = ref 0 in
+  while !m <> 0 do
+    if !m land 1 <> 0 then t.live.(!i) <- t.live.(!i) - 1;
+    m := !m lsr 1;
+    incr i
+  done;
+  st.holders <- 0
+
+let clear_holder t st i =
+  if holds st i then begin
+    st.holders <- st.holders land lnot (bit i);
+    t.live.(i) <- t.live.(i) - 1
+  end
+
+(* One propagation step for line [x] out of machine [i]'s cache:
+   horizontal toward the owner if [i] is not the owner, vertical into
+   memory otherwise (vertical invalidates *all* caches, per the
+   CACHE-MEM rule). *)
+let rec propagate_from t x i =
+  let st = state t x in
+  if holds st i then
+    if i = st.owner then begin
+      st.mem <- st.cval;
+      clear_all_holders t st;
+      t.stats.Stats.evictions_vertical <- t.stats.Stats.evictions_vertical + 1
+    end
+    else begin
+      clear_holder t st i;
+      t.stats.Stats.evictions_horizontal <-
+        t.stats.Stats.evictions_horizontal + 1;
+      insert t st.owner x
+    end
+
+(* Make machine [i] a holder of [x], evicting if over capacity. *)
+and insert t i x =
+  let st = state t x in
+  if not (holds st i) then begin
+    st.holders <- st.holders lor bit i;
+    t.live.(i) <- t.live.(i) + 1;
+    Queue.push x t.queues.(i);
+    while t.live.(i) > t.conf.(i).cache_capacity do
+      evict_one t i
+    done
+  end
+
+(* Evict the oldest live line from machine [i]'s cache. *)
+and evict_one t i =
+  let q = t.queues.(i) in
+  let rec pop () =
+    match Queue.take_opt q with
+    | None -> () (* live count out of sync is impossible; defensive *)
+    | Some x -> if holds (state t x) i then propagate_from t x i else pop ()
+  in
+  pop ()
+
+(* ------------------------------------------------------------------ *)
+(* The CXL0 primitives                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let visible t x =
+  let st = state t x in
+  if st.holders <> 0 then st.cval else st.mem
+
+(** [load t i x] — coherent load by machine [i]: the unique cached value
+    if any cache holds [x] (copying it into [i]'s cache), otherwise the
+    owner's memory value. *)
+let load t i x =
+  let st = state t x in
+  if st.holders <> 0 then begin
+    let v = st.cval in
+    if holds st i then begin
+      t.stats.Stats.loads_local_cache <- t.stats.Stats.loads_local_cache + 1;
+      charge t t.model.Latency.local_cache
+    end
+    else begin
+      t.stats.Stats.loads_remote_cache <- t.stats.Stats.loads_remote_cache + 1;
+      charge t (remote_to t i st.owner t.model.Latency.remote_cache);
+      insert t i x
+    end;
+    v
+  end
+  else begin
+    t.stats.Stats.loads_mem <- t.stats.Stats.loads_mem + 1;
+    charge t
+      (if st.owner = i then t.model.Latency.local_mem
+       else remote_to t i st.owner t.model.Latency.remote_mem);
+    st.mem
+  end
+
+(** [lstore t i x v] — LStore: the line lands in [i]'s cache; every other
+    cache invalidates it. *)
+let lstore t i x v =
+  let st = state t x in
+  t.stats.Stats.lstores <- t.stats.Stats.lstores + 1;
+  charge t t.model.Latency.local_cache;
+  let keep = if holds st i then bit i else 0 in
+  let others = st.holders land lnot keep in
+  let m = ref others and j = ref 0 in
+  while !m <> 0 do
+    if !m land 1 <> 0 then t.live.(!j) <- t.live.(!j) - 1;
+    m := !m lsr 1;
+    incr j
+  done;
+  st.holders <- keep;
+  st.cval <- v;
+  insert t i x
+
+(** [rstore t i x v] — RStore: the line lands in the owner's cache. *)
+let rstore t i x v =
+  let st = state t x in
+  t.stats.Stats.rstores <- t.stats.Stats.rstores + 1;
+  charge t
+    (if st.owner = i then t.model.Latency.local_cache
+     else remote_to t i st.owner t.model.Latency.remote_cache);
+  let keep = if holds st st.owner then bit st.owner else 0 in
+  let others = st.holders land lnot keep in
+  let m = ref others and j = ref 0 in
+  while !m <> 0 do
+    if !m land 1 <> 0 then t.live.(!j) <- t.live.(!j) - 1;
+    m := !m lsr 1;
+    incr j
+  done;
+  st.holders <- keep;
+  st.cval <- v;
+  insert t st.owner x
+
+(** [mstore t i x v] — MStore: straight to the owner's physical memory;
+    all caches invalidate. *)
+let mstore t i x v =
+  let st = state t x in
+  t.stats.Stats.mstores <- t.stats.Stats.mstores + 1;
+  charge t
+    (if st.owner = i then t.model.Latency.local_mem
+     else remote_to t i st.owner t.model.Latency.remote_mem);
+  clear_all_holders t st;
+  st.mem <- v
+
+(** [lflush t i x] — LFlush with *forcing* semantics: perform the
+    propagation the formal model's blocking precondition waits for.  If
+    [i] holds the line: the owner writes it back to memory (vertical) when
+    [i] is the owner, otherwise the line moves to the owner's cache
+    (horizontal).  A clean line costs only the check. *)
+let lflush t i x =
+  let st = state t x in
+  t.stats.Stats.lflushes <- t.stats.Stats.lflushes + 1;
+  if holds st i then begin
+    charge t
+      (if i = st.owner then t.model.Latency.local_mem
+       else remote_to t i st.owner t.model.Latency.remote_cache);
+    propagate_from t x i
+  end
+  else charge t t.model.Latency.clean_check
+
+(** [rflush t i x] — RFlush, forcing: the latest value (wherever cached)
+    is written back to the owner's physical memory and all caches drop
+    the line. *)
+let rflush t i x =
+  let st = state t x in
+  t.stats.Stats.rflushes <- t.stats.Stats.rflushes + 1;
+  if st.holders <> 0 then begin
+    charge t
+      (if st.owner = i then t.model.Latency.local_mem
+       else remote_to t i st.owner t.model.Latency.remote_mem);
+    st.mem <- st.cval;
+    clear_all_holders t st
+  end
+  else charge t t.model.Latency.clean_check
+
+(* ------------------------------------------------------------------ *)
+(* Atomics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** [faa t i x d] — atomic fetch-and-add (the paper assumes FAA exists,
+    §4.4).  The read-modify-write is indivisible (the cooperative
+    scheduler never interleaves inside a primitive); the updated value is
+    deposited at the owner's cache, like an RStore. *)
+let faa t i x d =
+  let st = state t x in
+  t.stats.Stats.faas <- t.stats.Stats.faas + 1;
+  charge t
+    ((if st.owner = i then t.model.Latency.local_cache
+      else remote_to t i st.owner t.model.Latency.remote_cache)
+    + t.model.Latency.atomic_extra);
+  let old = if st.holders <> 0 then st.cval else st.mem in
+  let keep = if holds st st.owner then bit st.owner else 0 in
+  let others = st.holders land lnot keep in
+  let m = ref others and j = ref 0 in
+  while !m <> 0 do
+    if !m land 1 <> 0 then t.live.(!j) <- t.live.(!j) - 1;
+    m := !m lsr 1;
+    incr j
+  done;
+  st.holders <- keep;
+  st.cval <- old + d;
+  insert t st.owner x;
+  old
+
+type store_kind = Cxl0.Label.store_kind
+
+(** [cas t i x ~expected ~desired ~kind] — atomic compare-and-swap whose
+    successful write has the strength of [kind] (the transformation
+    decides how strongly a CAS publishes, mirroring how it treats plain
+    stores). *)
+let cas t i x ~expected ~desired ~(kind : store_kind) =
+  let st = state t x in
+  t.stats.Stats.cass <- t.stats.Stats.cass + 1;
+  charge t t.model.Latency.atomic_extra;
+  let cur = if st.holders <> 0 then st.cval else st.mem in
+  if cur = expected then begin
+    (match kind with
+    | Cxl0.Label.L -> lstore t i x desired
+    | Cxl0.Label.R -> rstore t i x desired
+    | Cxl0.Label.M -> mstore t i x desired);
+    true
+  end
+  else begin
+    charge t
+      (if st.owner = i then t.model.Latency.local_cache
+       else remote_to t i st.owner t.model.Latency.remote_cache);
+    false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Metadata accounting                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* FliT counters are volatile metadata co-located with their object (the
+   FliT paper packs them next to the data).  They live outside the
+   modelled address space (see lib/flit/counters.ml for why), but their
+   accesses are real fabric traffic, so the transformation layer charges
+   them through these hooks: an atomic FAA / a read against metadata
+   hosted by [x]'s owner. *)
+
+let account_meta_faa t i x =
+  let st = state t x in
+  t.stats.Stats.faas <- t.stats.Stats.faas + 1;
+  charge t
+    ((if st.owner = i then t.model.Latency.local_cache
+      else remote_to t i st.owner t.model.Latency.remote_cache)
+    + t.model.Latency.atomic_extra)
+
+(* Counter *reads* ride along with the data access they accompany (FliT
+   packs the counter into the object's cache lines), so they cost a
+   local-cache touch, not a second fabric crossing. *)
+let account_meta_read t i x =
+  ignore (state t x);
+  ignore i;
+  charge t t.model.Latency.local_cache
+
+(* ------------------------------------------------------------------ *)
+(* Nondeterministic propagation and crashes                            *)
+(* ------------------------------------------------------------------ *)
+
+(** [evict_loc t i x] — deterministically perform one propagation step of
+    [x] out of machine [i]'s cache (no-op if [i] does not hold it).
+    Exposed for tests that need to place the system in a specific
+    configuration. *)
+let evict_loc t i x = propagate_from t x i
+
+(** [maybe_evict t] — with probability [evict_prob], evict the oldest line
+    of a random machine that caches anything.  Called by the scheduler
+    between primitives; this is the runtime counterpart of the formal
+    model's τ-steps. *)
+let maybe_evict t =
+  if Random.State.float t.rng 1.0 < t.evict_prob then begin
+    let n = n_machines t in
+    let start = Random.State.int t.rng n in
+    let rec find k =
+      if k = n then ()
+      else
+        let i = (start + k) mod n in
+        if t.live.(i) > 0 then evict_one t i else find (k + 1)
+    in
+    find 0
+  end
+
+(** [drain t] — propagate everything everywhere: repeatedly evict until no
+    cache holds any line (every value reaches physical memory).  Horizontal
+    evictions move lines to the owner's cache — possibly a machine already
+    visited — so iterate to a fixpoint.  Used by tests and for clean
+    shutdown points. *)
+let drain t =
+  let dirty = ref true in
+  while !dirty do
+    dirty := false;
+    for i = 0 to n_machines t - 1 do
+      while t.live.(i) > 0 do
+        dirty := true;
+        evict_one t i
+      done
+    done
+  done
+
+(** [crash t i] — machine [i] fails: its cache contents vanish; locations
+    it owns are re-initialised to zero iff its memory is volatile.
+    Killing the machine's threads is the scheduler's job. *)
+let crash t i =
+  t.stats.Stats.crashes <- t.stats.Stats.crashes + 1;
+  let vol = t.conf.(i).volatile in
+  for x = 0 to t.n_locs - 1 do
+    let st = t.locs.(x) in
+    clear_holder t st i;
+    if vol && st.owner = i then st.mem <- 0
+  done;
+  Queue.clear t.queues.(i);
+  t.live.(i) <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation with the formal model                              *)
+(* ------------------------------------------------------------------ *)
+
+(** [to_loc t x] — the formal-model location corresponding to fabric
+    location [x]. *)
+let to_loc t x =
+  let st = state t x in
+  Cxl0.Loc.v ~owner:st.owner st.coff
+
+(** [to_config t] — export the fabric state as a formal-model
+    configuration; tests check that running the same primitive sequence
+    through {!Cxl0.Semantics} reaches exactly this configuration. *)
+let to_config t =
+  let cfg = ref Cxl0.Config.init in
+  for x = 0 to t.n_locs - 1 do
+    let st = t.locs.(x) in
+    let l = to_loc t x in
+    cfg := Cxl0.Config.mem_set !cfg l st.mem;
+    for i = 0 to n_machines t - 1 do
+      if holds st i then cfg := Cxl0.Config.cache_set !cfg i l st.cval
+    done
+  done;
+  !cfg
+
+(** [to_system t] — the formal-model system descriptor matching this
+    fabric. *)
+let to_system t =
+  Cxl0.Machine.system
+    (Array.map
+       (fun c ->
+         Cxl0.Machine.make
+           ~persistence:
+             (if c.volatile then Cxl0.Machine.Volatile
+              else Cxl0.Machine.Non_volatile)
+           c.name)
+       t.conf)
+
+(** [check_coherence t] — the runtime counterpart of the formal coherence
+    invariant; trivially true by construction (single [cval]), but also
+    validates the live-count bookkeeping. *)
+let check_coherence t =
+  let ok = ref true in
+  let counted = Array.make (n_machines t) 0 in
+  for x = 0 to t.n_locs - 1 do
+    let st = t.locs.(x) in
+    for i = 0 to n_machines t - 1 do
+      if holds st i then counted.(i) <- counted.(i) + 1
+    done
+  done;
+  Array.iteri (fun i c -> if c <> t.live.(i) then ok := false) counted;
+  !ok
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>fabric: %d machines, %d locations@,%a@]" (n_machines t)
+    t.n_locs Stats.pp t.stats

@@ -1,0 +1,140 @@
+(** The simulated CXL fabric: an executable, mutable implementation of
+    the CXL0 abstract machine.
+
+    Exploits the coherence invariant (all caches holding a line hold the
+    same value) so every primitive is O(1); nondeterministic propagation
+    becomes bounded caches with FIFO replacement plus seeded spontaneous
+    evictions; flushes *force* the propagation the formal model's
+    blocking preconditions wait for.  Cross-validated step by step
+    against {!Cxl0.Semantics} (see [test/test_fabric.ml]). *)
+
+module Stats = Stats
+module Latency = Latency
+module Topology = Topology
+
+type machine_conf = {
+  name : string;
+  volatile : bool;       (** shared memory lost on crash *)
+  cache_capacity : int;  (** max lines cached; >= 1 *)
+}
+
+val machine : ?volatile:bool -> ?cache_capacity:int -> string -> machine_conf
+(** Defaults: non-volatile, capacity 1024. *)
+
+type loc = int
+(** Locations are dense indices into the fabric's location table. *)
+
+type t
+
+val create :
+  ?model:Latency.t -> ?topology:Topology.t -> ?seed:int ->
+  ?evict_prob:float -> machine_conf array -> t
+(** Defaults: {!Latency.default}, a flat (single-switch) topology, seed
+    0, 5% spontaneous-eviction probability per scheduler tick.  Raises
+    on an empty machine array, more than 62 machines, or a topology of
+    the wrong size. *)
+
+val uniform :
+  ?model:Latency.t -> ?topology:Topology.t -> ?seed:int ->
+  ?evict_prob:float -> ?volatile:bool -> ?cache_capacity:int -> int -> t
+(** [uniform n] — [n] identical machines named ["M1" .. "Mn"]. *)
+
+(** {1 Introspection} *)
+
+val uid : t -> int
+(** Unique per fabric instance; keys the transformation side tables. *)
+
+val n_machines : t -> int
+val stats : t -> Stats.t
+val cycles : t -> int
+val n_locs : t -> int
+val is_volatile : t -> int -> bool
+val owner : t -> loc -> int
+val topology : t -> Topology.t
+val visible : t -> loc -> int
+(** The value a coherent load would observe, without performing one. *)
+
+val set_evict_prob : t -> float -> unit
+val reseed : t -> int -> unit
+
+(** {1 Allocation} *)
+
+val alloc : t -> owner:int -> loc
+(** Fresh zero-initialised location on [owner]'s memory.  A
+    fabric-management operation: no cycles charged. *)
+
+val alloc_n : t -> owner:int -> int -> loc list
+(** [n] consecutive locations (no scheduling point in between, so
+    adjacency is guaranteed — linked structures rely on it). *)
+
+(** {1 The CXL0 primitives} *)
+
+val load : t -> int -> loc -> int
+(** Coherent load by the machine: the unique cached value if any cache
+    holds the line (copying it into the loader's cache), else the
+    owner's memory value. *)
+
+val lstore : t -> int -> loc -> int -> unit
+val rstore : t -> int -> loc -> int -> unit
+val mstore : t -> int -> loc -> int -> unit
+
+val lflush : t -> int -> loc -> unit
+(** Forcing LFlush: if the issuer holds the line, write it back one
+    level (vertical when the issuer is the owner, horizontal
+    otherwise). *)
+
+val rflush : t -> int -> loc -> unit
+(** Forcing RFlush: the latest value (wherever cached) reaches the
+    owner's physical memory; all caches drop the line. *)
+
+(** {1 Atomics} *)
+
+val faa : t -> int -> loc -> int -> int
+(** Fetch-and-add; deposits at the owner's cache; returns the previous
+    value. *)
+
+type store_kind = Cxl0.Label.store_kind
+
+val cas : t -> int -> loc -> expected:int -> desired:int -> kind:store_kind -> bool
+(** Compare-and-swap whose successful store has strength [kind]. *)
+
+(** {1 Metadata accounting} *)
+
+val account_meta_faa : t -> int -> loc -> unit
+(** Charge an atomic RMW on volatile metadata co-located with the
+    location (FliT counters). *)
+
+val account_meta_read : t -> int -> loc -> unit
+(** Charge a metadata read (rides along with the data access). *)
+
+(** {1 Propagation and crashes} *)
+
+val evict_loc : t -> int -> loc -> unit
+(** Deterministically perform one propagation step of the line out of
+    the machine's cache (no-op if not held); for tests that stage
+    specific configurations. *)
+
+val maybe_evict : t -> unit
+(** With probability [evict_prob], evict the oldest line of a random
+    caching machine — the runtime counterpart of the formal τ-steps;
+    called by the scheduler between primitives. *)
+
+val drain : t -> unit
+(** Propagate everything into physical memory (fixpoint over all
+    machines). *)
+
+val crash : t -> int -> unit
+(** The machine's cache contents vanish; locations it owns re-initialise
+    to zero iff its memory is volatile.  Killing its threads is the
+    scheduler's job. *)
+
+(** {1 Cross-validation with the formal model} *)
+
+val to_loc : t -> loc -> Cxl0.Loc.t
+val to_config : t -> Cxl0.Config.t
+val to_system : t -> Cxl0.Machine.system
+
+val check_coherence : t -> bool
+(** Validates the holder/live-count bookkeeping. *)
+
+val pp : t Fmt.t

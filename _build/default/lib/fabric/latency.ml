@@ -1,0 +1,62 @@
+(** Latency cost model for the simulated CXL fabric.
+
+    No CXL 3.x hardware exists (the paper itself notes only early CXL 2.0
+    samples are available), so absolute numbers are synthetic.  The model
+    encodes the *relative* costs that published CXL measurements and the
+    spec's guidance agree on, in abstract cycles:
+
+    - a local cache hit is an order of magnitude cheaper than crossing the
+      fabric to a remote cache;
+    - reaching physical memory through the fabric (MStore, RFlush) costs
+      roughly 2–4× a remote cache access (switch + media write);
+    - flushes pay the write-back path they force and nothing when there is
+      nothing to write back (clean-line check only).
+
+    These ratios drive experiment E8 (which transformation wins where);
+    EXPERIMENTS.md records shape, not absolute numbers. *)
+
+type t = {
+  local_cache : int;   (** load/store hitting the local cache *)
+  remote_cache : int;  (** crossing the fabric to another machine's cache *)
+  local_mem : int;     (** reaching the local machine's physical memory *)
+  remote_mem : int;    (** reaching a remote machine's physical memory *)
+  clean_check : int;   (** a flush that finds nothing to write back *)
+  atomic_extra : int;  (** extra arbitration cost of FAA/CAS *)
+  per_hop : int;
+      (** surcharge per switch hop beyond the first on any remote access
+          (see {!Topology}); a single-switch fabric pays none *)
+}
+
+(** Defaults: local cache 1, remote cache 30, local memory 100, remote
+    memory 250 cycles — consistent with DRAM ≈ 100 ns and CXL far memory
+    ≈ 2.5× DRAM latency reported for early CXL memory expanders. *)
+let default =
+  {
+    local_cache = 1;
+    remote_cache = 30;
+    local_mem = 100;
+    remote_mem = 250;
+    clean_check = 5;
+    atomic_extra = 15;
+    per_hop = 20;
+  }
+
+(** A model in which the fabric is as fast as local access; useful to
+    isolate algorithmic effects in ablations. *)
+let flat =
+  {
+    local_cache = 1;
+    remote_cache = 1;
+    local_mem = 1;
+    remote_mem = 1;
+    clean_check = 1;
+    atomic_extra = 1;
+    per_hop = 0;
+  }
+
+let pp ppf m =
+  Fmt.pf ppf
+    "@[<h>{local-cache=%d; remote-cache=%d; local-mem=%d; remote-mem=%d; \
+     clean=%d; atomic=+%d; per-hop=+%d}@]"
+    m.local_cache m.remote_cache m.local_mem m.remote_mem m.clean_check
+    m.atomic_extra m.per_hop

@@ -1,0 +1,26 @@
+(** Latency cost model for the simulated fabric, in abstract cycles.
+
+    Absolute numbers are synthetic (no CXL 3.x hardware exists); the
+    model encodes the relative costs published CXL measurements agree
+    on.  Only shapes and orderings of benchmark results are meaningful. *)
+
+type t = {
+  local_cache : int;   (** load/store hitting the local cache *)
+  remote_cache : int;  (** crossing the fabric to another machine's cache *)
+  local_mem : int;     (** reaching the local machine's physical memory *)
+  remote_mem : int;    (** reaching a remote machine's physical memory *)
+  clean_check : int;   (** a flush that finds nothing to write back *)
+  atomic_extra : int;  (** extra arbitration cost of FAA/CAS *)
+  per_hop : int;
+      (** surcharge per switch hop beyond the first on any remote access
+          (see {!Topology}) *)
+}
+
+val default : t
+(** local cache 1 / remote cache 30 / local memory 100 / remote memory
+    250 / clean 5 / atomic +15 / per extra hop +20. *)
+
+val flat : t
+(** Everything costs ~1: isolates algorithmic effects in ablations. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,97 @@
+(** Operation accounting for the simulated fabric.
+
+    Counts every CXL0 primitive issued, the nondeterministic eviction
+    steps the cache-replacement machinery performed, crashes, and the
+    accumulated simulated cycles of the latency model.  Benches read
+    these to report per-transformation primitive mixes (experiment E8). *)
+
+type t = {
+  mutable loads_local_cache : int;
+  mutable loads_remote_cache : int;
+  mutable loads_mem : int;
+  mutable lstores : int;
+  mutable rstores : int;
+  mutable mstores : int;
+  mutable lflushes : int;
+  mutable rflushes : int;
+  mutable faas : int;
+  mutable cass : int;
+  mutable evictions_horizontal : int;
+  mutable evictions_vertical : int;
+  mutable crashes : int;
+  mutable cycles : int;
+}
+
+let create () =
+  {
+    loads_local_cache = 0;
+    loads_remote_cache = 0;
+    loads_mem = 0;
+    lstores = 0;
+    rstores = 0;
+    mstores = 0;
+    lflushes = 0;
+    rflushes = 0;
+    faas = 0;
+    cass = 0;
+    evictions_horizontal = 0;
+    evictions_vertical = 0;
+    crashes = 0;
+    cycles = 0;
+  }
+
+let reset t =
+  t.loads_local_cache <- 0;
+  t.loads_remote_cache <- 0;
+  t.loads_mem <- 0;
+  t.lstores <- 0;
+  t.rstores <- 0;
+  t.mstores <- 0;
+  t.lflushes <- 0;
+  t.rflushes <- 0;
+  t.faas <- 0;
+  t.cass <- 0;
+  t.evictions_horizontal <- 0;
+  t.evictions_vertical <- 0;
+  t.crashes <- 0;
+  t.cycles <- 0
+
+let loads t = t.loads_local_cache + t.loads_remote_cache + t.loads_mem
+let stores t = t.lstores + t.rstores + t.mstores
+let flushes t = t.lflushes + t.rflushes
+let evictions t = t.evictions_horizontal + t.evictions_vertical
+
+let copy t = { t with cycles = t.cycles }
+
+(** [diff a b] is per-field [a - b]; useful to account a workload that ran
+    between two snapshots. *)
+let diff a b =
+  {
+    loads_local_cache = a.loads_local_cache - b.loads_local_cache;
+    loads_remote_cache = a.loads_remote_cache - b.loads_remote_cache;
+    loads_mem = a.loads_mem - b.loads_mem;
+    lstores = a.lstores - b.lstores;
+    rstores = a.rstores - b.rstores;
+    mstores = a.mstores - b.mstores;
+    lflushes = a.lflushes - b.lflushes;
+    rflushes = a.rflushes - b.rflushes;
+    faas = a.faas - b.faas;
+    cass = a.cass - b.cass;
+    evictions_horizontal = a.evictions_horizontal - b.evictions_horizontal;
+    evictions_vertical = a.evictions_vertical - b.evictions_vertical;
+    crashes = a.crashes - b.crashes;
+    cycles = a.cycles - b.cycles;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>loads: %d local-cache / %d remote-cache / %d mem@,\
+     stores: %d L / %d R / %d M@,\
+     flushes: %d L / %d R@,\
+     atomics: %d faa / %d cas@,\
+     evictions: %d horizontal / %d vertical@,\
+     crashes: %d@,\
+     cycles: %d@]"
+    t.loads_local_cache t.loads_remote_cache t.loads_mem t.lstores t.rstores
+    t.mstores t.lflushes t.rflushes t.faas t.cass t.evictions_horizontal
+    t.evictions_vertical t.crashes t.cycles

@@ -1,0 +1,36 @@
+(** Operation accounting for the simulated fabric: every CXL0 primitive
+    issued, eviction steps, crashes, and accumulated simulated cycles. *)
+
+type t = {
+  mutable loads_local_cache : int;
+  mutable loads_remote_cache : int;
+  mutable loads_mem : int;
+  mutable lstores : int;
+  mutable rstores : int;
+  mutable mstores : int;
+  mutable lflushes : int;
+  mutable rflushes : int;
+  mutable faas : int;
+  mutable cass : int;
+  mutable evictions_horizontal : int;
+  mutable evictions_vertical : int;
+  mutable crashes : int;
+  mutable cycles : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(** Aggregates. *)
+
+val loads : t -> int
+val stores : t -> int
+val flushes : t -> int
+val evictions : t -> int
+
+val copy : t -> t
+
+val diff : t -> t -> t
+(** Per-field subtraction: account a workload between two snapshots. *)
+
+val pp : t Fmt.t

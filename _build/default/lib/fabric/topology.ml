@@ -1,0 +1,75 @@
+(** Fabric topologies: how many switch hops separate two machines.
+
+    Fig. 1 of the paper shows machines attached to a CXL switch; CXL 3.x
+    explicitly supports multi-level switching ("the CXL protocol
+    accommodates complex topologies", §3.1).  The latency model charges
+    remote accesses a per-extra-hop surcharge, so *where* memory is
+    placed relative to its users becomes measurable (experiment E13).
+
+    Built-in shapes:
+    - {!flat}: every pair one hop apart (a single switch) — the default,
+      and identical to the pre-topology cost model;
+    - {!two_level}: machines partitioned into groups, each group under a
+      leaf switch, leaf switches joined by a spine: one hop within a
+      group, three hops across (up, across, down). *)
+
+type t = {
+  n : int;
+  hops : int array array;  (** [hops.(i).(j)]; 0 on the diagonal *)
+}
+
+let hops t i j = t.hops.(i).(j)
+
+let of_matrix hops =
+  let n = Array.length hops in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> n then invalid_arg "Topology.of_matrix: ragged";
+      Array.iteri
+        (fun j h ->
+          if i = j && h <> 0 then
+            invalid_arg "Topology.of_matrix: nonzero diagonal";
+          if i <> j && h < 1 then
+            invalid_arg "Topology.of_matrix: hops must be >= 1";
+          if hops.(j).(i) <> h then
+            invalid_arg "Topology.of_matrix: asymmetric")
+        row)
+    hops;
+  { n; hops }
+
+(** [flat n] — one switch, everyone one hop from everyone. *)
+let flat n =
+  of_matrix
+    (Array.init n (fun i -> Array.init n (fun j -> if i = j then 0 else 1)))
+
+(** [two_level groups] — [groups] lists the size of each leaf-switch
+    group, in machine-id order; e.g. [two_level [2; 2]] puts machines
+    0,1 under one leaf and 2,3 under another. *)
+let two_level groups =
+  if List.exists (fun g -> g <= 0) groups then
+    invalid_arg "Topology.two_level: empty group";
+  let n = List.fold_left ( + ) 0 groups in
+  let group_of = Array.make n 0 in
+  let id = ref 0 in
+  List.iteri
+    (fun g size ->
+      for _ = 1 to size do
+        group_of.(!id) <- g;
+        incr id
+      done)
+    groups;
+  of_matrix
+    (Array.init n (fun i ->
+         Array.init n (fun j ->
+             if i = j then 0
+             else if group_of.(i) = group_of.(j) then 1
+             else 3)))
+
+let size t = t.n
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(
+      array ~sep:cut (fun ppf row ->
+          Fmt.pf ppf "%a" (array ~sep:sp int) row))
+    t.hops

@@ -1,0 +1,21 @@
+(** Fabric topologies: switch hops between machine pairs, charged by the
+    latency model's [per_hop] surcharge (experiment E13). *)
+
+type t
+
+val of_matrix : int array array -> t
+(** Symmetric hop matrix, zero diagonal, off-diagonal >= 1; raises
+    [Invalid_argument] otherwise. *)
+
+val flat : int -> t
+(** One switch: every pair one hop apart (the default; identical to the
+    pre-topology cost model). *)
+
+val two_level : int list -> t
+(** Machines partitioned into leaf-switch groups (sizes listed in
+    machine-id order) joined by a spine: one hop within a group, three
+    across. *)
+
+val hops : t -> int -> int -> int
+val size : t -> int
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/flit/adaptive.ml: Counters Cxl0 Fabric Ops Runtime Sched

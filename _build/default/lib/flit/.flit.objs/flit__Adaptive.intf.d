@@ -1,0 +1,1 @@
+lib/flit/adaptive.mli: Flit_intf

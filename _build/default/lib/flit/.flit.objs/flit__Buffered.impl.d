@@ -1,0 +1,1 @@
+lib/flit/buffered.ml: Cxl0 Fabric Hashtbl List Ops Runtime Sched

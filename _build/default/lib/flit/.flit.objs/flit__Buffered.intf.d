@@ -1,0 +1,1 @@
+lib/flit/buffered.mli: Fabric Flit_intf Runtime

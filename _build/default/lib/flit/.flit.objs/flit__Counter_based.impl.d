@@ -1,0 +1,1 @@
+lib/flit/counter_based.ml: Counters Cxl0 Flit_intf Ops Runtime

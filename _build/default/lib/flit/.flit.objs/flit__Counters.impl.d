@@ -1,0 +1,1 @@
+lib/flit/counters.ml: Fabric Hashtbl Runtime

@@ -1,0 +1,1 @@
+lib/flit/counters.mli: Fabric Hashtbl Runtime

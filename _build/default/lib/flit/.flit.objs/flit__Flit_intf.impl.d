@@ -1,0 +1,1 @@
+lib/flit/flit_intf.ml: Fabric Runtime

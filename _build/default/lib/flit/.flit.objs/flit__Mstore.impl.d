@@ -1,0 +1,1 @@
+lib/flit/mstore.ml: Cxl0 Ops Runtime

@@ -1,0 +1,1 @@
+lib/flit/mstore.mli: Flit_intf

@@ -1,0 +1,1 @@
+lib/flit/naive_flush.ml: Cxl0 Ops Runtime

@@ -1,0 +1,1 @@
+lib/flit/naive_flush.mli: Flit_intf

@@ -1,0 +1,1 @@
+lib/flit/noflush.ml: Cxl0 Ops Runtime

@@ -1,0 +1,1 @@
+lib/flit/noflush.mli: Flit_intf

@@ -1,0 +1,1 @@
+lib/flit/registry.ml: Adaptive Buffered Flit_intf List Mstore Naive_flush Noflush Rstore Simple Weakest Weakest_lflush

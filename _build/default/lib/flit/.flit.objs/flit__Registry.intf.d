@@ -1,0 +1,1 @@
+lib/flit/registry.mli: Flit_intf

@@ -1,0 +1,1 @@
+lib/flit/rstore.ml: Counter_based Cxl0

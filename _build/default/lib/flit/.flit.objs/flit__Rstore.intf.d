@@ -1,0 +1,1 @@
+lib/flit/rstore.mli: Flit_intf

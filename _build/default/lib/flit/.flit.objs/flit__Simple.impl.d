@@ -1,0 +1,1 @@
+lib/flit/simple.ml: Cxl0 Ops Runtime

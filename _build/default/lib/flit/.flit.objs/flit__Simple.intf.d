@@ -1,0 +1,1 @@
+lib/flit/simple.mli: Flit_intf

@@ -1,0 +1,1 @@
+lib/flit/weakest.ml: Counter_based Cxl0

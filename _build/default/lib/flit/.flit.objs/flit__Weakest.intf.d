@@ -1,0 +1,1 @@
+lib/flit/weakest.mli: Flit_intf

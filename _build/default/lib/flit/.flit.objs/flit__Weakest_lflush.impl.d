@@ -1,0 +1,1 @@
+lib/flit/weakest_lflush.ml: Counter_based Cxl0

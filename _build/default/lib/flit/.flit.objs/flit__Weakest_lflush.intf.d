@@ -1,0 +1,1 @@
+lib/flit/weakest_lflush.mli: Flit_intf

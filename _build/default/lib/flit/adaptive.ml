@@ -1,0 +1,65 @@
+(** Address-based adaptive transformation (§4.4, implementation notes).
+
+    The paper observes that, unlike the original FliT, the CXL0
+    adaptations can be instrumented *per address*: "When target memory is
+    volatile, there is no need in using RFlush after an RStore, and also
+    it suffices to use an LFlush after an LStore."  This transformation
+    does exactly that — it inspects the persistence of the location's
+    owner at access time and picks the flush strength:
+
+    - owner has {e non-volatile} memory → Algorithm 3′ path
+      (LStore + RFlush): full durable linearizability;
+    - owner has {e volatile} memory → the Proposition 2 path
+      (LStore + LFlush): flushing to physical memory buys nothing, but
+      pushing the line out of the (crash-prone) writer's cache preserves
+      the Prop-2 guarantee when memory nodes are reliable.
+
+    One binary, both deployments, no manual tuning — each address pays
+    only for the durability its memory can deliver. *)
+
+open Runtime
+
+let name = "adaptive"
+
+(* conditionally durable: full DL only for NV-homed data *)
+let durable = false
+
+let flush_kind_for (ctx : Sched.ctx) x : Cxl0.Label.flush_kind =
+  if Fabric.is_volatile ctx.fab (Fabric.owner ctx.fab x) then Cxl0.Label.LF
+  else Cxl0.Label.RF
+
+let private_load ctx x = Ops.load ctx x
+
+let private_store ctx x v ~pflag =
+  if pflag then begin
+    Ops.lstore ctx x v;
+    Ops.flush ctx (flush_kind_for ctx x) x
+  end
+  else Ops.lstore ctx x v
+
+let shared_load ctx x ~pflag =
+  let v = Ops.load ctx x in
+  if pflag && Counters.read ctx x > 0 then
+    Ops.flush ctx (flush_kind_for ctx x) x;
+  v
+
+let shared_store ctx x v ~pflag =
+  if pflag then begin
+    Counters.incr ctx x;
+    Ops.lstore ctx x v;
+    Ops.flush ctx (flush_kind_for ctx x) x;
+    Counters.decr ctx x
+  end
+  else Ops.lstore ctx x v
+
+let shared_cas ctx x ~expected ~desired ~pflag =
+  if pflag then begin
+    Counters.incr ctx x;
+    let ok = Ops.cas ctx x ~expected ~desired ~kind:Cxl0.Label.L in
+    if ok then Ops.flush ctx (flush_kind_for ctx x) x;
+    Counters.decr ctx x;
+    ok
+  end
+  else Ops.cas ctx x ~expected ~desired ~kind:Cxl0.Label.L
+
+let complete_op _ctx = ()

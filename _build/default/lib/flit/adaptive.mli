@@ -1,0 +1,6 @@
+(** Address-based adaptive transformation (§4.4 implementation
+    notes): picks the flush strength per address from the owner's
+    persistence — RFlush for NV-homed data (full durability), LFlush
+    for volatile-homed data (the Proposition 2 guarantee). *)
+
+include Flit_intf.S

@@ -1,0 +1,86 @@
+(** A buffered-durability transformation with an explicit global [sync]
+    — exploring the paper's §7 future work.
+
+    The paper (after Izraelevitz et al. and Montage) asks whether relaxed
+    durability pays in the disaggregated model and whether a global sync
+    operation is implementable.  This transformation is the natural
+    attempt:
+
+    - flagged stores are plain [LStore]s, with the written location
+      recorded in a per-fabric *dirty set* (volatile metadata, like the
+      FliT counters);
+    - loads never flush;
+    - {!sync} RFlushes every dirty location and clears the set — after a
+      completed sync, everything written before it is persistent.
+
+    What this buys and what it does not (experiment E11):
+    - it is {e not} durably linearizable: writes since the last sync die
+      with a crash even though they completed;
+    - for {e single-location} objects it is *buffered* durably
+      linearizable ({!Lincheck.Buffered}): per-location persistence
+      order follows coherence order, so the recovered value is always a
+      consistent cut;
+    - for multi-location objects it is not even buffered-durable in
+      general: cache replacement persists locations out of
+      happens-before order, which is precisely why the paper calls
+      buffered durability in this model an open problem.
+
+    [durable] is [false]; the durability suite exercises it only through
+    the buffered checker. *)
+
+open Runtime
+
+let name = "buffered-sync"
+let durable = false
+
+(* per-fabric dirty sets (see Counters for the side-table rationale) *)
+let tables : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+
+let dirty_set fab =
+  let uid = Fabric.uid fab in
+  match Hashtbl.find_opt tables uid with
+  | Some t -> t
+  | None ->
+      let t = Hashtbl.create 64 in
+      Hashtbl.add tables uid t;
+      t
+
+let drop_fabric fab = Hashtbl.remove tables (Fabric.uid fab)
+
+let mark_dirty (ctx : Sched.ctx) x = Hashtbl.replace (dirty_set ctx.fab) x ()
+
+(** [sync ctx] — persist every write buffered so far: RFlush each dirty
+    location, then forget it.  The sync is not atomic with respect to
+    crashes (a crash mid-sync persists a prefix of the dirty set in
+    arbitrary order); making it atomic is exactly the hard part the
+    paper anticipates. *)
+let sync (ctx : Sched.ctx) =
+  let t = dirty_set ctx.fab in
+  let locs = Hashtbl.fold (fun x () acc -> x :: acc) t [] in
+  List.iter
+    (fun x ->
+      Ops.rflush ctx x;
+      Hashtbl.remove t x)
+    (List.sort compare locs)
+
+(** [dirty_count fab] — locations currently buffered (diagnostics). *)
+let dirty_count fab = Hashtbl.length (dirty_set fab)
+
+let private_load ctx x = Ops.load ctx x
+
+let private_store ctx x v ~pflag =
+  Ops.lstore ctx x v;
+  if pflag then mark_dirty ctx x
+
+let shared_load ctx x ~pflag:_ = Ops.load ctx x
+
+let shared_store ctx x v ~pflag =
+  Ops.lstore ctx x v;
+  if pflag then mark_dirty ctx x
+
+let shared_cas ctx x ~expected ~desired ~pflag =
+  let ok = Ops.cas ctx x ~expected ~desired ~kind:Cxl0.Label.L in
+  if ok && pflag then mark_dirty ctx x;
+  ok
+
+let complete_op _ctx = ()

@@ -1,0 +1,55 @@
+(** The FliT programming interface (Algorithm 1's method set), as adapted
+    to CXL0 in §4.
+
+    A transformation wraps every memory access of an already-linearizable
+    object:
+
+    - {b private} accesses touch data never accessed concurrently by two
+      processes (per-thread logs, local counters);
+    - {b shared} accesses touch data that may be raced on — the object's
+      actual state;
+    - [pflag] marks accesses that must be durably linearizable (an unset
+      flag means the location is volatile / durability is not wanted, and
+      the access degrades to a plain [LStore]/[Load]);
+    - [complete_op] is placed at the end of every high-level operation.
+
+    CAS is exposed alongside plain stores because lock-free objects
+    publish with CAS; a successful CAS is handled exactly like a
+    [shared_store] of the same transformation (counter protocol and
+    flushing included), with the store strength the transformation
+    prescribes. *)
+
+type loc = Fabric.loc
+type ctx = Runtime.Sched.ctx
+
+module type S = sig
+  val name : string
+  (** e.g. ["alg3-rstore"]; used in test/bench labels *)
+
+  val durable : bool
+  (** whether the transformation claims durable linearizability under the
+      general failure model (the [Noflush] control does not, and
+      [Weakest_lflush] only under the Proposition 2 assumption) *)
+
+  val private_load : ctx -> loc -> int
+
+  val private_store : ctx -> loc -> int -> pflag:bool -> unit
+
+  val shared_load : ctx -> loc -> pflag:bool -> int
+
+  val shared_store : ctx -> loc -> int -> pflag:bool -> unit
+
+  val shared_cas :
+    ctx -> loc -> expected:int -> desired:int -> pflag:bool -> bool
+  (** a successful CAS publishes with the transformation's persistence
+      protocol; a failed CAS performs no store *)
+
+  val complete_op : ctx -> unit
+  (** end-of-operation hook (empty in all CXL0 adaptations — §4.4 explains
+      the original FliT fence is unnecessary given in-order execution and
+      synchronous flushes) *)
+end
+
+type t = (module S)
+
+let name (module T : S) = T.name

@@ -1,0 +1,27 @@
+(** Algorithm 2 — the MStore-based FliT adaptation.
+
+    Because an MStore completes only once it is in physical memory,
+    shared and private operations coincide, loads never need to help, and
+    the FliT counter disappears entirely (§5.1 proves the omission
+    sound).  Unflagged stores degrade to plain [LStore]s. *)
+
+open Runtime
+
+let name = "alg2-mstore"
+let durable = true
+
+let private_load ctx x = Ops.load ctx x
+
+let private_store ctx x v ~pflag =
+  if pflag then Ops.mstore ctx x v else Ops.lstore ctx x v
+
+let shared_load ctx x ~pflag:_ = Ops.load ctx x
+
+let shared_store ctx x v ~pflag =
+  if pflag then Ops.mstore ctx x v else Ops.lstore ctx x v
+
+let shared_cas ctx x ~expected ~desired ~pflag =
+  Ops.cas ctx x ~expected ~desired
+    ~kind:(if pflag then Cxl0.Label.M else Cxl0.Label.L)
+
+let complete_op _ctx = ()

@@ -1,0 +1,5 @@
+(** Algorithm 2 — the MStore-based FliT adaptation: shared and
+    private operations coincide, loads never help, no FliT counter
+    (§5.1 proves the omission sound). *)
+
+include Flit_intf.S

@@ -1,0 +1,49 @@
+(** Ablation variant: Algorithm 3 *without* the FliT counter.
+
+    FliT's counter exists "to avoid naïvely flushing every location upon
+    read" (§4.3): without it, a reader cannot tell whether a store to the
+    location is still in flight, so it must flush on *every* flagged
+    shared load.  This module is that naïve strategy — still durably
+    linearizable (it flushes strictly more than Algorithm 3), but paying
+    a write-back on every read of a cached location.  Experiment E9
+    quantifies the gap on read-heavy workloads.
+
+    Not part of {!Registry.all} (it is not one of the paper's
+    algorithms); exposed for the ablation bench and tests. *)
+
+open Runtime
+
+let name = "ablation-noflit-counter"
+let durable = true
+
+let private_load ctx x = Ops.load ctx x
+
+let private_store ctx x v ~pflag =
+  if pflag then begin
+    Ops.rstore ctx x v;
+    Ops.rflush ctx x
+  end
+  else Ops.lstore ctx x v
+
+(* no counter to consult: always help *)
+let shared_load ctx x ~pflag =
+  let v = Ops.load ctx x in
+  if pflag then Ops.rflush ctx x;
+  v
+
+let shared_store ctx x v ~pflag =
+  if pflag then begin
+    Ops.rstore ctx x v;
+    Ops.rflush ctx x
+  end
+  else Ops.lstore ctx x v
+
+let shared_cas ctx x ~expected ~desired ~pflag =
+  if pflag then begin
+    let ok = Ops.cas ctx x ~expected ~desired ~kind:Cxl0.Label.R in
+    if ok then Ops.rflush ctx x;
+    ok
+  end
+  else Ops.cas ctx x ~expected ~desired ~kind:Cxl0.Label.L
+
+let complete_op _ctx = ()

@@ -1,0 +1,5 @@
+(** Ablation: Algorithm 3 without the FliT counter — every
+    flagged shared load flushes (experiment E9 quantifies what the
+    counter buys). *)
+
+include Flit_intf.S

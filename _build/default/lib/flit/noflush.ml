@@ -1,0 +1,23 @@
+(** Negative control: the identity "transformation".
+
+    Plain volatile accesses — [LStore]/[Load], no counters, no flushes.
+    Objects wrapped with this are linearizable but *not* durably
+    linearizable: the Fig. 5 anomaly (a value observed before a crash
+    vanishing after it) is reachable.  The durability test-suite uses it
+    to demonstrate that the checker actually detects violations (a test
+    harness that cannot fail proves nothing). *)
+
+open Runtime
+
+let name = "noflush-control"
+let durable = false
+
+let private_load ctx x = Ops.load ctx x
+let private_store ctx x v ~pflag:_ = Ops.lstore ctx x v
+let shared_load ctx x ~pflag:_ = Ops.load ctx x
+let shared_store ctx x v ~pflag:_ = Ops.lstore ctx x v
+
+let shared_cas ctx x ~expected ~desired ~pflag:_ =
+  Ops.cas ctx x ~expected ~desired ~kind:Cxl0.Label.L
+
+let complete_op _ctx = ()

@@ -1,0 +1,5 @@
+(** Negative control: plain volatile accesses, no flushes, no
+    counters.  Linearizable but deliberately not durable; the test
+    suite uses it to prove the checker can fail. *)
+
+include Flit_intf.S

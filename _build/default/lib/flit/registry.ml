@@ -1,0 +1,30 @@
+(** Enumeration of the transformations, for tests and benches. *)
+
+let simple : Flit_intf.t = (module Simple)
+let alg2_mstore : Flit_intf.t = (module Mstore)
+let alg3_rstore : Flit_intf.t = (module Rstore)
+let alg3'_weakest : Flit_intf.t = (module Weakest)
+let weakest_lflush : Flit_intf.t = (module Weakest_lflush)
+let noflush : Flit_intf.t = (module Noflush)
+
+(** The transformations the paper proves durably linearizable under the
+    general failure model (§5). *)
+let durable : Flit_intf.t list =
+  [ simple; alg2_mstore; alg3_rstore; alg3'_weakest ]
+
+(** Everything, including the conditional Prop-2 variant and the broken
+    control. *)
+let all : Flit_intf.t list = durable @ [ weakest_lflush; noflush ]
+
+(** Beyond the paper's algorithms: the address-adaptive variant (§4.4
+    implementation notes), the buffered-durability transformation with
+    explicit sync (§7), and the counter-less ablation (E9). *)
+let adaptive : Flit_intf.t = (module Adaptive)
+let buffered : Flit_intf.t = (module Buffered)
+let naive_flush : Flit_intf.t = (module Naive_flush)
+let extensions : Flit_intf.t list = [ adaptive; buffered; naive_flush ]
+
+let find name =
+  List.find_opt
+    (fun (module T : Flit_intf.S) -> T.name = name)
+    (all @ extensions)

@@ -1,0 +1,13 @@
+(** Algorithm 3 — the RStore-based FliT adaptation.
+
+    A one-to-one translation of the original FliT: [Store] ↦ [RStore]
+    (deposits at the owner's cache), [Flush] ↦ [RFlush] (forces the line
+    into the owner's physical memory), with the FliT counter protocol
+    intact. *)
+
+include Counter_based.Make (struct
+  let name = "alg3-rstore"
+  let durable = true
+  let store_kind = Cxl0.Label.R
+  let flush_kind = Cxl0.Label.RF
+end)

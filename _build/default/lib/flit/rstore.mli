@@ -1,0 +1,5 @@
+(** Algorithm 3 — the RStore-based FliT adaptation: a one-to-one
+    translation of FliT with Store ↦ RStore and Flush ↦ RFlush, counter
+    protocol intact. *)
+
+include Flit_intf.S

@@ -1,0 +1,22 @@
+(** The simple transformation of §4.4: [store(x,v) → MStore(x,v)].
+
+    Every store persists before it completes, so no propagation, counters
+    or flushes are needed anywhere.  This is the bluntest (and often
+    slowest) way to obtain durable linearizability; it ignores [pflag]
+    by design — the paper introduces the refined Algorithm 2 precisely to
+    let unflagged stores stay volatile. *)
+
+open Runtime
+
+let name = "simple"
+let durable = true
+
+let private_load ctx x = Ops.load ctx x
+let private_store ctx x v ~pflag:_ = Ops.mstore ctx x v
+let shared_load ctx x ~pflag:_ = Ops.load ctx x
+let shared_store ctx x v ~pflag:_ = Ops.mstore ctx x v
+
+let shared_cas ctx x ~expected ~desired ~pflag:_ =
+  Ops.cas ctx x ~expected ~desired ~kind:Cxl0.Label.M
+
+let complete_op _ctx = ()

@@ -1,0 +1,15 @@
+(** Algorithm 3′ — the *weakest transformation*.
+
+    Algorithm 3 with the framed [RStore]s replaced by CXL0's weakest store
+    primitive, [LStore]: a stored value must now cross two hierarchies
+    (remote cache, then remote memory) before persisting, which the
+    [RFlush] in the store and load paths forces.  §5 proves this
+    transformation satisfies the P–V interface, and derives Algorithms 2
+    and 3 from it. *)
+
+include Counter_based.Make (struct
+  let name = "alg3'-weakest"
+  let durable = true
+  let store_kind = Cxl0.Label.L
+  let flush_kind = Cxl0.Label.RF
+end)

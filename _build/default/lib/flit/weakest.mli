@@ -1,0 +1,5 @@
+(** Algorithm 3′ — the weakest transformation: Algorithm 3 with
+    the framed RStores replaced by LStore; stored values cross two
+    hierarchies before persisting, forced by the RFlushes. *)
+
+include Flit_intf.S

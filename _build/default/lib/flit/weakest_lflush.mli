@@ -1,0 +1,5 @@
+(** The LFlush-based weakest transformation
+    (Proposition 2): durable linearizability provided machines hosting
+    volatile shared memory never crash. *)
+
+include Flit_intf.S

@@ -1,0 +1,1 @@
+lib/harness/measure.ml: Array Fabric Flit Fmt Objects Printf Random Runtime

@@ -1,0 +1,1 @@
+lib/harness/objects.ml: Dstruct Flit Lincheck List Random Runtime

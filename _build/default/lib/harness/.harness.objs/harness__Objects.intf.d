@@ -1,0 +1,1 @@
+lib/harness/objects.mli: Flit Lincheck Random Runtime

@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Array Fabric Flit Lincheck List Objects Printf Random Runtime

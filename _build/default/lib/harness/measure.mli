@@ -1,0 +1,43 @@
+(** Performance measurement in *simulated* cycles (E5/E8/E9/E11/E13):
+    crash-free concurrent workloads without history recording, reporting
+    cycles per operation and the primitive mix.  Wall-clock time of the
+    simulator measures the simulator; fabric traffic under a CXL-shaped
+    latency model is what the paper's performance discussion is about. *)
+
+type point = {
+  transform_name : string;
+  kind : Objects.kind;
+  read_ratio : float;
+  n_machines : int;
+  n_threads : int;
+  total_ops : int;
+  cycles : int;
+  cycles_per_op : float;
+  stats : Fabric.Stats.t;
+}
+
+type config = {
+  kind : Objects.kind;
+  transform : Flit.Flit_intf.t;
+  n_machines : int;           (** the last machine hosts the object *)
+  threads_per_machine : int;
+  ops_per_thread : int;
+  read_ratio : float;
+  seed : int;
+  evict_prob : float;
+  cache_capacity : int;
+  model : Fabric.Latency.t;
+  topology : Fabric.Topology.t option;
+  sync_every : int;
+      (** if > 0, workers call {!Flit.Buffered.sync} every [n] ops *)
+}
+
+val default_config : Objects.kind -> Flit.Flit_intf.t -> config
+(** 3 machines, 1 worker thread on each compute machine, 300 ops/thread,
+    50% reads, default latency model, single switch. *)
+
+val run : config -> point
+(** Object creation happens before the stats snapshot: the point
+    reports steady-state traffic only. *)
+
+val pp_point : point Fmt.t

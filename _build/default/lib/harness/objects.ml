@@ -1,0 +1,110 @@
+(** Uniform access to the transformed data structures.
+
+    Each object kind pairs a {!Dstruct} implementation (instantiated with
+    a transformation) with its {!Lincheck.Specs} sequential specification
+    and a random-operation generator, so the workload runner and the
+    benches can be generic over objects. *)
+
+type kind = Register | Counter | Stack | Queue | Set | Map | Log
+
+let all_kinds = [ Register; Counter; Stack; Queue; Set; Map; Log ]
+
+let kind_name = function
+  | Register -> "register"
+  | Counter -> "counter"
+  | Stack -> "stack"
+  | Queue -> "queue"
+  | Set -> "set"
+  | Map -> "map"
+  | Log -> "log"
+
+let spec : kind -> Lincheck.Spec.t = function
+  | Register -> Lincheck.Specs.register
+  | Counter -> Lincheck.Specs.counter
+  | Stack -> Lincheck.Specs.stack
+  | Queue -> Lincheck.Specs.queue
+  | Set -> Lincheck.Specs.set
+  | Map -> Lincheck.Specs.map
+  | Log -> Lincheck.Specs.log
+
+type instance = {
+  dispatch : Runtime.Sched.ctx -> string -> int list -> int;
+}
+
+(** [create kind transform ctx ~home ~pflag] — instantiate the object on
+    machine [home]'s memory.  Must run inside a scheduled thread (object
+    creation performs initialising stores). *)
+let create (kind : kind) (transform : Flit.Flit_intf.t) ctx ~home ~pflag :
+    instance =
+  let module F = (val transform : Flit.Flit_intf.S) in
+  match kind with
+  | Register ->
+      let module O = Dstruct.Dreg.Make (F) in
+      let t = O.create ctx ~pflag ~home () in
+      { dispatch = O.dispatch t }
+  | Counter ->
+      let module O = Dstruct.Dcounter.Make (F) in
+      let t = O.create ctx ~pflag ~home () in
+      { dispatch = O.dispatch t }
+  | Stack ->
+      let module O = Dstruct.Tstack.Make (F) in
+      let t = O.create ctx ~pflag ~home () in
+      { dispatch = O.dispatch t }
+  | Queue ->
+      let module O = Dstruct.Msqueue.Make (F) in
+      let t = O.create ctx ~pflag ~home () in
+      { dispatch = O.dispatch t }
+  | Set ->
+      let module O = Dstruct.Listset.Make (F) in
+      let t = O.create ctx ~pflag ~home () in
+      { dispatch = O.dispatch t }
+  | Map ->
+      let module O = Dstruct.Hmap.Make (F) in
+      let t = O.create ctx ~pflag ~home () in
+      { dispatch = O.dispatch t }
+  | Log ->
+      let module O = Dstruct.Dlog.Make (F) in
+      let t = O.create ctx ~pflag ~home () in
+      { dispatch = O.dispatch t }
+
+(** [random_op kind rng] — a random operation with small argument ranges
+    (contention is the point: distinct threads must collide on keys). *)
+let random_op (kind : kind) rng : string * int list =
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let v () = 1 + Random.State.int rng 3 in
+  let k () = 1 + Random.State.int rng 3 in
+  match kind with
+  | Register -> pick [ ("write", [ v () ]); ("read", []) ]
+  | Counter -> pick [ ("inc", []); ("get", []) ]
+  | Stack -> pick [ ("push", [ v () ]); ("pop", []) ]
+  | Queue -> pick [ ("enq", [ v () ]); ("deq", []) ]
+  | Set ->
+      pick [ ("add", [ k () ]); ("remove", [ k () ]); ("contains", [ k () ]) ]
+  | Map -> pick [ ("put", [ k (); v () ]); ("get", [ k () ]); ("del", [ k () ]) ]
+  | Log ->
+      pick
+        [ ("append", [ v () ]); ("read", [ Random.State.int rng 5 ]); ("size", []) ]
+
+(** A read-ratio-controlled generator for benches: [read_ratio] in [0,1]. *)
+let ratio_op (kind : kind) rng ~read_ratio : string * int list =
+  let v () = 1 + Random.State.int rng 64 in
+  let k () = 1 + Random.State.int rng 16 in
+  let read = Random.State.float rng 1.0 < read_ratio in
+  match kind with
+  | Register -> if read then ("read", []) else ("write", [ v () ])
+  | Counter -> if read then ("get", []) else ("inc", [])
+  | Stack -> if read then ("pop", []) else ("push", [ v () ])
+  | Queue -> if read then ("deq", []) else ("enq", [ v () ])
+  | Set ->
+      if read then ("contains", [ k () ])
+      else if Random.State.bool rng then ("add", [ k () ])
+      else ("remove", [ k () ])
+  | Map ->
+      if read then ("get", [ k () ])
+      else if Random.State.bool rng then ("put", [ k (); v () ])
+      else ("del", [ k () ])
+  | Log ->
+      if read then
+        if Random.State.bool rng then ("read", [ Random.State.int rng 32 ])
+        else ("size", [])
+      else ("append", [ v () ])

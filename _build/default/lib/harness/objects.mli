@@ -1,0 +1,26 @@
+(** Uniform access to the transformed objects: each kind pairs a
+    {!Dstruct} implementation with its sequential specification and
+    random-operation generators, so the workload runner and the benches
+    are generic over objects. *)
+
+type kind = Register | Counter | Stack | Queue | Set | Map | Log
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val spec : kind -> Lincheck.Spec.t
+
+type instance = {
+  dispatch : Runtime.Sched.ctx -> string -> int list -> int;
+}
+
+val create :
+  kind -> Flit.Flit_intf.t -> Runtime.Sched.ctx -> home:int -> pflag:bool ->
+  instance
+(** Instantiate the object on machine [home]'s memory; must run inside a
+    scheduled thread (creation performs initialising stores). *)
+
+val random_op : kind -> Random.State.t -> string * int list
+(** Small argument ranges — contention is the point. *)
+
+val ratio_op : kind -> Random.State.t -> read_ratio:float -> string * int list
+(** Read-ratio-controlled generator for benches; [read_ratio] in [0,1]. *)

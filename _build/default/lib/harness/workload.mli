@@ -1,0 +1,48 @@
+(** Concurrent workload runner with crash injection and history
+    recording (experiments E6/E7): build a fabric, create one transformed
+    object, run recorded random operations from worker threads, crash and
+    restart machines per plan (killed threads leave pending invocations),
+    spawn recovery workers, and hand the history to the durability
+    checker.  Fully deterministic in [seed]. *)
+
+type crash_spec = {
+  at : int;            (** scheduler step of the crash *)
+  machine : int;
+  restart_at : int;    (** recovery step (clamped to [>= at]) *)
+  recovery_threads : int;
+  recovery_ops : int;
+}
+
+type config = {
+  kind : Objects.kind;
+  transform : Flit.Flit_intf.t;
+  n_machines : int;
+  home : int;                 (** machine hosting the object's memory *)
+  volatile_home : bool;
+  worker_machines : int list; (** machine of each initial worker *)
+  ops_per_thread : int;
+  crashes : crash_spec list;
+  seed : int;
+  evict_prob : float;
+  cache_capacity : int;
+  pflag : bool;
+}
+
+val default_config : Objects.kind -> Flit.Flit_intf.t -> config
+(** 3 machines, object on machine 2, workers on 0/1, 3 ops each, no
+    crashes, seed 1. *)
+
+type result = {
+  history : Lincheck.History.t;
+  stats : Fabric.Stats.t;
+}
+
+val corrupt : int
+(** Result recorded when an operation raised on structurally corrupted
+    state (possible under the broken control transformation) — an
+    impossible value, so the checker flags the history. *)
+
+val run : config -> result
+
+val check : config -> Lincheck.Durable.verdict
+(** Run and decide durable linearizability. *)

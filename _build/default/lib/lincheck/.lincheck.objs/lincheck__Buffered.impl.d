@@ -1,0 +1,1 @@
+lib/lincheck/buffered.ml: Array Check Fmt Fun History List

@@ -1,0 +1,1 @@
+lib/lincheck/buffered.mli: Fmt History Spec

@@ -1,0 +1,1 @@
+lib/lincheck/check.ml: Array Fmt Hashtbl History List Option Spec

@@ -1,0 +1,1 @@
+lib/lincheck/check.mli: Fmt History Spec

@@ -1,0 +1,1 @@
+lib/lincheck/durable.ml: Check Fmt History

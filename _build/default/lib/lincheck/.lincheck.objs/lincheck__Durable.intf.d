@@ -1,0 +1,1 @@
+lib/lincheck/durable.mli: Check Fmt History Spec

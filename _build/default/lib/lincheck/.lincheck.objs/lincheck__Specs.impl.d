@@ -1,0 +1,1 @@
+lib/lincheck/specs.ml: Hashtbl Int List Spec

@@ -1,0 +1,49 @@
+(** Durable linearizability (§4.2, after Izraelevitz et al.).
+
+    A history is durably linearizable iff it is well formed and its
+    crash-free projection is linearizable.  Following the paper's
+    Remark 1, the happens-before order needs no crash-aware redefinition:
+    we simply check the operations of the original history (crash events
+    produce no operations, and removing them does not reorder anything)
+    with the standard checker.
+
+    Threads killed by a crash leave pending invocations, which the
+    checker may complete or omit — so e.g. a push whose thread died
+    mid-operation may legitimately either have taken effect or not, but a
+    *completed* operation's effect must be explained by every later
+    observation, across crashes. *)
+
+type verdict = {
+  durable : bool;
+  history : History.t;
+  crash_events : int;
+  outcome : Check.outcome;
+}
+
+(** [check spec h] — decide durable linearizability of [h]. *)
+let check spec (h : History.t) : verdict =
+  if not (History.well_formed h) then
+    {
+      durable = false;
+      history = h;
+      crash_events = History.crash_count h;
+      outcome = { Check.ok = false; witness = []; explored = 0 };
+    }
+  else
+    let outcome = Check.linearizable spec (History.ops h) in
+    {
+      durable = outcome.Check.ok;
+      history = h;
+      crash_events = History.crash_count h;
+      outcome;
+    }
+
+let pp_verdict ppf v =
+  if v.durable then
+    Fmt.pf ppf "durably linearizable (%d crash(es), %d nodes explored)"
+      v.crash_events v.outcome.Check.explored
+  else
+    Fmt.pf ppf
+      "@[<v>NOT durably linearizable (%d crash(es), %d nodes explored)@,\
+       history:@,%a@]"
+      v.crash_events v.outcome.Check.explored History.pp v.history

@@ -1,0 +1,14 @@
+(** Durable linearizability (§4.2): well-formed, and linearizable after
+    removing crash events.  Threads killed by a crash leave pending
+    invocations, which the checker may complete or omit. *)
+
+type verdict = {
+  durable : bool;
+  history : History.t;
+  crash_events : int;
+  outcome : Check.outcome;
+}
+
+val check : Spec.t -> History.t -> verdict
+
+val pp_verdict : verdict Fmt.t

@@ -1,0 +1,42 @@
+(** Concurrent histories with crash events (§4.2).
+
+    The cooperative scheduler interleaves threads into one total order,
+    so real-time order is event index.  Well-formedness follows
+    Izraelevitz et al.: per-thread alternation of invocations and
+    matching responses, possibly ending pending. *)
+
+type event =
+  | Inv of { tid : int; op : string; args : int list }
+  | Res of { tid : int; ret : int }
+  | Crash of { machine : int }
+
+val pp_event : event Fmt.t
+
+type t = event list
+(** In real-time order. *)
+
+val pp : t Fmt.t
+
+type op = {
+  id : int;             (** index among extracted ops (stable) *)
+  tid : int;
+  name : string;
+  args : int list;
+  ret : int option;     (** [None] = pending (no response recorded) *)
+  inv_at : int;         (** event index of the invocation *)
+  res_at : int option;  (** event index of the response *)
+}
+(** A completed or pending high-level operation. *)
+
+val pp_op : op Fmt.t
+
+val well_formed : t -> bool
+
+val ops : t -> op list
+(** The history's operations, pending included, in invocation order.
+    Raises [Invalid_argument] on ill-formed histories.  Crash events
+    produce no operations, so checking these ops is checking the
+    crash-free projection. *)
+
+val strip_crashes : t -> t
+val crash_count : t -> int

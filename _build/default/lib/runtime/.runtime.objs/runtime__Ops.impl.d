@@ -1,0 +1,1 @@
+lib/runtime/ops.ml: Cxl0 Fabric Sched

@@ -1,0 +1,1 @@
+lib/runtime/ops.mli: Cxl0 Fabric Sched

@@ -1,0 +1,1 @@
+lib/runtime/rootdir.ml: Char Cxl0 Fabric List Ops Sched String

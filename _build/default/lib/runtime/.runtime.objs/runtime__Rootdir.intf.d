@@ -1,0 +1,1 @@
+lib/runtime/rootdir.mli: Fabric Sched

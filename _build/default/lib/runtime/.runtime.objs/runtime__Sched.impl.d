@@ -1,0 +1,1 @@
+lib/runtime/sched.ml: Effect Fabric List Printf Random

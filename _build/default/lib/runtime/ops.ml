@@ -1,0 +1,76 @@
+(** Thread-level CXL0 primitives.
+
+    These are the high-level load/store/flush primitives the paper assumes
+    a language binding would expose (§3.5: "a mapping from CXL
+    transactions to higher-level languages will be available").  Each
+    primitive executes atomically on the fabric and then yields, creating
+    a scheduling point between any two primitives — matching the paper's
+    in-order, one-instruction-at-a-time presentation. *)
+
+type loc = Fabric.loc
+
+let yield = Sched.yield
+
+(** [load ctx x] — coherent load (the model's single [Load]). *)
+let load (ctx : Sched.ctx) x =
+  let v = Fabric.load ctx.fab ctx.machine x in
+  yield ctx;
+  v
+
+(** [lstore ctx x v] — LStore: complete once in the local cache. *)
+let lstore (ctx : Sched.ctx) x v =
+  Fabric.lstore ctx.fab ctx.machine x v;
+  yield ctx
+
+(** [rstore ctx x v] — RStore: complete once at the owner's cache. *)
+let rstore (ctx : Sched.ctx) x v =
+  Fabric.rstore ctx.fab ctx.machine x v;
+  yield ctx
+
+(** [mstore ctx x v] — MStore: complete once in the owner's physical
+    memory. *)
+let mstore (ctx : Sched.ctx) x v =
+  Fabric.mstore ctx.fab ctx.machine x v;
+  yield ctx
+
+(** [lflush ctx x] — LFlush: write the line back one hierarchy level. *)
+let lflush (ctx : Sched.ctx) x =
+  Fabric.lflush ctx.fab ctx.machine x;
+  yield ctx
+
+(** [rflush ctx x] — RFlush: force the line into the owner's physical
+    memory. *)
+let rflush (ctx : Sched.ctx) x =
+  Fabric.rflush ctx.fab ctx.machine x;
+  yield ctx
+
+(** [store ctx kind x v] — store with dynamic strength. *)
+let store ctx (kind : Cxl0.Label.store_kind) x v =
+  match kind with
+  | L -> lstore ctx x v
+  | R -> rstore ctx x v
+  | M -> mstore ctx x v
+
+(** [flush ctx kind x] — flush with dynamic strength. *)
+let flush ctx (kind : Cxl0.Label.flush_kind) x =
+  match kind with LF -> lflush ctx x | RF -> rflush ctx x
+
+(** [faa ctx x d] — atomic fetch-and-add; returns the previous value. *)
+let faa (ctx : Sched.ctx) x d =
+  let old = Fabric.faa ctx.fab ctx.machine x d in
+  yield ctx;
+  old
+
+(** [cas ctx x ~expected ~desired ~kind] — atomic compare-and-swap whose
+    successful store has strength [kind]. *)
+let cas (ctx : Sched.ctx) x ~expected ~desired ~kind =
+  let ok = Fabric.cas ctx.fab ctx.machine x ~expected ~desired ~kind in
+  yield ctx;
+  ok
+
+(** [alloc ctx ~owner] — allocate a fresh zero-initialised location on
+    machine [owner]. *)
+let alloc (ctx : Sched.ctx) ~owner = Fabric.alloc ctx.fab ~owner
+
+(** [alloc_local ctx] — allocate on the calling thread's machine. *)
+let alloc_local (ctx : Sched.ctx) = Fabric.alloc ctx.fab ~owner:ctx.machine

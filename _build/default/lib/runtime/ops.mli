@@ -1,0 +1,32 @@
+(** Thread-level CXL0 primitives — the high-level load/store/flush
+    binding the paper assumes (§3.5).  Each primitive executes atomically
+    on the fabric and then yields, so any two primitives of different
+    threads can interleave. *)
+
+type loc = Fabric.loc
+
+val yield : Sched.ctx -> unit
+
+val load : Sched.ctx -> loc -> int
+(** The model's single coherent [Load]. *)
+
+val lstore : Sched.ctx -> loc -> int -> unit
+val rstore : Sched.ctx -> loc -> int -> unit
+val mstore : Sched.ctx -> loc -> int -> unit
+
+val lflush : Sched.ctx -> loc -> unit
+val rflush : Sched.ctx -> loc -> unit
+
+val store : Sched.ctx -> Cxl0.Label.store_kind -> loc -> int -> unit
+val flush : Sched.ctx -> Cxl0.Label.flush_kind -> loc -> unit
+
+val faa : Sched.ctx -> loc -> int -> int
+(** Atomic fetch-and-add; returns the previous value. *)
+
+val cas :
+  Sched.ctx -> loc -> expected:int -> desired:int ->
+  kind:Cxl0.Label.store_kind -> bool
+(** Atomic compare-and-swap; a successful store has strength [kind]. *)
+
+val alloc : Sched.ctx -> owner:int -> loc
+val alloc_local : Sched.ctx -> loc

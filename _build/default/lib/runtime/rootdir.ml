@@ -1,0 +1,109 @@
+(** Persistent root directory: name → root-location registry.
+
+    Recovery code must be able to *find* its data structures after a
+    crash; OCaml-side references do not survive the failure model, so
+    real recovery needs a registry at a well-known place in (persistent)
+    fabric memory.  This is the standard root-object idiom of persistent
+    memory programming, built from CXL0 primitives:
+
+    - a fixed array of slots, each two locations: [key] (a positive name
+      hash; 0 = free) and [value] (the registered root location, encoded
+      +1 so 0 means unset);
+    - all writes are MStores and slot claiming is an MStore-strength CAS,
+      so the registry itself is crash-consistent by construction
+      (registration is durable once {!register} returns);
+    - the bootstrap convention: the directory occupies the *first*
+      locations allocated on its home machine, so {!attach} can find it
+      with no prior knowledge.
+
+    Name hashes are not disambiguated (the registry stores hashes, not
+    strings); use distinct names.  Re-registering a name overwrites its
+    root — the idiom for replacing a structure during recovery. *)
+
+type t = {
+  base : Fabric.loc;  (** slot 0's key location *)
+  slots : int;
+  home : int;
+}
+
+let key_of t i = t.base + (2 * i)
+let value_of t i = t.base + (2 * i) + 1
+
+(* FNV-1a, folded to a positive non-zero int *)
+let hash_name name =
+  (* FNV-1a offset basis, truncated to OCaml's 63-bit int range *)
+  let h = ref 0x4bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := (!h lxor Char.code c) * 0x100000001b3)
+    name;
+  let v = !h land max_int in
+  if v = 0 then 1 else v
+
+(** [create ctx ~home ~slots ()] — allocate and zero the directory on
+    [home].  Must be the first allocation on that machine if {!attach}
+    is to find it (asserted). *)
+let create (ctx : Sched.ctx) ?(slots = 16) ~home () =
+  let locs = Fabric.alloc_n ctx.fab ~owner:home (2 * slots) in
+  let base = List.hd locs in
+  assert (Cxl0.Loc.off (Fabric.to_loc ctx.fab base) = 0);
+  { base; slots; home }
+
+(** [attach fab ~home ~slots] — reconstruct the directory handle after a
+    crash, relying on the bootstrap convention. *)
+let attach fab ?(slots = 16) ~home () =
+  let rec find x =
+    if x >= Fabric.n_locs fab then
+      invalid_arg "Rootdir.attach: no directory on that machine"
+    else
+      let l = Fabric.to_loc fab x in
+      if Cxl0.Loc.owner l = home && Cxl0.Loc.off l = 0 then x else find (x + 1)
+  in
+  { base = find 0; slots; home }
+
+(** [register t ctx ~name root] — durably bind [name] to [root].
+    Returns [false] when the directory is full. *)
+let register t (ctx : Sched.ctx) ~name root =
+  let h = hash_name name in
+  let rec go i =
+    if i >= t.slots then false
+    else
+      let k = Ops.load ctx (key_of t i) in
+      if k = h then begin
+        (* overwrite (recovery re-registration) *)
+        Ops.mstore ctx (value_of t i) (root + 1);
+        true
+      end
+      else if k = 0 then
+        if
+          Ops.cas ctx (key_of t i) ~expected:0 ~desired:h ~kind:Cxl0.Label.M
+        then begin
+          Ops.mstore ctx (value_of t i) (root + 1);
+          true
+        end
+        else go i (* lost the race for this slot: re-inspect it *)
+      else go (i + 1)
+  in
+  go 0
+
+(** [lookup t ctx ~name] — the registered root location, if any.  A slot
+    whose key is claimed but whose value has not yet been written (a
+    registration in flight or cut down by a crash) reads as absent. *)
+let lookup t (ctx : Sched.ctx) ~name =
+  let h = hash_name name in
+  let rec go i =
+    if i >= t.slots then None
+    else if Ops.load ctx (key_of t i) = h then
+      let v = Ops.load ctx (value_of t i) in
+      if v = 0 then None else Some (v - 1)
+    else go (i + 1)
+  in
+  go 0
+
+(** [names_used t ctx] — number of claimed slots (diagnostics). *)
+let names_used t (ctx : Sched.ctx) =
+  let n = ref 0 in
+  for i = 0 to t.slots - 1 do
+    if Ops.load ctx (key_of t i) <> 0 then incr n
+  done;
+  !n

@@ -1,0 +1,175 @@
+(** Cooperative scheduler for programs on the simulated fabric.
+
+    Threads are OCaml 5 effect-handler fibres.  Every memory primitive
+    ({!Ops}) yields to the scheduler, which:
+
+    - picks the next runnable thread pseudo-randomly (seeded, so every
+      interleaving is reproducible);
+    - may trigger a spontaneous cache eviction ({!Fabric.maybe_evict}) —
+      the runtime counterpart of the formal model's τ-steps;
+    - executes any crash-plan actions that are due.
+
+    Crashing machine [i] wipes its fabric state and *kills* every thread
+    running on it: their fibres are dropped and never resumed, leaving any
+    in-flight high-level operation pending — exactly the paper's failure
+    model (§3.1: "the local state of any thread or process currently
+    executing on it is lost", §4.2: replacement processes get fresh
+    identifiers).  Recovery code (spawning replacement threads) is
+    expressed as a crash-plan callback. *)
+
+type ctx = {
+  sched : t;
+  fab : Fabric.t;
+  machine : int;  (** machine this thread runs on *)
+  tid : int;      (** globally unique thread id (never reused) *)
+}
+
+and status = Done | Suspended of (unit, status) Effect.Deep.continuation
+
+and task = {
+  task_tid : int;
+  task_machine : int;
+  name : string;
+  mutable resume : (unit -> status) option;
+      (** [None] once finished or killed *)
+}
+
+and action =
+  | Crash of int  (** crash machine [i] (fabric wipe + thread kill) *)
+  | Call of (t -> unit)  (** arbitrary hook, e.g. recovery spawning *)
+
+and t = {
+  fabric : Fabric.t;
+  mutable tasks : task list;  (** in spawn order; dead tasks pruned *)
+  mutable next_tid : int;
+  mutable step : int;         (** scheduling decisions taken so far *)
+  mutable plan : (int * action) list;  (** sorted by step *)
+  rng : Random.State.t;
+  mutable crashed : int list; (** machines currently down *)
+}
+
+type _ Effect.t += Yield : unit Effect.t
+
+let create ?(seed = 42) fabric =
+  {
+    fabric;
+    tasks = [];
+    next_tid = 0;
+    step = 0;
+    plan = [];
+    rng = Random.State.make [| seed |];
+    crashed = [];
+  }
+
+let fabric t = t.fabric
+
+(** [at_step t n action] schedules [action] to run when the scheduler has
+    taken [n] scheduling decisions.  Actions at the same step run in
+    registration order. *)
+let at_step t n action = t.plan <- t.plan @ [ (n, action) ]
+
+let machine_is_up t i = not (List.mem i t.crashed)
+
+(** [restart t i] marks a crashed machine as recovered, allowing new
+    threads to be spawned on it.  Its fabric state was already wiped at
+    crash time; non-volatile memory contents survived. *)
+let restart t i = t.crashed <- List.filter (fun j -> j <> i) t.crashed
+
+(* Wrap a thread body as an effect-handled fibre. *)
+let fiber (body : unit -> unit) : unit -> status =
+ fun () ->
+  Effect.Deep.match_with body ()
+    {
+      retc = (fun () -> Done);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, status) Effect.Deep.continuation) ->
+                  Suspended k)
+          | _ -> None);
+    }
+
+(** [spawn t ~machine ~name body] creates a thread on [machine]; it will
+    start running at some future scheduling decision.  Raises if the
+    machine is currently crashed. *)
+let spawn t ~machine ~name (body : ctx -> unit) =
+  if machine < 0 || machine >= Fabric.n_machines t.fabric then
+    invalid_arg "Sched.spawn: bad machine";
+  if not (machine_is_up t machine) then
+    invalid_arg
+      (Printf.sprintf "Sched.spawn: machine %d is crashed" machine);
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let ctx = { sched = t; fab = t.fabric; machine; tid } in
+  let task =
+    { task_tid = tid; task_machine = machine; name; resume = None }
+  in
+  task.resume <- Some (fiber (fun () -> body ctx));
+  t.tasks <- t.tasks @ [ task ];
+  tid
+
+(** [yield ctx] — a scheduling point; every {!Ops} primitive calls this. *)
+let yield _ctx = Effect.perform Yield
+
+(** [crash_now t i] — immediately crash machine [i]: wipe its fabric
+    state and kill its threads (their fibres are dropped). *)
+let crash_now t i =
+  Fabric.crash t.fabric i;
+  t.crashed <- i :: List.filter (fun j -> j <> i) t.crashed;
+  List.iter
+    (fun task -> if task.task_machine = i then task.resume <- None)
+    t.tasks;
+  t.tasks <- List.filter (fun task -> task.task_machine <> i) t.tasks
+
+let run_action t = function
+  | Crash i -> crash_now t i
+  | Call f -> f t
+
+(* Run every plan action due at or before the current step. *)
+let run_due_actions t =
+  let due, rest = List.partition (fun (n, _) -> n <= t.step) t.plan in
+  t.plan <- rest;
+  List.iter (fun (_, a) -> run_action t a) due
+
+(** [run t] — schedule until no runnable threads remain and no plan
+    actions are pending.  Returns the number of scheduling decisions
+    taken. *)
+let run t =
+  let rec loop () =
+    run_due_actions t;
+    t.tasks <- List.filter (fun task -> task.resume <> None) t.tasks;
+    match t.tasks with
+    | [] ->
+        if t.plan = [] then t.step
+        else begin
+          (* idle until the next planned action *)
+          let next = List.fold_left (fun acc (n, _) -> min acc n) max_int t.plan in
+          t.step <- max t.step next;
+          loop ()
+        end
+    | tasks ->
+        t.step <- t.step + 1;
+        Fabric.maybe_evict t.fabric;
+        let n = List.length tasks in
+        let chosen = List.nth tasks (Random.State.int t.rng n) in
+        (match chosen.resume with
+        | None -> ()
+        | Some resume ->
+            chosen.resume <- None;
+            (match resume () with
+            | Done -> ()
+            | Suspended k ->
+                (* The task's machine may have crashed while it ran (a
+                   thread can call {!crash_now} directly); if so the task
+                   was already removed — drop the continuation. *)
+                if machine_is_up t chosen.task_machine then
+                  chosen.resume <- Some (fun () -> Effect.Deep.continue k ())));
+        loop ()
+  in
+  loop ()
+
+(** [alive t] — number of runnable threads. *)
+let alive t = List.length t.tasks

@@ -1,0 +1,56 @@
+(** Cooperative scheduler for programs on the simulated fabric.
+
+    Threads are OCaml 5 effect-handler fibres; every {!Ops} primitive
+    yields, so the (seeded, reproducible) scheduler chooses an
+    interleaving at primitive granularity and may trigger spontaneous
+    evictions between steps.  Crashing a machine wipes its fabric state
+    and kills its threads mid-operation — the paper's failure model;
+    recovery code is expressed as crash-plan callbacks. *)
+
+type ctx = private {
+  sched : t;
+  fab : Fabric.t;
+  machine : int;  (** machine this thread runs on *)
+  tid : int;      (** globally unique thread id (never reused) *)
+}
+
+and status
+
+and action =
+  | Crash of int          (** crash machine [i] *)
+  | Call of (t -> unit)   (** arbitrary hook, e.g. recovery spawning *)
+
+and t
+
+val create : ?seed:int -> Fabric.t -> t
+
+val fabric : t -> Fabric.t
+
+val at_step : t -> int -> action -> unit
+(** Schedule an action for when the scheduler has taken [n] decisions;
+    same-step actions run in registration order.  Actions due beyond the
+    last runnable step still fire. *)
+
+val machine_is_up : t -> int -> bool
+
+val restart : t -> int -> unit
+(** Mark a crashed machine recovered (its non-volatile memory contents
+    survived; everything else was wiped at crash time). *)
+
+val spawn : t -> machine:int -> name:string -> (ctx -> unit) -> int
+(** Create a thread; it starts at some future scheduling decision.
+    Returns its tid.  Raises if the machine is currently crashed. *)
+
+val yield : ctx -> unit
+(** A scheduling point; every memory primitive calls this. *)
+
+val crash_now : t -> int -> unit
+(** Immediately crash the machine: wipe fabric state, kill its threads
+    (their fibres are dropped, leaving in-flight operations pending). *)
+
+val run : t -> int
+(** Schedule until no runnable threads remain and no plan actions are
+    pending; returns the number of scheduling decisions taken. *)
+
+val alive : t -> int
+(** Number of runnable threads. *)

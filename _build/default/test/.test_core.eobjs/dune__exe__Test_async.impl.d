@@ -1,0 +1,1 @@
+test/test_async.ml: Alcotest Async_flush Cxl0 Label Loc Machine

@@ -1,0 +1,1 @@
+test/test_buffered.ml: Alcotest Dstruct Fabric Flit Fun Harness Lincheck List Runtime

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Config Cxl0 Label List Loc Machine Option QCheck QCheck_alcotest Semantics Trace

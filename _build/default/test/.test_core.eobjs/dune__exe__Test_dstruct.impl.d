@@ -1,0 +1,1 @@
+test/test_dstruct.ml: Alcotest Dstruct Fabric Flit Fmt Fun Harness Lincheck List QCheck QCheck_alcotest Random Runtime

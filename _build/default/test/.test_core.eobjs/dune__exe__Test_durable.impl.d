@@ -1,0 +1,1 @@
+test/test_durable.ml: Alcotest Dstruct Fabric Flit Fmt Harness Lincheck List Runtime

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Config Cxl0 Explore Label List Loc Machine QCheck QCheck_alcotest Semantics Trace

@@ -1,0 +1,1 @@
+test/test_fabric.ml: Alcotest Cxl0 Fabric List Option QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_flit.ml: Alcotest Cxl0 Fabric Flit Hashtbl List Option Runtime

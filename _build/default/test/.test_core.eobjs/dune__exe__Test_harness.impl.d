@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Fabric Flit Fmt Harness Lincheck List QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest Check Dstruct Durable History Lincheck List Spec Specs

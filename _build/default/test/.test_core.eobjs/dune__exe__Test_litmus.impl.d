@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest Cxl0 Fmt Label List Litmus Loc Machine

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Cxl0 Fmt Label List Litmus Loc Parse QCheck QCheck_alcotest

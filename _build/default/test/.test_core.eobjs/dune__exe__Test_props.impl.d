@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Config Cxl0 Fmt Label List Loc Machine Props QCheck QCheck_alcotest Trace

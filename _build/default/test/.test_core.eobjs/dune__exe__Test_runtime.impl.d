@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Cxl0 Fabric List Option Printf Runtime

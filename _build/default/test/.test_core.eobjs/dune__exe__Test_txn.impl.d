@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Config Cxl0 Cxl_txn Explore Fmt Label List Loc Machine

@@ -1,0 +1,135 @@
+(* The §3.5 asynchronous-flush extension: FlushOpt records an obligation,
+   SFence blocks until all of the machine's obligations are discharged. *)
+
+open Cxl0
+
+let sys2 = Machine.uniform 2
+let x1 = Loc.v ~owner:0 0
+let x2 = Loc.v ~owner:1 0
+let y2 = Loc.v ~owner:1 1
+
+let base l = Async_flush.Base l
+let fopt k i x = Async_flush.Flush_opt (k, i, x)
+let sfence i = Async_flush.Sfence i
+
+let feasible = Async_flush.feasible
+
+let test_flushopt_always_enabled () =
+  (* a FlushOpt by itself never blocks, even with the line cached *)
+  Alcotest.(check bool) "flushopt enabled" true
+    (feasible sys2
+       [ base (Label.lstore 0 x2 1); fopt Label.RF 0 x2 ])
+
+let test_sfence_forces_persistence () =
+  (* store; flushopt; sfence; owner crash; load 0 — must be forbidden,
+     like the synchronous RFlush (fig4.5) *)
+  Alcotest.(check bool) "async rflush + fence persists" false
+    (feasible sys2
+       [
+         base (Label.lstore 0 x2 1);
+         fopt Label.RF 0 x2;
+         sfence 0;
+         base (Label.crash 1);
+         base (Label.load 0 x2 0);
+       ])
+
+let test_no_fence_no_guarantee () =
+  (* without the fence the obligation has not discharged: loss allowed *)
+  Alcotest.(check bool) "flushopt alone does not persist" true
+    (feasible sys2
+       [
+         base (Label.lstore 0 x2 1);
+         fopt Label.RF 0 x2;
+         base (Label.crash 1);
+         base (Label.load 0 x2 0);
+       ])
+
+let test_fence_batches_multiple () =
+  (* one fence discharges several pending obligations *)
+  Alcotest.(check bool) "batched persist" false
+    (feasible sys2
+       [
+         base (Label.lstore 0 x2 1);
+         base (Label.lstore 0 y2 2);
+         fopt Label.RF 0 x2;
+         fopt Label.RF 0 y2;
+         sfence 0;
+         base (Label.crash 1);
+         base (Label.load 0 x2 0);
+       ]);
+  Alcotest.(check bool) "second loc too" false
+    (feasible sys2
+       [
+         base (Label.lstore 0 x2 1);
+         base (Label.lstore 0 y2 2);
+         fopt Label.RF 0 x2;
+         fopt Label.RF 0 y2;
+         sfence 0;
+         base (Label.crash 1);
+         base (Label.load 0 y2 0);
+       ])
+
+let test_fence_empty_obligations () =
+  (* a fence with nothing pending passes trivially *)
+  Alcotest.(check bool) "empty fence" true
+    (feasible sys2 [ sfence 0; base (Label.load 0 x1 0) ])
+
+let test_lf_obligation_weaker () =
+  (* async LFlush + fence only reaches the remote cache: loss on owner
+     crash still allowed (cf. fig4.4) *)
+  Alcotest.(check bool) "async lflush insufficient" true
+    (feasible sys2
+       [
+         base (Label.lstore 0 x2 1);
+         fopt Label.LF 0 x2;
+         sfence 0;
+         base (Label.crash 1);
+         base (Label.load 0 x2 0);
+       ])
+
+let test_crash_drops_obligations () =
+  (* the issuer's crash clears its pending set; a post-recovery fence on
+     that machine must not block *)
+  Alcotest.(check bool) "post-crash fence unencumbered" true
+    (feasible sys2
+       [
+         base (Label.lstore 0 x2 1);
+         fopt Label.RF 0 x2;
+         base (Label.crash 0);
+         sfence 0;
+         base (Label.load 0 x2 0);
+       ])
+
+let test_per_machine_isolation () =
+  (* machine 2's fence does not discharge machine 1's obligations *)
+  Alcotest.(check bool) "fence is per machine" true
+    (feasible sys2
+       [
+         base (Label.lstore 0 x2 1);
+         fopt Label.RF 0 x2;
+         sfence 1;
+         base (Label.crash 1);
+         base (Label.load 0 x2 0);
+       ])
+
+let () =
+  Alcotest.run "cxl0-async-flush"
+    [
+      ( "async",
+        [
+          Alcotest.test_case "flushopt non-blocking" `Quick
+            test_flushopt_always_enabled;
+          Alcotest.test_case "fence forces persistence" `Quick
+            test_sfence_forces_persistence;
+          Alcotest.test_case "no fence no guarantee" `Quick
+            test_no_fence_no_guarantee;
+          Alcotest.test_case "fence batches" `Quick test_fence_batches_multiple;
+          Alcotest.test_case "empty fence" `Quick test_fence_empty_obligations;
+          Alcotest.test_case "LF obligation weaker" `Quick
+            test_lf_obligation_weaker;
+          Alcotest.test_case "crash drops obligations" `Quick
+            test_crash_drops_obligations;
+          Alcotest.test_case "per-machine isolation" `Quick
+            test_per_machine_isolation;
+        ] );
+    ]

@@ -1,0 +1,279 @@
+(* Buffered durable linearizability (§7 future work): the consistent-cut
+   checker on hand-crafted histories, and the buffered-sync
+   transformation end to end (experiment E11).
+
+   Empirical structure this suite pins down:
+   - buffered-DL is strictly weaker than DL (histories exist that are
+     buffered but not plain durable);
+   - the buffered-sync transformation IS buffered-durable on
+     single-location objects (per-location persistence follows coherence
+     order, so the recovered value is always a cut);
+   - it is NOT buffered-durable in general on multi-location objects
+     (cache replacement persists locations out of happens-before order)
+     — the precise reason the paper calls this model's buffered
+     durability an open problem;
+   - an explicit sync() upgrades everything before it to full
+     durability. *)
+
+module W = Harness.Workload
+module O = Harness.Objects
+module S = Runtime.Sched
+
+let inv tid op args = Lincheck.History.Inv { tid; op; args }
+let res tid ret = Lincheck.History.Res { tid; ret }
+let crash m = Lincheck.History.Crash { machine = m }
+
+let buffered spec h =
+  (Lincheck.Buffered.check spec h).Lincheck.Buffered.buffered_durable
+
+(* ------------------------------------------------------------------ *)
+(* Checker unit tests                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_dl_implies_buffered () =
+  (* a durably linearizable history needs no drops *)
+  let h =
+    [ inv 0 "write" [ 1 ]; res 0 0; crash 1; inv 0 "read" []; res 0 1 ]
+  in
+  let v = Lincheck.Buffered.check Lincheck.Specs.register h in
+  Alcotest.(check bool) "buffered" true v.Lincheck.Buffered.buffered_durable;
+  Alcotest.(check int) "empty drop set" 0 (List.length v.Lincheck.Buffered.dropped)
+
+let test_drop_lost_write () =
+  (* completed write lost across the crash: NOT durable, but buffered
+     (drop the write) *)
+  let h =
+    [ inv 0 "write" [ 1 ]; res 0 0; crash 1; inv 1 "read" []; res 1 0 ]
+  in
+  Alcotest.(check bool) "not plain durable" false
+    (Lincheck.Durable.check Lincheck.Specs.register h).Lincheck.Durable.durable;
+  let v = Lincheck.Buffered.check Lincheck.Specs.register h in
+  Alcotest.(check bool) "buffered" true v.Lincheck.Buffered.buffered_durable;
+  Alcotest.(check int) "exactly the write dropped" 1
+    (List.length v.Lincheck.Buffered.dropped)
+
+let test_drop_must_be_suffix () =
+  (* w(1); w(2); crash; read 1 — dropping only w(2) is a legal cut *)
+  let h =
+    [
+      inv 0 "write" [ 1 ]; res 0 0;
+      inv 0 "write" [ 2 ]; res 0 0;
+      crash 1;
+      inv 1 "read" []; res 1 1;
+    ]
+  in
+  Alcotest.(check bool) "suffix drop ok" true
+    (buffered Lincheck.Specs.register h)
+
+let test_cut_violation_rejected () =
+  (* put(1,5) hb put(2,6) on one thread; after the crash key 1 is gone
+     but key 2 survives: any cut dropping put(1,5) must drop put(2,6)
+     too, yet get(2)=6 requires it — no consistent cut exists *)
+  let h =
+    [
+      inv 0 "put" [ 1; 5 ]; res 0 0;
+      inv 0 "put" [ 2; 6 ]; res 0 0;
+      crash 1;
+      inv 1 "get" [ 1 ]; res 1 Lincheck.Spec.absent;
+      inv 1 "get" [ 2 ]; res 1 6;
+    ]
+  in
+  Alcotest.(check bool) "hole in the cut rejected" false
+    (buffered Lincheck.Specs.map h)
+
+let test_cut_violation_concurrent_ok () =
+  (* same shape but the two puts are CONCURRENT (no hb): dropping just
+     put(1,5) is now a legal cut *)
+  let h =
+    [
+      inv 0 "put" [ 1; 5 ];
+      inv 1 "put" [ 2; 6 ];
+      res 0 0;
+      res 1 0;
+      crash 1;
+      inv 2 "get" [ 1 ]; res 2 Lincheck.Spec.absent;
+      inv 2 "get" [ 2 ]; res 2 6;
+    ]
+  in
+  Alcotest.(check bool) "concurrent ops cut independently" true
+    (buffered Lincheck.Specs.map h)
+
+let test_post_crash_ops_not_droppable () =
+  (* an impossible post-crash result cannot be "dropped" away *)
+  let h = [ crash 1; inv 0 "read" []; res 0 7 ] in
+  Alcotest.(check bool) "post-crash garbage rejected" false
+    (buffered Lincheck.Specs.register h)
+
+let test_no_crash_equals_linearizability () =
+  (* without crashes there are no candidates: buffered = plain *)
+  let h = [ inv 0 "write" [ 1 ]; res 0 0; inv 0 "read" []; res 0 0 ] in
+  Alcotest.(check bool) "no crash, no drops" false
+    (buffered Lincheck.Specs.register h)
+
+let test_dropped_reads_allowed () =
+  (* reads that observed soon-lost state may be dropped as well:
+     w(1); r=1; crash; r=0 — drop {w(1), r=1} *)
+  let h =
+    [
+      inv 0 "write" [ 1 ]; res 0 0;
+      inv 0 "read" []; res 0 1;
+      crash 1;
+      inv 1 "read" []; res 1 0;
+    ]
+  in
+  Alcotest.(check bool) "observer dropped with its write" true
+    (buffered Lincheck.Specs.register h)
+
+let test_candidate_limit () =
+  let h =
+    List.concat_map
+      (fun i -> [ inv 0 "write" [ 1 + (i mod 3) ]; res 0 0 ])
+      (List.init 17 Fun.id)
+    @ [ crash 1 ]
+  in
+  Alcotest.check_raises "guard"
+    (Invalid_argument "Buffered.check: too many droppable operations")
+    (fun () -> ignore (Lincheck.Buffered.check Lincheck.Specs.register h))
+
+(* ------------------------------------------------------------------ *)
+(* The buffered-sync transformation, end to end                        *)
+(* ------------------------------------------------------------------ *)
+
+let home_crash seed : W.crash_spec =
+  {
+    W.at = 15 + (seed mod 13);
+    machine = 2;
+    restart_at = 22 + (seed mod 13);
+    recovery_threads = 1;
+    recovery_ops = 2;
+  }
+
+let run_buffered kind seed =
+  let c = W.default_config kind (module Flit.Buffered : Flit.Flit_intf.S) in
+  let c = { c with W.seed; crashes = [ home_crash seed ] } in
+  W.run c
+
+let test_single_loc_always_buffered () =
+  (* register and counter: buffered-DL on every seed *)
+  List.iter
+    (fun kind ->
+      for seed = 1 to 25 do
+        let r = run_buffered kind seed in
+        if not (buffered (O.spec kind) r.W.history) then
+          Alcotest.failf "%s seed %d: single-location object broke buffered-DL"
+            (O.kind_name kind) seed
+      done)
+    [ O.Register; O.Counter ]
+
+let test_strictly_weaker_than_dl () =
+  (* within the same seeds, plain DL must fail somewhere (otherwise the
+     buffered criterion would not be doing any work here) *)
+  let dl_failures = ref 0 in
+  for seed = 1 to 40 do
+    let r = run_buffered O.Register seed in
+    if
+      not
+        (Lincheck.Durable.check (O.spec O.Register) r.W.history)
+          .Lincheck.Durable.durable
+    then incr dl_failures
+  done;
+  Alcotest.(check bool) "plain DL fails for some seed" true (!dl_failures > 0)
+
+let test_multi_loc_violates_buffered () =
+  (* the queue persists its locations out of hb order under cache
+     replacement: some seed must violate even buffered-DL *)
+  let violations = ref 0 in
+  for seed = 1 to 25 do
+    let r = run_buffered O.Queue seed in
+    if not (buffered (O.spec O.Queue) r.W.history) then incr violations
+  done;
+  Alcotest.(check bool) "consistent-cut violation found" true (!violations > 0)
+
+let test_sync_upgrades_to_durable () =
+  (* write; sync; crash home; read — the synced value must survive *)
+  let fab = Fabric.uniform ~seed:3 ~evict_prob:0.1 2 in
+  let sched = S.create ~seed:3 fab in
+  let module R = Dstruct.Dreg.Make (Flit.Buffered) in
+  let reg = ref None in
+  ignore
+    (S.spawn sched ~machine:0 ~name:"writer" (fun ctx ->
+         let r = R.create ctx ~home:1 () in
+         reg := Some r;
+         R.write r ctx 42;
+         Alcotest.(check bool) "dirty before sync" true
+           (Flit.Buffered.dirty_count ctx.S.fab > 0);
+         Flit.Buffered.sync ctx;
+         Alcotest.(check int) "clean after sync" 0
+           (Flit.Buffered.dirty_count ctx.S.fab)));
+  ignore (S.run sched);
+  Fabric.crash fab 1;
+  let sched2 = S.create ~seed:4 fab in
+  ignore
+    (S.spawn sched2 ~machine:0 ~name:"reader" (fun ctx ->
+         match !reg with
+         | Some r -> Alcotest.(check int) "synced write survived" 42 (R.read r ctx)
+         | None -> ()));
+  ignore (S.run sched2);
+  Flit.Buffered.drop_fabric fab
+
+let test_unsynced_write_can_die () =
+  (* without the sync, the same scenario loses the write: force the
+     eviction path deterministically *)
+  let fab = Fabric.uniform ~seed:3 ~evict_prob:0.0 2 in
+  let sched = S.create ~seed:3 fab in
+  let module R = Dstruct.Dreg.Make (Flit.Buffered) in
+  let reg = ref None in
+  ignore
+    (S.spawn sched ~machine:0 ~name:"writer" (fun ctx ->
+         let r = R.create ctx ~home:1 () in
+         reg := Some r;
+         R.write r ctx 42));
+  ignore (S.run sched);
+  (match !reg with
+  | Some r -> Fabric.evict_loc fab 0 (R.root r) (* to the home's cache *)
+  | None -> ());
+  Fabric.crash fab 1;
+  let sched2 = S.create ~seed:4 fab in
+  ignore
+    (S.spawn sched2 ~machine:0 ~name:"reader" (fun ctx ->
+         match !reg with
+         | Some r ->
+             Alcotest.(check int) "unsynced write lost" 0 (R.read r ctx)
+         | None -> ()));
+  ignore (S.run sched2);
+  Flit.Buffered.drop_fabric fab
+
+let () =
+  Alcotest.run "buffered"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "DL implies buffered" `Quick
+            test_dl_implies_buffered;
+          Alcotest.test_case "drop lost write" `Quick test_drop_lost_write;
+          Alcotest.test_case "suffix drop" `Quick test_drop_must_be_suffix;
+          Alcotest.test_case "cut violation rejected" `Quick
+            test_cut_violation_rejected;
+          Alcotest.test_case "concurrent cut ok" `Quick
+            test_cut_violation_concurrent_ok;
+          Alcotest.test_case "post-crash not droppable" `Quick
+            test_post_crash_ops_not_droppable;
+          Alcotest.test_case "no crash = plain lin" `Quick
+            test_no_crash_equals_linearizability;
+          Alcotest.test_case "dropped reads" `Quick test_dropped_reads_allowed;
+          Alcotest.test_case "candidate limit" `Quick test_candidate_limit;
+        ] );
+      ( "transformation (E11)",
+        [
+          Alcotest.test_case "single-loc always buffered" `Slow
+            test_single_loc_always_buffered;
+          Alcotest.test_case "strictly weaker than DL" `Slow
+            test_strictly_weaker_than_dl;
+          Alcotest.test_case "multi-loc violates buffered" `Slow
+            test_multi_loc_violates_buffered;
+          Alcotest.test_case "sync upgrades to durable" `Quick
+            test_sync_upgrades_to_durable;
+          Alcotest.test_case "unsynced write can die" `Quick
+            test_unsynced_write_can_die;
+        ] );
+    ]

@@ -1,0 +1,479 @@
+(* Unit tests for the CXL0 vocabulary types and the Fig. 3 step rules:
+   Machine, Loc, Value, Label, Config, Semantics, Trace.  The reachable-
+   set machinery has its own suite (test_explore.ml). *)
+
+open Cxl0
+
+let sys2 = Machine.uniform 2
+let sys3 = Machine.uniform 3
+let sys2v = Machine.uniform ~persistence:Machine.Volatile 2
+
+let x1 = Loc.v ~owner:0 0
+let y1 = Loc.v ~owner:0 1
+let x2 = Loc.v ~owner:1 0
+
+let config = Alcotest.testable Config.pp Config.equal
+
+(* ------------------------------------------------------------------ *)
+(* Machine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_machine_uniform () =
+  Alcotest.(check int) "n machines" 3 (Machine.n_machines sys3);
+  Alcotest.(check string) "name" "M2" (Machine.name sys3 1);
+  Alcotest.(check bool) "nv by default" true (Machine.is_non_volatile sys3 0);
+  Alcotest.(check bool) "volatile system" true (Machine.is_volatile sys2v 1)
+
+let test_machine_ids () =
+  Alcotest.(check (list int)) "ids" [ 0; 1; 2 ] (Machine.ids sys3)
+
+let test_machine_mixed () =
+  let sys =
+    Machine.system
+      [|
+        Machine.make ~persistence:Machine.Volatile "compute";
+        Machine.make ~persistence:Machine.Non_volatile "memnode";
+      |]
+  in
+  Alcotest.(check bool) "m0 volatile" true (Machine.is_volatile sys 0);
+  Alcotest.(check bool) "m1 nv" false (Machine.is_volatile sys 1)
+
+(* ------------------------------------------------------------------ *)
+(* Loc                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_loc_basics () =
+  Alcotest.(check int) "owner" 1 (Loc.owner x2);
+  Alcotest.(check int) "off" 1 (Loc.off y1);
+  Alcotest.(check bool) "equal" true (Loc.equal x1 (Loc.v ~owner:0 0));
+  Alcotest.(check bool) "distinct" false (Loc.equal x1 y1);
+  Alcotest.(check bool) "ordered by owner first" true (Loc.compare x1 x2 < 0);
+  Alcotest.(check bool) "then by offset" true (Loc.compare x1 y1 < 0)
+
+let test_loc_pp () =
+  Alcotest.(check string) "paper notation" "x^2" (Loc.to_string x2);
+  Alcotest.(check string) "y on m1" "y^1" (Loc.to_string y1)
+
+let test_loc_invalid () =
+  Alcotest.check_raises "negative owner" (Invalid_argument "Loc.v: negative owner")
+    (fun () -> ignore (Loc.v ~owner:(-1) 0));
+  Alcotest.check_raises "negative offset"
+    (Invalid_argument "Loc.v: negative offset") (fun () ->
+      ignore (Loc.v ~owner:0 (-3)))
+
+(* ------------------------------------------------------------------ *)
+(* Label                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_label_classify () =
+  Alcotest.(check bool) "tau silent" true
+    (Label.is_silent (Label.Prop_cache_mem x1));
+  Alcotest.(check bool) "crash not silent" false
+    (Label.is_silent (Label.crash 0));
+  Alcotest.(check bool) "store is instruction" true
+    (Label.is_instruction (Label.lstore 0 x1 1));
+  Alcotest.(check bool) "crash not instruction" false
+    (Label.is_instruction (Label.crash 0))
+
+let test_label_accessors () =
+  Alcotest.(check (option int)) "machine of store" (Some 1)
+    (Label.machine (Label.rstore 1 x1 5));
+  Alcotest.(check (option int)) "machine of cache-mem tau" None
+    (Label.machine (Label.Prop_cache_mem x1));
+  Alcotest.(check bool) "loc of flush" true
+    (match Label.loc (Label.lflush 0 y1) with
+    | Some l -> Loc.equal l y1
+    | None -> false);
+  Alcotest.(check bool) "no loc of crash" true (Label.loc (Label.crash 1) = None)
+
+let test_label_pp () =
+  Alcotest.(check string) "store syntax" "LStore_1(x^1,1)"
+    (Label.to_string (Label.lstore 0 x1 1));
+  Alcotest.(check string) "flush syntax" "RFlush_2(x^2)"
+    (Label.to_string (Label.rflush 1 x2));
+  Alcotest.(check string) "crash syntax" "crash_2"
+    (Label.to_string (Label.crash 1))
+
+let test_label_equal () =
+  Alcotest.(check bool) "equal stores" true
+    (Label.equal (Label.mstore 0 x1 3) (Label.mstore 0 x1 3));
+  Alcotest.(check bool) "kind matters" false
+    (Label.equal (Label.mstore 0 x1 3) (Label.rstore 0 x1 3));
+  Alcotest.(check bool) "value matters" false
+    (Label.equal (Label.load 0 x1 3) (Label.load 0 x1 4))
+
+(* ------------------------------------------------------------------ *)
+(* Config                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_init () =
+  Alcotest.(check (option int)) "cache starts invalid" None
+    (Config.cache_get Config.init 0 x1);
+  Alcotest.(check int) "memory starts zero" 0 (Config.mem_get Config.init x1);
+  Alcotest.(check bool) "invariant" true (Config.invariant Config.init)
+
+let test_config_canonical_mem () =
+  (* writing zero must be indistinguishable from the initial state *)
+  let c = Config.mem_set (Config.mem_set Config.init x1 5) x1 0 in
+  Alcotest.check config "mem reset to 0 = init" Config.init c
+
+let test_config_cache_zero_not_bot () =
+  (* caching value 0 is different from not caching *)
+  let c = Config.cache_set Config.init 0 x1 0 in
+  Alcotest.(check bool) "cached zero distinct from init" false
+    (Config.equal c Config.init);
+  Alcotest.(check (option int)) "reads as Some 0" (Some 0)
+    (Config.cache_get c 0 x1)
+
+let test_config_invalidate () =
+  let c = Config.cache_set (Config.cache_set Config.init 0 x1 7) 1 x1 7 in
+  let c' = Config.cache_invalidate_others c 0 x1 in
+  Alcotest.(check (option int)) "kept own" (Some 7) (Config.cache_get c' 0 x1);
+  Alcotest.(check (option int)) "dropped other" None (Config.cache_get c' 1 x1);
+  let c'' = Config.cache_invalidate_all c x1 in
+  Alcotest.(check (list int)) "no holders" [] (Config.holders sys2 c'' x1)
+
+let test_config_invariant_violation () =
+  (* two caches with different values for the same loc *)
+  let bad = Config.cache_set (Config.cache_set Config.init 0 x1 1) 1 x1 2 in
+  Alcotest.(check bool) "invariant rejects" false (Config.invariant bad)
+
+let test_config_visible () =
+  let c = Config.mem_set Config.init x1 9 in
+  Alcotest.(check int) "visible from mem" 9 (Config.visible_value sys2 c x1);
+  let c = Config.cache_set c 1 x1 4 in
+  Alcotest.(check int) "cache shadows mem" 4 (Config.visible_value sys2 c x1)
+
+let test_config_wipe () =
+  let c =
+    Config.cache_set
+      (Config.cache_set (Config.mem_set Config.init x1 3) 0 x1 5)
+      1 x2 6
+  in
+  let c' = Config.wipe_cache c 0 in
+  Alcotest.(check (option int)) "m0 cache gone" None (Config.cache_get c' 0 x1);
+  Alcotest.(check (option int)) "m1 cache kept" (Some 6)
+    (Config.cache_get c' 1 x2);
+  Alcotest.(check int) "mem kept" 3 (Config.mem_get c' x1);
+  let c'' = Config.wipe_mem c' 0 in
+  Alcotest.(check int) "m0 mem zeroed" 0 (Config.mem_get c'' x1)
+
+let test_config_compare_hash () =
+  let a = Config.cache_set (Config.mem_set Config.init x1 1) 0 x2 2 in
+  let b = Config.cache_set (Config.mem_set Config.init x1 1) 0 x2 2 in
+  Alcotest.(check int) "compare equal" 0 (Config.compare a b);
+  Alcotest.(check int) "hash equal" (Config.hash a) (Config.hash b);
+  let c = Config.mem_set a x1 2 in
+  Alcotest.(check bool) "compare distinct" true (Config.compare a c <> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Semantics: store rules                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_lstore_local_cache () =
+  let c = Semantics.lstore sys2 Config.init 0 x2 5 in
+  Alcotest.(check (option int)) "in issuer cache" (Some 5)
+    (Config.cache_get c 0 x2);
+  Alcotest.(check (option int)) "not in owner cache" None
+    (Config.cache_get c 1 x2);
+  Alcotest.(check int) "not in mem" 0 (Config.mem_get c x2)
+
+let test_lstore_invalidates_others () =
+  let c = Config.cache_set Config.init 1 x1 9 in
+  let c = Semantics.lstore sys2 c 0 x1 5 in
+  Alcotest.(check (option int)) "other cache invalidated" None
+    (Config.cache_get c 1 x1);
+  Alcotest.(check bool) "invariant" true (Config.invariant c)
+
+let test_rstore_owner_cache () =
+  let c = Semantics.rstore sys2 Config.init 0 x2 5 in
+  Alcotest.(check (option int)) "in owner cache" (Some 5)
+    (Config.cache_get c 1 x2);
+  Alcotest.(check (option int)) "not in issuer cache" None
+    (Config.cache_get c 0 x2)
+
+let test_rstore_by_owner_is_lstore () =
+  let a = Semantics.rstore sys2 Config.init 1 x2 5 in
+  let b = Semantics.lstore sys2 Config.init 1 x2 5 in
+  Alcotest.check config "Prop1(2) pointwise" a b
+
+let test_mstore_memory () =
+  let c = Config.cache_set Config.init 0 x2 1 in
+  let c = Semantics.mstore sys2 c 0 x2 5 in
+  Alcotest.(check int) "in mem" 5 (Config.mem_get c x2);
+  Alcotest.(check (list int)) "no cache holds" []
+    (Config.holders sys2 c x2)
+
+(* ------------------------------------------------------------------ *)
+(* Semantics: load rule                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_load_from_cache_copies () =
+  let c = Semantics.lstore sys3 Config.init 0 x2 7 in
+  let v, c' = Semantics.load sys3 c 2 x2 in
+  Alcotest.(check int) "reads latest" 7 v;
+  Alcotest.(check (option int)) "copied into reader cache" (Some 7)
+    (Config.cache_get c' 2 x2);
+  Alcotest.(check (option int)) "source keeps it" (Some 7)
+    (Config.cache_get c' 0 x2);
+  Alcotest.(check bool) "invariant" true (Config.invariant c')
+
+let test_load_from_mem_no_copy () =
+  let c = Config.mem_set Config.init x2 3 in
+  let v, c' = Semantics.load sys2 c 0 x2 in
+  Alcotest.(check int) "reads mem" 3 v;
+  Alcotest.check config "no cache population" c c'
+
+let test_load_coherence () =
+  (* reads-see-last-write: cache value shadows older memory value *)
+  let c = Config.mem_set Config.init x1 1 in
+  let c = Semantics.lstore sys2 c 1 x1 2 in
+  let v, _ = Semantics.load sys2 c 0 x1 in
+  Alcotest.(check int) "sees cached (latest)" 2 v
+
+(* ------------------------------------------------------------------ *)
+(* Semantics: propagation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_prop_cache_cache () =
+  let c = Semantics.lstore sys2 Config.init 0 x2 5 in
+  match Semantics.prop_cache_cache sys2 c 0 x2 with
+  | None -> Alcotest.fail "cache-cache should be enabled"
+  | Some c' ->
+      Alcotest.(check (option int)) "moved to owner" (Some 5)
+        (Config.cache_get c' 1 x2);
+      Alcotest.(check (option int)) "gone from source" None
+        (Config.cache_get c' 0 x2)
+
+let test_prop_cache_cache_owner_disabled () =
+  let c = Semantics.lstore sys2 Config.init 1 x2 5 in
+  Alcotest.(check bool) "owner cannot propagate horizontally" true
+    (Semantics.prop_cache_cache sys2 c 1 x2 = None)
+
+let test_prop_cache_mem () =
+  let c = Semantics.rstore sys2 Config.init 0 x2 5 in
+  match Semantics.prop_cache_mem sys2 c x2 with
+  | None -> Alcotest.fail "cache-mem should be enabled"
+  | Some c' ->
+      Alcotest.(check int) "written back" 5 (Config.mem_get c' x2);
+      Alcotest.(check (list int)) "all caches dropped" []
+        (Config.holders sys2 c' x2)
+
+let test_prop_cache_mem_needs_owner_copy () =
+  (* value only in a non-owner cache: no vertical propagation *)
+  let c = Semantics.lstore sys2 Config.init 0 x2 5 in
+  Alcotest.(check bool) "disabled" true
+    (Semantics.prop_cache_mem sys2 c x2 = None)
+
+let test_taus_enumeration () =
+  let c = Semantics.lstore sys2 Config.init 0 x2 5 in
+  let c = Semantics.lstore sys2 c 0 x1 6 in
+  (* x2 in non-owner cache: 1 horizontal; x1 in owner cache: 1 vertical *)
+  Alcotest.(check int) "two taus" 2 (List.length (Semantics.taus sys2 c))
+
+(* ------------------------------------------------------------------ *)
+(* Semantics: flushes                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_lflush_precondition () =
+  let c = Semantics.lstore sys2 Config.init 0 x2 5 in
+  Alcotest.(check bool) "blocked while cached locally" false
+    (Semantics.lflush_enabled sys2 c 0 x2);
+  Alcotest.(check bool) "other machine not blocked" true
+    (Semantics.lflush_enabled sys2 c 1 x2);
+  let c' = Option.get (Semantics.prop_cache_cache sys2 c 0 x2) in
+  Alcotest.(check bool) "enabled after propagation" true
+    (Semantics.lflush_enabled sys2 c' 0 x2)
+
+let test_rflush_precondition () =
+  let c = Semantics.rstore sys2 Config.init 0 x2 5 in
+  Alcotest.(check bool) "blocked while any cache holds" false
+    (Semantics.rflush_enabled sys2 c 0 x2);
+  let c' = Option.get (Semantics.prop_cache_mem sys2 c x2) in
+  Alcotest.(check bool) "enabled once in memory" true
+    (Semantics.rflush_enabled sys2 c' 0 x2)
+
+(* ------------------------------------------------------------------ *)
+(* Semantics: crash                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_nv () =
+  let c = Config.mem_set (Semantics.lstore sys2 Config.init 1 x2 5) x2 3 in
+  let c' = Semantics.crash sys2 c 1 in
+  Alcotest.(check (option int)) "cache wiped" None (Config.cache_get c' 1 x2);
+  Alcotest.(check int) "nv mem survives" 3 (Config.mem_get c' x2)
+
+let test_crash_volatile () =
+  let c = Config.mem_set Config.init x2 3 in
+  let c' = Semantics.crash sys2v c 1 in
+  Alcotest.(check int) "volatile mem zeroed" 0 (Config.mem_get c' x2)
+
+let test_crash_leaves_others () =
+  let c = Semantics.lstore sys2 Config.init 0 x2 5 in
+  let c' = Semantics.crash sys2 c 1 in
+  Alcotest.(check (option int)) "other cache intact" (Some 5)
+    (Config.cache_get c' 0 x2)
+
+(* ------------------------------------------------------------------ *)
+(* Semantics: generic apply                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_apply_load_filter () =
+  let c = Semantics.lstore sys2 Config.init 0 x1 5 in
+  Alcotest.(check bool) "matching load enabled" true
+    (Semantics.apply sys2 c (Label.load 0 x1 5) <> None);
+  Alcotest.(check bool) "mismatched load disabled" true
+    (Semantics.apply sys2 c (Label.load 0 x1 4) = None)
+
+let test_apply_flush_noop () =
+  let c = Config.mem_set Config.init x1 5 in
+  (match Semantics.apply sys2 c (Label.rflush 0 x1) with
+  | Some c' -> Alcotest.check config "flush is a no-op on state" c c'
+  | None -> Alcotest.fail "flush should be enabled");
+  Alcotest.check_raises "apply_exn raises on disabled"
+    (Invalid_argument
+       "Semantics.apply_exn: label LFlush_1(x^1) not enabled in {C1[x^1]=1 | }")
+    (fun () ->
+      ignore
+        (Semantics.apply_exn sys2
+           (Semantics.lstore sys2 Config.init 0 x1 1)
+           (Label.lflush 0 x1)))
+
+(* ------------------------------------------------------------------ *)
+(* Trace + property tests                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_extend () =
+  let t = Trace.empty sys2 in
+  let t = Option.get (Trace.extend t (Label.lstore 0 x1 1)) in
+  let t = Option.get (Trace.extend t (Label.load 1 x1 1)) in
+  Alcotest.(check int) "two steps" 2 (List.length (Trace.labels t));
+  Alcotest.(check bool) "invariant along trace" true (Trace.invariant_holds t);
+  Alcotest.(check bool) "bad load refused" true
+    (Trace.extend t (Label.load 0 x1 9) = None)
+
+let prop_invariant_random_walks =
+  QCheck.Test.make ~name:"coherence invariant holds on random walks"
+    ~count:200
+    QCheck.(pair small_nat (int_bound 60))
+    (fun (seed, len) ->
+      let locs = [ x1; y1; x2 ] in
+      let vals = [ 0; 1; 2 ] in
+      let t = Trace.random_walk ~seed ~len sys2 ~locs ~vals in
+      Trace.invariant_holds t)
+
+let prop_load_sees_visible =
+  QCheck.Test.make ~name:"load observes Config.visible_value" ~count:200
+    QCheck.(pair small_nat (int_bound 40))
+    (fun (seed, len) ->
+      let locs = [ x1; x2 ] in
+      let vals = [ 0; 1 ] in
+      let t = Trace.random_walk ~seed ~len sys2 ~locs ~vals in
+      let cfg = t.Trace.final in
+      List.for_all
+        (fun x ->
+          List.for_all
+            (fun i ->
+              let v, _ = Semantics.load sys2 cfg i x in
+              v = Config.visible_value sys2 cfg x)
+            (Machine.ids sys2))
+        locs)
+
+let prop_crash_preserves_invariant =
+  QCheck.Test.make ~name:"crash preserves invariant from any reachable config"
+    ~count:200
+    QCheck.(triple small_nat (int_bound 40) (int_bound 1))
+    (fun (seed, len, who) ->
+      let locs = [ x1; x2 ] in
+      let vals = [ 0; 1 ] in
+      let t = Trace.random_walk ~seed ~len sys2 ~locs ~vals in
+      Config.invariant (Semantics.crash sys2 t.Trace.final who))
+
+let () =
+  Alcotest.run "cxl0-core"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "uniform" `Quick test_machine_uniform;
+          Alcotest.test_case "ids" `Quick test_machine_ids;
+          Alcotest.test_case "mixed persistence" `Quick test_machine_mixed;
+        ] );
+      ( "loc",
+        [
+          Alcotest.test_case "basics" `Quick test_loc_basics;
+          Alcotest.test_case "pp" `Quick test_loc_pp;
+          Alcotest.test_case "invalid" `Quick test_loc_invalid;
+        ] );
+      ( "label",
+        [
+          Alcotest.test_case "classify" `Quick test_label_classify;
+          Alcotest.test_case "accessors" `Quick test_label_accessors;
+          Alcotest.test_case "pp" `Quick test_label_pp;
+          Alcotest.test_case "equal" `Quick test_label_equal;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "init" `Quick test_config_init;
+          Alcotest.test_case "canonical mem" `Quick test_config_canonical_mem;
+          Alcotest.test_case "cached zero <> bot" `Quick
+            test_config_cache_zero_not_bot;
+          Alcotest.test_case "invalidate" `Quick test_config_invalidate;
+          Alcotest.test_case "invariant violation" `Quick
+            test_config_invariant_violation;
+          Alcotest.test_case "visible value" `Quick test_config_visible;
+          Alcotest.test_case "wipe" `Quick test_config_wipe;
+          Alcotest.test_case "compare/hash" `Quick test_config_compare_hash;
+        ] );
+      ( "stores",
+        [
+          Alcotest.test_case "lstore local" `Quick test_lstore_local_cache;
+          Alcotest.test_case "lstore invalidates" `Quick
+            test_lstore_invalidates_others;
+          Alcotest.test_case "rstore owner" `Quick test_rstore_owner_cache;
+          Alcotest.test_case "rstore=lstore for owner" `Quick
+            test_rstore_by_owner_is_lstore;
+          Alcotest.test_case "mstore memory" `Quick test_mstore_memory;
+        ] );
+      ( "loads",
+        [
+          Alcotest.test_case "cache hit copies" `Quick
+            test_load_from_cache_copies;
+          Alcotest.test_case "mem hit no copy" `Quick test_load_from_mem_no_copy;
+          Alcotest.test_case "coherence" `Quick test_load_coherence;
+        ] );
+      ( "propagation",
+        [
+          Alcotest.test_case "cache-cache" `Quick test_prop_cache_cache;
+          Alcotest.test_case "owner no horizontal" `Quick
+            test_prop_cache_cache_owner_disabled;
+          Alcotest.test_case "cache-mem" `Quick test_prop_cache_mem;
+          Alcotest.test_case "vertical needs owner" `Quick
+            test_prop_cache_mem_needs_owner_copy;
+          Alcotest.test_case "tau enumeration" `Quick test_taus_enumeration;
+        ] );
+      ( "flushes",
+        [
+          Alcotest.test_case "lflush precondition" `Quick
+            test_lflush_precondition;
+          Alcotest.test_case "rflush precondition" `Quick
+            test_rflush_precondition;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "nv memory survives" `Quick test_crash_nv;
+          Alcotest.test_case "volatile zeroed" `Quick test_crash_volatile;
+          Alcotest.test_case "others unaffected" `Quick test_crash_leaves_others;
+        ] );
+      ( "apply",
+        [
+          Alcotest.test_case "load filtering" `Quick test_apply_load_filter;
+          Alcotest.test_case "flush noop + exn" `Quick test_apply_flush_noop;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "extend" `Quick test_trace_extend;
+          QCheck_alcotest.to_alcotest prop_invariant_random_walks;
+          QCheck_alcotest.to_alcotest prop_load_sees_visible;
+          QCheck_alcotest.to_alcotest prop_crash_preserves_invariant;
+        ] );
+    ]

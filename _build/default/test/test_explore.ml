@@ -1,0 +1,201 @@
+(* Tests for the reachable-set exploration machinery (tau closure,
+   labelled runs, feasibility, load outcomes). *)
+
+open Cxl0
+
+let sys2 = Machine.uniform 2
+let sys3 = Machine.uniform 3
+let x1 = Loc.v ~owner:0 0
+let x2 = Loc.v ~owner:1 0
+let y1 = Loc.v ~owner:0 1
+
+let test_tau_closure_cardinality () =
+  (* LStore_1(x^2): closure = {in C1}, {in C2}, {in Mem2} = 3 configs *)
+  let c = Semantics.lstore sys2 Config.init 0 x2 1 in
+  let s = Explore.tau_closure sys2 (Explore.of_config c) in
+  Alcotest.(check int) "three propagation stages" 3 (Explore.cardinal s)
+
+let test_tau_closure_owner () =
+  (* LStore by the owner: {in C2}, {in Mem2} = 2 configs *)
+  let c = Semantics.lstore sys2 Config.init 1 x2 1 in
+  let s = Explore.tau_closure sys2 (Explore.of_config c) in
+  Alcotest.(check int) "two stages" 2 (Explore.cardinal s)
+
+let test_tau_closure_idempotent () =
+  let c = Semantics.lstore sys2 Config.init 0 x2 1 in
+  let s = Explore.tau_closure sys2 (Explore.of_config c) in
+  let s' = Explore.tau_closure sys2 s in
+  Alcotest.(check int) "closure is a fixpoint" (Explore.cardinal s)
+    (Explore.cardinal s')
+
+let test_tau_closure_independent_locs () =
+  (* two locations propagate independently: stages multiply *)
+  let c = Semantics.lstore sys2 Config.init 0 x2 1 in
+  (* x2 stored by non-owner: C1 -> C2 -> Mem2, 3 stages *)
+  let c = Semantics.lstore sys2 c 0 y1 2 in
+  (* y1 stored by its owner (machine 0): C1 -> Mem1, 2 stages *)
+  let s = Explore.tau_closure sys2 (Explore.of_config c) in
+  Alcotest.(check int) "product of stages" 6 (Explore.cardinal s)
+
+let test_run_feasible_simple () =
+  Alcotest.(check bool) "store then load" true
+    (Explore.feasible sys2 Config.init
+       [ Label.lstore 0 x1 1; Label.load 0 x1 1 ]);
+  Alcotest.(check bool) "load of unwritten value" false
+    (Explore.feasible sys2 Config.init [ Label.load 0 x1 1 ])
+
+let test_run_flush_inserts_taus () =
+  (* RFlush after LStore is feasible: taus are inserted to drain caches *)
+  Alcotest.(check bool) "lstore;rflush" true
+    (Explore.feasible sys2 Config.init
+       [ Label.lstore 0 x2 1; Label.rflush 0 x2 ]);
+  (* and afterwards the value must be in memory *)
+  let s =
+    Explore.run sys2 Config.init [ Label.lstore 0 x2 1; Label.rflush 0 x2 ]
+  in
+  Alcotest.(check bool) "all members have mem=1" true
+    (List.for_all
+       (fun cfg -> Config.mem_get cfg x2 = 1)
+       (Explore.elements s))
+
+let test_load_outcomes_nondet () =
+  (* after LStore_1(x^2) and crash of machine 2, a load by machine 1 can
+     see 1 (value still local or propagated late) or 0 (value reached
+     machine 2's cache and died there) *)
+  let s =
+    Explore.step sys2
+      (Explore.of_config Config.init)
+      (Label.lstore 0 x2 1)
+  in
+  let s = Explore.step sys2 s (Label.crash 1) in
+  Alcotest.(check (list int)) "both outcomes" [ 0; 1 ]
+    (Explore.load_outcomes sys2 s 0 x2)
+
+let test_load_outcomes_efter_mstore () =
+  let s =
+    Explore.step sys2
+      (Explore.of_config Config.init)
+      (Label.mstore 0 x2 1)
+  in
+  let s = Explore.step sys2 s (Label.crash 1) in
+  Alcotest.(check (list int)) "only 1 survives" [ 1 ]
+    (Explore.load_outcomes sys2 s 0 x2)
+
+let test_run_empty_on_infeasible () =
+  let s =
+    Explore.run sys2 Config.init [ Label.lstore 0 x1 1; Label.load 1 x1 2 ]
+  in
+  Alcotest.(check int) "no executions" 0 (Explore.cardinal s)
+
+let test_subset () =
+  let a = Explore.run sys2 Config.init [ Label.rstore 0 x2 1 ] in
+  let b = Explore.run sys2 Config.init [ Label.lstore 0 x2 1 ] in
+  Alcotest.(check bool) "RStore ⊆ LStore (Prop1.1 instance)" true
+    (Explore.subset a b);
+  Alcotest.(check bool) "LStore ⊄ RStore" false (Explore.subset b a)
+
+let test_three_machine_readers () =
+  (* value written by M1 to M3's location, read by M2: after M1 and M2
+     both crash, the value can only survive via M3 *)
+  let evs =
+    [
+      Label.lstore 0 (Loc.v ~owner:2 0) 1;
+      Label.load 1 (Loc.v ~owner:2 0) 1;
+      Label.crash 0;
+      Label.crash 1;
+    ]
+  in
+  let s = List.fold_left (Explore.step sys3) (Explore.of_config Config.init) evs in
+  Alcotest.(check (list int)) "0 or 1 depending on propagation" [ 0; 1 ]
+    (Explore.load_outcomes sys3 s 1 (Loc.v ~owner:2 0))
+
+(* ------------------------------------------------------------------ *)
+(* Differential testing against concrete executions                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Any concrete execution (a random walk over the LTS, taus and crashes
+   included) witnesses the feasibility of its own visible projection —
+   so the reachable-set engine must agree.  This cross-checks the litmus
+   decision procedure against an independent execution source. *)
+let prop_projection_feasible =
+  QCheck.Test.make ~name:"visible projection of a random walk is feasible"
+    ~count:120
+    QCheck.(pair small_nat (int_bound 30))
+    (fun (seed, len) ->
+      let sys = Machine.uniform 2 in
+      let locs = [ x1; x2; y1 ] in
+      let vals = [ 0; 1 ] in
+      let t = Trace.random_walk ~seed ~len sys ~locs ~vals in
+      let visible = List.filter (fun l -> not (Label.is_silent l)) (Trace.labels t) in
+      Explore.feasible sys Config.init visible)
+
+(* The final configuration of the walk must be among the configurations
+   the engine computes for that projection. *)
+let prop_projection_contains_final =
+  QCheck.Test.make
+    ~name:"engine's reachable set contains the walk's final config" ~count:120
+    QCheck.(pair small_nat (int_bound 25))
+    (fun (seed, len) ->
+      let sys = Machine.uniform 2 in
+      let locs = [ x1; x2 ] in
+      let vals = [ 0; 1 ] in
+      let t = Trace.random_walk ~seed ~len sys ~locs ~vals in
+      let visible = List.filter (fun l -> not (Label.is_silent l)) (Trace.labels t) in
+      let reach = Explore.run sys Config.init visible in
+      (* trailing tau-closure is part of [run], and the walk may itself
+         end mid-propagation: close the final config too *)
+      Explore.subset
+        (Explore.tau_closure sys (Explore.of_config t.Trace.final))
+        (Explore.tau_closure sys reach)
+      || Config.Set.mem t.Trace.final reach)
+
+(* Every configuration the engine ever produces satisfies the coherence
+   invariant. *)
+let prop_reachable_invariant =
+  QCheck.Test.make ~name:"all engine-reachable configs satisfy the invariant"
+    ~count:100
+    QCheck.(pair small_nat (int_bound 20))
+    (fun (seed, len) ->
+      let sys = Machine.uniform 2 in
+      let locs = [ x1; x2 ] in
+      let vals = [ 0; 1 ] in
+      let t = Trace.random_walk ~seed ~len sys ~locs ~vals in
+      let visible = List.filter (fun l -> not (Label.is_silent l)) (Trace.labels t) in
+      let reach = Explore.run sys Config.init visible in
+      List.for_all Config.invariant (Explore.elements reach))
+
+let () =
+  Alcotest.run "cxl0-explore"
+    [
+      ( "tau-closure",
+        [
+          Alcotest.test_case "three stages" `Quick test_tau_closure_cardinality;
+          Alcotest.test_case "owner two stages" `Quick test_tau_closure_owner;
+          Alcotest.test_case "idempotent" `Quick test_tau_closure_idempotent;
+          Alcotest.test_case "independent locations" `Quick
+            test_tau_closure_independent_locs;
+        ] );
+      ( "runs",
+        [
+          Alcotest.test_case "feasibility" `Quick test_run_feasible_simple;
+          Alcotest.test_case "flush preconditions" `Quick
+            test_run_flush_inserts_taus;
+          Alcotest.test_case "infeasible = empty" `Quick
+            test_run_empty_on_infeasible;
+          Alcotest.test_case "subset" `Quick test_subset;
+        ] );
+      ( "outcomes",
+        [
+          Alcotest.test_case "nondeterministic loss" `Quick
+            test_load_outcomes_nondet;
+          Alcotest.test_case "mstore survives" `Quick
+            test_load_outcomes_efter_mstore;
+          Alcotest.test_case "three machines" `Quick test_three_machine_readers;
+        ] );
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_projection_feasible;
+          QCheck_alcotest.to_alcotest prop_projection_contains_final;
+          QCheck_alcotest.to_alcotest prop_reachable_invariant;
+        ] );
+    ]

@@ -1,0 +1,529 @@
+(* The runtime fabric: unit tests for every primitive, the replacement
+   machinery, crash behaviour, accounting — and step-by-step
+   cross-validation against the formal CXL0 semantics. *)
+
+module F = Fabric
+
+let mk ?(n = 2) ?(volatile = false) ?(cache_capacity = 1024) () =
+  F.uniform ~seed:7 ~evict_prob:0.0 ~volatile ~cache_capacity n
+
+(* ------------------------------------------------------------------ *)
+(* Construction / allocation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_validation () =
+  Alcotest.check_raises "no machines" (Invalid_argument "Fabric.create: no machines")
+    (fun () -> ignore (F.create [||]));
+  Alcotest.check_raises "capacity" (Invalid_argument "Fabric.machine: capacity < 1")
+    (fun () -> ignore (F.machine ~cache_capacity:0 "x"))
+
+let test_alloc () =
+  let f = mk () in
+  let a = F.alloc f ~owner:0 in
+  let b = F.alloc f ~owner:1 in
+  let c = F.alloc f ~owner:0 in
+  Alcotest.(check int) "dense ids" 1 b;
+  Alcotest.(check int) "dense ids" 2 c;
+  Alcotest.(check int) "owner a" 0 (F.owner f a);
+  Alcotest.(check int) "owner b" 1 (F.owner f b);
+  Alcotest.(check int) "count" 3 (F.n_locs f);
+  (* per-owner offsets are dense too (visible via to_loc) *)
+  Alcotest.(check int) "a offset" 0 (Cxl0.Loc.off (F.to_loc f a));
+  Alcotest.(check int) "c offset" 1 (Cxl0.Loc.off (F.to_loc f c))
+
+let test_alloc_growth () =
+  (* force the location table to grow past its initial 64 entries *)
+  let f = mk () in
+  let locs = F.alloc_n f ~owner:0 200 in
+  Alcotest.(check int) "200 allocated" 200 (List.length locs);
+  List.iteri (fun i x -> Alcotest.(check int) "id" i x) locs;
+  F.lstore f 0 199 42;
+  Alcotest.(check int) "store/load across growth" 42 (F.load f 0 199)
+
+let test_bad_loc () =
+  let f = mk () in
+  Alcotest.check_raises "unallocated" (Invalid_argument "Fabric: bad location")
+    (fun () -> ignore (F.load f 0 3))
+
+let test_uid_unique () =
+  let a = mk () and b = mk () in
+  Alcotest.(check bool) "distinct uids" true (F.uid a <> F.uid b)
+
+(* ------------------------------------------------------------------ *)
+(* Primitive semantics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_load_initial_zero () =
+  let f = mk () in
+  let x = F.alloc f ~owner:1 in
+  Alcotest.(check int) "zero initialised" 0 (F.load f 0 x)
+
+let test_lstore_then_load () =
+  let f = mk () in
+  let x = F.alloc f ~owner:1 in
+  F.lstore f 0 x 5;
+  Alcotest.(check int) "same machine" 5 (F.load f 0 x);
+  Alcotest.(check int) "other machine (coherent)" 5 (F.load f 1 x);
+  (* memory not yet updated *)
+  let cfg = F.to_config f in
+  Alcotest.(check int) "mem still 0" 0 (Cxl0.Config.mem_get cfg (F.to_loc f x))
+
+let test_rstore_placement () =
+  let f = mk () in
+  let x = F.alloc f ~owner:1 in
+  F.rstore f 0 x 5;
+  let cfg = F.to_config f in
+  let l = F.to_loc f x in
+  Alcotest.(check (option int)) "owner cache" (Some 5)
+    (Cxl0.Config.cache_get cfg 1 l);
+  Alcotest.(check (option int)) "issuer cache empty" None
+    (Cxl0.Config.cache_get cfg 0 l)
+
+let test_mstore_placement () =
+  let f = mk () in
+  let x = F.alloc f ~owner:1 in
+  F.lstore f 0 x 3;
+  F.mstore f 0 x 5;
+  let cfg = F.to_config f in
+  let l = F.to_loc f x in
+  Alcotest.(check int) "memory" 5 (Cxl0.Config.mem_get cfg l);
+  Alcotest.(check (option int)) "no cache" None (Cxl0.Config.cache_get cfg 0 l)
+
+let test_load_copies_into_reader () =
+  let f = mk ~n:3 () in
+  let x = F.alloc f ~owner:2 in
+  F.lstore f 0 x 9;
+  ignore (F.load f 1 x);
+  let cfg = F.to_config f in
+  let l = F.to_loc f x in
+  Alcotest.(check (option int)) "copied" (Some 9) (Cxl0.Config.cache_get cfg 1 l)
+
+let test_flush_forcing () =
+  let f = mk () in
+  let x = F.alloc f ~owner:1 in
+  F.lstore f 0 x 5;
+  F.lflush f 0 x;
+  let cfg = F.to_config f in
+  let l = F.to_loc f x in
+  Alcotest.(check (option int)) "moved to owner cache" (Some 5)
+    (Cxl0.Config.cache_get cfg 1 l);
+  Alcotest.(check int) "not yet memory" 0 (Cxl0.Config.mem_get cfg l);
+  F.rflush f 0 x;
+  let cfg = F.to_config f in
+  Alcotest.(check int) "rflush reaches memory" 5 (Cxl0.Config.mem_get cfg l);
+  Alcotest.(check (option int)) "caches drained" None
+    (Cxl0.Config.cache_get cfg 1 l)
+
+let test_lflush_by_owner_writes_back () =
+  let f = mk () in
+  let x = F.alloc f ~owner:0 in
+  F.lstore f 0 x 5;
+  F.lflush f 0 x;
+  let cfg = F.to_config f in
+  Alcotest.(check int) "owner lflush = write back" 5
+    (Cxl0.Config.mem_get cfg (F.to_loc f x))
+
+let test_flush_clean_noop () =
+  let f = mk () in
+  let x = F.alloc f ~owner:1 in
+  let before = (F.stats f).F.Stats.cycles in
+  F.rflush f 0 x;
+  let after = (F.stats f).F.Stats.cycles in
+  Alcotest.(check bool) "cheap clean check" true
+    (after - before <= Fabric.Latency.default.F.Latency.clean_check)
+
+(* ------------------------------------------------------------------ *)
+(* Atomics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_faa () =
+  let f = mk () in
+  let x = F.alloc f ~owner:1 in
+  Alcotest.(check int) "returns old" 0 (F.faa f 0 x 5);
+  Alcotest.(check int) "returns old again" 5 (F.faa f 1 x 2);
+  Alcotest.(check int) "value" 7 (F.load f 0 x)
+
+let test_cas_success_failure () =
+  let f = mk () in
+  let x = F.alloc f ~owner:1 in
+  Alcotest.(check bool) "success" true
+    (F.cas f 0 x ~expected:0 ~desired:4 ~kind:Cxl0.Label.R);
+  Alcotest.(check bool) "failure" false
+    (F.cas f 0 x ~expected:0 ~desired:9 ~kind:Cxl0.Label.R);
+  Alcotest.(check int) "value unchanged by failed cas" 4 (F.load f 0 x)
+
+let test_cas_kind_m_persists () =
+  let f = mk () in
+  let x = F.alloc f ~owner:1 in
+  ignore (F.cas f 0 x ~expected:0 ~desired:4 ~kind:Cxl0.Label.M);
+  Alcotest.(check int) "straight to memory" 4
+    (Cxl0.Config.mem_get (F.to_config f) (F.to_loc f x))
+
+(* ------------------------------------------------------------------ *)
+(* Replacement machinery                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_capacity_eviction () =
+  let f = mk ~cache_capacity:1 () in
+  let x = F.alloc f ~owner:1 in
+  let y = F.alloc f ~owner:1 in
+  F.lstore f 0 x 1;
+  F.lstore f 0 y 2;
+  (* capacity 1 on machine 0: storing y evicted x toward its owner *)
+  let cfg = F.to_config f in
+  Alcotest.(check (option int)) "x moved to owner cache" (Some 1)
+    (Cxl0.Config.cache_get cfg 1 (F.to_loc f x));
+  Alcotest.(check (option int)) "y local" (Some 2)
+    (Cxl0.Config.cache_get cfg 0 (F.to_loc f y));
+  Alcotest.(check bool) "eviction counted" true
+    ((F.stats f).F.Stats.evictions_horizontal >= 1);
+  Alcotest.(check bool) "bookkeeping" true (F.check_coherence f)
+
+let test_eviction_cascade_vertical () =
+  (* owner with capacity 1: receiving an evicted line may evict its own *)
+  let f = mk ~cache_capacity:1 () in
+  let x = F.alloc f ~owner:1 in
+  let y = F.alloc f ~owner:1 in
+  F.lstore f 1 x 1;  (* owner caches x *)
+  F.lstore f 0 y 2;  (* non-owner caches y *)
+  F.lflush f 0 y;    (* forces y to owner cache: owner over capacity *)
+  Alcotest.(check bool) "some vertical eviction happened" true
+    ((F.stats f).F.Stats.evictions_vertical >= 1);
+  Alcotest.(check bool) "coherent" true (F.check_coherence f);
+  (* no value lost: both still visible *)
+  Alcotest.(check int) "x visible" 1 (F.load f 0 x);
+  Alcotest.(check int) "y visible" 2 (F.load f 0 y)
+
+let test_drain () =
+  let f = mk () in
+  let x = F.alloc f ~owner:1 in
+  let y = F.alloc f ~owner:0 in
+  F.lstore f 0 x 1;
+  F.lstore f 1 y 2;
+  F.drain f;
+  let cfg = F.to_config f in
+  Alcotest.(check int) "x in memory" 1 (Cxl0.Config.mem_get cfg (F.to_loc f x));
+  Alcotest.(check int) "y in memory" 2 (Cxl0.Config.mem_get cfg (F.to_loc f y));
+  Alcotest.(check bool) "nothing cached" true
+    (Cxl0.Config.holders (F.to_system f) cfg (F.to_loc f x) = [])
+
+let test_maybe_evict_deterministic () =
+  let f = F.uniform ~seed:3 ~evict_prob:1.0 2 in
+  let x = F.alloc f ~owner:1 in
+  F.lstore f 0 x 1;
+  (* evict_prob = 1: a tick must evict the only cached line *)
+  F.maybe_evict f;
+  let cfg = F.to_config f in
+  Alcotest.(check (option int)) "left machine 0" None
+    (Cxl0.Config.cache_get cfg 0 (F.to_loc f x))
+
+(* ------------------------------------------------------------------ *)
+(* Crash                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_nv () =
+  let f = mk () in
+  let x = F.alloc f ~owner:1 in
+  F.rstore f 0 x 5;
+  (* value in owner's cache only *)
+  F.crash f 1;
+  Alcotest.(check int) "lost (nv mem was never written)" 0 (F.load f 0 x);
+  Alcotest.(check bool) "coherent" true (F.check_coherence f)
+
+let test_crash_nv_after_flush () =
+  let f = mk () in
+  let x = F.alloc f ~owner:1 in
+  F.rstore f 0 x 5;
+  F.rflush f 0 x;
+  F.crash f 1;
+  Alcotest.(check int) "persisted" 5 (F.load f 0 x)
+
+let test_crash_volatile () =
+  let f = mk ~volatile:true () in
+  let x = F.alloc f ~owner:1 in
+  F.mstore f 0 x 5;
+  F.crash f 1;
+  Alcotest.(check int) "volatile memory zeroed" 0 (F.load f 0 x)
+
+let test_crash_spares_others () =
+  let f = mk ~n:3 () in
+  let x = F.alloc f ~owner:2 in
+  F.lstore f 0 x 5;
+  F.crash f 1;
+  Alcotest.(check int) "writer's cache intact" 5 (F.load f 0 x)
+
+(* ------------------------------------------------------------------ *)
+(* Accounting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_counting () =
+  let f = mk () in
+  let x = F.alloc f ~owner:1 in
+  F.lstore f 0 x 1;
+  F.rstore f 0 x 2;
+  F.mstore f 0 x 3;
+  ignore (F.load f 0 x);
+  F.lflush f 0 x;
+  F.rflush f 0 x;
+  ignore (F.faa f 0 x 1);
+  ignore (F.cas f 0 x ~expected:4 ~desired:5 ~kind:Cxl0.Label.L);
+  let s = F.stats f in
+  Alcotest.(check int) "lstores" 2 s.F.Stats.lstores;
+  (* the successful CAS with kind L counts as an lstore too *)
+  Alcotest.(check int) "rstores" 1 s.F.Stats.rstores;
+  Alcotest.(check int) "mstores" 1 s.F.Stats.mstores;
+  Alcotest.(check int) "loads" 1 (F.Stats.loads s);
+  Alcotest.(check int) "flushes" 2 (F.Stats.flushes s);
+  Alcotest.(check int) "faa" 1 s.F.Stats.faas;
+  Alcotest.(check int) "cas" 1 s.F.Stats.cass
+
+let test_latency_ordering () =
+  (* remote accesses must cost more than local ones under the default
+     model: compare a local-cache load with a memory load *)
+  let f = mk () in
+  let x = F.alloc f ~owner:0 in
+  let y = F.alloc f ~owner:1 in
+  F.lstore f 0 x 1;
+  let c0 = F.cycles f in
+  ignore (F.load f 0 x) (* local cache hit *);
+  let c1 = F.cycles f in
+  ignore (F.load f 0 y) (* remote memory *);
+  let c2 = F.cycles f in
+  Alcotest.(check bool) "local cheap" true (c1 - c0 < c2 - c1)
+
+let test_stats_diff_reset () =
+  let f = mk () in
+  let x = F.alloc f ~owner:0 in
+  F.lstore f 0 x 1;
+  let snap = F.Stats.copy (F.stats f) in
+  F.lstore f 0 x 2;
+  let d = F.Stats.diff (F.stats f) snap in
+  Alcotest.(check int) "one new lstore" 1 d.F.Stats.lstores;
+  F.Stats.reset (F.stats f);
+  Alcotest.(check int) "reset" 0 (F.stats f).F.Stats.lstores
+
+(* ------------------------------------------------------------------ *)
+(* Topology                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_topology_flat () =
+  let t = F.Topology.flat 3 in
+  Alcotest.(check int) "size" 3 (F.Topology.size t);
+  Alcotest.(check int) "diagonal" 0 (F.Topology.hops t 1 1);
+  Alcotest.(check int) "off-diagonal" 1 (F.Topology.hops t 0 2)
+
+let test_topology_two_level () =
+  let t = F.Topology.two_level [ 2; 2 ] in
+  Alcotest.(check int) "same leaf" 1 (F.Topology.hops t 0 1);
+  Alcotest.(check int) "across spine" 3 (F.Topology.hops t 1 2);
+  Alcotest.(check int) "symmetric" (F.Topology.hops t 3 0)
+    (F.Topology.hops t 0 3)
+
+let test_topology_validation () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Topology.of_matrix: ragged")
+    (fun () -> ignore (F.Topology.of_matrix [| [| 0 |]; [| 1; 0 |] |]));
+  Alcotest.check_raises "diagonal"
+    (Invalid_argument "Topology.of_matrix: nonzero diagonal") (fun () ->
+      ignore (F.Topology.of_matrix [| [| 1 |] |]));
+  Alcotest.check_raises "asymmetric"
+    (Invalid_argument "Topology.of_matrix: asymmetric") (fun () ->
+      ignore (F.Topology.of_matrix [| [| 0; 1 |]; [| 2; 0 |] |]));
+  Alcotest.check_raises "empty group"
+    (Invalid_argument "Topology.two_level: empty group") (fun () ->
+      ignore (F.Topology.two_level [ 1; 0 ]));
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Fabric.create: topology size mismatch") (fun () ->
+      ignore
+        (F.create ~topology:(F.Topology.flat 3) [| F.machine "a"; F.machine "b" |]))
+
+let test_topology_costs_scale () =
+  (* the same remote load costs more across the spine *)
+  let cost topology =
+    let f = F.create ~topology ~seed:1 ~evict_prob:0.0
+        [| F.machine "w"; F.machine "x"; F.machine "y"; F.machine "home" |]
+    in
+    let x = F.alloc f ~owner:3 in
+    F.mstore f 3 x 5;
+    let before = F.cycles f in
+    ignore (F.load f 0 x);
+    F.cycles f - before
+  in
+  let near = cost (F.Topology.flat 4) in
+  let far = cost (F.Topology.two_level [ 3; 1 ]) in
+  Alcotest.(check bool) "extra hops cost more" true (far > near);
+  Alcotest.(check int) "exactly 2 extra hops x per_hop" (2 * 20) (far - near)
+
+let test_topology_local_access_unaffected () =
+  let f =
+    F.create ~topology:(F.Topology.two_level [ 1; 1 ]) ~seed:1 ~evict_prob:0.0
+      [| F.machine "a"; F.machine "b" |]
+  in
+  let x = F.alloc f ~owner:0 in
+  F.lstore f 0 x 1;
+  let before = F.cycles f in
+  ignore (F.load f 0 x);
+  Alcotest.(check int) "local cache hit still 1 cycle" 1 (F.cycles f - before)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation against the formal semantics                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive the same random primitive sequence through the fabric and
+   through Cxl0.Semantics (mirroring the fabric's *forcing* flushes with
+   the equivalent tau-steps) and compare configurations at every step. *)
+
+type xop =
+  | XL of int * int * int
+  | XR of int * int * int
+  | XM of int * int * int
+  | XLoad of int * int
+  | XLFlush of int * int
+  | XRFlush of int * int
+  | XEvict of int * int
+  | XCrash of int
+
+let random_xop rng ~n ~locs =
+  let m () = Random.State.int rng n in
+  let x () = Random.State.int rng locs in
+  let v () = Random.State.int rng 3 in
+  match Random.State.int rng 10 with
+  | 0 | 1 -> XL (m (), x (), v ())
+  | 2 -> XR (m (), x (), v ())
+  | 3 -> XM (m (), x (), v ())
+  | 4 | 5 -> XLoad (m (), x ())
+  | 6 -> XLFlush (m (), x ())
+  | 7 -> XRFlush (m (), x ())
+  | 8 -> XEvict (m (), x ())
+  | _ -> XCrash (m ())
+
+(* Mirror of the fabric's forcing flush/eviction on the formal side. *)
+let mirror_force sys cfg i l ~vertical_all =
+  match Cxl0.Config.cache_get cfg i l with
+  | None -> cfg
+  | Some _ ->
+      if i = Cxl0.Loc.owner l then
+        Option.value ~default:cfg (Cxl0.Semantics.prop_cache_mem sys cfg l)
+      else
+        let cfg =
+          Option.value ~default:cfg
+            (Cxl0.Semantics.prop_cache_cache sys cfg i l)
+        in
+        if vertical_all then
+          Option.value ~default:cfg (Cxl0.Semantics.prop_cache_mem sys cfg l)
+        else cfg
+
+let prop_cross_validation =
+  QCheck.Test.make ~name:"fabric == formal semantics, step by step" ~count:80
+    QCheck.(pair small_nat (int_bound 80))
+    (fun (seed, len) ->
+      let n = 3 and nlocs = 4 in
+      let f = F.uniform ~seed ~evict_prob:0.0 ~cache_capacity:1024 n in
+      (* spread ownership *)
+      for i = 0 to nlocs - 1 do
+        ignore (F.alloc f ~owner:(i mod n))
+      done;
+      let sys = F.to_system f in
+      let rng = Random.State.make [| seed; len |] in
+      let cfg = ref Cxl0.Config.init in
+      let ok = ref true in
+      for _ = 1 to len do
+        let op = random_xop rng ~n ~locs:nlocs in
+        let l x = F.to_loc f x in
+        (match op with
+        | XL (i, x, v) ->
+            F.lstore f i x v;
+            cfg := Cxl0.Semantics.lstore sys !cfg i (l x) v
+        | XR (i, x, v) ->
+            F.rstore f i x v;
+            cfg := Cxl0.Semantics.rstore sys !cfg i (l x) v
+        | XM (i, x, v) ->
+            F.mstore f i x v;
+            cfg := Cxl0.Semantics.mstore sys !cfg i (l x) v
+        | XLoad (i, x) ->
+            let v = F.load f i x in
+            let v', cfg' = Cxl0.Semantics.load sys !cfg i (l x) in
+            if v <> v' then ok := false;
+            cfg := cfg'
+        | XLFlush (i, x) ->
+            F.lflush f i x;
+            cfg := mirror_force sys !cfg i (l x) ~vertical_all:false
+        | XRFlush (i, x) ->
+            F.rflush f i x;
+            (* forcing rflush: drain every holder of x *)
+            let rec drain cfg =
+              match Cxl0.Config.cached_value sys cfg (l x) with
+              | None -> cfg
+              | Some (j, _) -> drain (mirror_force sys cfg j (l x) ~vertical_all:true)
+            in
+            cfg := drain !cfg
+        | XEvict (i, x) ->
+            F.evict_loc f i x;
+            cfg := mirror_force sys !cfg i (l x) ~vertical_all:false
+        | XCrash i ->
+            F.crash f i;
+            cfg := Cxl0.Semantics.crash sys !cfg i);
+        if not (Cxl0.Config.equal (F.to_config f) !cfg) then ok := false;
+        if not (F.check_coherence f) then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "fabric"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "alloc" `Quick test_alloc;
+          Alcotest.test_case "alloc growth" `Quick test_alloc_growth;
+          Alcotest.test_case "bad loc" `Quick test_bad_loc;
+          Alcotest.test_case "uid" `Quick test_uid_unique;
+        ] );
+      ( "primitives",
+        [
+          Alcotest.test_case "initial zero" `Quick test_load_initial_zero;
+          Alcotest.test_case "lstore/load" `Quick test_lstore_then_load;
+          Alcotest.test_case "rstore placement" `Quick test_rstore_placement;
+          Alcotest.test_case "mstore placement" `Quick test_mstore_placement;
+          Alcotest.test_case "load copies" `Quick test_load_copies_into_reader;
+          Alcotest.test_case "flush forcing" `Quick test_flush_forcing;
+          Alcotest.test_case "owner lflush" `Quick test_lflush_by_owner_writes_back;
+          Alcotest.test_case "clean flush" `Quick test_flush_clean_noop;
+        ] );
+      ( "atomics",
+        [
+          Alcotest.test_case "faa" `Quick test_faa;
+          Alcotest.test_case "cas" `Quick test_cas_success_failure;
+          Alcotest.test_case "cas kind M" `Quick test_cas_kind_m_persists;
+        ] );
+      ( "replacement",
+        [
+          Alcotest.test_case "capacity eviction" `Quick test_capacity_eviction;
+          Alcotest.test_case "cascade" `Quick test_eviction_cascade_vertical;
+          Alcotest.test_case "drain" `Quick test_drain;
+          Alcotest.test_case "maybe_evict" `Quick test_maybe_evict_deterministic;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "nv" `Quick test_crash_nv;
+          Alcotest.test_case "nv after flush" `Quick test_crash_nv_after_flush;
+          Alcotest.test_case "volatile" `Quick test_crash_volatile;
+          Alcotest.test_case "spares others" `Quick test_crash_spares_others;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "stats" `Quick test_stats_counting;
+          Alcotest.test_case "latency ordering" `Quick test_latency_ordering;
+          Alcotest.test_case "diff/reset" `Quick test_stats_diff_reset;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "flat" `Quick test_topology_flat;
+          Alcotest.test_case "two level" `Quick test_topology_two_level;
+          Alcotest.test_case "validation" `Quick test_topology_validation;
+          Alcotest.test_case "costs scale with hops" `Quick
+            test_topology_costs_scale;
+          Alcotest.test_case "local unaffected" `Quick
+            test_topology_local_access_unaffected;
+        ] );
+      ("cross-validation", [ QCheck_alcotest.to_alcotest prop_cross_validation ]);
+    ]

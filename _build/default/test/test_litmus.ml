@@ -1,0 +1,222 @@
+(* The paper's litmus tests (Fig. 4 and Fig. 5), plus additional litmus
+   tests: volatile-memory variants, multi-value coherence scenarios, and
+   the Finding F1 in-flight owner-crash anomaly (see DESIGN.md). *)
+
+open Cxl0
+
+let check_litmus (t : Litmus.t) () =
+  let got = Litmus.decide t in
+  Alcotest.(check bool)
+    (Fmt.str "%s: model agrees with paper (%a)" t.Litmus.name
+       Litmus.pp_verdict t.Litmus.expect)
+    true
+    (Litmus.verdict_equal got t.Litmus.expect)
+
+let paper_cases =
+  List.map
+    (fun t -> Alcotest.test_case t.Litmus.name `Quick (check_litmus t))
+    Litmus.all
+
+(* ------------------------------------------------------------------ *)
+(* Additional litmus tests beyond the paper                            *)
+(* ------------------------------------------------------------------ *)
+
+let nv2 = Machine.uniform 2
+let vol2 = Machine.uniform ~persistence:Machine.Volatile 2
+let x1 = Loc.v ~owner:0 0
+let x2 = Loc.v ~owner:1 0
+let y2 = Loc.v ~owner:1 1
+
+let extra =
+  let t ?descr ~system ~expect name events =
+    Litmus.make ?descr ~system ~expect name events
+  in
+  [
+    (* --- volatile shared memory --- *)
+    t "vol.mstore-lost" ~system:vol2 ~expect:Litmus.Allowed
+      ~descr:"with volatile memory even MStore does not survive owner crash"
+      [ Label.mstore 0 x2 1; Label.crash 1; Label.load 0 x2 0 ];
+    t "vol.rflush-lost" ~system:vol2 ~expect:Litmus.Allowed
+      ~descr:"RFlush cannot persist into volatile memory across a crash"
+      [
+        Label.lstore 0 x2 1;
+        Label.rflush 0 x2;
+        Label.crash 1;
+        Label.load 0 x2 0;
+      ];
+    t "vol.survives-writer-crash" ~system:vol2 ~expect:Litmus.Forbidden
+      ~descr:
+        "Prop 2 intuition: RFlushed value survives *writer* crash when the \
+         volatile owner stays up"
+      [
+        Label.lstore 0 x2 1;
+        Label.rflush 0 x2;
+        Label.crash 0;
+        Label.load 1 x2 0;
+      ];
+    t "vol.lflush-survives-writer-crash" ~system:vol2 ~expect:Litmus.Forbidden
+      ~descr:
+        "Prop 2: even LFlush suffices against writer crashes — the value \
+         reached the (never-crashing) owner's side"
+      [
+        Label.lstore 0 x2 1;
+        Label.lflush 0 x2;
+        Label.crash 0;
+        Label.load 1 x2 0;
+      ];
+    (* --- Finding F1: in-flight owner crash --- *)
+    t "f1.rstore-window" ~system:nv2 ~expect:Litmus.Allowed
+      ~descr:
+        "F1: owner crash between RStore and RFlush silently loses the \
+         store although the flush succeeds"
+      [
+        Label.rstore 0 x2 1;
+        Label.crash 1;
+        Label.rflush 0 x2;
+        Label.load 0 x2 0;
+      ];
+    t "f1.lstore-window" ~system:nv2 ~expect:Litmus.Allowed
+      ~descr:
+        "F1 for Alg 3': an eviction can move the LStored value to the \
+         owner's cache before the crash"
+      [
+        Label.lstore 0 x2 1;
+        Label.crash 1;
+        Label.rflush 0 x2;
+        Label.load 0 x2 0;
+      ];
+    t "f1.mstore-immune" ~system:nv2 ~expect:Litmus.Forbidden
+      ~descr:"F1: MStore persists atomically, no window"
+      [ Label.mstore 0 x2 1; Label.crash 1; Label.load 0 x2 0 ];
+    t "f1.flush-before-crash" ~system:nv2 ~expect:Litmus.Forbidden
+      ~descr:"no anomaly when the flush completes before the crash (fig4.5)"
+      [
+        Label.rstore 0 x2 1;
+        Label.rflush 0 x2;
+        Label.crash 1;
+        Label.load 0 x2 0;
+      ];
+    (* --- multi-location / multi-value --- *)
+    t "mv.overwrite" ~system:nv2 ~expect:Litmus.Forbidden
+      ~descr:"coherence: a load cannot see an overwritten value"
+      [ Label.lstore 0 x1 1; Label.lstore 0 x1 2; Label.load 1 x1 1 ];
+    t "mv.two-locs-independent" ~system:nv2 ~expect:Litmus.Allowed
+      ~descr:"per-location persistence is independent (no ordering)"
+      [
+        Label.lstore 0 x2 1;
+        Label.lstore 0 y2 2;
+        Label.rflush 0 y2;
+        Label.crash 1;
+        Label.load 0 y2 2;
+        Label.load 0 x2 0;
+      ];
+    t "mv.no-store-ordering" ~system:nv2 ~expect:Litmus.Allowed
+      ~descr:
+        "the second store may persist while the first is lost — CXL has \
+         no inter-location ordering"
+      [
+        Label.lstore 0 x2 1;
+        Label.lstore 0 y2 2;
+        Label.crash 1;
+        Label.load 0 x2 0;
+        Label.load 0 y2 0;
+      ];
+    t "mv.reader-keeps-alive" ~system:nv2 ~expect:Litmus.Forbidden
+      ~descr:
+        "the owner's copy (from the load) outlives the non-owner writer's \
+         crash — 2-machine variant of fig4.6"
+      [
+        Label.lstore 1 x1 1;
+        Label.load 0 x1 1;
+        Label.crash 1;
+        Label.load 0 x1 0;
+      ];
+    t "mv.owner-crash-after-eviction" ~system:nv2 ~expect:Litmus.Allowed
+      ~descr:
+        "the surviving writer's line may have been evicted to the owner \
+         just before the owner crashed — so the value can be lost even \
+         though the writer never crashed (the Alg 3' face of F1)"
+      [ Label.lstore 1 x1 1; Label.crash 0; Label.load 1 x1 0 ];
+  ]
+
+(* --- heterogeneous persistence: volatile compute nodes around an NV
+   memory node (the Proposition 2 deployment, but with durable memory) *)
+let mixed =
+  Machine.system
+    [|
+      Machine.make ~persistence:Machine.Volatile "C1";
+      Machine.make ~persistence:Machine.Volatile "C2";
+      Machine.make ~persistence:Machine.Non_volatile "Mem";
+    |]
+
+let m3 = Loc.v ~owner:2 0 (* on the NV memory node *)
+let c1 = Loc.v ~owner:0 0 (* on a volatile compute node *)
+
+let hetero =
+  let t ?descr ~system ~expect name events =
+    Litmus.make ?descr ~system ~expect name events
+  in
+  [
+    t "het.nv-island" ~system:mixed ~expect:Litmus.Forbidden
+      ~descr:
+        "value RFlushed into the NV memory node survives both compute \
+         nodes crashing"
+      [
+        Label.lstore 0 m3 1;
+        Label.rflush 0 m3;
+        Label.crash 0;
+        Label.crash 1;
+        Label.load 1 m3 0;
+      ];
+    t "het.compute-local-loss" ~system:mixed ~expect:Litmus.Allowed
+      ~descr:
+        "data homed on a volatile compute node dies with it even after a \
+         full RFlush"
+      [
+        Label.rstore 1 c1 1;
+        Label.rflush 1 c1;
+        Label.crash 0;
+        Label.load 1 c1 0;
+      ];
+    t "het.memnode-crash-still-fatal" ~system:mixed ~expect:Litmus.Allowed
+      ~descr:
+        "an un-flushed RStore is lost if the NV memory node reboots \
+         before write-back (NV protects memory, not caches)"
+      [ Label.rstore 0 m3 1; Label.crash 2; Label.load 0 m3 0 ];
+    t "het.memnode-crash-after-flush" ~system:mixed ~expect:Litmus.Forbidden
+      ~descr:"after the RFlush, even the memory node's own crash is safe"
+      [
+        Label.rstore 0 m3 1;
+        Label.rflush 0 m3;
+        Label.crash 2;
+        Label.load 0 m3 0;
+      ];
+  ]
+
+let extra_cases =
+  List.map
+    (fun t -> Alcotest.test_case t.Litmus.name `Quick (check_litmus t))
+    (extra @ hetero)
+
+(* run_all must agree on everything (belt-and-braces for the CLI path) *)
+let test_run_all () =
+  List.iter
+    (fun (t, _, agrees) ->
+      Alcotest.(check bool) (t.Litmus.name ^ " agrees") true agrees)
+    (Litmus.run_all ())
+
+let test_fig4_count () =
+  Alcotest.(check int) "nine Fig. 4 rows" 9 (List.length Litmus.fig4);
+  Alcotest.(check int) "five Fig. 5 variants" 5 (List.length Litmus.fig5)
+
+let () =
+  Alcotest.run "cxl0-litmus"
+    [
+      ("paper (fig4+fig5)", paper_cases);
+      ("extra", extra_cases);
+      ( "meta",
+        [
+          Alcotest.test_case "run_all agrees" `Quick test_run_all;
+          Alcotest.test_case "counts" `Quick test_fig4_count;
+        ] );
+    ]

@@ -1,0 +1,140 @@
+(* The litmus-notation parser: unit cases, error reporting, and the
+   printer round-trip property (parse . print = id for every
+   program-emittable label). *)
+
+open Cxl0
+
+let lbl = Alcotest.testable Label.pp Label.equal
+
+let parse_ok s =
+  match Parse.label s with
+  | Ok l -> l
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+(* ------------------------------------------------------------------ *)
+(* Unit cases                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_stores () =
+  Alcotest.check lbl "lstore" (Label.lstore 0 (Loc.v ~owner:1 0) 1)
+    (parse_ok "LStore_1(x^2,1)");
+  Alcotest.check lbl "rstore" (Label.rstore 1 (Loc.v ~owner:0 1) 0)
+    (parse_ok "RStore_2(y^1,0)");
+  Alcotest.check lbl "mstore" (Label.mstore 0 (Loc.v ~owner:0 2) 7)
+    (parse_ok "MStore_1(z^1,7)")
+
+let test_parse_load_flush_crash () =
+  Alcotest.check lbl "load" (Label.load 2 (Loc.v ~owner:2 0) 0)
+    (parse_ok "Load_3(x^3,0)");
+  Alcotest.check lbl "lflush" (Label.lflush 0 (Loc.v ~owner:1 0))
+    (parse_ok "LFlush_1(x^2)");
+  Alcotest.check lbl "rflush" (Label.rflush 1 (Loc.v ~owner:0 1))
+    (parse_ok "RFlush_2(y^1)");
+  Alcotest.check lbl "crash" (Label.crash 1) (parse_ok "crash_2")
+
+let test_parse_w_offsets () =
+  Alcotest.check lbl "w3" (Label.lstore 0 (Loc.v ~owner:0 3) 1)
+    (parse_ok "LStore_1(w3^1,1)");
+  Alcotest.check lbl "w10" (Label.lflush 0 (Loc.v ~owner:1 10))
+    (parse_ok "LFlush_1(w10^2)")
+
+let test_parse_case_and_space_tolerance () =
+  Alcotest.check lbl "lowercase op" (Label.lstore 0 (Loc.v ~owner:1 0) 1)
+    (parse_ok "lstore_1(x^2,1)");
+  Alcotest.check lbl "spaces in args" (Label.mstore 0 (Loc.v ~owner:1 0) 2)
+    (parse_ok "MStore_1( x^2 , 2 )");
+  Alcotest.check lbl "leading/trailing space" (Label.crash 0)
+    (parse_ok "  crash_1  ")
+
+let test_parse_errors () =
+  let bad s =
+    match Parse.label s with
+    | Ok _ -> Alcotest.failf "%S should not parse" s
+    | Error _ -> ()
+  in
+  bad "LStore_1(x2,1)" (* missing ^ *);
+  bad "LStore_0(x^1,1)" (* machines are 1-based *);
+  bad "LStore_1(x^0,1)" (* owners are 1-based *);
+  bad "Frob_1(x^1,1)";
+  bad "LStore_1(x^1)" (* store needs a value *);
+  bad "LFlush_1(x^1,1)" (* flush takes no value *);
+  bad "crash_1(x^1)" (* crash takes no args *);
+  bad "LStore_1(q^1,1)" (* unknown base *);
+  bad "LStore_1(x^1,abc)";
+  bad "LStore_1(x^1,1" (* missing paren *)
+
+let test_parse_program () =
+  match
+    Parse.program [ "LStore_1(x^2,1); crash_2"; "Load_1(x^2,0)" ]
+  with
+  | Error e -> Alcotest.failf "program: %s" e
+  | Ok ls ->
+      Alcotest.(check int) "three events" 3 (List.length ls);
+      Alcotest.check lbl "last" (Label.load 0 (Loc.v ~owner:1 0) 0)
+        (List.nth ls 2)
+
+let test_parse_program_error_propagates () =
+  match Parse.program [ "LStore_1(x^2,1)"; "nonsense" ] with
+  | Ok _ -> Alcotest.fail "should fail"
+  | Error _ -> ()
+
+(* the parser front-end accepts everything the paper's litmus tests use *)
+let test_parses_fig4 () =
+  List.iter
+    (fun t ->
+      List.iter
+        (fun l ->
+          Alcotest.check lbl
+            (Fmt.str "%s roundtrip" (Label.to_string l))
+            l
+            (parse_ok (Label.to_string l)))
+        t.Litmus.events)
+    Litmus.all
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip property                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_label =
+  QCheck.Gen.(
+    let mid = int_range 0 3 in
+    let loc = map2 (fun o off -> Loc.v ~owner:o off) (int_range 0 3) (int_range 0 6) in
+    let v = int_range (-4) 9 in
+    oneof
+      [
+        map3 (fun i x v -> Label.lstore i x v) mid loc v;
+        map3 (fun i x v -> Label.rstore i x v) mid loc v;
+        map3 (fun i x v -> Label.mstore i x v) mid loc v;
+        map3 (fun i x v -> Label.load i x v) mid loc v;
+        map2 (fun i x -> Label.lflush i x) mid loc;
+        map2 (fun i x -> Label.rflush i x) mid loc;
+        map (fun i -> Label.crash i) mid;
+      ])
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"parse (print label) = label" ~count:500
+    (QCheck.make ~print:Label.to_string gen_label)
+    (fun l ->
+      match Parse.label (Label.to_string l) with
+      | Ok l' -> Label.equal l l'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "cxl0-parse"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "stores" `Quick test_parse_stores;
+          Alcotest.test_case "load/flush/crash" `Quick
+            test_parse_load_flush_crash;
+          Alcotest.test_case "w offsets" `Quick test_parse_w_offsets;
+          Alcotest.test_case "tolerance" `Quick
+            test_parse_case_and_space_tolerance;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "program" `Quick test_parse_program;
+          Alcotest.test_case "program errors" `Quick
+            test_parse_program_error_propagates;
+          Alcotest.test_case "parses all paper litmus" `Quick test_parses_fig4;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+    ]

@@ -1,0 +1,141 @@
+(* Proposition 1 (§3.3): exhaustive bounded model checking over small
+   domains, plus randomized checks on larger systems, plus sanity checks
+   that the checker itself can detect false "propositions". *)
+
+open Cxl0
+
+let test_items_present () =
+  Alcotest.(check int) "eight items" 8 (List.length Props.items);
+  List.iteri
+    (fun i it -> Alcotest.(check int) "numbered in order" (i + 1) it.Props.id)
+    Props.items
+
+(* --- exhaustive: 2 machines, 1 loc each, vals {0,1} (the default) --- *)
+let test_exhaustive_default () =
+  let _sys, failures = Props.check_default () in
+  List.iter (fun f -> Fmt.epr "%a@." Props.pp_failure f) failures;
+  Alcotest.(check int) "no failures" 0 (List.length failures)
+
+(* --- exhaustive: volatile machines (crash rule differs; the
+   propositions do not involve crashes but the domain enumeration
+   should still hold) --- *)
+let test_exhaustive_volatile () =
+  let sys = Machine.uniform ~persistence:Machine.Volatile 2 in
+  let locs = [ Loc.v ~owner:0 0; Loc.v ~owner:1 0 ] in
+  let failures = Props.check_exhaustive sys ~locs ~vals:[ 0; 1 ] in
+  Alcotest.(check int) "no failures" 0 (List.length failures)
+
+(* --- exhaustive: 3 machines, mixed ownership, smaller value domain
+   (larger holder subsets exercise multi-holder configurations) --- *)
+let test_exhaustive_three_machines () =
+  let sys = Machine.uniform 3 in
+  let locs = [ Loc.v ~owner:0 0; Loc.v ~owner:2 0 ] in
+  let failures = Props.check_exhaustive sys ~locs ~vals:[ 0; 1 ] in
+  Alcotest.(check int) "no failures" 0 (List.length failures)
+
+(* --- exhaustive: heterogeneous persistence (§3.1 allows any mix of
+   volatile and non-volatile machines) --- *)
+let test_exhaustive_mixed_persistence () =
+  let sys =
+    Machine.system
+      [|
+        Machine.make ~persistence:Machine.Volatile "compute";
+        Machine.make ~persistence:Machine.Non_volatile "memnode";
+      |]
+  in
+  let locs = [ Loc.v ~owner:0 0; Loc.v ~owner:1 0 ] in
+  let failures = Props.check_exhaustive sys ~locs ~vals:[ 0; 1 ] in
+  Alcotest.(check int) "no failures" 0 (List.length failures)
+
+(* --- a deliberately false simulation must be caught --- *)
+let test_checker_detects_false_item () =
+  let bogus =
+    {
+      Props.id = 99;
+      name = "LStore is stronger than MStore (false)";
+      lhs = (fun i x v -> [ Label.lstore i x v ]);
+      rhs = (fun i x v -> [ Label.mstore i x v ]);
+      issuers = Props.non_owners;
+    }
+  in
+  let sys = Machine.uniform 2 in
+  let locs = [ Loc.v ~owner:1 0 ] in
+  let failures =
+    Props.check_exhaustive ~items:[ bogus ] sys ~locs ~vals:[ 0; 1 ]
+  in
+  Alcotest.(check bool) "counterexample found" true (failures <> [])
+
+(* A second false statement: LFlush is NOT stronger than RFlush. *)
+let test_checker_detects_false_flush_item () =
+  let bogus =
+    {
+      Props.id = 98;
+      name = "LFlush is stronger than RFlush (false)";
+      lhs = (fun i x _ -> [ Label.lflush i x ]);
+      rhs = (fun i x _ -> [ Label.rflush i x ]);
+      issuers = Props.non_owners;
+    }
+  in
+  let sys = Machine.uniform 2 in
+  let locs = [ Loc.v ~owner:1 0 ] in
+  let failures =
+    Props.check_exhaustive ~items:[ bogus ] sys ~locs ~vals:[ 0; 1 ]
+  in
+  Alcotest.(check bool) "counterexample found" true (failures <> [])
+
+(* --- enum_configs sanity --- *)
+let test_enum_configs () =
+  let sys = Machine.uniform 2 in
+  let locs = [ Loc.v ~owner:0 0 ] in
+  let cfgs = Props.enum_configs sys ~locs ~vals:[ 0; 1 ] in
+  (* per loc: cached in {none, (v, holders)} = 1 + 2*3 = 7; mem in {0,1}
+     -> 14 configurations *)
+  Alcotest.(check int) "count" 14 (List.length cfgs);
+  Alcotest.(check bool) "all satisfy invariant" true
+    (List.for_all Config.invariant cfgs);
+  (* all distinct *)
+  let set = List.fold_left (fun s c -> Config.Set.add c s) Config.Set.empty cfgs in
+  Alcotest.(check int) "all distinct" 14 (Config.Set.cardinal set)
+
+(* --- randomized: items hold from configurations reached by random
+   walks on a 3-machine system with 3 locations --- *)
+let prop_items_on_random_reachable =
+  QCheck.Test.make ~name:"Prop1 items hold from random reachable configs"
+    ~count:60
+    QCheck.(pair small_nat (int_bound 25))
+    (fun (seed, len) ->
+      let sys = Machine.uniform 3 in
+      let locs = [ Loc.v ~owner:0 0; Loc.v ~owner:1 0; Loc.v ~owner:2 0 ] in
+      let vals = [ 0; 1 ] in
+      let t = Trace.random_walk ~seed ~len sys ~locs ~vals in
+      List.for_all
+        (fun it ->
+          Props.check_item sys it t.Trace.final ~locs ~vals = None)
+        Props.items)
+
+let () =
+  Alcotest.run "cxl0-props"
+    [
+      ( "prop1",
+        [
+          Alcotest.test_case "items present" `Quick test_items_present;
+          Alcotest.test_case "exhaustive default domain" `Quick
+            test_exhaustive_default;
+          Alcotest.test_case "exhaustive volatile" `Quick
+            test_exhaustive_volatile;
+          Alcotest.test_case "exhaustive three machines" `Slow
+            test_exhaustive_three_machines;
+          Alcotest.test_case "exhaustive mixed persistence" `Quick
+            test_exhaustive_mixed_persistence;
+        ] );
+      ( "checker-sanity",
+        [
+          Alcotest.test_case "false item caught" `Quick
+            test_checker_detects_false_item;
+          Alcotest.test_case "false flush item caught" `Quick
+            test_checker_detects_false_flush_item;
+          Alcotest.test_case "config enumeration" `Quick test_enum_configs;
+        ] );
+      ( "randomized",
+        [ QCheck_alcotest.to_alcotest prop_items_on_random_reachable ] );
+    ]

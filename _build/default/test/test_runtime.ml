@@ -1,0 +1,359 @@
+(* The cooperative runtime: scheduler (spawn/run/interleaving/crash) and
+   the thread-level memory primitives. *)
+
+module F = Fabric
+module S = Runtime.Sched
+module O = Runtime.Ops
+
+let mk_fab ?(n = 2) ?(volatile = false) () =
+  F.uniform ~seed:5 ~evict_prob:0.0 ~volatile n
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_to_completion () =
+  let fab = mk_fab () in
+  let s = S.create fab in
+  let hits = ref 0 in
+  for _ = 1 to 5 do
+    ignore (S.spawn s ~machine:0 ~name:"t" (fun _ -> incr hits))
+  done;
+  ignore (S.run s);
+  Alcotest.(check int) "all threads ran" 5 !hits;
+  Alcotest.(check int) "none left" 0 (S.alive s)
+
+let test_tids_unique_and_fresh () =
+  let fab = mk_fab () in
+  let s = S.create fab in
+  let t1 = S.spawn s ~machine:0 ~name:"a" (fun _ -> ()) in
+  let t2 = S.spawn s ~machine:1 ~name:"b" (fun _ -> ()) in
+  ignore (S.run s);
+  let t3 = S.spawn s ~machine:0 ~name:"c" (fun _ -> ()) in
+  Alcotest.(check bool) "distinct" true (t1 <> t2 && t2 <> t3 && t1 <> t3);
+  Alcotest.(check bool) "monotone (never reused)" true (t3 > t2 && t2 > t1)
+
+let test_interleaving_happens () =
+  (* two threads alternately appending their id: with yields between
+     appends, a seeded scheduler must interleave them (not run one to
+     completion first) for at least one seed *)
+  let interleaved seed =
+    let fab = mk_fab () in
+    let s = S.create ~seed fab in
+    let order = ref [] in
+    for id = 0 to 1 do
+      ignore
+        (S.spawn s ~machine:0 ~name:"t" (fun ctx ->
+             for _ = 1 to 4 do
+               order := id :: !order;
+               S.yield ctx
+             done))
+    done;
+    ignore (S.run s);
+    let l = List.rev !order in
+    (* count alternations *)
+    let rec alternations = function
+      | a :: (b :: _ as rest) ->
+          (if a <> b then 1 else 0) + alternations rest
+      | _ -> 0
+    in
+    alternations l > 1
+  in
+  Alcotest.(check bool) "some seed interleaves" true
+    (List.exists interleaved [ 1; 2; 3; 4; 5 ])
+
+let test_determinism () =
+  (* same seed -> same interleaving *)
+  let trace seed =
+    let fab = mk_fab () in
+    let s = S.create ~seed fab in
+    let order = ref [] in
+    for id = 0 to 2 do
+      ignore
+        (S.spawn s ~machine:0 ~name:"t" (fun ctx ->
+             for _ = 1 to 3 do
+               order := id :: !order;
+               S.yield ctx
+             done))
+    done;
+    ignore (S.run s);
+    List.rev !order
+  in
+  Alcotest.(check (list int)) "reproducible" (trace 11) (trace 11);
+  Alcotest.(check bool) "seed matters (some pair differs)" true
+    (trace 11 <> trace 12 || trace 11 <> trace 13)
+
+let test_crash_kills_threads () =
+  let fab = mk_fab () in
+  let s = S.create fab in
+  let m0_steps = ref 0 and m1_steps = ref 0 in
+  ignore
+    (S.spawn s ~machine:0 ~name:"victim" (fun ctx ->
+         for _ = 1 to 1000 do
+           incr m0_steps;
+           S.yield ctx
+         done));
+  ignore
+    (S.spawn s ~machine:1 ~name:"survivor" (fun ctx ->
+         for _ = 1 to 10 do
+           incr m1_steps;
+           S.yield ctx
+         done));
+  S.at_step s 5 (S.Crash 0);
+  ignore (S.run s);
+  Alcotest.(check bool) "victim died early" true (!m0_steps < 1000);
+  Alcotest.(check int) "survivor finished" 10 !m1_steps;
+  Alcotest.(check bool) "machine down" false (S.machine_is_up s 0)
+
+let test_spawn_on_crashed_rejected () =
+  let fab = mk_fab () in
+  let s = S.create fab in
+  S.crash_now s 0;
+  Alcotest.check_raises "rejected"
+    (Invalid_argument "Sched.spawn: machine 0 is crashed") (fun () ->
+      ignore (S.spawn s ~machine:0 ~name:"t" (fun _ -> ())));
+  S.restart s 0;
+  ignore (S.spawn s ~machine:0 ~name:"t" (fun _ -> ()));
+  ignore (S.run s)
+
+let test_plan_call_and_restart () =
+  let fab = mk_fab () in
+  let s = S.create fab in
+  let post_recovery = ref false in
+  ignore
+    (S.spawn s ~machine:0 ~name:"looper" (fun ctx ->
+         for _ = 1 to 20 do
+           S.yield ctx
+         done));
+  S.at_step s 3 (S.Crash 1);
+  S.at_step s 6
+    (S.Call
+       (fun s ->
+         S.restart s 1;
+         ignore
+           (S.spawn s ~machine:1 ~name:"recovered" (fun _ ->
+                post_recovery := true))));
+  ignore (S.run s);
+  Alcotest.(check bool) "recovery thread ran" true !post_recovery
+
+let test_plan_fires_when_idle () =
+  (* plan actions scheduled beyond the last runnable step still fire *)
+  let fab = mk_fab () in
+  let s = S.create fab in
+  let fired = ref false in
+  ignore (S.spawn s ~machine:0 ~name:"short" (fun _ -> ()));
+  S.at_step s 1000 (S.Call (fun _ -> fired := true));
+  ignore (S.run s);
+  Alcotest.(check bool) "fired" true !fired
+
+(* ------------------------------------------------------------------ *)
+(* Ops                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_thread ?(fab = mk_fab ()) ?(machine = 0) body =
+  let s = S.create fab in
+  let result = ref None in
+  ignore (S.spawn s ~machine ~name:"t" (fun ctx -> result := Some (body ctx)));
+  ignore (S.run s);
+  (fab, Option.get !result)
+
+let test_ops_store_load () =
+  let _, v =
+    run_thread (fun ctx ->
+        let x = O.alloc ctx ~owner:1 in
+        O.lstore ctx x 7;
+        O.load ctx x)
+  in
+  Alcotest.(check int) "roundtrip" 7 v
+
+let test_ops_store_kinds () =
+  let fab, () =
+    run_thread (fun ctx ->
+        let x = O.alloc ctx ~owner:1 in
+        let y = O.alloc ctx ~owner:1 in
+        O.store ctx Cxl0.Label.R x 1;
+        O.store ctx Cxl0.Label.M y 2)
+  in
+  let s = F.stats fab in
+  Alcotest.(check int) "rstore" 1 s.F.Stats.rstores;
+  Alcotest.(check int) "mstore" 1 s.F.Stats.mstores
+
+let test_ops_flush_persists () =
+  let fab, x =
+    run_thread (fun ctx ->
+        let x = O.alloc ctx ~owner:1 in
+        O.lstore ctx x 7;
+        O.rflush ctx x;
+        x)
+  in
+  F.crash fab 1;
+  Alcotest.(check int) "survived" 7 (F.load fab 0 x)
+
+let test_ops_faa_cas () =
+  let _, (old1, old2, casok, final) =
+    run_thread (fun ctx ->
+        let x = O.alloc ctx ~owner:1 in
+        let a = O.faa ctx x 3 in
+        let b = O.faa ctx x 4 in
+        let ok = O.cas ctx x ~expected:7 ~desired:100 ~kind:Cxl0.Label.R in
+        (a, b, ok, O.load ctx x))
+  in
+  Alcotest.(check int) "faa old 1" 0 old1;
+  Alcotest.(check int) "faa old 2" 3 old2;
+  Alcotest.(check bool) "cas ok" true casok;
+  Alcotest.(check int) "final" 100 final
+
+let test_ops_alloc_local () =
+  let fab, x = run_thread ~machine:1 (fun ctx -> O.alloc_local ctx) in
+  Alcotest.(check int) "owned by caller's machine" 1 (F.owner fab x)
+
+let test_concurrent_counter_with_faa () =
+  (* n threads x k increments via FAA = n*k, under arbitrary scheduling *)
+  let fab = mk_fab ~n:3 () in
+  let s = S.create ~seed:99 fab in
+  let x = F.alloc fab ~owner:2 in
+  for m = 0 to 2 do
+    ignore
+      (S.spawn s ~machine:m ~name:"inc" (fun ctx ->
+           for _ = 1 to 10 do
+             ignore (O.faa ctx x 1)
+           done))
+  done;
+  ignore (S.run s);
+  Alcotest.(check int) "30 increments" 30 (F.load fab 0 x)
+
+(* ------------------------------------------------------------------ *)
+(* Root directory                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module RD = Runtime.Rootdir
+
+let test_rootdir_register_lookup () =
+  let _, () =
+    run_thread (fun ctx ->
+        let dir = RD.create ctx ~home:1 () in
+        let a = O.alloc ctx ~owner:1 in
+        let b = O.alloc ctx ~owner:1 in
+        Alcotest.(check bool) "register a" true (RD.register dir ctx ~name:"a" a);
+        Alcotest.(check bool) "register b" true (RD.register dir ctx ~name:"b" b);
+        Alcotest.(check (option int)) "lookup a" (Some a)
+          (RD.lookup dir ctx ~name:"a");
+        Alcotest.(check (option int)) "lookup b" (Some b)
+          (RD.lookup dir ctx ~name:"b");
+        Alcotest.(check (option int)) "lookup missing" None
+          (RD.lookup dir ctx ~name:"zzz");
+        Alcotest.(check int) "two names" 2 (RD.names_used dir ctx))
+  in
+  ()
+
+let test_rootdir_overwrite () =
+  let _, () =
+    run_thread (fun ctx ->
+        let dir = RD.create ctx ~home:1 () in
+        let a = O.alloc ctx ~owner:1 in
+        let a' = O.alloc ctx ~owner:1 in
+        ignore (RD.register dir ctx ~name:"root" a);
+        ignore (RD.register dir ctx ~name:"root" a');
+        Alcotest.(check (option int)) "rebinding wins" (Some a')
+          (RD.lookup dir ctx ~name:"root");
+        Alcotest.(check int) "still one slot" 1 (RD.names_used dir ctx))
+  in
+  ()
+
+let test_rootdir_full () =
+  let _, () =
+    run_thread (fun ctx ->
+        let dir = RD.create ctx ~slots:2 ~home:1 () in
+        let x = O.alloc ctx ~owner:1 in
+        Alcotest.(check bool) "1" true (RD.register dir ctx ~name:"a" x);
+        Alcotest.(check bool) "2" true (RD.register dir ctx ~name:"b" x);
+        Alcotest.(check bool) "full" false (RD.register dir ctx ~name:"c" x))
+  in
+  ()
+
+let test_rootdir_survives_crash_and_attach () =
+  let fab = mk_fab () in
+  let s = S.create fab in
+  let loc = ref 0 in
+  ignore
+    (S.spawn s ~machine:1 ~name:"init" (fun ctx ->
+         let dir = RD.create ctx ~home:1 () in
+         loc := O.alloc ctx ~owner:1;
+         O.mstore ctx !loc 77;
+         ignore (RD.register dir ctx ~name:"data" !loc)));
+  ignore (S.run s);
+  F.crash fab 1;
+  (* recovery: rediscover the directory by convention, then the data *)
+  let s2 = S.create fab in
+  ignore
+    (S.spawn s2 ~machine:0 ~name:"recover" (fun ctx ->
+         let dir = RD.attach fab ~home:1 () in
+         match RD.lookup dir ctx ~name:"data" with
+         | Some l ->
+             Alcotest.(check int) "registered loc recovered" !loc l;
+             Alcotest.(check int) "data intact" 77 (O.load ctx l)
+         | None -> Alcotest.fail "registration lost"));
+  ignore (S.run s2)
+
+let test_rootdir_concurrent_registration () =
+  let fab = mk_fab ~n:3 () in
+  let s = S.create ~seed:13 fab in
+  let dir = ref None in
+  ignore
+    (S.spawn s ~machine:2 ~name:"init" (fun ctx ->
+         dir := Some (RD.create ctx ~home:2 ());
+         for m = 0 to 1 do
+           ignore
+             (S.spawn s ~machine:m ~name:"reg" (fun ctx ->
+                  let d = Option.get !dir in
+                  let x = O.alloc ctx ~owner:2 in
+                  Alcotest.(check bool) "registered" true
+                    (RD.register d ctx ~name:(Printf.sprintf "n%d" ctx.S.tid) x)))
+         done));
+  ignore (S.run s);
+  let s2 = S.create fab in
+  ignore
+    (S.spawn s2 ~machine:0 ~name:"check" (fun ctx ->
+         Alcotest.(check int) "both slots claimed" 2
+           (RD.names_used (Option.get !dir) ctx)));
+  ignore (S.run s2)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "sched",
+        [
+          Alcotest.test_case "run to completion" `Quick test_run_to_completion;
+          Alcotest.test_case "fresh tids" `Quick test_tids_unique_and_fresh;
+          Alcotest.test_case "interleaving" `Quick test_interleaving_happens;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "crash kills threads" `Quick
+            test_crash_kills_threads;
+          Alcotest.test_case "spawn on crashed" `Quick
+            test_spawn_on_crashed_rejected;
+          Alcotest.test_case "restart + recovery" `Quick
+            test_plan_call_and_restart;
+          Alcotest.test_case "idle plan fires" `Quick test_plan_fires_when_idle;
+        ] );
+      ( "ops",
+        [
+          Alcotest.test_case "store/load" `Quick test_ops_store_load;
+          Alcotest.test_case "store kinds" `Quick test_ops_store_kinds;
+          Alcotest.test_case "flush persists" `Quick test_ops_flush_persists;
+          Alcotest.test_case "faa/cas" `Quick test_ops_faa_cas;
+          Alcotest.test_case "alloc_local" `Quick test_ops_alloc_local;
+          Alcotest.test_case "concurrent faa" `Quick
+            test_concurrent_counter_with_faa;
+        ] );
+      ( "rootdir",
+        [
+          Alcotest.test_case "register/lookup" `Quick
+            test_rootdir_register_lookup;
+          Alcotest.test_case "overwrite" `Quick test_rootdir_overwrite;
+          Alcotest.test_case "full" `Quick test_rootdir_full;
+          Alcotest.test_case "crash + attach" `Quick
+            test_rootdir_survives_crash_and_attach;
+          Alcotest.test_case "concurrent registration" `Quick
+            test_rootdir_concurrent_registration;
+        ] );
+    ]

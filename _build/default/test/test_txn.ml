@@ -1,0 +1,117 @@
+(* Table 1: the mapping from concrete CXL 3.1 transactions to CXL0
+   instructions, and executing concrete-transaction programs through the
+   formal semantics. *)
+
+open Cxl0
+
+let test_table1_rows () =
+  (* exactly the rows of Table 1 *)
+  let row name = List.assoc name Cxl_txn.table1 in
+  Alcotest.(check (list string))
+    "LStore row"
+    [ "WOWrInv"; "WOWrInvF"; "MemWrFwd" ]
+    (List.map Cxl_txn.name (row "LStore"));
+  Alcotest.(check (list string))
+    "RStore row"
+    [ "MemWrPtl"; "MemWr"; "WrCur"; "ItoMWr" ]
+    (List.map Cxl_txn.name (row "RStore"));
+  Alcotest.(check (list string)) "MStore row" [ "WrInv" ]
+    (List.map Cxl_txn.name (row "MStore"));
+  Alcotest.(check (list string)) "LFlush row" [ "CLFlush" ]
+    (List.map Cxl_txn.name (row "LFlush"));
+  Alcotest.(check (list string))
+    "RFlush row" [ "DirtyEvict"; "CleanEvict" ]
+    (List.map Cxl_txn.name (row "RFlush"))
+
+let test_classification_consistent_with_table () =
+  (* classify agrees with the table rows *)
+  List.iter
+    (fun (rowname, txns) ->
+      List.iter
+        (fun txn ->
+          let got =
+            Fmt.str "%a" Cxl_txn.pp_abstract (Cxl_txn.classify txn)
+          in
+          Alcotest.(check string) (Cxl_txn.name txn) rowname got)
+        txns)
+    Cxl_txn.table1
+
+let test_every_txn_classified () =
+  (* the table covers all transactions exactly once *)
+  let in_table = List.concat_map snd Cxl_txn.table1 in
+  Alcotest.(check int) "all present" (List.length Cxl_txn.all)
+    (List.length in_table);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) (Cxl_txn.name t) true (List.mem t in_table))
+    Cxl_txn.all
+
+let test_role_predicates () =
+  Alcotest.(check bool) "WrInv is a write" true (Cxl_txn.is_write Cxl_txn.WrInv);
+  Alcotest.(check bool) "RdCurr is a read" true (Cxl_txn.is_read Cxl_txn.RdCurr);
+  Alcotest.(check bool) "CLFlush is a flush" true
+    (Cxl_txn.is_flush Cxl_txn.CLFlush);
+  Alcotest.(check bool) "CLFlush is not a write" false
+    (Cxl_txn.is_write Cxl_txn.CLFlush)
+
+let test_to_label () =
+  let x2 = Loc.v ~owner:1 0 in
+  Alcotest.(check bool) "MemWr becomes RStore" true
+    (Label.equal
+       (Cxl_txn.to_label Cxl_txn.MemWr 0 x2 (Some 5))
+       (Label.rstore 0 x2 5));
+  Alcotest.(check bool) "DirtyEvict becomes RFlush" true
+    (Label.equal (Cxl_txn.to_label Cxl_txn.DirtyEvict 0 x2 None) (Label.rflush 0 x2));
+  Alcotest.(check bool) "RdAny becomes Load" true
+    (Label.equal (Cxl_txn.to_label Cxl_txn.RdAny 0 x2 (Some 0)) (Label.load 0 x2 0))
+
+let test_to_label_requires_value () =
+  let x2 = Loc.v ~owner:1 0 in
+  Alcotest.check_raises "write needs value"
+    (Invalid_argument "Cxl_txn.to_label: MemWr needs a value") (fun () ->
+      ignore (Cxl_txn.to_label Cxl_txn.MemWr 0 x2 None))
+
+(* Execute a concrete-transaction program through the CXL0 semantics:
+   the WrInv (MStore) version of fig4.2 must be forbidden; the MemWr
+   (RStore) version of fig4.1 allowed. *)
+let test_concrete_program_semantics () =
+  let sys = Machine.uniform 2 in
+  let x1 = Loc.v ~owner:0 0 in
+  let prog_wrinv =
+    [
+      Cxl_txn.to_label Cxl_txn.WrInv 0 x1 (Some 1);
+      Label.crash 0;
+      Cxl_txn.to_label Cxl_txn.RdShared 0 x1 (Some 0);
+    ]
+  in
+  Alcotest.(check bool) "WrInv survives crash" false
+    (Explore.feasible sys Config.init prog_wrinv);
+  let prog_memwr =
+    [
+      Cxl_txn.to_label Cxl_txn.MemWr 0 x1 (Some 1);
+      Label.crash 0;
+      Cxl_txn.to_label Cxl_txn.RdShared 0 x1 (Some 0);
+    ]
+  in
+  Alcotest.(check bool) "MemWr may be lost" true
+    (Explore.feasible sys Config.init prog_memwr)
+
+let () =
+  Alcotest.run "cxl0-txn"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "rows" `Quick test_table1_rows;
+          Alcotest.test_case "classification" `Quick
+            test_classification_consistent_with_table;
+          Alcotest.test_case "coverage" `Quick test_every_txn_classified;
+          Alcotest.test_case "role predicates" `Quick test_role_predicates;
+        ] );
+      ( "labels",
+        [
+          Alcotest.test_case "to_label" `Quick test_to_label;
+          Alcotest.test_case "value required" `Quick test_to_label_requires_value;
+          Alcotest.test_case "concrete program" `Quick
+            test_concrete_program_semantics;
+        ] );
+    ]
