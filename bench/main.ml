@@ -65,16 +65,18 @@ let durability_matrix () =
     }
   in
   let sweep kind t ~machine =
-    let fails = ref 0 in
+    let fails = ref 0 and skips = ref 0 in
     for seed = 1 to 12 do
       let c = Harness.Workload.default_config kind t in
       let c =
         { c with Harness.Workload.seed; crashes = [ crash_spec ~machine seed ] }
       in
-      if not (Harness.Workload.check c).Lincheck.Durable.durable then
-        incr fails
+      let v = Harness.Workload.check c in
+      match v.Lincheck.Durable.skipped with
+      | Some _ -> incr skips (* undecidable history, not a violation *)
+      | None -> if not v.Lincheck.Durable.durable then incr fails
     done;
-    !fails
+    (!fails, !skips)
   in
   Fmt.pr "%-18s" "";
   List.iter
@@ -90,8 +92,10 @@ let durability_matrix () =
           Fmt.pr "%-18s" T.name;
           List.iter
             (fun kind ->
-              let f = sweep kind (module T : Flit.Flit_intf.S) ~machine in
-              Fmt.pr "%14s" (Printf.sprintf "%d/12" f))
+              let f, s = sweep kind (module T : Flit.Flit_intf.S) ~machine in
+              Fmt.pr "%14s"
+                (if s = 0 then Printf.sprintf "%d/12" f
+                 else Printf.sprintf "%d/12 (%d?)" f s))
             Harness.Objects.all_kinds;
           Fmt.pr "@.")
         [ (module Flit.Simple : Flit.Flit_intf.S); (module Flit.Mstore);
@@ -337,6 +341,66 @@ let e13_topology () =
      paper's introduction describes)@."
 
 (* ------------------------------------------------------------------ *)
+(* E14: Prop-1 engine trajectory (--prop1-bench)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the exhaustive Proposition 1 sweep on the packed engine
+   against the reference map-set engine over the same domain, checks the
+   failure lists are identical, and records the result in
+   BENCH_prop1.json.  The default domain (3 machines / 3 locations /
+   2 values — 27 000 start configurations) takes the reference engine a
+   long time by design: that gap is the point.  [--small] drops to
+   2 locations (900 configurations) for smoke runs and CI. *)
+let prop1_bench ~small ~jobs () =
+  let n = 3 in
+  let sys = Cxl0.Machine.uniform n in
+  let locs = List.init (if small then 2 else 3) (fun i -> Cxl0.Loc.v ~owner:i 0) in
+  let vals = [ 0; 1 ] in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Cxl0.Parallel.default_jobs ()
+  in
+  let configs = Cxl0.Props.enum_configs_count sys ~locs ~vals in
+  let domain =
+    Printf.sprintf "%d machines, %d locations, %d values" n (List.length locs)
+      (List.length vals)
+  in
+  hr "E14: Prop-1 engine trajectory";
+  Fmt.pr "domain: %s — %d start configurations, %d job(s)@." domain configs
+    jobs;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let seconds_par, par =
+    time (fun () -> Cxl0.Props.check_exhaustive ~jobs sys ~locs ~vals)
+  in
+  Fmt.pr "  packed engine (%d job(s)):  %8.2f s  (%d failure(s))@." jobs
+    seconds_par (List.length par);
+  let seconds_seq, seq =
+    time (fun () -> Cxl0.Props.check_exhaustive_reference sys ~locs ~vals)
+  in
+  Fmt.pr "  reference map-set engine:  %8.2f s  (%d failure(s))@." seconds_seq
+    (List.length seq);
+  if
+    not
+      (List.length seq = List.length par
+      && List.for_all2 Cxl0.Props.failure_equal seq par)
+  then begin
+    Fmt.epr "FATAL: engines disagree on the failure list@.";
+    exit 1
+  end;
+  Fmt.pr "  failure lists identical; speedup %.1fx@."
+    (seconds_seq /. seconds_par);
+  let oc = open_out "BENCH_prop1.json" in
+  Printf.fprintf oc
+    "{ \"domain\": %S, \"configs\": %d, \"seconds_seq\": %.3f, \
+     \"seconds_par\": %.3f, \"jobs\": %d }\n"
+    domain configs seconds_seq seconds_par jobs;
+  close_out oc;
+  Fmt.pr "  wrote BENCH_prop1.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-time benches                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -427,6 +491,20 @@ let run_bechamel () =
     (List.sort compare names)
 
 let () =
+  let argv = Array.to_list Sys.argv in
+  if List.mem "--prop1-bench" argv then begin
+    let small = List.mem "--small" argv in
+    let jobs =
+      let rec find = function
+        | "--jobs" :: j :: _ -> int_of_string_opt j
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find argv
+    in
+    prop1_bench ~small ~jobs ();
+    exit 0
+  end;
   Fmt.pr "CXL0 benchmark harness — every paper table/figure + performance \
           experiments@.";
   litmus_tables ();

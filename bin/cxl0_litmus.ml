@@ -7,7 +7,7 @@
 
 open Cmdliner
 
-let run only name trace =
+let run only name trace jobs =
   let tests =
     match only with
     | "fig4" -> Cxl0.Litmus.fig4
@@ -23,12 +23,17 @@ let run only name trace =
     Fmt.epr "no litmus test matches@.";
     exit 2
   end;
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Cxl0.Parallel.default_jobs ()
+  in
+  let decided = Cxl0.Litmus.decide_all ~jobs tests in
   let all_ok = ref true in
   List.iter
-    (fun t ->
-      Fmt.pr "%a@." Cxl0.Litmus.pp_result t;
+    (fun ((t, got) as row) ->
+      Fmt.pr "%a@." Cxl0.Litmus.pp_decided row;
       if t.Cxl0.Litmus.descr <> "" then Fmt.pr "    %s@." t.Cxl0.Litmus.descr;
-      if not (Cxl0.Litmus.agrees t) then all_ok := false;
+      if not (Cxl0.Litmus.verdict_equal got t.Cxl0.Litmus.expect) then
+        all_ok := false;
       if trace then begin
         let final =
           Cxl0.Explore.run t.Cxl0.Litmus.system Cxl0.Config.init
@@ -40,7 +45,7 @@ let run only name trace =
           (fun cfg -> Fmt.pr "      %a@." Cxl0.Config.pp cfg)
           (Cxl0.Explore.elements final)
       end)
-    tests;
+    decided;
   if !all_ok then begin
     Fmt.pr "@.model and paper agree on all %d tests@." (List.length tests);
     0
@@ -67,9 +72,18 @@ let trace =
     value & flag
     & info [ "trace" ] ~doc:"Print the reachable final configurations.")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"J"
+        ~doc:
+          "Worker domains to decide tests in parallel (default: the number \
+           of cores).")
+
 let cmd =
   Cmd.v
     (Cmd.info "cxl0-litmus" ~doc:"Run the paper's CXL0 litmus tests")
-    Term.(const run $ only $ test_name $ trace)
+    Term.(const run $ only $ test_name $ trace $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,7 +8,7 @@
 
 open Cmdliner
 
-let run n locs vals item volatile =
+let run n locs vals item volatile jobs =
   let persistence =
     if volatile then Cxl0.Machine.Volatile else Cxl0.Machine.Non_volatile
   in
@@ -22,17 +22,20 @@ let run n locs vals item volatile =
     | None -> Cxl0.Props.items
     | Some i -> [ Cxl0.Props.item i ]
   in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Cxl0.Parallel.default_jobs ()
+  in
   let n_configs =
-    List.length (Cxl0.Props.enum_configs sys ~locs:locations ~vals:values)
+    Cxl0.Props.enum_configs_count sys ~locs:locations ~vals:values
   in
   Fmt.pr
     "checking %d item(s) over %d machines (%s), %d locations, %d values: %d \
-     start configurations@."
+     start configurations, %d job(s)@."
     (List.length items) n
     (if volatile then "volatile" else "non-volatile")
-    locs vals n_configs;
+    locs vals n_configs jobs;
   let failures =
-    Cxl0.Props.check_exhaustive ~items sys ~locs:locations ~vals:values
+    Cxl0.Props.check_exhaustive ~items ~jobs sys ~locs:locations ~vals:values
   in
   List.iter
     (fun it ->
@@ -76,9 +79,18 @@ let item =
 let volatile =
   Arg.(value & flag & info [ "volatile" ] ~doc:"Use volatile shared memory.")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"J"
+        ~doc:
+          "Worker domains to shard the sweep over (default: the number of \
+           cores).  The failure list is identical for every value.")
+
 let cmd =
   Cmd.v
     (Cmd.info "cxl0-props" ~doc:"Exhaustively check Proposition 1")
-    Term.(const run $ n $ locs $ vals $ item $ volatile)
+    Term.(const run $ n $ locs $ vals $ item $ volatile $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,8 +8,15 @@
     flushes are modelled as blocking preconditions, applying a flush label
     simply *filters* the τ-saturated set.
 
-    All operations work on {!Config.Set.t}; litmus tests and the
-    Proposition 1 simulation checks are built directly on top. *)
+    Two engines implement the same exploration:
+
+    - the {e reference} engine below works on {!Config.Set.t} over the
+      canonical map-based {!Config.t} — easy to audit, kept as the
+      differential-testing oracle;
+    - {!Fast} works on bit-packed {!Packed.t} states with a
+      [Hashtbl]-backed visited set and a τ-successor memo cache shared
+      across runs — the hot path of {!Props.check_exhaustive} and the
+      litmus sweeps. *)
 
 type t = Config.Set.t
 
@@ -26,7 +33,8 @@ let of_config = Config.Set.singleton
 let tau_closure sys (s : t) : t =
   let seen = ref s in
   let frontier = ref (Config.Set.elements s) in
-  while !frontier <> [] do
+  let progressing () = match !frontier with [] -> false | _ :: _ -> true in
+  while progressing () do
     let next =
       List.concat_map
         (fun cfg -> List.map snd (Semantics.taus sys cfg))
@@ -68,16 +76,23 @@ let run sys cfg ls =
     labelled sequence [ls] from [cfg]. *)
 let feasible sys cfg ls = not (Config.Set.is_empty (run sys cfg ls))
 
-(** [load_outcomes sys s i x] is the set of values a load of [x] by
-    machine [i] can observe from some configuration in the τ-closure of
-    [s] — i.e. the possible outcomes of the *next* load. *)
-let load_outcomes sys s i x =
+(** [load_outcomes_closed sys s i x] is the set of values a load of [x]
+    by machine [i] can observe from some configuration in [s], which the
+    caller asserts is already τ-closed (e.g. a {!run} result or an
+    explicitly computed {!tau_closure}) — no closure is recomputed. *)
+let load_outcomes_closed sys (s : t) i x =
   Config.Set.fold
     (fun cfg acc ->
       let v, _ = Semantics.load sys cfg i x in
       v :: acc)
-    (tau_closure sys s) []
+    s []
   |> List.sort_uniq Value.compare
+
+(** [load_outcomes sys s i x] is the set of values a load of [x] by
+    machine [i] can observe from some configuration in the τ-closure of
+    [s] — i.e. the possible outcomes of the *next* load. *)
+let load_outcomes sys s i x =
+  load_outcomes_closed sys (tau_closure sys s) i x
 
 (** [subset a b] is reachable-set inclusion. *)
 let subset (a : t) (b : t) = Config.Set.subset a b
@@ -87,3 +102,108 @@ let elements = Config.Set.elements
 
 let pp ppf s =
   Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Config.pp) (elements s)
+
+(* ------------------------------------------------------------------ *)
+(* The packed fast path                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Fast = struct
+  (** Same exploration, an order of magnitude faster: states are
+      bit-packed words ({!Packed.t}), visited sets are hash tables with
+      O(1) membership, and τ-successor lists are memoised in [cache] —
+      the many {!run} calls of one [check_exhaustive]/litmus sweep
+      revisit the same configurations constantly, so successor
+      enumeration amortises to a table lookup.  A cache is private to
+      one domain (hash tables are not domain-safe); the parallel driver
+      creates one per worker. *)
+
+  type cache = {
+    ctx : Packed.ctx;
+    taus : Packed.t array Packed.Tbl.t;  (** τ-successor memo *)
+  }
+
+  let create ctx = { ctx; taus = Packed.Tbl.create 4096 }
+  let ctx cache = cache.ctx
+
+  type set = unit Packed.Tbl.t
+  (** a reachable set: keys are the members *)
+
+  let of_packed st : set =
+    let s = Packed.Tbl.create 64 in
+    Packed.Tbl.replace s st ();
+    s
+
+  let successors cache st =
+    match Packed.Tbl.find_opt cache.taus st with
+    | Some a -> a
+    | None ->
+        let acc = ref [] in
+        Packed.taus_iter cache.ctx st (fun s -> acc := s :: !acc);
+        let a = Array.of_list !acc in
+        Packed.Tbl.add cache.taus st a;
+        a
+
+  (** Worklist τ-closure, in place: [s] is grown to its closure and
+      returned. *)
+  let tau_closure cache (s : set) : set =
+    let work = Stack.create () in
+    Packed.Tbl.iter (fun st () -> Stack.push st work) s;
+    while not (Stack.is_empty work) do
+      let st = Stack.pop work in
+      Array.iter
+        (fun st' ->
+          if not (Packed.Tbl.mem s st') then begin
+            Packed.Tbl.replace s st' ();
+            Stack.push st' work
+          end)
+        (successors cache st)
+    done;
+    s
+
+  let apply_label cache (s : set) (l : Label.t) : set =
+    let out = Packed.Tbl.create (Packed.Tbl.length s) in
+    Packed.Tbl.iter
+      (fun st () ->
+        match Packed.apply cache.ctx st l with
+        | Some st' -> Packed.Tbl.replace out st' ()
+        | None -> ())
+      s;
+    out
+
+  let step cache s l = apply_label cache (tau_closure cache s) l
+
+  let run cache st ls =
+    tau_closure cache (List.fold_left (step cache) (of_packed st) ls)
+
+  let cardinal = Packed.Tbl.length
+  let is_empty s = Packed.Tbl.length s = 0
+  let mem (s : set) st = Packed.Tbl.mem s st
+
+  let feasible cache st ls = not (is_empty (run cache st ls))
+
+  let subset (a : set) (b : set) =
+    try
+      Packed.Tbl.iter
+        (fun st () -> if not (Packed.Tbl.mem b st) then raise Exit)
+        a;
+      true
+    with Exit -> false
+
+  let equal_sets a b = cardinal a = cardinal b && subset a b
+
+  let elements (s : set) =
+    Packed.Tbl.fold (fun st () acc -> st :: acc) s []
+
+  (** [diff_elements a b] — members of [a] not in [b] (unordered). *)
+  let diff_elements (a : set) (b : set) =
+    Packed.Tbl.fold
+      (fun st () acc -> if Packed.Tbl.mem b st then acc else st :: acc)
+      a []
+
+  (** [to_set cache s] — the reference-representation image, for
+      cross-checking against the map-based engine. *)
+  let to_set cache (s : set) : Config.Set.t =
+    Packed.Tbl.fold
+      (fun st () acc -> Config.Set.add (Packed.to_config cache.ctx st) acc)
+      s Config.Set.empty
+end

@@ -5,7 +5,12 @@
     [α₁ … αₙ] possibly interleaved with silent τ-steps; this module
     computes the corresponding reachable sets by alternating τ-closure
     and label application (flushes, being blocking preconditions, act as
-    filters). *)
+    filters).
+
+    The functions at the top level form the {e reference} engine over
+    canonical map-based configurations; {!Fast} is the bit-packed
+    hash-set engine used on the hot path, differentially tested against
+    the reference. *)
 
 type t = Config.Set.t
 
@@ -29,6 +34,12 @@ val run : Machine.system -> Config.t -> Label.t list -> t
 
 val feasible : Machine.system -> Config.t -> Label.t list -> bool
 
+val load_outcomes_closed :
+  Machine.system -> t -> Machine.id -> Loc.t -> Value.t list
+(** Like {!load_outcomes}, but the caller supplies an already τ-closed
+    set (a {!run} result, or an explicit {!tau_closure}) — the closure
+    is not recomputed. *)
+
 val load_outcomes : Machine.system -> t -> Machine.id -> Loc.t -> Value.t list
 (** The values the *next* load could observe from some configuration in
     the τ-closure of the set, sorted and deduplicated. *)
@@ -37,3 +48,41 @@ val subset : t -> t -> bool
 val cardinal : t -> int
 val elements : t -> Config.t list
 val pp : t Fmt.t
+
+(** {1 The packed fast engine} *)
+
+module Fast : sig
+  type cache
+  (** Exploration context plus the τ-successor memo shared across runs.
+      Not domain-safe: create one per worker domain. *)
+
+  val create : Packed.ctx -> cache
+  val ctx : cache -> Packed.ctx
+
+  type set
+  (** A reachable set of packed states (hash-set backed). *)
+
+  val of_packed : Packed.t -> set
+
+  val tau_closure : cache -> set -> set
+  (** In-place worklist closure (the argument is grown and returned). *)
+
+  val apply_label : cache -> set -> Label.t -> set
+  val step : cache -> set -> Label.t -> set
+
+  val run : cache -> Packed.t -> Label.t list -> set
+  (** Packed mirror of {!Explore.run}. *)
+
+  val feasible : cache -> Packed.t -> Label.t list -> bool
+  val cardinal : set -> int
+  val is_empty : set -> bool
+  val mem : set -> Packed.t -> bool
+  val subset : set -> set -> bool
+  val equal_sets : set -> set -> bool
+  val elements : set -> Packed.t list
+  val diff_elements : set -> set -> Packed.t list
+  (** Members of the first set absent from the second (unordered). *)
+
+  val to_set : cache -> set -> Config.Set.t
+  (** Reference-representation image, for differential testing. *)
+end

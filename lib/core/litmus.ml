@@ -30,10 +30,25 @@ type t = {
 let make ?(descr = "") ~system ~expect name events =
   { name; descr; system; events; expect }
 
-(** [decide t] is what the *model* says about [t]'s event sequence. *)
+(** [decide t] is what the *model* says about [t]'s event sequence.
+    Decided on the packed fast engine (the events' locations form the
+    exploration context); falls back to the reference map-set engine
+    when the test does not fit the packed layout. *)
 let decide t =
-  if Explore.feasible t.system Config.init t.events then Allowed
-  else Forbidden
+  let fast () =
+    let locs =
+      List.filter_map Label.loc t.events |> List.sort_uniq Loc.compare
+    in
+    let ctx = Packed.make t.system ~locs in
+    let cache = Explore.Fast.create ctx in
+    Explore.Fast.feasible cache (Packed.init ctx) t.events
+  in
+  let feasible =
+    try fast ()
+    with Packed.Unrepresentable _ ->
+      Explore.feasible t.system Config.init t.events
+  in
+  if feasible then Allowed else Forbidden
 
 (** [agrees t] is [true] iff the model's verdict matches the paper's. *)
 let agrees t = verdict_equal (decide t) t.expect
@@ -41,12 +56,15 @@ let agrees t = verdict_equal (decide t) t.expect
 let pp_events ppf events =
   Fmt.pf ppf "@[<h>%a@]" Fmt.(list ~sep:(any " ;@ ") Label.pp) events
 
-let pp_result ppf t =
-  let got = decide t in
+(** [pp_decided ppf (t, got)] renders a row for a verdict computed
+    elsewhere (e.g. by a parallel {!decide_all}). *)
+let pp_decided ppf (t, got) =
   let vs v = Fmt.str "%a" pp_verdict v in
   Fmt.pf ppf "%-12s %-9s (paper: %-9s) %s  %a" t.name (vs got) (vs t.expect)
     (if verdict_equal got t.expect then "OK " else "FAIL")
     pp_events t.events
+
+let pp_result ppf t = pp_decided ppf (t, decide t)
 
 (* ------------------------------------------------------------------ *)
 (* The paper's litmus tests                                            *)
@@ -201,10 +219,18 @@ let fig5 : t list =
 
 let all = fig4 @ fig5
 
-(** [run_all ()] evaluates every paper litmus test, returning
+(** [decide_all ?jobs tests] decides every test, sharding across [jobs]
+    worker domains (each decision is an independent exploration); order
+    is preserved. *)
+let decide_all ?jobs tests =
+  Parallel.map_list ?jobs (fun t -> (t, decide t)) tests
+
+(** [run_all ?jobs ()] evaluates every paper litmus test, returning
     [(test, model_verdict, agrees)] triples. *)
-let run_all () =
-  List.map (fun t -> (t, decide t, agrees t)) all
+let run_all ?jobs () =
+  List.map
+    (fun (t, got) -> (t, got, verdict_equal got t.expect))
+    (decide_all ?jobs all)
 
 let pp_table ppf tests =
   Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_result) tests

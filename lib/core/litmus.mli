@@ -28,7 +28,8 @@ val make :
 
 val decide : t -> verdict
 (** What the model says: [Allowed] iff some execution realises the
-    events. *)
+    events.  Runs on the packed fast engine, falling back to the
+    reference engine when the test does not fit the packed layout. *)
 
 val agrees : t -> bool
 (** Model verdict = paper verdict. *)
@@ -42,8 +43,15 @@ val fig5 : t list
 val all : t list
 (** [fig4 @ fig5]. *)
 
-val run_all : unit -> (t * verdict * bool) list
+val decide_all : ?jobs:int -> t list -> (t * verdict) list
+(** Decide every test, sharded over [jobs] worker domains (default 1);
+    order preserved. *)
+
+val run_all : ?jobs:int -> unit -> (t * verdict * bool) list
 
 val pp_events : Label.t list Fmt.t
+val pp_decided : (t * verdict) Fmt.t
+(** Render a row for an already-computed verdict. *)
+
 val pp_result : t Fmt.t
 val pp_table : t list Fmt.t

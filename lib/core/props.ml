@@ -5,16 +5,25 @@
     configuration reachable via [RStoreᵢ(x,v)] (with interleaved τ-steps)
     is also reachable via [LStoreᵢ(x,v)].  We reproduce the mechanisation
     by *bounded model checking*: for a given system and starting
-    configuration, the reachable sets of both sequences are computed by
-    {!Explore.run} and compared for inclusion.  {!check_exhaustive} does
-    this from *every* invariant-satisfying configuration over small
-    domains; the test-suite additionally samples random larger instances.
+    configuration, the reachable sets of both sequences are computed and
+    compared for inclusion.  {!check_exhaustive} does this from *every*
+    invariant-satisfying configuration over small domains; the test-suite
+    additionally samples random larger instances.
 
     Since every step rule treats locations and values uniformly (no rule
     inspects a value or compares distinct locations beyond equality and
     ownership), a violation at any scale would already manifest at small
     scale, so exhaustion over N ≤ 3 machines / ≤ 3 locations / 2 values
-    gives high confidence — this is the standard small-scope argument. *)
+    gives high confidence — this is the standard small-scope argument.
+
+    Two engines back the sweep.  The default path runs on the bit-packed
+    representation ({!Packed}) with a per-worker τ-successor memo cache
+    and an optional domain-parallel driver ({!Parallel}) sharding start
+    configurations across cores; {!check_exhaustive_reference} is the
+    original map-set implementation, kept as the differential oracle and
+    the benchmark baseline.  Both return failures in the same
+    deterministic order (item-major, then start-configuration order), so
+    sequential, parallel and reference runs are comparable verbatim. *)
 
 type item = {
   id : int;          (** item number within Proposition 1 *)
@@ -108,6 +117,14 @@ type failure = {
   witness : Config.t;  (** reachable via lhs but not via rhs *)
 }
 
+let failure_equal a b =
+  a.item_id = b.item_id
+  && Config.equal a.start b.start
+  && a.issuer = b.issuer
+  && Loc.equal a.location b.location
+  && Value.equal a.value b.value
+  && Config.equal a.witness b.witness
+
 let pp_failure ppf f =
   Fmt.pf ppf
     "Prop1(%d) fails: from %a, issuer M%d, loc %a, value %a: %a reachable \
@@ -116,8 +133,9 @@ let pp_failure ppf f =
     f.value Config.pp f.witness
 
 (** [check_item sys it cfg ~locs ~vals] checks item [it] from [cfg] for
-    every issuer/location/value instantiation over [locs]/[vals].
-    Returns the first failure found, if any. *)
+    every issuer/location/value instantiation over [locs]/[vals], with
+    the reference map-set engine.  Returns the first failure found, if
+    any. *)
 let check_item sys it cfg ~locs ~vals : failure option =
   let n = Machine.n_machines sys in
   let exception Found of failure in
@@ -151,58 +169,195 @@ let check_item sys it cfg ~locs ~vals : failure option =
     None
   with Found f -> Some f
 
+(** [check_item_packed cache it pc ~locs ~vals] — same check on the
+    packed engine, sharing [cache]'s τ-successor memo across all
+    instantiations (and across calls).  Iteration order, and hence the
+    failure reported, is identical to {!check_item}. *)
+let check_item_packed cache it (pc : Packed.t) ~locs ~vals : failure option =
+  let ctx = Explore.Fast.ctx cache in
+  let n = Machine.n_machines (Packed.system ctx) in
+  let exception Found of failure in
+  try
+    List.iter
+      (fun x ->
+        let issuers = it.issuers ~owner:(Loc.owner x) ~n in
+        List.iter
+          (fun i ->
+            List.iter
+              (fun v ->
+                let r_lhs = Explore.Fast.run cache pc (it.lhs i x v) in
+                let r_rhs = Explore.Fast.run cache pc (it.rhs i x v) in
+                if not (Explore.Fast.subset r_lhs r_rhs) then
+                  let witness =
+                    (* the minimum of the diff under Config.compare —
+                       exactly the reference engine's min_elt *)
+                    Explore.Fast.diff_elements r_lhs r_rhs
+                    |> List.map (Packed.to_config ctx)
+                    |> function
+                    | [] -> assert false
+                    | c :: cs ->
+                        List.fold_left
+                          (fun best c ->
+                            if Config.compare c best < 0 then c else best)
+                          c cs
+                  in
+                  raise
+                    (Found
+                       {
+                         item_id = it.id;
+                         start = Packed.to_config ctx pc;
+                         issuer = i;
+                         location = x;
+                         value = v;
+                         witness;
+                       }))
+              vals)
+          issuers)
+      locs;
+    None
+  with Found f -> Some f
+
 (* ------------------------------------------------------------------ *)
 (* Configuration enumeration                                           *)
 (* ------------------------------------------------------------------ *)
 
-(** [enum_configs sys ~locs ~vals] enumerates every configuration over
-    [locs]/[vals] satisfying the coherence invariant: independently per
-    location, either no cache holds it, or a non-empty set of machines all
-    hold the same value; the owner's memory holds any value. *)
-let enum_configs sys ~locs ~vals : Config.t list =
-  let n = Machine.n_machines sys in
-  let holder_subsets =
-    (* all non-empty subsets of machines, as bitmasks *)
-    List.init ((1 lsl n) - 1) (fun m -> m + 1)
-  in
-  let per_loc x =
-    let cached_choices =
-      None
-      :: List.concat_map
-           (fun v -> List.map (fun mask -> Some (v, mask)) holder_subsets)
-           vals
-    in
-    List.concat_map
-      (fun cached -> List.map (fun mv -> (x, cached, mv)) vals)
-      cached_choices
-  in
-  let apply_choice cfg (x, cached, mv) =
-    let cfg = Config.mem_set cfg x mv in
-    match cached with
-    | None -> cfg
-    | Some (v, mask) ->
-        List.fold_left
-          (fun cfg i ->
-            if mask land (1 lsl i) <> 0 then Config.cache_set cfg i x v
-            else cfg)
-          cfg (List.init n Fun.id)
-  in
-  List.fold_left
-    (fun cfgs x ->
-      List.concat_map
-        (fun cfg -> List.map (apply_choice cfg) (per_loc x))
-        cfgs)
-    [ Config.init ] locs
+(* The invariant-satisfying configurations over [locs]/[vals] factor per
+   location: either no cache holds it, or a non-empty holder set shares
+   one cached value; the owner's memory holds any value.  We *rank* this
+   space — per-location choices are digits of a mixed-radix index — so
+   the n-th configuration is computed in O(#locs) without materialising
+   the full list.  The parallel driver shards index ranges; [Seq]
+   consumers stream. *)
 
-(** [check_exhaustive sys ~locs ~vals] checks all eight items from every
-    invariant-satisfying configuration.  Returns all failures (empty list
-    = Proposition 1 validated over this bounded domain). *)
-let check_exhaustive ?(items = items) sys ~locs ~vals : failure list =
+(* Per-location choice decoding, preserving the historical enumeration
+   order: cached-choice-major (None first, then (value, holder-mask)
+   pairs value-major), memory-value-minor. *)
+let per_loc_choices ~n ~nvals = nvals * (1 + (nvals * ((1 lsl n) - 1)))
+
+let decode_choice ~n ~(vals : Value.t array) d =
+  let nvals = Array.length vals in
+  let nmasks = (1 lsl n) - 1 in
+  let mv = vals.(d mod nvals) in
+  let ci = d / nvals in
+  let cached =
+    if ci = 0 then None
+    else
+      let ci = ci - 1 in
+      Some (vals.(ci / nmasks), (ci mod nmasks) + 1)
+  in
+  (cached, mv)
+
+let enum_configs_count sys ~locs ~vals =
+  let n = Machine.n_machines sys in
+  let c = per_loc_choices ~n ~nvals:(List.length vals) in
+  List.fold_left (fun acc _ -> acc * c) 1 locs
+
+(** [enum_config_nth sys ~locs ~vals m] — the [m]-th configuration of
+    the enumeration, [0 <= m < enum_configs_count]. *)
+let enum_config_nth sys ~locs ~vals m : Config.t =
+  let n = Machine.n_machines sys in
+  let vals_a = Array.of_list vals in
+  let locs_a = Array.of_list locs in
+  let k = Array.length locs_a in
+  let c = per_loc_choices ~n ~nvals:(Array.length vals_a) in
+  let cfg = ref Config.init in
+  let m = ref m in
+  (* the first location is the most significant digit *)
+  for xi = k - 1 downto 0 do
+    let d = !m mod c in
+    m := !m / c;
+    let x = locs_a.(xi) in
+    let cached, mv = decode_choice ~n ~vals:vals_a d in
+    cfg := Config.mem_set !cfg x mv;
+    match cached with
+    | None -> ()
+    | Some (v, mask) ->
+        Packed.iter_bits (fun i -> cfg := Config.cache_set !cfg i x v) mask
+  done;
+  !cfg
+
+(** [enum_packed_nth ctx ~vals m] — the same configuration, built
+    directly in packed form (no maps on the hot path). *)
+let enum_packed_nth ctx ~vals m : Packed.t =
+  let n = Machine.n_machines (Packed.system ctx) in
+  let vals_a = Array.of_list vals in
+  let k = Packed.n_locs ctx in
+  let c = per_loc_choices ~n ~nvals:(Array.length vals_a) in
+  let pc = Packed.init ctx in
+  let m = ref m in
+  for xi = k - 1 downto 0 do
+    let d = !m mod c in
+    m := !m / c;
+    let cached, mv = decode_choice ~n ~vals:vals_a d in
+    let holders, cv = match cached with None -> (0, 0) | Some (v, mask) -> (mask, v) in
+    pc.(xi) <- Packed.word ctx ~holders ~cval:cv ~mem:mv
+  done;
+  pc
+
+(** [enum_configs_seq sys ~locs ~vals] streams every invariant-satisfying
+    configuration without materialising the list. *)
+let enum_configs_seq sys ~locs ~vals : Config.t Seq.t =
+  let total = enum_configs_count sys ~locs ~vals in
+  Seq.init total (enum_config_nth sys ~locs ~vals)
+
+(** [enum_configs sys ~locs ~vals] — the full list (prefer
+    {!enum_configs_seq} or index-based access for large domains). *)
+let enum_configs sys ~locs ~vals : Config.t list =
+  List.of_seq (enum_configs_seq sys ~locs ~vals)
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive sweeps                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Reassemble per-configuration rows (one failure option per item, in
+   item order) into the historical item-major failure order. *)
+let gather_failures ~n_items (rows : failure option array array) =
+  List.concat
+    (List.init n_items (fun j ->
+         Array.to_list rows
+         |> List.filter_map (fun (row : failure option array) -> row.(j))))
+
+(** [check_exhaustive_reference sys ~locs ~vals] — the original
+    sequential map-set sweep, kept verbatim as the differential oracle
+    and benchmark baseline. *)
+let check_exhaustive_reference ?(items = items) sys ~locs ~vals : failure list =
   let cfgs = enum_configs sys ~locs ~vals in
   List.concat_map
     (fun it ->
       List.filter_map (fun cfg -> check_item sys it cfg ~locs ~vals) cfgs)
     items
+
+(** [check_exhaustive sys ~locs ~vals] checks all eight items from every
+    invariant-satisfying configuration.  Returns all failures (empty list
+    = Proposition 1 validated over this bounded domain), in a
+    deterministic order independent of [jobs].
+
+    Runs on the packed engine, sharding start configurations over [jobs]
+    domains (each worker owns a private τ-memo cache); falls back to the
+    reference engine when the domain does not fit the packed layout. *)
+let check_exhaustive ?(items = items) ?(jobs = 1) sys ~locs ~vals :
+    failure list =
+  let packed_ctx =
+    match Packed.make sys ~locs with
+    | ctx when List.for_all (Packed.fits_value ctx) vals -> Some ctx
+    | _ -> None
+    | exception Packed.Unrepresentable _ -> None
+  in
+  match packed_ctx with
+  | None -> check_exhaustive_reference ~items sys ~locs ~vals
+  | Some _ ->
+      let total = enum_configs_count sys ~locs ~vals in
+      let items_a = Array.of_list items in
+      let rows =
+        Parallel.map_chunked ~jobs total
+          ~init:(fun () -> Explore.Fast.create (Packed.make sys ~locs))
+          ~f:(fun cache m ->
+            let pc = enum_packed_nth (Explore.Fast.ctx cache) ~vals m in
+            Array.map
+              (fun it -> check_item_packed cache it pc ~locs ~vals)
+              items_a)
+      in
+      gather_failures ~n_items:(Array.length items_a) rows
 
 (** Default bounded domain: 2 NV machines, one location each, values
     {0, 1}.  [check_default ()] is the entry point used by the CLI. *)

@@ -2,7 +2,14 @@
     checking: each of the paper's eight simulation items is a
     reachable-set inclusion, checked from every invariant-satisfying
     configuration over a bounded domain (the authors verified the same
-    statements in Coq).  See DESIGN.md for the small-scope argument. *)
+    statements in Coq).  See DESIGN.md for the small-scope argument.
+
+    The sweep runs on the bit-packed engine ({!Packed} /
+    {!Explore.Fast}) with an optional domain-parallel driver; the
+    original map-set implementation is retained as
+    {!check_exhaustive_reference} for differential testing and
+    benchmarking.  Failure order is deterministic (item-major, then
+    start-configuration order) for every engine and every [jobs]. *)
 
 type item = {
   id : int;          (** item number within Proposition 1 *)
@@ -36,22 +43,61 @@ type failure = {
   witness : Config.t;  (** reachable via lhs but not via rhs *)
 }
 
+val failure_equal : failure -> failure -> bool
 val pp_failure : failure Fmt.t
 
 val check_item :
   Machine.system -> item -> Config.t -> locs:Loc.t list ->
   vals:Value.t list -> failure option
-(** Check one item from one configuration over all instantiations;
-    first failure if any. *)
+(** Check one item from one configuration over all instantiations with
+    the reference engine; first failure if any. *)
+
+val check_item_packed :
+  Explore.Fast.cache -> item -> Packed.t -> locs:Loc.t list ->
+  vals:Value.t list -> failure option
+(** Same check on the packed engine, sharing the cache's τ-successor
+    memo; reports the identical first failure. *)
+
+(** {1 Configuration enumeration}
+
+    The invariant-satisfying configurations over a domain are *ranked*:
+    per-location choices are digits of a mixed-radix index, so any
+    configuration is computed in O(#locs) from its index — the parallel
+    driver shards index ranges and nothing materialises the full list. *)
+
+val enum_configs_count :
+  Machine.system -> locs:Loc.t list -> vals:Value.t list -> int
+
+val enum_config_nth :
+  Machine.system -> locs:Loc.t list -> vals:Value.t list -> int -> Config.t
+
+val enum_packed_nth : Packed.ctx -> vals:Value.t list -> int -> Packed.t
+(** The same configuration built directly in packed form. *)
+
+val enum_configs_seq :
+  Machine.system -> locs:Loc.t list -> vals:Value.t list -> Config.t Seq.t
+(** Stream of every invariant-satisfying configuration. *)
 
 val enum_configs :
   Machine.system -> locs:Loc.t list -> vals:Value.t list -> Config.t list
-(** Every invariant-satisfying configuration over the domain. *)
+(** Every invariant-satisfying configuration as a list (prefer the
+    [Seq]/index forms for large domains). *)
+
+(** {1 Exhaustive sweeps} *)
 
 val check_exhaustive :
+  ?items:item list -> ?jobs:int ->
+  Machine.system -> locs:Loc.t list -> vals:Value.t list -> failure list
+(** All items from all enumerated configurations; empty = verified.
+    Packed engine, [jobs] worker domains (default 1); identical output
+    for every [jobs] value.  Falls back to the reference engine when
+    the domain does not fit the packed layout. *)
+
+val check_exhaustive_reference :
   ?items:item list ->
   Machine.system -> locs:Loc.t list -> vals:Value.t list -> failure list
-(** All items from all enumerated configurations; empty = verified. *)
+(** The original sequential map-set sweep (differential oracle and
+    benchmark baseline). *)
 
 val check_default : unit -> Machine.system * failure list
 (** The default domain: 2 NV machines, one location each, values

@@ -152,19 +152,18 @@ let alloc_n t ~owner n = List.init n (fun _ -> alloc t ~owner)
 (* Holder-set plumbing                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let bit i = 1 lsl i
+let bit = Cxl0.Packed.bit
 
 let holds st i = st.holders land bit i <> 0
 
+(* Drop [i]'s live count for every holder in [mask]; shares the packed
+   engine's bitmask iterator. *)
+let uncount_holders t mask =
+  Cxl0.Packed.iter_bits (fun i -> t.live.(i) <- t.live.(i) - 1) mask
+
 (* Clear every holder bit, updating per-machine live counts. *)
 let clear_all_holders t st =
-  let m = ref st.holders in
-  let i = ref 0 in
-  while !m <> 0 do
-    if !m land 1 <> 0 then t.live.(!i) <- t.live.(!i) - 1;
-    m := !m lsr 1;
-    incr i
-  done;
+  uncount_holders t st.holders;
   st.holders <- 0
 
 let clear_holder t st i =
@@ -255,13 +254,7 @@ let lstore t i x v =
   t.stats.Stats.lstores <- t.stats.Stats.lstores + 1;
   charge t t.model.Latency.local_cache;
   let keep = if holds st i then bit i else 0 in
-  let others = st.holders land lnot keep in
-  let m = ref others and j = ref 0 in
-  while !m <> 0 do
-    if !m land 1 <> 0 then t.live.(!j) <- t.live.(!j) - 1;
-    m := !m lsr 1;
-    incr j
-  done;
+  uncount_holders t (st.holders land lnot keep);
   st.holders <- keep;
   st.cval <- v;
   insert t i x
@@ -274,13 +267,7 @@ let rstore t i x v =
     (if st.owner = i then t.model.Latency.local_cache
      else remote_to t i st.owner t.model.Latency.remote_cache);
   let keep = if holds st st.owner then bit st.owner else 0 in
-  let others = st.holders land lnot keep in
-  let m = ref others and j = ref 0 in
-  while !m <> 0 do
-    if !m land 1 <> 0 then t.live.(!j) <- t.live.(!j) - 1;
-    m := !m lsr 1;
-    incr j
-  done;
+  uncount_holders t (st.holders land lnot keep);
   st.holders <- keep;
   st.cval <- v;
   insert t st.owner x
@@ -344,13 +331,7 @@ let faa t i x d =
     + t.model.Latency.atomic_extra);
   let old = if st.holders <> 0 then st.cval else st.mem in
   let keep = if holds st st.owner then bit st.owner else 0 in
-  let others = st.holders land lnot keep in
-  let m = ref others and j = ref 0 in
-  while !m <> 0 do
-    if !m land 1 <> 0 then t.live.(!j) <- t.live.(!j) - 1;
-    m := !m lsr 1;
-    incr j
-  done;
+  uncount_holders t (st.holders land lnot keep);
   st.holders <- keep;
   st.cval <- old + d;
   insert t st.owner x;

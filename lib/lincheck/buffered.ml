@@ -111,7 +111,12 @@ let check spec (h : History.t) : verdict =
               (fun (o : History.op) -> not (List.mem o.History.id dropped_ids))
               all_ops
           in
-          if (Check.linearizable spec kept).Check.ok then
+          let kept_ok =
+            match Check.linearizable spec kept with
+            | Ok o -> o.Check.ok
+            | Error _ -> false
+          in
+          if kept_ok then
             result :=
               Some
                 (List.filter

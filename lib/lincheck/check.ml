@@ -24,15 +24,25 @@ type outcome = {
 
 let max_ops = 62 (* operations tracked in an int bitmask *)
 
+type error = History_too_long of { length : int; max_ops : int }
+
+let pp_error ppf (History_too_long { length; max_ops }) =
+  Fmt.pf ppf "history too long for the bitmask search (%d ops, max %d)"
+    length max_ops
+
 (** [linearizable spec ops] — is there a linearization of [ops]?  [ops]
     usually comes from {!History.ops}; crash events never produce ops, so
     passing a crashed history's ops checks *durable* linearizability
     (Remark 1: the crash-free projection is checked with the unmodified
-    happens-before order). *)
-let linearizable (module M : Spec.S) (ops : History.op list) : outcome =
+    happens-before order).  Histories beyond {!max_ops} operations are
+    rejected with a typed error — the search's bitmask cannot represent
+    them. *)
+let linearizable (module M : Spec.S) (ops : History.op list) :
+    (outcome, error) result =
   let ops = Array.of_list ops in
   let n = Array.length ops in
-  if n > max_ops then invalid_arg "Check.linearizable: history too long";
+  if n > max_ops then Error (History_too_long { length = n; max_ops })
+  else begin
   let explored = ref 0 in
   (* completed_mask: ops that must eventually linearize *)
   let completed_mask = ref 0 in
@@ -95,8 +105,9 @@ let linearizable (module M : Spec.S) (ops : History.op list) : outcome =
   in
   try
     dfs 0 M.init [];
-    { ok = false; witness = []; explored = !explored }
-  with Found w -> { ok = true; witness = w; explored = !explored }
+    Ok { ok = false; witness = []; explored = !explored }
+  with Found w -> Ok { ok = true; witness = w; explored = !explored }
+  end
 
 let pp_witness ppf w =
   Fmt.pf ppf "@[<v>%a@]"

@@ -17,9 +17,16 @@ val max_ops : int
 (** Operations are tracked in an int bitmask; histories beyond this are
     rejected. *)
 
-val linearizable : Spec.t -> History.op list -> outcome
+type error = History_too_long of { length : int; max_ops : int }
+(** The search cannot represent the history (more than {!max_ops}
+    operations in the bitmask). *)
+
+val pp_error : error Fmt.t
+
+val linearizable : Spec.t -> History.op list -> (outcome, error) result
 (** Passing {!History.ops} of a crashed history checks *durable*
     linearizability (Remark 1: the crash-free projection with the
-    unmodified happens-before order). *)
+    unmodified happens-before order).  [Error] iff the history has more
+    than {!max_ops} operations. *)
 
 val pp_witness : (History.op * int) list Fmt.t

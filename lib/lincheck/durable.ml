@@ -18,32 +18,40 @@ type verdict = {
   history : History.t;
   crash_events : int;
   outcome : Check.outcome;
+  skipped : Check.error option;
+      (** [Some _] when the checker could not decide the history (too
+          long for the search); [durable] is [false] but means
+          "undecided", not "violation". *)
 }
+
+let no_outcome = { Check.ok = false; witness = []; explored = 0 }
 
 (** [check spec h] — decide durable linearizability of [h]. *)
 let check spec (h : History.t) : verdict =
+  let crash_events = History.crash_count h in
   if not (History.well_formed h) then
-    {
-      durable = false;
-      history = h;
-      crash_events = History.crash_count h;
-      outcome = { Check.ok = false; witness = []; explored = 0 };
-    }
+    { durable = false; history = h; crash_events; outcome = no_outcome;
+      skipped = None }
   else
-    let outcome = Check.linearizable spec (History.ops h) in
-    {
-      durable = outcome.Check.ok;
-      history = h;
-      crash_events = History.crash_count h;
-      outcome;
-    }
+    match Check.linearizable spec (History.ops h) with
+    | Ok outcome ->
+        { durable = outcome.Check.ok; history = h; crash_events; outcome;
+          skipped = None }
+    | Error e ->
+        { durable = false; history = h; crash_events; outcome = no_outcome;
+          skipped = Some e }
 
 let pp_verdict ppf v =
-  if v.durable then
-    Fmt.pf ppf "durably linearizable (%d crash(es), %d nodes explored)"
-      v.crash_events v.outcome.Check.explored
-  else
-    Fmt.pf ppf
-      "@[<v>NOT durably linearizable (%d crash(es), %d nodes explored)@,\
-       history:@,%a@]"
-      v.crash_events v.outcome.Check.explored History.pp v.history
+  match v.skipped with
+  | Some e ->
+      Fmt.pf ppf "durability undecided (%d crash(es)): %a" v.crash_events
+        Check.pp_error e
+  | None ->
+      if v.durable then
+        Fmt.pf ppf "durably linearizable (%d crash(es), %d nodes explored)"
+          v.crash_events v.outcome.Check.explored
+      else
+        Fmt.pf ppf
+          "@[<v>NOT durably linearizable (%d crash(es), %d nodes explored)@,\
+           history:@,%a@]"
+          v.crash_events v.outcome.Check.explored History.pp v.history

@@ -7,6 +7,9 @@ type verdict = {
   history : History.t;
   crash_events : int;
   outcome : Check.outcome;
+  skipped : Check.error option;
+      (** [Some _] when the history was too long for the checker;
+          [durable = false] then means "undecided", not "violation". *)
 }
 
 val check : Spec.t -> History.t -> verdict

@@ -93,7 +93,10 @@ let test_absent_constant_agrees () =
 (* Linearizability search                                              *)
 (* ------------------------------------------------------------------ *)
 
-let lin spec h = (Check.linearizable spec (History.ops h)).Check.ok
+let lin spec h =
+  match Check.linearizable spec (History.ops h) with
+  | Ok o -> o.Check.ok
+  | Error e -> Alcotest.failf "unexpected rejection: %a" Check.pp_error e
 
 let test_lin_concurrent_register () =
   (* w(1) overlaps r->1 and r->0: both readable depending on order *)
@@ -173,7 +176,11 @@ let test_witness_is_valid () =
       inv 0 "deq" []; res 0 Spec.absent;
     ]
   in
-  let out = Check.linearizable Specs.queue (History.ops h) in
+  let out =
+    match Check.linearizable Specs.queue (History.ops h) with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "unexpected rejection: %a" Check.pp_error e
+  in
   Alcotest.(check bool) "ok" true out.Check.ok;
   Alcotest.(check int) "all completed ops in witness" 3
     (List.length out.Check.witness);
@@ -222,6 +229,35 @@ let test_durable_ill_formed () =
   let v = Durable.check Specs.register [ res 0 1 ] in
   Alcotest.(check bool) "ill-formed not durable" false v.Durable.durable
 
+(* ------------------------------------------------------------------ *)
+(* Oversized histories: typed rejection, not invalid_arg               *)
+(* ------------------------------------------------------------------ *)
+
+(* [n] sequential completed writes by thread 0. *)
+let long_history n =
+  List.concat (List.init n (fun _ -> [ inv 0 "write" [ 1 ]; res 0 0 ]))
+
+let test_too_long_rejected () =
+  let n = Check.max_ops + 1 in
+  (match Check.linearizable Specs.register (History.ops (long_history n)) with
+  | Ok _ -> Alcotest.fail "oversized history accepted"
+  | Error (Check.History_too_long { length; max_ops }) ->
+      Alcotest.(check int) "reported length" n length;
+      Alcotest.(check int) "reported bound" Check.max_ops max_ops);
+  (* at the bound it still decides *)
+  match
+    Check.linearizable Specs.register (History.ops (long_history Check.max_ops))
+  with
+  | Ok o -> Alcotest.(check bool) "at bound ok" true o.Check.ok
+  | Error e -> Alcotest.failf "at-bound rejection: %a" Check.pp_error e
+
+let test_too_long_durable_skipped () =
+  let v = Durable.check Specs.register (long_history (Check.max_ops + 1)) in
+  Alcotest.(check bool) "undecided, not durable" false v.Durable.durable;
+  match v.Durable.skipped with
+  | Some (Check.History_too_long _) -> ()
+  | _ -> Alcotest.fail "expected a History_too_long skip"
+
 let () =
   Alcotest.run "lincheck"
     [
@@ -267,5 +303,8 @@ let () =
           Alcotest.test_case "pending at crash" `Quick
             test_durable_pending_at_crash_ok;
           Alcotest.test_case "ill-formed" `Quick test_durable_ill_formed;
+          Alcotest.test_case "too-long rejected" `Quick test_too_long_rejected;
+          Alcotest.test_case "too-long skipped in durable" `Quick
+            test_too_long_durable_skipped;
         ] );
     ]

@@ -198,12 +198,13 @@ let extra_cases =
     (fun t -> Alcotest.test_case t.Litmus.name `Quick (check_litmus t))
     (extra @ hetero)
 
-(* run_all must agree on everything (belt-and-braces for the CLI path) *)
+(* run_all must agree on everything (belt-and-braces for the CLI path);
+   sharded over the available cores like the CLI default *)
 let test_run_all () =
   List.iter
     (fun (t, _, agrees) ->
       Alcotest.(check bool) (t.Litmus.name ^ " agrees") true agrees)
-    (Litmus.run_all ())
+    (Litmus.run_all ~jobs:(Parallel.default_jobs ()) ())
 
 let test_fig4_count () =
   Alcotest.(check int) "nine Fig. 4 rows" 9 (List.length Litmus.fig4);

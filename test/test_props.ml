@@ -22,7 +22,10 @@ let test_exhaustive_default () =
 let test_exhaustive_volatile () =
   let sys = Machine.uniform ~persistence:Machine.Volatile 2 in
   let locs = [ Loc.v ~owner:0 0; Loc.v ~owner:1 0 ] in
-  let failures = Props.check_exhaustive sys ~locs ~vals:[ 0; 1 ] in
+  let failures =
+    Props.check_exhaustive ~jobs:(Parallel.default_jobs ()) sys ~locs
+      ~vals:[ 0; 1 ]
+  in
   Alcotest.(check int) "no failures" 0 (List.length failures)
 
 (* --- exhaustive: 3 machines, mixed ownership, smaller value domain
@@ -30,7 +33,10 @@ let test_exhaustive_volatile () =
 let test_exhaustive_three_machines () =
   let sys = Machine.uniform 3 in
   let locs = [ Loc.v ~owner:0 0; Loc.v ~owner:2 0 ] in
-  let failures = Props.check_exhaustive sys ~locs ~vals:[ 0; 1 ] in
+  let failures =
+    Props.check_exhaustive ~jobs:(Parallel.default_jobs ()) sys ~locs
+      ~vals:[ 0; 1 ]
+  in
   Alcotest.(check int) "no failures" 0 (List.length failures)
 
 (* --- exhaustive: heterogeneous persistence (§3.1 allows any mix of
@@ -44,7 +50,10 @@ let test_exhaustive_mixed_persistence () =
       |]
   in
   let locs = [ Loc.v ~owner:0 0; Loc.v ~owner:1 0 ] in
-  let failures = Props.check_exhaustive sys ~locs ~vals:[ 0; 1 ] in
+  let failures =
+    Props.check_exhaustive ~jobs:(Parallel.default_jobs ()) sys ~locs
+      ~vals:[ 0; 1 ]
+  in
   Alcotest.(check int) "no failures" 0 (List.length failures)
 
 (* --- a deliberately false simulation must be caught --- *)
