@@ -108,6 +108,32 @@ let durability_matrix () =
      nonzero in both)@."
 
 (* ------------------------------------------------------------------ *)
+(* E7c: fuzz coverage                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e7_fuzz_coverage () =
+  hr "E7c: crash-fault fuzz coverage (100 random cells per transform, \
+      inside each guarantee envelope)";
+  Fmt.pr "%-24s %8s %8s %8s %12s@." "transform" "cells" "ok" "skipped"
+    "violations";
+  List.iter
+    (fun t ->
+      let profile = Fuzz.Gen.profile_of_transform t in
+      let s =
+        Fuzz.Campaign.run ~jobs:(Cxl0.Parallel.default_jobs ())
+          ~corpus_dir:(Filename.concat (Filename.get_temp_dir_name ())
+                         "cxl0-bench-corpus")
+          profile ~cells:100 ~seed:1 ()
+      in
+      Fmt.pr "%-24s %8d %8d %8d %12d@." s.Fuzz.Campaign.transform_name
+        s.Fuzz.Campaign.cells s.Fuzz.Campaign.ok s.Fuzz.Campaign.skipped
+        (List.length s.Fuzz.Campaign.violations))
+    (Flit.Registry.all @ Flit.Registry.extensions);
+  Fmt.pr
+    "(expected shape: zero violations everywhere except the noflush \
+     control — durable transforms fuzzed inside their envelope)@."
+
+(* ------------------------------------------------------------------ *)
 (* E8: simulated-cycle performance                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -511,6 +537,7 @@ let () =
   table1 ();
   prop1 ();
   durability_matrix ();
+  e7_fuzz_coverage ();
   e8_transform_comparison ();
   e8_read_ratio_sweep ();
   e8_machine_sweep ();

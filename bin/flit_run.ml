@@ -8,11 +8,6 @@
 
 open Cmdliner
 
-let kind_of_string s =
-  List.find_opt
-    (fun k -> Harness.Objects.kind_name k = s)
-    Harness.Objects.all_kinds
-
 let crash_spec ~machine seed : Harness.Workload.crash_spec =
   {
     Harness.Workload.at = 15 + (seed mod 17);
@@ -71,7 +66,7 @@ let run object_ transform crash seeds matrix verbose =
     0
   end
   else
-    match (kind_of_string object_, Flit.Registry.find transform) with
+    match (Harness.Objects.kind_of_name object_, Flit.Registry.find transform) with
     | None, _ ->
         Fmt.epr "unknown object %S (register/counter/stack/queue/set/map)@."
           object_;

@@ -1,0 +1,32 @@
+; Finding F3 — found by fuzzing buffered-sync under the pre-F3 envelope
+; (worker crashes allowed); the envelope now crashes only bystander
+; machines, so campaigns no longer regenerate this file.  Pinned as a
+; regression test in test/test_fuzz.ml.
+; found by campaign seed=7 cell=107
+; NOT buffered durably linearizable [counter/buffered-sync seed=875382 machines=3 workers=3 ops=2 crashes=2]
+(config
+ (kind counter)
+ (transform buffered-sync)
+ (n-machines 3)
+ (home 2)
+ (volatile-home false)
+ (workers (2 0 1))
+ (ops-per-thread 2)
+ (crashes
+  ((crash
+    (at 44)
+    (machine 1)
+    (restart-at 44)
+    (recovery-threads 1)
+    (recovery-ops 1))
+   (crash
+    (at 17)
+    (machine 0)
+    (restart-at 17)
+    (recovery-threads 2)
+    (recovery-ops 1))))
+ (seed 875382)
+ (evict-prob 0)
+ (cache-capacity 1)
+ (value-range 1)
+ (pflag true))

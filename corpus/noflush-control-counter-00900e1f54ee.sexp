@@ -1,0 +1,34 @@
+; found by campaign seed=1 cell=367
+; NOT durably linearizable (1 crash(es), 7 nodes explored) [counter/noflush-control seed=151190 machines=2 workers=2 ops=2 crashes=1]
+; history:
+; inv  t1 get()
+; res  t1 -> 0
+; inv  t1 get()
+; inv  t2 get()
+; res  t1 -> 0
+; res  t2 -> 0
+; inv  t2 inc()
+; res  t2 -> 0
+; CRASH M1
+; inv  t3 inc()
+; res  t3 -> 0
+(config
+ (kind counter)
+ (transform noflush-control)
+ (n-machines 2)
+ (home 1)
+ (volatile-home false)
+ (workers (0 0))
+ (ops-per-thread 2)
+ (crashes
+  ((crash
+    (at 39)
+    (machine 0)
+    (restart-at 39)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 151190)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

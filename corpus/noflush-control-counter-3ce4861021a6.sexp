@@ -1,0 +1,32 @@
+; found by campaign seed=1 cell=336
+; NOT durably linearizable (1 crash(es), 5 nodes explored) [counter/noflush-control seed=635484 machines=2 workers=3 ops=1 crashes=1]
+; history:
+; inv  t1 inc()
+; inv  t2 get()
+; res  t2 -> 0
+; res  t1 -> 0
+; inv  t3 inc()
+; res  t3 -> 1
+; CRASH M1
+; inv  t4 inc()
+; res  t4 -> 0
+(config
+ (kind counter)
+ (transform noflush-control)
+ (n-machines 2)
+ (home 1)
+ (volatile-home false)
+ (workers (1 1 0))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 57)
+    (machine 0)
+    (restart-at 57)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 635484)
+ (evict-prob 0)
+ (cache-capacity 1)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,28 @@
+; found by campaign seed=1 cell=443
+; NOT durably linearizable (1 crash(es), 2 nodes explored) [counter/noflush-control seed=21638 machines=2 workers=1 ops=1 crashes=1]
+; history:
+; inv  t1 inc()
+; res  t1 -> 0
+; CRASH M1
+; inv  t2 get()
+; res  t2 -> 0
+(config
+ (kind counter)
+ (transform noflush-control)
+ (n-machines 2)
+ (home 1)
+ (volatile-home false)
+ (workers (0))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 22)
+    (machine 0)
+    (restart-at 22)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 21638)
+ (evict-prob 0)
+ (cache-capacity 4)
+ (value-range 1)
+ (pflag true))

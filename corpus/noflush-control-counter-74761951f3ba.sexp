@@ -1,0 +1,32 @@
+; found by campaign seed=1 cell=81
+; NOT durably linearizable (1 crash(es), 4 nodes explored) [counter/noflush-control seed=8003 machines=1 workers=1 ops=3 crashes=1]
+; history:
+; inv  t1 get()
+; res  t1 -> 0
+; inv  t1 get()
+; res  t1 -> 0
+; inv  t1 inc()
+; res  t1 -> 0
+; CRASH M1
+; inv  t2 get()
+; res  t2 -> 0
+(config
+ (kind counter)
+ (transform noflush-control)
+ (n-machines 1)
+ (home 0)
+ (volatile-home false)
+ (workers (0))
+ (ops-per-thread 3)
+ (crashes
+  ((crash
+    (at 30)
+    (machine 0)
+    (restart-at 30)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 8003)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

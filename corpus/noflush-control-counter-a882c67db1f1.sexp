@@ -1,0 +1,28 @@
+; found by campaign seed=1 cell=167
+; NOT durably linearizable (1 crash(es), 2 nodes explored) [counter/noflush-control seed=110040 machines=4 workers=1 ops=1 crashes=1]
+; history:
+; inv  t1 inc()
+; res  t1 -> 0
+; CRASH M4
+; inv  t2 get()
+; res  t2 -> 0
+(config
+ (kind counter)
+ (transform noflush-control)
+ (n-machines 4)
+ (home 3)
+ (volatile-home false)
+ (workers (3))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 48)
+    (machine 3)
+    (restart-at 48)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 110040)
+ (evict-prob 0)
+ (cache-capacity 4)
+ (value-range 1)
+ (pflag true))

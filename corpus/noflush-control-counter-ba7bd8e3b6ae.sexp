@@ -1,0 +1,34 @@
+; found by campaign seed=1 cell=110
+; NOT durably linearizable (1 crash(es), 5 nodes explored) [counter/noflush-control seed=860340 machines=2 workers=1 ops=4 crashes=1]
+; history:
+; inv  t1 get()
+; res  t1 -> 0
+; inv  t1 inc()
+; res  t1 -> 0
+; inv  t1 get()
+; res  t1 -> 1
+; inv  t1 get()
+; res  t1 -> 1
+; CRASH M1
+; inv  t2 inc()
+; res  t2 -> 0
+(config
+ (kind counter)
+ (transform noflush-control)
+ (n-machines 2)
+ (home 0)
+ (volatile-home false)
+ (workers (1))
+ (ops-per-thread 4)
+ (crashes
+  ((crash
+    (at 25)
+    (machine 0)
+    (restart-at 25)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 860340)
+ (evict-prob 0.29999999999999999)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,34 @@
+; found by campaign seed=1 cell=164
+; NOT durably linearizable (1 crash(es), 5 nodes explored) [log/noflush-control seed=612174 machines=2 workers=1 ops=4 crashes=1]
+; history:
+; inv  t1 size()
+; res  t1 -> 0
+; inv  t1 size()
+; res  t1 -> 0
+; inv  t1 read(0)
+; res  t1 -> -1
+; inv  t1 append(1)
+; res  t1 -> 0
+; CRASH M2
+; inv  t2 read(0)
+; res  t2 -> -1
+(config
+ (kind log)
+ (transform noflush-control)
+ (n-machines 2)
+ (home 0)
+ (volatile-home false)
+ (workers (1))
+ (ops-per-thread 4)
+ (crashes
+  ((crash
+    (at 51)
+    (machine 1)
+    (restart-at 51)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 612174)
+ (evict-prob 0)
+ (cache-capacity 4)
+ (value-range 1)
+ (pflag true))

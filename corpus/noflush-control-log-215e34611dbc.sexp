@@ -1,0 +1,38 @@
+; found by campaign seed=1 cell=365
+; NOT durably linearizable (1 crash(es), 15 nodes explored) [log/noflush-control seed=463601 machines=3 workers=2 ops=3 crashes=1]
+; history:
+; inv  t2 read(0)
+; inv  t1 size()
+; res  t2 -> -1
+; inv  t2 read(1)
+; res  t1 -> 0
+; inv  t1 size()
+; res  t1 -> 0
+; inv  t1 size()
+; res  t1 -> 0
+; res  t2 -> -1
+; inv  t2 append(1)
+; res  t2 -> 0
+; CRASH M3
+; inv  t3 size()
+; res  t3 -> 0
+(config
+ (kind log)
+ (transform noflush-control)
+ (n-machines 3)
+ (home 2)
+ (volatile-home false)
+ (workers (1 2))
+ (ops-per-thread 3)
+ (crashes
+  ((crash
+    (at 49)
+    (machine 2)
+    (restart-at 49)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 463601)
+ (evict-prob 0)
+ (cache-capacity 1)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,32 @@
+; found by campaign seed=1 cell=11
+; NOT durably linearizable (1 crash(es), 4 nodes explored) [log/noflush-control seed=323817 machines=3 workers=1 ops=3 crashes=1]
+; history:
+; inv  t1 read(2)
+; res  t1 -> -1
+; inv  t1 append(1)
+; res  t1 -> 0
+; inv  t1 append(1)
+; CRASH M3
+; res  t1 -> 1
+; inv  t2 append(1)
+; res  t2 -> 0
+(config
+ (kind log)
+ (transform noflush-control)
+ (n-machines 3)
+ (home 2)
+ (volatile-home false)
+ (workers (1))
+ (ops-per-thread 3)
+ (crashes
+  ((crash
+    (at 7)
+    (machine 2)
+    (restart-at 11)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 323817)
+ (evict-prob 0.050000000000000003)
+ (cache-capacity 4)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,32 @@
+; found by campaign seed=1 cell=453
+; NOT durably linearizable (1 crash(es), 4 nodes explored) [log/noflush-control seed=870098 machines=1 workers=1 ops=3 crashes=1]
+; history:
+; inv  t1 size()
+; res  t1 -> 0
+; inv  t1 read(4)
+; res  t1 -> -1
+; inv  t1 append(1)
+; res  t1 -> 0
+; CRASH M1
+; inv  t2 read(0)
+; res  t2 -> -1
+(config
+ (kind log)
+ (transform noflush-control)
+ (n-machines 1)
+ (home 0)
+ (volatile-home false)
+ (workers (0))
+ (ops-per-thread 3)
+ (crashes
+  ((crash
+    (at 25)
+    (machine 0)
+    (restart-at 25)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 870098)
+ (evict-prob 0)
+ (cache-capacity 4)
+ (value-range 1)
+ (pflag true))

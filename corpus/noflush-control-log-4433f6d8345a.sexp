@@ -1,0 +1,30 @@
+; found by campaign seed=1 cell=7
+; NOT durably linearizable (1 crash(es), 3 nodes explored) [log/noflush-control seed=693546 machines=3 workers=1 ops=2 crashes=1]
+; history:
+; inv  t1 size()
+; res  t1 -> 0
+; inv  t1 append(1)
+; res  t1 -> 0
+; CRASH M3
+; inv  t2 size()
+; res  t2 -> 0
+(config
+ (kind log)
+ (transform noflush-control)
+ (n-machines 3)
+ (home 1)
+ (volatile-home false)
+ (workers (2))
+ (ops-per-thread 2)
+ (crashes
+  ((crash
+    (at 28)
+    (machine 2)
+    (restart-at 28)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 693546)
+ (evict-prob 0)
+ (cache-capacity 1)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,34 @@
+; found by campaign seed=1 cell=194
+; NOT durably linearizable (1 crash(es), 8 nodes explored) [log/noflush-control seed=138776 machines=3 workers=2 ops=2 crashes=1]
+; history:
+; inv  t1 read(2)
+; res  t1 -> -1
+; inv  t1 size()
+; inv  t2 size()
+; res  t2 -> 0
+; inv  t2 append(1)
+; res  t1 -> 0
+; res  t2 -> 0
+; CRASH M1
+; inv  t3 append(1)
+; res  t3 -> 0
+(config
+ (kind log)
+ (transform noflush-control)
+ (n-machines 3)
+ (home 2)
+ (volatile-home false)
+ (workers (1 0))
+ (ops-per-thread 2)
+ (crashes
+  ((crash
+    (at 35)
+    (machine 0)
+    (restart-at 35)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 138776)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

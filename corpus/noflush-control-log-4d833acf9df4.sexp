@@ -1,0 +1,28 @@
+; found by campaign seed=1 cell=414
+; NOT durably linearizable (1 crash(es), 2 nodes explored) [log/noflush-control seed=216452 machines=3 workers=1 ops=1 crashes=1]
+; history:
+; inv  t1 append(1)
+; res  t1 -> 0
+; CRASH M3
+; inv  t2 size()
+; res  t2 -> 0
+(config
+ (kind log)
+ (transform noflush-control)
+ (n-machines 3)
+ (home 1)
+ (volatile-home false)
+ (workers (2))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 10)
+    (machine 2)
+    (restart-at 10)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 216452)
+ (evict-prob 0)
+ (cache-capacity 4)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,38 @@
+; found by campaign seed=1 cell=252
+; NOT durably linearizable (1 crash(es), 20 nodes explored) [log/noflush-control seed=599662 machines=4 workers=3 ops=2 crashes=1]
+; history:
+; inv  t3 size()
+; inv  t2 read(3)
+; res  t2 -> -1
+; inv  t2 read(1)
+; inv  t1 read(0)
+; res  t2 -> -1
+; res  t1 -> -1
+; inv  t1 read(4)
+; res  t1 -> -1
+; res  t3 -> 0
+; inv  t3 append(1)
+; res  t3 -> 0
+; CRASH M2
+; inv  t4 append(1)
+; res  t4 -> 0
+(config
+ (kind log)
+ (transform noflush-control)
+ (n-machines 4)
+ (home 0)
+ (volatile-home false)
+ (workers (3 0 1))
+ (ops-per-thread 2)
+ (crashes
+  ((crash
+    (at 39)
+    (machine 1)
+    (restart-at 39)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 599662)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

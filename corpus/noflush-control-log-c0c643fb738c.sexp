@@ -1,0 +1,43 @@
+; found by campaign seed=1 cell=354
+; NOT durably linearizable (2 crash(es), 6 nodes explored) [log/noflush-control seed=870313 machines=2 workers=1 ops=5 crashes=2]
+; history:
+; inv  t1 size()
+; res  t1 -> 0
+; inv  t1 read(1)
+; res  t1 -> -1
+; inv  t1 read(2)
+; res  t1 -> -1
+; inv  t1 size()
+; res  t1 -> 0
+; inv  t1 append(1)
+; res  t1 -> 0
+; CRASH M2
+; CRASH M1
+; inv  t2 read(0)
+; res  t2 -> -1
+(config
+ (kind log)
+ (transform noflush-control)
+ (n-machines 2)
+ (home 0)
+ (volatile-home false)
+ (workers (0))
+ (ops-per-thread 5)
+ (crashes
+  ((crash
+    (at 10)
+    (machine 1)
+    (restart-at 10)
+    (recovery-threads 1)
+    (recovery-ops 1))
+   (crash
+    (at 10)
+    (machine 0)
+    (restart-at 14)
+    (recovery-threads 0)
+    (recovery-ops 0))))
+ (seed 870313)
+ (evict-prob 0)
+ (cache-capacity 1)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,32 @@
+; found by campaign seed=1 cell=44
+; NOT durably linearizable (1 crash(es), 5 nodes explored) [map/noflush-control seed=28751 machines=2 workers=2 ops=1 crashes=1]
+; history:
+; inv  t2 put(1,
+; 1)
+; inv  t1 put(1,
+; 1)
+; res  t1 -> 0
+; CRASH M2
+; inv  t3 del(1)
+; res  t2 -> 0
+; res  t3 -> 0
+(config
+ (kind map)
+ (transform noflush-control)
+ (n-machines 2)
+ (home 1)
+ (volatile-home false)
+ (workers (0 0))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 14)
+    (machine 1)
+    (restart-at 15)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 28751)
+ (evict-prob 0)
+ (cache-capacity 4)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,29 @@
+; found by campaign seed=1 cell=205
+; NOT durably linearizable (1 crash(es), 2 nodes explored) [map/noflush-control seed=11351 machines=3 workers=1 ops=1 crashes=1]
+; history:
+; inv  t1 put(1,
+; 1)
+; res  t1 -> 0
+; CRASH M3
+; inv  t2 get(1)
+; res  t2 -> -1
+(config
+ (kind map)
+ (transform noflush-control)
+ (n-machines 3)
+ (home 2)
+ (volatile-home false)
+ (workers (0))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 28)
+    (machine 2)
+    (restart-at 28)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 11351)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

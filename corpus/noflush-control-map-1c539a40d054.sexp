@@ -1,0 +1,31 @@
+; found by campaign seed=1 cell=178
+; NOT durably linearizable (1 crash(es), 3 nodes explored) [map/noflush-control seed=632790 machines=1 workers=1 ops=2 crashes=1]
+; history:
+; inv  t1 del(1)
+; res  t1 -> 0
+; inv  t1 put(1,
+; 1)
+; res  t1 -> 0
+; CRASH M1
+; inv  t2 get(1)
+; res  t2 -> -1
+(config
+ (kind map)
+ (transform noflush-control)
+ (n-machines 1)
+ (home 0)
+ (volatile-home false)
+ (workers (0))
+ (ops-per-thread 2)
+ (crashes
+  ((crash
+    (at 47)
+    (machine 0)
+    (restart-at 47)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 632790)
+ (evict-prob 0)
+ (cache-capacity 4)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,33 @@
+; found by campaign seed=1 cell=112
+; NOT durably linearizable (1 crash(es), 9 nodes explored) [map/noflush-control seed=433746 machines=2 workers=3 ops=1 crashes=1]
+; history:
+; inv  t1 del(1)
+; inv  t3 put(1,
+; 1)
+; inv  t2 get(1)
+; res  t1 -> 0
+; res  t2 -> -1
+; res  t3 -> 0
+; CRASH M1
+; inv  t4 get(1)
+; res  t4 -> -1
+(config
+ (kind map)
+ (transform noflush-control)
+ (n-machines 2)
+ (home 1)
+ (volatile-home false)
+ (workers (0 0 0))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 42)
+    (machine 0)
+    (restart-at 42)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 433746)
+ (evict-prob 0)
+ (cache-capacity 4)
+ (value-range 1)
+ (pflag true))

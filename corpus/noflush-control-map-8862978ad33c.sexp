@@ -1,0 +1,37 @@
+; found by campaign seed=1 cell=435
+; NOT durably linearizable (1 crash(es), 5 nodes explored) [map/noflush-control seed=532075 machines=3 volatile-home workers=1 ops=5 crashes=1]
+; history:
+; inv  t1 del(1)
+; res  t1 -> 0
+; inv  t1 put(1,
+; 1)
+; res  t1 -> 0
+; inv  t1 put(1,
+; 1)
+; res  t1 -> 0
+; inv  t1 put(1,
+; 1)
+; res  t1 -> 0
+; inv  t1 del(1)
+; CRASH M1
+; res  t1 -> 0
+(config
+ (kind map)
+ (transform noflush-control)
+ (n-machines 3)
+ (home 0)
+ (volatile-home true)
+ (workers (2))
+ (ops-per-thread 5)
+ (crashes
+  ((crash
+    (at 17)
+    (machine 0)
+    (restart-at 29)
+    (recovery-threads 0)
+    (recovery-ops 0))))
+ (seed 532075)
+ (evict-prob 0)
+ (cache-capacity 1)
+ (value-range 1)
+ (pflag true))

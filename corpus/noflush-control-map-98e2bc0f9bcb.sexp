@@ -1,0 +1,31 @@
+; found by campaign seed=1 cell=292
+; NOT durably linearizable (1 crash(es), 4 nodes explored) [map/noflush-control seed=182887 machines=1 workers=2 ops=1 crashes=1]
+; history:
+; inv  t1 get(1)
+; inv  t2 put(1,
+; 1)
+; res  t1 -> -1
+; res  t2 -> 0
+; CRASH M1
+; inv  t3 del(1)
+; res  t3 -> 0
+(config
+ (kind map)
+ (transform noflush-control)
+ (n-machines 1)
+ (home 0)
+ (volatile-home false)
+ (workers (0 0))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 43)
+    (machine 0)
+    (restart-at 43)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 182887)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,37 @@
+; found by campaign seed=1 cell=238
+; NOT durably linearizable (1 crash(es), 10 nodes explored) [map/noflush-control seed=895786 machines=3 workers=2 ops=3 crashes=1]
+; history:
+; inv  t1 del(1)
+; res  t1 -> 0
+; inv  t1 get(1)
+; inv  t2 del(1)
+; res  t1 -> -1
+; inv  t1 get(1)
+; res  t1 -> -1
+; res  t2 -> 0
+; inv  t2 put(1,
+; 1)
+; res  t2 -> 0
+; inv  t2 get(1)
+; CRASH M3
+; res  t2 -> 0
+(config
+ (kind map)
+ (transform noflush-control)
+ (n-machines 3)
+ (home 2)
+ (volatile-home false)
+ (workers (2 0))
+ (ops-per-thread 3)
+ (crashes
+  ((crash
+    (at 14)
+    (machine 2)
+    (restart-at 19)
+    (recovery-threads 0)
+    (recovery-ops 0))))
+ (seed 895786)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,34 @@
+; found by campaign seed=1 cell=109
+; NOT durably linearizable (1 crash(es), 11 nodes explored) [map/noflush-control seed=806330 machines=4 workers=3 ops=1 crashes=1]
+; history:
+; inv  t3 put(2,
+; 2)
+; inv  t2 put(1,
+; 2)
+; inv  t1 get(2)
+; res  t1 -> -1
+; res  t2 -> 0
+; res  t3 -> 0
+; CRASH M4
+; inv  t4 del(2)
+; res  t4 -> 0
+(config
+ (kind map)
+ (transform noflush-control)
+ (n-machines 4)
+ (home 1)
+ (volatile-home false)
+ (workers (2 2 3))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 27)
+    (machine 3)
+    (restart-at 27)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 806330)
+ (evict-prob 0)
+ (cache-capacity 4)
+ (value-range 2)
+ (pflag true))

@@ -1,0 +1,28 @@
+; found by campaign seed=1 cell=279
+; NOT durably linearizable (1 crash(es), 2 nodes explored) [queue/noflush-control seed=250121 machines=2 workers=1 ops=1 crashes=1]
+; history:
+; inv  t1 enq(1)
+; res  t1 -> 0
+; CRASH M2
+; inv  t2 deq()
+; res  t2 -> CORRUPT
+(config
+ (kind queue)
+ (transform noflush-control)
+ (n-machines 2)
+ (home 1)
+ (volatile-home false)
+ (workers (0))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 20)
+    (machine 1)
+    (restart-at 20)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 250121)
+ (evict-prob 0)
+ (cache-capacity 1)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,37 @@
+; found by campaign seed=1 cell=430
+; NOT durably linearizable (2 crash(es), 3 nodes explored) [queue/noflush-control seed=992734 machines=4 workers=1 ops=1 crashes=2]
+; history:
+; inv  t1 enq(1)
+; res  t1 -> 0
+; CRASH M4
+; CRASH M2
+; inv  t2 enq(1)
+; inv  t3 deq()
+; res  t2 -> 0
+; res  t3 -> 0
+(config
+ (kind queue)
+ (transform noflush-control)
+ (n-machines 4)
+ (home 3)
+ (volatile-home false)
+ (workers (2))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 24)
+    (machine 3)
+    (restart-at 24)
+    (recovery-threads 0)
+    (recovery-ops 0))
+   (crash
+    (at 38)
+    (machine 1)
+    (restart-at 38)
+    (recovery-threads 2)
+    (recovery-ops 1))))
+ (seed 992734)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

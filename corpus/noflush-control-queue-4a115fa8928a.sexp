@@ -1,0 +1,28 @@
+; found by campaign seed=1 cell=469
+; NOT durably linearizable (1 crash(es), 2 nodes explored) [queue/noflush-control seed=762626 machines=4 workers=2 ops=1 crashes=1]
+; history:
+; inv  t2 enq(1)
+; inv  t1 deq()
+; CRASH M4
+; res  t2 -> 0
+; res  t1 -> 0
+(config
+ (kind queue)
+ (transform noflush-control)
+ (n-machines 4)
+ (home 3)
+ (volatile-home false)
+ (workers (2 1))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 11)
+    (machine 3)
+    (restart-at 20)
+    (recovery-threads 0)
+    (recovery-ops 0))))
+ (seed 762626)
+ (evict-prob 0)
+ (cache-capacity 1)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,32 @@
+; found by campaign seed=1 cell=376
+; NOT durably linearizable (1 crash(es), 4 nodes explored) [queue/noflush-control seed=690715 machines=2 workers=1 ops=2 crashes=1]
+; history:
+; inv  t1 deq()
+; res  t1 -> -1
+; inv  t1 enq(1)
+; res  t1 -> 0
+; CRASH M2
+; inv  t2 enq(1)
+; inv  t3 deq()
+; res  t3 -> CORRUPT
+; res  t2 -> 0
+(config
+ (kind queue)
+ (transform noflush-control)
+ (n-machines 2)
+ (home 1)
+ (volatile-home false)
+ (workers (0))
+ (ops-per-thread 2)
+ (crashes
+  ((crash
+    (at 33)
+    (machine 1)
+    (restart-at 33)
+    (recovery-threads 2)
+    (recovery-ops 1))))
+ (seed 690715)
+ (evict-prob 0)
+ (cache-capacity 1)
+ (value-range 1)
+ (pflag true))

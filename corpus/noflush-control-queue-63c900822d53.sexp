@@ -1,0 +1,26 @@
+; found by campaign seed=1 cell=207
+; NOT durably linearizable (1 crash(es), 1 nodes explored) [queue/noflush-control seed=198216 machines=3 workers=1 ops=1 crashes=1]
+; history:
+; inv  t1 deq()
+; CRASH M1
+; res  t1 -> CORRUPT
+(config
+ (kind queue)
+ (transform noflush-control)
+ (n-machines 3)
+ (home 0)
+ (volatile-home false)
+ (workers (2))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 5)
+    (machine 0)
+    (restart-at 13)
+    (recovery-threads 0)
+    (recovery-ops 0))))
+ (seed 198216)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

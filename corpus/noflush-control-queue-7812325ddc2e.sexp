@@ -1,0 +1,28 @@
+; found by campaign seed=1 cell=231
+; NOT durably linearizable (1 crash(es), 2 nodes explored) [queue/noflush-control seed=678627 machines=2 volatile-home workers=1 ops=1 crashes=1]
+; history:
+; inv  t1 deq()
+; res  t1 -> -1
+; CRASH M1
+; inv  t2 deq()
+; res  t2 -> CORRUPT
+(config
+ (kind queue)
+ (transform noflush-control)
+ (n-machines 2)
+ (home 0)
+ (volatile-home true)
+ (workers (1))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 36)
+    (machine 0)
+    (restart-at 36)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 678627)
+ (evict-prob 0)
+ (cache-capacity 1)
+ (value-range 1)
+ (pflag true))

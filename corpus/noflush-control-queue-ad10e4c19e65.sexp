@@ -1,0 +1,28 @@
+; found by campaign seed=1 cell=301
+; NOT durably linearizable (1 crash(es), 2 nodes explored) [queue/noflush-control seed=649253 machines=3 workers=1 ops=2 crashes=1]
+; history:
+; inv  t1 enq(1)
+; res  t1 -> 0
+; inv  t1 deq()
+; CRASH M1
+; res  t1 -> 0
+(config
+ (kind queue)
+ (transform noflush-control)
+ (n-machines 3)
+ (home 0)
+ (volatile-home false)
+ (workers (2))
+ (ops-per-thread 2)
+ (crashes
+  ((crash
+    (at 15)
+    (machine 0)
+    (restart-at 22)
+    (recovery-threads 0)
+    (recovery-ops 0))))
+ (seed 649253)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

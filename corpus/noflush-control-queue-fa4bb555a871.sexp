@@ -1,0 +1,28 @@
+; found by campaign seed=1 cell=290
+; NOT durably linearizable (1 crash(es), 2 nodes explored) [queue/noflush-control seed=693377 machines=4 workers=1 ops=1 crashes=1]
+; history:
+; inv  t1 enq(1)
+; res  t1 -> 0
+; CRASH M4
+; inv  t2 deq()
+; res  t2 -> 0
+(config
+ (kind queue)
+ (transform noflush-control)
+ (n-machines 4)
+ (home 3)
+ (volatile-home false)
+ (workers (1))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 24)
+    (machine 3)
+    (restart-at 24)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 693377)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,34 @@
+; found by campaign seed=1 cell=393
+; NOT durably linearizable (1 crash(es), 5 nodes explored) [queue/noflush-control seed=3710 machines=3 workers=1 ops=4 crashes=1]
+; history:
+; inv  t1 deq()
+; res  t1 -> -1
+; inv  t1 deq()
+; res  t1 -> -1
+; inv  t1 deq()
+; res  t1 -> -1
+; inv  t1 enq(1)
+; res  t1 -> 0
+; CRASH M2
+; inv  t2 deq()
+; res  t2 -> CORRUPT
+(config
+ (kind queue)
+ (transform noflush-control)
+ (n-machines 3)
+ (home 1)
+ (volatile-home false)
+ (workers (2))
+ (ops-per-thread 4)
+ (crashes
+  ((crash
+    (at 30)
+    (machine 1)
+    (restart-at 30)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 3710)
+ (evict-prob 0)
+ (cache-capacity 4)
+ (value-range 1)
+ (pflag true))

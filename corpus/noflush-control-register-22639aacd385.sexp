@@ -1,0 +1,28 @@
+; found by campaign seed=1 cell=218
+; NOT durably linearizable (1 crash(es), 2 nodes explored) [register/noflush-control seed=191010 machines=3 workers=1 ops=1 crashes=1]
+; history:
+; inv  t1 write(1)
+; res  t1 -> 0
+; CRASH M1
+; inv  t2 read()
+; res  t2 -> 0
+(config
+ (kind register)
+ (transform noflush-control)
+ (n-machines 3)
+ (home 2)
+ (volatile-home false)
+ (workers (0))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 54)
+    (machine 0)
+    (restart-at 54)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 191010)
+ (evict-prob 0)
+ (cache-capacity 4)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,28 @@
+; found by campaign seed=1 cell=154
+; NOT durably linearizable (1 crash(es), 2 nodes explored) [register/noflush-control seed=400195 machines=4 workers=1 ops=1 crashes=1]
+; history:
+; inv  t1 write(1)
+; res  t1 -> 0
+; CRASH M2
+; inv  t2 read()
+; res  t2 -> 0
+(config
+ (kind register)
+ (transform noflush-control)
+ (n-machines 4)
+ (home 3)
+ (volatile-home false)
+ (workers (1))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 36)
+    (machine 1)
+    (restart-at 36)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 400195)
+ (evict-prob 0)
+ (cache-capacity 1)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,35 @@
+; found by campaign seed=1 cell=73
+; NOT durably linearizable (2 crash(es), 2 nodes explored) [register/noflush-control seed=768640 machines=2 workers=1 ops=1 crashes=2]
+; history:
+; inv  t1 write(1)
+; res  t1 -> 0
+; CRASH M1
+; CRASH M2
+; inv  t2 read()
+; res  t2 -> 0
+(config
+ (kind register)
+ (transform noflush-control)
+ (n-machines 2)
+ (home 1)
+ (volatile-home false)
+ (workers (0))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 35)
+    (machine 0)
+    (restart-at 39)
+    (recovery-threads 0)
+    (recovery-ops 0))
+   (crash
+    (at 35)
+    (machine 1)
+    (restart-at 35)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 768640)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

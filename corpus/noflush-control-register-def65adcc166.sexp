@@ -1,0 +1,37 @@
+; found by campaign seed=1 cell=276
+; NOT durably linearizable (2 crash(es), 3 nodes explored) [register/noflush-control seed=949749 machines=3 workers=2 ops=1 crashes=2]
+; history:
+; inv  t1 read()
+; res  t1 -> 0
+; inv  t2 write(1)
+; res  t2 -> 0
+; CRASH M3
+; CRASH M1
+; inv  t3 read()
+; res  t3 -> 0
+(config
+ (kind register)
+ (transform noflush-control)
+ (n-machines 3)
+ (home 0)
+ (volatile-home false)
+ (workers (0 2))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 41)
+    (machine 0)
+    (restart-at 41)
+    (recovery-threads 1)
+    (recovery-ops 1))
+   (crash
+    (at 37)
+    (machine 2)
+    (restart-at 37)
+    (recovery-threads 0)
+    (recovery-ops 0))))
+ (seed 949749)
+ (evict-prob 0)
+ (cache-capacity 4)
+ (value-range 1)
+ (pflag true))

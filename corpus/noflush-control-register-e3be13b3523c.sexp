@@ -1,0 +1,30 @@
+; found by campaign seed=1 cell=245
+; NOT durably linearizable (1 crash(es), 3 nodes explored) [register/noflush-control seed=25498 machines=2 workers=1 ops=2 crashes=1]
+; history:
+; inv  t1 read()
+; res  t1 -> 0
+; inv  t1 write(1)
+; res  t1 -> 0
+; CRASH M2
+; inv  t2 read()
+; res  t2 -> 0
+(config
+ (kind register)
+ (transform noflush-control)
+ (n-machines 2)
+ (home 0)
+ (volatile-home false)
+ (workers (1))
+ (ops-per-thread 2)
+ (crashes
+  ((crash
+    (at 32)
+    (machine 1)
+    (restart-at 32)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 25498)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

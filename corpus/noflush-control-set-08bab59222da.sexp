@@ -1,0 +1,30 @@
+; found by campaign seed=1 cell=210
+; NOT durably linearizable (1 crash(es), 3 nodes explored) [set/noflush-control seed=62222 machines=2 workers=2 ops=1 crashes=1]
+; history:
+; inv  t1 remove(1)
+; res  t1 -> 0
+; inv  t2 add(1)
+; res  t2 -> 1
+; CRASH M2
+; inv  t3 add(1)
+; res  t3 -> 1
+(config
+ (kind set)
+ (transform noflush-control)
+ (n-machines 2)
+ (home 1)
+ (volatile-home false)
+ (workers (0 1))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 36)
+    (machine 1)
+    (restart-at 36)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 62222)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

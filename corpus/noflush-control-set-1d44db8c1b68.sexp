@@ -1,0 +1,28 @@
+; found by campaign seed=1 cell=427
+; NOT durably linearizable (1 crash(es), 2 nodes explored) [set/noflush-control seed=63608 machines=2 workers=1 ops=1 crashes=1]
+; history:
+; inv  t1 add(1)
+; res  t1 -> 1
+; CRASH M2
+; inv  t2 remove(1)
+; res  t2 -> 0
+(config
+ (kind set)
+ (transform noflush-control)
+ (n-machines 2)
+ (home 1)
+ (volatile-home false)
+ (workers (1))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 14)
+    (machine 1)
+    (restart-at 14)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 63608)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,30 @@
+; found by campaign seed=1 cell=220
+; NOT durably linearizable (1 crash(es), 3 nodes explored) [set/noflush-control seed=533166 machines=3 workers=1 ops=2 crashes=1]
+; history:
+; inv  t1 contains(1)
+; res  t1 -> 0
+; inv  t1 add(1)
+; res  t1 -> 1
+; CRASH M3
+; inv  t2 remove(1)
+; res  t2 -> 0
+(config
+ (kind set)
+ (transform noflush-control)
+ (n-machines 3)
+ (home 2)
+ (volatile-home false)
+ (workers (2))
+ (ops-per-thread 2)
+ (crashes
+  ((crash
+    (at 38)
+    (machine 2)
+    (restart-at 38)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 533166)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

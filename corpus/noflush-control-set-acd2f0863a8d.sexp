@@ -1,0 +1,30 @@
+; found by campaign seed=1 cell=200
+; NOT durably linearizable (1 crash(es), 4 nodes explored) [set/noflush-control seed=123294 machines=3 volatile-home workers=2 ops=1 crashes=1]
+; history:
+; inv  t2 add(1)
+; inv  t1 remove(1)
+; res  t1 -> 0
+; res  t2 -> 1
+; CRASH M1
+; inv  t3 remove(1)
+; res  t3 -> 0
+(config
+ (kind set)
+ (transform noflush-control)
+ (n-machines 3)
+ (home 0)
+ (volatile-home true)
+ (workers (0 2))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 47)
+    (machine 0)
+    (restart-at 47)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 123294)
+ (evict-prob 0)
+ (cache-capacity 1)
+ (value-range 1)
+ (pflag true))

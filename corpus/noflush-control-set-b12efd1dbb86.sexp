@@ -1,0 +1,30 @@
+; found by campaign seed=1 cell=307
+; NOT durably linearizable (1 crash(es), 3 nodes explored) [set/noflush-control seed=248069 machines=1 workers=1 ops=2 crashes=1]
+; history:
+; inv  t1 contains(1)
+; res  t1 -> 0
+; inv  t1 add(1)
+; res  t1 -> 1
+; CRASH M1
+; inv  t2 remove(1)
+; res  t2 -> 0
+(config
+ (kind set)
+ (transform noflush-control)
+ (n-machines 1)
+ (home 0)
+ (volatile-home false)
+ (workers (0))
+ (ops-per-thread 2)
+ (crashes
+  ((crash
+    (at 24)
+    (machine 0)
+    (restart-at 24)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 248069)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

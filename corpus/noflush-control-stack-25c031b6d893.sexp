@@ -1,0 +1,30 @@
+; found by campaign seed=1 cell=79
+; NOT durably linearizable (1 crash(es), 3 nodes explored) [stack/noflush-control seed=776044 machines=2 workers=1 ops=2 crashes=1]
+; history:
+; inv  t1 pop()
+; res  t1 -> -1
+; inv  t1 push(1)
+; res  t1 -> 0
+; CRASH M2
+; inv  t2 pop()
+; res  t2 -> -1
+(config
+ (kind stack)
+ (transform noflush-control)
+ (n-machines 2)
+ (home 0)
+ (volatile-home false)
+ (workers (1))
+ (ops-per-thread 2)
+ (crashes
+  ((crash
+    (at 18)
+    (machine 1)
+    (restart-at 18)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 776044)
+ (evict-prob 0)
+ (cache-capacity 4)
+ (value-range 1)
+ (pflag true))

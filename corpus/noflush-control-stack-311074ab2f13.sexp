@@ -1,0 +1,28 @@
+; found by campaign seed=1 cell=277
+; NOT durably linearizable (1 crash(es), 2 nodes explored) [stack/noflush-control seed=389319 machines=3 workers=1 ops=1 crashes=1]
+; history:
+; inv  t1 push(1)
+; res  t1 -> 0
+; CRASH M1
+; inv  t2 pop()
+; res  t2 -> -1
+(config
+ (kind stack)
+ (transform noflush-control)
+ (n-machines 3)
+ (home 2)
+ (volatile-home false)
+ (workers (0))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 38)
+    (machine 0)
+    (restart-at 38)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 389319)
+ (evict-prob 0)
+ (cache-capacity 4)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,28 @@
+; found by campaign seed=1 cell=215
+; NOT durably linearizable (1 crash(es), 2 nodes explored) [stack/noflush-control seed=853424 machines=3 workers=1 ops=1 crashes=1]
+; history:
+; inv  t1 push(1)
+; res  t1 -> 0
+; CRASH M3
+; inv  t2 pop()
+; res  t2 -> 0
+(config
+ (kind stack)
+ (transform noflush-control)
+ (n-machines 3)
+ (home 2)
+ (volatile-home false)
+ (workers (0))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 34)
+    (machine 2)
+    (restart-at 34)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 853424)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,32 @@
+; found by campaign seed=1 cell=400
+; NOT durably linearizable (1 crash(es), 4 nodes explored) [stack/noflush-control seed=287686 machines=2 workers=1 ops=2 crashes=1]
+; history:
+; inv  t1 push(1)
+; res  t1 -> 0
+; inv  t1 push(1)
+; res  t1 -> 0
+; CRASH M2
+; inv  t2 pop()
+; res  t2 -> 1
+; inv  t2 pop()
+; res  t2 -> 0
+(config
+ (kind stack)
+ (transform noflush-control)
+ (n-machines 2)
+ (home 1)
+ (volatile-home false)
+ (workers (0))
+ (ops-per-thread 2)
+ (crashes
+  ((crash
+    (at 46)
+    (machine 1)
+    (restart-at 46)
+    (recovery-threads 1)
+    (recovery-ops 2))))
+ (seed 287686)
+ (evict-prob 0)
+ (cache-capacity 4)
+ (value-range 1)
+ (pflag true))

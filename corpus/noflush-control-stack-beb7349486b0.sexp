@@ -1,0 +1,49 @@
+; found by campaign seed=1 cell=447
+; NOT durably linearizable (2 crash(es), 13 nodes explored) [stack/noflush-control seed=101799 machines=4 workers=1 ops=5 crashes=2]
+; history:
+; inv  t1 pop()
+; res  t1 -> -1
+; inv  t1 push(1)
+; res  t1 -> 0
+; inv  t1 push(1)
+; res  t1 -> 0
+; inv  t1 pop()
+; CRASH M1
+; inv  t2 pop()
+; res  t1 -> 1
+; inv  t1 pop()
+; inv  t3 push(1)
+; res  t1 -> 1
+; res  t2 -> -1
+; inv  t2 pop()
+; res  t2 -> -1
+; res  t3 -> 0
+; inv  t3 pop()
+; CRASH M3
+; res  t3 -> 0
+(config
+ (kind stack)
+ (transform noflush-control)
+ (n-machines 4)
+ (home 2)
+ (volatile-home false)
+ (workers (3))
+ (ops-per-thread 5)
+ (crashes
+  ((crash
+    (at 12)
+    (machine 0)
+    (restart-at 12)
+    (recovery-threads 2)
+    (recovery-ops 2))
+   (crash
+    (at 37)
+    (machine 2)
+    (restart-at 37)
+    (recovery-threads 0)
+    (recovery-ops 0))))
+ (seed 101799)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

@@ -1,0 +1,45 @@
+; Finding F2 — found by fuzzing weakest-lflush under the pre-F2 envelope
+; (arbitrary worker crashes); the envelope has since been narrowed, so
+; campaigns no longer regenerate this file.  Pinned as a regression test
+; in test/test_durable.ml (finding-f2).
+; found by campaign seed=1 cell=154
+; NOT durably linearizable (1 crash(es), 21 nodes explored) [register/weakest-lflush seed=400195 machines=4 workers=2 ops=4 crashes=1]
+; history:
+; inv  t1 write(1)
+; inv  t2 read()
+; res  t1 -> 0
+; inv  t1 write(1)
+; res  t2 -> 1
+; inv  t2 write(1)
+; res  t1 -> 0
+; inv  t1 read()
+; res  t2 -> 0
+; inv  t2 write(1)
+; res  t1 -> 1
+; inv  t1 write(1)
+; res  t2 -> 0
+; inv  t2 write(1)
+; CRASH M2
+; res  t1 -> 0
+; inv  t3 read()
+; res  t3 -> 0
+(config
+ (kind register)
+ (transform weakest-lflush)
+ (n-machines 4)
+ (home 3)
+ (volatile-home false)
+ (workers (0 1))
+ (ops-per-thread 4)
+ (crashes
+  ((crash
+    (at 28)
+    (machine 1)
+    (restart-at 36)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 400195)
+ (evict-prob 0)
+ (cache-capacity 1)
+ (value-range 1)
+ (pflag true))

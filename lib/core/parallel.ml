@@ -59,10 +59,17 @@ let map_chunked ?(jobs = 1) ?(chunk = 0) n ~(init : unit -> 'w)
     Array.map Option.get results
   end
 
+(** [map_items ?jobs ?chunk ~init ~f a] — the same pool over arbitrary
+    work items instead of ranked config indices: each worker domain
+    applies [f] to its own [init ()] state and the items of its chunks.
+    Result order is item order, for every [jobs]. *)
+let map_items ?jobs ?chunk ~(init : unit -> 'w) ~(f : 'w -> 'a -> 'b)
+    (a : 'a array) : 'b array =
+  map_chunked ?jobs ?chunk (Array.length a) ~init ~f:(fun w i -> f w a.(i))
+
 (** [map_array ?jobs f a] — parallel [Array.map], order-preserving. *)
 let map_array ?jobs f a =
-  map_chunked ?jobs (Array.length a) ~init:(fun () -> ()) ~f:(fun () i ->
-      f a.(i))
+  map_items ?jobs ~init:(fun () -> ()) ~f:(fun () x -> f x) a
 
 (** [map_list ?jobs f l] — parallel [List.map], order-preserving. *)
 let map_list ?jobs f l =

@@ -15,5 +15,11 @@ val map_chunked :
     [chunk] overrides the chunk size (default [n / (jobs * 8)],
     at least 1). *)
 
+val map_items :
+  ?jobs:int -> ?chunk:int -> init:(unit -> 'w) -> f:('w -> 'a -> 'b) ->
+  'a array -> 'b array
+(** The pool over arbitrary work items instead of ranked config indices;
+    per-worker state as in {!map_chunked}, result order is item order. *)
+
 val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -58,7 +58,10 @@ type t = {
   mutable evict_prob : float;  (** chance of spontaneous eviction per tick *)
 }
 
-let next_uid = ref 0
+let next_uid = Atomic.make 1
+(* Atomic: the fuzz campaign creates fabrics on Parallel worker domains,
+   and the uid keys cross-domain side tables (FliT counters, dirty sets)
+   — a duplicated uid would silently alias them. *)
 
 let create ?(model = Latency.default) ?topology ?(seed = 0)
     ?(evict_prob = 0.05) conf =
@@ -73,9 +76,8 @@ let create ?(model = Latency.default) ?topology ?(seed = 0)
           invalid_arg "Fabric.create: topology size mismatch";
         t
   in
-  incr next_uid;
   {
-    uid = !next_uid;
+    uid = Atomic.fetch_and_add next_uid 1;
     conf;
     locs = Array.make 64 { owner = 0; coff = 0; holders = 0; cval = 0; mem = 0 };
     n_locs = 0;

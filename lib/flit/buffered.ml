@@ -33,19 +33,28 @@ open Runtime
 let name = "buffered-sync"
 let durable = false
 
-(* per-fabric dirty sets (see Counters for the side-table rationale) *)
+(* per-fabric dirty sets (see Counters for the side-table rationale; as
+   there, the uid-keyed table is shared across domains and mutex-guarded,
+   while each inner dirty set is domain-confined) *)
 let tables : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+let tables_lock = Mutex.create ()
+
+let with_tables f =
+  Mutex.lock tables_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock tables_lock) f
 
 let dirty_set fab =
   let uid = Fabric.uid fab in
-  match Hashtbl.find_opt tables uid with
-  | Some t -> t
-  | None ->
-      let t = Hashtbl.create 64 in
-      Hashtbl.add tables uid t;
-      t
+  with_tables (fun () ->
+      match Hashtbl.find_opt tables uid with
+      | Some t -> t
+      | None ->
+          let t = Hashtbl.create 64 in
+          Hashtbl.add tables uid t;
+          t)
 
-let drop_fabric fab = Hashtbl.remove tables (Fabric.uid fab)
+let drop_fabric fab =
+  with_tables (fun () -> Hashtbl.remove tables (Fabric.uid fab))
 
 let mark_dirty (ctx : Sched.ctx) x = Hashtbl.replace (dirty_set ctx.fab) x ()
 

@@ -24,17 +24,28 @@ type t = (int, int) Hashtbl.t
 (* location -> counter value; absent = 0 *)
 
 let tables : (int, t) Hashtbl.t = Hashtbl.create 16
-(* fabric uid -> counter table *)
+(* fabric uid -> counter table.  The uid-keyed table is shared by every
+   domain (the fuzz campaign runs whole workloads on a Parallel pool), so
+   its lookups/insertions are mutex-guarded; each fabric — and hence each
+   inner counter table — lives on a single domain, so inner accesses need
+   no lock. *)
+
+let tables_lock = Mutex.create ()
+
+let with_tables f =
+  Mutex.lock tables_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock tables_lock) f
 
 (** [for_fabric fab] — the (lazily created) counter table of [fab]. *)
 let for_fabric fab =
   let uid = Fabric.uid fab in
-  match Hashtbl.find_opt tables uid with
-  | Some t -> t
-  | None ->
-      let t = Hashtbl.create 64 in
-      Hashtbl.add tables uid t;
-      t
+  with_tables (fun () ->
+      match Hashtbl.find_opt tables uid with
+      | Some t -> t
+      | None ->
+          let t = Hashtbl.create 64 in
+          Hashtbl.add tables uid t;
+          t)
 
 let get_raw t x = match Hashtbl.find_opt t x with Some v -> v | None -> 0
 
@@ -66,4 +77,5 @@ let read (ctx : Runtime.Sched.ctx) x =
 (** [drop_fabric fab] — release the table of a dead fabric (tests create
     thousands of fabrics; without this the global table grows without
     bound). *)
-let drop_fabric fab = Hashtbl.remove tables (Fabric.uid fab)
+let drop_fabric fab =
+  with_tables (fun () -> Hashtbl.remove tables (Fabric.uid fab))

@@ -1,0 +1,143 @@
+(** The campaign driver: sample N configs from a profile, check each
+    against its oracle, shrink every violation to a minimum, bank the
+    minima in the corpus.
+
+    Cells are independent — cell [i] derives everything from
+    [Random.State.make [| seed; i |]] — so the campaign shards across
+    domains with {!Cxl0.Parallel.map_items} and its result is identical
+    for every [jobs] value.  Corpus writes happen sequentially after the
+    parallel phase (content-hash names make duplicates a skip, not a
+    race). *)
+
+module W = Harness.Workload
+
+type status =
+  | Ok  (** the oracle was satisfied *)
+  | Skipped of string  (** the oracle could not decide (history too long) *)
+  | Violation of { shrunk : W.config; verdict : string }
+
+type cell = { index : int; config : W.config; status : status }
+
+type violation = {
+  index : int;
+  original : W.config;
+  shrunk : W.config;
+  verdict : string;  (** the shrunk config's verdict, rendered *)
+  corpus_path : string;
+  fresh : bool;  (** [false] = deduplicated against an existing entry *)
+}
+
+type summary = {
+  transform_name : string;
+  cells : int;
+  ok : int;
+  skipped : int;
+  violations : violation list;
+}
+
+(** [evaluate profile c] — run the workload and ask the profile's oracle.
+    A [Buffered_cut] oracle that blows its candidate-subset bound counts
+    as skipped, mirroring the durable checker's [History_too_long]. *)
+let evaluate (p : Gen.profile) (c : W.config) :
+    [ `Ok | `Violation of string | `Skipped of string ] =
+  match p.oracle with
+  | Gen.Durable -> (
+      let v = W.check c in
+      match v.Lincheck.Durable.skipped with
+      | Some e -> `Skipped (Fmt.str "%a" Lincheck.Check.pp_error e)
+      | None ->
+          if v.durable then `Ok
+          else `Violation (Fmt.str "%a" Lincheck.Durable.pp_verdict v))
+  | Gen.Buffered_cut -> (
+      let r = W.run c in
+      match Lincheck.Buffered.check (Harness.Objects.spec c.kind) r.history with
+      | v ->
+          if v.Lincheck.Buffered.buffered_durable then `Ok
+          else
+            `Violation
+              (Fmt.str "%a [%s]" Lincheck.Buffered.pp_verdict v (W.describe c))
+      | exception Invalid_argument msg -> `Skipped msg)
+
+(** [run_cell profile ~seed i] — generate, check and (on violation)
+    shrink cell [i]; deterministic in [(seed, i)] alone. *)
+let run_cell (p : Gen.profile) ~seed (i : int) : cell =
+  let rng = Random.State.make [| seed; i |] in
+  let c = Gen.gen p rng in
+  match evaluate p c with
+  | `Ok -> { index = i; config = c; status = Ok }
+  | `Skipped why -> { index = i; config = c; status = Skipped why }
+  | `Violation _ ->
+      let still_failing c' =
+        match evaluate p c' with `Violation _ -> true | _ -> false
+      in
+      let shrunk = Shrink.minimize ~still_failing c in
+      let verdict =
+        match evaluate p shrunk with
+        | `Violation v -> v
+        | _ ->
+            (* minimize only ever returns still-failing configs *)
+            assert false
+      in
+      { index = i; config = c; status = Violation { shrunk; verdict } }
+
+let split_lines s = String.split_on_char '\n' s
+
+(** [run ?jobs ?corpus_dir profile ~cells ~seed ()] — the whole campaign.
+    Results (including corpus file names) depend only on [seed] and
+    [cells], never on [jobs]. *)
+let run ?(jobs = 1) ?(corpus_dir = "corpus") (p : Gen.profile) ~cells ~seed ()
+    : summary =
+  let results =
+    Cxl0.Parallel.map_items ~jobs
+      ~init:(fun () -> ())
+      ~f:(fun () i -> run_cell p ~seed i)
+      (Array.init cells Fun.id)
+  in
+  let ok = ref 0 and skipped = ref 0 and violations = ref [] in
+  Array.iter
+    (fun cell ->
+      match cell.status with
+      | Ok -> incr ok
+      | Skipped _ -> incr skipped
+      | Violation { shrunk; verdict } ->
+          let comment =
+            (Printf.sprintf "found by campaign seed=%d cell=%d" seed cell.index
+            :: split_lines verdict)
+          in
+          let corpus_path, fresh = Corpus.save ~dir:corpus_dir shrunk ~comment in
+          violations :=
+            { index = cell.index; original = cell.config; shrunk; verdict;
+              corpus_path; fresh }
+            :: !violations)
+    results;
+  let module T = (val p.transform : Flit.Flit_intf.S) in
+  {
+    transform_name = T.name;
+    cells;
+    ok = !ok;
+    skipped = !skipped;
+    violations = List.rev !violations;
+  }
+
+(** [replay c] — one deterministic run of a (corpus) config: the recorded
+    history plus its oracle verdict, both rendered.  The boolean is
+    [true] iff the oracle was satisfied. *)
+let replay (c : W.config) : Lincheck.History.t * string * bool =
+  let p = Gen.profile_of_transform c.transform in
+  let r = W.run c in
+  match p.oracle with
+  | Gen.Durable ->
+      let v =
+        Lincheck.Durable.check ~provenance:(W.describe c)
+          (Harness.Objects.spec c.kind) r.history
+      in
+      ( r.history,
+        Fmt.str "%a" Lincheck.Durable.pp_verdict v,
+        v.durable || v.skipped <> None )
+  | Gen.Buffered_cut -> (
+      match Lincheck.Buffered.check (Harness.Objects.spec c.kind) r.history with
+      | v ->
+          ( r.history,
+            Fmt.str "%a [%s]" Lincheck.Buffered.pp_verdict v (W.describe c),
+            v.buffered_durable )
+      | exception Invalid_argument msg -> (r.history, "skipped: " ^ msg, true))

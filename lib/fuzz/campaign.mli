@@ -1,0 +1,46 @@
+(** The fuzz-campaign driver: sample, check, shrink, bank in the corpus.
+    Deterministic in [seed] for every [jobs] value. *)
+
+type status =
+  | Ok
+  | Skipped of string  (** oracle undecided (history too long) *)
+  | Violation of { shrunk : Harness.Workload.config; verdict : string }
+
+type cell = { index : int; config : Harness.Workload.config; status : status }
+
+type violation = {
+  index : int;
+  original : Harness.Workload.config;
+  shrunk : Harness.Workload.config;
+  verdict : string;
+  corpus_path : string;
+  fresh : bool;  (** [false] = deduplicated against an existing entry *)
+}
+
+type summary = {
+  transform_name : string;
+  cells : int;
+  ok : int;
+  skipped : int;
+  violations : violation list;
+}
+
+val evaluate :
+  Gen.profile -> Harness.Workload.config ->
+  [ `Ok | `Violation of string | `Skipped of string ]
+(** Run the workload and ask the profile's oracle. *)
+
+val run_cell : Gen.profile -> seed:int -> int -> cell
+(** Generate, check and (on violation) shrink one cell; deterministic in
+    [(seed, index)] alone. *)
+
+val run :
+  ?jobs:int -> ?corpus_dir:string -> Gen.profile -> cells:int -> seed:int ->
+  unit -> summary
+(** The whole campaign: cells sharded across domains, shrunk minima
+    written to [corpus_dir] (content-hash-deduplicated) sequentially
+    afterwards. *)
+
+val replay : Harness.Workload.config -> Lincheck.History.t * string * bool
+(** One deterministic run of a corpus config: the recorded history, the
+    rendered oracle verdict, and whether the oracle was satisfied. *)

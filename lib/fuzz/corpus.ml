@@ -1,0 +1,52 @@
+(** The counterexample corpus: one replayable S-expression file per
+    minimal failing config, named by transform, kind and a content hash —
+    so re-finding the same minimum (across cells, seeds, or campaigns)
+    deduplicates to the same file instead of piling up copies. *)
+
+module W = Harness.Workload
+
+(* FNV-1a, 64-bit — tiny, deterministic, and we only need collision
+   resistance across a corpus of at most a few hundred configs *)
+let fnv1a64 (s : string) : int64 =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h := Int64.logxor !h (Int64.of_int (Char.code ch));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let file_name (c : W.config) : string =
+  let module T = (val c.transform : Flit.Flit_intf.S) in
+  let hash = Printf.sprintf "%016Lx" (fnv1a64 (Harness.Codec.config_to_string c)) in
+  Printf.sprintf "%s-%s-%s.sexp" T.name
+    (Harness.Objects.kind_name c.kind)
+    (String.sub hash 0 12)
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+(** [save ~dir c ~comment] — write [c] under its content-hash name;
+    returns the path and whether the file is new ([false] = an identical
+    counterexample was already in the corpus). *)
+let save ~dir (c : W.config) ~comment : string * bool =
+  ensure_dir dir;
+  let path = Filename.concat dir (file_name c) in
+  if Sys.file_exists path then (path, false)
+  else begin
+    Harness.Codec.write_config path c ~comment;
+    (path, true)
+  end
+
+let load path = Harness.Codec.read_config path
+
+(** [load_all dir] — every [.sexp] corpus entry, sorted by file name. *)
+let load_all dir : (string * (W.config, string) result) list =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".sexp")
+    |> List.sort compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           (path, load path))

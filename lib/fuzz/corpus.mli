@@ -1,0 +1,18 @@
+(** The counterexample corpus: replayable S-expression config files,
+    content-hash-named so identical minima deduplicate. *)
+
+val file_name : Harness.Workload.config -> string
+(** [<transform>-<kind>-<fnv1a64 prefix>.sexp]. *)
+
+val save :
+  dir:string -> Harness.Workload.config -> comment:string list ->
+  string * bool
+(** Write the config under its content-hash name (creating [dir] if
+    needed); returns the path and whether the file is new. *)
+
+val load : string -> (Harness.Workload.config, string) result
+
+val load_all :
+  string -> (string * (Harness.Workload.config, string) result) list
+(** Every [.sexp] entry of the directory, sorted by file name; an
+    absent directory is an empty corpus. *)

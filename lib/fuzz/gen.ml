@@ -1,0 +1,162 @@
+(** Random {!Harness.Workload.config} generation for the crash-fault
+    fuzzer.
+
+    A campaign does not throw arbitrary crashes at arbitrary transforms:
+    each transformation comes with a *guarantee envelope* — the failure
+    model under which the paper (or our extensions) claims durability —
+    and the fuzzer samples configs inside that envelope.  A violation
+    found inside the envelope is a genuine counterexample; crashes
+    outside it (e.g. crashing the home machine under Alg 3, Finding F1)
+    are known-lost territory and would drown the signal.
+
+    Envelopes, per transform:
+    - [noflush-control] (the broken control): no restrictions — any
+      machine may crash, the home may be volatile.  The campaign must
+      find violations here.
+    - [simple], [alg2-mstore]: the general failure model of §5 — any
+      machine may crash; home memory non-volatile.
+    - [alg3-rstore], [alg3'-weakest], [ablation-noflit-counter]: as
+      above, except
+      the home machine never crashes — Finding F1 shows Algs 3/3' lose
+      completed stores when the location's owner crashes between the
+      store and its flush.
+    - [weakest-lflush]: Prop 2 — durable provided volatile-memory
+      machines never crash; we let the home be volatile but never crash
+      it.  Additionally (Finding F2, discovered by this fuzzer): a
+      *concurrent writer's* store migrates the dirty line to its own
+      machine, making the first writer's LFlush vacuous (LFlush is
+      local-only); if that co-writer's machine then crashes before its
+      own flush, a completed store dies even with an NV home.  Alg 3'
+      (RFlush) survives the identical schedule.  So the envelope also
+      spares every worker machine: only bystanders crash, with no
+      recovery threads.
+    - [adaptive]: per-address choice, so the intersection of the above
+      envelopes: home never crashes, volatile home allowed; its
+      volatile-home path is LFlush-based and shares Finding F2, so
+      worker machines are spared exactly when the home is volatile.
+    - [buffered-sync]: not durably linearizable by design; checked
+      against the *buffered* (consistent-cut) criterion instead, which
+      our E11 experiments support only for single-location objects —
+      kinds restricted to register and counter.  Also bystander-only
+      crashes (Finding F3): when a machine hosting writers crashes, its
+      un-synced completed suffix dies while completed operations on the
+      surviving machines live on, so no happens-after-closed drop set
+      exists and even the buffered criterion is violated. *)
+
+type oracle =
+  | Durable  (** {!Lincheck.Durable.check} *)
+  | Buffered_cut  (** {!Lincheck.Buffered.check}, consistent cuts *)
+
+type worker_crashes =
+  | Workers_crash
+  | Workers_spared
+  | Workers_spared_if_volatile_home
+
+type profile = {
+  transform : Flit.Flit_intf.t;
+  kinds : Harness.Objects.kind list;  (** object kinds to sample from *)
+  crash_home : bool;       (** whether the home machine may crash *)
+  worker_crashes : worker_crashes;
+  allow_volatile_home : bool;  (** whether to sample volatile homes *)
+  oracle : oracle;
+}
+
+let profile_of_transform (t : Flit.Flit_intf.t) : profile =
+  let module T = (val t) in
+  let all = Harness.Objects.all_kinds in
+  match T.name with
+  | "noflush-control" ->
+      { transform = t; kinds = all; crash_home = true;
+        worker_crashes = Workers_crash; allow_volatile_home = true;
+        oracle = Durable }
+  | "simple" | "alg2-mstore" ->
+      { transform = t; kinds = all; crash_home = true;
+        worker_crashes = Workers_crash; allow_volatile_home = false;
+        oracle = Durable }
+  | "alg3-rstore" | "alg3'-weakest" | "ablation-noflit-counter" ->
+      { transform = t; kinds = all; crash_home = false;
+        worker_crashes = Workers_crash; allow_volatile_home = false;
+        oracle = Durable }
+  | "weakest-lflush" ->
+      { transform = t; kinds = all; crash_home = false;
+        worker_crashes = Workers_spared; allow_volatile_home = true;
+        oracle = Durable }
+  | "adaptive" ->
+      { transform = t; kinds = all; crash_home = false;
+        worker_crashes = Workers_spared_if_volatile_home;
+        allow_volatile_home = true; oracle = Durable }
+  | "buffered-sync" ->
+      { transform = t;
+        kinds = [ Harness.Objects.Register; Harness.Objects.Counter ];
+        crash_home = false; worker_crashes = Workers_spared;
+        allow_volatile_home = false; oracle = Buffered_cut }
+  | _ ->
+      (* unknown transform: assume nothing beyond the weakest envelope *)
+      { transform = t; kinds = all; crash_home = false;
+        worker_crashes = Workers_spared; allow_volatile_home = false;
+        oracle = Durable }
+
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+
+(* Bounds chosen to keep the Wing–Gong search tractable on every sampled
+   cell: ≤ 3 workers × ≤ 4 ops + ≤ 2 crashes × ≤ 2 recovery threads × ≤ 2
+   ops ≈ 16 operations worst case, well under {!Lincheck.Check.max_ops}
+   and cheap to memoise. *)
+let gen (p : profile) (rng : Random.State.t) : Harness.Workload.config =
+  let n_machines = 2 + Random.State.int rng 3 in
+  let home = Random.State.int rng n_machines in
+  let volatile_home = p.allow_volatile_home && Random.State.int rng 3 = 0 in
+  let n_workers = 1 + Random.State.int rng 3 in
+  let ops_per_thread = 1 + Random.State.int rng (max 1 (8 / n_workers)) in
+  let worker_machines =
+    List.init n_workers (fun _ -> Random.State.int rng n_machines)
+  in
+  let workers_may_crash =
+    match p.worker_crashes with
+    | Workers_crash -> true
+    | Workers_spared -> false
+    | Workers_spared_if_volatile_home -> not volatile_home
+  in
+  let crashable =
+    List.filter
+      (fun m ->
+        (p.crash_home || m <> home)
+        && (workers_may_crash || not (List.mem m worker_machines)))
+      (List.init n_machines Fun.id)
+  in
+  let n_crashes =
+    if crashable = [] then 0 else Random.State.int rng 3
+  in
+  let crashes =
+    List.init n_crashes (fun _ ->
+        let at = 1 + Random.State.int rng 40 in
+        (* When workers are spared (Finding F2), recovery threads would
+           turn the restarted bystander into a worker machine that a
+           later crash spec may legally hit — so spare those too. *)
+        let recovery_threads =
+          if workers_may_crash then Random.State.int rng 3 else 0
+        in
+        {
+          Harness.Workload.at;
+          machine = pick rng crashable;
+          restart_at = at + Random.State.int rng 20;
+          recovery_threads;
+          recovery_ops =
+            (if recovery_threads = 0 then 0 else 1 + Random.State.int rng 2);
+        })
+  in
+  {
+    Harness.Workload.kind = pick rng p.kinds;
+    transform = p.transform;
+    n_machines;
+    home;
+    volatile_home;
+    worker_machines;
+    ops_per_thread;
+    crashes;
+    seed = 1 + Random.State.int rng 1_000_000;
+    evict_prob = pick rng [ 0.0; 0.05; 0.15; 0.3 ];
+    cache_capacity = pick rng [ 1; 2; 4 ];
+    value_range = 1 + Random.State.int rng 3;
+    pflag = true;
+  }

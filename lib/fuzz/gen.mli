@@ -1,0 +1,39 @@
+(** Random {!Harness.Workload.config} generation inside each transform's
+    *guarantee envelope* — the failure model under which the paper claims
+    durability (e.g. Alg 3 never crash-tests the home machine, Finding
+    F1; [weakest-lflush] never crashes a volatile machine, Prop 2, nor
+    any worker machine, Finding F2).  Violations found inside the
+    envelope are genuine counterexamples. *)
+
+type oracle =
+  | Durable  (** {!Lincheck.Durable.check} *)
+  | Buffered_cut  (** {!Lincheck.Buffered.check}, consistent cuts *)
+
+type worker_crashes =
+  | Workers_crash  (** crash plans may hit worker machines *)
+  | Workers_spared
+      (** only bystander machines (neither home nor any worker) crash,
+          and restarted machines host no recovery threads — Finding F2:
+          [weakest-lflush] loses a completed store when a concurrent
+          writer's machine crashes holding the migrated dirty line *)
+  | Workers_spared_if_volatile_home
+      (** [adaptive]: its volatile-home (LFlush) path shares Finding
+          F2, its NV (RFlush) path does not *)
+
+type profile = {
+  transform : Flit.Flit_intf.t;
+  kinds : Harness.Objects.kind list;  (** object kinds to sample from *)
+  crash_home : bool;       (** whether the home machine may crash *)
+  worker_crashes : worker_crashes;
+  allow_volatile_home : bool;  (** whether to sample volatile homes *)
+  oracle : oracle;
+}
+
+val profile_of_transform : Flit.Flit_intf.t -> profile
+(** The transform's envelope (see the implementation header for the
+    per-transform table); unknown transforms get the weakest envelope. *)
+
+val gen : profile -> Random.State.t -> Harness.Workload.config
+(** Sample a whole config — kind, machine count, worker placement, crash
+    plan (volatile-home and crash-before-init included), eviction noise,
+    cache size, value domain — bounded so the checker stays tractable. *)

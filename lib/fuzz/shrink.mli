@@ -1,0 +1,18 @@
+(** Greedy fixpoint shrinking of failing {!Harness.Workload.config}s:
+    fewer workers/ops/crashes, smaller recovery and value domains, later
+    crash steps — every accepted step re-checked, terminating because
+    each move strictly decreases a well-founded measure. *)
+
+val candidates : Harness.Workload.config -> Harness.Workload.config list
+(** One-step-smaller variants, most aggressive first; each is [leq] the
+    input. *)
+
+val leq : Harness.Workload.config -> Harness.Workload.config -> bool
+(** Partial order: no larger in any shrinkable dimension. *)
+
+val minimize :
+  still_failing:(Harness.Workload.config -> bool) ->
+  Harness.Workload.config ->
+  Harness.Workload.config
+(** Greedy fixpoint of [candidates] under [still_failing]; returns a
+    config no candidate of which still fails. *)

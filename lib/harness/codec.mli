@@ -1,0 +1,24 @@
+(** Replayable serialization of {!Workload.config} — the corpus format of
+    the crash-fault fuzzer.  Hand-rolled S-expressions (no external
+    dependency); transforms encoded by registry name, kinds by
+    {!Objects.kind_name}; [;]-comments allowed. *)
+
+type sexp = Atom of string | List of sexp list
+
+val pp_sexp : sexp Fmt.t
+val sexp_to_string : sexp -> string
+val sexp_of_string : string -> (sexp, string) result
+
+val config_to_sexp : Workload.config -> sexp
+val config_of_sexp : sexp -> (Workload.config, string) result
+val config_to_string : Workload.config -> string
+val config_of_string : string -> (Workload.config, string) result
+
+val config_equal : Workload.config -> Workload.config -> bool
+(** Structural, with the transform compared by registry name (configs
+    hold a first-class module, so polymorphic equality is unusable). *)
+
+val write_config : string -> Workload.config -> comment:string list -> unit
+(** Write a config file, comment lines (e.g. the verdict) first. *)
+
+val read_config : string -> (Workload.config, string) result

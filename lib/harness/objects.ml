@@ -18,6 +18,8 @@ let kind_name = function
   | Map -> "map"
   | Log -> "log"
 
+let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
+
 let spec : kind -> Lincheck.Spec.t = function
   | Register -> Lincheck.Specs.register
   | Counter -> Lincheck.Specs.counter
@@ -67,12 +69,15 @@ let create (kind : kind) (transform : Flit.Flit_intf.t) ctx ~home ~pflag :
       let t = O.create ctx ~pflag ~home () in
       { dispatch = O.dispatch t }
 
-(** [random_op kind rng] — a random operation with small argument ranges
-    (contention is the point: distinct threads must collide on keys). *)
-let random_op (kind : kind) rng : string * int list =
+(** [random_op ?range kind rng] — a random operation with payloads and
+    keys drawn from [1, range] (default 3; contention is the point:
+    distinct threads must collide on keys, and the fuzzer shrinks
+    [range] toward 1). *)
+let random_op ?(range = 3) (kind : kind) rng : string * int list =
+  let range = max 1 range in
   let pick l = List.nth l (Random.State.int rng (List.length l)) in
-  let v () = 1 + Random.State.int rng 3 in
-  let k () = 1 + Random.State.int rng 3 in
+  let v () = 1 + Random.State.int rng range in
+  let k () = 1 + Random.State.int rng range in
   match kind with
   | Register -> pick [ ("write", [ v () ]); ("read", []) ]
   | Counter -> pick [ ("inc", []); ("get", []) ]

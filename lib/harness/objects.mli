@@ -7,6 +7,10 @@ type kind = Register | Counter | Stack | Queue | Set | Map | Log
 
 val all_kinds : kind list
 val kind_name : kind -> string
+
+val kind_of_name : string -> kind option
+(** Inverse of {!kind_name}. *)
+
 val spec : kind -> Lincheck.Spec.t
 
 type instance = {
@@ -19,8 +23,9 @@ val create :
 (** Instantiate the object on machine [home]'s memory; must run inside a
     scheduled thread (creation performs initialising stores). *)
 
-val random_op : kind -> Random.State.t -> string * int list
-(** Small argument ranges — contention is the point. *)
+val random_op : ?range:int -> kind -> Random.State.t -> string * int list
+(** Payloads and keys drawn from [1, range] (default 3) — small ranges
+    because contention is the point. *)
 
 val ratio_op : kind -> Random.State.t -> read_ratio:float -> string * int list
 (** Read-ratio-controlled generator for benches; [read_ratio] in [0,1]. *)

@@ -10,7 +10,11 @@
     the durability checker.
 
     The run is fully deterministic in [seed] (scheduling, operation
-    choice, spontaneous evictions). *)
+    choice, spontaneous evictions).
+
+    The pieces of [run] — fabric construction, the worker body, and the
+    crash-plan wiring — are exposed separately so that crafted scenarios
+    and the fuzzer's replay can reuse them around a raw scheduler. *)
 
 type crash_spec = {
   at : int;            (** scheduler step at which the machine crashes *)
@@ -32,6 +36,7 @@ type config = {
   seed : int;
   evict_prob : float;
   cache_capacity : int;
+  value_range : int;         (** operation payloads drawn from [1, range] *)
   pflag : bool;
 }
 
@@ -48,66 +53,67 @@ let default_config kind transform =
     seed = 1;
     evict_prob = 0.15;
     cache_capacity = 4;
+    value_range = 3;
     pflag = true;
   }
+
+(** [describe c] — a one-line summary used as verdict provenance (the
+    corpus file carries the full config; this is the human-readable
+    pointer attached to every verdict). *)
+let describe (c : config) =
+  let module T = (val c.transform : Flit.Flit_intf.S) in
+  Printf.sprintf "%s/%s seed=%d machines=%d%s workers=%d ops=%d crashes=%d"
+    (Objects.kind_name c.kind)
+    T.name c.seed c.n_machines
+    (if c.volatile_home then " volatile-home" else "")
+    (List.length c.worker_machines)
+    c.ops_per_thread
+    (List.length c.crashes)
 
 type result = {
   history : Lincheck.History.t;
   stats : Fabric.Stats.t;  (** snapshot after the run *)
 }
 
-(** Result recorded when an operation crashed on corrupted object state
-    (impossible under any spec, so the checker flags the history). *)
-let corrupt = -99
+(** [build_fabric c] — the fabric of a run: [n_machines] machines with
+    [cache_capacity]-line caches, the home's memory volatile iff
+    [volatile_home], seeded eviction noise. *)
+let build_fabric (c : config) : Fabric.t =
+  Fabric.create ~seed:c.seed ~evict_prob:c.evict_prob
+    (Array.init c.n_machines (fun i ->
+         Fabric.machine
+           ~volatile:(i = c.home && c.volatile_home)
+           ~cache_capacity:c.cache_capacity
+           (Printf.sprintf "M%d" (i + 1))))
 
-let run (c : config) : result =
-  let fab =
-    Fabric.create ~seed:c.seed ~evict_prob:c.evict_prob
-      (Array.init c.n_machines (fun i ->
-           Fabric.machine
-             ~volatile:(i = c.home && c.volatile_home)
-             ~cache_capacity:c.cache_capacity
-             (Printf.sprintf "M%d" (i + 1))))
-  in
-  let sched = Runtime.Sched.create ~seed:(c.seed * 7919 + 1) fab in
-  let events = ref [] in
-  let record e = events := e :: !events in
-  let worker ~ops ~rng_seed (instance : Objects.instance) ctx =
-    let rng = Random.State.make [| rng_seed |] in
-    for _ = 1 to ops do
-      let op, args = Objects.random_op c.kind rng in
-      record (Lincheck.History.Inv { tid = ctx.Runtime.Sched.tid; op; args });
-      let ret =
-        (* A broken transformation (the noflush control) can leave the
-           object structurally corrupt after a crash — e.g. a recovered
-           queue head reading as null.  Surface that as an impossible
-           result so the durability checker reports the violation instead
-           of the harness dying. *)
-        try instance.Objects.dispatch ctx op args
-        with Invalid_argument _ -> corrupt
-      in
-      record (Lincheck.History.Res { tid = ctx.Runtime.Sched.tid; ret })
-    done
-  in
-  (* the init thread creates the object, then spawns the workers *)
-  let instance_ref = ref None in
-  let _init =
-    Runtime.Sched.spawn sched ~machine:c.home ~name:"init" (fun ctx ->
-        let instance =
-          Objects.create c.kind c.transform ctx ~home:c.home ~pflag:c.pflag
-        in
-        instance_ref := Some instance;
-        List.iteri
-          (fun i machine ->
-            ignore
-              (Runtime.Sched.spawn sched ~machine
-                 ~name:(Printf.sprintf "w%d" i)
-                 (worker ~ops:c.ops_per_thread
-                    ~rng_seed:((c.seed * 131) + i)
-                    instance)))
-          c.worker_machines)
-  in
-  (* crash plan *)
+(* The body shared by initial and recovery workers: [ops] recorded random
+   operations.  A broken transformation (the noflush control) can leave
+   the object structurally corrupt after a crash — e.g. a recovered queue
+   head reading as null; surface that as a typed [Corrupt] response so
+   the durability checker reports the violation instead of the harness
+   dying. *)
+let worker (c : config) ~record ~ops ~rng_seed (instance : Objects.instance)
+    ctx =
+  let rng = Random.State.make [| rng_seed |] in
+  for _ = 1 to ops do
+    let op, args = Objects.random_op ~range:c.value_range c.kind rng in
+    record (Lincheck.History.Inv { tid = ctx.Runtime.Sched.tid; op; args });
+    let ret =
+      try Lincheck.History.Ret (instance.Objects.dispatch ctx op args)
+      with Invalid_argument _ -> Lincheck.History.Corrupt
+    in
+    record (Lincheck.History.Res { tid = ctx.Runtime.Sched.tid; ret })
+  done
+
+(** [install_crash_plan sched c ~record ~instance] — register [c]'s crash
+    plan on [sched]: each spec crashes its machine at [at] (recording the
+    crash event), restarts it at [max restart_at at], and spawns
+    [recovery_threads] recovery workers of [recovery_ops] operations each
+    — provided the object existed by then ([instance () = None] means the
+    init thread died before creation finished, so there is nothing to
+    recover). *)
+let install_crash_plan sched (c : config) ~record
+    ~(instance : unit -> Objects.instance option) =
   List.iteri
     (fun ci spec ->
       Runtime.Sched.at_step sched spec.at
@@ -119,18 +125,47 @@ let run (c : config) : result =
         (Runtime.Sched.Call
            (fun s ->
              Runtime.Sched.restart s spec.machine;
-             match !instance_ref with
+             match instance () with
              | None -> () (* crashed before creation finished *)
-             | Some instance ->
+             | Some inst ->
                  for r = 0 to spec.recovery_threads - 1 do
                    ignore
                      (Runtime.Sched.spawn s ~machine:spec.machine
                         ~name:(Printf.sprintf "r%d.%d" ci r)
-                        (worker ~ops:spec.recovery_ops
+                        (worker c ~record ~ops:spec.recovery_ops
                            ~rng_seed:((c.seed * 733) + (100 * ci) + r)
-                           instance))
+                           inst))
                  done)))
-    c.crashes;
+    c.crashes
+
+let run (c : config) : result =
+  let fab = build_fabric c in
+  let sched = Runtime.Sched.create ~seed:(c.seed * 7919 + 1) fab in
+  let events = ref [] in
+  let record e = events := e :: !events in
+  (* the init thread creates the object, then spawns the workers; a
+     worker whose machine is down at spawn time (a crash plan can fell a
+     machine before the init thread runs) is skipped — the machine has no
+     one to start it *)
+  let instance_ref = ref None in
+  let _init =
+    Runtime.Sched.spawn sched ~machine:c.home ~name:"init" (fun ctx ->
+        let instance =
+          Objects.create c.kind c.transform ctx ~home:c.home ~pflag:c.pflag
+        in
+        instance_ref := Some instance;
+        List.iteri
+          (fun i machine ->
+            if Runtime.Sched.machine_is_up sched machine then
+              ignore
+                (Runtime.Sched.spawn sched ~machine
+                   ~name:(Printf.sprintf "w%d" i)
+                   (worker c ~record ~ops:c.ops_per_thread
+                      ~rng_seed:((c.seed * 131) + i)
+                      instance)))
+          c.worker_machines)
+  in
+  install_crash_plan sched c ~record ~instance:(fun () -> !instance_ref);
   ignore (Runtime.Sched.run sched);
   Flit.Counters.drop_fabric fab;
   Flit.Buffered.drop_fabric fab;
@@ -140,7 +175,8 @@ let run (c : config) : result =
   }
 
 (** [check c] — run the workload and decide durable linearizability of the
-    recorded history. *)
+    recorded history; the verdict carries [describe c] as provenance. *)
 let check (c : config) : Lincheck.Durable.verdict =
   let r = run c in
-  Lincheck.Durable.check (Objects.spec c.kind) r.history
+  Lincheck.Durable.check ~provenance:(describe c) (Objects.spec c.kind)
+    r.history

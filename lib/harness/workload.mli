@@ -3,7 +3,10 @@
     object, run recorded random operations from worker threads, crash and
     restart machines per plan (killed threads leave pending invocations),
     spawn recovery workers, and hand the history to the durability
-    checker.  Fully deterministic in [seed]. *)
+    checker.  Fully deterministic in [seed].
+
+    The pieces of {!run} — fabric construction and the crash-plan wiring
+    — are exposed so crafted scenarios and the fuzzer can reuse them. *)
 
 type crash_spec = {
   at : int;            (** scheduler step of the crash *)
@@ -25,24 +28,40 @@ type config = {
   seed : int;
   evict_prob : float;
   cache_capacity : int;
+  value_range : int;          (** operation payloads drawn from [1, range] *)
   pflag : bool;
 }
 
 val default_config : Objects.kind -> Flit.Flit_intf.t -> config
-(** 3 machines, object on machine 2, workers on 0/1, 3 ops each, no
-    crashes, seed 1. *)
+(** 3 machines, object on machine 2, workers on 0/1, 3 ops each, values
+    in [1, 3], no crashes, seed 1. *)
+
+val describe : config -> string
+(** One-line summary, used as the verdict's provenance label. *)
 
 type result = {
   history : Lincheck.History.t;
   stats : Fabric.Stats.t;
 }
 
-val corrupt : int
-(** Result recorded when an operation raised on structurally corrupted
-    state (possible under the broken control transformation) — an
-    impossible value, so the checker flags the history. *)
+val build_fabric : config -> Fabric.t
+(** The fabric of a run: [n_machines] machines, [cache_capacity]-line
+    caches, the home volatile iff [volatile_home], seeded evictions. *)
+
+val install_crash_plan :
+  Runtime.Sched.t -> config ->
+  record:(Lincheck.History.event -> unit) ->
+  instance:(unit -> Objects.instance option) -> unit
+(** Register the config's crash plan on a scheduler: each spec crashes
+    its machine at [at] (recording the event), restarts it at
+    [max restart_at at], and spawns its recovery workers — unless
+    [instance () = None] (the object was never created, so there is
+    nothing to recover). *)
 
 val run : config -> result
+(** Workers whose machine is down at spawn time (felled by a crash plan
+    before the init thread ran) are skipped. *)
 
 val check : config -> Lincheck.Durable.verdict
-(** Run and decide durable linearizability. *)
+(** Run and decide durable linearizability; the verdict's provenance is
+    [describe c]. *)

@@ -86,7 +86,12 @@ let linearizable (module M : Spec.S) (ops : History.op list) :
           let o = ops.(j) in
           let results = M.step state o.History.name o.History.args in
           match o.History.ret with
-          | Some r ->
+          | Some History.Corrupt ->
+              (* a corrupted response matches no specification result:
+                 this branch is dead, so the completed op can never
+                 linearize and the search necessarily fails *)
+              ()
+          | Some (History.Ret r) ->
               (* completed op: its recorded result must be legal *)
               List.iter
                 (fun (r', state') ->

@@ -22,36 +22,47 @@ type verdict = {
       (** [Some _] when the checker could not decide the history (too
           long for the search); [durable] is [false] but means
           "undecided", not "violation". *)
+  provenance : string option;
+      (** which workload config/seed produced the history, when the
+          caller knows — so a verdict surfaced by a seed sweep or a fuzz
+          campaign can be traced back to its origin *)
 }
 
 let no_outcome = { Check.ok = false; witness = []; explored = 0 }
 
-(** [check spec h] — decide durable linearizability of [h]. *)
-let check spec (h : History.t) : verdict =
+(** [check ?provenance spec h] — decide durable linearizability of [h].
+    [provenance] labels the verdict with the config/seed that produced
+    the history. *)
+let check ?provenance spec (h : History.t) : verdict =
   let crash_events = History.crash_count h in
   if not (History.well_formed h) then
     { durable = false; history = h; crash_events; outcome = no_outcome;
-      skipped = None }
+      skipped = None; provenance }
   else
     match Check.linearizable spec (History.ops h) with
     | Ok outcome ->
         { durable = outcome.Check.ok; history = h; crash_events; outcome;
-          skipped = None }
+          skipped = None; provenance }
     | Error e ->
         { durable = false; history = h; crash_events; outcome = no_outcome;
-          skipped = Some e }
+          skipped = Some e; provenance }
+
+let pp_provenance ppf = function
+  | None -> ()
+  | Some p -> Fmt.pf ppf " [%s]" p
 
 let pp_verdict ppf v =
   match v.skipped with
   | Some e ->
-      Fmt.pf ppf "durability undecided (%d crash(es)): %a" v.crash_events
-        Check.pp_error e
+      Fmt.pf ppf "durability undecided (%d crash(es)): %a%a" v.crash_events
+        Check.pp_error e pp_provenance v.provenance
   | None ->
       if v.durable then
-        Fmt.pf ppf "durably linearizable (%d crash(es), %d nodes explored)"
-          v.crash_events v.outcome.Check.explored
+        Fmt.pf ppf "durably linearizable (%d crash(es), %d nodes explored)%a"
+          v.crash_events v.outcome.Check.explored pp_provenance v.provenance
       else
         Fmt.pf ppf
-          "@[<v>NOT durably linearizable (%d crash(es), %d nodes explored)@,\
+          "@[<v>NOT durably linearizable (%d crash(es), %d nodes explored)%a@,\
            history:@,%a@]"
-          v.crash_events v.outcome.Check.explored History.pp v.history
+          v.crash_events v.outcome.Check.explored pp_provenance v.provenance
+          History.pp v.history

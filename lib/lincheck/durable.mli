@@ -10,8 +10,12 @@ type verdict = {
   skipped : Check.error option;
       (** [Some _] when the history was too long for the checker;
           [durable = false] then means "undecided", not "violation". *)
+  provenance : string option;
+      (** which workload config/seed produced the history, when known *)
 }
 
-val check : Spec.t -> History.t -> verdict
+val check : ?provenance:string -> Spec.t -> History.t -> verdict
+(** [provenance] labels the verdict with the config/seed that produced
+    the history, so sweep and fuzz-campaign verdicts are traceable. *)
 
 val pp_verdict : verdict Fmt.t

@@ -10,15 +10,28 @@
     possibly ending with a pending invocation (the thread's machine
     crashed mid-operation, or the run was cut short). *)
 
+(** An operation's recorded outcome.  [Corrupt] marks a response from an
+    operation that crashed on structurally corrupted object state
+    (possible under the broken control transformation): it is distinct
+    from every integer, so a legitimate operation returning any value —
+    including old sentinel-looking ones like −99 — can never be misread
+    as corruption.  No specification can explain a [Corrupt] response,
+    so the checker necessarily flags the history. *)
+type res = Ret of int | Corrupt
+
+let pp_res ppf = function
+  | Ret r -> Fmt.int ppf r
+  | Corrupt -> Fmt.string ppf "CORRUPT"
+
 type event =
   | Inv of { tid : int; op : string; args : int list }
-  | Res of { tid : int; ret : int }
+  | Res of { tid : int; ret : res }
   | Crash of { machine : int }
 
 let pp_event ppf = function
   | Inv { tid; op; args } ->
       Fmt.pf ppf "inv  t%d %s(%a)" tid op Fmt.(list ~sep:comma int) args
-  | Res { tid; ret } -> Fmt.pf ppf "res  t%d -> %d" tid ret
+  | Res { tid; ret } -> Fmt.pf ppf "res  t%d -> %a" tid pp_res ret
   | Crash { machine } -> Fmt.pf ppf "CRASH M%d" (machine + 1)
 
 type t = event list
@@ -32,7 +45,7 @@ type op = {
   tid : int;
   name : string;
   args : int list;
-  ret : int option;     (** [None] = pending (no response recorded) *)
+  ret : res option;     (** [None] = pending (no response recorded) *)
   inv_at : int;         (** event index of the invocation *)
   res_at : int option;  (** event index of the response *)
 }
@@ -41,8 +54,14 @@ let pp_op ppf o =
   Fmt.pf ppf "t%d %s(%a)%a" o.tid o.name
     Fmt.(list ~sep:comma int)
     o.args
-    Fmt.(option (fun ppf r -> Fmt.pf ppf " -> %d" r))
+    Fmt.(option (fun ppf r -> Fmt.pf ppf " -> %a" pp_res r))
     o.ret
+
+(** [ret_int o] — the integer result of a completed op, [None] if pending
+    or corrupt. *)
+let ret_int (o : op) = match o.ret with Some (Ret r) -> Some r | _ -> None
+
+let is_corrupt (o : op) = o.ret = Some Corrupt
 
 (** [well_formed h] — every thread alternates invocations and responses
     (at most one pending invocation, necessarily its last event), and

@@ -5,9 +5,17 @@
     Izraelevitz et al.: per-thread alternation of invocations and
     matching responses, possibly ending pending. *)
 
+type res = Ret of int | Corrupt
+(** An operation's recorded outcome.  [Corrupt] marks a response from an
+    operation that crashed on structurally corrupted object state: it is
+    distinct from every integer (no sentinel aliasing), and no
+    specification can explain it, so the checker flags the history. *)
+
+val pp_res : res Fmt.t
+
 type event =
   | Inv of { tid : int; op : string; args : int list }
-  | Res of { tid : int; ret : int }
+  | Res of { tid : int; ret : res }
   | Crash of { machine : int }
 
 val pp_event : event Fmt.t
@@ -22,13 +30,18 @@ type op = {
   tid : int;
   name : string;
   args : int list;
-  ret : int option;     (** [None] = pending (no response recorded) *)
+  ret : res option;     (** [None] = pending (no response recorded) *)
   inv_at : int;         (** event index of the invocation *)
   res_at : int option;  (** event index of the response *)
 }
 (** A completed or pending high-level operation. *)
 
 val pp_op : op Fmt.t
+
+val ret_int : op -> int option
+(** The integer result of a completed op; [None] if pending or corrupt. *)
+
+val is_corrupt : op -> bool
 
 val well_formed : t -> bool
 

@@ -20,7 +20,7 @@ module O = Harness.Objects
 module S = Runtime.Sched
 
 let inv tid op args = Lincheck.History.Inv { tid; op; args }
-let res tid ret = Lincheck.History.Res { tid; ret }
+let res tid r = Lincheck.History.Res { tid; ret = Lincheck.History.Ret r }
 let crash m = Lincheck.History.Crash { machine = m }
 
 let buffered spec h =

@@ -128,7 +128,7 @@ let test_noflush_crafted_violation () =
          reg := Some r;
          record (Lincheck.History.Inv { tid = ctx.S.tid; op = "write"; args = [ 1 ] });
          R.write r ctx 1;
-         record (Lincheck.History.Res { tid = ctx.S.tid; ret = 0 })));
+         record (Lincheck.History.Res { tid = ctx.S.tid; ret = Lincheck.History.Ret 0 })));
   S.at_step sched 50
     (S.Call
        (fun s ->
@@ -150,7 +150,7 @@ let test_noflush_crafted_violation () =
                     record
                       (Lincheck.History.Inv { tid = ctx.S.tid; op = "read"; args = [] });
                     let v = R.read r ctx in
-                    record (Lincheck.History.Res { tid = ctx.S.tid; ret = v })
+                    record (Lincheck.History.Res { tid = ctx.S.tid; ret = Lincheck.History.Ret v })
                 | None -> ()))));
   ignore (S.run sched);
   let h = List.rev !events in
@@ -173,7 +173,7 @@ let test_weakest_same_scenario_survives () =
          reg := Some r;
          record (Lincheck.History.Inv { tid = ctx.S.tid; op = "write"; args = [ 1 ] });
          R.write r ctx 1;
-         record (Lincheck.History.Res { tid = ctx.S.tid; ret = 0 })));
+         record (Lincheck.History.Res { tid = ctx.S.tid; ret = Lincheck.History.Ret 0 })));
   S.at_step sched 50
     (S.Call
        (fun s ->
@@ -193,7 +193,7 @@ let test_weakest_same_scenario_survives () =
                     let v = R.read r ctx in
                     record
                       (Lincheck.History.Inv { tid = ctx.S.tid; op = "read"; args = [] });
-                    record (Lincheck.History.Res { tid = ctx.S.tid; ret = v });
+                    record (Lincheck.History.Res { tid = ctx.S.tid; ret = Lincheck.History.Ret v });
                     Alcotest.(check int) "read the persisted value" 1 v
                 | None -> ()))));
   ignore (S.run sched);
@@ -279,6 +279,92 @@ let test_crash_before_creation () =
   Alcotest.(check bool) "well-formed" true
     (Lincheck.History.well_formed r.W.history)
 
+let test_crash_before_creation_with_recovery () =
+  (* same, but the crash plan *asks* for recovery workers: there is no
+     object to recover, so none may be spawned — the run must terminate
+     with only the crash on record, not die trying to dispatch on a
+     missing instance *)
+  let c = W.default_config O.Queue (module Flit.Mstore : Flit.Flit_intf.S) in
+  let c =
+    {
+      c with
+      W.crashes =
+        [ { W.at = 0; machine = 2; restart_at = 2; recovery_threads = 1;
+            recovery_ops = 2 } ];
+    }
+  in
+  let r = W.run c in
+  Alcotest.(check int) "crash recorded" 1
+    (Lincheck.History.crash_count r.W.history);
+  Alcotest.(check int) "no recovery ops" 0
+    (List.length (Lincheck.History.ops r.W.history));
+  Alcotest.(check bool) "vacuously durable" true
+    (W.check c).Lincheck.Durable.durable
+
+let test_volatile_home_crash_mstore_violation () =
+  (* the envelope boundary is tight even for the MStore algorithms:
+     when the home's memory is volatile and the home itself crashes,
+     completed writes die with it — a seed sweep must find a violation
+     (which is exactly why the fuzzer's profiles keep volatile homes
+     crash-free for every transform but the noflush control) *)
+  let fails =
+    sweep ~seeds:20 O.Register
+      (module Flit.Mstore : Flit.Flit_intf.S)
+      ~crash_of:home_crash ~volatile_home:true
+  in
+  Alcotest.(check bool) "violation found" true (fails <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Finding F2 (discovered by the lib/fuzz campaigns)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Shrunk counterexample banked by the campaign (seed=1, cell 154): two
+   writers on machines 0 and 1, NV home on machine 3, machine 1 crashes
+   mid-workload.  t2's flagged store steals the dirty line from t1's
+   machine — invalidating t1's copy — so t1's LFlush (local-only, a
+   no-op when the flusher doesn't hold the line) persists nothing;
+   machine 1 then crashes before t2's own flush and a *completed*
+   write(1) dies, even though the home is non-volatile and never
+   crashes.  Prop 2's "volatile machines never crash" condition is not
+   enough: the crashed machine must also not host concurrent flagged
+   writers.  Alg 3' (RFlush) survives the identical schedule because
+   RFlush forces the line home regardless of who holds it. *)
+let f2_config transform =
+  {
+    W.kind = O.Register;
+    transform;
+    n_machines = 4;
+    home = 3;
+    volatile_home = false;
+    worker_machines = [ 0; 1 ];
+    ops_per_thread = 4;
+    crashes =
+      [ { W.at = 28; machine = 1; restart_at = 36; recovery_threads = 1;
+          recovery_ops = 1 } ];
+    seed = 400195;
+    evict_prob = 0.0;
+    cache_capacity = 1;
+    value_range = 1;
+    pflag = true;
+  }
+
+let test_f2_lflush_violation () =
+  let v = W.check (f2_config Flit.Registry.weakest_lflush) in
+  Alcotest.(check bool) "search completed" true (v.Lincheck.Durable.skipped = None);
+  Alcotest.(check bool) "completed store lost" false v.Lincheck.Durable.durable
+
+let test_f2_rflush_contrast () =
+  let v = W.check (f2_config Flit.Registry.alg3'_weakest) in
+  Alcotest.(check bool) "alg3' survives the same schedule" true
+    v.Lincheck.Durable.durable
+
+let test_f2_adaptive_volatile_home () =
+  let c = { (f2_config Flit.Registry.adaptive) with W.volatile_home = true } in
+  let v = W.check c in
+  Alcotest.(check bool) "search completed" true (v.Lincheck.Durable.skipped = None);
+  Alcotest.(check bool) "adaptive volatile-home (LFlush path) shares F2" false
+    v.Lincheck.Durable.durable
+
 let test_stats_returned () =
   let c = W.default_config O.Counter (module Flit.Rstore : Flit.Flit_intf.S) in
   let r = W.run c in
@@ -304,7 +390,11 @@ let adaptive_cases =
           Alcotest.(check (list int)) "no failing seeds" [] fails))
     O.all_kinds
   @ (* volatile home that never crashes + worker crashes: the Prop-2
-       guarantee via the LFlush path it auto-selects *)
+       guarantee via the LFlush path it auto-selects.  These 12-seed
+       sweeps pass, but the guarantee is NOT universal — see the
+       finding-f2 group below for a rarer schedule (found by the
+       fuzzer) where a worker crash does lose a completed store on
+       this path. *)
   List.map
     (fun kind ->
       Alcotest.test_case
@@ -339,6 +429,15 @@ let () =
         ] );
       ("prop2 (E6)", prop2_cases);
       ("adaptive (E12)", adaptive_cases);
+      ( "finding-f2",
+        [
+          Alcotest.test_case "weakest-lflush loses a completed store" `Quick
+            test_f2_lflush_violation;
+          Alcotest.test_case "alg3' immune (contrast)" `Quick
+            test_f2_rflush_contrast;
+          Alcotest.test_case "adaptive volatile-home shares F2" `Quick
+            test_f2_adaptive_volatile_home;
+        ] );
       ( "prop2-necessity",
         [
           Alcotest.test_case "violation when memory node crashes" `Slow
@@ -349,6 +448,10 @@ let () =
           Alcotest.test_case "double crash" `Quick test_double_crash;
           Alcotest.test_case "crash before creation" `Quick
             test_crash_before_creation;
+          Alcotest.test_case "crash before creation + recovery" `Quick
+            test_crash_before_creation_with_recovery;
+          Alcotest.test_case "volatile home crash breaks mstore" `Slow
+            test_volatile_home_crash_mstore_violation;
           Alcotest.test_case "stats returned" `Quick test_stats_returned;
         ] );
     ]

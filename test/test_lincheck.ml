@@ -5,7 +5,7 @@
 open Lincheck
 
 let inv tid op args = History.Inv { tid; op; args }
-let res tid ret = History.Res { tid; ret }
+let res tid r = History.Res { tid; ret = History.Ret r }
 let crash m = History.Crash { machine = m }
 
 (* ------------------------------------------------------------------ *)
@@ -31,9 +31,9 @@ let test_ops_extraction () =
   let ops = History.ops h in
   Alcotest.(check int) "three ops" 3 (List.length ops);
   let o0 = List.nth ops 0 and o1 = List.nth ops 1 and o2 = List.nth ops 2 in
-  Alcotest.(check (option int)) "completed" (Some 0) o0.History.ret;
-  Alcotest.(check (option int)) "pending" None o1.History.ret;
-  Alcotest.(check (option int)) "pending tail" None o2.History.ret;
+  Alcotest.(check (option int)) "completed" (Some 0) (History.ret_int o0);
+  Alcotest.(check (option int)) "pending" None (History.ret_int o1);
+  Alcotest.(check (option int)) "pending tail" None (History.ret_int o2);
   Alcotest.(check bool) "inv order" true
     (o0.History.inv_at < o1.History.inv_at && o1.History.inv_at < o2.History.inv_at)
 
@@ -258,6 +258,70 @@ let test_too_long_durable_skipped () =
   | Some (Check.History_too_long _) -> ()
   | _ -> Alcotest.fail "expected a History_too_long skip"
 
+(* ------------------------------------------------------------------ *)
+(* Typed corruption and verdict rendering                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_corrupt_never_durable () =
+  (* a Corrupt response matches no specification result, whatever the
+     object: the checker must flag the history *)
+  let h =
+    [ inv 0 "read" []; History.Res { tid = 0; ret = History.Corrupt } ]
+  in
+  let o = List.hd (History.ops h) in
+  Alcotest.(check bool) "op is corrupt" true (History.is_corrupt o);
+  Alcotest.(check (option int)) "no integer result" None (History.ret_int o);
+  Alcotest.(check bool) "not durable" false
+    (Durable.check Specs.register h).Durable.durable
+
+let test_minus_99_is_an_ordinary_value () =
+  (* -99 used to be the harness's corruption sentinel; with the typed
+     [Corrupt] result it must behave like any other integer *)
+  let h =
+    [ inv 0 "write" [ -99 ]; res 0 0; inv 0 "read" []; res 0 (-99) ]
+  in
+  Alcotest.(check bool) "durable" true
+    (Durable.check Specs.register h).Durable.durable
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_pp_verdict_branches () =
+  let render v = Fmt.str "%a" Durable.pp_verdict v in
+  (* durable *)
+  let ok =
+    render
+      (Durable.check ~provenance:"cfg-42" Specs.register
+         [ inv 0 "write" [ 1 ]; res 0 0 ])
+  in
+  Alcotest.(check bool) "durable branch" true
+    (contains ~sub:"durably linearizable" ok);
+  Alcotest.(check bool) "provenance shown" true (contains ~sub:"[cfg-42]" ok);
+  (* violation: includes the history *)
+  let bad =
+    render
+      (Durable.check Specs.register
+         [ inv 0 "write" [ 1 ]; res 0 0; crash 1; inv 0 "read" []; res 0 0 ])
+  in
+  Alcotest.(check bool) "violation branch" true
+    (contains ~sub:"NOT durably linearizable" bad);
+  Alcotest.(check bool) "history printed" true (contains ~sub:"history:" bad);
+  Alcotest.(check bool) "no provenance marker" false
+    (contains ~sub:"[cfg-42]" bad);
+  (* skipped *)
+  let skipped =
+    render
+      (Durable.check ~provenance:"cfg-7" Specs.register
+         (long_history (Check.max_ops + 1)))
+  in
+  Alcotest.(check bool) "undecided branch" true
+    (contains ~sub:"durability undecided" skipped);
+  Alcotest.(check bool) "skip reason" true (contains ~sub:"62" skipped);
+  Alcotest.(check bool) "provenance on skip" true
+    (contains ~sub:"[cfg-7]" skipped)
+
 let () =
   Alcotest.run "lincheck"
     [
@@ -306,5 +370,14 @@ let () =
           Alcotest.test_case "too-long rejected" `Quick test_too_long_rejected;
           Alcotest.test_case "too-long skipped in durable" `Quick
             test_too_long_durable_skipped;
+        ] );
+      ( "corrupt & rendering",
+        [
+          Alcotest.test_case "corrupt never durable" `Quick
+            test_corrupt_never_durable;
+          Alcotest.test_case "-99 is an ordinary value" `Quick
+            test_minus_99_is_an_ordinary_value;
+          Alcotest.test_case "pp_verdict branches" `Quick
+            test_pp_verdict_branches;
         ] );
     ]

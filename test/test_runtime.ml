@@ -147,6 +147,107 @@ let test_plan_fires_when_idle () =
   Alcotest.(check bool) "fired" true !fired
 
 (* ------------------------------------------------------------------ *)
+(* Crash/restart edges                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_restart_at_crash_step () =
+  (* same-step crash + restart: at_step runs same-step actions in
+     registration order, so the machine ends the step up again and a
+     recovery thread spawned by the restart callback runs *)
+  let fab = mk_fab () in
+  let s = S.create fab in
+  let recovered = ref false in
+  ignore
+    (S.spawn s ~machine:0 ~name:"looper" (fun ctx ->
+         for _ = 1 to 20 do
+           S.yield ctx
+         done));
+  S.at_step s 4 (S.Crash 1);
+  S.at_step s 4
+    (S.Call
+       (fun s ->
+         S.restart s 1;
+         ignore
+           (S.spawn s ~machine:1 ~name:"recovered" (fun _ ->
+                recovered := true))));
+  ignore (S.run s);
+  Alcotest.(check bool) "machine up" true (S.machine_is_up s 1);
+  Alcotest.(check bool) "recovery ran" true !recovered
+
+let test_double_crash_same_machine () =
+  (* a second crash of an already-crashed machine is a no-op (no double
+     kill, no duplicated crash list entry); a crash-restart-crash cycle
+     leaves the machine down *)
+  let fab = mk_fab () in
+  let s = S.create fab in
+  S.crash_now s 0;
+  S.crash_now s 0;
+  Alcotest.(check bool) "down" false (S.machine_is_up s 0);
+  S.restart s 0;
+  Alcotest.(check bool) "one restart suffices" true (S.machine_is_up s 0);
+  S.crash_now s 0;
+  Alcotest.(check bool) "down again" false (S.machine_is_up s 0)
+
+let test_volatile_home_crash_wipes_memory () =
+  (* a volatile machine's memory does not survive its crash, even
+     flushed data *)
+  let fab = mk_fab ~volatile:true () in
+  let s = S.create fab in
+  let x = ref 0 in
+  ignore
+    (S.spawn s ~machine:1 ~name:"writer" (fun ctx ->
+         x := O.alloc ctx ~owner:1;
+         O.mstore ctx !x 7));
+  ignore (S.run s);
+  Alcotest.(check int) "written" 7 (F.load fab 0 !x);
+  let s2 = S.create fab in
+  S.crash_now s2 1;
+  S.restart s2 1;
+  Alcotest.(check int) "volatile memory wiped" 0 (F.load fab 0 !x)
+
+let test_crash_before_init_creates_object () =
+  (* a crash plan that fells the home machine before the init thread has
+     created the object: the run must complete (no spawn on a dead
+     machine, no recovery of a non-existent instance), recording just
+     the crash *)
+  let c =
+    { (Harness.Workload.default_config Harness.Objects.Register
+         Flit.Registry.simple)
+      with
+      Harness.Workload.crashes =
+        [ { Harness.Workload.at = 0; machine = 2; restart_at = 0;
+            recovery_threads = 1; recovery_ops = 2 } ];
+    }
+  in
+  let r = Harness.Workload.run c in
+  Alcotest.(check int) "one crash recorded" 1
+    (Lincheck.History.crash_count r.Harness.Workload.history);
+  Alcotest.(check int) "no operations" 0
+    (List.length (Lincheck.History.ops r.Harness.Workload.history));
+  let v = Harness.Workload.check c in
+  Alcotest.(check bool) "vacuously durable" true v.Lincheck.Durable.durable
+
+let test_crash_before_init_worker_machines () =
+  (* fell a worker machine (not the home) before init spawns workers:
+     the init thread must skip it rather than die in Sched.spawn *)
+  let c =
+    { (Harness.Workload.default_config Harness.Objects.Counter
+         Flit.Registry.simple)
+      with
+      Harness.Workload.crashes =
+        [ { Harness.Workload.at = 0; machine = 0; restart_at = 200;
+            recovery_threads = 0; recovery_ops = 0 } ];
+    }
+  in
+  let r = Harness.Workload.run c in
+  let ops = Lincheck.History.ops r.Harness.Workload.history in
+  (* only the surviving worker (machine 1) ran its 3 ops *)
+  Alcotest.(check int) "one worker's ops" c.Harness.Workload.ops_per_thread
+    (List.length ops);
+  let v = Harness.Workload.check c in
+  Alcotest.(check bool) "durable" true v.Lincheck.Durable.durable
+
+(* ------------------------------------------------------------------ *)
 (* Ops                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -334,6 +435,19 @@ let () =
           Alcotest.test_case "restart + recovery" `Quick
             test_plan_call_and_restart;
           Alcotest.test_case "idle plan fires" `Quick test_plan_fires_when_idle;
+        ] );
+      ( "crash edges",
+        [
+          Alcotest.test_case "restart at crash step" `Quick
+            test_restart_at_crash_step;
+          Alcotest.test_case "double crash" `Quick
+            test_double_crash_same_machine;
+          Alcotest.test_case "volatile home crash" `Quick
+            test_volatile_home_crash_wipes_memory;
+          Alcotest.test_case "crash before object creation" `Quick
+            test_crash_before_init_creates_object;
+          Alcotest.test_case "crash before worker spawn" `Quick
+            test_crash_before_init_worker_machines;
         ] );
       ( "ops",
         [
