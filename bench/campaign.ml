@@ -1,0 +1,111 @@
+(* Campaign-throughput benchmark: run a fixed-seed fuzz campaign over a
+   representative mix of transformations at several --jobs settings and
+   report wall-clock seconds plus the (jobs-independent) verdict summary.
+
+     dune exec bench/campaign.exe -- --jobs 1,4,8 --cells 120 --seed 1
+
+   The summary counts double as a determinism check across jobs values
+   and across refactors: the same seed must produce the same ok /
+   skipped / violation counts whatever the parallelism and whatever the
+   internal representation of transformation state.  Numbers land in
+   BENCH_campaign.json (before/after recorded by hand from two runs). *)
+
+module C = Fuzz.Campaign
+module G = Fuzz.Gen
+
+let transforms () =
+  [
+    Flit.Registry.noflush;
+    Flit.Registry.alg2_mstore;
+    Flit.Registry.weakest_lflush;
+    Flit.Registry.buffered;
+  ]
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let run_once ~jobs ~cells ~seed =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cxl0-bench-campaign-%d-%d" (Unix.getpid ()) jobs)
+  in
+  rm_rf dir;
+  let t0 = Unix.gettimeofday () in
+  let summaries =
+    List.map
+      (fun t ->
+        let p = G.profile_of_transform t in
+        C.run ~jobs ~corpus_dir:dir p ~cells ~seed ())
+      (transforms ())
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  rm_rf dir;
+  (seconds, summaries)
+
+let summary_sig (s : C.summary) =
+  Printf.sprintf "%s cells=%d ok=%d skipped=%d violations=%d" s.C.transform_name
+    s.C.cells s.C.ok s.C.skipped
+    (List.length s.C.violations)
+
+let () =
+  let jobs_list = ref [ 1; 4; 8 ] in
+  let cells = ref 120 in
+  let seed = ref 1 in
+  let label = ref "run" in
+  let spec =
+    [
+      ( "--jobs",
+        Arg.String
+          (fun s ->
+            jobs_list :=
+              List.map int_of_string (String.split_on_char ',' s)),
+        "J1,J2,... comma-separated domain counts (default 1,4,8)" );
+      ("--cells", Arg.Set_int cells, "N cells per transform (default 120)");
+      ("--seed", Arg.Set_int seed, "N campaign seed (default 1)");
+      ("--label", Arg.Set_string label, "S label echoed into the JSON");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "campaign throughput benchmark";
+  let results =
+    List.map
+      (fun jobs ->
+        let seconds, summaries = run_once ~jobs ~cells:!cells ~seed:!seed in
+        Printf.printf "jobs=%d  %.2fs  (%.1f cells/s)\n%!" jobs seconds
+          (float_of_int (!cells * List.length (transforms ())) /. seconds);
+        (jobs, seconds, summaries))
+      !jobs_list
+  in
+  (* verdict summaries must agree across jobs values *)
+  let sigs =
+    List.map
+      (fun (_, _, ss) -> String.concat "; " (List.map summary_sig ss))
+      results
+  in
+  (match sigs with
+  | s0 :: rest when List.for_all (( = ) s0) rest ->
+      Printf.printf "verdicts: identical across jobs\n  %s\n" s0
+  | _ ->
+      Printf.printf "verdicts: DIVERGED across jobs!\n";
+      List.iter (fun s -> Printf.printf "  %s\n" s) sigs;
+      exit 1);
+  (* machine-readable block for BENCH_campaign.json *)
+  Printf.printf "{ \"label\": %S, \"seed\": %d, \"cells_per_transform\": %d,\n"
+    !label !seed !cells;
+  Printf.printf "  \"transforms\": [ %s ],\n"
+    (String.concat ", "
+       (List.map
+          (fun (s : C.summary) -> Printf.sprintf "%S" s.C.transform_name)
+          (match results with (_, _, ss) :: _ -> ss | [] -> [])));
+  Printf.printf "  \"summary\": %S,\n" (List.hd sigs);
+  Printf.printf "  \"seconds_by_jobs\": { %s } }\n"
+    (String.concat ", "
+       (List.map
+          (fun (j, s, _) -> Printf.sprintf "\"%d\": %.2f" j s)
+          results))

@@ -88,19 +88,19 @@ let durability_matrix () =
       let machine = if regime = "worker-crash" then 0 else 2 in
       Fmt.pr "-- %s --@." regime;
       List.iter
-        (fun (module T : Flit.Flit_intf.S) ->
-          Fmt.pr "%-18s" T.name;
+        (fun t ->
+          Fmt.pr "%-18s" (Flit.Flit_intf.name t);
           List.iter
             (fun kind ->
-              let f, s = sweep kind (module T : Flit.Flit_intf.S) ~machine in
+              let f, s = sweep kind t ~machine in
               Fmt.pr "%14s"
                 (if s = 0 then Printf.sprintf "%d/12" f
                  else Printf.sprintf "%d/12 (%d?)" f s))
             Harness.Objects.all_kinds;
           Fmt.pr "@.")
-        [ (module Flit.Simple : Flit.Flit_intf.S); (module Flit.Mstore);
-          (module Flit.Rstore); (module Flit.Weakest);
-          (module Flit.Noflush) ])
+        [ Flit.Registry.simple; Flit.Registry.alg2_mstore;
+          Flit.Registry.alg3_rstore; Flit.Registry.alg3'_weakest;
+          Flit.Registry.noflush ])
     [ "worker-crash"; "home-crash" ];
   Fmt.pr
     "(expected shape: all durable transformations 0 under worker-crash; \
@@ -164,8 +164,7 @@ let e8_read_ratio_sweep () =
   Fmt.pr "@.";
   List.iter
     (fun t ->
-      let module T = (val t : Flit.Flit_intf.S) in
-      Fmt.pr "%-22s" T.name;
+      Fmt.pr "%-22s" (Flit.Flit_intf.name t);
       List.iter
         (fun read_ratio ->
           let c =
@@ -188,8 +187,7 @@ let e8_machine_sweep () =
   hr "E8c: machine-count sweep (stack, 50% reads), cycles/op";
   List.iter
     (fun t ->
-      let module T = (val t : Flit.Flit_intf.S) in
-      Fmt.pr "%-22s" T.name;
+      Fmt.pr "%-22s" (Flit.Flit_intf.name t);
       List.iter
         (fun n_machines ->
           let c =
@@ -212,14 +210,13 @@ let e8_machine_sweep () =
 
 let e9_ablation () =
   hr "E9: FliT-counter ablation (register, read-heavy), cycles/op";
-  let naive : Flit.Flit_intf.t = (module Flit.Naive_flush) in
+  let naive = Flit.Registry.naive_flush in
   Fmt.pr "%-26s" "reads ->";
   List.iter (fun r -> Fmt.pr "%8.0f%%" (100. *. r)) [ 0.5; 0.75; 0.9; 0.99 ];
   Fmt.pr "@.";
   List.iter
     (fun t ->
-      let module T = (val t : Flit.Flit_intf.S) in
-      Fmt.pr "%-26s" T.name;
+      Fmt.pr "%-26s" (Flit.Flit_intf.name t);
       List.iter
         (fun read_ratio ->
           let c =
@@ -286,7 +283,6 @@ let e12_adaptive () =
       Fmt.pr "  -- %s --@." label;
       List.iter
         (fun t ->
-          let module T = (val t : Flit.Flit_intf.S) in
           (* measure on a hand-built fabric so the home's volatility is
              controlled *)
           let fab =
@@ -298,12 +294,13 @@ let e12_adaptive () =
                   "home";
               |]
           in
+          let flit = Flit.Flit_intf.instantiate t fab in
           let sched = Runtime.Sched.create ~seed:6 fab in
           let ops = ref 0 in
           ignore
             (Runtime.Sched.spawn sched ~machine:2 ~name:"init" (fun ctx ->
                  let inst =
-                   Harness.Objects.create Harness.Objects.Register t ctx
+                   Harness.Objects.create Harness.Objects.Register flit ctx
                      ~home:2 ~pflag:true
                  in
                  Fabric.Stats.reset (Fabric.stats fab);
@@ -322,9 +319,9 @@ let e12_adaptive () =
                           done))
                  done));
           ignore (Runtime.Sched.run sched);
-          Flit.Counters.drop_fabric fab;
           let cycles = Fabric.cycles fab in
-          Fmt.pr "     %-22s %8.1f cycles/op@." T.name
+          Fmt.pr "     %-22s %8.1f cycles/op@."
+            (Flit.Flit_intf.name t)
             (float_of_int cycles /. float_of_int (max 1 !ops)))
         [ Flit.Registry.alg3'_weakest; Flit.Registry.adaptive ])
     [ ("non-volatile home", false); ("volatile home", true) ];
@@ -454,9 +451,8 @@ let bechamel_tests =
       (Staged.stage (fun () -> ignore (Cxl0.Props.check_default ())))
   in
   let durability_run t =
-    let module T = (val t : Flit.Flit_intf.S) in
     Test.make
-      ~name:(Printf.sprintf "e7/queue-%s" T.name)
+      ~name:(Printf.sprintf "e7/queue-%s" (Flit.Flit_intf.name t))
       (Staged.stage (fun () ->
            let c = Harness.Workload.default_config Harness.Objects.Queue t in
            let c =
@@ -477,9 +473,8 @@ let bechamel_tests =
            ignore (Harness.Workload.check c)))
   in
   let sim_throughput t =
-    let module T = (val t : Flit.Flit_intf.S) in
     Test.make
-      ~name:(Printf.sprintf "e8/sim-%s" T.name)
+      ~name:(Printf.sprintf "e8/sim-%s" (Flit.Flit_intf.name t))
       (Staged.stage (fun () ->
            let c =
              {

@@ -37,10 +37,11 @@ let resolve_transforms names =
       let seen = Hashtbl.create 8 in
       Ok
         (List.filter
-           (fun (module T : Flit.Flit_intf.S) ->
-             if Hashtbl.mem seen T.name then false
+           (fun t ->
+             let name = Flit.Flit_intf.name t in
+             if Hashtbl.mem seen name then false
              else begin
-               Hashtbl.add seen T.name ();
+               Hashtbl.add seen name ();
                true
              end)
            all)
@@ -75,7 +76,7 @@ let print_summary (s : Fuzz.Campaign.summary) =
 let replay_file path =
   match Fuzz.Corpus.load path with
   | Error e ->
-      Fmt.epr "cannot replay %s: %s@." path e;
+      Fmt.epr "cannot replay %s: %a@." path Harness.Codec.pp_error e;
       2
   | Ok c ->
       Fmt.pr "replaying %s@." (Harness.Workload.describe c);
@@ -96,7 +97,9 @@ let run campaign seed jobs transforms kind corpus_dir min_violations
       in
       match resolve_transforms transforms with
       | Error bad ->
-          Fmt.epr "unknown transform %S@." bad;
+          Fmt.epr "unknown transform %S; known: %a@." bad
+            Fmt.(list ~sep:comma string)
+            Flit.Registry.names;
           2
       | Ok transforms -> (
           let profiles =

@@ -18,7 +18,6 @@ let crash_spec ~machine seed : Harness.Workload.crash_spec =
   }
 
 let run_one kind transform ~crash ~seeds ~verbose =
-  let module T = (val transform : Flit.Flit_intf.S) in
   let failures = ref [] in
   for seed = 1 to seeds do
     let c = Harness.Workload.default_config kind transform in
@@ -39,7 +38,8 @@ let run_one kind transform ~crash ~seeds ~verbose =
   let fails = List.length !failures in
   Fmt.pr "%-10s %-16s crash=%-6s  %d/%d seeds durably linearizable%s@."
     (Harness.Objects.kind_name kind)
-    T.name crash (seeds - fails) seeds
+    (Flit.Flit_intf.name transform)
+    crash (seeds - fails) seeds
     (if fails > 0 then
        Fmt.str "  (failing seeds: %a)" Fmt.(list ~sep:sp int) (List.rev !failures)
      else "");
@@ -74,9 +74,7 @@ let run object_ transform crash seeds matrix verbose =
     | _, None ->
         Fmt.epr "unknown transformation %S; available: %a@." transform
           Fmt.(list ~sep:comma string)
-          (List.map
-             (fun (module T : Flit.Flit_intf.S) -> T.name)
-             Flit.Registry.all);
+          Flit.Registry.names;
         2
     | Some kind, Some t ->
         if run_one kind t ~crash ~seeds ~verbose > 0 then 1 else 0

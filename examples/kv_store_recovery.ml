@@ -11,7 +11,7 @@
 
    Run with: dune exec examples/kv_store_recovery.exe *)
 
-module KV = Dstruct.Hmap.Make (Flit.Mstore)
+module KV = Dstruct.Hmap
 
 let n_accounts = 8
 let deposits_per_teller = 12
@@ -27,6 +27,10 @@ let () =
         Fabric.machine ~cache_capacity:128 "ledger-memnode";
       |]
   in
+  (* the instance outlives the memory-node crash: FliT's counters must
+     (conservative stickiness) and here they trivially do, because the
+     same [flit] value wraps both the workload and the recovery below *)
+  let flit = Flit.Flit_intf.instantiate Flit.Registry.alg2_mstore fab in
   let sched = Runtime.Sched.create ~seed:99 fab in
   let store = ref None in
   (* completed deposits per account, reconstructed from teller logs *)
@@ -56,7 +60,7 @@ let () =
          (* the root directory must be the first allocation on the
             memory node so recovery can find it by convention *)
          let dir = Runtime.Rootdir.create ctx ~home:2 () in
-         let kv = KV.create ctx ~buckets:4 ~home:2 () in
+         let kv = KV.create ctx ~buckets:4 ~flit ~home:2 () in
          ignore (Runtime.Rootdir.register dir ctx ~name:"ledger" (KV.root kv));
          store := Some kv;
          ignore (Runtime.Sched.spawn sched ~machine:0 ~name:"teller-1" (teller 1));
@@ -89,7 +93,7 @@ let () =
          match Runtime.Rootdir.lookup dir ctx ~name:"ledger" with
          | None -> Fmt.pr "ledger root lost!@."
          | Some root ->
-             let kv = KV.attach ctx ~buckets:4 root in
+             let kv = KV.attach ctx ~buckets:4 ~flit root in
              let all_ok = ref true in
              for acct = 1 to n_accounts do
                let v = KV.get kv ctx acct in

@@ -71,11 +71,14 @@ let durability () =
   section "Durability (FliT transformation, Algorithm 2)";
   let fab = Fabric.uniform ~seed:1 ~evict_prob:0.1 2 in
   let sched = Runtime.Sched.create fab in
-  let module Stack = Dstruct.Tstack.Make (Flit.Mstore) in
+  (* one transformation instance per fabric run: the stack's operations
+     close over it *)
+  let flit = Flit.Flit_intf.instantiate Flit.Registry.alg2_mstore fab in
+  let module Stack = Dstruct.Tstack in
   let stack = ref None in
   ignore
     (Runtime.Sched.spawn sched ~machine:0 ~name:"producer" (fun ctx ->
-         let s = Stack.create ctx ~home:1 () in
+         let s = Stack.create ctx ~flit ~home:1 () in
          stack := Some s;
          List.iter (fun v -> Stack.push s ctx v) [ 10; 20; 30 ]));
   (* crash the memory-hosting machine mid-run, then recover *)

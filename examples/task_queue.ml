@@ -22,9 +22,9 @@
 
 let n_tasks = 20
 
-let run_with (module T : Flit.Flit_intf.S) =
-  Fmt.pr "@.--- transformation: %s ---@." T.name;
-  let module Q = Dstruct.Msqueue.Make (T) in
+let run_with transform =
+  Fmt.pr "@.--- transformation: %s ---@." (Flit.Flit_intf.name transform);
+  let module Q = Dstruct.Msqueue in
   (* a roomy producer cache and rare spontaneous evictions: unflushed
      lines tend to still be sitting in the producer's cache when it
      dies, which is exactly the hazard a durable transformation guards
@@ -37,13 +37,14 @@ let run_with (module T : Flit.Flit_intf.S) =
         Fabric.machine ~cache_capacity:64 "queue-memnode";
       |]
   in
+  let flit = Flit.Flit_intf.instantiate transform fab in
   let sched = Runtime.Sched.create ~seed:11 fab in
   let q = ref None in
   let produced = ref [] and consumed = ref [] in
 
   ignore
     (Runtime.Sched.spawn sched ~machine:2 ~name:"init" (fun ctx ->
-         let queue = Q.create ctx ~home:2 () in
+         let queue = Q.create ctx ~flit ~home:2 () in
          q := Some queue;
          ignore
            (Runtime.Sched.spawn sched ~machine:0 ~name:"producer" (fun ctx ->
@@ -104,8 +105,8 @@ let run_with (module T : Flit.Flit_intf.S) =
 
 let () =
   Fmt.pr "durable task queue on disaggregated memory@.";
-  run_with (module Flit.Weakest);
-  run_with (module Flit.Noflush);
+  run_with Flit.Registry.alg3'_weakest;
+  run_with Flit.Registry.noflush;
   Fmt.pr
     "@.(the noflush run may lose or corrupt completed tasks depending on \
      eviction timing; the Algorithm 3' run never does)@."

@@ -15,8 +15,8 @@
 
 let readings_per_sensor = 30
 
-let run name (module T : Flit.Flit_intf.S) ~sync_every =
-  let module Log = Dstruct.Dlog.Make (T) in
+let run name transform ~sync_every =
+  let module Log = Dstruct.Dlog in
   let fab =
     Fabric.create ~seed:14 ~evict_prob:0.05
       [|
@@ -25,12 +25,18 @@ let run name (module T : Flit.Flit_intf.S) ~sync_every =
         Fabric.machine ~cache_capacity:256 "telemetry-memnode";
       |]
   in
+  let flit = Flit.Flit_intf.instantiate transform fab in
+  (* buffered instances expose [sync]; for eager transformations the
+     sensors have nothing to sync *)
+  let sync ctx =
+    match flit.Flit.Flit_intf.sync with Some s -> s ctx | None -> ()
+  in
   let sched = Runtime.Sched.create ~seed:21 fab in
   let log = ref None in
   let completed = ref 0 in
   ignore
     (Runtime.Sched.spawn sched ~machine:2 ~name:"init" (fun ctx ->
-         let l = Log.create ctx ~capacity:128 ~home:2 () in
+         let l = Log.create ctx ~capacity:128 ~flit ~home:2 () in
          log := Some l;
          Fabric.Stats.reset (Fabric.stats fab);
          for m = 0 to 1 do
@@ -43,7 +49,7 @@ let run name (module T : Flit.Flit_intf.S) ~sync_every =
                     let r = (100 * (m + 1)) + i in
                     if Log.append l ctx r >= 0 then incr completed;
                     if sync_every > 0 && i mod sync_every = 0 then
-                      Flit.Buffered.sync ctx
+                      sync ctx
                   done))
          done));
   ignore (Runtime.Sched.run sched);
@@ -64,8 +70,6 @@ let run name (module T : Flit.Flit_intf.S) ~sync_every =
                if v > 0 then incr survived else incr holes
              done));
   ignore (Runtime.Sched.run sched2);
-  Flit.Buffered.drop_fabric fab;
-  Flit.Counters.drop_fabric fab;
   Fmt.pr
     "  %-28s %5.0f cycles/append   completed %d, survived %d, lost %d%s@."
     name
@@ -77,10 +81,10 @@ let run name (module T : Flit.Flit_intf.S) ~sync_every =
 
 let () =
   Fmt.pr "telemetry on disaggregated memory: durability vs throughput@.@.";
-  run "alg2-mstore (full DL)" (module Flit.Mstore) ~sync_every:0;
-  run "buffered, sync every 4" (module Flit.Buffered) ~sync_every:4;
-  run "buffered, sync every 16" (module Flit.Buffered) ~sync_every:16;
-  run "buffered, never sync" (module Flit.Buffered) ~sync_every:0;
+  run "alg2-mstore (full DL)" Flit.Registry.alg2_mstore ~sync_every:0;
+  run "buffered, sync every 4" Flit.Registry.buffered ~sync_every:4;
+  run "buffered, sync every 16" Flit.Registry.buffered ~sync_every:16;
+  run "buffered, never sync" Flit.Registry.buffered ~sync_every:0;
   Fmt.pr
     "@.shape: each relaxation step trades bounded tail loss for cheaper \
      appends; holes appear when the log's length counter persisted ahead \

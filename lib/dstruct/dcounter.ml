@@ -5,40 +5,43 @@
     makes the counter a genuinely contended lock-free object, so it
     exercises the transformation's CAS path under retries. *)
 
-module Make (F : Flit.Flit_intf.S) = struct
-  type t = {
-    cell : Fabric.loc;
-    pflag : bool;
-  }
+module FI = Flit.Flit_intf
 
-  let create (ctx : Runtime.Sched.ctx) ?(pflag = true) ~home () =
-    { cell = Fabric.alloc ctx.fab ~owner:home; pflag }
+type t = {
+  flit : FI.instance;
+  cell : Fabric.loc;
+  pflag : bool;
+}
 
-  let root t = t.cell
+let create (ctx : Runtime.Sched.ctx) ?(pflag = true) ~flit ~home () =
+  { flit; cell = Fabric.alloc ctx.fab ~owner:home; pflag }
 
-  let attach (_ctx : Runtime.Sched.ctx) ?(pflag = true) cell =
-    { cell; pflag }
+let root t = t.cell
 
-  (** [inc t ctx] — atomically increment; returns the previous value. *)
-  let inc t ctx =
-    let rec loop () =
-      let v = F.shared_load ctx t.cell ~pflag:t.pflag in
-      if F.shared_cas ctx t.cell ~expected:v ~desired:(v + 1) ~pflag:t.pflag
-      then v
-      else loop ()
-    in
-    let v = loop () in
-    F.complete_op ctx;
-    v
+let attach (_ctx : Runtime.Sched.ctx) ?(pflag = true) ~flit cell =
+  { flit; cell; pflag }
 
-  let get t ctx =
-    let v = F.shared_load ctx t.cell ~pflag:t.pflag in
-    F.complete_op ctx;
-    v
+(** [inc t ctx] — atomically increment; returns the previous value. *)
+let inc t ctx =
+  let rec loop () =
+    let v = t.flit.FI.shared_load ctx t.cell ~pflag:t.pflag in
+    if
+      t.flit.FI.shared_cas ctx t.cell ~expected:v ~desired:(v + 1)
+        ~pflag:t.pflag
+    then v
+    else loop ()
+  in
+  let v = loop () in
+  t.flit.FI.complete_op ctx;
+  v
 
-  let dispatch t ctx op args =
-    match (op, args) with
-    | "inc", [] -> inc t ctx
-    | "get", [] -> get t ctx
-    | _ -> invalid_arg "Dcounter.dispatch"
-end
+let get t ctx =
+  let v = t.flit.FI.shared_load ctx t.cell ~pflag:t.pflag in
+  t.flit.FI.complete_op ctx;
+  v
+
+let dispatch t ctx op args =
+  match (op, args) with
+  | "inc", [] -> inc t ctx
+  | "get", [] -> get t ctx
+  | _ -> invalid_arg "Dcounter.dispatch"

@@ -1,18 +1,29 @@
 (** Durable fetch-and-increment counter (CAS-loop increment, so it
     exercises the transformation's CAS path under contention). *)
 
-module Make (F : Flit.Flit_intf.S) : sig
-  type t
+type t
 
-  val create : Runtime.Sched.ctx -> ?pflag:bool -> home:int -> unit -> t
-  val root : t -> Fabric.loc
-  val attach : Runtime.Sched.ctx -> ?pflag:bool -> Fabric.loc -> t
+val create :
+  Runtime.Sched.ctx ->
+  ?pflag:bool ->
+  flit:Flit.Flit_intf.instance ->
+  home:int ->
+  unit ->
+  t
 
-  val inc : t -> Runtime.Sched.ctx -> int
-  (** Atomically increment; returns the previous value. *)
+val root : t -> Fabric.loc
 
-  val get : t -> Runtime.Sched.ctx -> int
+val attach :
+  Runtime.Sched.ctx ->
+  ?pflag:bool ->
+  flit:Flit.Flit_intf.instance ->
+  Fabric.loc ->
+  t
 
-  val dispatch : t -> Runtime.Sched.ctx -> string -> int list -> int
-  (** ["inc" []], ["get" []] — {!Lincheck.Specs.Counter}. *)
-end
+val inc : t -> Runtime.Sched.ctx -> int
+(** Atomically increment; returns the previous value. *)
+
+val get : t -> Runtime.Sched.ctx -> int
+
+val dispatch : t -> Runtime.Sched.ctx -> string -> int list -> int
+(** ["inc" []], ["get" []] — {!Lincheck.Specs.Counter}. *)

@@ -20,85 +20,88 @@
     way).  Layout: [len] at the base location, slots at base+1 ...
     base+capacity. *)
 
-module Make (F : Flit.Flit_intf.S) = struct
-  type t = {
-    base : Fabric.loc;  (** committed length; slots follow *)
-    capacity : int;
-    pflag : bool;
-  }
+module FI = Flit.Flit_intf
 
-  let len_of t = t.base
-  let slot_of t i = t.base + 1 + i
+type t = {
+  flit : FI.instance;
+  base : Fabric.loc;  (** committed length; slots follow *)
+  capacity : int;
+  pflag : bool;
+}
 
-  let create (ctx : Runtime.Sched.ctx) ?(pflag = true) ?(capacity = 64) ~home
-      () =
-    let base = Fabric.alloc ctx.fab ~owner:home in
-    let slots = Fabric.alloc_n ctx.fab ~owner:home capacity in
-    assert (List.nth slots 0 = base + 1);
-    { base; capacity; pflag }
+let len_of t = t.base
+let slot_of t i = t.base + 1 + i
 
-  let root t = t.base
+let create (ctx : Runtime.Sched.ctx) ?(pflag = true) ?(capacity = 64) ~flit
+    ~home () =
+  let base = Fabric.alloc ctx.fab ~owner:home in
+  let slots = Fabric.alloc_n ctx.fab ~owner:home capacity in
+  assert (List.nth slots 0 = base + 1);
+  { flit; base; capacity; pflag }
 
-  let attach (ctx : Runtime.Sched.ctx) ?(pflag = true) ?(capacity = 64) base =
-    ignore ctx;
-    { base; capacity; pflag }
+let root t = t.base
 
-  (* help the committed length forward past every claimed slot *)
-  let rec help_len t ctx n =
-    if n < t.capacity then
-      let slot = F.shared_load ctx (slot_of t n) ~pflag:t.pflag in
-      if slot <> 0 then begin
-        ignore
-          (F.shared_cas ctx (len_of t) ~expected:n ~desired:(n + 1)
-             ~pflag:t.pflag);
-        let n' = F.shared_load ctx (len_of t) ~pflag:t.pflag in
-        if n' > n then help_len t ctx n'
-      end
+let attach (ctx : Runtime.Sched.ctx) ?(pflag = true) ?(capacity = 64) ~flit
+    base =
+  ignore ctx;
+  { flit; base; capacity; pflag }
 
-  let append t ctx v =
-    if v <= 0 then invalid_arg "Dlog.append: values must be positive";
-    let rec loop () =
-      let n = F.shared_load ctx (len_of t) ~pflag:t.pflag in
-      if n >= t.capacity then Absent.absent
-      else if
-        F.shared_cas ctx (slot_of t n) ~expected:0 ~desired:v ~pflag:t.pflag
-      then begin
-        (* claimed: publish (or let helpers do it) *)
-        ignore
-          (F.shared_cas ctx (len_of t) ~expected:n ~desired:(n + 1)
-             ~pflag:t.pflag);
-        n
-      end
-      else begin
-        (* someone claimed this slot: help its publication, retry *)
-        help_len t ctx n;
-        loop ()
-      end
-    in
-    let r = loop () in
-    F.complete_op ctx;
-    r
+(* help the committed length forward past every claimed slot *)
+let rec help_len t ctx n =
+  if n < t.capacity then
+    let slot = t.flit.FI.shared_load ctx (slot_of t n) ~pflag:t.pflag in
+    if slot <> 0 then begin
+      ignore
+        (t.flit.FI.shared_cas ctx (len_of t) ~expected:n ~desired:(n + 1)
+           ~pflag:t.pflag);
+      let n' = t.flit.FI.shared_load ctx (len_of t) ~pflag:t.pflag in
+      if n' > n then help_len t ctx n'
+    end
 
-  let read t ctx i =
-    let r =
-      if i < 0 || i >= t.capacity then Absent.absent
-      else
-        let n = F.shared_load ctx (len_of t) ~pflag:t.pflag in
-        if i >= n then Absent.absent
-        else F.shared_load ctx (slot_of t i) ~pflag:t.pflag
-    in
-    F.complete_op ctx;
-    r
+let append t ctx v =
+  if v <= 0 then invalid_arg "Dlog.append: values must be positive";
+  let rec loop () =
+    let n = t.flit.FI.shared_load ctx (len_of t) ~pflag:t.pflag in
+    if n >= t.capacity then Absent.absent
+    else if
+      t.flit.FI.shared_cas ctx (slot_of t n) ~expected:0 ~desired:v
+        ~pflag:t.pflag
+    then begin
+      (* claimed: publish (or let helpers do it) *)
+      ignore
+        (t.flit.FI.shared_cas ctx (len_of t) ~expected:n ~desired:(n + 1)
+           ~pflag:t.pflag);
+      n
+    end
+    else begin
+      (* someone claimed this slot: help its publication, retry *)
+      help_len t ctx n;
+      loop ()
+    end
+  in
+  let r = loop () in
+  t.flit.FI.complete_op ctx;
+  r
 
-  let size t ctx =
-    let n = F.shared_load ctx (len_of t) ~pflag:t.pflag in
-    F.complete_op ctx;
-    n
+let read t ctx i =
+  let r =
+    if i < 0 || i >= t.capacity then Absent.absent
+    else
+      let n = t.flit.FI.shared_load ctx (len_of t) ~pflag:t.pflag in
+      if i >= n then Absent.absent
+      else t.flit.FI.shared_load ctx (slot_of t i) ~pflag:t.pflag
+  in
+  t.flit.FI.complete_op ctx;
+  r
 
-  let dispatch t ctx op args =
-    match (op, args) with
-    | "append", [ v ] -> append t ctx v
-    | "read", [ i ] -> read t ctx i
-    | "size", [] -> size t ctx
-    | _ -> invalid_arg "Dlog.dispatch"
-end
+let size t ctx =
+  let n = t.flit.FI.shared_load ctx (len_of t) ~pflag:t.pflag in
+  t.flit.FI.complete_op ctx;
+  n
+
+let dispatch t ctx op args =
+  match (op, args) with
+  | "append", [ v ] -> append t ctx v
+  | "read", [ i ] -> read t ctx i
+  | "size", [] -> size t ctx
+  | _ -> invalid_arg "Dlog.dispatch"

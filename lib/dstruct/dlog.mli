@@ -3,27 +3,38 @@
     the length forward (a crashed appender's claim is completed by the
     next appender).  Values must be positive. *)
 
-module Make (F : Flit.Flit_intf.S) : sig
-  type t
+type t
 
-  val create :
-    Runtime.Sched.ctx -> ?pflag:bool -> ?capacity:int -> home:int -> unit -> t
-  (** [capacity] defaults to 64. *)
+val create :
+  Runtime.Sched.ctx ->
+  ?pflag:bool ->
+  ?capacity:int ->
+  flit:Flit.Flit_intf.instance ->
+  home:int ->
+  unit ->
+  t
+(** [capacity] defaults to 64. *)
 
-  val root : t -> Fabric.loc
-  val attach : Runtime.Sched.ctx -> ?pflag:bool -> ?capacity:int -> Fabric.loc -> t
-  (** [capacity] must match the creation-time value. *)
+val root : t -> Fabric.loc
 
-  val append : t -> Runtime.Sched.ctx -> int -> int
-  (** The index the value landed at, or {!Absent.absent} when full.
-      Raises [Invalid_argument] on non-positive values. *)
+val attach :
+  Runtime.Sched.ctx ->
+  ?pflag:bool ->
+  ?capacity:int ->
+  flit:Flit.Flit_intf.instance ->
+  Fabric.loc ->
+  t
+(** [capacity] must match the creation-time value. *)
 
-  val read : t -> Runtime.Sched.ctx -> int -> int
-  (** The value at the index if below the committed length, else
-      {!Absent.absent}. *)
+val append : t -> Runtime.Sched.ctx -> int -> int
+(** The index the value landed at, or {!Absent.absent} when full.
+    Raises [Invalid_argument] on non-positive values. *)
 
-  val size : t -> Runtime.Sched.ctx -> int
+val read : t -> Runtime.Sched.ctx -> int -> int
+(** The value at the index if below the committed length, else
+    {!Absent.absent}. *)
 
-  val dispatch : t -> Runtime.Sched.ctx -> string -> int list -> int
-  (** ["append" [v]], ["read" [i]], ["size" []] — {!Lincheck.Specs.Log}. *)
-end
+val size : t -> Runtime.Sched.ctx -> int
+
+val dispatch : t -> Runtime.Sched.ctx -> string -> int list -> int
+(** ["append" [v]], ["read" [i]], ["size" []] — {!Lincheck.Specs.Log}. *)

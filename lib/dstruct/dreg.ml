@@ -4,42 +4,43 @@
     with the transformation — reads are [shared_load]s (which may help
     persist a concurrent writer's value), writes are [shared_store]s.
     This is the object on which the Fig. 5 anomaly manifests with the
-    [Noflush] control and is repaired by every durable transformation. *)
+    noflush control and is repaired by every durable transformation. *)
 
-module Make (F : Flit.Flit_intf.S) = struct
-  type t = {
-    cell : Fabric.loc;
-    pflag : bool;
-  }
+module FI = Flit.Flit_intf
 
-  (** [create ctx ~home ()] — allocate the register on machine [home],
-      initial value 0. *)
-  let create (ctx : Runtime.Sched.ctx) ?(pflag = true) ~home () =
-    { cell = Fabric.alloc ctx.fab ~owner:home; pflag }
+type t = {
+  flit : FI.instance;
+  cell : Fabric.loc;
+  pflag : bool;
+}
 
-  (** [root t] — the location to register in a {!Runtime.Rootdir};
-      [attach] rebuilds a handle from it after recovery. *)
-  let root t = t.cell
+(** [create ctx ~flit ~home ()] — allocate the register on machine
+    [home], initial value 0. *)
+let create (ctx : Runtime.Sched.ctx) ?(pflag = true) ~flit ~home () =
+  { flit; cell = Fabric.alloc ctx.fab ~owner:home; pflag }
 
-  let attach (_ctx : Runtime.Sched.ctx) ?(pflag = true) cell =
-    { cell; pflag }
+(** [root t] — the location to register in a {!Runtime.Rootdir};
+    [attach] rebuilds a handle from it after recovery. *)
+let root t = t.cell
 
-  let read t ctx =
-    let v = F.shared_load ctx t.cell ~pflag:t.pflag in
-    F.complete_op ctx;
-    v
+let attach (_ctx : Runtime.Sched.ctx) ?(pflag = true) ~flit cell =
+  { flit; cell; pflag }
 
-  let write t ctx v =
-    F.shared_store ctx t.cell v ~pflag:t.pflag;
-    F.complete_op ctx
+let read t ctx =
+  let v = t.flit.FI.shared_load ctx t.cell ~pflag:t.pflag in
+  t.flit.FI.complete_op ctx;
+  v
 
-  (** Uniform op dispatcher for the generic test harness; the op
-      vocabulary matches {!Lincheck.Specs.Register}. *)
-  let dispatch t ctx op args =
-    match (op, args) with
-    | "read", [] -> read t ctx
-    | "write", [ v ] ->
-        write t ctx v;
-        0
-    | _ -> invalid_arg "Dreg.dispatch"
-end
+let write t ctx v =
+  t.flit.FI.shared_store ctx t.cell v ~pflag:t.pflag;
+  t.flit.FI.complete_op ctx
+
+(** Uniform op dispatcher for the generic test harness; the op
+    vocabulary matches {!Lincheck.Specs.Register}. *)
+let dispatch t ctx op args =
+  match (op, args) with
+  | "read", [] -> read t ctx
+  | "write", [ v ] ->
+      write t ctx v;
+      0
+  | _ -> invalid_arg "Dreg.dispatch"

@@ -11,142 +11,146 @@
     unlinks, as in the set.  Keys must be positive; values must be
     positive (get returns {!Absent.absent} for missing keys). *)
 
-module Make (F : Flit.Flit_intf.S) = struct
-  type t = {
-    buckets : Fabric.loc array;  (** bucket head-next locations *)
-    home : int;
-    pflag : bool;
+module FI = Flit.Flit_intf
+
+type t = {
+  flit : FI.instance;
+  buckets : Fabric.loc array;  (** bucket head-next locations *)
+  home : int;
+  pflag : bool;
+}
+
+let key_of n = n
+let value_of n = n + 1
+let next_of n = n + 2
+
+let create (ctx : Runtime.Sched.ctx) ?(pflag = true) ?(buckets = 8) ~flit
+    ~home () =
+  (* bucket head-next cells are consecutive so a handle is
+     recoverable from the first one *)
+  {
+    flit;
+    buckets = Array.of_list (Fabric.alloc_n ctx.fab ~owner:home buckets);
+    home;
+    pflag;
   }
 
-  let key_of n = n
-  let value_of n = n + 1
-  let next_of n = n + 2
+let root t = t.buckets.(0)
 
-  let create (ctx : Runtime.Sched.ctx) ?(pflag = true) ?(buckets = 8) ~home ()
-      =
-    (* bucket head-next cells are consecutive so a handle is
-       recoverable from the first one *)
-    {
-      buckets = Array.of_list (Fabric.alloc_n ctx.fab ~owner:home buckets);
-      home;
-      pflag;
-    }
+let attach (ctx : Runtime.Sched.ctx) ?(pflag = true) ?(buckets = 8) ~flit base
+    =
+  {
+    flit;
+    buckets = Array.init buckets (fun i -> base + i);
+    home = Fabric.owner ctx.fab base;
+    pflag;
+  }
 
-  let root t = t.buckets.(0)
+let bucket t k = t.buckets.(k mod Array.length t.buckets)
 
-  let attach (ctx : Runtime.Sched.ctx) ?(pflag = true) ?(buckets = 8) base =
-    {
-      buckets = Array.init buckets (fun i -> base + i);
-      home = Fabric.owner ctx.fab base;
-      pflag;
-    }
+let alloc_node (ctx : Runtime.Sched.ctx) ~home =
+  let k = Fabric.alloc ctx.fab ~owner:home in
+  let v = Fabric.alloc ctx.fab ~owner:home in
+  let nx = Fabric.alloc ctx.fab ~owner:home in
+  assert (v = k + 1 && nx = k + 2);
+  k
 
-  let bucket t k = t.buckets.(k mod Array.length t.buckets)
-
-  let alloc_node (ctx : Runtime.Sched.ctx) ~home =
-    let k = Fabric.alloc ctx.fab ~owner:home in
-    let v = Fabric.alloc ctx.fab ~owner:home in
-    let nx = Fabric.alloc ctx.fab ~owner:home in
-    assert (v = k + 1 && nx = k + 2);
-    k
-
-  (* Same window-finding routine as {!Listset.find}, with the 3-cell
-     node layout. *)
-  let rec find t ctx head_next k =
-    let rec walk pred_next cur =
-      if Ptr.is_marked_null cur then (pred_next, cur, None)
-      else
-        let cnode = Ptr.loc_of_marked cur in
-        let cnext = F.shared_load ctx (next_of cnode) ~pflag:t.pflag in
-        if Ptr.mark_of cnext then
-          if
-            F.shared_cas ctx pred_next ~expected:(Ptr.without_mark cur)
-              ~desired:(Ptr.without_mark cnext) ~pflag:t.pflag
-          then walk pred_next (Ptr.without_mark cnext)
-          else find t ctx head_next k
-        else
-          let ck = F.shared_load ctx (key_of cnode) ~pflag:t.pflag in
-          if ck >= k then (pred_next, Ptr.without_mark cur, Some ck)
-          else walk (next_of cnode) cnext
-    in
-    let first = F.shared_load ctx head_next ~pflag:t.pflag in
-    walk head_next (Ptr.without_mark first)
-
-  (** [put t ctx k v] — bind [k] to [v] (insert or overwrite); returns 0. *)
-  let rec put_loop t ctx k v =
-    let head_next = bucket t k in
-    let pred_next, cur, ck = find t ctx head_next k in
-    if ck = Some k then begin
-      (* in-place update of a live node; if the node is concurrently
-         deleted, the put linearizes before the delete (they overlap) *)
-      let cnode = Ptr.loc_of_marked cur in
-      F.shared_store ctx (value_of cnode) v ~pflag:t.pflag
-    end
-    else begin
-      let n = alloc_node ctx ~home:t.home in
-      F.private_store ctx (key_of n) k ~pflag:t.pflag;
-      F.private_store ctx (value_of n) v ~pflag:t.pflag;
-      F.private_store ctx (next_of n) cur ~pflag:t.pflag;
-      if
-        not
-          (F.shared_cas ctx pred_next ~expected:cur
-             ~desired:(Ptr.marked_of_loc n) ~pflag:t.pflag)
-      then put_loop t ctx k v
-    end
-
-  let put t ctx k v =
-    put_loop t ctx k v;
-    F.complete_op ctx;
-    0
-
-  (** [get t ctx k] — the bound value, or {!Absent.absent}. *)
-  let get t ctx k =
-    let rec walk cur =
-      if Ptr.is_marked_null cur then Absent.absent
-      else
-        let cnode = Ptr.loc_of_marked cur in
-        let cnext = F.shared_load ctx (next_of cnode) ~pflag:t.pflag in
-        let ck = F.shared_load ctx (key_of cnode) ~pflag:t.pflag in
-        if ck < k then walk (Ptr.without_mark cnext)
-        else if ck = k then
-          if Ptr.mark_of cnext then Absent.absent
-          else F.shared_load ctx (value_of cnode) ~pflag:t.pflag
-        else Absent.absent
-    in
-    let first = F.shared_load ctx (bucket t k) ~pflag:t.pflag in
-    let r = walk (Ptr.without_mark first) in
-    F.complete_op ctx;
-    r
-
-  (** [del t ctx k] — 1 if [k] was bound (now removed), 0 otherwise. *)
-  let rec del_loop t ctx k =
-    let head_next = bucket t k in
-    let pred_next, cur, ck = find t ctx head_next k in
-    if ck <> Some k then 0
+(* Same window-finding routine as {!Listset.find}, with the 3-cell
+   node layout. *)
+let rec find t ctx head_next k =
+  let rec walk pred_next cur =
+    if Ptr.is_marked_null cur then (pred_next, cur, None)
     else
       let cnode = Ptr.loc_of_marked cur in
-      let cnext = F.shared_load ctx (next_of cnode) ~pflag:t.pflag in
-      if Ptr.mark_of cnext then del_loop t ctx k
-      else if
-        F.shared_cas ctx (next_of cnode) ~expected:cnext
-          ~desired:(Ptr.with_mark cnext) ~pflag:t.pflag
-      then begin
-        ignore
-          (F.shared_cas ctx pred_next ~expected:cur
-             ~desired:(Ptr.without_mark cnext) ~pflag:t.pflag);
-        1
-      end
-      else del_loop t ctx k
+      let cnext = t.flit.FI.shared_load ctx (next_of cnode) ~pflag:t.pflag in
+      if Ptr.mark_of cnext then
+        if
+          t.flit.FI.shared_cas ctx pred_next ~expected:(Ptr.without_mark cur)
+            ~desired:(Ptr.without_mark cnext) ~pflag:t.pflag
+        then walk pred_next (Ptr.without_mark cnext)
+        else find t ctx head_next k
+      else
+        let ck = t.flit.FI.shared_load ctx (key_of cnode) ~pflag:t.pflag in
+        if ck >= k then (pred_next, Ptr.without_mark cur, Some ck)
+        else walk (next_of cnode) cnext
+  in
+  let first = t.flit.FI.shared_load ctx head_next ~pflag:t.pflag in
+  walk head_next (Ptr.without_mark first)
 
-  let del t ctx k =
-    let r = del_loop t ctx k in
-    F.complete_op ctx;
-    r
+(** [put t ctx k v] — bind [k] to [v] (insert or overwrite); returns 0. *)
+let rec put_loop t ctx k v =
+  let head_next = bucket t k in
+  let pred_next, cur, ck = find t ctx head_next k in
+  if ck = Some k then begin
+    (* in-place update of a live node; if the node is concurrently
+       deleted, the put linearizes before the delete (they overlap) *)
+    let cnode = Ptr.loc_of_marked cur in
+    t.flit.FI.shared_store ctx (value_of cnode) v ~pflag:t.pflag
+  end
+  else begin
+    let n = alloc_node ctx ~home:t.home in
+    t.flit.FI.private_store ctx (key_of n) k ~pflag:t.pflag;
+    t.flit.FI.private_store ctx (value_of n) v ~pflag:t.pflag;
+    t.flit.FI.private_store ctx (next_of n) cur ~pflag:t.pflag;
+    if
+      not
+        (t.flit.FI.shared_cas ctx pred_next ~expected:cur
+           ~desired:(Ptr.marked_of_loc n) ~pflag:t.pflag)
+    then put_loop t ctx k v
+  end
 
-  let dispatch t ctx op args =
-    match (op, args) with
-    | "put", [ k; v ] -> put t ctx k v
-    | "get", [ k ] -> get t ctx k
-    | "del", [ k ] -> del t ctx k
-    | _ -> invalid_arg "Hmap.dispatch"
-end
+let put t ctx k v =
+  put_loop t ctx k v;
+  t.flit.FI.complete_op ctx;
+  0
+
+(** [get t ctx k] — the bound value, or {!Absent.absent}. *)
+let get t ctx k =
+  let rec walk cur =
+    if Ptr.is_marked_null cur then Absent.absent
+    else
+      let cnode = Ptr.loc_of_marked cur in
+      let cnext = t.flit.FI.shared_load ctx (next_of cnode) ~pflag:t.pflag in
+      let ck = t.flit.FI.shared_load ctx (key_of cnode) ~pflag:t.pflag in
+      if ck < k then walk (Ptr.without_mark cnext)
+      else if ck = k then
+        if Ptr.mark_of cnext then Absent.absent
+        else t.flit.FI.shared_load ctx (value_of cnode) ~pflag:t.pflag
+      else Absent.absent
+  in
+  let first = t.flit.FI.shared_load ctx (bucket t k) ~pflag:t.pflag in
+  let r = walk (Ptr.without_mark first) in
+  t.flit.FI.complete_op ctx;
+  r
+
+(** [del t ctx k] — 1 if [k] was bound (now removed), 0 otherwise. *)
+let rec del_loop t ctx k =
+  let head_next = bucket t k in
+  let pred_next, cur, ck = find t ctx head_next k in
+  if ck <> Some k then 0
+  else
+    let cnode = Ptr.loc_of_marked cur in
+    let cnext = t.flit.FI.shared_load ctx (next_of cnode) ~pflag:t.pflag in
+    if Ptr.mark_of cnext then del_loop t ctx k
+    else if
+      t.flit.FI.shared_cas ctx (next_of cnode) ~expected:cnext
+        ~desired:(Ptr.with_mark cnext) ~pflag:t.pflag
+    then begin
+      ignore
+        (t.flit.FI.shared_cas ctx pred_next ~expected:cur
+           ~desired:(Ptr.without_mark cnext) ~pflag:t.pflag);
+      1
+    end
+    else del_loop t ctx k
+
+let del t ctx k =
+  let r = del_loop t ctx k in
+  t.flit.FI.complete_op ctx;
+  r
+
+let dispatch t ctx op args =
+  match (op, args) with
+  | "put", [ k; v ] -> put t ctx k v
+  | "get", [ k ] -> get t ctx k
+  | "del", [ k ] -> del t ctx k
+  | _ -> invalid_arg "Hmap.dispatch"

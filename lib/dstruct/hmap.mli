@@ -2,26 +2,37 @@
     chains whose nodes carry a mutable value cell (in-place update on
     existing keys).  Keys and values must be positive. *)
 
-module Make (F : Flit.Flit_intf.S) : sig
-  type t
+type t
 
-  val create :
-    Runtime.Sched.ctx -> ?pflag:bool -> ?buckets:int -> home:int -> unit -> t
-  (** [buckets] defaults to 8. *)
+val create :
+  Runtime.Sched.ctx ->
+  ?pflag:bool ->
+  ?buckets:int ->
+  flit:Flit.Flit_intf.instance ->
+  home:int ->
+  unit ->
+  t
+(** [buckets] defaults to 8. *)
 
-  val root : t -> Fabric.loc
-  val attach : Runtime.Sched.ctx -> ?pflag:bool -> ?buckets:int -> Fabric.loc -> t
-  (** [buckets] must match the creation-time value. *)
+val root : t -> Fabric.loc
 
-  val put : t -> Runtime.Sched.ctx -> int -> int -> int
-  (** Bind key to value (insert or overwrite); returns 0. *)
+val attach :
+  Runtime.Sched.ctx ->
+  ?pflag:bool ->
+  ?buckets:int ->
+  flit:Flit.Flit_intf.instance ->
+  Fabric.loc ->
+  t
+(** [buckets] must match the creation-time value. *)
 
-  val get : t -> Runtime.Sched.ctx -> int -> int
-  (** The bound value, or {!Absent.absent}. *)
+val put : t -> Runtime.Sched.ctx -> int -> int -> int
+(** Bind key to value (insert or overwrite); returns 0. *)
 
-  val del : t -> Runtime.Sched.ctx -> int -> int
-  (** 1 if the key was bound (now removed), else 0. *)
+val get : t -> Runtime.Sched.ctx -> int -> int
+(** The bound value, or {!Absent.absent}. *)
 
-  val dispatch : t -> Runtime.Sched.ctx -> string -> int list -> int
-  (** ["put" [k; v]], ["get" [k]], ["del" [k]] — {!Lincheck.Specs.Map_}. *)
-end
+val del : t -> Runtime.Sched.ctx -> int -> int
+(** 1 if the key was bound (now removed), else 0. *)
+
+val dispatch : t -> Runtime.Sched.ctx -> string -> int list -> int
+(** ["put" [k; v]], ["get" [k]], ["del" [k]] — {!Lincheck.Specs.Map_}. *)

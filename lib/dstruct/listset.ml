@@ -12,129 +12,130 @@
 
     Node layout: [key] at base, [next] at base+1. *)
 
-module Make (F : Flit.Flit_intf.S) = struct
-  type t = {
-    head_next : Fabric.loc;  (** encoded marked-pointer to the first node *)
-    home : int;
-    pflag : bool;
-  }
+module FI = Flit.Flit_intf
 
-  let key_of n = n
-  let next_of n = n + 1
+type t = {
+  flit : FI.instance;
+  head_next : Fabric.loc;  (** encoded marked-pointer to the first node *)
+  home : int;
+  pflag : bool;
+}
 
-  let create (ctx : Runtime.Sched.ctx) ?(pflag = true) ~home () =
-    (* freshly allocated memory is zero = (null, unmarked): the empty
-       list needs no initialising stores *)
-    { head_next = Fabric.alloc ctx.fab ~owner:home; home; pflag }
+let key_of n = n
+let next_of n = n + 1
 
-  let root t = t.head_next
+let create (ctx : Runtime.Sched.ctx) ?(pflag = true) ~flit ~home () =
+  (* freshly allocated memory is zero = (null, unmarked): the empty
+     list needs no initialising stores *)
+  { flit; head_next = Fabric.alloc ctx.fab ~owner:home; home; pflag }
 
-  let attach (ctx : Runtime.Sched.ctx) ?(pflag = true) head_next =
-    { head_next; home = Fabric.owner ctx.fab head_next; pflag }
+let root t = t.head_next
 
-  let alloc_node (ctx : Runtime.Sched.ctx) ~home =
-    let k = Fabric.alloc ctx.fab ~owner:home in
-    let nx = Fabric.alloc ctx.fab ~owner:home in
-    assert (nx = k + 1);
-    k
+let attach (ctx : Runtime.Sched.ctx) ?(pflag = true) ~flit head_next =
+  { flit; head_next; home = Fabric.owner ctx.fab head_next; pflag }
 
-  (* [find t ctx k] — locate the insertion window for [k]:
-     [(pred_next, cur, cur_key)] where [pred_next] is the location of the
-     predecessor's next field, [cur] the encoded (unmarked) pointer it
-     held, and [cur_key = Some key-of-cur] when [cur] is non-null; the
-     current node is the first whose key is >= [k].  Unlinks marked nodes
-     on the way (restarting from the head if an unlink CAS fails). *)
-  let rec find t ctx k =
-    let rec walk pred_next cur =
-      if Ptr.is_marked_null cur then (pred_next, cur, None)
-      else
-        let cnode = Ptr.loc_of_marked cur in
-        let cnext = F.shared_load ctx (next_of cnode) ~pflag:t.pflag in
-        if Ptr.mark_of cnext then
-          (* [cnode] is logically deleted: unlink it *)
-          if
-            F.shared_cas ctx pred_next ~expected:(Ptr.without_mark cur)
-              ~desired:(Ptr.without_mark cnext) ~pflag:t.pflag
-          then walk pred_next (Ptr.without_mark cnext)
-          else find t ctx k (* window changed under us: restart *)
-        else
-          let ck = F.shared_load ctx (key_of cnode) ~pflag:t.pflag in
-          if ck >= k then (pred_next, Ptr.without_mark cur, Some ck)
-          else walk (next_of cnode) cnext
-    in
-    let first = F.shared_load ctx t.head_next ~pflag:t.pflag in
-    walk t.head_next (Ptr.without_mark first)
+let alloc_node (ctx : Runtime.Sched.ctx) ~home =
+  let k = Fabric.alloc ctx.fab ~owner:home in
+  let nx = Fabric.alloc ctx.fab ~owner:home in
+  assert (nx = k + 1);
+  k
 
-  (** [add t ctx k] — 1 if [k] was inserted, 0 if already present. *)
-  let rec add_loop t ctx k =
-    let pred_next, cur, ck = find t ctx k in
-    if ck = Some k then 0
-    else begin
-      let n = alloc_node ctx ~home:t.home in
-      F.private_store ctx (key_of n) k ~pflag:t.pflag;
-      F.private_store ctx (next_of n) cur ~pflag:t.pflag;
-      if
-        F.shared_cas ctx pred_next ~expected:cur
-          ~desired:(Ptr.marked_of_loc n) ~pflag:t.pflag
-      then 1
-      else add_loop t ctx k
-    end
-
-  let add t ctx k =
-    let r = add_loop t ctx k in
-    F.complete_op ctx;
-    r
-
-  (** [remove t ctx k] — 1 if [k] was present and removed, 0 otherwise.
-      Linearizes at the marking CAS. *)
-  let rec remove_loop t ctx k =
-    let pred_next, cur, ck = find t ctx k in
-    if ck <> Some k then 0
+(* [find t ctx k] — locate the insertion window for [k]:
+   [(pred_next, cur, cur_key)] where [pred_next] is the location of the
+   predecessor's next field, [cur] the encoded (unmarked) pointer it
+   held, and [cur_key = Some key-of-cur] when [cur] is non-null; the
+   current node is the first whose key is >= [k].  Unlinks marked nodes
+   on the way (restarting from the head if an unlink CAS fails). *)
+let rec find t ctx k =
+  let rec walk pred_next cur =
+    if Ptr.is_marked_null cur then (pred_next, cur, None)
     else
       let cnode = Ptr.loc_of_marked cur in
-      let cnext = F.shared_load ctx (next_of cnode) ~pflag:t.pflag in
-      if Ptr.mark_of cnext then remove_loop t ctx k
-        (* concurrently deleted: retry to decide who won *)
-      else if
-        F.shared_cas ctx (next_of cnode) ~expected:cnext
-          ~desired:(Ptr.with_mark cnext) ~pflag:t.pflag
-      then begin
-        (* marked: now try the physical unlink; failure is fine, a later
-           find will clean up *)
-        ignore
-          (F.shared_cas ctx pred_next ~expected:cur
-             ~desired:(Ptr.without_mark cnext) ~pflag:t.pflag);
-        1
-      end
-      else remove_loop t ctx k
-
-  let remove t ctx k =
-    let r = remove_loop t ctx k in
-    F.complete_op ctx;
-    r
-
-  (** [contains t ctx k] — read-only traversal (never unlinks); a marked
-      match counts as absent. *)
-  let contains t ctx k =
-    let rec walk cur =
-      if Ptr.is_marked_null cur then 0
+      let cnext = t.flit.FI.shared_load ctx (next_of cnode) ~pflag:t.pflag in
+      if Ptr.mark_of cnext then
+        (* [cnode] is logically deleted: unlink it *)
+        if
+          t.flit.FI.shared_cas ctx pred_next ~expected:(Ptr.without_mark cur)
+            ~desired:(Ptr.without_mark cnext) ~pflag:t.pflag
+        then walk pred_next (Ptr.without_mark cnext)
+        else find t ctx k (* window changed under us: restart *)
       else
-        let cnode = Ptr.loc_of_marked cur in
-        let cnext = F.shared_load ctx (next_of cnode) ~pflag:t.pflag in
-        let ck = F.shared_load ctx (key_of cnode) ~pflag:t.pflag in
-        if ck < k then walk (Ptr.without_mark cnext)
-        else if ck = k then if Ptr.mark_of cnext then 0 else 1
-        else 0
-    in
-    let first = F.shared_load ctx t.head_next ~pflag:t.pflag in
-    let r = walk (Ptr.without_mark first) in
-    F.complete_op ctx;
-    r
+        let ck = t.flit.FI.shared_load ctx (key_of cnode) ~pflag:t.pflag in
+        if ck >= k then (pred_next, Ptr.without_mark cur, Some ck)
+        else walk (next_of cnode) cnext
+  in
+  let first = t.flit.FI.shared_load ctx t.head_next ~pflag:t.pflag in
+  walk t.head_next (Ptr.without_mark first)
 
-  let dispatch t ctx op args =
-    match (op, args) with
-    | "add", [ k ] -> add t ctx k
-    | "remove", [ k ] -> remove t ctx k
-    | "contains", [ k ] -> contains t ctx k
-    | _ -> invalid_arg "Listset.dispatch"
-end
+(** [add t ctx k] — 1 if [k] was inserted, 0 if already present. *)
+let rec add_loop t ctx k =
+  let pred_next, cur, ck = find t ctx k in
+  if ck = Some k then 0
+  else begin
+    let n = alloc_node ctx ~home:t.home in
+    t.flit.FI.private_store ctx (key_of n) k ~pflag:t.pflag;
+    t.flit.FI.private_store ctx (next_of n) cur ~pflag:t.pflag;
+    if
+      t.flit.FI.shared_cas ctx pred_next ~expected:cur
+        ~desired:(Ptr.marked_of_loc n) ~pflag:t.pflag
+    then 1
+    else add_loop t ctx k
+  end
+
+let add t ctx k =
+  let r = add_loop t ctx k in
+  t.flit.FI.complete_op ctx;
+  r
+
+(** [remove t ctx k] — 1 if [k] was present and removed, 0 otherwise.
+    Linearizes at the marking CAS. *)
+let rec remove_loop t ctx k =
+  let pred_next, cur, ck = find t ctx k in
+  if ck <> Some k then 0
+  else
+    let cnode = Ptr.loc_of_marked cur in
+    let cnext = t.flit.FI.shared_load ctx (next_of cnode) ~pflag:t.pflag in
+    if Ptr.mark_of cnext then remove_loop t ctx k
+      (* concurrently deleted: retry to decide who won *)
+    else if
+      t.flit.FI.shared_cas ctx (next_of cnode) ~expected:cnext
+        ~desired:(Ptr.with_mark cnext) ~pflag:t.pflag
+    then begin
+      (* marked: now try the physical unlink; failure is fine, a later
+         find will clean up *)
+      ignore
+        (t.flit.FI.shared_cas ctx pred_next ~expected:cur
+           ~desired:(Ptr.without_mark cnext) ~pflag:t.pflag);
+      1
+    end
+    else remove_loop t ctx k
+
+let remove t ctx k =
+  let r = remove_loop t ctx k in
+  t.flit.FI.complete_op ctx;
+  r
+
+(** [contains t ctx k] — read-only traversal (never unlinks); a marked
+    match counts as absent. *)
+let contains t ctx k =
+  let rec walk cur =
+    if Ptr.is_marked_null cur then 0
+    else
+      let cnode = Ptr.loc_of_marked cur in
+      let cnext = t.flit.FI.shared_load ctx (next_of cnode) ~pflag:t.pflag in
+      let ck = t.flit.FI.shared_load ctx (key_of cnode) ~pflag:t.pflag in
+      if ck < k then walk (Ptr.without_mark cnext)
+      else if ck = k then if Ptr.mark_of cnext then 0 else 1
+      else 0
+  in
+  let first = t.flit.FI.shared_load ctx t.head_next ~pflag:t.pflag in
+  let r = walk (Ptr.without_mark first) in
+  t.flit.FI.complete_op ctx;
+  r
+
+let dispatch t ctx op args =
+  match (op, args) with
+  | "add", [ k ] -> add t ctx k
+  | "remove", [ k ] -> remove t ctx k
+  | "contains", [ k ] -> contains t ctx k
+  | _ -> invalid_arg "Listset.dispatch"

@@ -2,22 +2,33 @@
     deletion via a mark bit in the node's next field, physical unlinking
     by any traversal.  Keys must be positive. *)
 
-module Make (F : Flit.Flit_intf.S) : sig
-  type t
+type t
 
-  val create : Runtime.Sched.ctx -> ?pflag:bool -> home:int -> unit -> t
-  val root : t -> Fabric.loc
-  val attach : Runtime.Sched.ctx -> ?pflag:bool -> Fabric.loc -> t
+val create :
+  Runtime.Sched.ctx ->
+  ?pflag:bool ->
+  flit:Flit.Flit_intf.instance ->
+  home:int ->
+  unit ->
+  t
 
-  val add : t -> Runtime.Sched.ctx -> int -> int
-  (** 1 if inserted, 0 if already present. *)
+val root : t -> Fabric.loc
 
-  val remove : t -> Runtime.Sched.ctx -> int -> int
-  (** 1 if present and removed (linearizes at the marking CAS), else 0. *)
+val attach :
+  Runtime.Sched.ctx ->
+  ?pflag:bool ->
+  flit:Flit.Flit_intf.instance ->
+  Fabric.loc ->
+  t
 
-  val contains : t -> Runtime.Sched.ctx -> int -> int
-  (** Read-only traversal; a marked match counts as absent. *)
+val add : t -> Runtime.Sched.ctx -> int -> int
+(** 1 if inserted, 0 if already present. *)
 
-  val dispatch : t -> Runtime.Sched.ctx -> string -> int list -> int
-  (** ["add"/"remove"/"contains" [k]] — {!Lincheck.Specs.Set_}. *)
-end
+val remove : t -> Runtime.Sched.ctx -> int -> int
+(** 1 if present and removed (linearizes at the marking CAS), else 0. *)
+
+val contains : t -> Runtime.Sched.ctx -> int -> int
+(** Read-only traversal; a marked match counts as absent. *)
+
+val dispatch : t -> Runtime.Sched.ctx -> string -> int list -> int
+(** ["add"/"remove"/"contains" [k]] — {!Lincheck.Specs.Set_}. *)

@@ -1,17 +1,29 @@
 (** Durable Michael–Scott queue: lock-free FIFO with a dummy head node
     and helped tail swinging. *)
 
-module Make (F : Flit.Flit_intf.S) : sig
-  type t
+type t
 
-  val create : Runtime.Sched.ctx -> ?pflag:bool -> home:int -> unit -> t
-  val root : t -> Fabric.loc
-  val attach : Runtime.Sched.ctx -> ?pflag:bool -> Fabric.loc -> t
+val create :
+  Runtime.Sched.ctx ->
+  ?pflag:bool ->
+  flit:Flit.Flit_intf.instance ->
+  home:int ->
+  unit ->
+  t
 
-  val enq : t -> Runtime.Sched.ctx -> int -> unit
-  val deq : t -> Runtime.Sched.ctx -> int
-  (** The head value, or {!Absent.absent} when empty. *)
+val root : t -> Fabric.loc
 
-  val dispatch : t -> Runtime.Sched.ctx -> string -> int list -> int
-  (** ["enq" [v]], ["deq" []] — {!Lincheck.Specs.Queue}. *)
-end
+val attach :
+  Runtime.Sched.ctx ->
+  ?pflag:bool ->
+  flit:Flit.Flit_intf.instance ->
+  Fabric.loc ->
+  t
+
+val enq : t -> Runtime.Sched.ctx -> int -> unit
+
+val deq : t -> Runtime.Sched.ctx -> int
+(** The head value, or {!Absent.absent} when empty. *)
+
+val dispatch : t -> Runtime.Sched.ctx -> string -> int list -> int
+(** ["enq" [v]], ["deq" []] — {!Lincheck.Specs.Queue}. *)

@@ -12,70 +12,73 @@
       they must be persistent before the publishing CAS persists;
     - [top] and the fields of published nodes are shared. *)
 
-module Make (F : Flit.Flit_intf.S) = struct
-  type t = {
-    top : Fabric.loc;  (** holds an encoded pointer ({!Ptr}) *)
-    home : int;        (** machine hosting all of the stack's memory *)
-    pflag : bool;
-  }
+module FI = Flit.Flit_intf
 
-  let create (ctx : Runtime.Sched.ctx) ?(pflag = true) ~home () =
-    { top = Fabric.alloc ctx.fab ~owner:home; home; pflag }
+type t = {
+  flit : FI.instance;
+  top : Fabric.loc;  (** holds an encoded pointer ({!Ptr}) *)
+  home : int;  (** machine hosting all of the stack's memory *)
+  pflag : bool;
+}
 
-  let root t = t.top
+let create (ctx : Runtime.Sched.ctx) ?(pflag = true) ~flit ~home () =
+  { flit; top = Fabric.alloc ctx.fab ~owner:home; home; pflag }
 
-  (** Rebuild a handle from a registered root (recovery); the home
-      machine is recovered from the root's owner. *)
-  let attach (ctx : Runtime.Sched.ctx) ?(pflag = true) top =
-    { top; home = Fabric.owner ctx.fab top; pflag }
+let root t = t.top
 
-  (* node field accessors *)
-  let value_of n = n
-  let next_of n = n + 1
+(** Rebuild a handle from a registered root (recovery); the home
+    machine is recovered from the root's owner. *)
+let attach (ctx : Runtime.Sched.ctx) ?(pflag = true) ~flit top =
+  { flit; top; home = Fabric.owner ctx.fab top; pflag }
 
-  let alloc_node (ctx : Runtime.Sched.ctx) t =
-    let v = Fabric.alloc ctx.fab ~owner:t.home in
-    let nx = Fabric.alloc ctx.fab ~owner:t.home in
-    assert (nx = v + 1);
-    v
+(* node field accessors *)
+let value_of n = n
+let next_of n = n + 1
 
-  let push t ctx x =
-    let n = alloc_node ctx t in
-    F.private_store ctx (value_of n) x ~pflag:t.pflag;
-    let rec loop () =
-      let old = F.shared_load ctx t.top ~pflag:t.pflag in
-      (* The node is still unpublished: linking it is a private store.
-         Re-done on every retry since [old] changes. *)
-      F.private_store ctx (next_of n) old ~pflag:t.pflag;
+let alloc_node (ctx : Runtime.Sched.ctx) t =
+  let v = Fabric.alloc ctx.fab ~owner:t.home in
+  let nx = Fabric.alloc ctx.fab ~owner:t.home in
+  assert (nx = v + 1);
+  v
+
+let push t ctx x =
+  let n = alloc_node ctx t in
+  t.flit.FI.private_store ctx (value_of n) x ~pflag:t.pflag;
+  let rec loop () =
+    let old = t.flit.FI.shared_load ctx t.top ~pflag:t.pflag in
+    (* The node is still unpublished: linking it is a private store.
+       Re-done on every retry since [old] changes. *)
+    t.flit.FI.private_store ctx (next_of n) old ~pflag:t.pflag;
+    if
+      t.flit.FI.shared_cas ctx t.top ~expected:old ~desired:(Ptr.of_loc n)
+        ~pflag:t.pflag
+    then ()
+    else loop ()
+  in
+  loop ();
+  t.flit.FI.complete_op ctx
+
+let pop t ctx =
+  let rec loop () =
+    let old = t.flit.FI.shared_load ctx t.top ~pflag:t.pflag in
+    if Ptr.is_null old then Absent.absent
+    else
+      let n = Ptr.to_loc old in
+      let next = t.flit.FI.shared_load ctx (next_of n) ~pflag:t.pflag in
       if
-        F.shared_cas ctx t.top ~expected:old ~desired:(Ptr.of_loc n)
+        t.flit.FI.shared_cas ctx t.top ~expected:old ~desired:next
           ~pflag:t.pflag
-      then ()
+      then t.flit.FI.shared_load ctx (value_of n) ~pflag:t.pflag
       else loop ()
-    in
-    loop ();
-    F.complete_op ctx
+  in
+  let r = loop () in
+  t.flit.FI.complete_op ctx;
+  r
 
-  let pop t ctx =
-    let rec loop () =
-      let old = F.shared_load ctx t.top ~pflag:t.pflag in
-      if Ptr.is_null old then Absent.absent
-      else
-        let n = Ptr.to_loc old in
-        let next = F.shared_load ctx (next_of n) ~pflag:t.pflag in
-        if F.shared_cas ctx t.top ~expected:old ~desired:next ~pflag:t.pflag
-        then F.shared_load ctx (value_of n) ~pflag:t.pflag
-        else loop ()
-    in
-    let r = loop () in
-    F.complete_op ctx;
-    r
-
-  let dispatch t ctx op args =
-    match (op, args) with
-    | "push", [ v ] ->
-        push t ctx v;
-        0
-    | "pop", [] -> pop t ctx
-    | _ -> invalid_arg "Tstack.dispatch"
-end
+let dispatch t ctx op args =
+  match (op, args) with
+  | "push", [ v ] ->
+      push t ctx v;
+      0
+  | "pop", [] -> pop t ctx
+  | _ -> invalid_arg "Tstack.dispatch"

@@ -2,21 +2,31 @@
     allocated two-cell nodes; unpublished node fields are flagged
     private stores (they must persist before the publishing CAS). *)
 
-module Make (F : Flit.Flit_intf.S) : sig
-  type t
+type t
 
-  val create : Runtime.Sched.ctx -> ?pflag:bool -> home:int -> unit -> t
-  (** All of the stack's memory lives on [home]. *)
+val create :
+  Runtime.Sched.ctx ->
+  ?pflag:bool ->
+  flit:Flit.Flit_intf.instance ->
+  home:int ->
+  unit ->
+  t
+(** All of the stack's memory lives on [home]. *)
 
-  val root : t -> Fabric.loc
-  val attach : Runtime.Sched.ctx -> ?pflag:bool -> Fabric.loc -> t
+val root : t -> Fabric.loc
 
-  val push : t -> Runtime.Sched.ctx -> int -> unit
-  (** Values must be representable; by harness convention positive. *)
+val attach :
+  Runtime.Sched.ctx ->
+  ?pflag:bool ->
+  flit:Flit.Flit_intf.instance ->
+  Fabric.loc ->
+  t
 
-  val pop : t -> Runtime.Sched.ctx -> int
-  (** The top value, or {!Absent.absent} when empty. *)
+val push : t -> Runtime.Sched.ctx -> int -> unit
+(** Values must be representable; by harness convention positive. *)
 
-  val dispatch : t -> Runtime.Sched.ctx -> string -> int list -> int
-  (** ["push" [v]], ["pop" []] — {!Lincheck.Specs.Stack}. *)
-end
+val pop : t -> Runtime.Sched.ctx -> int
+(** The top value, or {!Absent.absent} when empty. *)
+
+val dispatch : t -> Runtime.Sched.ctx -> string -> int list -> int
+(** ["push" [v]], ["pop" []] — {!Lincheck.Specs.Stack}. *)

@@ -3,4 +3,4 @@
     persistence — RFlush for NV-homed data (full durability), LFlush
     for volatile-homed data (the Proposition 2 guarantee). *)
 
-include Flit_intf.S
+val t : Flit_intf.t

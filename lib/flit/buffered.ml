@@ -7,11 +7,12 @@
     attempt:
 
     - flagged stores are plain [LStore]s, with the written location
-      recorded in a per-fabric *dirty set* (volatile metadata, like the
-      FliT counters);
+      recorded in a per-instance *dirty set* (volatile metadata, like
+      the FliT counters);
     - loads never flush;
-    - {!sync} RFlushes every dirty location and clears the set — after a
-      completed sync, everything written before it is persistent.
+    - [sync] (the instance's {!Flit_intf.instance.sync}) RFlushes every
+      dirty location and clears the set — after a completed sync,
+      everything written before it is persistent.
 
     What this buys and what it does not (experiment E11):
     - it is {e not} durably linearizable: writes since the last sync die
@@ -26,70 +27,58 @@
       buffered durability in this model an open problem.
 
     [durable] is [false]; the durability suite exercises it only through
-    the buffered checker. *)
+    the buffered checker.  The dirty set lives in the instance — it
+    survives machine crashes (like the FliT counters, it is
+    conservatively sticky: re-flushing an already-persistent location is
+    safe, forgetting a dirty one is not) and dies with the instance. *)
 
 open Runtime
 
-let name = "buffered-sync"
-let durable = false
-
-(* per-fabric dirty sets (see Counters for the side-table rationale; as
-   there, the uid-keyed table is shared across domains and mutex-guarded,
-   while each inner dirty set is domain-confined) *)
-let tables : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
-let tables_lock = Mutex.create ()
-
-let with_tables f =
-  Mutex.lock tables_lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock tables_lock) f
-
-let dirty_set fab =
-  let uid = Fabric.uid fab in
-  with_tables (fun () ->
-      match Hashtbl.find_opt tables uid with
-      | Some t -> t
-      | None ->
-          let t = Hashtbl.create 64 in
-          Hashtbl.add tables uid t;
-          t)
-
-let drop_fabric fab =
-  with_tables (fun () -> Hashtbl.remove tables (Fabric.uid fab))
-
-let mark_dirty (ctx : Sched.ctx) x = Hashtbl.replace (dirty_set ctx.fab) x ()
-
-(** [sync ctx] — persist every write buffered so far: RFlush each dirty
-    location, then forget it.  The sync is not atomic with respect to
-    crashes (a crash mid-sync persists a prefix of the dirty set in
-    arbitrary order); making it atomic is exactly the hard part the
-    paper anticipates. *)
-let sync (ctx : Sched.ctx) =
-  let t = dirty_set ctx.fab in
-  let locs = Hashtbl.fold (fun x () acc -> x :: acc) t [] in
-  List.iter
-    (fun x ->
-      Ops.rflush ctx x;
-      Hashtbl.remove t x)
-    (List.sort compare locs)
-
-(** [dirty_count fab] — locations currently buffered (diagnostics). *)
-let dirty_count fab = Hashtbl.length (dirty_set fab)
-
-let private_load ctx x = Ops.load ctx x
-
-let private_store ctx x v ~pflag =
-  Ops.lstore ctx x v;
-  if pflag then mark_dirty ctx x
-
-let shared_load ctx x ~pflag:_ = Ops.load ctx x
-
-let shared_store ctx x v ~pflag =
-  Ops.lstore ctx x v;
-  if pflag then mark_dirty ctx x
-
-let shared_cas ctx x ~expected ~desired ~pflag =
-  let ok = Ops.cas ctx x ~expected ~desired ~kind:Cxl0.Label.L in
-  if ok && pflag then mark_dirty ctx x;
-  ok
-
-let complete_op _ctx = ()
+let t : Flit_intf.t =
+  {
+    name = "buffered-sync";
+    durable = false;
+    create =
+      (fun _fab ->
+        let dirty : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+        let mark_dirty x = Hashtbl.replace dirty x () in
+        (* persist every write buffered so far: RFlush each dirty
+           location, then forget it.  The sync is not atomic with
+           respect to crashes (a crash mid-sync persists a prefix of the
+           dirty set in arbitrary order); making it atomic is exactly
+           the hard part the paper anticipates. *)
+        let sync ctx =
+          let locs = Hashtbl.fold (fun x () acc -> x :: acc) dirty [] in
+          List.iter
+            (fun x ->
+              Ops.rflush ctx x;
+              Hashtbl.remove dirty x)
+            (List.sort compare locs)
+        in
+        let private_load ctx x = Ops.load ctx x in
+        let private_store ctx x v ~pflag =
+          Ops.lstore ctx x v;
+          if pflag then mark_dirty x
+        in
+        let shared_load ctx x ~pflag:_ = Ops.load ctx x in
+        let shared_store ctx x v ~pflag =
+          Ops.lstore ctx x v;
+          if pflag then mark_dirty x
+        in
+        let shared_cas ctx x ~expected ~desired ~pflag =
+          let ok = Ops.cas ctx x ~expected ~desired ~kind:Cxl0.Label.L in
+          if ok && pflag then mark_dirty x;
+          ok
+        in
+        {
+          Flit_intf.private_load;
+          private_store;
+          shared_load;
+          shared_store;
+          shared_cas;
+          complete_op = (fun _ctx -> ());
+          counters = None;
+          sync = Some sync;
+          dirty_count = Some (fun () -> Hashtbl.length dirty);
+        });
+  }

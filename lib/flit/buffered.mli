@@ -1,21 +1,11 @@
 (** Buffered-durability transformation with an explicit global [sync]
     (§7 future work; experiment E11).
 
-    Flagged stores are plain LStores recorded in a per-fabric dirty set;
-    {!sync} RFlushes the set.  Not durably linearizable; *buffered*
-    durably linearizable on single-location objects, and demonstrably not
-    on linked structures — see [test/test_buffered.ml] and
-    EXPERIMENTS.md E11. *)
+    Flagged stores are plain LStores recorded in a per-instance dirty
+    set; the instance's [sync] RFlushes the set and [dirty_count]
+    reports its size.  Not durably linearizable; *buffered* durably
+    linearizable on single-location objects, and demonstrably not on
+    linked structures — see [test/test_buffered.ml] and EXPERIMENTS.md
+    E11. *)
 
-include Flit_intf.S
-
-val sync : Runtime.Sched.ctx -> unit
-(** Persist every write buffered so far (RFlush each dirty location,
-    forget it).  Not crash-atomic: a crash mid-sync persists an
-    arbitrary-order prefix. *)
-
-val dirty_count : Fabric.t -> int
-(** Locations currently buffered (diagnostics). *)
-
-val drop_fabric : Fabric.t -> unit
-(** Release a dead fabric's dirty set. *)
+val t : Flit_intf.t

@@ -12,67 +12,74 @@
     help-by-flushing shared load, the plain [LStore] for unflagged
     accesses — is common and implemented once here (mirroring how the
     paper presents Algorithm 3′ as Algorithm 3 with framed lines
-    replaced). *)
+    replaced).  [make] returns a descriptor whose [create] mints a fresh
+    counter table per instance. *)
 
-module Make (P : sig
-  val name : string
-  val durable : bool
-  (* strength of p-stores / of the explicit flush *)
-  val store_kind : Cxl0.Label.store_kind
-  val flush_kind : Cxl0.Label.flush_kind
-end) : Flit_intf.S = struct
-  open Runtime
+open Runtime
 
-  let name = P.name
-  let durable = P.durable
-
-  let private_load ctx x = Ops.load ctx x
-
-  (* Alg. 3 lines 58-64: a flagged private store persists in place —
-     store with the chosen strength, then flush; no counter needed since
-     private data is race-free. *)
-  let private_store ctx x v ~pflag =
-    if pflag then begin
-      Ops.store ctx P.store_kind x v;
-      Ops.flush ctx P.flush_kind x
-    end
-    else Ops.lstore ctx x v
-
-  (* Alg. 3 lines 65-70: load, and if some store to [x] may still be
-     unpersisted (counter positive), help by flushing — without a fence,
-     which completeOp would provide on a weak-memory host. *)
-  let shared_load ctx x ~pflag =
-    let v = Ops.load ctx x in
-    if pflag && Counters.read ctx x > 0 then Ops.flush ctx P.flush_kind x;
-    v
-
-  (* Alg. 3 lines 71-79: announce the in-flight store (counter++), make it
-     visible (store), make it persistent (flush), then retract the
-     announcement (counter--). *)
-  let shared_store ctx x v ~pflag =
-    if pflag then begin
-      Counters.incr ctx x;
-      Ops.store ctx P.store_kind x v;
-      Ops.flush ctx P.flush_kind x;
-      Counters.decr ctx x
-    end
-    else Ops.lstore ctx x v
-
-  (* CAS publishes exactly like a shared store when it succeeds; a failed
-     CAS wrote nothing, so nothing needs persisting.  The counter is
-     incremented before the attempt — a reader that observes the new value
-     between the CAS and the flush must see a positive counter. *)
-  let shared_cas ctx x ~expected ~desired ~pflag =
-    if pflag then begin
-      Counters.incr ctx x;
-      let ok = Ops.cas ctx x ~expected ~desired ~kind:P.store_kind in
-      if ok then Ops.flush ctx P.flush_kind x;
-      Counters.decr ctx x;
-      ok
-    end
-    else Ops.cas ctx x ~expected ~desired ~kind:Cxl0.Label.L
-
-  (* §4.4: completeOp is empty — in-order execution plus synchronous
-     flushes make the original FliT fence unnecessary. *)
-  let complete_op _ctx = ()
-end
+let make ~name ~durable ~store_kind ~flush_kind : Flit_intf.t =
+  let create _fab =
+    let counters = Counters.create () in
+    let private_load ctx x = Ops.load ctx x in
+    (* Alg. 3 lines 58-64: a flagged private store persists in place —
+       store with the chosen strength, then flush; no counter needed
+       since private data is race-free. *)
+    let private_store ctx x v ~pflag =
+      if pflag then begin
+        Ops.store ctx store_kind x v;
+        Ops.flush ctx flush_kind x
+      end
+      else Ops.lstore ctx x v
+    in
+    (* Alg. 3 lines 65-70: load, and if some store to [x] may still be
+       unpersisted (counter positive), help by flushing — without a
+       fence, which completeOp would provide on a weak-memory host. *)
+    let shared_load ctx x ~pflag =
+      let v = Ops.load ctx x in
+      if pflag && Counters.read counters ctx x > 0 then
+        Ops.flush ctx flush_kind x;
+      v
+    in
+    (* Alg. 3 lines 71-79: announce the in-flight store (counter++),
+       make it visible (store), make it persistent (flush), then retract
+       the announcement (counter--). *)
+    let shared_store ctx x v ~pflag =
+      if pflag then begin
+        Counters.incr counters ctx x;
+        Ops.store ctx store_kind x v;
+        Ops.flush ctx flush_kind x;
+        Counters.decr counters ctx x
+      end
+      else Ops.lstore ctx x v
+    in
+    (* CAS publishes exactly like a shared store when it succeeds; a
+       failed CAS wrote nothing, so nothing needs persisting.  The
+       counter is incremented before the attempt — a reader that
+       observes the new value between the CAS and the flush must see a
+       positive counter. *)
+    let shared_cas ctx x ~expected ~desired ~pflag =
+      if pflag then begin
+        Counters.incr counters ctx x;
+        let ok = Ops.cas ctx x ~expected ~desired ~kind:store_kind in
+        if ok then Ops.flush ctx flush_kind x;
+        Counters.decr counters ctx x;
+        ok
+      end
+      else Ops.cas ctx x ~expected ~desired ~kind:Cxl0.Label.L
+    in
+    (* §4.4: completeOp is empty — in-order execution plus synchronous
+       flushes make the original FliT fence unnecessary. *)
+    let complete_op _ctx = () in
+    {
+      Flit_intf.private_load;
+      private_store;
+      shared_load;
+      shared_store;
+      shared_cas;
+      complete_op;
+      counters = Some counters;
+      sync = None;
+      dirty_count = None;
+    }
+  in
+  { Flit_intf.name; durable; create }

@@ -4,78 +4,56 @@
     made visible but is not yet guaranteed persistent; a positive value
     makes readers help by flushing.
 
-    Placement: FliT keeps counters in *volatile* shared memory next to the
-    object.  We model them as an always-available side table keyed by
-    fabric instance rather than as fabric locations, for a reason the
-    correctness argument depends on: if a writer crashes between its
-    increment and decrement, the counter must remain positive so that
-    readers keep flushing the possibly-unpersisted value — a stale
-    positive counter is safe (extra flushes), a lost counter is not.
-    Keeping the table outside the crash-wipe path realises exactly the
-    "conservatively sticky" behaviour the proof needs, while the fabric
-    accounting hooks ({!Fabric.account_meta_faa}/[_read]) still charge the
-    traffic the counter accesses would generate.
+    Placement: FliT keeps counters in *volatile* shared memory next to
+    the object.  We model them as an always-available table owned by the
+    transformation *instance* rather than as fabric locations, for a
+    reason the correctness argument depends on: if a writer crashes
+    between its increment and decrement, the counter must remain
+    positive so that readers keep flushing the possibly-unpersisted
+    value — a stale positive counter is safe (extra flushes), a lost
+    counter is not.  The instance is created once per fabric and closed
+    over by the object's dispatch closures, so it lives exactly as long
+    as the run and is untouched by the crash-wipe path: machine crashes
+    wipe caches and volatile memory, never the instance.  That realises
+    the "conservatively sticky" behaviour the proof needs, while the
+    fabric accounting hooks ({!Fabric.account_meta_faa}/[_read]) still
+    charge the traffic the counter accesses would generate.
 
     Accesses are atomic: the cooperative scheduler never interleaves
     inside a primitive, and the table operations below perform no yield —
-    the caller yields afterwards, mirroring FAA's atomicity. *)
+    the caller yields afterwards, mirroring FAA's atomicity.  A counter
+    table is confined to the domain running its fabric's scheduler, so
+    no locking is needed anywhere. *)
 
 type t = (int, int) Hashtbl.t
 (* location -> counter value; absent = 0 *)
 
-let tables : (int, t) Hashtbl.t = Hashtbl.create 16
-(* fabric uid -> counter table.  The uid-keyed table is shared by every
-   domain (the fuzz campaign runs whole workloads on a Parallel pool), so
-   its lookups/insertions are mutex-guarded; each fabric — and hence each
-   inner counter table — lives on a single domain, so inner accesses need
-   no lock. *)
+(** [create ()] — a fresh, empty counter table.  Pure: no fabric
+    traffic, no scheduling point. *)
+let create () : t = Hashtbl.create 64
 
-let tables_lock = Mutex.create ()
+let get_raw (t : t) x =
+  match Hashtbl.find_opt t x with Some v -> v | None -> 0
 
-let with_tables f =
-  Mutex.lock tables_lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock tables_lock) f
-
-(** [for_fabric fab] — the (lazily created) counter table of [fab]. *)
-let for_fabric fab =
-  let uid = Fabric.uid fab in
-  with_tables (fun () ->
-      match Hashtbl.find_opt tables uid with
-      | Some t -> t
-      | None ->
-          let t = Hashtbl.create 64 in
-          Hashtbl.add tables uid t;
-          t)
-
-let get_raw t x = match Hashtbl.find_opt t x with Some v -> v | None -> 0
-
-(** [incr ctx x] — FAA(+1) on [x]'s FliT counter (a scheduling point). *)
-let incr (ctx : Runtime.Sched.ctx) x =
-  let t = for_fabric ctx.fab in
+(** [incr t ctx x] — FAA(+1) on [x]'s FliT counter (a scheduling
+    point). *)
+let incr (t : t) (ctx : Runtime.Sched.ctx) x =
   Hashtbl.replace t x (get_raw t x + 1);
   Fabric.account_meta_faa ctx.fab ctx.machine x;
   Runtime.Sched.yield ctx
 
-(** [decr ctx x] — FAA(-1); callers only decrement after incrementing, so
-    the value never goes negative (asserted). *)
-let decr (ctx : Runtime.Sched.ctx) x =
-  let t = for_fabric ctx.fab in
+(** [decr t ctx x] — FAA(-1); callers only decrement after incrementing,
+    so the value never goes negative (asserted). *)
+let decr (t : t) (ctx : Runtime.Sched.ctx) x =
   let v = get_raw t x in
   assert (v > 0);
   Hashtbl.replace t x (v - 1);
   Fabric.account_meta_faa ctx.fab ctx.machine x;
   Runtime.Sched.yield ctx
 
-(** [read ctx x] — current counter value (a scheduling point). *)
-let read (ctx : Runtime.Sched.ctx) x =
-  let t = for_fabric ctx.fab in
+(** [read t ctx x] — current counter value (a scheduling point). *)
+let read (t : t) (ctx : Runtime.Sched.ctx) x =
   let v = get_raw t x in
   Fabric.account_meta_read ctx.fab ctx.machine x;
   Runtime.Sched.yield ctx;
   v
-
-(** [drop_fabric fab] — release the table of a dead fabric (tests create
-    thousands of fabrics; without this the global table grows without
-    bound). *)
-let drop_fabric fab =
-  with_tables (fun () -> Hashtbl.remove tables (Fabric.uid fab))

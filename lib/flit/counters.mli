@@ -1,24 +1,24 @@
 (** FliT counters: one shared counter per tracked location (§4.3),
     signalling to readers that a store may still be unpersisted.
 
-    Modelled as always-available volatile metadata keyed by fabric
-    instance (see the implementation for why crash-stickiness is the
-    safe direction); accesses are atomic and charged to the fabric via
-    the metadata accounting hooks. *)
+    Modelled as always-available volatile metadata owned by the
+    transformation instance (see the implementation for why
+    crash-stickiness is the safe direction); accesses are atomic and
+    charged to the fabric via the metadata accounting hooks.  A table is
+    confined to the domain running its fabric's scheduler — no locks. *)
 
 type t = (int, int) Hashtbl.t
 (** location -> counter value; absent = 0.  Exposed for tests. *)
 
-val for_fabric : Fabric.t -> t
-(** The (lazily created) counter table of the fabric. *)
+val create : unit -> t
+(** A fresh, empty counter table.  Pure: no fabric traffic, no
+    scheduling point. *)
 
-val incr : Runtime.Sched.ctx -> int -> unit
+val incr : t -> Runtime.Sched.ctx -> int -> unit
 (** FAA(+1); a scheduling point. *)
 
-val decr : Runtime.Sched.ctx -> int -> unit
+val decr : t -> Runtime.Sched.ctx -> int -> unit
 (** FAA(-1); asserts the counter was positive. *)
 
-val read : Runtime.Sched.ctx -> int -> int
-
-val drop_fabric : Fabric.t -> unit
-(** Release a dead fabric's table (tests create thousands of fabrics). *)
+val read : t -> Runtime.Sched.ctx -> int -> int
+(** Current counter value; a scheduling point. *)

@@ -17,39 +17,77 @@
     publish with CAS; a successful CAS is handled exactly like a
     [shared_store] of the same transformation (counter protocol and
     flushing included), with the store strength the transformation
-    prescribes. *)
+    prescribes.
+
+    A transformation is a first-class *descriptor* {!t} whose [create]
+    mints an {!instance} — a record of operation closures holding every
+    piece of auxiliary state the transformation needs (the FliT counter
+    table of §4.3, buffered-sync's dirty set of §7).  State lives in the
+    instance, never in a global: instances of different fabrics cannot
+    interfere, domain-parallel campaigns run lock-free, and the state's
+    lifetime is exactly the lifetime of the value — no end-of-life
+    bookkeeping hook.  Creating an instance performs no fabric traffic and no
+    scheduling point, so *when* it is created (before or after fabric
+    warm-up) cannot affect a run. *)
 
 type loc = Fabric.loc
 type ctx = Runtime.Sched.ctx
 
-module type S = sig
-  val name : string
-  (** e.g. ["alg3-rstore"]; used in test/bench labels *)
+type instance = {
+  private_load : ctx -> loc -> int;
+  private_store : ctx -> loc -> int -> pflag:bool -> unit;
+  shared_load : ctx -> loc -> pflag:bool -> int;
+  shared_store : ctx -> loc -> int -> pflag:bool -> unit;
+  shared_cas : ctx -> loc -> expected:int -> desired:int -> pflag:bool -> bool;
+      (** a successful CAS publishes with the transformation's
+          persistence protocol; a failed CAS performs no store *)
+  complete_op : ctx -> unit;
+      (** end-of-operation hook (empty in all CXL0 adaptations — §4.4
+          explains the original FliT fence is unnecessary given in-order
+          execution and synchronous flushes) *)
+  counters : Counters.t option;
+      (** the instance's FliT counter table, where the transformation
+          keeps one (exposed for tests and diagnostics) *)
+  sync : (ctx -> unit) option;
+      (** buffered-durability transformations: persist every write
+          buffered so far *)
+  dirty_count : (unit -> int) option;
+      (** buffered-durability transformations: locations currently
+          buffered (diagnostics) *)
+}
 
-  val durable : bool
-  (** whether the transformation claims durable linearizability under the
-      general failure model (the [Noflush] control does not, and
-      [Weakest_lflush] only under the Proposition 2 assumption) *)
+type t = {
+  name : string;  (** e.g. ["alg3-rstore"]; used in test/bench labels *)
+  durable : bool;
+      (** whether the transformation claims durable linearizability
+          under the general failure model (the noflush control does not,
+          and weakest-lflush only under the Proposition 2 assumption) *)
+  create : Fabric.t -> instance;
+      (** mint an instance for one fabric; pure (no traffic, no
+          scheduling point) *)
+}
 
-  val private_load : ctx -> loc -> int
+let name t = t.name
+let durable t = t.durable
 
-  val private_store : ctx -> loc -> int -> pflag:bool -> unit
+(** [instantiate t fab] — mint [t]'s instance for [fab]. *)
+let instantiate t fab = t.create fab
 
-  val shared_load : ctx -> loc -> pflag:bool -> int
-
-  val shared_store : ctx -> loc -> int -> pflag:bool -> unit
-
-  val shared_cas :
-    ctx -> loc -> expected:int -> desired:int -> pflag:bool -> bool
-  (** a successful CAS publishes with the transformation's persistence
-      protocol; a failed CAS performs no store *)
-
-  val complete_op : ctx -> unit
-  (** end-of-operation hook (empty in all CXL0 adaptations — §4.4 explains
-      the original FliT fence is unnecessary given in-order execution and
-      synchronous flushes) *)
-end
-
-type t = (module S)
-
-let name (module T : S) = T.name
+(** Plumbing for stateless transformations: every operation closure is
+    shared, the optional state fields are [None]. *)
+let stateless ~private_load ~private_store ~shared_load ~shared_store
+    ~shared_cas ~complete_op =
+  let i =
+    {
+      private_load;
+      private_store;
+      shared_load;
+      shared_store;
+      shared_cas;
+      complete_op;
+      counters = None;
+      sync = None;
+      dirty_count = None;
+    }
+  in
+  fun (_ : Fabric.t) -> i

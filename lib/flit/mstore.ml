@@ -7,21 +7,20 @@
 
 open Runtime
 
-let name = "alg2-mstore"
-let durable = true
-
-let private_load ctx x = Ops.load ctx x
-
-let private_store ctx x v ~pflag =
-  if pflag then Ops.mstore ctx x v else Ops.lstore ctx x v
-
-let shared_load ctx x ~pflag:_ = Ops.load ctx x
-
-let shared_store ctx x v ~pflag =
-  if pflag then Ops.mstore ctx x v else Ops.lstore ctx x v
-
-let shared_cas ctx x ~expected ~desired ~pflag =
-  Ops.cas ctx x ~expected ~desired
-    ~kind:(if pflag then Cxl0.Label.M else Cxl0.Label.L)
-
-let complete_op _ctx = ()
+let t : Flit_intf.t =
+  {
+    name = "alg2-mstore";
+    durable = true;
+    create =
+      Flit_intf.stateless
+        ~private_load:(fun ctx x -> Ops.load ctx x)
+        ~private_store:(fun ctx x v ~pflag ->
+          if pflag then Ops.mstore ctx x v else Ops.lstore ctx x v)
+        ~shared_load:(fun ctx x ~pflag:_ -> Ops.load ctx x)
+        ~shared_store:(fun ctx x v ~pflag ->
+          if pflag then Ops.mstore ctx x v else Ops.lstore ctx x v)
+        ~shared_cas:(fun ctx x ~expected ~desired ~pflag ->
+          Ops.cas ctx x ~expected ~desired
+            ~kind:(if pflag then Cxl0.Label.M else Cxl0.Label.L))
+        ~complete_op:(fun _ctx -> ());
+  }

@@ -2,4 +2,4 @@
     private operations coincide, loads never help, no FliT counter
     (§5.1 proves the omission sound). *)
 
-include Flit_intf.S
+val t : Flit_intf.t

@@ -13,37 +13,36 @@
 
 open Runtime
 
-let name = "ablation-noflit-counter"
-let durable = true
-
-let private_load ctx x = Ops.load ctx x
-
-let private_store ctx x v ~pflag =
-  if pflag then begin
-    Ops.rstore ctx x v;
-    Ops.rflush ctx x
-  end
-  else Ops.lstore ctx x v
-
-(* no counter to consult: always help *)
-let shared_load ctx x ~pflag =
-  let v = Ops.load ctx x in
-  if pflag then Ops.rflush ctx x;
-  v
-
-let shared_store ctx x v ~pflag =
-  if pflag then begin
-    Ops.rstore ctx x v;
-    Ops.rflush ctx x
-  end
-  else Ops.lstore ctx x v
-
-let shared_cas ctx x ~expected ~desired ~pflag =
-  if pflag then begin
-    let ok = Ops.cas ctx x ~expected ~desired ~kind:Cxl0.Label.R in
-    if ok then Ops.rflush ctx x;
-    ok
-  end
-  else Ops.cas ctx x ~expected ~desired ~kind:Cxl0.Label.L
-
-let complete_op _ctx = ()
+let t : Flit_intf.t =
+  {
+    name = "ablation-noflit-counter";
+    durable = true;
+    create =
+      Flit_intf.stateless
+        ~private_load:(fun ctx x -> Ops.load ctx x)
+        ~private_store:(fun ctx x v ~pflag ->
+          if pflag then begin
+            Ops.rstore ctx x v;
+            Ops.rflush ctx x
+          end
+          else Ops.lstore ctx x v)
+          (* no counter to consult: always help *)
+        ~shared_load:(fun ctx x ~pflag ->
+          let v = Ops.load ctx x in
+          if pflag then Ops.rflush ctx x;
+          v)
+        ~shared_store:(fun ctx x v ~pflag ->
+          if pflag then begin
+            Ops.rstore ctx x v;
+            Ops.rflush ctx x
+          end
+          else Ops.lstore ctx x v)
+        ~shared_cas:(fun ctx x ~expected ~desired ~pflag ->
+          if pflag then begin
+            let ok = Ops.cas ctx x ~expected ~desired ~kind:Cxl0.Label.R in
+            if ok then Ops.rflush ctx x;
+            ok
+          end
+          else Ops.cas ctx x ~expected ~desired ~kind:Cxl0.Label.L)
+        ~complete_op:(fun _ctx -> ());
+  }

@@ -2,4 +2,4 @@
     flagged shared load flushes (experiment E9 quantifies what the
     counter buys). *)
 
-include Flit_intf.S
+val t : Flit_intf.t

@@ -2,4 +2,4 @@
     counters.  Linearizable but deliberately not durable; the test
     suite uses it to prove the checker can fail. *)
 
-include Flit_intf.S
+val t : Flit_intf.t

@@ -1,11 +1,11 @@
 (** Enumeration of the transformations, for tests and benches. *)
 
-let simple : Flit_intf.t = (module Simple)
-let alg2_mstore : Flit_intf.t = (module Mstore)
-let alg3_rstore : Flit_intf.t = (module Rstore)
-let alg3'_weakest : Flit_intf.t = (module Weakest)
-let weakest_lflush : Flit_intf.t = (module Weakest_lflush)
-let noflush : Flit_intf.t = (module Noflush)
+let simple : Flit_intf.t = Simple.t
+let alg2_mstore : Flit_intf.t = Mstore.t
+let alg3_rstore : Flit_intf.t = Rstore.t
+let alg3'_weakest : Flit_intf.t = Weakest.t
+let weakest_lflush : Flit_intf.t = Weakest_lflush.t
+let noflush : Flit_intf.t = Noflush.t
 
 (** The transformations the paper proves durably linearizable under the
     general failure model (§5). *)
@@ -19,12 +19,10 @@ let all : Flit_intf.t list = durable @ [ weakest_lflush; noflush ]
 (** Beyond the paper's algorithms: the address-adaptive variant (§4.4
     implementation notes), the buffered-durability transformation with
     explicit sync (§7), and the counter-less ablation (E9). *)
-let adaptive : Flit_intf.t = (module Adaptive)
-let buffered : Flit_intf.t = (module Buffered)
-let naive_flush : Flit_intf.t = (module Naive_flush)
+let adaptive : Flit_intf.t = Adaptive.t
+let buffered : Flit_intf.t = Buffered.t
+let naive_flush : Flit_intf.t = Naive_flush.t
 let extensions : Flit_intf.t list = [ adaptive; buffered; naive_flush ]
 
-let find name =
-  List.find_opt
-    (fun (module T : Flit_intf.S) -> T.name = name)
-    (all @ extensions)
+let find name = List.find_opt (fun t -> Flit_intf.name t = name) (all @ extensions)
+let names = List.map Flit_intf.name (all @ extensions)

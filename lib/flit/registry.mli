@@ -25,3 +25,7 @@ val extensions : Flit_intf.t list
 
 val find : string -> Flit_intf.t option
 (** Look up any transformation (paper or extension) by name. *)
+
+val names : string list
+(** Every registered transformation name, [all] then [extensions] —
+    e.g. for "unknown transformation" error messages. *)

@@ -5,9 +5,6 @@
     into the owner's physical memory), with the FliT counter protocol
     intact. *)
 
-include Counter_based.Make (struct
-  let name = "alg3-rstore"
-  let durable = true
-  let store_kind = Cxl0.Label.R
-  let flush_kind = Cxl0.Label.RF
-end)
+let t : Flit_intf.t =
+  Counter_based.make ~name:"alg3-rstore" ~durable:true
+    ~store_kind:Cxl0.Label.R ~flush_kind:Cxl0.Label.RF

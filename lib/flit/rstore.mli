@@ -2,4 +2,4 @@
     translation of FliT with Store ↦ RStore and Flush ↦ RFlush, counter
     protocol intact. *)
 
-include Flit_intf.S
+val t : Flit_intf.t

@@ -8,15 +8,17 @@
 
 open Runtime
 
-let name = "simple"
-let durable = true
-
-let private_load ctx x = Ops.load ctx x
-let private_store ctx x v ~pflag:_ = Ops.mstore ctx x v
-let shared_load ctx x ~pflag:_ = Ops.load ctx x
-let shared_store ctx x v ~pflag:_ = Ops.mstore ctx x v
-
-let shared_cas ctx x ~expected ~desired ~pflag:_ =
-  Ops.cas ctx x ~expected ~desired ~kind:Cxl0.Label.M
-
-let complete_op _ctx = ()
+let t : Flit_intf.t =
+  {
+    name = "simple";
+    durable = true;
+    create =
+      Flit_intf.stateless
+        ~private_load:(fun ctx x -> Ops.load ctx x)
+        ~private_store:(fun ctx x v ~pflag:_ -> Ops.mstore ctx x v)
+        ~shared_load:(fun ctx x ~pflag:_ -> Ops.load ctx x)
+        ~shared_store:(fun ctx x v ~pflag:_ -> Ops.mstore ctx x v)
+        ~shared_cas:(fun ctx x ~expected ~desired ~pflag:_ ->
+          Ops.cas ctx x ~expected ~desired ~kind:Cxl0.Label.M)
+        ~complete_op:(fun _ctx -> ());
+  }

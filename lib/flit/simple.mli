@@ -1,4 +1,4 @@
 (** The simple transformation of §4.4: every store becomes an
     MStore, so persistence needs no counters or flushes. *)
 
-include Flit_intf.S
+val t : Flit_intf.t

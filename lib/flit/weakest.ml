@@ -7,9 +7,6 @@
     transformation satisfies the P–V interface, and derives Algorithms 2
     and 3 from it. *)
 
-include Counter_based.Make (struct
-  let name = "alg3'-weakest"
-  let durable = true
-  let store_kind = Cxl0.Label.L
-  let flush_kind = Cxl0.Label.RF
-end)
+let t : Flit_intf.t =
+  Counter_based.make ~name:"alg3'-weakest" ~durable:true
+    ~store_kind:Cxl0.Label.L ~flush_kind:Cxl0.Label.RF

@@ -2,4 +2,4 @@
     the framed RStores replaced by LStore; stored values cross two
     hierarchies before persisting, forced by the RFlushes. *)
 
-include Flit_intf.S
+val t : Flit_intf.t

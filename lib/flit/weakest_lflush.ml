@@ -13,9 +13,6 @@
     test-suite exercises it only under the Proposition 2 crash
     restriction (experiment E6). *)
 
-include Counter_based.Make (struct
-  let name = "weakest-lflush"
-  let durable = false
-  let store_kind = Cxl0.Label.L
-  let flush_kind = Cxl0.Label.LF
-end)
+let t : Flit_intf.t =
+  Counter_based.make ~name:"weakest-lflush" ~durable:false
+    ~store_kind:Cxl0.Label.L ~flush_kind:Cxl0.Label.LF

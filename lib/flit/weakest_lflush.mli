@@ -2,4 +2,4 @@
     (Proposition 2): durable linearizability provided machines hosting
     volatile shared memory never crash. *)
 
-include Flit_intf.S
+val t : Flit_intf.t

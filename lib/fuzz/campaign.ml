@@ -110,9 +110,8 @@ let run ?(jobs = 1) ?(corpus_dir = "corpus") (p : Gen.profile) ~cells ~seed ()
               corpus_path; fresh }
             :: !violations)
     results;
-  let module T = (val p.transform : Flit.Flit_intf.S) in
   {
-    transform_name = T.name;
+    transform_name = Flit.Flit_intf.name p.transform;
     cells;
     ok = !ok;
     skipped = !skipped;

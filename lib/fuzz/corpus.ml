@@ -18,9 +18,8 @@ let fnv1a64 (s : string) : int64 =
   !h
 
 let file_name (c : W.config) : string =
-  let module T = (val c.transform : Flit.Flit_intf.S) in
   let hash = Printf.sprintf "%016Lx" (fnv1a64 (Harness.Codec.config_to_string c)) in
-  Printf.sprintf "%s-%s-%s.sexp" T.name
+  Printf.sprintf "%s-%s-%s.sexp" (Flit.Flit_intf.name c.transform)
     (Harness.Objects.kind_name c.kind)
     (String.sub hash 0 12)
 
@@ -41,7 +40,7 @@ let save ~dir (c : W.config) ~comment : string * bool =
 let load path = Harness.Codec.read_config path
 
 (** [load_all dir] — every [.sexp] corpus entry, sorted by file name. *)
-let load_all dir : (string * (W.config, string) result) list =
+let load_all dir : (string * (W.config, Harness.Codec.error) result) list =
   if not (Sys.file_exists dir) then []
   else
     Sys.readdir dir |> Array.to_list

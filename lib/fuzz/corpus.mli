@@ -10,9 +10,10 @@ val save :
 (** Write the config under its content-hash name (creating [dir] if
     needed); returns the path and whether the file is new. *)
 
-val load : string -> (Harness.Workload.config, string) result
+val load : string -> (Harness.Workload.config, Harness.Codec.error) result
 
 val load_all :
-  string -> (string * (Harness.Workload.config, string) result) list
+  string ->
+  (string * (Harness.Workload.config, Harness.Codec.error) result) list
 (** Every [.sexp] entry of the directory, sorted by file name; an
     absent directory is an empty corpus. *)

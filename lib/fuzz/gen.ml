@@ -62,9 +62,8 @@ type profile = {
 }
 
 let profile_of_transform (t : Flit.Flit_intf.t) : profile =
-  let module T = (val t) in
   let all = Harness.Objects.all_kinds in
-  match T.name with
+  match Flit.Flit_intf.name t with
   | "noflush-control" ->
       { transform = t; kinds = all; crash_home = true;
         worker_crashes = Workers_crash; allow_volatile_home = true;

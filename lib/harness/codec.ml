@@ -98,12 +98,11 @@ let crash_to_sexp (s : Workload.crash_spec) =
     ]
 
 let config_to_sexp (c : Workload.config) : sexp =
-  let module T = (val c.Workload.transform : Flit.Flit_intf.S) in
   List
     [
       Atom "config";
       field "kind" [ Atom (Objects.kind_name c.Workload.kind) ];
-      field "transform" [ Atom T.name ];
+      field "transform" [ Atom (Flit.Flit_intf.name c.Workload.transform) ];
       field "n-machines" [ atom_int c.Workload.n_machines ];
       field "home" [ atom_int c.Workload.home ];
       field "volatile-home" [ atom_bool c.Workload.volatile_home ];
@@ -119,19 +118,38 @@ let config_to_sexp (c : Workload.config) : sexp =
 
 let config_to_string c = sexp_to_string (config_to_sexp c)
 
-(** Structural equality of configs — the transform (a first-class module)
-    is compared by registry name, everything else structurally. *)
+(** Structural equality of configs — the transform (a transformation
+    descriptor) is compared by registry name, everything else
+    structurally. *)
 let config_equal a b = config_to_string a = config_to_string b
 
 (* --- decoding ----------------------------------------------------- *)
 
+(** Decoding errors.  Every malformation is a [Msg]; a config naming a
+    transformation absent from {!Flit.Registry} gets its own typed
+    constructor carrying the offending name and the names the registry
+    does know, so tooling (and error messages) can suggest what the
+    author probably meant instead of a bare "unknown". *)
+type error =
+  | Unknown_transform of { name : string; known : string list }
+  | Msg of string
+
+let pp_error ppf = function
+  | Msg m -> Fmt.string ppf m
+  | Unknown_transform { name; known } ->
+      Fmt.pf ppf "unknown transformation %S (known: %a)" name
+        Fmt.(list ~sep:comma string)
+        known
+
+let error_to_string e = Fmt.str "%a" pp_error e
+let msg fmt = Printf.ksprintf (fun m -> Error (Msg m)) fmt
 let ( let* ) = Result.bind
 
 let lookup fields name =
   let rec go = function
     | List (Atom n :: v) :: _ when n = name -> Ok v
     | _ :: rest -> go rest
-    | [] -> Error (Printf.sprintf "missing field %S" name)
+    | [] -> msg "missing field %S" name
   in
   go fields
 
@@ -139,24 +157,24 @@ let as_int name = function
   | [ Atom a ] -> (
       match int_of_string_opt a with
       | Some i -> Ok i
-      | None -> Error (Printf.sprintf "field %S: not an int: %S" name a))
-  | _ -> Error (Printf.sprintf "field %S: expected one int" name)
+      | None -> msg "field %S: not an int: %S" name a)
+  | _ -> msg "field %S: expected one int" name
 
 let as_float name = function
   | [ Atom a ] -> (
       match float_of_string_opt a with
       | Some f -> Ok f
-      | None -> Error (Printf.sprintf "field %S: not a float: %S" name a))
-  | _ -> Error (Printf.sprintf "field %S: expected one float" name)
+      | None -> msg "field %S: not a float: %S" name a)
+  | _ -> msg "field %S: expected one float" name
 
 let as_bool name = function
   | [ Atom "true" ] -> Ok true
   | [ Atom "false" ] -> Ok false
-  | _ -> Error (Printf.sprintf "field %S: expected true/false" name)
+  | _ -> msg "field %S: expected true/false" name
 
 let as_atom name = function
   | [ Atom a ] -> Ok a
-  | _ -> Error (Printf.sprintf "field %S: expected one atom" name)
+  | _ -> msg "field %S: expected one atom" name
 
 let int_field fields name =
   let* v = lookup fields name in
@@ -170,7 +188,7 @@ let crash_of_sexp = function
       let* recovery_threads = int_field fields "recovery-threads" in
       let* recovery_ops = int_field fields "recovery-ops" in
       Ok { Workload.at; machine; restart_at; recovery_threads; recovery_ops }
-  | _ -> Error "expected (crash ...)"
+  | _ -> msg "expected (crash ...)"
 
 let rec map_result f = function
   | [] -> Ok []
@@ -179,7 +197,7 @@ let rec map_result f = function
       let* ys = map_result f rest in
       Ok (y :: ys)
 
-let config_of_sexp (s : sexp) : (Workload.config, string) result =
+let config_of_sexp (s : sexp) : (Workload.config, error) result =
   match s with
   | List (Atom "config" :: fields) ->
       let* kind_name =
@@ -189,7 +207,7 @@ let config_of_sexp (s : sexp) : (Workload.config, string) result =
       let* kind =
         match Objects.kind_of_name kind_name with
         | Some k -> Ok k
-        | None -> Error (Printf.sprintf "unknown object kind %S" kind_name)
+        | None -> msg "unknown object kind %S" kind_name
       in
       let* t_name =
         let* v = lookup fields "transform" in
@@ -198,7 +216,10 @@ let config_of_sexp (s : sexp) : (Workload.config, string) result =
       let* transform =
         match Flit.Registry.find t_name with
         | Some t -> Ok t
-        | None -> Error (Printf.sprintf "unknown transformation %S" t_name)
+        | None ->
+            Error
+              (Unknown_transform
+                 { name = t_name; known = Flit.Registry.names })
       in
       let* n_machines = int_field fields "n-machines" in
       let* home = int_field fields "home" in
@@ -210,14 +231,14 @@ let config_of_sexp (s : sexp) : (Workload.config, string) result =
         let* v = lookup fields "workers" in
         match v with
         | [ List l ] -> map_result (fun e -> as_int "workers" [ e ]) l
-        | _ -> Error "field \"workers\": expected a list"
+        | _ -> msg "field %S: expected a list" "workers"
       in
       let* ops_per_thread = int_field fields "ops-per-thread" in
       let* crashes =
         let* v = lookup fields "crashes" in
         match v with
         | [ List l ] -> map_result crash_of_sexp l
-        | _ -> Error "field \"crashes\": expected a list"
+        | _ -> msg "field %S: expected a list" "crashes"
       in
       let* seed = int_field fields "seed" in
       let* evict_prob =
@@ -246,10 +267,10 @@ let config_of_sexp (s : sexp) : (Workload.config, string) result =
           value_range;
           pflag;
         }
-  | _ -> Error "expected (config ...)"
+  | _ -> msg "expected (config ...)"
 
-let config_of_string (s : string) : (Workload.config, string) result =
-  let* e = sexp_of_string s in
+let config_of_string (s : string) : (Workload.config, error) result =
+  let* e = Result.map_error (fun m -> Msg m) (sexp_of_string s) in
   config_of_sexp e
 
 (* ------------------------------------------------------------------ *)
@@ -267,12 +288,12 @@ let write_config path (c : Workload.config) ~comment =
       output_string oc (config_to_string c);
       output_char oc '\n')
 
-let read_config path : (Workload.config, string) result =
+let read_config path : (Workload.config, error) result =
   match
     let ic = open_in path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | exception Sys_error e -> Error e
+  | exception Sys_error e -> Error (Msg e)
   | contents -> config_of_string contents

@@ -32,8 +32,9 @@ type config = {
   model : Fabric.Latency.t;
   topology : Fabric.Topology.t option;  (** default: single switch *)
   sync_every : int;
-      (** if > 0, workers call {!Flit.Buffered.sync} every [n] operations
-          (experiment E11); 0 = never *)
+      (** if > 0, workers call the transformation instance's [sync]
+          every [n] operations (experiment E11; a no-op for
+          non-buffering transformations); 0 = never *)
 }
 
 let default_config kind transform =
@@ -53,7 +54,6 @@ let default_config kind transform =
   }
 
 let run (c : config) : point =
-  let module T = (val c.transform : Flit.Flit_intf.S) in
   let home = c.n_machines - 1 in
   let fab =
     Fabric.create ~model:c.model ?topology:c.topology ~seed:c.seed
@@ -62,13 +62,17 @@ let run (c : config) : point =
            Fabric.machine ~cache_capacity:c.cache_capacity
              (Printf.sprintf "M%d" (i + 1))))
   in
+  let flit = Flit.Flit_intf.instantiate c.transform fab in
+  (* sync is a no-op for transformations without buffering (nothing is
+     ever dirty), so gating on the instance field preserves behaviour *)
+  let sync ctx =
+    match flit.Flit.Flit_intf.sync with Some s -> s ctx | None -> ()
+  in
   let sched = Runtime.Sched.create ~seed:(c.seed + 17) fab in
   let total_ops = ref 0 in
   ignore
     (Runtime.Sched.spawn sched ~machine:home ~name:"init" (fun ctx ->
-         let inst =
-           Objects.create c.kind c.transform ctx ~home ~pflag:true
-         in
+         let inst = Objects.create c.kind flit ctx ~home ~pflag:true in
          (* measure steady-state traffic, not object creation *)
          Fabric.Stats.reset (Fabric.stats fab);
          for m = 0 to c.n_machines - 2 do
@@ -87,16 +91,14 @@ let run (c : config) : point =
                       ignore (inst.Objects.dispatch ctx op args);
                       incr total_ops;
                       if c.sync_every > 0 && i mod c.sync_every = 0 then
-                        Flit.Buffered.sync ctx
+                        sync ctx
                     done))
            done
          done));
   ignore (Runtime.Sched.run sched);
-  Flit.Counters.drop_fabric fab;
-  Flit.Buffered.drop_fabric fab;
   let stats = Fabric.Stats.copy (Fabric.stats fab) in
   {
-    transform_name = T.name;
+    transform_name = Flit.Flit_intf.name c.transform;
     kind = c.kind;
     read_ratio = c.read_ratio;
     n_machines = c.n_machines;

@@ -29,7 +29,8 @@ type config = {
   model : Fabric.Latency.t;
   topology : Fabric.Topology.t option;
   sync_every : int;
-      (** if > 0, workers call {!Flit.Buffered.sync} every [n] ops *)
+      (** if > 0, workers call the instance's [sync] every [n] ops (a
+          no-op for non-buffering transformations) *)
 }
 
 val default_config : Objects.kind -> Flit.Flit_intf.t -> config

@@ -33,41 +33,34 @@ type instance = {
   dispatch : Runtime.Sched.ctx -> string -> int list -> int;
 }
 
-(** [create kind transform ctx ~home ~pflag] — instantiate the object on
-    machine [home]'s memory.  Must run inside a scheduled thread (object
-    creation performs initialising stores). *)
-let create (kind : kind) (transform : Flit.Flit_intf.t) ctx ~home ~pflag :
+(** [create kind flit ctx ~home ~pflag] — instantiate the object on
+    machine [home]'s memory, wrapped with the transformation instance
+    [flit].  Must run inside a scheduled thread (object creation performs
+    initialising stores). *)
+let create (kind : kind) (flit : Flit.Flit_intf.instance) ctx ~home ~pflag :
     instance =
-  let module F = (val transform : Flit.Flit_intf.S) in
   match kind with
   | Register ->
-      let module O = Dstruct.Dreg.Make (F) in
-      let t = O.create ctx ~pflag ~home () in
-      { dispatch = O.dispatch t }
+      let t = Dstruct.Dreg.create ctx ~pflag ~flit ~home () in
+      { dispatch = Dstruct.Dreg.dispatch t }
   | Counter ->
-      let module O = Dstruct.Dcounter.Make (F) in
-      let t = O.create ctx ~pflag ~home () in
-      { dispatch = O.dispatch t }
+      let t = Dstruct.Dcounter.create ctx ~pflag ~flit ~home () in
+      { dispatch = Dstruct.Dcounter.dispatch t }
   | Stack ->
-      let module O = Dstruct.Tstack.Make (F) in
-      let t = O.create ctx ~pflag ~home () in
-      { dispatch = O.dispatch t }
+      let t = Dstruct.Tstack.create ctx ~pflag ~flit ~home () in
+      { dispatch = Dstruct.Tstack.dispatch t }
   | Queue ->
-      let module O = Dstruct.Msqueue.Make (F) in
-      let t = O.create ctx ~pflag ~home () in
-      { dispatch = O.dispatch t }
+      let t = Dstruct.Msqueue.create ctx ~pflag ~flit ~home () in
+      { dispatch = Dstruct.Msqueue.dispatch t }
   | Set ->
-      let module O = Dstruct.Listset.Make (F) in
-      let t = O.create ctx ~pflag ~home () in
-      { dispatch = O.dispatch t }
+      let t = Dstruct.Listset.create ctx ~pflag ~flit ~home () in
+      { dispatch = Dstruct.Listset.dispatch t }
   | Map ->
-      let module O = Dstruct.Hmap.Make (F) in
-      let t = O.create ctx ~pflag ~home () in
-      { dispatch = O.dispatch t }
+      let t = Dstruct.Hmap.create ctx ~pflag ~flit ~home () in
+      { dispatch = Dstruct.Hmap.dispatch t }
   | Log ->
-      let module O = Dstruct.Dlog.Make (F) in
-      let t = O.create ctx ~pflag ~home () in
-      { dispatch = O.dispatch t }
+      let t = Dstruct.Dlog.create ctx ~pflag ~flit ~home () in
+      { dispatch = Dstruct.Dlog.dispatch t }
 
 (** [random_op ?range kind rng] — a random operation with payloads and
     keys drawn from [1, range] (default 3; contention is the point:

@@ -18,10 +18,15 @@ type instance = {
 }
 
 val create :
-  kind -> Flit.Flit_intf.t -> Runtime.Sched.ctx -> home:int -> pflag:bool ->
+  kind ->
+  Flit.Flit_intf.instance ->
+  Runtime.Sched.ctx ->
+  home:int ->
+  pflag:bool ->
   instance
-(** Instantiate the object on machine [home]'s memory; must run inside a
-    scheduled thread (creation performs initialising stores). *)
+(** Instantiate the object on machine [home]'s memory, wrapped with the
+    given transformation instance; must run inside a scheduled thread
+    (creation performs initialising stores). *)
 
 val random_op : ?range:int -> kind -> Random.State.t -> string * int list
 (** Payloads and keys drawn from [1, range] (default 3) — small ranges

@@ -61,10 +61,10 @@ let default_config kind transform =
     corpus file carries the full config; this is the human-readable
     pointer attached to every verdict). *)
 let describe (c : config) =
-  let module T = (val c.transform : Flit.Flit_intf.S) in
   Printf.sprintf "%s/%s seed=%d machines=%d%s workers=%d ops=%d crashes=%d"
     (Objects.kind_name c.kind)
-    T.name c.seed c.n_machines
+    (Flit.Flit_intf.name c.transform)
+    c.seed c.n_machines
     (if c.volatile_home then " volatile-home" else "")
     (List.length c.worker_machines)
     c.ops_per_thread
@@ -140,6 +140,12 @@ let install_crash_plan sched (c : config) ~record
 
 let run (c : config) : result =
   let fab = build_fabric c in
+  (* the transformation instance is minted once per run and closed over
+     by the object's dispatch closures — its auxiliary state (FliT
+     counters, dirty sets) survives machine crashes because the run
+     outlives them, and dies with the run (instance creation is pure, so
+     its placement here cannot perturb the deterministic schedule) *)
+  let flit = Flit.Flit_intf.instantiate c.transform fab in
   let sched = Runtime.Sched.create ~seed:(c.seed * 7919 + 1) fab in
   let events = ref [] in
   let record e = events := e :: !events in
@@ -151,7 +157,7 @@ let run (c : config) : result =
   let _init =
     Runtime.Sched.spawn sched ~machine:c.home ~name:"init" (fun ctx ->
         let instance =
-          Objects.create c.kind c.transform ctx ~home:c.home ~pflag:c.pflag
+          Objects.create c.kind flit ctx ~home:c.home ~pflag:c.pflag
         in
         instance_ref := Some instance;
         List.iteri
@@ -167,8 +173,6 @@ let run (c : config) : result =
   in
   install_crash_plan sched c ~record ~instance:(fun () -> !instance_ref);
   ignore (Runtime.Sched.run sched);
-  Flit.Counters.drop_fabric fab;
-  Flit.Buffered.drop_fabric fab;
   {
     history = List.rev !events;
     stats = Fabric.Stats.copy (Fabric.stats fab);

@@ -149,7 +149,7 @@ let home_crash seed : W.crash_spec =
   }
 
 let run_buffered kind seed =
-  let c = W.default_config kind (module Flit.Buffered : Flit.Flit_intf.S) in
+  let c = W.default_config kind Flit.Registry.buffered in
   let c = { c with W.seed; crashes = [ home_crash seed ] } in
   W.run c
 
@@ -190,21 +190,24 @@ let test_multi_loc_violates_buffered () =
   Alcotest.(check bool) "consistent-cut violation found" true (!violations > 0)
 
 let test_sync_upgrades_to_durable () =
-  (* write; sync; crash home; read — the synced value must survive *)
+  (* write; sync; crash home; read — the synced value must survive.
+     One instance serves both schedulers: its dirty set and sync hook
+     live on the instance, not in any global table *)
   let fab = Fabric.uniform ~seed:3 ~evict_prob:0.1 2 in
+  let flit = Flit.Flit_intf.instantiate Flit.Registry.buffered fab in
+  let dirty_count () = (Option.get flit.Flit.Flit_intf.dirty_count) () in
+  let sync ctx = (Option.get flit.Flit.Flit_intf.sync) ctx in
   let sched = S.create ~seed:3 fab in
-  let module R = Dstruct.Dreg.Make (Flit.Buffered) in
+  let module R = Dstruct.Dreg in
   let reg = ref None in
   ignore
     (S.spawn sched ~machine:0 ~name:"writer" (fun ctx ->
-         let r = R.create ctx ~home:1 () in
+         let r = R.create ctx ~flit ~home:1 () in
          reg := Some r;
          R.write r ctx 42;
-         Alcotest.(check bool) "dirty before sync" true
-           (Flit.Buffered.dirty_count ctx.S.fab > 0);
-         Flit.Buffered.sync ctx;
-         Alcotest.(check int) "clean after sync" 0
-           (Flit.Buffered.dirty_count ctx.S.fab)));
+         Alcotest.(check bool) "dirty before sync" true (dirty_count () > 0);
+         sync ctx;
+         Alcotest.(check int) "clean after sync" 0 (dirty_count ())));
   ignore (S.run sched);
   Fabric.crash fab 1;
   let sched2 = S.create ~seed:4 fab in
@@ -213,19 +216,19 @@ let test_sync_upgrades_to_durable () =
          match !reg with
          | Some r -> Alcotest.(check int) "synced write survived" 42 (R.read r ctx)
          | None -> ()));
-  ignore (S.run sched2);
-  Flit.Buffered.drop_fabric fab
+  ignore (S.run sched2)
 
 let test_unsynced_write_can_die () =
   (* without the sync, the same scenario loses the write: force the
      eviction path deterministically *)
   let fab = Fabric.uniform ~seed:3 ~evict_prob:0.0 2 in
+  let flit = Flit.Flit_intf.instantiate Flit.Registry.buffered fab in
   let sched = S.create ~seed:3 fab in
-  let module R = Dstruct.Dreg.Make (Flit.Buffered) in
+  let module R = Dstruct.Dreg in
   let reg = ref None in
   ignore
     (S.spawn sched ~machine:0 ~name:"writer" (fun ctx ->
-         let r = R.create ctx ~home:1 () in
+         let r = R.create ctx ~flit ~home:1 () in
          reg := Some r;
          R.write r ctx 42));
   ignore (S.run sched);
@@ -240,8 +243,7 @@ let test_unsynced_write_can_die () =
          | Some r ->
              Alcotest.(check int) "unsynced write lost" 0 (R.read r ctx)
          | None -> ()));
-  ignore (S.run sched2);
-  Flit.Buffered.drop_fabric fab
+  ignore (S.run sched2)
 
 let () =
   Alcotest.run "buffered"

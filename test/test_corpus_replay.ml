@@ -1,0 +1,127 @@
+(* The corpus differential gate: replay every banked counterexample in
+   corpus/ and compare each file's full outcome — the rendered history,
+   the rendered oracle verdict, and whether the oracle was satisfied —
+   against the blessed fingerprints in corpus/EXPECTED_VERDICTS.txt.
+
+   The corpus is the ready-made oracle for refactors of the run stack:
+   any change to scheduling, the transformations, or the checkers that
+   alters even one recorded history or verdict shows up as a fingerprint
+   mismatch here.  To re-bless after an *intentional* behaviour change,
+   run with CORPUS_BLESS=1 in the environment:
+
+     CORPUS_BLESS=1 dune exec test/test_corpus_replay.exe
+
+   which rewrites EXPECTED_VERDICTS.txt in place (and still fails the
+   run if a corpus file no longer parses). *)
+
+(* dune runs tests from _build/default/test; the corpus lives in the
+   source tree, so walk up until we find it *)
+let repo_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "corpus") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
+let expected_file root = Filename.concat root "corpus/EXPECTED_VERDICTS.txt"
+
+(* One line per corpus entry: file name, whether the oracle was
+   satisfied, and an MD5 fingerprint of the rendered history + verdict
+   (the full strings are long; the fingerprint pins them exactly). *)
+let fingerprint (c : Harness.Workload.config) : string * string =
+  let history, verdict, ok = Fuzz.Campaign.replay c in
+  let rendered = Fmt.str "%a@.%s" Lincheck.History.pp history verdict in
+  (string_of_bool ok, Digest.to_hex (Digest.string rendered))
+
+let replay_all root =
+  let dir = Filename.concat root "corpus" in
+  List.map
+    (fun (path, loaded) ->
+      match loaded with
+      | Error e ->
+          Alcotest.failf "corpus file %s does not parse: %s" path
+            (Harness.Codec.error_to_string e)
+      | Ok c ->
+          let ok, md5 = fingerprint c in
+          Printf.sprintf "%s %s %s" (Filename.basename path) ok md5)
+    (Fuzz.Corpus.load_all dir)
+
+let bless root lines =
+  let oc = open_out (expected_file root) in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        "# <corpus file> <oracle satisfied> <md5 of rendered \
+         history+verdict>\n\
+         # regenerate with: CORPUS_BLESS=1 dune exec \
+         test/test_corpus_replay.exe\n";
+      List.iter (fun l -> output_string oc (l ^ "\n")) lines)
+
+let load_expected root =
+  let ic = open_in (expected_file root) in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | l when String.length l = 0 || l.[0] = '#' -> go acc
+        | l -> go (l :: acc)
+      in
+      go [])
+
+let test_corpus_replays_identical () =
+  let root =
+    match repo_root () with
+    | Some r -> r
+    | None -> Alcotest.fail "cannot locate the corpus/ directory"
+  in
+  let actual = replay_all root in
+  Alcotest.(check bool) "corpus is not empty" true (actual <> []);
+  if Sys.getenv_opt "CORPUS_BLESS" <> None then bless root actual
+  else begin
+    if not (Sys.file_exists (expected_file root)) then
+      Alcotest.fail
+        "corpus/EXPECTED_VERDICTS.txt missing — bless it with CORPUS_BLESS=1";
+    let expected = load_expected root in
+    (* compare as whole line sets, reporting the first divergence by name *)
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | name :: rest -> Hashtbl.replace tbl name (String.concat " " rest)
+        | [] -> ())
+      expected;
+    List.iter
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | name :: rest -> (
+            let got = String.concat " " rest in
+            match Hashtbl.find_opt tbl name with
+            | None ->
+                Alcotest.failf "%s: not in EXPECTED_VERDICTS.txt (new corpus \
+                                entry? bless with CORPUS_BLESS=1)" name
+            | Some want ->
+                if got <> want then
+                  Alcotest.failf
+                    "%s: replay diverged from the blessed verdict\n\
+                     expected: %s\n\
+                     got:      %s" name want got)
+        | [] -> ())
+      actual;
+    Alcotest.(check int) "every blessed entry still present"
+      (List.length expected) (List.length actual)
+  end
+
+let () =
+  Alcotest.run "corpus-replay"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "every corpus verdict identical" `Quick
+            test_corpus_replays_identical;
+        ] );
+    ]

@@ -5,6 +5,7 @@
 module S = Runtime.Sched
 module W = Harness.Workload
 module O = Harness.Objects
+module FI = Flit.Flit_intf
 
 (* ------------------------------------------------------------------ *)
 (* Ptr encoding                                                        *)
@@ -37,17 +38,17 @@ let test_ptr_marked () =
 (* Run [script] single-threaded against a fresh instance; return results. *)
 let run_script kind transform script =
   let fab = Fabric.uniform ~seed:3 ~evict_prob:0.1 ~cache_capacity:4 2 in
+  let flit = FI.instantiate transform fab in
   let s = S.create fab in
   let out = ref [] in
   ignore
     (S.spawn s ~machine:0 ~name:"seq" (fun ctx ->
-         let inst = O.create kind transform ctx ~home:1 ~pflag:true in
+         let inst = O.create kind flit ctx ~home:1 ~pflag:true in
          List.iter
            (fun (op, args) ->
              out := (op, args, inst.O.dispatch ctx op args) :: !out)
            script));
   ignore (S.run s);
-  Flit.Counters.drop_fabric fab;
   List.rev !out
 
 let check_script kind transform script =
@@ -110,19 +111,16 @@ let script_for = function
 
 let sequential_cases =
   List.concat_map
-    (fun (module T : Flit.Flit_intf.S) ->
+    (fun t ->
       List.map
         (fun kind ->
           Alcotest.test_case
-            (Fmt.str "%s/%s" (O.kind_name kind) T.name)
+            (Fmt.str "%s/%s" (O.kind_name kind) (FI.name t))
             `Quick
-            (fun () ->
-              check_script kind
-                (module T : Flit.Flit_intf.S)
-                (script_for kind)))
+            (fun () -> check_script kind t (script_for kind)))
         O.all_kinds)
-    [ (module Flit.Mstore : Flit.Flit_intf.S); (module Flit.Weakest);
-      (module Flit.Noflush) ]
+    [ Flit.Registry.alg2_mstore; Flit.Registry.alg3'_weakest;
+      Flit.Registry.noflush ]
 
 (* longer randomized sequential runs, replayed against the spec *)
 let random_sequential kind =
@@ -132,9 +130,7 @@ let random_sequential kind =
     (fun seed ->
       let rng = Random.State.make [| seed |] in
       let script = List.init 40 (fun _ -> O.random_op kind rng) in
-      let trace =
-        run_script kind (module Flit.Weakest : Flit.Flit_intf.S) script
-      in
+      let trace = run_script kind Flit.Registry.alg3'_weakest script in
       Lincheck.Spec.conforms (O.spec kind) trace)
 
 (* ------------------------------------------------------------------ *)
@@ -143,8 +139,7 @@ let random_sequential kind =
 
 let test_stack_interleaved_push_pop () =
   let trace =
-    run_script O.Stack
-      (module Flit.Mstore : Flit.Flit_intf.S)
+    run_script O.Stack Flit.Registry.alg2_mstore
       [ ("push", [ 9 ]); ("pop", []); ("pop", []); ("push", [ 8 ]); ("pop", []) ]
   in
   Alcotest.(check (list int)) "returns"
@@ -153,8 +148,7 @@ let test_stack_interleaved_push_pop () =
 
 let test_queue_fifo_order () =
   let trace =
-    run_script O.Queue
-      (module Flit.Mstore : Flit.Flit_intf.S)
+    run_script O.Queue Flit.Registry.alg2_mstore
       [ ("enq", [ 5 ]); ("enq", [ 6 ]); ("enq", [ 7 ]); ("deq", []);
         ("deq", []); ("deq", []) ]
   in
@@ -164,8 +158,7 @@ let test_queue_fifo_order () =
 let test_set_monotone_keys () =
   (* insertion in descending order still yields correct membership *)
   let trace =
-    run_script O.Set
-      (module Flit.Mstore : Flit.Flit_intf.S)
+    run_script O.Set Flit.Registry.alg2_mstore
       [ ("add", [ 3 ]); ("add", [ 2 ]); ("add", [ 1 ]); ("contains", [ 1 ]);
         ("contains", [ 2 ]); ("contains", [ 3 ]); ("remove", [ 2 ]);
         ("contains", [ 1 ]); ("contains", [ 2 ]); ("contains", [ 3 ]) ]
@@ -176,11 +169,12 @@ let test_set_monotone_keys () =
 let test_map_bucket_collisions () =
   (* a 1-bucket map forces every key into the same chain *)
   let fab = Fabric.uniform ~seed:3 ~evict_prob:0.0 2 in
+  let flit = FI.instantiate Flit.Registry.alg2_mstore fab in
   let s = S.create fab in
   ignore
     (S.spawn s ~machine:0 ~name:"t" (fun ctx ->
-         let module M = Dstruct.Hmap.Make (Flit.Mstore) in
-         let m = M.create ctx ~buckets:1 ~home:1 () in
+         let module M = Dstruct.Hmap in
+         let m = M.create ctx ~buckets:1 ~flit ~home:1 () in
          Alcotest.(check int) "put" 0 (M.put m ctx 1 10);
          Alcotest.(check int) "put" 0 (M.put m ctx 2 20);
          Alcotest.(check int) "put" 0 (M.put m ctx 3 30);
@@ -193,14 +187,11 @@ let test_map_bucket_collisions () =
 
 let test_dispatch_rejects_unknown () =
   let fab = Fabric.uniform ~seed:3 2 in
+  let flit = FI.instantiate Flit.Registry.alg2_mstore fab in
   let s = S.create fab in
   ignore
     (S.spawn s ~machine:0 ~name:"t" (fun ctx ->
-         let inst =
-           O.create O.Stack
-             (module Flit.Mstore : Flit.Flit_intf.S)
-             ctx ~home:1 ~pflag:true
-         in
+         let inst = O.create O.Stack flit ctx ~home:1 ~pflag:true in
          Alcotest.check_raises "bad op" (Invalid_argument "Tstack.dispatch")
            (fun () -> ignore (inst.O.dispatch ctx "frobnicate" []))));
   ignore (S.run s)
@@ -214,11 +205,12 @@ let test_log_helping_orphan_claim () =
      (the length CAS never ran): the next append must help the orphan
      forward and land at index 1; readers then see both entries. *)
   let fab = Fabric.uniform ~seed:2 ~evict_prob:0.0 2 in
+  let flit = FI.instantiate Flit.Registry.alg2_mstore fab in
   let s = S.create fab in
   ignore
     (S.spawn s ~machine:0 ~name:"t" (fun ctx ->
-         let module L = Dstruct.Dlog.Make (Flit.Mstore) in
-         let l = L.create ctx ~capacity:8 ~home:1 () in
+         let module L = Dstruct.Dlog in
+         let l = L.create ctx ~capacity:8 ~flit ~home:1 () in
          (* forge the orphan claim directly on the fabric: slot 0 := 55,
             committed length left at 0 *)
          Fabric.mstore ctx.S.fab 1 (L.root l + 1) 55;
@@ -231,11 +223,12 @@ let test_log_helping_orphan_claim () =
 
 let test_log_capacity () =
   let fab = Fabric.uniform ~seed:2 ~evict_prob:0.0 2 in
+  let flit = FI.instantiate Flit.Registry.alg2_mstore fab in
   let s = S.create fab in
   ignore
     (S.spawn s ~machine:0 ~name:"t" (fun ctx ->
-         let module L = Dstruct.Dlog.Make (Flit.Mstore) in
-         let l = L.create ctx ~capacity:2 ~home:1 () in
+         let module L = Dstruct.Dlog in
+         let l = L.create ctx ~capacity:2 ~flit ~home:1 () in
          Alcotest.(check int) "0" 0 (L.append l ctx 7);
          Alcotest.(check int) "1" 1 (L.append l ctx 8);
          Alcotest.(check int) "full" Lincheck.Spec.absent (L.append l ctx 9);
@@ -252,13 +245,14 @@ let test_log_concurrent_appends_distinct_slots () =
   (* many concurrent appenders: all indices distinct, all values
      recoverable, size = number of appends *)
   let fab = Fabric.uniform ~seed:23 ~evict_prob:0.1 3 in
+  let flit = FI.instantiate Flit.Registry.alg3'_weakest fab in
   let s = S.create ~seed:23 fab in
-  let module L = Dstruct.Dlog.Make (Flit.Weakest) in
+  let module L = Dstruct.Dlog in
   let log = ref None in
   let indices = ref [] in
   ignore
     (S.spawn s ~machine:2 ~name:"init" (fun ctx ->
-         let l = L.create ctx ~capacity:32 ~home:2 () in
+         let l = L.create ctx ~capacity:32 ~flit ~home:2 () in
          log := Some l;
          for m = 0 to 1 do
            ignore
@@ -269,7 +263,6 @@ let test_log_concurrent_appends_distinct_slots () =
                   done))
          done));
   ignore (S.run s);
-  Flit.Counters.drop_fabric fab;
   let idxs = List.sort compare !indices in
   Alcotest.(check (list int)) "dense distinct indices"
     (List.init 10 Fun.id) idxs
@@ -286,11 +279,14 @@ let test_log_concurrent_appends_distinct_slots () =
 
 let recovery_fixture populate check =
   let fab = Fabric.uniform ~seed:11 ~evict_prob:0.1 2 in
+  (* one instance spans the crash: the fabric (and its transformation
+     instance) outlives the crashed machine, exactly as in a real run *)
+  let flit = FI.instantiate Flit.Registry.alg2_mstore fab in
   let sched = S.create ~seed:11 fab in
   ignore
     (S.spawn sched ~machine:0 ~name:"init" (fun ctx ->
          let dir = Runtime.Rootdir.create ctx ~home:1 () in
-         let root = populate ctx in
+         let root = populate flit ctx in
          ignore (Runtime.Rootdir.register dir ctx ~name:"obj" root)));
   ignore (S.run sched);
   Fabric.crash fab 1;
@@ -299,99 +295,98 @@ let recovery_fixture populate check =
     (S.spawn sched2 ~machine:0 ~name:"recover" (fun ctx ->
          let dir = Runtime.Rootdir.attach fab ~home:1 () in
          match Runtime.Rootdir.lookup dir ctx ~name:"obj" with
-         | Some root -> check ctx root
+         | Some root -> check flit ctx root
          | None -> Alcotest.fail "root lost"));
-  ignore (S.run sched2);
-  Flit.Counters.drop_fabric fab
+  ignore (S.run sched2)
 
 let test_attach_register () =
-  let module D = Dstruct.Dreg.Make (Flit.Mstore) in
+  let module D = Dstruct.Dreg in
   recovery_fixture
-    (fun ctx ->
-      let r = D.create ctx ~home:1 () in
+    (fun flit ctx ->
+      let r = D.create ctx ~flit ~home:1 () in
       D.write r ctx 5;
       D.root r)
-    (fun ctx root ->
-      let r = D.attach ctx root in
+    (fun flit ctx root ->
+      let r = D.attach ctx ~flit root in
       Alcotest.(check int) "value recovered" 5 (D.read r ctx))
 
 let test_attach_counter () =
-  let module D = Dstruct.Dcounter.Make (Flit.Mstore) in
+  let module D = Dstruct.Dcounter in
   recovery_fixture
-    (fun ctx ->
-      let c = D.create ctx ~home:1 () in
+    (fun flit ctx ->
+      let c = D.create ctx ~flit ~home:1 () in
       for _ = 1 to 4 do
         ignore (D.inc c ctx)
       done;
       D.root c)
-    (fun ctx root ->
-      let c = D.attach ctx root in
+    (fun flit ctx root ->
+      let c = D.attach ctx ~flit root in
       Alcotest.(check int) "count recovered" 4 (D.get c ctx))
 
 let test_attach_stack () =
-  let module D = Dstruct.Tstack.Make (Flit.Mstore) in
+  let module D = Dstruct.Tstack in
   recovery_fixture
-    (fun ctx ->
-      let s = D.create ctx ~home:1 () in
+    (fun flit ctx ->
+      let s = D.create ctx ~flit ~home:1 () in
       List.iter (fun v -> D.push s ctx v) [ 1; 2; 3 ];
       D.root s)
-    (fun ctx root ->
-      let s = D.attach ctx root in
+    (fun flit ctx root ->
+      let s = D.attach ctx ~flit root in
       Alcotest.(check (list int)) "LIFO recovered" [ 3; 2; 1 ]
         (List.init 3 (fun _ -> D.pop s ctx));
       Alcotest.(check int) "then empty" Lincheck.Spec.absent (D.pop s ctx))
 
 let test_attach_queue () =
-  let module D = Dstruct.Msqueue.Make (Flit.Mstore) in
+  let module D = Dstruct.Msqueue in
   recovery_fixture
-    (fun ctx ->
-      let q = D.create ctx ~home:1 () in
+    (fun flit ctx ->
+      let q = D.create ctx ~flit ~home:1 () in
       List.iter (fun v -> D.enq q ctx v) [ 4; 5; 6 ];
       ignore (D.deq q ctx);
       D.root q)
-    (fun ctx root ->
-      let q = D.attach ctx root in
+    (fun flit ctx root ->
+      let q = D.attach ctx ~flit root in
       Alcotest.(check (list int)) "FIFO tail recovered" [ 5; 6 ]
         (List.init 2 (fun _ -> D.deq q ctx)))
 
 let test_attach_set () =
-  let module D = Dstruct.Listset.Make (Flit.Mstore) in
+  let module D = Dstruct.Listset in
   recovery_fixture
-    (fun ctx ->
-      let s = D.create ctx ~home:1 () in
+    (fun flit ctx ->
+      let s = D.create ctx ~flit ~home:1 () in
       ignore (D.add s ctx 2);
       ignore (D.add s ctx 7);
       ignore (D.remove s ctx 2);
       D.root s)
-    (fun ctx root ->
-      let s = D.attach ctx root in
+    (fun flit ctx root ->
+      let s = D.attach ctx ~flit root in
       Alcotest.(check int) "7 present" 1 (D.contains s ctx 7);
       Alcotest.(check int) "2 removed" 0 (D.contains s ctx 2))
 
 let test_attach_map () =
-  let module D = Dstruct.Hmap.Make (Flit.Mstore) in
+  let module D = Dstruct.Hmap in
   recovery_fixture
-    (fun ctx ->
-      let m = D.create ctx ~buckets:4 ~home:1 () in
+    (fun flit ctx ->
+      let m = D.create ctx ~buckets:4 ~flit ~home:1 () in
       ignore (D.put m ctx 1 11);
       ignore (D.put m ctx 9 99);
       D.root m)
-    (fun ctx root ->
-      let m = D.attach ctx ~buckets:4 root in
+    (fun flit ctx root ->
+      let m = D.attach ctx ~buckets:4 ~flit root in
       Alcotest.(check int) "key 1" 11 (D.get m ctx 1);
       Alcotest.(check int) "key 9" 99 (D.get m ctx 9);
       Alcotest.(check int) "missing" Lincheck.Spec.absent (D.get m ctx 2))
 
 let test_attach_log () =
-  let module D = Dstruct.Dlog.Make (Flit.Mstore) in
+  let module D = Dstruct.Dlog in
   recovery_fixture
-    (fun ctx ->
-      let l = D.create ctx ~capacity:8 ~home:1 () in
+    (fun flit ctx ->
+      let l = D.create ctx ~capacity:8 ~flit ~home:1 () in
       ignore (D.append l ctx 10);
       ignore (D.append l ctx 20);
       D.root l)
-    (fun ctx root ->
-      let l = D.attach ctx ~capacity:8 root in
+    (fun flit ctx root ->
+      let l = D.attach ctx ~capacity:8 ~flit root in
       Alcotest.(check int) "size" 2 (D.size l ctx);
       Alcotest.(check int) "entry 0" 10 (D.read l ctx 0);
       Alcotest.(check int) "entry 1" 20 (D.read l ctx 1))
@@ -402,13 +397,13 @@ let test_attach_log () =
 
 (* 3 threads x 3 ops, no crashes: every transformed object must produce
    linearizable histories under any seed (checked for many seeds). *)
-let concurrent_lin_case kind (module T : Flit.Flit_intf.S) =
+let concurrent_lin_case kind t =
   Alcotest.test_case
-    (Fmt.str "%s/%s" (O.kind_name kind) T.name)
+    (Fmt.str "%s/%s" (O.kind_name kind) (FI.name t))
     `Quick
     (fun () ->
       for seed = 1 to 15 do
-        let c = W.default_config kind (module T : Flit.Flit_intf.S) in
+        let c = W.default_config kind t in
         let c =
           { c with W.seed; worker_machines = [ 0; 1; 2 ]; ops_per_thread = 3 }
         in
@@ -422,8 +417,8 @@ let concurrent_cases =
   List.concat_map
     (fun t ->
       List.map (fun kind -> concurrent_lin_case kind t) O.all_kinds)
-    [ (module Flit.Mstore : Flit.Flit_intf.S); (module Flit.Rstore);
-      (module Flit.Weakest); (module Flit.Noflush) ]
+    [ Flit.Registry.alg2_mstore; Flit.Registry.alg3_rstore;
+      Flit.Registry.alg3'_weakest; Flit.Registry.noflush ]
 (* note: without crashes even the noflush control must be linearizable —
    coherence alone guarantees that *)
 

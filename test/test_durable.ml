@@ -44,22 +44,20 @@ let sweep ?(seeds = 12) kind transform ~crash_of ~volatile_home =
 
 let worker_crash_cases =
   List.concat_map
-    (fun (module T : Flit.Flit_intf.S) ->
+    (fun t ->
       List.map
         (fun kind ->
           Alcotest.test_case
-            (Fmt.str "%s/%s" (O.kind_name kind) T.name)
+            (Fmt.str "%s/%s" (O.kind_name kind) (Flit.Flit_intf.name t))
             `Quick
             (fun () ->
               let fails =
-                sweep kind
-                  (module T : Flit.Flit_intf.S)
-                  ~crash_of:worker_crash ~volatile_home:false
+                sweep kind t ~crash_of:worker_crash ~volatile_home:false
               in
               Alcotest.(check (list int)) "no failing seeds" [] fails))
         O.all_kinds)
-    [ (module Flit.Simple : Flit.Flit_intf.S); (module Flit.Mstore);
-      (module Flit.Rstore); (module Flit.Weakest) ]
+    [ Flit.Registry.simple; Flit.Registry.alg2_mstore;
+      Flit.Registry.alg3_rstore; Flit.Registry.alg3'_weakest ]
 
 (* ------------------------------------------------------------------ *)
 (* E7a: home crashes — MStore-based transformations are immune         *)
@@ -67,21 +65,19 @@ let worker_crash_cases =
 
 let home_crash_mstore_cases =
   List.concat_map
-    (fun (module T : Flit.Flit_intf.S) ->
+    (fun t ->
       List.map
         (fun kind ->
           Alcotest.test_case
-            (Fmt.str "%s/%s" (O.kind_name kind) T.name)
+            (Fmt.str "%s/%s" (O.kind_name kind) (Flit.Flit_intf.name t))
             `Quick
             (fun () ->
               let fails =
-                sweep kind
-                  (module T : Flit.Flit_intf.S)
-                  ~crash_of:home_crash ~volatile_home:false
+                sweep kind t ~crash_of:home_crash ~volatile_home:false
               in
               Alcotest.(check (list int)) "no failing seeds" [] fails))
         O.all_kinds)
-    [ (module Flit.Simple : Flit.Flit_intf.S); (module Flit.Mstore) ]
+    [ Flit.Registry.simple; Flit.Registry.alg2_mstore ]
 
 (* ------------------------------------------------------------------ *)
 (* F1: Algorithm 3's owner-crash window, pinned                        *)
@@ -91,9 +87,8 @@ let test_f1_alg3_violation_found () =
   (* the violation is timing-dependent; a 40-seed sweep over the queue
      reliably exposes it (DESIGN.md measured ~10%) *)
   let fails =
-    sweep ~seeds:40 O.Queue
-      (module Flit.Rstore : Flit.Flit_intf.S)
-      ~crash_of:home_crash ~volatile_home:false
+    sweep ~seeds:40 O.Queue Flit.Registry.alg3_rstore ~crash_of:home_crash
+      ~volatile_home:false
   in
   Alcotest.(check bool)
     "Alg 3 owner-crash violation reproduced (Finding F1)" true (fails <> [])
@@ -102,9 +97,8 @@ let test_f1_alg2_contrast () =
   (* identical sweep with Algorithm 2: no violation — the contrast is
      the point of F1 *)
   let fails =
-    sweep ~seeds:40 O.Queue
-      (module Flit.Mstore : Flit.Flit_intf.S)
-      ~crash_of:home_crash ~volatile_home:false
+    sweep ~seeds:40 O.Queue Flit.Registry.alg2_mstore ~crash_of:home_crash
+      ~volatile_home:false
   in
   Alcotest.(check (list int)) "Alg 2 immune" [] fails
 
@@ -117,14 +111,15 @@ let test_noflush_crafted_violation () =
      evicted to the home machine's cache, the home crashes, and a
      post-crash read observes the initial value. *)
   let fab = Fabric.uniform ~seed:1 ~evict_prob:0.0 2 in
+  let flit = Flit.Flit_intf.instantiate Flit.Registry.noflush fab in
   let sched = S.create ~seed:1 fab in
-  let module R = Dstruct.Dreg.Make (Flit.Noflush) in
+  let module R = Dstruct.Dreg in
   let events = ref [] in
   let record e = events := e :: !events in
   let reg = ref None in
   ignore
     (S.spawn sched ~machine:0 ~name:"writer" (fun ctx ->
-         let r = R.create ctx ~home:1 () in
+         let r = R.create ctx ~flit ~home:1 () in
          reg := Some r;
          record (Lincheck.History.Inv { tid = ctx.S.tid; op = "write"; args = [ 1 ] });
          R.write r ctx 1;
@@ -162,14 +157,15 @@ let test_weakest_same_scenario_survives () =
      before the eviction/crash, so the read must see 1 and the history
      checks out *)
   let fab = Fabric.uniform ~seed:1 ~evict_prob:0.0 2 in
+  let flit = Flit.Flit_intf.instantiate Flit.Registry.alg3'_weakest fab in
   let sched = S.create ~seed:1 fab in
-  let module R = Dstruct.Dreg.Make (Flit.Weakest) in
+  let module R = Dstruct.Dreg in
   let events = ref [] in
   let record e = events := e :: !events in
   let reg = ref None in
   ignore
     (S.spawn sched ~machine:0 ~name:"writer" (fun ctx ->
-         let r = R.create ctx ~home:1 () in
+         let r = R.create ctx ~flit ~home:1 () in
          reg := Some r;
          record (Lincheck.History.Inv { tid = ctx.S.tid; op = "write"; args = [ 1 ] });
          R.write r ctx 1;
@@ -214,9 +210,8 @@ let prop2_cases =
         `Quick
         (fun () ->
           let fails =
-            sweep kind
-              (module Flit.Weakest_lflush : Flit.Flit_intf.S)
-              ~crash_of:worker_crash ~volatile_home:true
+            sweep kind Flit.Registry.weakest_lflush ~crash_of:worker_crash
+              ~volatile_home:true
           in
           Alcotest.(check (list int)) "no failing seeds" [] fails))
     O.all_kinds
@@ -226,8 +221,7 @@ let test_prop2_condition_is_necessary () =
      gone: every completed write lived at the home's cache/memory only,
      so a home crash loses it — a seed sweep must expose a violation *)
   let fails =
-    sweep ~seeds:20 O.Register
-      (module Flit.Weakest_lflush : Flit.Flit_intf.S)
+    sweep ~seeds:20 O.Register Flit.Registry.weakest_lflush
       ~crash_of:home_crash ~volatile_home:true
   in
   Alcotest.(check bool) "violation without the Prop-2 assumption" true
@@ -240,9 +234,9 @@ let test_prop2_condition_is_necessary () =
 let test_double_crash () =
   (* two different machines crash during the run *)
   List.iter
-    (fun (module T : Flit.Flit_intf.S) ->
+    (fun t ->
       for seed = 1 to 6 do
-        let c = W.default_config O.Stack (module T : Flit.Flit_intf.S) in
+        let c = W.default_config O.Stack t in
         let c =
           {
             c with
@@ -259,14 +253,14 @@ let test_double_crash () =
         let v = W.check c in
         if not v.Lincheck.Durable.durable then
           Alcotest.failf "%s seed %d: double worker crash broke durability"
-            T.name seed
+            (Flit.Flit_intf.name t) seed
       done)
-    [ (module Flit.Simple : Flit.Flit_intf.S); (module Flit.Mstore) ]
+    [ Flit.Registry.simple; Flit.Registry.alg2_mstore ]
 
 let test_crash_before_creation () =
   (* home crashes at step 0, before the object exists: the run must
      terminate cleanly with an empty (vacuously durable) history *)
-  let c = W.default_config O.Queue (module Flit.Mstore : Flit.Flit_intf.S) in
+  let c = W.default_config O.Queue Flit.Registry.alg2_mstore in
   let c =
     {
       c with
@@ -284,7 +278,7 @@ let test_crash_before_creation_with_recovery () =
      object to recover, so none may be spawned — the run must terminate
      with only the crash on record, not die trying to dispatch on a
      missing instance *)
-  let c = W.default_config O.Queue (module Flit.Mstore : Flit.Flit_intf.S) in
+  let c = W.default_config O.Queue Flit.Registry.alg2_mstore in
   let c =
     {
       c with
@@ -308,8 +302,7 @@ let test_volatile_home_crash_mstore_violation () =
      (which is exactly why the fuzzer's profiles keep volatile homes
      crash-free for every transform but the noflush control) *)
   let fails =
-    sweep ~seeds:20 O.Register
-      (module Flit.Mstore : Flit.Flit_intf.S)
+    sweep ~seeds:20 O.Register Flit.Registry.alg2_mstore
       ~crash_of:home_crash ~volatile_home:true
   in
   Alcotest.(check bool) "violation found" true (fails <> [])
@@ -366,7 +359,7 @@ let test_f2_adaptive_volatile_home () =
     v.Lincheck.Durable.durable
 
 let test_stats_returned () =
-  let c = W.default_config O.Counter (module Flit.Rstore : Flit.Flit_intf.S) in
+  let c = W.default_config O.Counter Flit.Registry.alg3_rstore in
   let r = W.run c in
   Alcotest.(check bool) "work happened" true
     (Fabric.Stats.stores r.W.stats > 0 && r.W.stats.Fabric.Stats.cycles > 0)

@@ -4,6 +4,7 @@
 
 module F = Fabric
 module S = Runtime.Sched
+module FI = Flit.Flit_intf
 
 let with_thread ?(machine = 0) ?(n = 2) body =
   let fab = F.uniform ~seed:5 ~evict_prob:0.0 n in
@@ -20,36 +21,35 @@ let with_thread ?(machine = 0) ?(n = 2) body =
 let test_counters_basic () =
   let _, () =
     with_thread (fun fab ctx ->
+        let c = Flit.Counters.create () in
         let x = Runtime.Ops.alloc ctx ~owner:1 in
-        Alcotest.(check int) "initial 0" 0 (Flit.Counters.read ctx x);
-        Flit.Counters.incr ctx x;
-        Flit.Counters.incr ctx x;
-        Alcotest.(check int) "two" 2 (Flit.Counters.read ctx x);
-        Flit.Counters.decr ctx x;
-        Alcotest.(check int) "one" 1 (Flit.Counters.read ctx x);
+        Alcotest.(check int) "initial 0" 0 (Flit.Counters.read c ctx x);
+        Flit.Counters.incr c ctx x;
+        Flit.Counters.incr c ctx x;
+        Alcotest.(check int) "two" 2 (Flit.Counters.read c ctx x);
+        Flit.Counters.decr c ctx x;
+        Alcotest.(check int) "one" 1 (Flit.Counters.read c ctx x);
         ignore fab)
   in
   ()
 
-let test_counters_per_fabric () =
-  let fab1 = F.uniform ~seed:1 2 and fab2 = F.uniform ~seed:2 2 in
-  let t1 = Flit.Counters.for_fabric fab1 in
-  let t2 = Flit.Counters.for_fabric fab2 in
+let test_counters_per_instance () =
+  (* each [create] is its own table: no bleed between instances, even
+     for the same location on the same fabric *)
+  let t1 = Flit.Counters.create () in
+  let t2 = Flit.Counters.create () in
   Hashtbl.replace t1 0 5;
   Alcotest.(check bool) "isolated" true (Hashtbl.find_opt t2 0 = None);
-  Alcotest.(check bool) "same fabric same table" true
-    (Flit.Counters.for_fabric fab1 == t1);
-  Flit.Counters.drop_fabric fab1;
-  Alcotest.(check bool) "fresh after drop" true
-    (Hashtbl.length (Flit.Counters.for_fabric fab1) = 0)
+  Alcotest.(check int) "fresh table empty" 0 (Hashtbl.length t2)
 
 let test_counters_account () =
   (* counter traffic is charged to the fabric *)
   let fab, () =
     with_thread (fun _fab ctx ->
+        let c = Flit.Counters.create () in
         let x = Runtime.Ops.alloc ctx ~owner:1 in
-        Flit.Counters.incr ctx x;
-        ignore (Flit.Counters.read ctx x))
+        Flit.Counters.incr c ctx x;
+        ignore (Flit.Counters.read c ctx x))
   in
   let s = F.stats fab in
   Alcotest.(check int) "faa charged" 1 s.F.Stats.faas;
@@ -66,11 +66,19 @@ let test_registry () =
     (Flit.Registry.find "alg3-rstore" <> None);
   Alcotest.(check bool) "find missing" true (Flit.Registry.find "nope" = None);
   List.iter
-    (fun (module T : Flit.Flit_intf.S) ->
-      Alcotest.(check bool) (T.name ^ " durable flag") true T.durable)
+    (fun t ->
+      Alcotest.(check bool) (FI.name t ^ " durable flag") true (FI.durable t))
     Flit.Registry.durable;
-  let module C = (val Flit.Registry.noflush : Flit.Flit_intf.S) in
-  Alcotest.(check bool) "control not durable" false C.durable
+  Alcotest.(check bool) "control not durable" false
+    (FI.durable Flit.Registry.noflush);
+  (* [names] lists every registered transformation, findable by name *)
+  Alcotest.(check int) "names cover the registry" 9
+    (List.length Flit.Registry.names);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " findable") true
+        (Flit.Registry.find n <> None))
+    Flit.Registry.names
 
 (* ------------------------------------------------------------------ *)
 (* Primitive mix per transformation                                    *)
@@ -78,64 +86,67 @@ let test_registry () =
 
 (* Perform one flagged shared store (plus its machinery) and return the
    stats diff. *)
-let store_mix (module T : Flit.Flit_intf.S) =
+let store_mix (t : FI.t) =
   let fab, () =
-    with_thread (fun _fab ctx ->
+    with_thread (fun fab ctx ->
+        let i = FI.instantiate t fab in
         let x = Runtime.Ops.alloc ctx ~owner:1 in
-        T.shared_store ctx x 5 ~pflag:true;
-        T.complete_op ctx)
+        i.FI.shared_store ctx x 5 ~pflag:true;
+        i.FI.complete_op ctx)
   in
   F.stats fab
 
 let test_mix_simple () =
-  let s = store_mix (module Flit.Simple) in
+  let s = store_mix Flit.Registry.simple in
   Alcotest.(check int) "one mstore" 1 s.F.Stats.mstores;
   Alcotest.(check int) "no flushes" 0 (F.Stats.flushes s);
   Alcotest.(check int) "no counters" 0 s.F.Stats.faas
 
 let test_mix_alg2 () =
-  let s = store_mix (module Flit.Mstore) in
+  let s = store_mix Flit.Registry.alg2_mstore in
   Alcotest.(check int) "one mstore" 1 s.F.Stats.mstores;
   Alcotest.(check int) "no flushes" 0 (F.Stats.flushes s);
   Alcotest.(check int) "no counters (omitted in Alg 2)" 0 s.F.Stats.faas
 
 let test_mix_alg3 () =
-  let s = store_mix (module Flit.Rstore) in
+  let s = store_mix Flit.Registry.alg3_rstore in
   Alcotest.(check int) "one rstore" 1 s.F.Stats.rstores;
   Alcotest.(check int) "one rflush" 1 s.F.Stats.rflushes;
   Alcotest.(check int) "counter inc+dec" 2 s.F.Stats.faas
 
 let test_mix_weakest () =
-  let s = store_mix (module Flit.Weakest) in
+  let s = store_mix Flit.Registry.alg3'_weakest in
   Alcotest.(check int) "one lstore" 1 s.F.Stats.lstores;
   Alcotest.(check int) "one rflush" 1 s.F.Stats.rflushes;
   Alcotest.(check int) "counter inc+dec" 2 s.F.Stats.faas
 
 let test_mix_weakest_lflush () =
-  let s = store_mix (module Flit.Weakest_lflush) in
+  let s = store_mix Flit.Registry.weakest_lflush in
   Alcotest.(check int) "one lstore" 1 s.F.Stats.lstores;
   Alcotest.(check int) "one lflush" 1 s.F.Stats.lflushes;
   Alcotest.(check int) "no rflush" 0 s.F.Stats.rflushes
 
 let test_mix_noflush () =
-  let s = store_mix (module Flit.Noflush) in
+  let s = store_mix Flit.Registry.noflush in
   Alcotest.(check int) "one lstore" 1 s.F.Stats.lstores;
   Alcotest.(check int) "nothing else" 0
     (F.Stats.flushes s + s.F.Stats.faas + s.F.Stats.mstores + s.F.Stats.rstores)
 
 let test_unflagged_degrades_to_lstore () =
   List.iter
-    (fun (module T : Flit.Flit_intf.S) ->
+    (fun t ->
+      let name = FI.name t in
       let fab, () =
-        with_thread (fun _fab ctx ->
+        with_thread (fun fab ctx ->
+            let i = FI.instantiate t fab in
             let x = Runtime.Ops.alloc ctx ~owner:1 in
-            T.shared_store ctx x 5 ~pflag:false)
+            i.FI.shared_store ctx x 5 ~pflag:false)
       in
       let s = F.stats fab in
-      if T.name <> "simple" then begin
+      if name <> "simple" then begin
         (* the simple transformation deliberately ignores pflag *)
-        Alcotest.(check int) (T.name ^ ": lstore") 1 s.F.Stats.lstores;
-        Alcotest.(check int) (T.name ^ ": no flush") 0 (F.Stats.flushes s)
+        Alcotest.(check int) (name ^ ": lstore") 1 s.F.Stats.lstores;
+        Alcotest.(check int) (name ^ ": no flush") 0 (F.Stats.flushes s)
       end)
     Flit.Registry.all
 
@@ -143,11 +154,12 @@ let test_unflagged_degrades_to_lstore () =
 (* Where does the value land?                                          *)
 (* ------------------------------------------------------------------ *)
 
-let landing (module T : Flit.Flit_intf.S) =
+let landing (t : FI.t) =
   let fab, x =
-    with_thread (fun _fab ctx ->
+    with_thread (fun fab ctx ->
+        let i = FI.instantiate t fab in
         let x = Runtime.Ops.alloc ctx ~owner:1 in
-        T.shared_store ctx x 5 ~pflag:true;
+        i.FI.shared_store ctx x 5 ~pflag:true;
         x)
   in
   let cfg = F.to_config fab in
@@ -159,20 +171,19 @@ let landing (module T : Flit.Flit_intf.S) =
 let test_landing_durables_persist () =
   List.iter
     (fun t ->
-      let module T = (val t : Flit.Flit_intf.S) in
       let mem, _, _ = landing t in
-      Alcotest.(check int) (T.name ^ " persisted on completion") 5 mem)
+      Alcotest.(check int) (FI.name t ^ " persisted on completion") 5 mem)
     Flit.Registry.durable
 
 let test_landing_lflush_variant () =
   (* the Prop-2 variant leaves the value at the owner's cache *)
-  let mem, c0, c1 = landing (module Flit.Weakest_lflush) in
+  let mem, c0, c1 = landing Flit.Registry.weakest_lflush in
   Alcotest.(check int) "not in memory" 0 mem;
   Alcotest.(check (option int)) "owner cache" (Some 5) c1;
   Alcotest.(check (option int)) "left the writer" None c0
 
 let test_landing_noflush () =
-  let mem, c0, _ = landing (module Flit.Noflush) in
+  let mem, c0, _ = landing Flit.Registry.noflush in
   Alcotest.(check int) "not in memory" 0 mem;
   Alcotest.(check (option int)) "stuck in writer cache" (Some 5) c0
 
@@ -181,14 +192,16 @@ let test_landing_noflush () =
 (* ------------------------------------------------------------------ *)
 
 let test_shared_load_helps_when_counter_positive () =
-  (* simulate an in-flight writer: bump the counter, leave an unflushed
-     value; a reader's shared_load must flush it *)
+  (* simulate an in-flight writer: bump the instance's counter, leave an
+     unflushed value; a reader's shared_load must flush it *)
   let fab, () =
-    with_thread (fun _fab ctx ->
+    with_thread (fun fab ctx ->
+        let i = FI.instantiate Flit.Registry.alg3_rstore fab in
+        let c = Option.get i.FI.counters in
         let x = Runtime.Ops.alloc ctx ~owner:1 in
         Runtime.Ops.lstore ctx x 9;
-        Flit.Counters.incr ctx x;
-        let v = Flit.Rstore.shared_load ctx x ~pflag:true in
+        Flit.Counters.incr c ctx x;
+        let v = i.FI.shared_load ctx x ~pflag:true in
         Alcotest.(check int) "read latest" 9 v)
   in
   let cfg = F.to_config fab in
@@ -198,10 +211,11 @@ let test_shared_load_helps_when_counter_positive () =
 
 let test_shared_load_no_help_when_zero () =
   let fab, v =
-    with_thread (fun _fab ctx ->
+    with_thread (fun fab ctx ->
+        let i = FI.instantiate Flit.Registry.alg3_rstore fab in
         let x = Runtime.Ops.alloc ctx ~owner:1 in
         Runtime.Ops.lstore ctx x 9;
-        Flit.Rstore.shared_load ctx x ~pflag:true)
+        i.FI.shared_load ctx x ~pflag:true)
   in
   Alcotest.(check int) "value" 9 v;
   Alcotest.(check int) "no flush issued" 0 (F.stats fab).F.Stats.rflushes
@@ -213,22 +227,23 @@ let test_shared_load_no_help_when_zero () =
 let test_cas_success_persists () =
   List.iter
     (fun t ->
-      let module T = (val t : Flit.Flit_intf.S) in
       let fab, ok =
-        with_thread (fun _fab ctx ->
+        with_thread (fun fab ctx ->
+            let i = FI.instantiate t fab in
             let x = Runtime.Ops.alloc ctx ~owner:1 in
-            T.shared_cas ctx x ~expected:0 ~desired:3 ~pflag:true)
+            i.FI.shared_cas ctx x ~expected:0 ~desired:3 ~pflag:true)
       in
-      Alcotest.(check bool) (T.name ^ " cas ok") true ok;
+      Alcotest.(check bool) (FI.name t ^ " cas ok") true ok;
       let mem = Cxl0.Config.mem_get (F.to_config fab) (Cxl0.Loc.v ~owner:1 0) in
-      Alcotest.(check int) (T.name ^ " cas persisted") 3 mem)
+      Alcotest.(check int) (FI.name t ^ " cas persisted") 3 mem)
     Flit.Registry.durable
 
 let test_cas_failure_no_store () =
   let fab, ok =
-    with_thread (fun _fab ctx ->
+    with_thread (fun fab ctx ->
+        let i = FI.instantiate Flit.Registry.alg3_rstore fab in
         let x = Runtime.Ops.alloc ctx ~owner:1 in
-        Flit.Rstore.shared_cas ctx x ~expected:7 ~desired:3 ~pflag:true)
+        i.FI.shared_cas ctx x ~expected:7 ~desired:3 ~pflag:true)
   in
   Alcotest.(check bool) "failed" false ok;
   let s = F.stats fab in
@@ -238,13 +253,14 @@ let test_cas_failure_no_store () =
 
 let test_counter_balanced_after_store () =
   let fab = F.uniform ~seed:5 ~evict_prob:0.0 2 in
+  let i = FI.instantiate Flit.Registry.alg3'_weakest fab in
   let s = S.create fab in
   ignore
     (S.spawn s ~machine:0 ~name:"t" (fun ctx ->
          let x = Runtime.Ops.alloc ctx ~owner:1 in
-         Flit.Weakest.shared_store ctx x 5 ~pflag:true;
+         i.FI.shared_store ctx x 5 ~pflag:true;
          Alcotest.(check int) "counter back to zero" 0
-           (Flit.Counters.read ctx x)));
+           (Flit.Counters.read (Option.get i.FI.counters) ctx x)));
   ignore (S.run s)
 
 (* ------------------------------------------------------------------ *)
@@ -260,15 +276,16 @@ let with_thread_on ~volatile_home body =
       |]
   in
   let s = S.create fab in
-  ignore (S.spawn s ~machine:0 ~name:"t" (fun ctx -> body ctx));
+  ignore (S.spawn s ~machine:0 ~name:"t" (fun ctx -> body fab ctx));
   ignore (S.run s);
   fab
 
 let test_adaptive_nv_uses_rflush () =
   let fab =
-    with_thread_on ~volatile_home:false (fun ctx ->
+    with_thread_on ~volatile_home:false (fun fab ctx ->
+        let i = FI.instantiate Flit.Registry.adaptive fab in
         let x = Runtime.Ops.alloc ctx ~owner:1 in
-        Flit.Adaptive.shared_store ctx x 5 ~pflag:true)
+        i.FI.shared_store ctx x 5 ~pflag:true)
   in
   let s = F.stats fab in
   Alcotest.(check int) "rflush on NV-homed data" 1 s.F.Stats.rflushes;
@@ -279,9 +296,10 @@ let test_adaptive_nv_uses_rflush () =
 
 let test_adaptive_volatile_uses_lflush () =
   let fab =
-    with_thread_on ~volatile_home:true (fun ctx ->
+    with_thread_on ~volatile_home:true (fun fab ctx ->
+        let i = FI.instantiate Flit.Registry.adaptive fab in
         let x = Runtime.Ops.alloc ctx ~owner:1 in
-        Flit.Adaptive.shared_store ctx x 5 ~pflag:true)
+        i.FI.shared_store ctx x 5 ~pflag:true)
   in
   let s = F.stats fab in
   Alcotest.(check int) "lflush on volatile-homed data" 1 s.F.Stats.lflushes;
@@ -297,13 +315,14 @@ let test_adaptive_mixed_addresses () =
     F.create ~seed:5 ~evict_prob:0.0
       [| F.machine "c"; F.machine "nv-home"; F.machine ~volatile:true "v-home" |]
   in
+  let i = FI.instantiate Flit.Registry.adaptive fab in
   let s = S.create fab in
   ignore
     (S.spawn s ~machine:0 ~name:"t" (fun ctx ->
          let x_nv = Runtime.Ops.alloc ctx ~owner:1 in
          let x_v = Runtime.Ops.alloc ctx ~owner:2 in
-         Flit.Adaptive.shared_store ctx x_nv 1 ~pflag:true;
-         Flit.Adaptive.shared_store ctx x_v 2 ~pflag:true));
+         i.FI.shared_store ctx x_nv 1 ~pflag:true;
+         i.FI.shared_store ctx x_v 2 ~pflag:true));
   ignore (S.run s);
   let st = F.stats fab in
   Alcotest.(check int) "one rflush (nv address)" 1 st.F.Stats.rflushes;
@@ -316,18 +335,18 @@ let test_adaptive_mixed_addresses () =
 let test_private_store_persists () =
   List.iter
     (fun t ->
-      let module T = (val t : Flit.Flit_intf.S) in
       let fab, () =
-        with_thread (fun _fab ctx ->
+        with_thread (fun fab ctx ->
+            let i = FI.instantiate t fab in
             let x = Runtime.Ops.alloc ctx ~owner:1 in
-            T.private_store ctx x 8 ~pflag:true)
+            i.FI.private_store ctx x 8 ~pflag:true)
       in
       let s = F.stats fab in
       Alcotest.(check int)
-        (T.name ^ " private store uses no counter")
+        (FI.name t ^ " private store uses no counter")
         0 s.F.Stats.faas;
       let mem = Cxl0.Config.mem_get (F.to_config fab) (Cxl0.Loc.v ~owner:1 0) in
-      Alcotest.(check int) (T.name ^ " persisted") 8 mem)
+      Alcotest.(check int) (FI.name t ^ " persisted") 8 mem)
     Flit.Registry.durable
 
 let () =
@@ -336,7 +355,7 @@ let () =
       ( "counters",
         [
           Alcotest.test_case "basic" `Quick test_counters_basic;
-          Alcotest.test_case "per fabric" `Quick test_counters_per_fabric;
+          Alcotest.test_case "per instance" `Quick test_counters_per_instance;
           Alcotest.test_case "accounting" `Quick test_counters_account;
         ] );
       ("registry", [ Alcotest.test_case "contents" `Quick test_registry ]);

@@ -92,7 +92,9 @@ let prop_codec_roundtrip =
       let c = config_of ps in
       match Harness.Codec.config_of_string (Harness.Codec.config_to_string c) with
       | Ok c' -> Harness.Codec.config_equal c c'
-      | Error e -> QCheck.Test.fail_reportf "parse error: %s" e)
+      | Error e ->
+          QCheck.Test.fail_reportf "parse error: %s"
+            (Harness.Codec.error_to_string e))
 
 let test_corpus_file_roundtrip () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "cxl0-fuzz-test" in
@@ -104,7 +106,7 @@ let test_corpus_file_roundtrip () =
   (match Fuzz.Corpus.load path with
   | Ok c' ->
       Alcotest.(check bool) "round-trips" true (Harness.Codec.config_equal c c')
-  | Error e -> Alcotest.failf "load failed: %s" e);
+  | Error e -> Alcotest.failf "load failed: %s" (Harness.Codec.error_to_string e));
   let entries = Fuzz.Corpus.load_all dir in
   Alcotest.(check bool) "listed" true
     (List.exists (fun (p, _) -> p = path) entries);

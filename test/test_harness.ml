@@ -62,7 +62,7 @@ let prop_ratio_op_extremes =
 
 let test_workload_deterministic () =
   let run () =
-    let c = W.default_config O.Stack (module Flit.Rstore : Flit.Flit_intf.S) in
+    let c = W.default_config O.Stack Flit.Registry.alg3_rstore in
     let c =
       {
         c with
@@ -78,7 +78,7 @@ let test_workload_deterministic () =
 
 let test_workload_seed_matters () =
   let hist seed =
-    let c = W.default_config O.Stack (module Flit.Rstore : Flit.Flit_intf.S) in
+    let c = W.default_config O.Stack Flit.Registry.alg3_rstore in
     (W.run { c with W.seed }).W.history
   in
   Alcotest.(check bool) "different seeds diverge somewhere" true
@@ -86,7 +86,7 @@ let test_workload_seed_matters () =
 
 let test_workload_history_well_formed () =
   for seed = 1 to 10 do
-    let c = W.default_config O.Map (module Flit.Weakest : Flit.Flit_intf.S) in
+    let c = W.default_config O.Map Flit.Registry.alg3'_weakest in
     let c =
       {
         c with
@@ -105,7 +105,7 @@ let test_workload_history_well_formed () =
 
 let test_workload_op_counts () =
   (* without crashes, every worker completes exactly ops_per_thread ops *)
-  let c = W.default_config O.Counter (module Flit.Mstore : Flit.Flit_intf.S) in
+  let c = W.default_config O.Counter Flit.Registry.alg2_mstore in
   let c = { c with W.worker_machines = [ 0; 1 ]; ops_per_thread = 4 } in
   let r = W.run c in
   let ops = Lincheck.History.ops r.W.history in
@@ -114,7 +114,7 @@ let test_workload_op_counts () =
     (List.for_all (fun o -> o.Lincheck.History.ret <> None) ops)
 
 let test_workload_crash_recorded () =
-  let c = W.default_config O.Register (module Flit.Mstore : Flit.Flit_intf.S) in
+  let c = W.default_config O.Register Flit.Registry.alg2_mstore in
   let c =
     {
       c with
