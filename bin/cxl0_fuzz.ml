@@ -46,6 +46,13 @@ let resolve_transforms names =
              end)
            all)
 
+let fault_env_of_name = function
+  | "none" -> Some Fuzz.Gen.Fault_free
+  | "transient" -> Some Fuzz.Gen.Transient_only
+  | "degraded" -> Some Fuzz.Gen.Degraded_env
+  | "poison" -> Some Fuzz.Gen.Poison_env
+  | _ -> None
+
 let restrict_kinds profile = function
   | None -> Ok profile
   | Some name -> (
@@ -85,8 +92,8 @@ let replay_file path =
       Fmt.pr "%s@." verdict;
       if ok then 0 else 1
 
-let run campaign seed jobs transforms kind corpus_dir min_violations
-    max_violations replay =
+let run campaign seed jobs transforms kind fault_env corpus_dir
+    min_violations max_violations replay =
   match replay with
   | Some path -> replay_file path
   | None -> (
@@ -95,6 +102,20 @@ let run campaign seed jobs transforms kind corpus_dir min_violations
         | Some j -> max 1 j
         | None -> Cxl0.Parallel.default_jobs ()
       in
+      match
+        match fault_env with
+        | None -> Ok None
+        | Some name -> (
+            match fault_env_of_name name with
+            | Some e -> Ok (Some e)
+            | None -> Error name)
+      with
+      | Error bad ->
+          Fmt.epr
+            "unknown fault env %S; known: none, transient, degraded, poison@."
+            bad;
+          2
+      | Ok env_override -> (
       match resolve_transforms transforms with
       | Error bad ->
           Fmt.epr "unknown transform %S; known: %a@." bad
@@ -121,6 +142,14 @@ let run campaign seed jobs transforms kind corpus_dir min_violations
                 List.filter_map
                   (function Ok p -> Some p | Error _ -> None)
                   profiles
+              in
+              let profiles =
+                match env_override with
+                | None -> profiles
+                | Some env ->
+                    List.map
+                      (fun p -> { p with Fuzz.Gen.fault_env = env })
+                      profiles
               in
               Fmt.pr
                 "fuzzing %d transform(s), %d cells each, seed %d, %d job(s)@."
@@ -156,7 +185,7 @@ let run campaign seed jobs transforms kind corpus_dir min_violations
                       "FAIL: expected at most %d violation(s), found %d@." m
                       total;
                     1
-                | _ -> 0))
+                | _ -> 0)))
 
 let campaign =
   Arg.(
@@ -198,6 +227,20 @@ let kind =
     & info [ "kind"; "k" ] ~docv:"KIND"
         ~doc:"Restrict sampling to one object kind.")
 
+let fault_env =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-env" ] ~docv:"ENV"
+        ~doc:
+          "Override every profile's fault envelope: $(b,none) (the \
+           default, fault-free), $(b,transient) (mildly degraded links — \
+           NACKs and delays the retry policy absorbs), $(b,degraded) \
+           (heavy degradation plus a down window), or $(b,poison) \
+           (poisoned lines).  Sampled fault schedules ride in each \
+           cell's config, so $(b,--replay) reproduces them \
+           deterministically.")
+
 let corpus_dir =
   Arg.(
     value & opt string "corpus"
@@ -231,7 +274,7 @@ let cmd =
     (Cmd.info "cxl0-fuzz"
        ~doc:"Randomized crash-fault campaigns with shrinking and replay")
     Term.(
-      const run $ campaign $ seed $ jobs $ transforms $ kind $ corpus_dir
-      $ min_violations $ max_violations $ replay)
+      const run $ campaign $ seed $ jobs $ transforms $ kind $ fault_env
+      $ corpus_dir $ min_violations $ max_violations $ replay)
 
 let () = exit (Cmd.eval' cmd)

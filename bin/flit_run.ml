@@ -17,7 +17,50 @@ let crash_spec ~machine seed : Harness.Workload.crash_spec =
     recovery_ops = 2;
   }
 
-let run_one kind transform ~crash ~seeds ~verbose =
+(* Per-seed deterministic fault schedules for each envelope: the default
+   config runs 3 machines with the object on machine 2, so the faulted
+   link is worker<->home and poison lands on an allocated location.
+   Everything varies only with [seed] — reruns are bit-identical. *)
+let fault_specs ~faults seed : Harness.Workload.fault_spec list =
+  match faults with
+  | "none" -> []
+  | "transient" ->
+      [
+        Harness.Workload.Degrade_link
+          {
+            m1 = seed mod 2;
+            m2 = 2;
+            nack_prob = 0.1;
+            delay_prob = 0.1;
+            delay_cycles = 40;
+          };
+      ]
+  | "degraded" ->
+      [
+        Harness.Workload.Degrade_link
+          {
+            m1 = seed mod 2;
+            m2 = 2;
+            nack_prob = 0.4;
+            delay_prob = 0.3;
+            delay_cycles = 80;
+          };
+        Harness.Workload.Down_link
+          {
+            m1 = (seed + 1) mod 2;
+            m2 = 2;
+            from_cycle = 500 + (seed mod 7 * 100);
+            until_cycle = 2500 + (seed mod 7 * 100);
+          };
+      ]
+  | _ ->
+      (* poison *)
+      [
+        Harness.Workload.Poison_at
+          { at = 5 + (seed mod 23); loc_seed = seed };
+      ]
+
+let run_one kind transform ~crash ~faults ~seeds ~verbose =
   let failures = ref [] in
   for seed = 1 to seeds do
     let c = Harness.Workload.default_config kind transform in
@@ -27,7 +70,12 @@ let run_one kind transform ~crash ~seeds ~verbose =
       | "home" -> [ crash_spec ~machine:2 seed ]
       | _ -> [ crash_spec ~machine:0 seed ]
     in
-    let c = { c with Harness.Workload.seed; crashes } in
+    let c =
+      { c with
+        Harness.Workload.seed;
+        crashes;
+        faults = fault_specs ~faults seed }
+    in
     let v = Harness.Workload.check c in
     if not v.Lincheck.Durable.durable then begin
       failures := seed :: !failures;
@@ -36,17 +84,25 @@ let run_one kind transform ~crash ~seeds ~verbose =
     end
   done;
   let fails = List.length !failures in
-  Fmt.pr "%-10s %-16s crash=%-6s  %d/%d seeds durably linearizable%s@."
+  Fmt.pr "%-10s %-16s crash=%-6s%s  %d/%d seeds durably linearizable%s@."
     (Harness.Objects.kind_name kind)
     (Flit.Flit_intf.name transform)
-    crash (seeds - fails) seeds
+    crash
+    (if faults = "none" then "" else " faults=" ^ faults)
+    (seeds - fails) seeds
     (if fails > 0 then
        Fmt.str "  (failing seeds: %a)" Fmt.(list ~sep:sp int) (List.rev !failures)
      else "");
   fails
 
-let run object_ transform crash seeds matrix verbose =
-  if matrix then begin
+let run object_ transform crash faults seeds matrix verbose =
+  if not (List.mem faults [ "none"; "transient"; "degraded"; "poison" ])
+  then begin
+    Fmt.epr "unknown fault envelope %S (none/transient/degraded/poison)@."
+      faults;
+    2
+  end
+  else if matrix then begin
     (* the full E7 matrix: every object x every transformation x both
        crash regimes *)
     List.iter
@@ -55,7 +111,8 @@ let run object_ transform crash seeds matrix verbose =
         List.iter
           (fun t ->
             List.iter
-              (fun kind -> ignore (run_one kind t ~crash ~seeds ~verbose))
+              (fun kind ->
+                ignore (run_one kind t ~crash ~faults ~seeds ~verbose))
               Harness.Objects.all_kinds)
           Flit.Registry.all)
       [ "worker"; "home" ];
@@ -77,7 +134,7 @@ let run object_ transform crash seeds matrix verbose =
           Flit.Registry.names;
         2
     | Some kind, Some t ->
-        if run_one kind t ~crash ~seeds ~verbose > 0 then 1 else 0
+        if run_one kind t ~crash ~faults ~seeds ~verbose > 0 then 1 else 0
 
 let object_ =
   Arg.(
@@ -100,6 +157,17 @@ let crash =
     & info [ "crash" ] ~docv:"WHO"
         ~doc:"Crash regime: none, worker (compute node), home (data owner).")
 
+let faults =
+  Arg.(
+    value & opt string "none"
+    & info [ "faults" ] ~docv:"ENV"
+        ~doc:
+          "RAS fault envelope, layered onto the crash regime: none, \
+           transient (mild link degradation the retry policy absorbs), \
+           degraded (heavy degradation plus a down window), poison \
+           (a poisoned line per seed).  Schedules are deterministic in \
+           the seed.")
+
 let seeds =
   Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds to sweep.")
 
@@ -115,6 +183,8 @@ let cmd =
   Cmd.v
     (Cmd.info "flit-run"
        ~doc:"Crash-injected durability runs for transformed objects")
-    Term.(const run $ object_ $ transform $ crash $ seeds $ matrix $ verbose)
+    Term.(
+      const run $ object_ $ transform $ crash $ faults $ seeds $ matrix
+      $ verbose)
 
 let () = exit (Cmd.eval' cmd)

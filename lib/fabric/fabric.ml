@@ -21,6 +21,7 @@
 module Stats = Stats
 module Latency = Latency
 module Topology = Topology
+module Faults = Faults
 
 type machine_conf = {
   name : string;
@@ -56,6 +57,9 @@ type t = {
   topology : Topology.t;
   mutable rng : Random.State.t;
   mutable evict_prob : float;  (** chance of spontaneous eviction per tick *)
+  faults : Faults.t option;
+      (** the RAS fault plan, if one was attached at creation.  [None]
+          keeps every primitive on the exact pre-fault code path. *)
 }
 
 let next_uid = Atomic.make 1
@@ -63,11 +67,21 @@ let next_uid = Atomic.make 1
    and the uid keys cross-domain side tables (FliT counters, dirty sets)
    — a duplicated uid would silently alias them. *)
 
+(* NaN fails every comparison, so [not (0 <= p <= 1)] rejects it too. *)
+let check_prob name p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "%s: probability %g not in [0,1]" name p)
+
 let create ?(model = Latency.default) ?topology ?(seed = 0)
-    ?(evict_prob = 0.05) conf =
+    ?(evict_prob = 0.05) ?faults conf =
   let n = Array.length conf in
   if n = 0 then invalid_arg "Fabric.create: no machines";
   if n > 62 then invalid_arg "Fabric.create: more than 62 machines";
+  check_prob "Fabric.create evict_prob" evict_prob;
+  (match faults with
+  | Some p when Faults.max_machine p >= n ->
+      invalid_arg "Fabric.create: fault plan references unknown machine"
+  | _ -> ());
   let topology =
     match topology with
     | None -> Topology.flat n
@@ -89,12 +103,13 @@ let create ?(model = Latency.default) ?topology ?(seed = 0)
     topology;
     rng = Random.State.make [| seed |];
     evict_prob;
+    faults;
   }
 
 (** [uniform n] — an [n]-machine non-volatile fabric with defaults. *)
-let uniform ?model ?topology ?seed ?evict_prob ?(volatile = false)
+let uniform ?model ?topology ?seed ?evict_prob ?faults ?(volatile = false)
     ?cache_capacity n =
-  create ?model ?topology ?seed ?evict_prob
+  create ?model ?topology ?seed ?evict_prob ?faults
     (Array.init n (fun i ->
          machine ~volatile ?cache_capacity (Printf.sprintf "M%d" (i + 1))))
 
@@ -104,8 +119,12 @@ let stats t = t.stats
 let cycles t = t.stats.Stats.cycles
 let n_locs t = t.n_locs
 let is_volatile t i = t.conf.(i).volatile
-let set_evict_prob t p = t.evict_prob <- p
+let set_evict_prob t p =
+  check_prob "Fabric.set_evict_prob" p;
+  t.evict_prob <- p
+
 let reseed t seed = t.rng <- Random.State.make [| seed |]
+let faults t = t.faults
 
 let charge t c = t.stats.Stats.cycles <- t.stats.Stats.cycles + c
 
@@ -223,6 +242,13 @@ let visible t x =
   let st = state t x in
   if st.holders <> 0 then st.cval else st.mem
 
+(* Overwriting a line with fresh data (any store) or scrubbing it back to
+   memory (rflush's write-back) clears its poison; loads and lflushes only
+   move the poisoned data around.  A plain branch-on-None, so fault-free
+   fabrics pay one comparison and stay byte-identical. *)
+let heal_if_planned t x =
+  match t.faults with None -> () | Some p -> Faults.heal p x
+
 (** [load t i x] — coherent load by machine [i]: the unique cached value
     if any cache holds [x] (copying it into [i]'s cache), otherwise the
     owner's memory value. *)
@@ -259,7 +285,8 @@ let lstore t i x v =
   uncount_holders t (st.holders land lnot keep);
   st.holders <- keep;
   st.cval <- v;
-  insert t i x
+  insert t i x;
+  heal_if_planned t x
 
 (** [rstore t i x v] — RStore: the line lands in the owner's cache. *)
 let rstore t i x v =
@@ -272,7 +299,8 @@ let rstore t i x v =
   uncount_holders t (st.holders land lnot keep);
   st.holders <- keep;
   st.cval <- v;
-  insert t st.owner x
+  insert t st.owner x;
+  heal_if_planned t x
 
 (** [mstore t i x v] — MStore: straight to the owner's physical memory;
     all caches invalidate. *)
@@ -283,7 +311,8 @@ let mstore t i x v =
     (if st.owner = i then t.model.Latency.local_mem
      else remote_to t i st.owner t.model.Latency.remote_mem);
   clear_all_holders t st;
-  st.mem <- v
+  st.mem <- v;
+  heal_if_planned t x
 
 (** [lflush t i x] — LFlush with *forcing* semantics: perform the
     propagation the formal model's blocking precondition waits for.  If
@@ -312,7 +341,8 @@ let rflush t i x =
       (if st.owner = i then t.model.Latency.local_mem
        else remote_to t i st.owner t.model.Latency.remote_mem);
     st.mem <- st.cval;
-    clear_all_holders t st
+    clear_all_holders t st;
+    heal_if_planned t x
   end
   else charge t t.model.Latency.clean_check
 
@@ -363,6 +393,143 @@ let cas t i x ~expected ~desired ~(kind : store_kind) =
        else remote_to t i st.owner t.model.Latency.remote_cache);
     false
   end
+
+(* ------------------------------------------------------------------ *)
+(* Typed-fault variants and the RAS plan                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The [_result] primitives wrap the plain ones with the fault plan's
+   link and poison checks.  With no plan attached they reduce to
+   [Ok (plain op)] — same charges, same stats, same RNG stream — which
+   is the byte-identity invariant the corpus replay gate enforces.
+   FliT-counter metadata traffic ([account_meta_*]) rides along with the
+   data access it accompanies and is not separately faultable. *)
+
+let count_fault t =
+  t.stats.Stats.faults_injected <- t.stats.Stats.faults_injected + 1
+
+(* Outcome of one message from machine [i] to the home agent at [to_m]:
+   a NACK charges the link-retry latency, a down link charges the
+   completion timeout, a delayed delivery charges the delay and
+   proceeds. *)
+let guard t i ~to_m : (unit, Faults.fault) result =
+  match t.faults with
+  | None -> Ok ()
+  | Some p -> (
+      match
+        Faults.crossing p ~cycles:t.stats.Stats.cycles ~from_m:i ~to_m
+      with
+      | `Ok -> Ok ()
+      | `Delay d ->
+          count_fault t;
+          charge t d;
+          Ok ()
+      | `Fault (Faults.Nack _ as f) ->
+          count_fault t;
+          charge t (Faults.nack_cycles p);
+          Error f
+      | `Fault (Faults.Link_timeout _ as f) ->
+          count_fault t;
+          charge t (Faults.timeout_cycles p);
+          Error f
+      | `Fault f ->
+          count_fault t;
+          Error f)
+
+(* Cost of reaching [x]'s line for an atomic that aborts on poison: the
+   fabric crossing plus the RMW surcharge, without the mutation. *)
+let poisoned_atomic_cost t i x =
+  let st = state t x in
+  (if st.owner = i then t.model.Latency.local_cache
+   else remote_to t i st.owner t.model.Latency.remote_cache)
+  + t.model.Latency.atomic_extra
+
+let check_poison t x : (unit, Faults.fault) result =
+  match t.faults with
+  | Some p when Faults.is_poisoned p x ->
+      count_fault t;
+      Error (Faults.Poisoned { loc = x })
+  | _ -> Ok ()
+
+let load_result t i x =
+  let st = state t x in
+  let to_m = if holds st i then i else st.owner in
+  match guard t i ~to_m with
+  | Error _ as e -> e
+  | Ok () ->
+      (* the load itself executes — poisoned data still travels and
+         caches; only the value delivery is replaced by the error *)
+      let v = load t i x in
+      (match check_poison t x with Ok () -> Ok v | Error _ as e -> e)
+
+let lstore_result t i x v =
+  match guard t i ~to_m:i with
+  | Error _ as e -> e
+  | Ok () -> Ok (lstore t i x v)
+
+let rstore_result t i x v =
+  match guard t i ~to_m:(state t x).owner with
+  | Error _ as e -> e
+  | Ok () -> Ok (rstore t i x v)
+
+let mstore_result t i x v =
+  match guard t i ~to_m:(state t x).owner with
+  | Error _ as e -> e
+  | Ok () -> Ok (mstore t i x v)
+
+let lflush_result t i x =
+  let st = state t x in
+  let to_m = if holds st i then st.owner else i in
+  match guard t i ~to_m with
+  | Error _ as e -> e
+  | Ok () -> Ok (lflush t i x)
+
+let rflush_result t i x =
+  match guard t i ~to_m:(state t x).owner with
+  | Error _ as e -> e
+  | Ok () -> Ok (rflush t i x)
+
+let faa_result t i x d =
+  match guard t i ~to_m:(state t x).owner with
+  | Error _ as e -> e
+  | Ok () -> (
+      match check_poison t x with
+      | Error _ as e ->
+          (* the RMW read observed poison: charge the crossing, abort
+             before mutating *)
+          charge t (poisoned_atomic_cost t i x);
+          e
+      | Ok () -> Ok (faa t i x d))
+
+let cas_result t i x ~expected ~desired ~kind =
+  match guard t i ~to_m:(state t x).owner with
+  | Error _ as e -> e
+  | Ok () -> (
+      match check_poison t x with
+      | Error _ as e ->
+          charge t (poisoned_atomic_cost t i x);
+          e
+      | Ok () -> Ok (cas t i x ~expected ~desired ~kind))
+
+(** [poison t x] — mark the line poisoned (requires a fault plan).  The
+    next load observes [Poisoned]; a store of fresh data or an [rflush]
+    write-back heals it. *)
+let poison t x =
+  ignore (state t x);
+  match t.faults with
+  | None -> invalid_arg "Fabric.poison: no fault plan attached"
+  | Some p -> Faults.poison p x
+
+let poisoned t x =
+  match t.faults with None -> false | Some p -> Faults.is_poisoned p x
+
+(** [link_degraded t a b] — is there a standing fault on the link between
+    [a] and [b] right now?  FliT's degraded mode keys off this; pure (no
+    RNG draw), and always [false] without a plan. *)
+let link_degraded t a b =
+  match t.faults with
+  | None -> false
+  | Some p -> Faults.link_faulty p ~cycles:t.stats.Stats.cycles a b
 
 (* ------------------------------------------------------------------ *)
 (* Metadata accounting                                                 *)
@@ -444,7 +611,11 @@ let crash t i =
   for x = 0 to t.n_locs - 1 do
     let st = t.locs.(x) in
     clear_holder t st i;
-    if vol && st.owner = i then st.mem <- 0
+    if vol && st.owner = i then begin
+      st.mem <- 0;
+      (* re-initialised volatile memory is fresh data: poison gone *)
+      heal_if_planned t x
+    end
   done;
   Queue.clear t.queues.(i);
   t.live.(i) <- 0

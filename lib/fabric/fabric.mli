@@ -11,6 +11,7 @@
 module Stats = Stats
 module Latency = Latency
 module Topology = Topology
+module Faults = Faults
 
 type machine_conf = {
   name : string;
@@ -28,15 +29,18 @@ type t
 
 val create :
   ?model:Latency.t -> ?topology:Topology.t -> ?seed:int ->
-  ?evict_prob:float -> machine_conf array -> t
+  ?evict_prob:float -> ?faults:Faults.t -> machine_conf array -> t
 (** Defaults: {!Latency.default}, a flat (single-switch) topology, seed
-    0, 5% spontaneous-eviction probability per scheduler tick.  Raises
-    on an empty machine array, more than 62 machines, or a topology of
-    the wrong size. *)
+    0, 5% spontaneous-eviction probability per scheduler tick, no fault
+    plan.  Raises on an empty machine array, more than 62 machines, a
+    topology of the wrong size, an [evict_prob] outside [0,1] (NaN
+    included), or a fault plan referencing a machine index out of
+    range. *)
 
 val uniform :
   ?model:Latency.t -> ?topology:Topology.t -> ?seed:int ->
-  ?evict_prob:float -> ?volatile:bool -> ?cache_capacity:int -> int -> t
+  ?evict_prob:float -> ?faults:Faults.t -> ?volatile:bool ->
+  ?cache_capacity:int -> int -> t
 (** [uniform n] — [n] identical machines named ["M1" .. "Mn"]. *)
 
 (** {1 Introspection} *)
@@ -55,7 +59,12 @@ val visible : t -> loc -> int
 (** The value a coherent load would observe, without performing one. *)
 
 val set_evict_prob : t -> float -> unit
+(** Raises [Invalid_argument] outside [0,1] (NaN included). *)
+
 val reseed : t -> int -> unit
+
+val charge : t -> int -> unit
+(** Account extra simulated cycles (the runtime's retry backoff). *)
 
 (** {1 Allocation} *)
 
@@ -97,6 +106,49 @@ type store_kind = Cxl0.Label.store_kind
 
 val cas : t -> int -> loc -> expected:int -> desired:int -> kind:store_kind -> bool
 (** Compare-and-swap whose successful store has strength [kind]. *)
+
+(** {1 Typed-fault variants and the RAS plan}
+
+    The [_result] primitives are the fault-aware counterparts of the
+    plain ones: identical effects and costs, except that a message
+    crossing a faulted link or a load/RMW observing a poisoned line
+    yields [Error] instead of performing/delivering.  With no plan
+    attached they are exactly [Ok (plain op)].  The plain primitives
+    never consult the plan's link table (tests and internal traffic stay
+    un-faultable); {!Runtime.Ops} is the retry-aware entry point. *)
+
+val faults : t -> Faults.t option
+
+val load_result : t -> int -> loc -> (int, Faults.fault) result
+(** The load executes (poisoned data still travels and caches); poison
+    replaces only the delivered value. *)
+
+val lstore_result : t -> int -> loc -> int -> (unit, Faults.fault) result
+val rstore_result : t -> int -> loc -> int -> (unit, Faults.fault) result
+val mstore_result : t -> int -> loc -> int -> (unit, Faults.fault) result
+val lflush_result : t -> int -> loc -> (unit, Faults.fault) result
+val rflush_result : t -> int -> loc -> (unit, Faults.fault) result
+
+val faa_result : t -> int -> loc -> int -> (int, Faults.fault) result
+(** Aborts before mutating when the line is poisoned (the RMW read
+    observed poison); still charges the crossing. *)
+
+val cas_result :
+  t -> int -> loc -> expected:int -> desired:int -> kind:store_kind ->
+  (bool, Faults.fault) result
+
+val poison : t -> loc -> unit
+(** Mark the line poisoned.  Raises [Invalid_argument] without a fault
+    plan or on a bad location.  Healed by any store of fresh data, an
+    [rflush] write-back, or a volatile owner's crash re-initialising
+    it. *)
+
+val poisoned : t -> loc -> bool
+
+val link_degraded : t -> int -> int -> bool
+(** Standing fault on the link between the two machines right now
+    (degraded always, down only inside its window); always [false]
+    without a plan.  FliT's degraded mode keys off this. *)
 
 (** {1 Metadata accounting} *)
 

@@ -19,6 +19,9 @@ type t = {
   mutable evictions_horizontal : int;
   mutable evictions_vertical : int;
   mutable crashes : int;
+  mutable faults_injected : int;
+  mutable retries : int;
+  mutable degraded_ops : int;
   mutable cycles : int;
 }
 
@@ -37,6 +40,9 @@ let create () =
     evictions_horizontal = 0;
     evictions_vertical = 0;
     crashes = 0;
+    faults_injected = 0;
+    retries = 0;
+    degraded_ops = 0;
     cycles = 0;
   }
 
@@ -54,6 +60,9 @@ let reset t =
   t.evictions_horizontal <- 0;
   t.evictions_vertical <- 0;
   t.crashes <- 0;
+  t.faults_injected <- 0;
+  t.retries <- 0;
+  t.degraded_ops <- 0;
   t.cycles <- 0
 
 let loads t = t.loads_local_cache + t.loads_remote_cache + t.loads_mem
@@ -80,6 +89,9 @@ let diff a b =
     evictions_horizontal = a.evictions_horizontal - b.evictions_horizontal;
     evictions_vertical = a.evictions_vertical - b.evictions_vertical;
     crashes = a.crashes - b.crashes;
+    faults_injected = a.faults_injected - b.faults_injected;
+    retries = a.retries - b.retries;
+    degraded_ops = a.degraded_ops - b.degraded_ops;
     cycles = a.cycles - b.cycles;
   }
 
@@ -91,7 +103,9 @@ let pp ppf t =
      atomics: %d faa / %d cas@,\
      evictions: %d horizontal / %d vertical@,\
      crashes: %d@,\
+     faults: %d injected / %d retries / %d degraded-ops@,\
      cycles: %d@]"
     t.loads_local_cache t.loads_remote_cache t.loads_mem t.lstores t.rstores
     t.mstores t.lflushes t.rflushes t.faas t.cass t.evictions_horizontal
-    t.evictions_vertical t.crashes t.cycles
+    t.evictions_vertical t.crashes t.faults_injected t.retries t.degraded_ops
+    t.cycles

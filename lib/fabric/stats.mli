@@ -15,6 +15,9 @@ type t = {
   mutable evictions_horizontal : int;
   mutable evictions_vertical : int;
   mutable crashes : int;
+  mutable faults_injected : int;  (** NACKs, timeouts, delays, poisonings *)
+  mutable retries : int;          (** transparent retries by {!Runtime.Ops} *)
+  mutable degraded_ops : int;     (** LFlush→RFlush degraded-mode fallbacks *)
   mutable cycles : int;
 }
 

@@ -19,8 +19,13 @@
 
 open Runtime
 
+(* The volatile-owner LFlush choice additionally degrades to RFlush
+   when the link toward the owner carries a standing fault (CXL RAS
+   degraded mode) — the LFlush path relies on onward propagation across
+   exactly that link.  See [Counter_based.degraded_flush_kind]. *)
 let flush_kind_for (ctx : Sched.ctx) x : Cxl0.Label.flush_kind =
-  if Fabric.is_volatile ctx.fab (Fabric.owner ctx.fab x) then Cxl0.Label.LF
+  if Fabric.is_volatile ctx.fab (Fabric.owner ctx.fab x) then
+    Counter_based.degraded_flush_kind ctx x Cxl0.Label.LF
   else Cxl0.Label.RF
 
 let t : Flit_intf.t =

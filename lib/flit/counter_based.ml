@@ -17,9 +17,30 @@
 
 open Runtime
 
+(* Degraded mode (CXL RAS): an [LFlush] leaves persistence to the
+   line's onward propagation toward home — exactly the path a standing
+   link fault makes unreliable.  When the issuer-to-owner link is
+   degraded or down, fall back to the stronger [RFlush], which either
+   reaches physical memory or faults visibly; the latency cost is
+   recorded in [Stats.degraded_ops].  [link_degraded] is a pure check
+   (no RNG draw, no scheduling point), so fault-free runs are
+   byte-identical. *)
+let degraded_flush_kind (ctx : Sched.ctx) x (kind : Cxl0.Label.flush_kind) =
+  match kind with
+  | Cxl0.Label.RF -> Cxl0.Label.RF
+  | Cxl0.Label.LF ->
+      if Fabric.link_degraded ctx.fab ctx.machine (Fabric.owner ctx.fab x)
+      then begin
+        let st = Fabric.stats ctx.fab in
+        st.Fabric.Stats.degraded_ops <- st.Fabric.Stats.degraded_ops + 1;
+        Cxl0.Label.RF
+      end
+      else Cxl0.Label.LF
+
 let make ~name ~durable ~store_kind ~flush_kind : Flit_intf.t =
   let create _fab =
     let counters = Counters.create () in
+    let flush ctx x = Ops.flush ctx (degraded_flush_kind ctx x flush_kind) x in
     let private_load ctx x = Ops.load ctx x in
     (* Alg. 3 lines 58-64: a flagged private store persists in place —
        store with the chosen strength, then flush; no counter needed
@@ -27,7 +48,7 @@ let make ~name ~durable ~store_kind ~flush_kind : Flit_intf.t =
     let private_store ctx x v ~pflag =
       if pflag then begin
         Ops.store ctx store_kind x v;
-        Ops.flush ctx flush_kind x
+        flush ctx x
       end
       else Ops.lstore ctx x v
     in
@@ -36,8 +57,7 @@ let make ~name ~durable ~store_kind ~flush_kind : Flit_intf.t =
        fence, which completeOp would provide on a weak-memory host. *)
     let shared_load ctx x ~pflag =
       let v = Ops.load ctx x in
-      if pflag && Counters.read counters ctx x > 0 then
-        Ops.flush ctx flush_kind x;
+      if pflag && Counters.read counters ctx x > 0 then flush ctx x;
       v
     in
     (* Alg. 3 lines 71-79: announce the in-flight store (counter++),
@@ -47,7 +67,7 @@ let make ~name ~durable ~store_kind ~flush_kind : Flit_intf.t =
       if pflag then begin
         Counters.incr counters ctx x;
         Ops.store ctx store_kind x v;
-        Ops.flush ctx flush_kind x;
+        flush ctx x;
         Counters.decr counters ctx x
       end
       else Ops.lstore ctx x v
@@ -61,7 +81,7 @@ let make ~name ~durable ~store_kind ~flush_kind : Flit_intf.t =
       if pflag then begin
         Counters.incr counters ctx x;
         let ok = Ops.cas ctx x ~expected ~desired ~kind:store_kind in
-        if ok then Ops.flush ctx flush_kind x;
+        if ok then flush ctx x;
         Counters.decr counters ctx x;
         ok
       end

@@ -52,6 +52,23 @@ type worker_crashes =
   | Workers_spared
   | Workers_spared_if_volatile_home
 
+(** The RAS fault-envelope dimension, orthogonal to the crash envelope:
+    which partial-failure schedules ride along with the sampled crash
+    plan.  [Fault_free] adds no fault specs {e and draws nothing from
+    the generator's RNG}, so fault-free campaigns sample byte-identical
+    configs to the pre-fault fuzzer. *)
+type fault_env =
+  | Fault_free
+  | Transient_only
+      (** mildly degraded links — NACKs/delays the retry policy should
+          absorb (or surface as clean [Faulted] aborts) *)
+  | Degraded_env
+      (** heavy degradation plus a down window: exercises exhausted
+          retries, completion timeouts, and FliT's LF→RF fallback *)
+  | Poison_env
+      (** poisoned lines (plus an occasional mild degrade): exercises
+          typed [Poisoned] aborts and store/rflush healing *)
+
 type profile = {
   transform : Flit.Flit_intf.t;
   kinds : Harness.Objects.kind list;  (** object kinds to sample from *)
@@ -59,6 +76,7 @@ type profile = {
   worker_crashes : worker_crashes;
   allow_volatile_home : bool;  (** whether to sample volatile homes *)
   oracle : oracle;
+  fault_env : fault_env;
 }
 
 let profile_of_transform (t : Flit.Flit_intf.t) : profile =
@@ -67,35 +85,108 @@ let profile_of_transform (t : Flit.Flit_intf.t) : profile =
   | "noflush-control" ->
       { transform = t; kinds = all; crash_home = true;
         worker_crashes = Workers_crash; allow_volatile_home = true;
-        oracle = Durable }
+        oracle = Durable; fault_env = Fault_free }
   | "simple" | "alg2-mstore" ->
       { transform = t; kinds = all; crash_home = true;
         worker_crashes = Workers_crash; allow_volatile_home = false;
-        oracle = Durable }
+        oracle = Durable; fault_env = Fault_free }
   | "alg3-rstore" | "alg3'-weakest" | "ablation-noflit-counter" ->
       { transform = t; kinds = all; crash_home = false;
         worker_crashes = Workers_crash; allow_volatile_home = false;
-        oracle = Durable }
+        oracle = Durable; fault_env = Fault_free }
   | "weakest-lflush" ->
       { transform = t; kinds = all; crash_home = false;
         worker_crashes = Workers_spared; allow_volatile_home = true;
-        oracle = Durable }
+        oracle = Durable; fault_env = Fault_free }
   | "adaptive" ->
       { transform = t; kinds = all; crash_home = false;
         worker_crashes = Workers_spared_if_volatile_home;
-        allow_volatile_home = true; oracle = Durable }
+        allow_volatile_home = true; oracle = Durable; fault_env = Fault_free }
   | "buffered-sync" ->
       { transform = t;
         kinds = [ Harness.Objects.Register; Harness.Objects.Counter ];
         crash_home = false; worker_crashes = Workers_spared;
-        allow_volatile_home = false; oracle = Buffered_cut }
+        allow_volatile_home = false; oracle = Buffered_cut;
+        fault_env = Fault_free }
   | _ ->
       (* unknown transform: assume nothing beyond the weakest envelope *)
       { transform = t; kinds = all; crash_home = false;
         worker_crashes = Workers_spared; allow_volatile_home = false;
-        oracle = Durable }
+        oracle = Durable; fault_env = Fault_free }
 
 let pick rng l = List.nth l (Random.State.int rng (List.length l))
+
+(* Fault-envelope sampling.  Called strictly *after* the base config
+   record is built: the record literal's field initialisers draw from
+   [rng] in an order the OCaml spec leaves to the compiler, so inserting
+   draws among them would be fragile — and [Fault_free] must draw
+   nothing at all, keeping fault-free campaigns byte-identical to the
+   pre-fault fuzzer (the corpus replay gate checks exactly this). *)
+let sample_faults (p : profile) rng (c : Harness.Workload.config) :
+    Harness.Workload.fault_spec list =
+  let n = c.Harness.Workload.n_machines in
+  (* two distinct endpoints; [gen] guarantees n >= 2 *)
+  let pick_link () =
+    let m1 = Random.State.int rng n in
+    let m2 = (m1 + 1 + Random.State.int rng (n - 1)) mod n in
+    (m1, m2)
+  in
+  match p.fault_env with
+  | Fault_free -> []
+  | Transient_only ->
+      List.init
+        (1 + Random.State.int rng 2)
+        (fun _ ->
+          let m1, m2 = pick_link () in
+          Harness.Workload.Degrade_link
+            {
+              m1;
+              m2;
+              nack_prob = pick rng [ 0.05; 0.1; 0.2 ];
+              delay_prob = pick rng [ 0.0; 0.1; 0.3 ];
+              delay_cycles = pick rng [ 20; 40; 80 ];
+            })
+  | Degraded_env ->
+      let m1, m2 = pick_link () in
+      let degrade =
+        Harness.Workload.Degrade_link
+          {
+            m1;
+            m2;
+            nack_prob = pick rng [ 0.3; 0.5 ];
+            delay_prob = pick rng [ 0.2; 0.4 ];
+            delay_cycles = pick rng [ 50; 100 ];
+          }
+      in
+      let m1, m2 = pick_link () in
+      let from_cycle = Random.State.int rng 2_000 in
+      let down =
+        Harness.Workload.Down_link
+          {
+            m1;
+            m2;
+            from_cycle;
+            until_cycle = from_cycle + 1 + Random.State.int rng 4_000;
+          }
+      in
+      [ degrade; down ]
+  | Poison_env ->
+      let poisons =
+        List.init
+          (1 + Random.State.int rng 2)
+          (fun _ ->
+            Harness.Workload.Poison_at
+              {
+                at = 1 + Random.State.int rng 40;
+                loc_seed = Random.State.int rng 64;
+              })
+      in
+      if Random.State.int rng 2 = 0 then
+        let m1, m2 = pick_link () in
+        Harness.Workload.Degrade_link
+          { m1; m2; nack_prob = 0.1; delay_prob = 0.1; delay_cycles = 40 }
+        :: poisons
+      else poisons
 
 (* Bounds chosen to keep the Wing–Gong search tractable on every sampled
    cell: ≤ 3 workers × ≤ 4 ops + ≤ 2 crashes × ≤ 2 recovery threads × ≤ 2
@@ -144,18 +235,24 @@ let gen (p : profile) (rng : Random.State.t) : Harness.Workload.config =
             (if recovery_threads = 0 then 0 else 1 + Random.State.int rng 2);
         })
   in
-  {
-    Harness.Workload.kind = pick rng p.kinds;
-    transform = p.transform;
-    n_machines;
-    home;
-    volatile_home;
-    worker_machines;
-    ops_per_thread;
-    crashes;
-    seed = 1 + Random.State.int rng 1_000_000;
-    evict_prob = pick rng [ 0.0; 0.05; 0.15; 0.3 ];
-    cache_capacity = pick rng [ 1; 2; 4 ];
-    value_range = 1 + Random.State.int rng 3;
-    pflag = true;
-  }
+  let base =
+    {
+      Harness.Workload.kind = pick rng p.kinds;
+      transform = p.transform;
+      n_machines;
+      home;
+      volatile_home;
+      worker_machines;
+      ops_per_thread;
+      crashes;
+      faults = [];
+      seed = 1 + Random.State.int rng 1_000_000;
+      evict_prob = pick rng [ 0.0; 0.05; 0.15; 0.3 ];
+      cache_capacity = pick rng [ 1; 2; 4 ];
+      value_range = 1 + Random.State.int rng 3;
+      pflag = true;
+    }
+  in
+  (* sampled after the base record so [Fault_free] draws nothing — see
+     [sample_faults] *)
+  { base with faults = sample_faults p rng base }

@@ -20,6 +20,22 @@ type worker_crashes =
       (** [adaptive]: its volatile-home (LFlush) path shares Finding
           F2, its NV (RFlush) path does not *)
 
+type fault_env =
+  | Fault_free
+      (** no fault specs, and no generator RNG draws: configs are
+          byte-identical to the pre-fault fuzzer's *)
+  | Transient_only
+      (** mildly degraded links — NACKs/delays the retry policy should
+          absorb (or surface as clean [Faulted] aborts) *)
+  | Degraded_env
+      (** heavy degradation plus a down window: exhausted retries,
+          completion timeouts, FliT's LF→RF fallback *)
+  | Poison_env
+      (** poisoned lines (plus an occasional mild degrade): typed
+          [Poisoned] aborts and store/rflush healing *)
+(** The RAS fault-envelope dimension, orthogonal to the crash
+    envelope. *)
+
 type profile = {
   transform : Flit.Flit_intf.t;
   kinds : Harness.Objects.kind list;  (** object kinds to sample from *)
@@ -27,6 +43,8 @@ type profile = {
   worker_crashes : worker_crashes;
   allow_volatile_home : bool;  (** whether to sample volatile homes *)
   oracle : oracle;
+  fault_env : fault_env;  (** all built-in profiles say [Fault_free];
+                              campaigns override via [--fault-env] *)
 }
 
 val profile_of_transform : Flit.Flit_intf.t -> profile

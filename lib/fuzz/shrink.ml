@@ -31,6 +31,9 @@ let candidates (c : W.config) : W.config list =
   let crashes_dropped =
     List.mapi (fun i _ -> { c with crashes = remove_nth c.crashes i }) c.crashes
   in
+  let faults_dropped =
+    List.mapi (fun i _ -> { c with faults = remove_nth c.faults i }) c.faults
+  in
   let ops =
     if c.ops_per_thread > 1 then
       [ { c with ops_per_thread = c.ops_per_thread - 1 } ]
@@ -74,6 +77,12 @@ let candidates (c : W.config) : W.config list =
       c.n_machines > 1 && c.home < last
       && List.for_all (fun m -> m < last) c.worker_machines
       && List.for_all (fun (s : W.crash_spec) -> s.machine < last) c.crashes
+      && List.for_all
+           (function
+             | W.Degrade_link { m1; m2; _ } | W.Down_link { m1; m2; _ } ->
+                 m1 < last && m2 < last
+             | W.Poison_at _ -> true)
+           c.faults
     then [ { c with n_machines = last } ]
     else []
   in
@@ -93,8 +102,8 @@ let candidates (c : W.config) : W.config list =
              (if mid > s.at + 1 then [ move mid ] else []) @ [ move (s.at + 1) ])
          c.crashes)
   in
-  workers @ crashes_dropped @ ops @ recovery @ values @ evict @ volatile
-  @ machines @ crash_later
+  workers @ crashes_dropped @ faults_dropped @ ops @ recovery @ values @ evict
+  @ volatile @ machines @ crash_later
 
 (* aggregate shrink measures; every candidate is <= on all of them *)
 let measures (c : W.config) =
@@ -102,6 +111,7 @@ let measures (c : W.config) =
     List.length c.worker_machines;
     c.ops_per_thread;
     List.length c.crashes;
+    List.length c.faults;
     sum (fun (s : W.crash_spec) -> s.recovery_threads) c.crashes;
     sum (fun (s : W.crash_spec) -> s.recovery_threads * s.recovery_ops) c.crashes;
     c.value_range;
@@ -110,8 +120,9 @@ let measures (c : W.config) =
   ]
 
 (** [leq a b] — [a] is no larger than [b] in every shrinkable dimension
-    (worker count, ops per thread, crash count, recovery totals, value
-    range, machine count, volatile-home flag, eviction noise). *)
+    (worker count, ops per thread, crash count, fault count, recovery
+    totals, value range, machine count, volatile-home flag, eviction
+    noise). *)
 let leq (a : W.config) (b : W.config) =
   List.for_all2 ( <= ) (measures a) (measures b) && a.evict_prob <= b.evict_prob
 

@@ -97,24 +97,61 @@ let crash_to_sexp (s : Workload.crash_spec) =
       field "recovery-ops" [ atom_int s.Workload.recovery_ops ];
     ]
 
+let fault_to_sexp (s : Workload.fault_spec) =
+  match s with
+  | Workload.Degrade_link { m1; m2; nack_prob; delay_prob; delay_cycles } ->
+      List
+        [
+          Atom "degrade-link";
+          field "m1" [ atom_int m1 ];
+          field "m2" [ atom_int m2 ];
+          field "nack-prob" [ atom_float nack_prob ];
+          field "delay-prob" [ atom_float delay_prob ];
+          field "delay-cycles" [ atom_int delay_cycles ];
+        ]
+  | Workload.Down_link { m1; m2; from_cycle; until_cycle } ->
+      List
+        [
+          Atom "down-link";
+          field "m1" [ atom_int m1 ];
+          field "m2" [ atom_int m2 ];
+          field "from-cycle" [ atom_int from_cycle ];
+          field "until-cycle" [ atom_int until_cycle ];
+        ]
+  | Workload.Poison_at { at; loc_seed } ->
+      List
+        [
+          Atom "poison";
+          field "at" [ atom_int at ];
+          field "loc-seed" [ atom_int loc_seed ];
+        ]
+
 let config_to_sexp (c : Workload.config) : sexp =
   List
-    [
-      Atom "config";
-      field "kind" [ Atom (Objects.kind_name c.Workload.kind) ];
-      field "transform" [ Atom (Flit.Flit_intf.name c.Workload.transform) ];
-      field "n-machines" [ atom_int c.Workload.n_machines ];
-      field "home" [ atom_int c.Workload.home ];
-      field "volatile-home" [ atom_bool c.Workload.volatile_home ];
-      field "workers" [ List (List.map atom_int c.Workload.worker_machines) ];
-      field "ops-per-thread" [ atom_int c.Workload.ops_per_thread ];
-      field "crashes" [ List (List.map crash_to_sexp c.Workload.crashes) ];
-      field "seed" [ atom_int c.Workload.seed ];
-      field "evict-prob" [ atom_float c.Workload.evict_prob ];
-      field "cache-capacity" [ atom_int c.Workload.cache_capacity ];
-      field "value-range" [ atom_int c.Workload.value_range ];
-      field "pflag" [ atom_bool c.Workload.pflag ];
-    ]
+    ([
+       Atom "config";
+       field "kind" [ Atom (Objects.kind_name c.Workload.kind) ];
+       field "transform" [ Atom (Flit.Flit_intf.name c.Workload.transform) ];
+       field "n-machines" [ atom_int c.Workload.n_machines ];
+       field "home" [ atom_int c.Workload.home ];
+       field "volatile-home" [ atom_bool c.Workload.volatile_home ];
+       field "workers" [ List (List.map atom_int c.Workload.worker_machines) ];
+       field "ops-per-thread" [ atom_int c.Workload.ops_per_thread ];
+       field "crashes" [ List (List.map crash_to_sexp c.Workload.crashes) ];
+       field "seed" [ atom_int c.Workload.seed ];
+       field "evict-prob" [ atom_float c.Workload.evict_prob ];
+       field "cache-capacity" [ atom_int c.Workload.cache_capacity ];
+       field "value-range" [ atom_int c.Workload.value_range ];
+       field "pflag" [ atom_bool c.Workload.pflag ];
+     ]
+    (* the faults field is emitted only when non-empty, so fault-free
+       configs serialise byte-identically to the pre-fault format: old
+       corpus files keep their content-hash names, and re-found
+       counterexamples dedup against them *)
+    @
+    match c.Workload.faults with
+    | [] -> []
+    | fs -> [ field "faults" [ List (List.map fault_to_sexp fs) ] ])
 
 let config_to_string c = sexp_to_string (config_to_sexp c)
 
@@ -190,6 +227,31 @@ let crash_of_sexp = function
       Ok { Workload.at; machine; restart_at; recovery_threads; recovery_ops }
   | _ -> msg "expected (crash ...)"
 
+let float_field fields name =
+  let* v = lookup fields name in
+  as_float name v
+
+let fault_of_sexp = function
+  | List (Atom "degrade-link" :: fields) ->
+      let* m1 = int_field fields "m1" in
+      let* m2 = int_field fields "m2" in
+      let* nack_prob = float_field fields "nack-prob" in
+      let* delay_prob = float_field fields "delay-prob" in
+      let* delay_cycles = int_field fields "delay-cycles" in
+      Ok
+        (Workload.Degrade_link { m1; m2; nack_prob; delay_prob; delay_cycles })
+  | List (Atom "down-link" :: fields) ->
+      let* m1 = int_field fields "m1" in
+      let* m2 = int_field fields "m2" in
+      let* from_cycle = int_field fields "from-cycle" in
+      let* until_cycle = int_field fields "until-cycle" in
+      Ok (Workload.Down_link { m1; m2; from_cycle; until_cycle })
+  | List (Atom "poison" :: fields) ->
+      let* at = int_field fields "at" in
+      let* loc_seed = int_field fields "loc-seed" in
+      Ok (Workload.Poison_at { at; loc_seed })
+  | _ -> msg "expected (degrade-link ...), (down-link ...) or (poison ...)"
+
 let rec map_result f = function
   | [] -> Ok []
   | x :: rest ->
@@ -240,6 +302,13 @@ let config_of_sexp (s : sexp) : (Workload.config, error) result =
         | [ List l ] -> map_result crash_of_sexp l
         | _ -> msg "field %S: expected a list" "crashes"
       in
+      (* absent in pre-fault corpus files: default to fault-free *)
+      let* faults =
+        match lookup fields "faults" with
+        | Error _ -> Ok []
+        | Ok [ List l ] -> map_result fault_of_sexp l
+        | Ok _ -> msg "field %S: expected a list" "faults"
+      in
       let* seed = int_field fields "seed" in
       let* evict_prob =
         let* v = lookup fields "evict-prob" in
@@ -261,6 +330,7 @@ let config_of_sexp (s : sexp) : (Workload.config, error) result =
           worker_machines;
           ops_per_thread;
           crashes;
+          faults;
           seed;
           evict_prob;
           cache_capacity;

@@ -24,6 +24,22 @@ type crash_spec = {
   recovery_ops : int;
 }
 
+(** A scheduled RAS fault, shrunk/serialised exactly like a
+    {!crash_spec}.  Link faults are standing configuration handed to the
+    fabric's fault plan at creation; poisoning fires as a plan action at
+    a scheduler step (the poisoned location is [loc_seed] reduced modulo
+    the locations allocated by then). *)
+type fault_spec =
+  | Degrade_link of {
+      m1 : int;
+      m2 : int;
+      nack_prob : float;
+      delay_prob : float;
+      delay_cycles : int;
+    }
+  | Down_link of { m1 : int; m2 : int; from_cycle : int; until_cycle : int }
+  | Poison_at of { at : int; loc_seed : int }
+
 type config = {
   kind : Objects.kind;
   transform : Flit.Flit_intf.t;
@@ -33,6 +49,7 @@ type config = {
   worker_machines : int list;  (** machine of each initial worker *)
   ops_per_thread : int;
   crashes : crash_spec list;
+  faults : fault_spec list;  (** [] = no fault plan: byte-identical runs *)
   seed : int;
   evict_prob : float;
   cache_capacity : int;
@@ -50,6 +67,7 @@ let default_config kind transform =
     worker_machines = [ 0; 1 ];
     ops_per_thread = 3;
     crashes = [];
+    faults = [];
     seed = 1;
     evict_prob = 0.15;
     cache_capacity = 4;
@@ -61,7 +79,7 @@ let default_config kind transform =
     corpus file carries the full config; this is the human-readable
     pointer attached to every verdict). *)
 let describe (c : config) =
-  Printf.sprintf "%s/%s seed=%d machines=%d%s workers=%d ops=%d crashes=%d"
+  Printf.sprintf "%s/%s seed=%d machines=%d%s workers=%d ops=%d crashes=%d%s"
     (Objects.kind_name c.kind)
     (Flit.Flit_intf.name c.transform)
     c.seed c.n_machines
@@ -69,6 +87,10 @@ let describe (c : config) =
     (List.length c.worker_machines)
     c.ops_per_thread
     (List.length c.crashes)
+    (* appended only when present, so fault-free provenance strings —
+       and therefore every blessed corpus verdict — are unchanged *)
+    (if c.faults = [] then ""
+     else Printf.sprintf " faults=%d" (List.length c.faults))
 
 type result = {
   history : Lincheck.History.t;
@@ -78,8 +100,29 @@ type result = {
 (** [build_fabric c] — the fabric of a run: [n_machines] machines with
     [cache_capacity]-line caches, the home's memory volatile iff
     [volatile_home], seeded eviction noise. *)
+(* The fault plan of a run: none at all for a fault-free config (the
+   [?faults:None] path leaves the fabric on the exact pre-fault code
+   path); otherwise a plan seeded from the run seed, with the standing
+   link faults configured up front.  [Poison_at] specs fire later, as
+   scheduler-plan actions ({!install_fault_plan}). *)
+let build_faults (c : config) : Fabric.Faults.t option =
+  match c.faults with
+  | [] -> None
+  | specs ->
+      let plan = Fabric.Faults.plan ~seed:((c.seed * 31) + 17) () in
+      List.iter
+        (function
+          | Degrade_link { m1; m2; nack_prob; delay_prob; delay_cycles } ->
+              Fabric.Faults.degrade_link plan m1 m2 ~nack_prob ~delay_prob
+                ~delay_cycles
+          | Down_link { m1; m2; from_cycle; until_cycle } ->
+              Fabric.Faults.down_link plan m1 m2 ~from_cycle ~until_cycle
+          | Poison_at _ -> ())
+        specs;
+      Some plan
+
 let build_fabric (c : config) : Fabric.t =
-  Fabric.create ~seed:c.seed ~evict_prob:c.evict_prob
+  Fabric.create ~seed:c.seed ~evict_prob:c.evict_prob ?faults:(build_faults c)
     (Array.init c.n_machines (fun i ->
          Fabric.machine
            ~volatile:(i = c.home && c.volatile_home)
@@ -100,7 +143,13 @@ let worker (c : config) ~record ~ops ~rng_seed (instance : Objects.instance)
     record (Lincheck.History.Inv { tid = ctx.Runtime.Sched.tid; op; args });
     let ret =
       try Lincheck.History.Ret (instance.Objects.dispatch ctx op args)
-      with Invalid_argument _ -> Lincheck.History.Corrupt
+      with
+      | Invalid_argument _ -> Lincheck.History.Corrupt
+      | Runtime.Ops.Fault _ ->
+          (* a fault survived the retry policy mid-operation: the op may
+             have taken partial effect — record the typed abort, which
+             the checkers treat as a pending invocation *)
+          Lincheck.History.Faulted
     in
     record (Lincheck.History.Res { tid = ctx.Runtime.Sched.tid; ret })
   done
@@ -138,6 +187,24 @@ let install_crash_plan sched (c : config) ~record
                  done)))
     c.crashes
 
+(** [install_fault_plan sched c] — register [c]'s scheduled fault
+    actions: each [Poison_at] poisons a location at its step ([loc_seed]
+    reduced modulo the locations allocated by then; nothing to poison →
+    no-op).  Standing link faults need no action — {!build_faults}
+    configured them into the fabric's plan. *)
+let install_fault_plan sched (c : config) =
+  List.iter
+    (function
+      | Poison_at { at; loc_seed } ->
+          Runtime.Sched.at_step sched at
+            (Runtime.Sched.Call
+               (fun s ->
+                 let fab = Runtime.Sched.fabric s in
+                 let n = Fabric.n_locs fab in
+                 if n > 0 then Fabric.poison fab (abs loc_seed mod n)))
+      | Degrade_link _ | Down_link _ -> ())
+    c.faults
+
 let run (c : config) : result =
   let fab = build_fabric c in
   (* the transformation instance is minted once per run and closed over
@@ -156,22 +223,27 @@ let run (c : config) : result =
   let instance_ref = ref None in
   let _init =
     Runtime.Sched.spawn sched ~machine:c.home ~name:"init" (fun ctx ->
-        let instance =
-          Objects.create c.kind flit ctx ~home:c.home ~pflag:c.pflag
-        in
-        instance_ref := Some instance;
-        List.iteri
-          (fun i machine ->
-            if Runtime.Sched.machine_is_up sched machine then
-              ignore
-                (Runtime.Sched.spawn sched ~machine
-                   ~name:(Printf.sprintf "w%d" i)
-                   (worker c ~record ~ops:c.ops_per_thread
-                      ~rng_seed:((c.seed * 131) + i)
-                      instance)))
-          c.worker_machines)
+        match Objects.create c.kind flit ctx ~home:c.home ~pflag:c.pflag with
+        | exception Runtime.Ops.Fault _ ->
+            (* object creation itself hit a persistent fault (e.g. an
+               early poison landed on a line creation reads): no object,
+               no workers — the empty history is trivially durable *)
+            ()
+        | instance ->
+            instance_ref := Some instance;
+            List.iteri
+              (fun i machine ->
+                if Runtime.Sched.machine_is_up sched machine then
+                  ignore
+                    (Runtime.Sched.spawn sched ~machine
+                       ~name:(Printf.sprintf "w%d" i)
+                       (worker c ~record ~ops:c.ops_per_thread
+                          ~rng_seed:((c.seed * 131) + i)
+                          instance)))
+              c.worker_machines)
   in
   install_crash_plan sched c ~record ~instance:(fun () -> !instance_ref);
+  install_fault_plan sched c;
   ignore (Runtime.Sched.run sched);
   {
     history = List.rev !events;

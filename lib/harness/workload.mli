@@ -16,6 +16,20 @@ type crash_spec = {
   recovery_ops : int;
 }
 
+type fault_spec =
+  | Degrade_link of {
+      m1 : int;
+      m2 : int;
+      nack_prob : float;
+      delay_prob : float;
+      delay_cycles : int;
+    }
+  | Down_link of { m1 : int; m2 : int; from_cycle : int; until_cycle : int }
+  | Poison_at of { at : int; loc_seed : int }
+      (** poison location [loc_seed mod n_locs] at scheduler step [at] *)
+(** A scheduled RAS fault, shrunk/serialised exactly like a
+    {!crash_spec}. *)
+
 type config = {
   kind : Objects.kind;
   transform : Flit.Flit_intf.t;
@@ -25,6 +39,7 @@ type config = {
   worker_machines : int list; (** machine of each initial worker *)
   ops_per_thread : int;
   crashes : crash_spec list;
+  faults : fault_spec list;   (** [] = no fault plan: byte-identical runs *)
   seed : int;
   evict_prob : float;
   cache_capacity : int;
@@ -34,7 +49,7 @@ type config = {
 
 val default_config : Objects.kind -> Flit.Flit_intf.t -> config
 (** 3 machines, object on machine 2, workers on 0/1, 3 ops each, values
-    in [1, 3], no crashes, seed 1. *)
+    in [1, 3], no crashes, no faults, seed 1. *)
 
 val describe : config -> string
 (** One-line summary, used as the verdict's provenance label. *)
@@ -46,7 +61,9 @@ type result = {
 
 val build_fabric : config -> Fabric.t
 (** The fabric of a run: [n_machines] machines, [cache_capacity]-line
-    caches, the home volatile iff [volatile_home], seeded evictions. *)
+    caches, the home volatile iff [volatile_home], seeded evictions —
+    and, iff [faults <> []], a {!Fabric.Faults} plan seeded from the run
+    seed with the standing link faults configured. *)
 
 val install_crash_plan :
   Runtime.Sched.t -> config ->
@@ -58,9 +75,15 @@ val install_crash_plan :
     [instance () = None] (the object was never created, so there is
     nothing to recover). *)
 
+val install_fault_plan : Runtime.Sched.t -> config -> unit
+(** Register the config's scheduled fault actions ([Poison_at]) on a
+    scheduler; standing link faults are already in the fabric's plan
+    ({!build_fabric}). *)
+
 val run : config -> result
 (** Workers whose machine is down at spawn time (felled by a crash plan
-    before the init thread ran) are skipped. *)
+    before the init thread ran) are skipped.  Operations aborted by a
+    fault that survived the retry policy record a [Faulted] response. *)
 
 val check : config -> Lincheck.Durable.verdict
 (** Run and decide durable linearizability; the verdict's provenance is

@@ -52,7 +52,7 @@ let candidates (h : History.t) : History.op list =
           match o.History.res_at with
           | Some r -> r < last_crash
           | None -> false)
-        (History.ops h)
+        (History.demote_faulted (History.ops h))
 
 (* a happens-before b: a responded before b was invoked *)
 let hb (a : History.op) (b : History.op) =
@@ -76,7 +76,8 @@ let check spec (h : History.t) : verdict =
     let n = Array.length cands in
     if n > 16 then
       invalid_arg "Buffered.check: too many droppable operations";
-    let all_ops = History.ops h in
+    (* fault-aborted ops count as pending (may-complete-or-omit) *)
+    let all_ops = History.demote_faulted (History.ops h) in
     let tried = ref 0 in
     (* enumerate drop sets in increasing size so the witness is minimal *)
     let by_size =

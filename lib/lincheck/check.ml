@@ -39,7 +39,9 @@ let pp_error ppf (History_too_long { length; max_ops }) =
     them. *)
 let linearizable (module M : Spec.S) (ops : History.op list) :
     (outcome, error) result =
-  let ops = Array.of_list ops in
+  (* fault-aborted ops are pending (may-complete-or-omit): demote here
+     so every caller gets the sound treatment *)
+  let ops = Array.of_list (History.demote_faulted ops) in
   let n = Array.length ops in
   if n > max_ops then Error (History_too_long { length = n; max_ops })
   else begin
@@ -86,10 +88,12 @@ let linearizable (module M : Spec.S) (ops : History.op list) :
           let o = ops.(j) in
           let results = M.step state o.History.name o.History.args in
           match o.History.ret with
-          | Some History.Corrupt ->
+          | Some History.Corrupt | Some History.Faulted ->
               (* a corrupted response matches no specification result:
                  this branch is dead, so the completed op can never
-                 linearize and the search necessarily fails *)
+                 linearize and the search necessarily fails.  Faulted
+                 responses were demoted to pending at entry, so that
+                 case is unreachable. *)
               ()
           | Some (History.Ret r) ->
               (* completed op: its recorded result must be legal *)

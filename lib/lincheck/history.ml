@@ -16,12 +16,20 @@
     from every integer, so a legitimate operation returning any value —
     including old sentinel-looking ones like −99 — can never be misread
     as corruption.  No specification can explain a [Corrupt] response,
-    so the checker necessarily flags the history. *)
-type res = Ret of int | Corrupt
+    so the checker necessarily flags the history.
+
+    [Faulted] marks an operation aborted by a fabric fault that survived
+    the runtime's retry policy (exhausted link retries, or poison).  The
+    operation may have taken partial effect before aborting — exactly
+    the situation of an op pending at a crash — so the checkers treat a
+    [Faulted] response as a pending invocation: free to be completed
+    with any legal result or omitted. *)
+type res = Ret of int | Corrupt | Faulted
 
 let pp_res ppf = function
   | Ret r -> Fmt.int ppf r
   | Corrupt -> Fmt.string ppf "CORRUPT"
+  | Faulted -> Fmt.string ppf "FAULT"
 
 type event =
   | Inv of { tid : int; op : string; args : int list }
@@ -62,6 +70,18 @@ let pp_op ppf o =
 let ret_int (o : op) = match o.ret with Some (Ret r) -> Some r | _ -> None
 
 let is_corrupt (o : op) = o.ret = Some Corrupt
+let is_faulted (o : op) = o.ret = Some Faulted
+
+(** [demote_faulted ops] — rewrite every [Faulted] op as pending (no
+    result, no response time): the sound model for fault-aborted
+    operations, whose partial effects a later thread may legitimately
+    help to completion.  Identity on fault-free histories. *)
+let demote_faulted (ops : op list) =
+  List.map
+    (fun o ->
+      if o.ret = Some Faulted then { o with ret = None; res_at = None }
+      else o)
+    ops
 
 (** [well_formed h] — every thread alternates invocations and responses
     (at most one pending invocation, necessarily its last event), and

@@ -5,11 +5,14 @@
     Izraelevitz et al.: per-thread alternation of invocations and
     matching responses, possibly ending pending. *)
 
-type res = Ret of int | Corrupt
+type res = Ret of int | Corrupt | Faulted
 (** An operation's recorded outcome.  [Corrupt] marks a response from an
     operation that crashed on structurally corrupted object state: it is
     distinct from every integer (no sentinel aliasing), and no
-    specification can explain it, so the checker flags the history. *)
+    specification can explain it, so the checker flags the history.
+    [Faulted] marks an operation aborted by a fabric fault that survived
+    the runtime's retry policy; the checkers treat it as pending (the op
+    may have taken partial effect, like an op cut by a crash). *)
 
 val pp_res : res Fmt.t
 
@@ -42,6 +45,13 @@ val ret_int : op -> int option
 (** The integer result of a completed op; [None] if pending or corrupt. *)
 
 val is_corrupt : op -> bool
+val is_faulted : op -> bool
+
+val demote_faulted : op list -> op list
+(** Rewrite every [Faulted] op as pending (no result, no response time)
+    — free to be completed with any legal result or omitted, the sound
+    model for fault-aborted operations.  Identity on fault-free
+    histories. *)
 
 val well_formed : t -> bool
 

@@ -45,6 +45,10 @@ and t = {
   mutable step : int;         (** scheduling decisions taken so far *)
   mutable plan : (int * action) list;  (** sorted by step *)
   rng : Random.State.t;
+  retry_rng : Random.State.t;
+      (** dedicated stream for {!Ops} retry-backoff jitter, derived from
+          the same seed — drawing jitter must not perturb the
+          interleaving stream *)
   mutable crashed : int list; (** machines currently down *)
 }
 
@@ -58,6 +62,7 @@ let create ?(seed = 42) fabric =
     step = 0;
     plan = [];
     rng = Random.State.make [| seed |];
+    retry_rng = Random.State.make [| seed; 0x4e7431 |];
     crashed = [];
   }
 
@@ -113,6 +118,11 @@ let spawn t ~machine ~name (body : ctx -> unit) =
 
 (** [yield ctx] — a scheduling point; every {!Ops} primitive calls this. *)
 let yield _ctx = Effect.perform Yield
+
+(** [jitter ctx n] — a retry-backoff jitter draw in [\[0, max 1 n)], from
+    the scheduler's dedicated retry stream (seeded alongside the
+    interleaving stream but independent of it). *)
+let jitter ctx n = Random.State.int ctx.sched.retry_rng (max 1 n)
 
 (** [crash_now t i] — immediately crash machine [i]: wipe its fabric
     state and kill its threads (their fibres are dropped). *)

@@ -44,6 +44,11 @@ val spawn : t -> machine:int -> name:string -> (ctx -> unit) -> int
 val yield : ctx -> unit
 (** A scheduling point; every memory primitive calls this. *)
 
+val jitter : ctx -> int -> int
+(** [jitter ctx n] — a retry-backoff jitter draw in [\[0, max 1 n)] from
+    a dedicated stream derived from the sched seed; drawing it never
+    perturbs the interleaving stream. *)
+
 val crash_now : t -> int -> unit
 (** Immediately crash the machine: wipe fabric state, kill its threads
     (their fibres are dropped, leaving in-flight operations pending). *)

@@ -334,6 +334,7 @@ let f2_config transform =
     crashes =
       [ { W.at = 28; machine = 1; restart_at = 36; recovery_threads = 1;
           recovery_ops = 1 } ];
+    faults = [];
     seed = 400195;
     evict_prob = 0.0;
     cache_capacity = 1;

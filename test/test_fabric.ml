@@ -365,6 +365,172 @@ let test_topology_local_access_unaffected () =
   Alcotest.(check int) "local cache hit still 1 cycle" 1 (F.cycles f - before)
 
 (* ------------------------------------------------------------------ *)
+(* RAS faults                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prob_msg name p = Printf.sprintf "%s: probability %g not in [0,1]" name p
+
+let test_evict_prob_validation () =
+  List.iter
+    (fun p ->
+      Alcotest.check_raises "create rejects"
+        (Invalid_argument (prob_msg "Fabric.create evict_prob" p))
+        (fun () -> ignore (F.uniform ~seed:1 ~evict_prob:p 2)))
+    [ Float.nan; -0.5; 1.5 ];
+  (* the closed boundaries stay legal (evict_prob = 1.0 is load-bearing
+     in the deterministic-eviction test above) *)
+  ignore (F.uniform ~seed:1 ~evict_prob:0.0 2);
+  ignore (F.uniform ~seed:1 ~evict_prob:1.0 2);
+  let f = mk () in
+  F.set_evict_prob f 1.0;
+  F.set_evict_prob f 0.0;
+  List.iter
+    (fun p ->
+      Alcotest.check_raises "set_evict_prob rejects"
+        (Invalid_argument (prob_msg "Fabric.set_evict_prob" p))
+        (fun () -> F.set_evict_prob f p))
+    [ Float.nan; -0.1; 2.0 ]
+
+let test_fault_plan_validation () =
+  Alcotest.check_raises "negative retries"
+    (Invalid_argument "Faults.plan: retries < 0") (fun () ->
+      ignore
+        (F.Faults.plan
+           ~retry:{ F.Faults.default_retry with F.Faults.retries = -1 }
+           ()));
+  let p = F.Faults.plan () in
+  Alcotest.check_raises "NaN nack_prob"
+    (Invalid_argument (prob_msg "Faults.degrade_link" Float.nan))
+    (fun () ->
+      F.Faults.degrade_link p 0 1 ~nack_prob:Float.nan ~delay_prob:0.0
+        ~delay_cycles:0);
+  Alcotest.check_raises "equal endpoints"
+    (Invalid_argument "Faults.degrade_link: link endpoints equal") (fun () ->
+      F.Faults.degrade_link p 1 1 ~nack_prob:0.5 ~delay_prob:0.0
+        ~delay_cycles:0);
+  Alcotest.check_raises "bad window"
+    (Invalid_argument "Faults.down_link: bad cycle window") (fun () ->
+      F.Faults.down_link p 0 1 ~from_cycle:10 ~until_cycle:10);
+  F.Faults.degrade_link p 0 5 ~nack_prob:0.5 ~delay_prob:0.0 ~delay_cycles:0;
+  Alcotest.check_raises "plan vs machine count"
+    (Invalid_argument "Fabric.create: fault plan references unknown machine")
+    (fun () -> ignore (F.uniform ~seed:1 ~evict_prob:0.0 ~faults:p 2))
+
+(* a 2-machine fabric whose 0<->1 link carries the given standing fault *)
+let faulty_fabric ?(nack = 0.0) ?(delay = 0.0) ?(delay_cycles = 0) ?down () =
+  let p = F.Faults.plan ~seed:42 () in
+  if nack > 0.0 || delay > 0.0 then
+    F.Faults.degrade_link p 0 1 ~nack_prob:nack ~delay_prob:delay
+      ~delay_cycles;
+  (match down with
+  | Some (from_cycle, until_cycle) ->
+      F.Faults.down_link p 0 1 ~from_cycle ~until_cycle
+  | None -> ());
+  F.uniform ~seed:7 ~evict_prob:0.0 ~faults:p 2
+
+let test_nack_delivers_error () =
+  let f = faulty_fabric ~nack:1.0 () in
+  let x = F.alloc f ~owner:1 in
+  let before = F.cycles f in
+  (match F.load_result f 0 x with
+  | Error (F.Faults.Nack { from_m = 0; to_m = 1 }) -> ()
+  | _ -> Alcotest.fail "expected a NACK");
+  Alcotest.(check int) "NACK charged" (F.Faults.nack_cycles (Option.get (F.faults f)))
+    (F.cycles f - before);
+  Alcotest.(check int) "fault counted" 1 (F.stats f).F.Stats.faults_injected;
+  (* local traffic never crosses the faulted link *)
+  (match F.lstore_result f 1 x 5 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "owner-local store crossed no link");
+  (* the plain primitives never consult the link table *)
+  Alcotest.(check int) "plain load unaffected" 5 (F.load f 0 x)
+
+let test_down_link_times_out () =
+  let f = faulty_fabric ~down:(0, 5_000) () in
+  let x = F.alloc f ~owner:1 in
+  Alcotest.(check bool) "degraded while down" true (F.link_degraded f 0 1);
+  (match F.rstore_result f 0 x 5 with
+  | Error (F.Faults.Link_timeout { from_m = 0; to_m = 1 }) -> ()
+  | _ -> Alcotest.fail "expected a timeout");
+  (* burn simulated time past the window: the link heals *)
+  F.charge f 10_000;
+  Alcotest.(check bool) "healed after window" false (F.link_degraded f 0 1);
+  (match F.rstore_result f 0 x 5 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "link recovered");
+  Alcotest.(check int) "value arrived" 5 (F.load f 1 x)
+
+let test_delay_charges_then_succeeds () =
+  let f = faulty_fabric ~delay:1.0 ~delay_cycles:500 () in
+  let x = F.alloc f ~owner:1 in
+  let before = F.cycles f in
+  (match F.load_result f 0 x with
+  | Ok 0 -> ()
+  | _ -> Alcotest.fail "delayed load still completes");
+  Alcotest.(check bool) "delay charged on top" true
+    (F.cycles f - before >= 500);
+  Alcotest.(check int) "delay counted as a fault" 1
+    (F.stats f).F.Stats.faults_injected
+
+let test_poison_load_and_heal () =
+  let f = faulty_fabric () in
+  let x = F.alloc f ~owner:1 in
+  F.lstore f 1 x 5;
+  F.poison f x;
+  Alcotest.(check bool) "marked" true (F.poisoned f x);
+  (match F.load_result f 0 x with
+  | Error (F.Faults.Poisoned { loc }) -> Alcotest.(check int) "loc" x loc
+  | _ -> Alcotest.fail "expected poison");
+  Alcotest.(check int) "observation counted" 1
+    (F.stats f).F.Stats.faults_injected;
+  (* a store of fresh data heals the line *)
+  F.lstore f 1 x 7;
+  Alcotest.(check bool) "healed" false (F.poisoned f x);
+  (match F.load_result f 0 x with
+  | Ok 7 -> ()
+  | _ -> Alcotest.fail "healed load");
+  (* an rflush write-back of a dirty copy heals too *)
+  F.poison f x;
+  (match F.rflush_result f 1 x with
+  | Ok () -> ()
+  | _ -> Alcotest.fail "rflush");
+  Alcotest.(check bool) "write-back healed" false (F.poisoned f x)
+
+let test_poison_atomics_abort () =
+  let f = faulty_fabric () in
+  let x = F.alloc f ~owner:1 in
+  F.mstore f 1 x 5;
+  F.poison f x;
+  (match F.faa_result f 0 x 3 with
+  | Error (F.Faults.Poisoned _) -> ()
+  | _ -> Alcotest.fail "faa must observe poison");
+  (match F.cas_result f 0 x ~expected:5 ~desired:9 ~kind:Cxl0.Label.R with
+  | Error (F.Faults.Poisoned _) -> ()
+  | _ -> Alcotest.fail "cas must observe poison");
+  (* neither RMW mutated: heal and look *)
+  F.mstore f 1 x 5;
+  Alcotest.(check int) "value untouched by aborted RMWs" 5 (F.load f 0 x)
+
+let test_poison_requires_plan () =
+  let f = mk () in
+  let x = F.alloc f ~owner:1 in
+  Alcotest.check_raises "no plan"
+    (Invalid_argument "Fabric.poison: no fault plan attached") (fun () ->
+      F.poison f x)
+
+let test_crash_heals_volatile_owner () =
+  let p = F.Faults.plan ~seed:1 () in
+  let f = F.uniform ~seed:7 ~evict_prob:0.0 ~volatile:true ~faults:p 2 in
+  let x = F.alloc f ~owner:1 in
+  F.mstore f 1 x 5;
+  F.poison f x;
+  F.crash f 1;
+  (* the volatile owner's crash re-zeroed the line: fresh data, no
+     poison *)
+  Alcotest.(check bool) "healed by re-init" false (F.poisoned f x);
+  Alcotest.(check int) "zeroed" 0 (F.load f 0 x)
+
+(* ------------------------------------------------------------------ *)
 (* Cross-validation against the formal semantics                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -524,6 +690,22 @@ let () =
             test_topology_costs_scale;
           Alcotest.test_case "local unaffected" `Quick
             test_topology_local_access_unaffected;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "evict_prob validation" `Quick
+            test_evict_prob_validation;
+          Alcotest.test_case "plan validation" `Quick
+            test_fault_plan_validation;
+          Alcotest.test_case "nack" `Quick test_nack_delivers_error;
+          Alcotest.test_case "down link" `Quick test_down_link_times_out;
+          Alcotest.test_case "delay" `Quick test_delay_charges_then_succeeds;
+          Alcotest.test_case "poison + heal" `Quick test_poison_load_and_heal;
+          Alcotest.test_case "poison atomics" `Quick test_poison_atomics_abort;
+          Alcotest.test_case "poison needs plan" `Quick
+            test_poison_requires_plan;
+          Alcotest.test_case "crash heals volatile owner" `Quick
+            test_crash_heals_volatile_owner;
         ] );
       ("cross-validation", [ QCheck_alcotest.to_alcotest prop_cross_validation ]);
     ]

@@ -179,6 +179,7 @@ let test_f3_buffered_worker_crash_violation () =
           { W.at = 17; machine = 0; restart_at = 17; recovery_threads = 2;
             recovery_ops = 1 };
         ];
+      faults = [];
       seed = 875382;
       evict_prob = 0.0;
       cache_capacity = 1;

@@ -324,6 +324,118 @@ let test_concurrent_counter_with_faa () =
   Alcotest.(check int) "30 increments" 30 (F.load fab 0 x)
 
 (* ------------------------------------------------------------------ *)
+(* Retry policy                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let faulty_fab ?(nack = 0.0) () =
+  let p = F.Faults.plan ~seed:11 () in
+  if nack > 0.0 then
+    F.Faults.degrade_link p 0 1 ~nack_prob:nack ~delay_prob:0.0
+      ~delay_cycles:0;
+  F.uniform ~seed:5 ~evict_prob:0.0 ~faults:p 2
+
+let test_retry_absorbs_transient () =
+  let fab = faulty_fab ~nack:0.5 () in
+  let x = F.alloc fab ~owner:1 in
+  let _, oks =
+    run_thread ~fab (fun ctx ->
+        let oks = ref 0 in
+        (* rstore always crosses to the owner, so every iteration rolls
+           the NACK dice (a load would cache the line and go local) *)
+        for v = 1 to 20 do
+          match O.rstore_result ctx x v with
+          | Ok () -> incr oks
+          | Error _ -> ()
+        done;
+        !oks)
+  in
+  let s = F.stats fab in
+  Alcotest.(check bool) "most stores completed" true (oks >= 15);
+  Alcotest.(check bool) "retries happened" true (s.F.Stats.retries > 0);
+  Alcotest.(check bool) "faults recorded" true (s.F.Stats.faults_injected > 0)
+
+let test_retry_exhaustion_raises () =
+  let fab = faulty_fab ~nack:1.0 () in
+  let x = F.alloc fab ~owner:1 in
+  let _, raised =
+    run_thread ~fab (fun ctx ->
+        match O.load ctx x with
+        | _ -> false
+        | exception O.Fault (F.Faults.Nack _) -> true)
+  in
+  Alcotest.(check bool) "persistent NACKs surface as Ops.Fault" true raised;
+  let s = F.stats fab in
+  (* the default policy: 1 attempt + 4 retries, every one NACKed *)
+  Alcotest.(check int) "all retries spent"
+    F.Faults.default_retry.F.Faults.retries s.F.Stats.retries;
+  Alcotest.(check int) "each attempt counted a fault"
+    (F.Faults.default_retry.F.Faults.retries + 1)
+    s.F.Stats.faults_injected
+
+let test_retry_result_no_exception () =
+  let fab = faulty_fab ~nack:1.0 () in
+  let x = F.alloc fab ~owner:1 in
+  let _, r = run_thread ~fab (fun ctx -> O.load_result ctx x) in
+  match r with
+  | Error (F.Faults.Nack { from_m = 0; to_m = 1 }) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Error (Nack 0->1)"
+
+(* ------------------------------------------------------------------ *)
+(* Restart                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_restart_nv_contents_survive () =
+  let fab = mk_fab () in
+  let x = F.alloc fab ~owner:1 in
+  F.lstore fab 0 x 7;
+  F.rflush fab 0 x;
+  let s = S.create fab in
+  S.crash_now s 1;
+  S.restart s 1;
+  Alcotest.(check bool) "machine back up" true (S.machine_is_up s 1);
+  let got = ref (-1) in
+  ignore (S.spawn s ~machine:1 ~name:"r" (fun ctx -> got := O.load ctx x));
+  ignore (S.run s);
+  Alcotest.(check int) "NV contents survive crash+restart" 7 !got
+
+let test_restart_volatile_rezeroed () =
+  let fab = mk_fab ~volatile:true () in
+  let x = F.alloc fab ~owner:1 in
+  F.mstore fab 1 x 7;
+  let s = S.create fab in
+  S.crash_now s 1;
+  S.restart s 1;
+  let got = ref (-1) in
+  ignore (S.spawn s ~machine:1 ~name:"r" (fun ctx -> got := O.load ctx x));
+  ignore (S.run s);
+  Alcotest.(check int) "volatile memory re-zeroed" 0 !got
+
+let test_restarted_machine_runs_recovery () =
+  let fab = mk_fab () in
+  let s = S.create fab in
+  let x = F.alloc fab ~owner:1 in
+  let recovered = ref (-1) in
+  ignore
+    (S.spawn s ~machine:0 ~name:"w" (fun ctx ->
+         O.lstore ctx x 1;
+         O.rflush ctx x;
+         O.lstore ctx x 2));
+  S.at_step s 6 (S.Call (fun s -> S.crash_now s 1));
+  S.at_step s 8
+    (S.Call
+       (fun s ->
+         S.restart s 1;
+         ignore
+           (S.spawn s ~machine:1 ~name:"recover" (fun ctx ->
+                recovered := O.load ctx x))));
+  ignore (S.run s);
+  (* the recovery thread ran on the restarted machine and observed a
+     coherent value (which exact store is visible depends on where the
+     crash landed) *)
+  Alcotest.(check bool) "recovery thread ran" true
+    (!recovered = 0 || !recovered = 1 || !recovered = 2)
+
+(* ------------------------------------------------------------------ *)
 (* Root directory                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -458,6 +570,24 @@ let () =
           Alcotest.test_case "alloc_local" `Quick test_ops_alloc_local;
           Alcotest.test_case "concurrent faa" `Quick
             test_concurrent_counter_with_faa;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "absorbs transient" `Quick
+            test_retry_absorbs_transient;
+          Alcotest.test_case "exhaustion raises" `Quick
+            test_retry_exhaustion_raises;
+          Alcotest.test_case "_result returns Error" `Quick
+            test_retry_result_no_exception;
+        ] );
+      ( "restart",
+        [
+          Alcotest.test_case "NV contents survive" `Quick
+            test_restart_nv_contents_survive;
+          Alcotest.test_case "volatile re-zeroed" `Quick
+            test_restart_volatile_rezeroed;
+          Alcotest.test_case "recovery threads run" `Quick
+            test_restarted_machine_runs_recovery;
         ] );
       ( "rootdir",
         [
