@@ -47,10 +47,15 @@ let run_once ~jobs ~cells ~seed =
   rm_rf dir;
   (seconds, summaries)
 
+(* The campaign-wide counter sums ride in the signature: cells are
+   deterministic in (seed, index) alone, so the aggregated stats must be
+   jobs-independent too — any divergence (a counter reset missed, traffic
+   depending on shard layout) fails the cross-jobs check below. *)
 let summary_sig (s : C.summary) =
-  Printf.sprintf "%s cells=%d ok=%d skipped=%d violations=%d" s.C.transform_name
-    s.C.cells s.C.ok s.C.skipped
+  Printf.sprintf "%s cells=%d ok=%d skipped=%d violations=%d stats=%s"
+    s.C.transform_name s.C.cells s.C.ok s.C.skipped
     (List.length s.C.violations)
+    (Fabric.Stats.to_json s.C.stats)
 
 let () =
   let jobs_list = ref [ 1; 4; 8 ] in

@@ -127,7 +127,8 @@ let e7_fuzz_coverage () =
       in
       Fmt.pr "%-24s %8d %8d %8d %12d@." s.Fuzz.Campaign.transform_name
         s.Fuzz.Campaign.cells s.Fuzz.Campaign.ok s.Fuzz.Campaign.skipped
-        (List.length s.Fuzz.Campaign.violations))
+        (List.length s.Fuzz.Campaign.violations);
+      Fmt.pr "  stats: %s@." (Fabric.Stats.to_json s.Fuzz.Campaign.stats))
     (Flit.Registry.all @ Flit.Registry.extensions);
   Fmt.pr
     "(expected shape: zero violations everywhere except the noflush \
@@ -203,6 +204,30 @@ let e8_machine_sweep () =
       Fmt.pr "@.")
     [ Flit.Registry.alg2_mstore; Flit.Registry.alg3_rstore;
       Flit.Registry.alg3'_weakest ]
+
+(* ------------------------------------------------------------------ *)
+(* E8d: per-primitive latency distributions                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The cycles/op averages above hide the shape: a transformation whose
+   mean is dominated by a few expensive RFlushes looks like one paying a
+   moderate surcharge everywhere.  Rerun two E8a points with the event
+   tracer attached and print the per-primitive latency histograms
+   (p50/p90/p99/max in simulated cycles) from the tracer's report. *)
+let e8_latency_distributions () =
+  hr "E8d: per-primitive latency distribution (map, 50% reads, 3 machines)";
+  List.iter
+    (fun t ->
+      let tracer = Obs.Tracer.create () in
+      let c = Harness.Measure.default_config Harness.Objects.Map t in
+      ignore (Harness.Measure.run ~tracer c);
+      Fmt.pr "  -- %s --@." (Flit.Flit_intf.name t);
+      Fmt.pr "%a@." Obs.Report.pp (Obs.Tracer.report tracer))
+    [ Flit.Registry.alg2_mstore; Flit.Registry.alg3'_weakest ];
+  Fmt.pr
+    "(expected shape: loads split into a cheap cached mode and an \
+     expensive remote mode; Alg 2's mstores sit at the remote-memory \
+     cost for every write, while Alg 3's tail is the flush path)@."
 
 (* ------------------------------------------------------------------ *)
 (* E9: FliT-counter ablation                                           *)
@@ -536,6 +561,7 @@ let () =
   e8_transform_comparison ();
   e8_read_ratio_sweep ();
   e8_machine_sweep ();
+  e8_latency_distributions ();
   e9_ablation ();
   e11_buffered_sync ();
   e12_adaptive ();

@@ -70,6 +70,7 @@ let print_summary (s : Fuzz.Campaign.summary) =
   Fmt.pr "%-16s %5d cells: %5d ok, %3d skipped, %3d violation(s)@."
     s.transform_name s.cells s.ok s.skipped
     (List.length s.violations);
+  Fmt.pr "  stats: %s@." (Fabric.Stats.to_json s.stats);
   List.iter
     (fun (v : Fuzz.Campaign.violation) ->
       Fmt.pr "  cell %d: %s@." v.index
@@ -80,22 +81,32 @@ let print_summary (s : Fuzz.Campaign.summary) =
         (if v.fresh then "" else " (already known)"))
     s.violations
 
-let replay_file path =
+(* Replay always runs traced: a replay exists to explain a counterexample
+   and the tracer is free here (one short run).  With --trace FILE the
+   timeline is exported; without, the per-primitive latency report is
+   printed instead. *)
+let replay_file path ~trace =
   match Fuzz.Corpus.load path with
   | Error e ->
       Fmt.epr "cannot replay %s: %a@." path Harness.Codec.pp_error e;
       2
   | Ok c ->
       Fmt.pr "replaying %s@." (Harness.Workload.describe c);
-      let history, verdict, ok = Fuzz.Campaign.replay c in
+      let tracer = Obs.Tracer.create () in
+      let history, verdict, ok = Fuzz.Campaign.replay ~tracer c in
       Fmt.pr "@[<v>history:@,%a@]@." Lincheck.History.pp history;
       Fmt.pr "%s@." verdict;
+      (match trace with
+      | Some file ->
+          Obs.Export.write tracer file;
+          Fmt.pr "traced %d event(s) to %s@." (Obs.Tracer.length tracer) file
+      | None -> Fmt.pr "%a@." Obs.Report.pp (Obs.Tracer.report tracer));
       if ok then 0 else 1
 
 let run campaign seed jobs transforms kind fault_env corpus_dir
-    min_violations max_violations replay =
+    min_violations max_violations replay trace =
   match replay with
-  | Some path -> replay_file path
+  | Some path -> replay_file path ~trace
   | None -> (
       let jobs =
         match jobs with
@@ -267,7 +278,19 @@ let replay =
     & info [ "replay" ] ~docv:"FILE"
         ~doc:
           "Replay one corpus file deterministically, printing the \
-           recorded history and verdict, instead of running a campaign.")
+           recorded history and verdict, instead of running a campaign.  \
+           Replays always run with the event tracer attached: without \
+           $(b,--trace) the per-primitive latency report is printed.")
+
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "With $(b,--replay): write the replayed run's timeline to \
+           $(docv) as Chrome/Perfetto trace-event JSON (compact sexp \
+           dump if $(docv) ends in .sexp).")
 
 let cmd =
   Cmd.v
@@ -275,6 +298,6 @@ let cmd =
        ~doc:"Randomized crash-fault campaigns with shrinking and replay")
     Term.(
       const run $ campaign $ seed $ jobs $ transforms $ kind $ fault_env
-      $ corpus_dir $ min_violations $ max_violations $ replay)
+      $ corpus_dir $ min_violations $ max_violations $ replay $ trace)
 
 let () = exit (Cmd.eval' cmd)

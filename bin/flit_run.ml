@@ -60,29 +60,59 @@ let fault_specs ~faults seed : Harness.Workload.fault_spec list =
           { at = 5 + (seed mod 23); loc_seed = seed };
       ]
 
-let run_one kind transform ~crash ~faults ~seeds ~verbose =
+let config_for kind transform ~crash ~faults seed =
+  let c = Harness.Workload.default_config kind transform in
+  let crashes =
+    match crash with
+    | "none" -> []
+    | "home" -> [ crash_spec ~machine:2 seed ]
+    | _ -> [ crash_spec ~machine:0 seed ]
+  in
+  { c with
+    Harness.Workload.seed;
+    crashes;
+    faults = fault_specs ~faults seed }
+
+(* One phase row of --stats: the Stats.diff of a workload phase as the
+   canonical counter JSON, keyed so phases line up across seeds. *)
+let print_phase name (s : Fabric.Stats.t) =
+  Fmt.pr "  %-9s %s@." name (Fabric.Stats.to_json s)
+
+let run_one kind transform ~crash ~faults ~seeds ~verbose ~stats ~trace =
   let failures = ref [] in
   for seed = 1 to seeds do
-    let c = Harness.Workload.default_config kind transform in
-    let crashes =
-      match crash with
-      | "none" -> []
-      | "home" -> [ crash_spec ~machine:2 seed ]
-      | _ -> [ crash_spec ~machine:0 seed ]
+    let c = config_for kind transform ~crash ~faults seed in
+    let r = Harness.Workload.run c in
+    let v =
+      Lincheck.Durable.check
+        ~provenance:(Harness.Workload.describe c)
+        (Harness.Objects.spec c.Harness.Workload.kind)
+        r.Harness.Workload.history
     in
-    let c =
-      { c with
-        Harness.Workload.seed;
-        crashes;
-        faults = fault_specs ~faults seed }
-    in
-    let v = Harness.Workload.check c in
     if not v.Lincheck.Durable.durable then begin
       failures := seed :: !failures;
       if verbose then
         Fmt.pr "@.seed %d violation:@.%a@." seed Lincheck.Durable.pp_verdict v
+    end;
+    if stats then begin
+      Fmt.pr "seed %d phases:@." seed;
+      print_phase "setup" r.Harness.Workload.phases.Harness.Workload.setup;
+      print_phase "measured" r.Harness.Workload.phases.Harness.Workload.measured;
+      print_phase "recovery" r.Harness.Workload.phases.Harness.Workload.recovery
     end
   done;
+  (* one traced re-run per invocation: the first failing seed if any
+     (the interesting one), else seed 1 — deterministic either way *)
+  (match trace with
+  | None -> ()
+  | Some file ->
+      let seed = match List.rev !failures with s :: _ -> s | [] -> 1 in
+      let tracer = Obs.Tracer.create () in
+      let c = config_for kind transform ~crash ~faults seed in
+      ignore (Harness.Workload.run ~tracer c);
+      Obs.Export.write tracer file;
+      Fmt.pr "traced seed %d (%d events, %d dropped) to %s@." seed
+        (Obs.Tracer.length tracer) (Obs.Tracer.dropped tracer) file);
   let fails = List.length !failures in
   Fmt.pr "%-10s %-16s crash=%-6s%s  %d/%d seeds durably linearizable%s@."
     (Harness.Objects.kind_name kind)
@@ -95,7 +125,7 @@ let run_one kind transform ~crash ~faults ~seeds ~verbose =
      else "");
   fails
 
-let run object_ transform crash faults seeds matrix verbose =
+let run object_ transform crash faults seeds matrix verbose stats trace =
   if not (List.mem faults [ "none"; "transient"; "degraded"; "poison" ])
   then begin
     Fmt.epr "unknown fault envelope %S (none/transient/degraded/poison)@."
@@ -104,7 +134,7 @@ let run object_ transform crash faults seeds matrix verbose =
   end
   else if matrix then begin
     (* the full E7 matrix: every object x every transformation x both
-       crash regimes *)
+       crash regimes; per-seed stats/trace output would drown the table *)
     List.iter
       (fun crash ->
         Fmt.pr "@.=== crash regime: %s ===@." crash;
@@ -112,7 +142,9 @@ let run object_ transform crash faults seeds matrix verbose =
           (fun t ->
             List.iter
               (fun kind ->
-                ignore (run_one kind t ~crash ~faults ~seeds ~verbose))
+                ignore
+                  (run_one kind t ~crash ~faults ~seeds ~verbose
+                     ~stats:false ~trace:None))
               Harness.Objects.all_kinds)
           Flit.Registry.all)
       [ "worker"; "home" ];
@@ -134,7 +166,9 @@ let run object_ transform crash faults seeds matrix verbose =
           Flit.Registry.names;
         2
     | Some kind, Some t ->
-        if run_one kind t ~crash ~faults ~seeds ~verbose > 0 then 1 else 0
+        if run_one kind t ~crash ~faults ~seeds ~verbose ~stats ~trace > 0
+        then 1
+        else 0
 
 let object_ =
   Arg.(
@@ -179,12 +213,31 @@ let matrix =
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print violating histories.")
 
+let stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print per-seed workload-phase counter diffs (setup / measured \
+           ops / recovery) as JSON lines.")
+
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Re-run one seed (the first failing one, else seed 1) with the \
+           event tracer attached and write a Chrome/Perfetto trace-event \
+           timeline to $(docv) (compact sexp dump if $(docv) ends in \
+           .sexp).")
+
 let cmd =
   Cmd.v
     (Cmd.info "flit-run"
        ~doc:"Crash-injected durability runs for transformed objects")
     Term.(
       const run $ object_ $ transform $ crash $ faults $ seeds $ matrix
-      $ verbose)
+      $ verbose $ stats $ trace)
 
 let () = exit (Cmd.eval' cmd)

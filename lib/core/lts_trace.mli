@@ -1,6 +1,11 @@
 (** Recorded executions and seeded random walks over the LTS; the engine
     behind the invariant-preservation property tests and the
-    fabric-vs-model cross-validation. *)
+    fabric-vs-model cross-validation.
+
+    Named [Lts_trace] to keep it distinct from runtime event traces:
+    this module records label sequences of the {e formal} transition
+    system, while {!Obs.Tracer} (one layer up) records timestamped
+    events of the {e simulated} fabric. *)
 
 type step = {
   label : Label.t;

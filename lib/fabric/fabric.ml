@@ -60,6 +60,12 @@ type t = {
   faults : Faults.t option;
       (** the RAS fault plan, if one was attached at creation.  [None]
           keeps every primitive on the exact pre-fault code path. *)
+  tracer : Obs.Tracer.t option;
+      (** the event tracer, if one was attached at creation.  [None]
+          keeps every primitive free of observability work: each
+          emission site is a direct match on this field, so an untraced
+          fabric allocates nothing, draws no randomness and charges no
+          cycles for tracing. *)
 }
 
 let next_uid = Atomic.make 1
@@ -73,7 +79,7 @@ let check_prob name p =
     invalid_arg (Printf.sprintf "%s: probability %g not in [0,1]" name p)
 
 let create ?(model = Latency.default) ?topology ?(seed = 0)
-    ?(evict_prob = 0.05) ?faults conf =
+    ?(evict_prob = 0.05) ?faults ?tracer conf =
   let n = Array.length conf in
   if n = 0 then invalid_arg "Fabric.create: no machines";
   if n > 62 then invalid_arg "Fabric.create: more than 62 machines";
@@ -104,12 +110,13 @@ let create ?(model = Latency.default) ?topology ?(seed = 0)
     rng = Random.State.make [| seed |];
     evict_prob;
     faults;
+    tracer;
   }
 
 (** [uniform n] — an [n]-machine non-volatile fabric with defaults. *)
-let uniform ?model ?topology ?seed ?evict_prob ?faults ?(volatile = false)
-    ?cache_capacity n =
-  create ?model ?topology ?seed ?evict_prob ?faults
+let uniform ?model ?topology ?seed ?evict_prob ?faults ?tracer
+    ?(volatile = false) ?cache_capacity n =
+  create ?model ?topology ?seed ?evict_prob ?faults ?tracer
     (Array.init n (fun i ->
          machine ~volatile ?cache_capacity (Printf.sprintf "M%d" (i + 1))))
 
@@ -125,8 +132,39 @@ let set_evict_prob t p =
 
 let reseed t seed = t.rng <- Random.State.make [| seed |]
 let faults t = t.faults
+let tracer t = t.tracer
 
 let charge t c = t.stats.Stats.cycles <- t.stats.Stats.cycles + c
+
+(* Emission sites.  Each is a direct match on [t.tracer]: with no tracer
+   attached the only cost is the [None] branch — no closure, no event
+   allocation, no cycles — which is what keeps the blessed corpus replay
+   gate byte-identical.  [t0] is read before the primitive executes; a
+   dead int read on the untraced path. *)
+
+let trace_prim t prim i x t0 =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Obs.Tracer.emit tr
+        (Obs.Event.Prim
+           { prim; machine = i; loc = x; t0; t1 = t.stats.Stats.cycles })
+
+let trace_evict t kind i x =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Obs.Tracer.emit tr
+        (Obs.Event.Evict
+           { kind; machine = i; loc = x; cycle = t.stats.Stats.cycles })
+
+let trace_fault t kind ~machine ~to_machine ~loc =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Obs.Tracer.emit tr
+        (Obs.Event.Fault
+           { kind; machine; to_machine; loc; cycle = t.stats.Stats.cycles })
 
 (* Cost of machine [i] reaching machine [k] across the fabric: the base
    remote cost plus the per-hop surcharge for every switch hop beyond
@@ -203,12 +241,14 @@ let rec propagate_from t x i =
     if i = st.owner then begin
       st.mem <- st.cval;
       clear_all_holders t st;
-      t.stats.Stats.evictions_vertical <- t.stats.Stats.evictions_vertical + 1
+      t.stats.Stats.evictions_vertical <- t.stats.Stats.evictions_vertical + 1;
+      trace_evict t Obs.Event.Vertical i x
     end
     else begin
       clear_holder t st i;
       t.stats.Stats.evictions_horizontal <-
         t.stats.Stats.evictions_horizontal + 1;
+      trace_evict t Obs.Event.Horizontal i x;
       insert t st.owner x
     end
 
@@ -253,31 +293,38 @@ let heal_if_planned t x =
     if any cache holds [x] (copying it into [i]'s cache), otherwise the
     owner's memory value. *)
 let load t i x =
+  let t0 = t.stats.Stats.cycles in
   let st = state t x in
-  if st.holders <> 0 then begin
-    let v = st.cval in
-    if holds st i then begin
-      t.stats.Stats.loads_local_cache <- t.stats.Stats.loads_local_cache + 1;
-      charge t t.model.Latency.local_cache
+  let v =
+    if st.holders <> 0 then begin
+      let v = st.cval in
+      if holds st i then begin
+        t.stats.Stats.loads_local_cache <- t.stats.Stats.loads_local_cache + 1;
+        charge t t.model.Latency.local_cache
+      end
+      else begin
+        t.stats.Stats.loads_remote_cache <-
+          t.stats.Stats.loads_remote_cache + 1;
+        charge t (remote_to t i st.owner t.model.Latency.remote_cache);
+        insert t i x
+      end;
+      v
     end
     else begin
-      t.stats.Stats.loads_remote_cache <- t.stats.Stats.loads_remote_cache + 1;
-      charge t (remote_to t i st.owner t.model.Latency.remote_cache);
-      insert t i x
-    end;
-    v
-  end
-  else begin
-    t.stats.Stats.loads_mem <- t.stats.Stats.loads_mem + 1;
-    charge t
-      (if st.owner = i then t.model.Latency.local_mem
-       else remote_to t i st.owner t.model.Latency.remote_mem);
-    st.mem
-  end
+      t.stats.Stats.loads_mem <- t.stats.Stats.loads_mem + 1;
+      charge t
+        (if st.owner = i then t.model.Latency.local_mem
+         else remote_to t i st.owner t.model.Latency.remote_mem);
+      st.mem
+    end
+  in
+  trace_prim t Obs.Event.Load i x t0;
+  v
 
 (** [lstore t i x v] — LStore: the line lands in [i]'s cache; every other
     cache invalidates it. *)
 let lstore t i x v =
+  let t0 = t.stats.Stats.cycles in
   let st = state t x in
   t.stats.Stats.lstores <- t.stats.Stats.lstores + 1;
   charge t t.model.Latency.local_cache;
@@ -286,10 +333,12 @@ let lstore t i x v =
   st.holders <- keep;
   st.cval <- v;
   insert t i x;
-  heal_if_planned t x
+  heal_if_planned t x;
+  trace_prim t Obs.Event.Lstore i x t0
 
 (** [rstore t i x v] — RStore: the line lands in the owner's cache. *)
 let rstore t i x v =
+  let t0 = t.stats.Stats.cycles in
   let st = state t x in
   t.stats.Stats.rstores <- t.stats.Stats.rstores + 1;
   charge t
@@ -300,11 +349,13 @@ let rstore t i x v =
   st.holders <- keep;
   st.cval <- v;
   insert t st.owner x;
-  heal_if_planned t x
+  heal_if_planned t x;
+  trace_prim t Obs.Event.Rstore i x t0
 
 (** [mstore t i x v] — MStore: straight to the owner's physical memory;
     all caches invalidate. *)
 let mstore t i x v =
+  let t0 = t.stats.Stats.cycles in
   let st = state t x in
   t.stats.Stats.mstores <- t.stats.Stats.mstores + 1;
   charge t
@@ -312,7 +363,8 @@ let mstore t i x v =
      else remote_to t i st.owner t.model.Latency.remote_mem);
   clear_all_holders t st;
   st.mem <- v;
-  heal_if_planned t x
+  heal_if_planned t x;
+  trace_prim t Obs.Event.Mstore i x t0
 
 (** [lflush t i x] — LFlush with *forcing* semantics: perform the
     propagation the formal model's blocking precondition waits for.  If
@@ -320,6 +372,7 @@ let mstore t i x v =
     [i] is the owner, otherwise the line moves to the owner's cache
     (horizontal).  A clean line costs only the check. *)
 let lflush t i x =
+  let t0 = t.stats.Stats.cycles in
   let st = state t x in
   t.stats.Stats.lflushes <- t.stats.Stats.lflushes + 1;
   if holds st i then begin
@@ -328,12 +381,14 @@ let lflush t i x =
        else remote_to t i st.owner t.model.Latency.remote_cache);
     propagate_from t x i
   end
-  else charge t t.model.Latency.clean_check
+  else charge t t.model.Latency.clean_check;
+  trace_prim t Obs.Event.Lflush i x t0
 
 (** [rflush t i x] — RFlush, forcing: the latest value (wherever cached)
     is written back to the owner's physical memory and all caches drop
     the line. *)
 let rflush t i x =
+  let t0 = t.stats.Stats.cycles in
   let st = state t x in
   t.stats.Stats.rflushes <- t.stats.Stats.rflushes + 1;
   if st.holders <> 0 then begin
@@ -344,7 +399,8 @@ let rflush t i x =
     clear_all_holders t st;
     heal_if_planned t x
   end
-  else charge t t.model.Latency.clean_check
+  else charge t t.model.Latency.clean_check;
+  trace_prim t Obs.Event.Rflush i x t0
 
 (* ------------------------------------------------------------------ *)
 (* Atomics                                                             *)
@@ -355,6 +411,7 @@ let rflush t i x =
     scheduler never interleaves inside a primitive); the updated value is
     deposited at the owner's cache, like an RStore. *)
 let faa t i x d =
+  let t0 = t.stats.Stats.cycles in
   let st = state t x in
   t.stats.Stats.faas <- t.stats.Stats.faas + 1;
   charge t
@@ -367,6 +424,7 @@ let faa t i x d =
   st.holders <- keep;
   st.cval <- old + d;
   insert t st.owner x;
+  trace_prim t Obs.Event.Faa i x t0;
   old
 
 type store_kind = Cxl0.Label.store_kind
@@ -376,23 +434,30 @@ type store_kind = Cxl0.Label.store_kind
     decides how strongly a CAS publishes, mirroring how it treats plain
     stores). *)
 let cas t i x ~expected ~desired ~(kind : store_kind) =
+  let t0 = t.stats.Stats.cycles in
   let st = state t x in
   t.stats.Stats.cass <- t.stats.Stats.cass + 1;
   charge t t.model.Latency.atomic_extra;
   let cur = if st.holders <> 0 then st.cval else st.mem in
-  if cur = expected then begin
-    (match kind with
-    | Cxl0.Label.L -> lstore t i x desired
-    | Cxl0.Label.R -> rstore t i x desired
-    | Cxl0.Label.M -> mstore t i x desired);
-    true
-  end
-  else begin
-    charge t
-      (if st.owner = i then t.model.Latency.local_cache
-       else remote_to t i st.owner t.model.Latency.remote_cache);
-    false
-  end
+  let ok =
+    if cur = expected then begin
+      (* a successful CAS emits its inner store's event too — the slice
+         nests inside the CAS slice on the timeline *)
+      (match kind with
+      | Cxl0.Label.L -> lstore t i x desired
+      | Cxl0.Label.R -> rstore t i x desired
+      | Cxl0.Label.M -> mstore t i x desired);
+      true
+    end
+    else begin
+      charge t
+        (if st.owner = i then t.model.Latency.local_cache
+         else remote_to t i st.owner t.model.Latency.remote_cache);
+      false
+    end
+  in
+  trace_prim t Obs.Event.Cas i x t0;
+  ok
 
 (* ------------------------------------------------------------------ *)
 (* Typed-fault variants and the RAS plan                               *)
@@ -423,14 +488,18 @@ let guard t i ~to_m : (unit, Faults.fault) result =
       | `Delay d ->
           count_fault t;
           charge t d;
+          trace_fault t Obs.Event.Delay ~machine:i ~to_machine:to_m ~loc:(-1);
           Ok ()
       | `Fault (Faults.Nack _ as f) ->
           count_fault t;
           charge t (Faults.nack_cycles p);
+          trace_fault t Obs.Event.Nack ~machine:i ~to_machine:to_m ~loc:(-1);
           Error f
       | `Fault (Faults.Link_timeout _ as f) ->
           count_fault t;
           charge t (Faults.timeout_cycles p);
+          trace_fault t Obs.Event.Timeout ~machine:i ~to_machine:to_m
+            ~loc:(-1);
           Error f
       | `Fault f ->
           count_fault t;
@@ -444,10 +513,11 @@ let poisoned_atomic_cost t i x =
    else remote_to t i st.owner t.model.Latency.remote_cache)
   + t.model.Latency.atomic_extra
 
-let check_poison t x : (unit, Faults.fault) result =
+let check_poison t i x : (unit, Faults.fault) result =
   match t.faults with
   | Some p when Faults.is_poisoned p x ->
       count_fault t;
+      trace_fault t Obs.Event.Poison_hit ~machine:i ~to_machine:(-1) ~loc:x;
       Error (Faults.Poisoned { loc = x })
   | _ -> Ok ()
 
@@ -460,7 +530,7 @@ let load_result t i x =
       (* the load itself executes — poisoned data still travels and
          caches; only the value delivery is replaced by the error *)
       let v = load t i x in
-      (match check_poison t x with Ok () -> Ok v | Error _ as e -> e)
+      (match check_poison t i x with Ok () -> Ok v | Error _ as e -> e)
 
 let lstore_result t i x v =
   match guard t i ~to_m:i with
@@ -493,7 +563,7 @@ let faa_result t i x d =
   match guard t i ~to_m:(state t x).owner with
   | Error _ as e -> e
   | Ok () -> (
-      match check_poison t x with
+      match check_poison t i x with
       | Error _ as e ->
           (* the RMW read observed poison: charge the crossing, abort
              before mutating *)
@@ -505,7 +575,7 @@ let cas_result t i x ~expected ~desired ~kind =
   match guard t i ~to_m:(state t x).owner with
   | Error _ as e -> e
   | Ok () -> (
-      match check_poison t x with
+      match check_poison t i x with
       | Error _ as e ->
           charge t (poisoned_atomic_cost t i x);
           e
@@ -518,7 +588,9 @@ let poison t x =
   ignore (state t x);
   match t.faults with
   | None -> invalid_arg "Fabric.poison: no fault plan attached"
-  | Some p -> Faults.poison p x
+  | Some p ->
+      Faults.poison p x;
+      trace_fault t Obs.Event.Poison_set ~machine:(-1) ~to_machine:(-1) ~loc:x
 
 let poisoned t x =
   match t.faults with None -> false | Some p -> Faults.is_poisoned p x
@@ -543,20 +615,23 @@ let link_degraded t a b =
    hosted by [x]'s owner. *)
 
 let account_meta_faa t i x =
+  let t0 = t.stats.Stats.cycles in
   let st = state t x in
   t.stats.Stats.faas <- t.stats.Stats.faas + 1;
   charge t
     ((if st.owner = i then t.model.Latency.local_cache
       else remote_to t i st.owner t.model.Latency.remote_cache)
-    + t.model.Latency.atomic_extra)
+    + t.model.Latency.atomic_extra);
+  trace_prim t Obs.Event.Meta_faa i x t0
 
 (* Counter *reads* ride along with the data access they accompany (FliT
    packs the counter into the object's cache lines), so they cost a
    local-cache touch, not a second fabric crossing. *)
 let account_meta_read t i x =
+  let t0 = t.stats.Stats.cycles in
   ignore (state t x);
-  ignore i;
-  charge t t.model.Latency.local_cache
+  charge t t.model.Latency.local_cache;
+  trace_prim t Obs.Event.Meta_read i x t0
 
 (* ------------------------------------------------------------------ *)
 (* Nondeterministic propagation and crashes                            *)
@@ -607,6 +682,11 @@ let drain t =
     Killing the machine's threads is the scheduler's job. *)
 let crash t i =
   t.stats.Stats.crashes <- t.stats.Stats.crashes + 1;
+  (match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Obs.Tracer.emit tr
+        (Obs.Event.Crash { machine = i; cycle = t.stats.Stats.cycles }));
   let vol = t.conf.(i).volatile in
   for x = 0 to t.n_locs - 1 do
     let st = t.locs.(x) in

@@ -29,18 +29,22 @@ type t
 
 val create :
   ?model:Latency.t -> ?topology:Topology.t -> ?seed:int ->
-  ?evict_prob:float -> ?faults:Faults.t -> machine_conf array -> t
+  ?evict_prob:float -> ?faults:Faults.t -> ?tracer:Obs.Tracer.t ->
+  machine_conf array -> t
 (** Defaults: {!Latency.default}, a flat (single-switch) topology, seed
     0, 5% spontaneous-eviction probability per scheduler tick, no fault
-    plan.  Raises on an empty machine array, more than 62 machines, a
-    topology of the wrong size, an [evict_prob] outside [0,1] (NaN
-    included), or a fault plan referencing a machine index out of
-    range. *)
+    plan, no tracer.  With a tracer attached, every primitive, eviction,
+    crash and fault injection is emitted as a typed {!Obs.Event.t};
+    without one, the fabric performs zero observability work (no
+    allocation, no RNG draws, no cycles).  Raises on an empty machine
+    array, more than 62 machines, a topology of the wrong size, an
+    [evict_prob] outside [0,1] (NaN included), or a fault plan
+    referencing a machine index out of range. *)
 
 val uniform :
   ?model:Latency.t -> ?topology:Topology.t -> ?seed:int ->
-  ?evict_prob:float -> ?faults:Faults.t -> ?volatile:bool ->
-  ?cache_capacity:int -> int -> t
+  ?evict_prob:float -> ?faults:Faults.t -> ?tracer:Obs.Tracer.t ->
+  ?volatile:bool -> ?cache_capacity:int -> int -> t
 (** [uniform n] — [n] identical machines named ["M1" .. "Mn"]. *)
 
 (** {1 Introspection} *)
@@ -118,6 +122,10 @@ val cas : t -> int -> loc -> expected:int -> desired:int -> kind:store_kind -> b
     un-faultable); {!Runtime.Ops} is the retry-aware entry point. *)
 
 val faults : t -> Faults.t option
+
+val tracer : t -> Obs.Tracer.t option
+(** The event tracer attached at creation, if any; the scheduler, retry
+    engine and FliT instances emit their events through this. *)
 
 val load_result : t -> int -> loc -> (int, Faults.fault) result
 (** The load executes (poisoned data still travels and caches); poison

@@ -46,24 +46,141 @@ let create () =
     cycles = 0;
   }
 
-let reset t =
-  t.loads_local_cache <- 0;
-  t.loads_remote_cache <- 0;
-  t.loads_mem <- 0;
-  t.lstores <- 0;
-  t.rstores <- 0;
-  t.mstores <- 0;
-  t.lflushes <- 0;
-  t.rflushes <- 0;
-  t.faas <- 0;
-  t.cass <- 0;
-  t.evictions_horizontal <- 0;
-  t.evictions_vertical <- 0;
-  t.crashes <- 0;
-  t.faults_injected <- 0;
-  t.retries <- 0;
-  t.degraded_ops <- 0;
-  t.cycles <- 0
+(* [blit], [fields] and [add] destructure with a *full* record pattern,
+   and [diff] constructs a full literal: warning 9 is fatal in the dev
+   profile, so adding a counter field without updating every one of them
+   is a compile error — a new counter cannot be silently dropped from
+   reset/copy/diff or the JSON snapshot. *)
+let blit ~from ~into =
+  let {
+    loads_local_cache;
+    loads_remote_cache;
+    loads_mem;
+    lstores;
+    rstores;
+    mstores;
+    lflushes;
+    rflushes;
+    faas;
+    cass;
+    evictions_horizontal;
+    evictions_vertical;
+    crashes;
+    faults_injected;
+    retries;
+    degraded_ops;
+    cycles;
+  } =
+    from
+  in
+  into.loads_local_cache <- loads_local_cache;
+  into.loads_remote_cache <- loads_remote_cache;
+  into.loads_mem <- loads_mem;
+  into.lstores <- lstores;
+  into.rstores <- rstores;
+  into.mstores <- mstores;
+  into.lflushes <- lflushes;
+  into.rflushes <- rflushes;
+  into.faas <- faas;
+  into.cass <- cass;
+  into.evictions_horizontal <- evictions_horizontal;
+  into.evictions_vertical <- evictions_vertical;
+  into.crashes <- crashes;
+  into.faults_injected <- faults_injected;
+  into.retries <- retries;
+  into.degraded_ops <- degraded_ops;
+  into.cycles <- cycles
+
+let reset t = blit ~from:(create ()) ~into:t
+
+let fields t =
+  let {
+    loads_local_cache;
+    loads_remote_cache;
+    loads_mem;
+    lstores;
+    rstores;
+    mstores;
+    lflushes;
+    rflushes;
+    faas;
+    cass;
+    evictions_horizontal;
+    evictions_vertical;
+    crashes;
+    faults_injected;
+    retries;
+    degraded_ops;
+    cycles;
+  } =
+    t
+  in
+  [
+    ("loads_local_cache", loads_local_cache);
+    ("loads_remote_cache", loads_remote_cache);
+    ("loads_mem", loads_mem);
+    ("lstores", lstores);
+    ("rstores", rstores);
+    ("mstores", mstores);
+    ("lflushes", lflushes);
+    ("rflushes", rflushes);
+    ("faas", faas);
+    ("cass", cass);
+    ("evictions_horizontal", evictions_horizontal);
+    ("evictions_vertical", evictions_vertical);
+    ("crashes", crashes);
+    ("faults_injected", faults_injected);
+    ("retries", retries);
+    ("degraded_ops", degraded_ops);
+    ("cycles", cycles);
+  ]
+
+let to_json t =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" k v) (fields t))
+  ^ "}"
+
+let add ~into from =
+  let {
+    loads_local_cache;
+    loads_remote_cache;
+    loads_mem;
+    lstores;
+    rstores;
+    mstores;
+    lflushes;
+    rflushes;
+    faas;
+    cass;
+    evictions_horizontal;
+    evictions_vertical;
+    crashes;
+    faults_injected;
+    retries;
+    degraded_ops;
+    cycles;
+  } =
+    from
+  in
+  into.loads_local_cache <- into.loads_local_cache + loads_local_cache;
+  into.loads_remote_cache <- into.loads_remote_cache + loads_remote_cache;
+  into.loads_mem <- into.loads_mem + loads_mem;
+  into.lstores <- into.lstores + lstores;
+  into.rstores <- into.rstores + rstores;
+  into.mstores <- into.mstores + mstores;
+  into.lflushes <- into.lflushes + lflushes;
+  into.rflushes <- into.rflushes + rflushes;
+  into.faas <- into.faas + faas;
+  into.cass <- into.cass + cass;
+  into.evictions_horizontal <-
+    into.evictions_horizontal + evictions_horizontal;
+  into.evictions_vertical <- into.evictions_vertical + evictions_vertical;
+  into.crashes <- into.crashes + crashes;
+  into.faults_injected <- into.faults_injected + faults_injected;
+  into.retries <- into.retries + retries;
+  into.degraded_ops <- into.degraded_ops + degraded_ops;
+  into.cycles <- into.cycles + cycles
 
 let loads t = t.loads_local_cache + t.loads_remote_cache + t.loads_mem
 let stores t = t.lstores + t.rstores + t.mstores

@@ -22,7 +22,27 @@ type t = {
 }
 
 val create : unit -> t
+
 val reset : t -> unit
+(** Implemented as a field-exhaustive copy from a fresh record (full
+    record patterns; warning 9 is fatal), so a future counter field
+    cannot be silently left unreset. *)
+
+val blit : from:t -> into:t -> unit
+(** Overwrite [into] with [from]'s counters, field-exhaustively. *)
+
+val add : into:t -> t -> unit
+(** Field-exhaustive accumulation: [into += from].  Merges per-cell
+    snapshots into campaign aggregates. *)
+
+val fields : t -> (string * int) list
+(** Every counter as a [(name, value)] row, in declaration order;
+    field-exhaustive, so a new counter appears here or the build
+    breaks. *)
+
+val to_json : t -> string
+(** A one-line JSON object of {!fields} — the machine-readable snapshot
+    emitted by [bench/] and the fuzzer's campaign summaries. *)
 
 (** Aggregates. *)
 

@@ -68,8 +68,10 @@ let two_level groups =
 let size t = t.n
 
 let pp ppf t =
+  (* each row in its own hbox: inside the vbox a bare [sp] would break,
+     scattering the matrix one integer per line *)
   Fmt.pf ppf "@[<v>%a@]"
     Fmt.(
       array ~sep:cut (fun ppf row ->
-          Fmt.pf ppf "%a" (array ~sep:sp int) row))
+          Fmt.pf ppf "@[<h>%a@]" (array ~sep:sp int) row))
     t.hops

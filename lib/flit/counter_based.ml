@@ -33,6 +33,16 @@ let degraded_flush_kind (ctx : Sched.ctx) x (kind : Cxl0.Label.flush_kind) =
       then begin
         let st = Fabric.stats ctx.fab in
         st.Fabric.Stats.degraded_ops <- st.Fabric.Stats.degraded_ops + 1;
+        (match Fabric.tracer ctx.fab with
+        | None -> ()
+        | Some tr ->
+            Obs.Tracer.emit tr
+              (Obs.Event.Fallback
+                 {
+                   machine = ctx.machine;
+                   loc = x;
+                   cycle = Fabric.cycles ctx.fab;
+                 }));
         Cxl0.Label.RF
       end
       else Cxl0.Label.LF

@@ -35,11 +35,29 @@ let create () : t = Hashtbl.create 64
 let get_raw (t : t) x =
   match Hashtbl.find_opt t x with Some v -> v | None -> 0
 
+(* A counter transition (the new value after an incr/decr) is a traced
+   event: a positive-counter window on the timeline is exactly the span
+   in which readers must help by flushing. *)
+let trace_transition (ctx : Runtime.Sched.ctx) x v =
+  match Fabric.tracer ctx.fab with
+  | None -> ()
+  | Some tr ->
+      Obs.Tracer.emit tr
+        (Obs.Event.Counter
+           {
+             machine = ctx.machine;
+             loc = x;
+             value = v;
+             cycle = Fabric.cycles ctx.fab;
+           })
+
 (** [incr t ctx x] — FAA(+1) on [x]'s FliT counter (a scheduling
     point). *)
 let incr (t : t) (ctx : Runtime.Sched.ctx) x =
-  Hashtbl.replace t x (get_raw t x + 1);
+  let v = get_raw t x + 1 in
+  Hashtbl.replace t x v;
   Fabric.account_meta_faa ctx.fab ctx.machine x;
+  trace_transition ctx x v;
   Runtime.Sched.yield ctx
 
 (** [decr t ctx x] — FAA(-1); callers only decrement after incrementing,
@@ -49,6 +67,7 @@ let decr (t : t) (ctx : Runtime.Sched.ctx) x =
   assert (v > 0);
   Hashtbl.replace t x (v - 1);
   Fabric.account_meta_faa ctx.fab ctx.machine x;
+  trace_transition ctx x (v - 1);
   Runtime.Sched.yield ctx
 
 (** [read t ctx x] — current counter value (a scheduling point). *)

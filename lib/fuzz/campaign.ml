@@ -16,7 +16,12 @@ type status =
   | Skipped of string  (** the oracle could not decide (history too long) *)
   | Violation of { shrunk : W.config; verdict : string }
 
-type cell = { index : int; config : W.config; status : status }
+type cell = {
+  index : int;
+  config : W.config;
+  status : status;
+  stats : Fabric.Stats.t;  (** fabric traffic of the cell's (unshrunk) run *)
+}
 
 type violation = {
   index : int;
@@ -33,40 +38,54 @@ type summary = {
   ok : int;
   skipped : int;
   violations : violation list;
+  stats : Fabric.Stats.t;  (** campaign-wide fabric traffic, all cells *)
 }
 
-(** [evaluate profile c] — run the workload and ask the profile's oracle.
-    A [Buffered_cut] oracle that blows its candidate-subset bound counts
-    as skipped, mirroring the durable checker's [History_too_long]. *)
-let evaluate (p : Gen.profile) (c : W.config) :
-    [ `Ok | `Violation of string | `Skipped of string ] =
+(** [evaluate_run profile c] — run the workload once, ask the profile's
+    oracle, and return the run's fabric stats alongside the status.  A
+    [Buffered_cut] oracle that blows its candidate-subset bound counts as
+    skipped, mirroring the durable checker's [History_too_long]. *)
+let evaluate_run (p : Gen.profile) (c : W.config) :
+    [ `Ok | `Violation of string | `Skipped of string ] * Fabric.Stats.t =
   match p.oracle with
   | Gen.Durable -> (
-      let v = W.check c in
+      let r = W.run c in
+      let v =
+        Lincheck.Durable.check ~provenance:(W.describe c)
+          (Harness.Objects.spec c.kind) r.history
+      in
       match v.Lincheck.Durable.skipped with
-      | Some e -> `Skipped (Fmt.str "%a" Lincheck.Check.pp_error e)
+      | Some e -> (`Skipped (Fmt.str "%a" Lincheck.Check.pp_error e), r.stats)
       | None ->
-          if v.durable then `Ok
-          else `Violation (Fmt.str "%a" Lincheck.Durable.pp_verdict v))
+          ( (if v.durable then `Ok
+             else `Violation (Fmt.str "%a" Lincheck.Durable.pp_verdict v)),
+            r.stats ))
   | Gen.Buffered_cut -> (
       let r = W.run c in
       match Lincheck.Buffered.check (Harness.Objects.spec c.kind) r.history with
       | v ->
-          if v.Lincheck.Buffered.buffered_durable then `Ok
-          else
-            `Violation
-              (Fmt.str "%a [%s]" Lincheck.Buffered.pp_verdict v (W.describe c))
-      | exception Invalid_argument msg -> `Skipped msg)
+          ( (if v.Lincheck.Buffered.buffered_durable then `Ok
+             else
+               `Violation
+                 (Fmt.str "%a [%s]" Lincheck.Buffered.pp_verdict v
+                    (W.describe c))),
+            r.stats )
+      | exception Invalid_argument msg -> (`Skipped msg, r.stats))
+
+let evaluate p c = fst (evaluate_run p c)
 
 (** [run_cell profile ~seed i] — generate, check and (on violation)
     shrink cell [i]; deterministic in [(seed, i)] alone. *)
 let run_cell (p : Gen.profile) ~seed (i : int) : cell =
   let rng = Random.State.make [| seed; i |] in
   let c = Gen.gen p rng in
-  match evaluate p c with
-  | `Ok -> { index = i; config = c; status = Ok }
-  | `Skipped why -> { index = i; config = c; status = Skipped why }
-  | `Violation _ ->
+  (* the banked stats are the original run's: shrink iterations probe
+     ever-smaller configs whose traffic says nothing about the sampled
+     workload mix the campaign is characterising *)
+  match evaluate_run p c with
+  | `Ok, stats -> { index = i; config = c; status = Ok; stats }
+  | `Skipped why, stats -> { index = i; config = c; status = Skipped why; stats }
+  | `Violation _, stats ->
       let still_failing c' =
         match evaluate p c' with `Violation _ -> true | _ -> false
       in
@@ -78,7 +97,7 @@ let run_cell (p : Gen.profile) ~seed (i : int) : cell =
             (* minimize only ever returns still-failing configs *)
             assert false
       in
-      { index = i; config = c; status = Violation { shrunk; verdict } }
+      { index = i; config = c; status = Violation { shrunk; verdict }; stats }
 
 let split_lines s = String.split_on_char '\n' s
 
@@ -94,8 +113,10 @@ let run ?(jobs = 1) ?(corpus_dir = "corpus") (p : Gen.profile) ~cells ~seed ()
       (Array.init cells Fun.id)
   in
   let ok = ref 0 and skipped = ref 0 and violations = ref [] in
+  let stats = Fabric.Stats.create () in
   Array.iter
-    (fun cell ->
+    (fun (cell : cell) ->
+      Fabric.Stats.add ~into:stats cell.stats;
       match cell.status with
       | Ok -> incr ok
       | Skipped _ -> incr skipped
@@ -116,14 +137,16 @@ let run ?(jobs = 1) ?(corpus_dir = "corpus") (p : Gen.profile) ~cells ~seed ()
     ok = !ok;
     skipped = !skipped;
     violations = List.rev !violations;
+    stats;
   }
 
-(** [replay c] — one deterministic run of a (corpus) config: the recorded
-    history plus its oracle verdict, both rendered.  The boolean is
-    [true] iff the oracle was satisfied. *)
-let replay (c : W.config) : Lincheck.History.t * string * bool =
+(** [replay ?tracer c] — one deterministic run of a (corpus) config: the
+    recorded history plus its oracle verdict, both rendered.  The boolean
+    is [true] iff the oracle was satisfied.  With [?tracer], every fabric
+    event of the replayed run is captured for export. *)
+let replay ?tracer (c : W.config) : Lincheck.History.t * string * bool =
   let p = Gen.profile_of_transform c.transform in
-  let r = W.run c in
+  let r = W.run ?tracer c in
   match p.oracle with
   | Gen.Durable ->
       let v =

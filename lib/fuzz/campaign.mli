@@ -6,7 +6,12 @@ type status =
   | Skipped of string  (** oracle undecided (history too long) *)
   | Violation of { shrunk : Harness.Workload.config; verdict : string }
 
-type cell = { index : int; config : Harness.Workload.config; status : status }
+type cell = {
+  index : int;
+  config : Harness.Workload.config;
+  status : status;
+  stats : Fabric.Stats.t;  (** fabric traffic of the cell's (unshrunk) run *)
+}
 
 type violation = {
   index : int;
@@ -23,12 +28,21 @@ type summary = {
   ok : int;
   skipped : int;
   violations : violation list;
+  stats : Fabric.Stats.t;
+      (** campaign-wide fabric traffic, summed over every cell's
+          (unshrunk) run with {!Fabric.Stats.add} *)
 }
+
+val evaluate_run :
+  Gen.profile -> Harness.Workload.config ->
+  [ `Ok | `Violation of string | `Skipped of string ] * Fabric.Stats.t
+(** Run the workload once and ask the profile's oracle; also return the
+    run's fabric stats. *)
 
 val evaluate :
   Gen.profile -> Harness.Workload.config ->
   [ `Ok | `Violation of string | `Skipped of string ]
-(** Run the workload and ask the profile's oracle. *)
+(** [evaluate p c = fst (evaluate_run p c)]. *)
 
 val run_cell : Gen.profile -> seed:int -> int -> cell
 (** Generate, check and (on violation) shrink one cell; deterministic in
@@ -41,6 +55,10 @@ val run :
     written to [corpus_dir] (content-hash-deduplicated) sequentially
     afterwards. *)
 
-val replay : Harness.Workload.config -> Lincheck.History.t * string * bool
+val replay :
+  ?tracer:Obs.Tracer.t ->
+  Harness.Workload.config -> Lincheck.History.t * string * bool
 (** One deterministic run of a corpus config: the recorded history, the
-    rendered oracle verdict, and whether the oracle was satisfied. *)
+    rendered oracle verdict, and whether the oracle was satisfied.  With
+    [?tracer], every fabric event of the replayed run is captured for
+    export. *)

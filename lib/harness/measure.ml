@@ -53,11 +53,11 @@ let default_config kind transform =
     sync_every = 0;
   }
 
-let run (c : config) : point =
+let run ?tracer (c : config) : point =
   let home = c.n_machines - 1 in
   let fab =
     Fabric.create ~model:c.model ?topology:c.topology ~seed:c.seed
-      ~evict_prob:c.evict_prob
+      ~evict_prob:c.evict_prob ?tracer
       (Array.init c.n_machines (fun i ->
            Fabric.machine ~cache_capacity:c.cache_capacity
              (Printf.sprintf "M%d" (i + 1))))
@@ -73,8 +73,13 @@ let run (c : config) : point =
   ignore
     (Runtime.Sched.spawn sched ~machine:home ~name:"init" (fun ctx ->
          let inst = Objects.create c.kind flit ctx ~home ~pflag:true in
-         (* measure steady-state traffic, not object creation *)
+         (* measure steady-state traffic, not object creation — the
+            tracer's report gets the same treatment so its histograms
+            describe exactly the measured window *)
          Fabric.Stats.reset (Fabric.stats fab);
+         (match tracer with
+         | None -> ()
+         | Some tr -> Obs.Tracer.clear tr);
          for m = 0 to c.n_machines - 2 do
            for t = 0 to c.threads_per_machine - 1 do
              ignore

@@ -37,8 +37,10 @@ val default_config : Objects.kind -> Flit.Flit_intf.t -> config
 (** 3 machines, 1 worker thread on each compute machine, 300 ops/thread,
     50% reads, default latency model, single switch. *)
 
-val run : config -> point
+val run : ?tracer:Obs.Tracer.t -> config -> point
 (** Object creation happens before the stats snapshot: the point
-    reports steady-state traffic only. *)
+    reports steady-state traffic only.  A [?tracer] is cleared at the
+    same boundary, so its {!Obs.Report} histograms cover exactly the
+    measured window. *)
 
 val pp_point : point Fmt.t

@@ -92,9 +92,21 @@ let describe (c : config) =
     (if c.faults = [] then ""
      else Printf.sprintf " faults=%d" (List.length c.faults))
 
+(** Per-phase {!Fabric.Stats.diff}s of one run: [setup] covers fabric
+    traffic up to the object's creation, [measured] the worker operations
+    until the first crash (or the end, crash-free), [recovery] everything
+    after the first crash — where degraded-mode runs show their retries
+    and fallbacks landing. *)
+type phases = {
+  setup : Fabric.Stats.t;
+  measured : Fabric.Stats.t;
+  recovery : Fabric.Stats.t;
+}
+
 type result = {
   history : Lincheck.History.t;
   stats : Fabric.Stats.t;  (** snapshot after the run *)
+  phases : phases;
 }
 
 (** [build_fabric c] — the fabric of a run: [n_machines] machines with
@@ -121,8 +133,9 @@ let build_faults (c : config) : Fabric.Faults.t option =
         specs;
       Some plan
 
-let build_fabric (c : config) : Fabric.t =
+let build_fabric ?tracer (c : config) : Fabric.t =
   Fabric.create ~seed:c.seed ~evict_prob:c.evict_prob ?faults:(build_faults c)
+    ?tracer
     (Array.init c.n_machines (fun i ->
          Fabric.machine
            ~volatile:(i = c.home && c.volatile_home)
@@ -205,8 +218,8 @@ let install_fault_plan sched (c : config) =
       | Degrade_link _ | Down_link _ -> ())
     c.faults
 
-let run (c : config) : result =
-  let fab = build_fabric c in
+let run ?tracer (c : config) : result =
+  let fab = build_fabric ?tracer c in
   (* the transformation instance is minted once per run and closed over
      by the object's dispatch closures — its auxiliary state (FliT
      counters, dirty sets) survives machine crashes because the run
@@ -215,7 +228,20 @@ let run (c : config) : result =
   let flit = Flit.Flit_intf.instantiate c.transform fab in
   let sched = Runtime.Sched.create ~seed:(c.seed * 7919 + 1) fab in
   let events = ref [] in
-  let record e = events := e :: !events in
+  (* phase boundaries: a snapshot once the object exists (end of setup)
+     and one at the first crash (start of recovery).  Snapshots are pure
+     copies — no fabric traffic, no scheduling point — so recording them
+     cannot perturb the deterministic schedule. *)
+  let setup_snap = ref None in
+  let crash_snap = ref None in
+  let record e =
+    (match e with
+    | Lincheck.History.Crash _
+      when !setup_snap <> None && !crash_snap = None ->
+        crash_snap := Some (Fabric.Stats.copy (Fabric.stats fab))
+    | _ -> ());
+    events := e :: !events
+  in
   (* the init thread creates the object, then spawns the workers; a
      worker whose machine is down at spawn time (a crash plan can fell a
      machine before the init thread runs) is skipped — the machine has no
@@ -231,6 +257,7 @@ let run (c : config) : result =
             ()
         | instance ->
             instance_ref := Some instance;
+            setup_snap := Some (Fabric.Stats.copy (Fabric.stats fab));
             List.iteri
               (fun i machine ->
                 if Runtime.Sched.machine_is_up sched machine then
@@ -245,14 +272,23 @@ let run (c : config) : result =
   install_crash_plan sched c ~record ~instance:(fun () -> !instance_ref);
   install_fault_plan sched c;
   ignore (Runtime.Sched.run sched);
-  {
-    history = List.rev !events;
-    stats = Fabric.Stats.copy (Fabric.stats fab);
-  }
+  let final = Fabric.Stats.copy (Fabric.stats fab) in
+  (* creation never finished -> the whole run was setup; no crash (or a
+     crash before creation) -> no recovery phase *)
+  let setup_end = Option.value !setup_snap ~default:final in
+  let recovery_start = Option.value !crash_snap ~default:final in
+  let phases =
+    {
+      setup = setup_end;
+      measured = Fabric.Stats.diff recovery_start setup_end;
+      recovery = Fabric.Stats.diff final recovery_start;
+    }
+  in
+  { history = List.rev !events; stats = final; phases }
 
 (** [check c] — run the workload and decide durable linearizability of the
     recorded history; the verdict carries [describe c] as provenance. *)
-let check (c : config) : Lincheck.Durable.verdict =
-  let r = run c in
+let check ?tracer (c : config) : Lincheck.Durable.verdict =
+  let r = run ?tracer c in
   Lincheck.Durable.check ~provenance:(describe c) (Objects.spec c.kind)
     r.history

@@ -54,12 +54,24 @@ val default_config : Objects.kind -> Flit.Flit_intf.t -> config
 val describe : config -> string
 (** One-line summary, used as the verdict's provenance label. *)
 
+(** Per-phase {!Fabric.Stats.diff}s of one run: [setup] covers fabric
+    traffic up to the object's creation, [measured] the worker
+    operations until the first crash (or the end, crash-free),
+    [recovery] everything after the first crash — where degraded-mode
+    runs show their retries and fallbacks landing. *)
+type phases = {
+  setup : Fabric.Stats.t;
+  measured : Fabric.Stats.t;
+  recovery : Fabric.Stats.t;
+}
+
 type result = {
   history : Lincheck.History.t;
   stats : Fabric.Stats.t;
+  phases : phases;
 }
 
-val build_fabric : config -> Fabric.t
+val build_fabric : ?tracer:Obs.Tracer.t -> config -> Fabric.t
 (** The fabric of a run: [n_machines] machines, [cache_capacity]-line
     caches, the home volatile iff [volatile_home], seeded evictions —
     and, iff [faults <> []], a {!Fabric.Faults} plan seeded from the run
@@ -80,11 +92,14 @@ val install_fault_plan : Runtime.Sched.t -> config -> unit
     scheduler; standing link faults are already in the fabric's plan
     ({!build_fabric}). *)
 
-val run : config -> result
+val run : ?tracer:Obs.Tracer.t -> config -> result
 (** Workers whose machine is down at spawn time (felled by a crash plan
     before the init thread ran) are skipped.  Operations aborted by a
-    fault that survived the retry policy record a [Faulted] response. *)
+    fault that survived the retry policy record a [Faulted] response.
+    With [?tracer], every fabric/scheduler/FliT event of the run is
+    emitted into it; without, the run is byte-identical to the untraced
+    harness (phase snapshots are pure copies). *)
 
-val check : config -> Lincheck.Durable.verdict
+val check : ?tracer:Obs.Tracer.t -> config -> Lincheck.Durable.verdict
 (** Run and decide durable linearizability; the verdict's provenance is
     [describe c]. *)

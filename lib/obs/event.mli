@@ -1,0 +1,72 @@
+(** Typed runtime events for the observability layer.
+
+    Events carry only plain integers (machine/location/thread indices and
+    simulated-cycle timestamps), never fabric or scheduler values, so
+    this library sits below [lib/fabric] in the dependency order.
+    Timestamps are simulated cycles, not wall clock (DESIGN.md decision
+    11). *)
+
+type prim =
+  | Load
+  | Lstore
+  | Rstore
+  | Mstore
+  | Lflush
+  | Rflush
+  | Faa
+  | Cas
+  | Meta_faa   (** FliT counter increment/decrement (atomic RMW) *)
+  | Meta_read  (** FliT counter read (rides with the data access) *)
+
+val n_prims : int
+val prim_index : prim -> int
+(** A dense index in [0, n_prims); keys the report's histogram array. *)
+
+val prim_name : prim -> string
+val all_prims : prim list
+
+type evict_kind =
+  | Horizontal  (** line moved to the owner's cache *)
+  | Vertical    (** owner wrote the line back to physical memory *)
+
+val evict_kind_name : evict_kind -> string
+
+type fault_kind =
+  | Nack        (** link NACK: the message bounced *)
+  | Timeout     (** down link: completion timeout *)
+  | Delay       (** degraded link: delivery delayed, then proceeded *)
+  | Poison_hit  (** a load/RMW observed a poisoned line *)
+  | Poison_set  (** fault injection: a line was marked poisoned *)
+
+val fault_kind_name : fault_kind -> string
+
+(** One runtime event.  [machine]/[to_machine]/[loc] are [-1] when not
+    applicable. *)
+type t =
+  | Prim of { prim : prim; machine : int; loc : int; t0 : int; t1 : int }
+      (** primitive issued at cycle [t0], completed at [t1] *)
+  | Evict of { kind : evict_kind; machine : int; loc : int; cycle : int }
+  | Crash of { machine : int; cycle : int }
+  | Restart of { machine : int; cycle : int; step : int }
+  | Fault of {
+      kind : fault_kind;
+      machine : int;
+      to_machine : int;
+      loc : int;
+      cycle : int;
+    }
+  | Retry of { machine : int; attempt : int; backoff : int; cycle : int }
+  | Fallback of { machine : int; loc : int; cycle : int }
+      (** degraded-mode LFlush→RFlush substitution *)
+  | Counter of { machine : int; loc : int; value : int; cycle : int }
+      (** FliT counter transition: the counter for [loc] became [value] *)
+  | Switch of { step : int; tid : int; machine : int; cycle : int }
+      (** the scheduler switched thread [tid] in at decision [step] *)
+
+val cycle : t -> int
+(** The simulated cycle at which the event was recorded (a primitive's
+    completion time); nondecreasing in emission order. *)
+
+val pp : t Fmt.t
+(** Compact one-line sexp rendering; the sexp dump is one of these per
+    line. *)

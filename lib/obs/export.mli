@@ -1,0 +1,19 @@
+(** Trace exporters: Chrome trace-event / Perfetto JSON and a compact
+    sexp dump.
+
+    One process per machine, one thread track per scheduler thread
+    (attribution via the cooperative-execution invariant: every event
+    belongs to the most recently switched-in thread); primitives are
+    complete slices in simulated cycles, faults/evictions/retries are
+    instants, crashes and restarts are global instants, FliT counters are
+    counter tracks.  Pure functions of the event sequence, hence
+    deterministic in the run's seed. *)
+
+val to_chrome_json : Tracer.t -> string
+(** Loads in Perfetto / [chrome://tracing]. *)
+
+val to_sexp : Tracer.t -> string
+(** A [(trace ...)] header line, then one event sexp per line. *)
+
+val write : Tracer.t -> string -> unit
+(** Sexp dump when the path ends in [.sexp], Chrome JSON otherwise. *)

@@ -1,0 +1,78 @@
+(** Log-bucketed latency histograms over simulated cycles.
+
+    Bucket [b] holds the samples whose bit-width is [b] (i.e. values in
+    [[2^(b-1), 2^b)]; zero and negatives land in bucket 0), so buckets
+    never need resizing and adding a sample is two array writes.  Each
+    bucket also remembers the *maximum* sample it received, and
+    percentiles report that bucket maximum — a deterministic, slightly
+    conservative estimate (within 2x of the true rank statistic, exact
+    whenever the bucket is a singleton) that never interpolates, so two
+    runs of the same seed report byte-identical percentiles. *)
+
+let buckets = 63
+
+type t = {
+  counts : int array;  (** samples per bucket *)
+  maxs : int array;    (** maximum sample seen per bucket *)
+  mutable n : int;
+  mutable total : int;
+  mutable max_value : int;
+}
+
+let create () =
+  {
+    counts = Array.make buckets 0;
+    maxs = Array.make buckets 0;
+    n = 0;
+    total = 0;
+    max_value = 0;
+  }
+
+let clear t =
+  Array.fill t.counts 0 buckets 0;
+  Array.fill t.maxs 0 buckets 0;
+  t.n <- 0;
+  t.total <- 0;
+  t.max_value <- 0
+
+(** [bucket v] — the bit-width of [v]; 0 for non-positive values. *)
+let bucket v =
+  let rec go b v = if v = 0 then b else go (b + 1) (v lsr 1) in
+  if v <= 0 then 0 else go 0 v
+
+let add t v =
+  let b = bucket v in
+  t.counts.(b) <- t.counts.(b) + 1;
+  if v > t.maxs.(b) then t.maxs.(b) <- v;
+  t.n <- t.n + 1;
+  t.total <- t.total + v;
+  if v > t.max_value then t.max_value <- v
+
+let count t = t.n
+let max_value t = t.max_value
+let total t = t.total
+let mean t = if t.n = 0 then 0.0 else float_of_int t.total /. float_of_int t.n
+
+(** [percentile t p] — the bucket maximum of the bucket in which the
+    [ceil (p * n)]-th smallest sample falls; 0 on an empty histogram. *)
+let percentile t p =
+  if t.n = 0 then 0
+  else begin
+    let target = int_of_float (ceil (p *. float_of_int t.n)) in
+    let target = if target < 1 then 1 else target in
+    let rec go b acc =
+      if b >= buckets then t.max_value
+      else
+        let acc = acc + t.counts.(b) in
+        if acc >= target then t.maxs.(b) else go (b + 1) acc
+    in
+    go 0 0
+  end
+
+let p50 t = percentile t 0.50
+let p90 t = percentile t 0.90
+let p99 t = percentile t 0.99
+
+let pp ppf t =
+  Fmt.pf ppf "n=%d mean=%.1f p50=%d p90=%d p99=%d max=%d" t.n (mean t)
+    (p50 t) (p90 t) (p99 t) t.max_value

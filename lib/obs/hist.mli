@@ -1,0 +1,28 @@
+(** Log-bucketed latency histograms over simulated cycles.
+
+    Bucket [b] holds samples of bit-width [b] and remembers its maximum;
+    percentiles report the bucket maximum of the bucket the rank falls in
+    — deterministic and never interpolated, so same-seed runs report
+    byte-identical percentiles. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+val bucket : int -> int
+(** The bit-width of the value; 0 for non-positive values. *)
+
+val add : t -> int -> unit
+val count : t -> int
+val max_value : t -> int
+val total : t -> int
+val mean : t -> float
+
+val percentile : t -> float -> int
+(** [percentile t p] with [p] in [(0, 1]]; 0 on an empty histogram. *)
+
+val p50 : t -> int
+val p90 : t -> int
+val p99 : t -> int
+val pp : t Fmt.t

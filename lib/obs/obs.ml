@@ -1,0 +1,16 @@
+(** Observability for the simulated CXL stack: typed event tracing,
+    latency histograms, traffic accounting and timeline export.
+
+    Not to be confused with {!Cxl0.Lts_trace}, the formal model's
+    recorded LTS executions: an [Obs] trace is a *runtime* artefact of
+    the mutable fabric (simulated cycles, machine/thread attribution),
+    while an LTS trace is a sequence of labelled transitions of the
+    abstract machine. *)
+
+(* [obs.ml] shares its name with the library, so it is the library's
+   interface module; re-export the siblings. *)
+module Event = Event
+module Tracer = Tracer
+module Hist = Hist
+module Report = Report
+module Export = Export

@@ -1,0 +1,27 @@
+(** Aggregated metrics of a traced run: per-primitive latency histograms
+    in simulated cycles, per-machine and per-line traffic accounting.
+    Updated online by {!Tracer.emit}, so it survives ring-buffer wrap. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+val observe : t -> prim:Event.prim -> machine:int -> loc:int -> cycles:int -> unit
+(** Record one completed primitive.  Called by {!Tracer.emit}; exposed
+    for tests. *)
+
+val hist : t -> Event.prim -> Hist.t
+val total_ops : t -> int
+
+val machines : t -> (int * int * int) list
+(** Per-machine [(machine, ops, cycles)] for every machine that issued
+    anything, in machine order. *)
+
+val lines : t -> (int * int) list
+(** Per-line [(loc, ops)] sorted by descending traffic then ascending
+    location. *)
+
+val pp : t Fmt.t
+(** The latency table (count/p50/p90/p99/max per primitive) plus the
+    traffic rows. *)

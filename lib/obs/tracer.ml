@@ -1,0 +1,74 @@
+(** The event tracer: a fixed-capacity ring buffer of {!Event.t} plus an
+    online {!Report.t}.
+
+    A tracer is attached (optionally) at [Fabric.create ?tracer]; the
+    fabric, scheduler, retry engine and FliT instances emit into it.  The
+    hard contract is on the *absent* tracer: every emission site is a
+    direct [match t.tracer with None -> () | Some tr -> ...], so an
+    untraced fabric performs no allocation, draws no randomness and
+    charges no cycles for observability — the blessed corpus replay gate
+    stays byte-identical.
+
+    When the buffer is full the *oldest* events are overwritten (the tail
+    of a run is what explains its outcome); [dropped] counts the
+    overwrites, and the report — updated on emission — still covers every
+    primitive ever emitted. *)
+
+type t = {
+  buf : Event.t array;
+  cap : int;
+  mutable start : int;    (** index of the oldest retained event *)
+  mutable len : int;      (** retained events, <= [cap] *)
+  mutable dropped : int;  (** events overwritten after wrap *)
+  report : Report.t;
+}
+
+let default_capacity = 1 lsl 16
+
+(* Any event works as the array filler; [len] guards all reads. *)
+let filler = Event.Switch { step = 0; tid = -1; machine = -1; cycle = 0 }
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Obs.Tracer.create: capacity < 1";
+  {
+    buf = Array.make capacity filler;
+    cap = capacity;
+    start = 0;
+    len = 0;
+    dropped = 0;
+    report = Report.create ();
+  }
+
+let emit t e =
+  (match e with
+  | Event.Prim { prim; machine; loc; t0; t1 } ->
+      Report.observe t.report ~prim ~machine ~loc ~cycles:(t1 - t0)
+  | _ -> ());
+  if t.len < t.cap then begin
+    t.buf.((t.start + t.len) mod t.cap) <- e;
+    t.len <- t.len + 1
+  end
+  else begin
+    t.buf.(t.start) <- e;
+    t.start <- (t.start + 1) mod t.cap;
+    t.dropped <- t.dropped + 1
+  end
+
+let length t = t.len
+let dropped t = t.dropped
+let emitted t = t.len + t.dropped
+let capacity t = t.cap
+let report t = t.report
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.start + i) mod t.cap)
+  done
+
+let events t = List.init t.len (fun i -> t.buf.((t.start + i) mod t.cap))
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0;
+  t.dropped <- 0;
+  Report.clear t.report

@@ -1,0 +1,37 @@
+(** The event tracer: a fixed-capacity ring buffer of {!Event.t} plus an
+    online {!Report.t}.
+
+    Attached optionally at [Fabric.create ?tracer].  When full, the
+    *oldest* events are overwritten (the tail of a run explains its
+    outcome); {!dropped} counts overwrites, and the report still covers
+    every primitive ever emitted. *)
+
+type t
+
+val default_capacity : int
+(** 65536 events. *)
+
+val create : ?capacity:int -> unit -> t
+(** Raises [Invalid_argument] on a capacity below 1. *)
+
+val emit : t -> Event.t -> unit
+(** Append an event; a primitive event also feeds the report. *)
+
+val length : t -> int
+(** Events currently retained. *)
+
+val dropped : t -> int
+val emitted : t -> int
+(** Total ever emitted: [length + dropped]. *)
+
+val capacity : t -> int
+val report : t -> Report.t
+
+val iter : (Event.t -> unit) -> t -> unit
+(** Oldest to newest. *)
+
+val events : t -> Event.t list
+(** Oldest to newest. *)
+
+val clear : t -> unit
+(** Empty the buffer and the report. *)

@@ -58,6 +58,17 @@ let protect (ctx : Sched.ctx) (f : unit -> ('a, Fabric.Faults.fault) result)
             in
             Fabric.charge ctx.fab
               (backoff + Sched.jitter ctx pol.Fabric.Faults.backoff_base);
+            (match Fabric.tracer ctx.fab with
+            | None -> ()
+            | Some tr ->
+                Obs.Tracer.emit tr
+                  (Obs.Event.Retry
+                     {
+                       machine = ctx.machine;
+                       attempt = n;
+                       backoff;
+                       cycle = Fabric.cycles ctx.fab;
+                     }));
             yield ctx;
             attempt (n + 1)
         | Error _ as e ->

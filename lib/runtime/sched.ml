@@ -78,7 +78,14 @@ let machine_is_up t i = not (List.mem i t.crashed)
 (** [restart t i] marks a crashed machine as recovered, allowing new
     threads to be spawned on it.  Its fabric state was already wiped at
     crash time; non-volatile memory contents survived. *)
-let restart t i = t.crashed <- List.filter (fun j -> j <> i) t.crashed
+let restart t i =
+  t.crashed <- List.filter (fun j -> j <> i) t.crashed;
+  match Fabric.tracer t.fabric with
+  | None -> ()
+  | Some tr ->
+      Obs.Tracer.emit tr
+        (Obs.Event.Restart
+           { machine = i; cycle = Fabric.cycles t.fabric; step = t.step })
 
 (* Wrap a thread body as an effect-handled fibre. *)
 let fiber (body : unit -> unit) : unit -> status =
@@ -165,6 +172,19 @@ let run t =
         Fabric.maybe_evict t.fabric;
         let n = List.length tasks in
         let chosen = List.nth tasks (Random.State.int t.rng n) in
+        (match Fabric.tracer t.fabric with
+        | None -> ()
+        | Some tr ->
+            (* every event emitted until the next switch belongs to this
+               thread — the exporters attribute tracks this way *)
+            Obs.Tracer.emit tr
+              (Obs.Event.Switch
+                 {
+                   step = t.step;
+                   tid = chosen.task_tid;
+                   machine = chosen.task_machine;
+                   cycle = Fabric.cycles t.fabric;
+                 }));
         (match chosen.resume with
         | None -> ()
         | Some resume ->

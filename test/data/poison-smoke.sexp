@@ -1,0 +1,20 @@
+; Hand-crafted CI smoke scenario: a poisoned line mid-run on an
+; alg3-rstore counter.  Not a counterexample — the durable oracle is
+; expected to hold (poisoned operations abort as typed Faulted
+; responses) — but the traced replay must show the Poison_set instant,
+; Poison_hit faults, and the retries around them.
+(config
+ (kind counter)
+ (transform alg3-rstore)
+ (n-machines 3)
+ (home 2)
+ (volatile-home false)
+ (workers (0 1))
+ (ops-per-thread 4)
+ (crashes ())
+ (seed 11)
+ (evict-prob 0.1)
+ (cache-capacity 4)
+ (value-range 3)
+ (pflag true)
+ (faults ((poison (at 9) (loc-seed 1)))))

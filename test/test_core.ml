@@ -1,5 +1,5 @@
 (* Unit tests for the CXL0 vocabulary types and the Fig. 3 step rules:
-   Machine, Loc, Value, Label, Config, Semantics, Trace.  The reachable-
+   Machine, Loc, Value, Label, Config, Semantics, Lts_trace.  The reachable-
    set machinery has its own suite (test_explore.ml). *)
 
 open Cxl0
@@ -344,13 +344,13 @@ let test_apply_flush_noop () =
 (* ------------------------------------------------------------------ *)
 
 let test_trace_extend () =
-  let t = Trace.empty sys2 in
-  let t = Option.get (Trace.extend t (Label.lstore 0 x1 1)) in
-  let t = Option.get (Trace.extend t (Label.load 1 x1 1)) in
-  Alcotest.(check int) "two steps" 2 (List.length (Trace.labels t));
-  Alcotest.(check bool) "invariant along trace" true (Trace.invariant_holds t);
+  let t = Lts_trace.empty sys2 in
+  let t = Option.get (Lts_trace.extend t (Label.lstore 0 x1 1)) in
+  let t = Option.get (Lts_trace.extend t (Label.load 1 x1 1)) in
+  Alcotest.(check int) "two steps" 2 (List.length (Lts_trace.labels t));
+  Alcotest.(check bool) "invariant along trace" true (Lts_trace.invariant_holds t);
   Alcotest.(check bool) "bad load refused" true
-    (Trace.extend t (Label.load 0 x1 9) = None)
+    (Lts_trace.extend t (Label.load 0 x1 9) = None)
 
 let prop_invariant_random_walks =
   QCheck.Test.make ~name:"coherence invariant holds on random walks"
@@ -359,8 +359,8 @@ let prop_invariant_random_walks =
     (fun (seed, len) ->
       let locs = [ x1; y1; x2 ] in
       let vals = [ 0; 1; 2 ] in
-      let t = Trace.random_walk ~seed ~len sys2 ~locs ~vals in
-      Trace.invariant_holds t)
+      let t = Lts_trace.random_walk ~seed ~len sys2 ~locs ~vals in
+      Lts_trace.invariant_holds t)
 
 let prop_load_sees_visible =
   QCheck.Test.make ~name:"load observes Config.visible_value" ~count:200
@@ -368,8 +368,8 @@ let prop_load_sees_visible =
     (fun (seed, len) ->
       let locs = [ x1; x2 ] in
       let vals = [ 0; 1 ] in
-      let t = Trace.random_walk ~seed ~len sys2 ~locs ~vals in
-      let cfg = t.Trace.final in
+      let t = Lts_trace.random_walk ~seed ~len sys2 ~locs ~vals in
+      let cfg = t.Lts_trace.final in
       List.for_all
         (fun x ->
           List.for_all
@@ -386,8 +386,8 @@ let prop_crash_preserves_invariant =
     (fun (seed, len, who) ->
       let locs = [ x1; x2 ] in
       let vals = [ 0; 1 ] in
-      let t = Trace.random_walk ~seed ~len sys2 ~locs ~vals in
-      Config.invariant (Semantics.crash sys2 t.Trace.final who))
+      let t = Lts_trace.random_walk ~seed ~len sys2 ~locs ~vals in
+      Config.invariant (Semantics.crash sys2 t.Lts_trace.final who))
 
 let () =
   Alcotest.run "cxl0-core"

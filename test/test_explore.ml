@@ -125,8 +125,8 @@ let prop_projection_feasible =
       let sys = Machine.uniform 2 in
       let locs = [ x1; x2; y1 ] in
       let vals = [ 0; 1 ] in
-      let t = Trace.random_walk ~seed ~len sys ~locs ~vals in
-      let visible = List.filter (fun l -> not (Label.is_silent l)) (Trace.labels t) in
+      let t = Lts_trace.random_walk ~seed ~len sys ~locs ~vals in
+      let visible = List.filter (fun l -> not (Label.is_silent l)) (Lts_trace.labels t) in
       Explore.feasible sys Config.init visible)
 
 (* The final configuration of the walk must be among the configurations
@@ -139,15 +139,15 @@ let prop_projection_contains_final =
       let sys = Machine.uniform 2 in
       let locs = [ x1; x2 ] in
       let vals = [ 0; 1 ] in
-      let t = Trace.random_walk ~seed ~len sys ~locs ~vals in
-      let visible = List.filter (fun l -> not (Label.is_silent l)) (Trace.labels t) in
+      let t = Lts_trace.random_walk ~seed ~len sys ~locs ~vals in
+      let visible = List.filter (fun l -> not (Label.is_silent l)) (Lts_trace.labels t) in
       let reach = Explore.run sys Config.init visible in
       (* trailing tau-closure is part of [run], and the walk may itself
          end mid-propagation: close the final config too *)
       Explore.subset
-        (Explore.tau_closure sys (Explore.of_config t.Trace.final))
+        (Explore.tau_closure sys (Explore.of_config t.Lts_trace.final))
         (Explore.tau_closure sys reach)
-      || Config.Set.mem t.Trace.final reach)
+      || Config.Set.mem t.Lts_trace.final reach)
 
 (* Every configuration the engine ever produces satisfies the coherence
    invariant. *)
@@ -159,8 +159,8 @@ let prop_reachable_invariant =
       let sys = Machine.uniform 2 in
       let locs = [ x1; x2 ] in
       let vals = [ 0; 1 ] in
-      let t = Trace.random_walk ~seed ~len sys ~locs ~vals in
-      let visible = List.filter (fun l -> not (Label.is_silent l)) (Trace.labels t) in
+      let t = Lts_trace.random_walk ~seed ~len sys ~locs ~vals in
+      let visible = List.filter (fun l -> not (Label.is_silent l)) (Lts_trace.labels t) in
       let reach = Explore.run sys Config.init visible in
       List.for_all Config.invariant (Explore.elements reach))
 

@@ -336,6 +336,55 @@ let test_topology_validation () =
       ignore
         (F.create ~topology:(F.Topology.flat 3) [| F.machine "a"; F.machine "b" |]))
 
+(* The pretty-printers are part of the tooling surface (bench headers,
+   verbose CLI output); pin their shape so a field rename can't silently
+   turn them into "<abstr>"-style noise. *)
+let test_latency_pp () =
+  let s = Fmt.str "%a" F.Latency.pp F.Latency.default in
+  Alcotest.(check string) "default model"
+    "{local-cache=1; remote-cache=30; local-mem=100; remote-mem=250; \
+     clean=5; atomic=+15; per-hop=+20}"
+    s;
+  let flat = Fmt.str "%a" F.Latency.pp F.Latency.flat in
+  Alcotest.(check bool) "flat model renders" true
+    (String.length flat > 0 && flat.[0] = '{')
+
+let test_topology_pp () =
+  Alcotest.(check string) "flat 2"
+    "0 1\n1 0"
+    (Fmt.str "%a" F.Topology.pp (F.Topology.flat 2));
+  Alcotest.(check string) "two-level [1;1]"
+    "0 3\n3 0"
+    (Fmt.str "%a" F.Topology.pp (F.Topology.two_level [ 1; 1 ]))
+
+(* Edge cases of the hop metric: the diagonal is a zero-cost crossing
+   (same machine — no fabric involved, whatever the matrix says
+   elsewhere), and an of_matrix path can be arbitrarily long — the
+   per-hop surcharge must follow it linearly, not saturate. *)
+let test_topology_hop_edges () =
+  let m =
+    F.Topology.of_matrix
+      [| [| 0; 1; 9 |]; [| 1; 0; 1 |]; [| 9; 1; 0 |] |]
+  in
+  Alcotest.(check int) "diagonal zero" 0 (F.Topology.hops m 2 2);
+  Alcotest.(check int) "max-hop path kept" 9 (F.Topology.hops m 0 2);
+  (* a remote load over the 9-hop path pays exactly 8 more per_hop
+     surcharges than over a 1-hop path *)
+  let cost topology src =
+    let f =
+      F.create ~topology ~seed:1 ~evict_prob:0.0
+        [| F.machine "a"; F.machine "b"; F.machine "home" |]
+    in
+    let x = F.alloc f ~owner:2 in
+    let before = F.cycles f in
+    ignore (F.load f src x);
+    F.cycles f - before
+  in
+  let far = cost m 0 and near = cost m 1 in
+  Alcotest.(check int) "linear in hops"
+    (8 * F.Latency.default.F.Latency.per_hop)
+    (far - near)
+
 let test_topology_costs_scale () =
   (* the same remote load costs more across the spine *)
   let cost topology =
@@ -686,6 +735,9 @@ let () =
           Alcotest.test_case "flat" `Quick test_topology_flat;
           Alcotest.test_case "two level" `Quick test_topology_two_level;
           Alcotest.test_case "validation" `Quick test_topology_validation;
+          Alcotest.test_case "latency pp" `Quick test_latency_pp;
+          Alcotest.test_case "topology pp" `Quick test_topology_pp;
+          Alcotest.test_case "hop edges" `Quick test_topology_hop_edges;
           Alcotest.test_case "costs scale with hops" `Quick
             test_topology_costs_scale;
           Alcotest.test_case "local unaffected" `Quick

@@ -1,0 +1,392 @@
+(* The observability layer: histograms, the ring-buffer tracer, event
+   ordering from real fabric runs, fault/fallback events under a
+   degraded-link plan, exporter determinism, and the Stats JSON shape. *)
+
+module W = Harness.Workload
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_buckets () =
+  Alcotest.(check int) "non-positive" 0 (Obs.Hist.bucket 0);
+  Alcotest.(check int) "negative" 0 (Obs.Hist.bucket (-5));
+  Alcotest.(check int) "one" 1 (Obs.Hist.bucket 1);
+  Alcotest.(check int) "boundary 2" 2 (Obs.Hist.bucket 2);
+  Alcotest.(check int) "boundary 3" 2 (Obs.Hist.bucket 3);
+  Alcotest.(check int) "boundary 4" 3 (Obs.Hist.bucket 4);
+  Alcotest.(check int) "1023" 10 (Obs.Hist.bucket 1023);
+  Alcotest.(check int) "1024" 11 (Obs.Hist.bucket 1024)
+
+let test_hist_percentiles () =
+  let h = Obs.Hist.create () in
+  for v = 1 to 100 do
+    Obs.Hist.add h v
+  done;
+  Alcotest.(check int) "count" 100 (Obs.Hist.count h);
+  Alcotest.(check int) "total" 5050 (Obs.Hist.total h);
+  Alcotest.(check int) "max" 100 (Obs.Hist.max_value h);
+  (* rank 50 falls in bucket 6 (values 32..63, cumulative count 63),
+     whose recorded max is 63: log-bucketed percentiles answer with the
+     bucket's max — an upper bound, never an interpolation *)
+  Alcotest.(check int) "p50" 63 (Obs.Hist.p50 h);
+  Alcotest.(check int) "p90" 100 (Obs.Hist.p90 h);
+  Alcotest.(check int) "p99" 100 (Obs.Hist.p99 h);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Obs.Hist.mean h);
+  Obs.Hist.clear h;
+  Alcotest.(check int) "cleared" 0 (Obs.Hist.count h);
+  Alcotest.(check int) "empty percentile" 0 (Obs.Hist.p99 h)
+
+let test_hist_single_value () =
+  let h = Obs.Hist.create () in
+  Obs.Hist.add h 250;
+  Alcotest.(check int) "p50 = the value" 250 (Obs.Hist.p50 h);
+  Alcotest.(check int) "p99 = the value" 250 (Obs.Hist.p99 h)
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let ev i =
+  Obs.Event.Switch { step = i; tid = 0; machine = 0; cycle = i }
+
+let test_ring_wrap () =
+  let tr = Obs.Tracer.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Obs.Tracer.emit tr (ev i)
+  done;
+  Alcotest.(check int) "length" 4 (Obs.Tracer.length tr);
+  Alcotest.(check int) "dropped" 2 (Obs.Tracer.dropped tr);
+  Alcotest.(check int) "emitted" 6 (Obs.Tracer.emitted tr);
+  (* the oldest events are the ones overwritten: the tail of the run
+     survives *)
+  let steps =
+    List.map
+      (function Obs.Event.Switch { step; _ } -> step | _ -> -1)
+      (Obs.Tracer.events tr)
+  in
+  Alcotest.(check (list int)) "oldest overwritten" [ 3; 4; 5; 6 ] steps;
+  Obs.Tracer.clear tr;
+  Alcotest.(check int) "cleared" 0 (Obs.Tracer.length tr);
+  Alcotest.(check int) "cleared dropped" 0 (Obs.Tracer.dropped tr)
+
+let test_ring_report_survives_wrap () =
+  (* the report is fed on emit, before ring overwrite: statistics cover
+     every emitted event even when the ring kept only the tail *)
+  let tr = Obs.Tracer.create ~capacity:2 () in
+  for i = 1 to 10 do
+    Obs.Tracer.emit tr
+      (Obs.Event.Prim
+         { prim = Obs.Event.Load; machine = 0; loc = 0; t0 = 0; t1 = i })
+  done;
+  Alcotest.(check int) "ring kept 2" 2 (Obs.Tracer.length tr);
+  Alcotest.(check int) "report saw 10" 10
+    (Obs.Hist.count (Obs.Report.hist (Obs.Tracer.report tr) Obs.Event.Load))
+
+let test_tracer_capacity_validation () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Obs.Tracer.create: capacity < 1") (fun () ->
+      ignore (Obs.Tracer.create ~capacity:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Events from real runs                                               *)
+(* ------------------------------------------------------------------ *)
+
+let crash_config () =
+  let c =
+    W.default_config Harness.Objects.Register Flit.Registry.weakest_lflush
+  in
+  {
+    c with
+    W.seed = 3;
+    ops_per_thread = 4;
+    crashes =
+      [
+        {
+          W.at = 12;
+          machine = 0;
+          restart_at = 18;
+          recovery_threads = 1;
+          recovery_ops = 2;
+        };
+      ];
+  }
+
+let traced_run c =
+  let tracer = Obs.Tracer.create () in
+  ignore (W.run ~tracer c);
+  tracer
+
+let test_event_order_nondecreasing () =
+  let tracer = traced_run (crash_config ()) in
+  Alcotest.(check bool) "some events" true (Obs.Tracer.length tracer > 0);
+  let last = ref 0 in
+  Obs.Tracer.iter
+    (fun e ->
+      let c = Obs.Event.cycle e in
+      if c < !last then
+        Alcotest.failf "cycle went backwards: %d after %d (%a)" c !last
+          Obs.Event.pp e;
+      last := c)
+    tracer
+
+let test_crash_restart_events () =
+  let tracer = traced_run (crash_config ()) in
+  let crashes = ref 0 and restarts = ref 0 and prims = ref 0 in
+  Obs.Tracer.iter
+    (function
+      | Obs.Event.Crash { machine; _ } ->
+          Alcotest.(check int) "crash machine" 0 machine;
+          incr crashes
+      | Obs.Event.Restart { machine; _ } ->
+          Alcotest.(check int) "restart machine" 0 machine;
+          incr restarts
+      | Obs.Event.Prim _ -> incr prims
+      | _ -> ())
+    tracer;
+  Alcotest.(check int) "one crash" 1 !crashes;
+  Alcotest.(check int) "one restart" 1 !restarts;
+  Alcotest.(check bool) "primitives traced" true (!prims > 0)
+
+let test_flit_counter_events () =
+  let tracer = traced_run (crash_config ()) in
+  (* weakest-lflush is counter-based: every write brackets the location
+     with an incr/decr pair, so transitions must appear and the last
+     transition per location from a clean (non-mid-crash) writer pairs
+     back to zero eventually for some location *)
+  let transitions = ref [] in
+  Obs.Tracer.iter
+    (function
+      | Obs.Event.Counter { value; _ } -> transitions := value :: !transitions
+      | _ -> ())
+    tracer;
+  Alcotest.(check bool) "counter transitions traced" true (!transitions <> []);
+  Alcotest.(check bool) "values alternate above/at zero" true
+    (List.for_all (fun v -> v >= 0) !transitions);
+  Alcotest.(check bool) "some positive window" true
+    (List.exists (fun v -> v > 0) !transitions)
+
+(* The ISSUE's acceptance scenario: a degraded link between a worker and
+   the home must surface Fault (nack/delay), Retry, and — with the
+   counter-based degraded transform — LF->RF Fallback events. *)
+let degraded_config () =
+  let c =
+    W.default_config Harness.Objects.Register Flit.Registry.weakest_lflush
+  in
+  {
+    c with
+    W.seed = 5;
+    ops_per_thread = 6;
+    faults =
+      [
+        W.Degrade_link
+          {
+            m1 = 0;
+            m2 = 2;
+            nack_prob = 0.4;
+            delay_prob = 0.3;
+            delay_cycles = 50;
+          };
+      ];
+  }
+
+let test_degraded_link_events () =
+  let tracer = traced_run (degraded_config ()) in
+  let faults = ref 0 and retries = ref 0 in
+  Obs.Tracer.iter
+    (function
+      | Obs.Event.Fault { kind = Obs.Event.Nack | Obs.Event.Delay; _ } ->
+          incr faults
+      | Obs.Event.Retry { attempt; backoff; _ } ->
+          (* attempts are 0-based: the first retry is attempt 0 *)
+          Alcotest.(check bool) "attempt non-negative" true (attempt >= 0);
+          Alcotest.(check bool) "backoff positive" true (backoff > 0);
+          incr retries
+      | _ -> ())
+    tracer;
+  Alcotest.(check bool) "faults traced" true (!faults > 0);
+  Alcotest.(check bool) "retries traced" true (!retries > 0)
+
+let test_fallback_events () =
+  (* weakest-lflush flushes with LFlush; a degraded worker<->home link
+     drives it onto the LF->RF fallback path (mirrors
+     test_faults.test_degraded_fallback, which asserts the counter — here
+     the event must be on the timeline too) *)
+  let c =
+    W.default_config Harness.Objects.Register Flit.Registry.weakest_lflush
+  in
+  let c =
+    {
+      c with
+      W.seed = 3;
+      ops_per_thread = 4;
+      faults =
+        [
+          W.Degrade_link
+            {
+              m1 = 0;
+              m2 = 2;
+              nack_prob = 0.2;
+              delay_prob = 0.0;
+              delay_cycles = 0;
+            };
+        ];
+    }
+  in
+  let tracer = traced_run c in
+  let fallbacks = ref 0 in
+  Obs.Tracer.iter
+    (function Obs.Event.Fallback _ -> incr fallbacks | _ -> ())
+    tracer;
+  Alcotest.(check bool) "fallbacks traced" true (!fallbacks > 0)
+
+let test_untraced_matches_traced_history () =
+  (* attaching a tracer must not perturb the run: same config, with and
+     without, must produce the identical history *)
+  let c = degraded_config () in
+  let r1 = W.run c in
+  let tracer = Obs.Tracer.create () in
+  let r2 = W.run ~tracer c in
+  Alcotest.(check string) "history identical"
+    (Fmt.str "%a" Lincheck.History.pp r1.W.history)
+    (Fmt.str "%a" Lincheck.History.pp r2.W.history);
+  Alcotest.(check string) "stats identical"
+    (Fabric.Stats.to_json r1.W.stats)
+    (Fabric.Stats.to_json r2.W.stats)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_json_deterministic () =
+  let j1 = Obs.Export.to_chrome_json (traced_run (degraded_config ())) in
+  let j2 = Obs.Export.to_chrome_json (traced_run (degraded_config ())) in
+  Alcotest.(check string) "two traced runs byte-identical" j1 j2;
+  Alcotest.(check bool) "well-formed header" true
+    (String.length j1 > 2 && String.sub j1 0 15 = "{\"traceEvents\":");
+  Alcotest.(check bool) "displayTimeUnit footer" true
+    (let needle = "displayTimeUnit" in
+     let rec find i =
+       i + String.length needle <= String.length j1
+       && (String.sub j1 i (String.length needle) = needle || find (i + 1))
+     in
+     find 0)
+
+let test_sexp_export () =
+  let s = Obs.Export.to_sexp (traced_run (crash_config ())) in
+  Alcotest.(check bool) "header" true
+    (String.length s > 7 && String.sub s 0 7 = "(trace ");
+  Alcotest.(check bool) "crash event rendered" true
+    (let needle = "(crash" in
+     let rec find i =
+       i + String.length needle <= String.length s
+       && (String.sub s i (String.length needle) = needle || find (i + 1))
+     in
+     find 0)
+
+(* ------------------------------------------------------------------ *)
+(* Stats JSON                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_json_shape () =
+  let s = Fabric.Stats.create () in
+  let fields = Fabric.Stats.fields s in
+  Alcotest.(check int) "all counters present" 17 (List.length fields);
+  let j = Fabric.Stats.to_json s in
+  Alcotest.(check bool) "object braces" true
+    (j.[0] = '{' && j.[String.length j - 1] = '}');
+  List.iter
+    (fun (k, _) ->
+      let needle = Printf.sprintf "\"%s\":" k in
+      let rec find i =
+        i + String.length needle <= String.length j
+        && (String.sub j i (String.length needle) = needle || find (i + 1))
+      in
+      Alcotest.(check bool) (k ^ " in json") true (find 0))
+    fields
+
+let test_stats_add () =
+  let a = Fabric.Stats.create () and b = Fabric.Stats.create () in
+  a.Fabric.Stats.cycles <- 10;
+  a.Fabric.Stats.lstores <- 2;
+  b.Fabric.Stats.cycles <- 5;
+  b.Fabric.Stats.crashes <- 1;
+  Fabric.Stats.add ~into:a b;
+  Alcotest.(check int) "cycles summed" 15 a.Fabric.Stats.cycles;
+  Alcotest.(check int) "lstores kept" 2 a.Fabric.Stats.lstores;
+  Alcotest.(check int) "crashes added" 1 a.Fabric.Stats.crashes;
+  Alcotest.(check int) "source untouched" 5 b.Fabric.Stats.cycles
+
+(* ------------------------------------------------------------------ *)
+(* Workload phases                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_phases_partition () =
+  let c = crash_config () in
+  let r = W.run c in
+  let total (s : Fabric.Stats.t) = s.Fabric.Stats.cycles in
+  (* setup + measured + recovery = the whole run, cycle for cycle *)
+  Alcotest.(check int) "phases partition the run"
+    (total r.W.stats)
+    (total r.W.phases.W.setup
+    + total r.W.phases.W.measured
+    + total r.W.phases.W.recovery);
+  (* this config crashes mid-run: recovery must be non-empty *)
+  Alcotest.(check bool) "recovery non-empty" true
+    (total r.W.phases.W.recovery > 0);
+  Alcotest.(check int) "exactly the crash in recovery" 1
+    r.W.phases.W.recovery.Fabric.Stats.crashes
+
+let test_phases_crash_free () =
+  let c = { (crash_config ()) with W.crashes = [] } in
+  let r = W.run c in
+  Alcotest.(check int) "no recovery phase" 0
+    r.W.phases.W.recovery.Fabric.Stats.cycles;
+  Alcotest.(check bool) "measured holds the work" true
+    (r.W.phases.W.measured.Fabric.Stats.cycles > 0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "hist",
+        [
+          Alcotest.test_case "buckets" `Quick test_hist_buckets;
+          Alcotest.test_case "percentiles" `Quick test_hist_percentiles;
+          Alcotest.test_case "single value" `Quick test_hist_single_value;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "ring wrap" `Quick test_ring_wrap;
+          Alcotest.test_case "report survives wrap" `Quick
+            test_ring_report_survives_wrap;
+          Alcotest.test_case "capacity validation" `Quick
+            test_tracer_capacity_validation;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "nondecreasing cycles" `Quick
+            test_event_order_nondecreasing;
+          Alcotest.test_case "crash/restart" `Quick test_crash_restart_events;
+          Alcotest.test_case "flit counters" `Quick test_flit_counter_events;
+          Alcotest.test_case "degraded link" `Quick test_degraded_link_events;
+          Alcotest.test_case "lf->rf fallback" `Quick test_fallback_events;
+          Alcotest.test_case "tracer is inert" `Quick
+            test_untraced_matches_traced_history;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome json deterministic" `Quick
+            test_chrome_json_deterministic;
+          Alcotest.test_case "sexp" `Quick test_sexp_export;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "json shape" `Quick test_stats_json_shape;
+          Alcotest.test_case "add" `Quick test_stats_add;
+        ] );
+      ( "phases",
+        [
+          Alcotest.test_case "partition" `Quick test_phases_partition;
+          Alcotest.test_case "crash free" `Quick test_phases_crash_free;
+        ] );
+    ]

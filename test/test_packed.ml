@@ -25,12 +25,12 @@ let prop_roundtrip_random_walk =
       let sys = Machine.uniform n in
       let locs = if n = 3 then [ x1; x2; x3; y1 ] else [ x1; x2; y1 ] in
       let vals = [ 0; 1; 2 ] in
-      let t = Trace.random_walk ~seed ~len sys ~locs ~vals in
+      let t = Lts_trace.random_walk ~seed ~len sys ~locs ~vals in
       let ctx = Packed.make sys ~locs in
       List.for_all
         (fun cfg ->
           Config.equal cfg (Packed.to_config ctx (Packed.of_config ctx cfg)))
-        (Trace.configs t))
+        (Lts_trace.configs t))
 
 (* ... and on every enumerated invariant-satisfying configuration. *)
 let test_roundtrip_enum () =
@@ -56,8 +56,8 @@ let prop_equal_coincides =
       let locs = [ x1; x2; y1 ] in
       let vals = [ 0; 1 ] in
       let ctx = Packed.make sys ~locs in
-      let a = (Trace.random_walk ~seed:s1 ~len:l1 sys ~locs ~vals).Trace.final in
-      let b = (Trace.random_walk ~seed:s2 ~len:l2 sys ~locs ~vals).Trace.final in
+      let a = (Lts_trace.random_walk ~seed:s1 ~len:l1 sys ~locs ~vals).Lts_trace.final in
+      let b = (Lts_trace.random_walk ~seed:s2 ~len:l2 sys ~locs ~vals).Lts_trace.final in
       let pa = Packed.of_config ctx a and pb = Packed.of_config ctx b in
       Packed.equal pa pb = Config.equal a b
       && (Packed.hash pa = Packed.hash pb || not (Config.equal a b)))
@@ -77,9 +77,9 @@ let prop_reachable_sets_agree =
       let sys = Machine.uniform n in
       let locs = if n = 3 then [ x1; x2; x3 ] else [ x1; x2; y1 ] in
       let vals = [ 0; 1 ] in
-      let t = Trace.random_walk ~seed ~len sys ~locs ~vals in
+      let t = Lts_trace.random_walk ~seed ~len sys ~locs ~vals in
       let visible =
-        List.filter (fun l -> not (Label.is_silent l)) (Trace.labels t)
+        List.filter (fun l -> not (Label.is_silent l)) (Lts_trace.labels t)
       in
       let reference = Explore.run sys Config.init visible in
       let cache = Explore.Fast.create (Packed.make sys ~locs) in
@@ -98,8 +98,8 @@ let prop_apply_agrees =
       let locs = [ x1; x2; x3 ] in
       let vals = [ 0; 1 ] in
       let ctx = Packed.make sys ~locs in
-      let t = Trace.random_walk ~seed ~len sys ~locs ~vals in
-      let cfg = t.Trace.final in
+      let t = Lts_trace.random_walk ~seed ~len sys ~locs ~vals in
+      let cfg = t.Lts_trace.final in
       let pc = Packed.of_config ctx cfg in
       List.for_all
         (fun l ->
@@ -107,7 +107,7 @@ let prop_apply_agrees =
           | None, None -> true
           | Some c', Some p' -> Config.equal c' (Packed.to_config ctx p')
           | _ -> false)
-        (Trace.candidates sys cfg ~locs ~vals))
+        (Lts_trace.candidates sys cfg ~locs ~vals))
 
 (* ------------------------------------------------------------------ *)
 (* Exhaustive sweep: engines and jobs counts agree                     *)

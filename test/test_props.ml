@@ -116,10 +116,10 @@ let prop_items_on_random_reachable =
       let sys = Machine.uniform 3 in
       let locs = [ Loc.v ~owner:0 0; Loc.v ~owner:1 0; Loc.v ~owner:2 0 ] in
       let vals = [ 0; 1 ] in
-      let t = Trace.random_walk ~seed ~len sys ~locs ~vals in
+      let t = Lts_trace.random_walk ~seed ~len sys ~locs ~vals in
       List.for_all
         (fun it ->
-          Props.check_item sys it t.Trace.final ~locs ~vals = None)
+          Props.check_item sys it t.Lts_trace.final ~locs ~vals = None)
         Props.items)
 
 let () =
