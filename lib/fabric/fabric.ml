@@ -5,16 +5,32 @@
     configurations, nondeterminism as sets), this module is the same
     machine built for running programs: it exploits the coherence
     invariant — all caches holding [x] hold the same value — to represent
-    a location as a single record
+    a location as a single
 
     {[ { holders : bitmask; cval; mem } ]}
 
-    so every primitive is O(1).  Nondeterministic propagation (τ) becomes
-    the cache-replacement machinery: each machine has a bounded cache with
-    FIFO replacement, and the scheduler may additionally trigger
-    spontaneous evictions ({!maybe_evict}) so that durability bugs
+    triple so every primitive is O(1).  Nondeterministic propagation (τ)
+    becomes the cache-replacement machinery: each machine has a bounded
+    cache with FIFO replacement, and the scheduler may additionally
+    trigger spontaneous evictions ({!maybe_evict}) so that durability bugs
     manifest.  Tests cross-validate this module against the formal
-    semantics step by step ({!to_config}). *)
+    semantics step by step ({!to_config}).
+
+    The data plane is built for mechanical speed (DESIGN.md decision 12):
+
+    - line state lives in parallel unboxed [int array]s (struct of
+      arrays), so a primitive touches flat integer memory — no per-line
+      heap record, no pointer chase;
+    - remote-access charging is a single load from per-pair cost tables
+      precomputed at {!create} from the latency model and topology;
+    - FIFO replacement order is kept in preallocated ring buffers, so
+      the eviction engine allocates nothing in steady state;
+    - independent primitives can be submitted through a reusable
+      {!batch} and issued/retired in one fabric call.
+
+    All of it is behaviour-preserving: same cycle charges, same stats,
+    same RNG draw sequence — the blessed corpus replay gate checks
+    byte-identity. *)
 
 (* [fabric.ml] shares its name with the library, so it is the library's
    interface module; re-export the siblings. *)
@@ -36,25 +52,73 @@ let machine ?(volatile = false) ?(cache_capacity = 1024) name =
 type loc = int
 (** Locations are dense indices into the fabric's location table. *)
 
-type loc_state = {
-  owner : int;
-  coff : int;            (** offset within the owner's address space *)
-  mutable holders : int; (** bitmask of machines caching this line *)
-  mutable cval : int;    (** the (unique) cached value, if [holders <> 0] *)
-  mutable mem : int;     (** value in the owner's physical memory *)
+(* Preallocated FIFO ring (power-of-two capacity): replacement order per
+   machine.  Entries may be stale — a line invalidated by a later store
+   stays queued until popped — so the ring grows (amortised doubling)
+   rather than bounding at cache capacity; steady state allocates
+   nothing. *)
+type ring = {
+  mutable rbuf : int array;
+  mutable rhead : int;  (** index of the oldest entry *)
+  mutable rlen : int;
 }
 
+let ring_create () = { rbuf = Array.make 16 0; rhead = 0; rlen = 0 }
+
+let ring_push r x =
+  let cap = Array.length r.rbuf in
+  if r.rlen = cap then begin
+    (* full: unwrap into a doubled buffer *)
+    let bigger = Array.make (2 * cap) 0 in
+    let tail = cap - r.rhead in
+    Array.blit r.rbuf r.rhead bigger 0 tail;
+    Array.blit r.rbuf 0 bigger tail r.rhead;
+    r.rbuf <- bigger;
+    r.rhead <- 0
+  end;
+  r.rbuf.((r.rhead + r.rlen) land (Array.length r.rbuf - 1)) <- x;
+  r.rlen <- r.rlen + 1
+
+(* Caller guarantees [rlen > 0]. *)
+let ring_pop r =
+  let x = r.rbuf.(r.rhead) in
+  r.rhead <- (r.rhead + 1) land (Array.length r.rbuf - 1);
+  r.rlen <- r.rlen - 1;
+  x
+
+let ring_clear r =
+  r.rhead <- 0;
+  r.rlen <- 0
+
 type t = {
-  uid : int;  (** unique per fabric instance; keys side tables *)
+  uid : int;  (** unique per fabric instance (labels and diagnostics) *)
   conf : machine_conf array;
-  mutable locs : loc_state array;
+  n_m : int;  (** [Array.length conf], cached for the hot paths *)
+  (* Line storage, struct of arrays: index is the location.  [owner] and
+     [coff] are fixed at allocation; [holders]/[cval]/[mem] mutate on
+     every primitive.  All five grow together ({!alloc}). *)
+  mutable owner : int array;
+  mutable coff : int array;    (** offset within the owner's space *)
+  mutable holders : int array; (** bitmask of machines caching the line *)
+  mutable cval : int array;    (** the (unique) cached value, if held *)
+  mutable mem : int array;     (** value in the owner's physical memory *)
   mutable n_locs : int;
   next_off : int array;        (** per-owner next free offset *)
-  queues : loc Queue.t array;  (** FIFO replacement order per machine *)
+  rings : ring array;          (** FIFO replacement order per machine *)
   live : int array;            (** live cache entries per machine *)
   stats : Stats.t;
   model : Latency.t;
   topology : Topology.t;
+  (* Charging, flattened: the scalar classes as plain fields, the
+     remote classes as dense per-pair tables ([i * n_m + k], issuer ×
+     owner) precomputed from [model] and [topology] — charging a remote
+     access is one array load instead of a hop lookup and multiply. *)
+  lat_local_cache : int;
+  lat_local_mem : int;
+  lat_clean_check : int;
+  lat_atomic_extra : int;
+  cost_rc : int array;  (** remote-cache crossing, surcharge folded in *)
+  cost_rm : int array;  (** remote-memory crossing, surcharge folded in *)
   mutable rng : Random.State.t;
   mutable evict_prob : float;  (** chance of spontaneous eviction per tick *)
   faults : Faults.t option;
@@ -70,19 +134,30 @@ type t = {
 
 let next_uid = Atomic.make 1
 (* Atomic: the fuzz campaign creates fabrics on Parallel worker domains,
-   and the uid keys cross-domain side tables (FliT counters, dirty sets)
-   — a duplicated uid would silently alias them. *)
+   and a duplicated uid would alias their labels. *)
 
 (* NaN fails every comparison, so [not (0 <= p <= 1)] rejects it too. *)
 let check_prob name p =
   if not (p >= 0.0 && p <= 1.0) then
     invalid_arg (Printf.sprintf "%s: probability %g not in [0,1]" name p)
 
+let max_machines = 62
+
+(* "M1" .. "M62", built once: machine names are per-fabric-creation
+   otherwise, and fabric creation is on the fuzz campaign's per-cell
+   path. *)
+let default_names =
+  lazy (Array.init max_machines (fun i -> Printf.sprintf "M%d" (i + 1)))
+
+let default_name i =
+  if i >= 0 && i < max_machines then (Lazy.force default_names).(i)
+  else Printf.sprintf "M%d" (i + 1)
+
 let create ?(model = Latency.default) ?topology ?(seed = 0)
     ?(evict_prob = 0.05) ?faults ?tracer conf =
   let n = Array.length conf in
   if n = 0 then invalid_arg "Fabric.create: no machines";
-  if n > 62 then invalid_arg "Fabric.create: more than 62 machines";
+  if n > max_machines then invalid_arg "Fabric.create: more than 62 machines";
   check_prob "Fabric.create evict_prob" evict_prob;
   (match faults with
   | Some p when Faults.max_machine p >= n ->
@@ -96,17 +171,42 @@ let create ?(model = Latency.default) ?topology ?(seed = 0)
           invalid_arg "Fabric.create: topology size mismatch";
         t
   in
+  (* the per-pair tables; the [hops - 1] surcharge formula is shared
+     with the pre-table code (a same-machine "remote" crossing has hops
+     0, so the diagonal discounts one hop — preserved exactly) *)
+  let cost_rc = Array.make (n * n) 0 in
+  let cost_rm = Array.make (n * n) 0 in
+  for i = 0 to n - 1 do
+    for k = 0 to n - 1 do
+      let surcharge = (Topology.hops topology i k - 1) * model.Latency.per_hop in
+      cost_rc.((i * n) + k) <- model.Latency.remote_cache + surcharge;
+      cost_rm.((i * n) + k) <- model.Latency.remote_mem + surcharge
+    done
+  done;
   {
     uid = Atomic.fetch_and_add next_uid 1;
     conf;
-    locs = Array.make 64 { owner = 0; coff = 0; holders = 0; cval = 0; mem = 0 };
+    n_m = n;
+    (* start small — fuzz cells allocate a handful of lines and create
+       fabrics by the thousand; growth doubles as needed *)
+    owner = Array.make 16 0;
+    coff = Array.make 16 0;
+    holders = Array.make 16 0;
+    cval = Array.make 16 0;
+    mem = Array.make 16 0;
     n_locs = 0;
     next_off = Array.make n 0;
-    queues = Array.init n (fun _ -> Queue.create ());
+    rings = Array.init n (fun _ -> ring_create ());
     live = Array.make n 0;
     stats = Stats.create ();
     model;
     topology;
+    lat_local_cache = model.Latency.local_cache;
+    lat_local_mem = model.Latency.local_mem;
+    lat_clean_check = model.Latency.clean_check;
+    lat_atomic_extra = model.Latency.atomic_extra;
+    cost_rc;
+    cost_rm;
     rng = Random.State.make [| seed |];
     evict_prob;
     faults;
@@ -117,11 +217,10 @@ let create ?(model = Latency.default) ?topology ?(seed = 0)
 let uniform ?model ?topology ?seed ?evict_prob ?faults ?tracer
     ?(volatile = false) ?cache_capacity n =
   create ?model ?topology ?seed ?evict_prob ?faults ?tracer
-    (Array.init n (fun i ->
-         machine ~volatile ?cache_capacity (Printf.sprintf "M%d" (i + 1))))
+    (Array.init n (fun i -> machine ~volatile ?cache_capacity (default_name i)))
 
 let uid t = t.uid
-let n_machines t = Array.length t.conf
+let n_machines t = t.n_m
 let stats t = t.stats
 let cycles t = t.stats.Stats.cycles
 let n_locs t = t.n_locs
@@ -166,20 +265,21 @@ let trace_fault t kind ~machine ~to_machine ~loc =
         (Obs.Event.Fault
            { kind; machine; to_machine; loc; cycle = t.stats.Stats.cycles })
 
-(* Cost of machine [i] reaching machine [k] across the fabric: the base
-   remote cost plus the per-hop surcharge for every switch hop beyond
-   the first.  Remote accesses are routed via the location's home agent,
-   so the distance that matters is issuer-to-owner. *)
-let remote_to t i k base =
-  base + ((Topology.hops t.topology i k - 1) * t.model.Latency.per_hop)
+(* Cost of machine [i] reaching machine [k]'s cache (resp. memory)
+   across the fabric: one load from the precomputed table.  Remote
+   accesses are routed via the location's home agent, so the distance
+   that matters is issuer-to-owner. *)
+let cost_rc t i k = t.cost_rc.((i * t.n_m) + k)
+let cost_rm t i k = t.cost_rm.((i * t.n_m) + k)
 
 let topology t = t.topology
 
-let state t x =
-  if x < 0 || x >= t.n_locs then invalid_arg "Fabric: bad location";
-  t.locs.(x)
+let check_loc t x =
+  if x < 0 || x >= t.n_locs then invalid_arg "Fabric: bad location"
 
-let owner t x = (state t x).owner
+let owner t x =
+  check_loc t x;
+  t.owner.(x)
 
 (* ------------------------------------------------------------------ *)
 (* Allocation                                                          *)
@@ -189,23 +289,40 @@ let owner t x = (state t x).owner
     initialised to zero.  Allocation is a fabric-management operation and
     is not part of the modelled instruction set (no cycles charged). *)
 let alloc t ~owner =
-  if owner < 0 || owner >= n_machines t then invalid_arg "Fabric.alloc";
-  if t.n_locs = Array.length t.locs then begin
-    let bigger =
-      Array.make (2 * Array.length t.locs)
-        { owner = 0; coff = 0; holders = 0; cval = 0; mem = 0 }
+  if owner < 0 || owner >= t.n_m then invalid_arg "Fabric.alloc";
+  if t.n_locs = Array.length t.owner then begin
+    let grow a =
+      let bigger = Array.make (2 * Array.length a) 0 in
+      Array.blit a 0 bigger 0 t.n_locs;
+      bigger
     in
-    Array.blit t.locs 0 bigger 0 t.n_locs;
-    t.locs <- bigger
+    t.owner <- grow t.owner;
+    t.coff <- grow t.coff;
+    t.holders <- grow t.holders;
+    t.cval <- grow t.cval;
+    t.mem <- grow t.mem
   end;
   let x = t.n_locs in
   let coff = t.next_off.(owner) in
   t.next_off.(owner) <- coff + 1;
-  t.locs.(x) <- { owner; coff; holders = 0; cval = 0; mem = 0 };
+  t.owner.(x) <- owner;
+  t.coff.(x) <- coff;
+  t.holders.(x) <- 0;
+  t.cval.(x) <- 0;
+  t.mem.(x) <- 0;
   t.n_locs <- x + 1;
   x
 
-let alloc_n t ~owner n = List.init n (fun _ -> alloc t ~owner)
+(* Array-backed with an explicit ascending loop: the locations of a
+   batch must be consecutive ([List.init]'s evaluation order is
+   unspecified, and here evaluation order is allocation order). *)
+let alloc_n t ~owner n =
+  if n < 0 then invalid_arg "Fabric.alloc_n";
+  let a = Array.make n 0 in
+  for i = 0 to n - 1 do
+    a.(i) <- alloc t ~owner
+  done;
+  Array.to_list a
 
 (* ------------------------------------------------------------------ *)
 (* Holder-set plumbing                                                 *)
@@ -213,21 +330,26 @@ let alloc_n t ~owner n = List.init n (fun _ -> alloc t ~owner)
 
 let bit = Cxl0.Packed.bit
 
-let holds st i = st.holders land bit i <> 0
+let holds t x i = t.holders.(x) land bit i <> 0
 
 (* Drop [i]'s live count for every holder in [mask]; shares the packed
    engine's bitmask iterator. *)
+(* A closure over [t] here would be a minor allocation on every store
+   and RMW — loop over the (few) machines instead. *)
 let uncount_holders t mask =
-  Cxl0.Packed.iter_bits (fun i -> t.live.(i) <- t.live.(i) - 1) mask
+  if mask <> 0 then
+    for i = 0 to t.n_m - 1 do
+      if mask land bit i <> 0 then t.live.(i) <- t.live.(i) - 1
+    done
 
 (* Clear every holder bit, updating per-machine live counts. *)
-let clear_all_holders t st =
-  uncount_holders t st.holders;
-  st.holders <- 0
+let clear_all_holders t x =
+  uncount_holders t t.holders.(x);
+  t.holders.(x) <- 0
 
-let clear_holder t st i =
-  if holds st i then begin
-    st.holders <- st.holders land lnot (bit i);
+let clear_holder t x i =
+  if holds t x i then begin
+    t.holders.(x) <- t.holders.(x) land lnot (bit i);
     t.live.(i) <- t.live.(i) - 1
   end
 
@@ -236,41 +358,41 @@ let clear_holder t st i =
    memory otherwise (vertical invalidates *all* caches, per the
    CACHE-MEM rule). *)
 let rec propagate_from t x i =
-  let st = state t x in
-  if holds st i then
-    if i = st.owner then begin
-      st.mem <- st.cval;
-      clear_all_holders t st;
+  if holds t x i then
+    if i = t.owner.(x) then begin
+      t.mem.(x) <- t.cval.(x);
+      clear_all_holders t x;
       t.stats.Stats.evictions_vertical <- t.stats.Stats.evictions_vertical + 1;
       trace_evict t Obs.Event.Vertical i x
     end
     else begin
-      clear_holder t st i;
+      clear_holder t x i;
       t.stats.Stats.evictions_horizontal <-
         t.stats.Stats.evictions_horizontal + 1;
       trace_evict t Obs.Event.Horizontal i x;
-      insert t st.owner x
+      insert t t.owner.(x) x
     end
 
 (* Make machine [i] a holder of [x], evicting if over capacity. *)
 and insert t i x =
-  let st = state t x in
-  if not (holds st i) then begin
-    st.holders <- st.holders lor bit i;
+  if not (holds t x i) then begin
+    t.holders.(x) <- t.holders.(x) lor bit i;
     t.live.(i) <- t.live.(i) + 1;
-    Queue.push x t.queues.(i);
+    ring_push t.rings.(i) x;
     while t.live.(i) > t.conf.(i).cache_capacity do
       evict_one t i
     done
   end
 
-(* Evict the oldest live line from machine [i]'s cache. *)
+(* Evict the oldest live line from machine [i]'s cache (stale ring
+   entries — lines no longer held — are skipped and discarded). *)
 and evict_one t i =
-  let q = t.queues.(i) in
+  let r = t.rings.(i) in
   let rec pop () =
-    match Queue.take_opt q with
-    | None -> () (* live count out of sync is impossible; defensive *)
-    | Some x -> if holds (state t x) i then propagate_from t x i else pop ()
+    if r.rlen = 0 then () (* live count out of sync is impossible; defensive *)
+    else
+      let x = ring_pop r in
+      if holds t x i then propagate_from t x i else pop ()
   in
   pop ()
 
@@ -279,8 +401,8 @@ and evict_one t i =
 (* ------------------------------------------------------------------ *)
 
 let visible t x =
-  let st = state t x in
-  if st.holders <> 0 then st.cval else st.mem
+  check_loc t x;
+  if t.holders.(x) <> 0 then t.cval.(x) else t.mem.(x)
 
 (* Overwriting a line with fresh data (any store) or scrubbing it back to
    memory (rflush's write-back) clears its poison; loads and lflushes only
@@ -293,19 +415,19 @@ let heal_if_planned t x =
     if any cache holds [x] (copying it into [i]'s cache), otherwise the
     owner's memory value. *)
 let load t i x =
+  check_loc t x;
   let t0 = t.stats.Stats.cycles in
-  let st = state t x in
   let v =
-    if st.holders <> 0 then begin
-      let v = st.cval in
-      if holds st i then begin
+    if t.holders.(x) <> 0 then begin
+      let v = t.cval.(x) in
+      if holds t x i then begin
         t.stats.Stats.loads_local_cache <- t.stats.Stats.loads_local_cache + 1;
-        charge t t.model.Latency.local_cache
+        charge t t.lat_local_cache
       end
       else begin
         t.stats.Stats.loads_remote_cache <-
           t.stats.Stats.loads_remote_cache + 1;
-        charge t (remote_to t i st.owner t.model.Latency.remote_cache);
+        charge t (cost_rc t i t.owner.(x));
         insert t i x
       end;
       v
@@ -313,9 +435,8 @@ let load t i x =
     else begin
       t.stats.Stats.loads_mem <- t.stats.Stats.loads_mem + 1;
       charge t
-        (if st.owner = i then t.model.Latency.local_mem
-         else remote_to t i st.owner t.model.Latency.remote_mem);
-      st.mem
+        (if t.owner.(x) = i then t.lat_local_mem else cost_rm t i t.owner.(x));
+      t.mem.(x)
     end
   in
   trace_prim t Obs.Event.Load i x t0;
@@ -324,45 +445,43 @@ let load t i x =
 (** [lstore t i x v] — LStore: the line lands in [i]'s cache; every other
     cache invalidates it. *)
 let lstore t i x v =
+  check_loc t x;
   let t0 = t.stats.Stats.cycles in
-  let st = state t x in
   t.stats.Stats.lstores <- t.stats.Stats.lstores + 1;
-  charge t t.model.Latency.local_cache;
-  let keep = if holds st i then bit i else 0 in
-  uncount_holders t (st.holders land lnot keep);
-  st.holders <- keep;
-  st.cval <- v;
+  charge t t.lat_local_cache;
+  let keep = if holds t x i then bit i else 0 in
+  uncount_holders t (t.holders.(x) land lnot keep);
+  t.holders.(x) <- keep;
+  t.cval.(x) <- v;
   insert t i x;
   heal_if_planned t x;
   trace_prim t Obs.Event.Lstore i x t0
 
 (** [rstore t i x v] — RStore: the line lands in the owner's cache. *)
 let rstore t i x v =
+  check_loc t x;
   let t0 = t.stats.Stats.cycles in
-  let st = state t x in
+  let ow = t.owner.(x) in
   t.stats.Stats.rstores <- t.stats.Stats.rstores + 1;
-  charge t
-    (if st.owner = i then t.model.Latency.local_cache
-     else remote_to t i st.owner t.model.Latency.remote_cache);
-  let keep = if holds st st.owner then bit st.owner else 0 in
-  uncount_holders t (st.holders land lnot keep);
-  st.holders <- keep;
-  st.cval <- v;
-  insert t st.owner x;
+  charge t (if ow = i then t.lat_local_cache else cost_rc t i ow);
+  let keep = if holds t x ow then bit ow else 0 in
+  uncount_holders t (t.holders.(x) land lnot keep);
+  t.holders.(x) <- keep;
+  t.cval.(x) <- v;
+  insert t ow x;
   heal_if_planned t x;
   trace_prim t Obs.Event.Rstore i x t0
 
 (** [mstore t i x v] — MStore: straight to the owner's physical memory;
     all caches invalidate. *)
 let mstore t i x v =
+  check_loc t x;
   let t0 = t.stats.Stats.cycles in
-  let st = state t x in
+  let ow = t.owner.(x) in
   t.stats.Stats.mstores <- t.stats.Stats.mstores + 1;
-  charge t
-    (if st.owner = i then t.model.Latency.local_mem
-     else remote_to t i st.owner t.model.Latency.remote_mem);
-  clear_all_holders t st;
-  st.mem <- v;
+  charge t (if ow = i then t.lat_local_mem else cost_rm t i ow);
+  clear_all_holders t x;
+  t.mem.(x) <- v;
   heal_if_planned t x;
   trace_prim t Obs.Event.Mstore i x t0
 
@@ -372,34 +491,32 @@ let mstore t i x v =
     [i] is the owner, otherwise the line moves to the owner's cache
     (horizontal).  A clean line costs only the check. *)
 let lflush t i x =
+  check_loc t x;
   let t0 = t.stats.Stats.cycles in
-  let st = state t x in
   t.stats.Stats.lflushes <- t.stats.Stats.lflushes + 1;
-  if holds st i then begin
+  if holds t x i then begin
     charge t
-      (if i = st.owner then t.model.Latency.local_mem
-       else remote_to t i st.owner t.model.Latency.remote_cache);
+      (if i = t.owner.(x) then t.lat_local_mem else cost_rc t i t.owner.(x));
     propagate_from t x i
   end
-  else charge t t.model.Latency.clean_check;
+  else charge t t.lat_clean_check;
   trace_prim t Obs.Event.Lflush i x t0
 
 (** [rflush t i x] — RFlush, forcing: the latest value (wherever cached)
     is written back to the owner's physical memory and all caches drop
     the line. *)
 let rflush t i x =
+  check_loc t x;
   let t0 = t.stats.Stats.cycles in
-  let st = state t x in
   t.stats.Stats.rflushes <- t.stats.Stats.rflushes + 1;
-  if st.holders <> 0 then begin
-    charge t
-      (if st.owner = i then t.model.Latency.local_mem
-       else remote_to t i st.owner t.model.Latency.remote_mem);
-    st.mem <- st.cval;
-    clear_all_holders t st;
+  if t.holders.(x) <> 0 then begin
+    let ow = t.owner.(x) in
+    charge t (if ow = i then t.lat_local_mem else cost_rm t i ow);
+    t.mem.(x) <- t.cval.(x);
+    clear_all_holders t x;
     heal_if_planned t x
   end
-  else charge t t.model.Latency.clean_check;
+  else charge t t.lat_clean_check;
   trace_prim t Obs.Event.Rflush i x t0
 
 (* ------------------------------------------------------------------ *)
@@ -411,19 +528,19 @@ let rflush t i x =
     scheduler never interleaves inside a primitive); the updated value is
     deposited at the owner's cache, like an RStore. *)
 let faa t i x d =
+  check_loc t x;
   let t0 = t.stats.Stats.cycles in
-  let st = state t x in
+  let ow = t.owner.(x) in
   t.stats.Stats.faas <- t.stats.Stats.faas + 1;
   charge t
-    ((if st.owner = i then t.model.Latency.local_cache
-      else remote_to t i st.owner t.model.Latency.remote_cache)
-    + t.model.Latency.atomic_extra);
-  let old = if st.holders <> 0 then st.cval else st.mem in
-  let keep = if holds st st.owner then bit st.owner else 0 in
-  uncount_holders t (st.holders land lnot keep);
-  st.holders <- keep;
-  st.cval <- old + d;
-  insert t st.owner x;
+    ((if ow = i then t.lat_local_cache else cost_rc t i ow)
+    + t.lat_atomic_extra);
+  let old = if t.holders.(x) <> 0 then t.cval.(x) else t.mem.(x) in
+  let keep = if holds t x ow then bit ow else 0 in
+  uncount_holders t (t.holders.(x) land lnot keep);
+  t.holders.(x) <- keep;
+  t.cval.(x) <- old + d;
+  insert t ow x;
   trace_prim t Obs.Event.Faa i x t0;
   old
 
@@ -434,11 +551,11 @@ type store_kind = Cxl0.Label.store_kind
     decides how strongly a CAS publishes, mirroring how it treats plain
     stores). *)
 let cas t i x ~expected ~desired ~(kind : store_kind) =
+  check_loc t x;
   let t0 = t.stats.Stats.cycles in
-  let st = state t x in
   t.stats.Stats.cass <- t.stats.Stats.cass + 1;
-  charge t t.model.Latency.atomic_extra;
-  let cur = if st.holders <> 0 then st.cval else st.mem in
+  charge t t.lat_atomic_extra;
+  let cur = if t.holders.(x) <> 0 then t.cval.(x) else t.mem.(x) in
   let ok =
     if cur = expected then begin
       (* a successful CAS emits its inner store's event too — the slice
@@ -450,9 +567,8 @@ let cas t i x ~expected ~desired ~(kind : store_kind) =
       true
     end
     else begin
-      charge t
-        (if st.owner = i then t.model.Latency.local_cache
-         else remote_to t i st.owner t.model.Latency.remote_cache);
+      let ow = t.owner.(x) in
+      charge t (if ow = i then t.lat_local_cache else cost_rc t i ow);
       false
     end
   in
@@ -508,10 +624,9 @@ let guard t i ~to_m : (unit, Faults.fault) result =
 (* Cost of reaching [x]'s line for an atomic that aborts on poison: the
    fabric crossing plus the RMW surcharge, without the mutation. *)
 let poisoned_atomic_cost t i x =
-  let st = state t x in
-  (if st.owner = i then t.model.Latency.local_cache
-   else remote_to t i st.owner t.model.Latency.remote_cache)
-  + t.model.Latency.atomic_extra
+  let ow = t.owner.(x) in
+  (if ow = i then t.lat_local_cache else cost_rc t i ow)
+  + t.lat_atomic_extra
 
 let check_poison t i x : (unit, Faults.fault) result =
   match t.faults with
@@ -522,8 +637,8 @@ let check_poison t i x : (unit, Faults.fault) result =
   | _ -> Ok ()
 
 let load_result t i x =
-  let st = state t x in
-  let to_m = if holds st i then i else st.owner in
+  check_loc t x;
+  let to_m = if holds t x i then i else t.owner.(x) in
   match guard t i ~to_m with
   | Error _ as e -> e
   | Ok () ->
@@ -538,29 +653,33 @@ let lstore_result t i x v =
   | Ok () -> Ok (lstore t i x v)
 
 let rstore_result t i x v =
-  match guard t i ~to_m:(state t x).owner with
+  check_loc t x;
+  match guard t i ~to_m:t.owner.(x) with
   | Error _ as e -> e
   | Ok () -> Ok (rstore t i x v)
 
 let mstore_result t i x v =
-  match guard t i ~to_m:(state t x).owner with
+  check_loc t x;
+  match guard t i ~to_m:t.owner.(x) with
   | Error _ as e -> e
   | Ok () -> Ok (mstore t i x v)
 
 let lflush_result t i x =
-  let st = state t x in
-  let to_m = if holds st i then st.owner else i in
+  check_loc t x;
+  let to_m = if holds t x i then t.owner.(x) else i in
   match guard t i ~to_m with
   | Error _ as e -> e
   | Ok () -> Ok (lflush t i x)
 
 let rflush_result t i x =
-  match guard t i ~to_m:(state t x).owner with
+  check_loc t x;
+  match guard t i ~to_m:t.owner.(x) with
   | Error _ as e -> e
   | Ok () -> Ok (rflush t i x)
 
 let faa_result t i x d =
-  match guard t i ~to_m:(state t x).owner with
+  check_loc t x;
+  match guard t i ~to_m:t.owner.(x) with
   | Error _ as e -> e
   | Ok () -> (
       match check_poison t i x with
@@ -572,7 +691,8 @@ let faa_result t i x d =
       | Ok () -> Ok (faa t i x d))
 
 let cas_result t i x ~expected ~desired ~kind =
-  match guard t i ~to_m:(state t x).owner with
+  check_loc t x;
+  match guard t i ~to_m:t.owner.(x) with
   | Error _ as e -> e
   | Ok () -> (
       match check_poison t i x with
@@ -585,7 +705,7 @@ let cas_result t i x ~expected ~desired ~kind =
     next load observes [Poisoned]; a store of fresh data or an [rflush]
     write-back heals it. *)
 let poison t x =
-  ignore (state t x);
+  check_loc t x;
   match t.faults with
   | None -> invalid_arg "Fabric.poison: no fault plan attached"
   | Some p ->
@@ -604,6 +724,165 @@ let link_degraded t a b =
   | Some p -> Faults.link_faulty p ~cycles:t.stats.Stats.cycles a b
 
 (* ------------------------------------------------------------------ *)
+(* Batched issue/retire                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A batch is a reusable struct-of-arrays submission queue: each slot
+   holds one primitive (opcode, issuing machine, location, arguments),
+   and [run_batch] is the issue/retire loop — it walks the slots in
+   submission order, executes each through the plain primitives above
+   (identical charges, stats and trace events), and deposits results in
+   [bres].  No intervening scheduling: a batch models a pipelined
+   multi-line submission that completes as one fabric call, which is
+   exactly what makes it cheaper than N dispatches.  The caller decides
+   what "independent" means; primitives in one batch still execute in
+   order, so read-after-write within a batch behaves normally. *)
+
+let op_load = 0
+let op_lstore = 1
+let op_rstore = 2
+let op_mstore = 3
+let op_lflush = 4
+let op_rflush = 5
+let op_faa = 6
+let op_cas = 7
+
+type batch = {
+  mutable bop : int array;    (* opcode *)
+  mutable bmach : int array;  (* issuing machine *)
+  mutable bloc : int array;   (* location *)
+  mutable barg : int array;   (* store value / FAA delta / CAS expected *)
+  mutable barg2 : int array;  (* CAS desired *)
+  mutable bkind : int array;  (* CAS success-store kind: 0 = L, 1 = R, 2 = M *)
+  mutable bres : int array;   (* retired result: load/FAA value, CAS 0/1 *)
+  mutable blen : int;
+}
+
+let batch_create ?(capacity = 16) () =
+  let capacity = max 1 capacity in
+  {
+    bop = Array.make capacity 0;
+    bmach = Array.make capacity 0;
+    bloc = Array.make capacity 0;
+    barg = Array.make capacity 0;
+    barg2 = Array.make capacity 0;
+    bkind = Array.make capacity 0;
+    bres = Array.make capacity 0;
+    blen = 0;
+  }
+
+let batch_clear b = b.blen <- 0
+let batch_length b = b.blen
+
+let batch_slot b =
+  let cap = Array.length b.bop in
+  if b.blen = cap then begin
+    let grow a =
+      let bigger = Array.make (2 * cap) 0 in
+      Array.blit a 0 bigger 0 cap;
+      bigger
+    in
+    b.bop <- grow b.bop;
+    b.bmach <- grow b.bmach;
+    b.bloc <- grow b.bloc;
+    b.barg <- grow b.barg;
+    b.barg2 <- grow b.barg2;
+    b.bkind <- grow b.bkind;
+    b.bres <- grow b.bres
+  end;
+  let k = b.blen in
+  b.blen <- k + 1;
+  k
+
+let batch_add b op i x arg arg2 kind =
+  let k = batch_slot b in
+  b.bop.(k) <- op;
+  b.bmach.(k) <- i;
+  b.bloc.(k) <- x;
+  b.barg.(k) <- arg;
+  b.barg2.(k) <- arg2;
+  b.bkind.(k) <- kind;
+  k
+
+let batch_load b i x = batch_add b op_load i x 0 0 0
+let batch_lstore b i x v = ignore (batch_add b op_lstore i x v 0 0)
+let batch_rstore b i x v = ignore (batch_add b op_rstore i x v 0 0)
+let batch_mstore b i x v = ignore (batch_add b op_mstore i x v 0 0)
+let batch_lflush b i x = ignore (batch_add b op_lflush i x 0 0 0)
+let batch_rflush b i x = ignore (batch_add b op_rflush i x 0 0 0)
+let batch_faa b i x d = batch_add b op_faa i x d 0 0
+
+let int_of_kind = function Cxl0.Label.L -> 0 | Cxl0.Label.R -> 1 | Cxl0.Label.M -> 2
+let kind_of_int = function 0 -> Cxl0.Label.L | 1 -> Cxl0.Label.R | _ -> Cxl0.Label.M
+
+let batch_cas b i x ~expected ~desired ~(kind : store_kind) =
+  batch_add b op_cas i x expected desired (int_of_kind kind)
+
+let batch_result b k =
+  if k < 0 || k >= b.blen then invalid_arg "Fabric.batch_result: bad slot";
+  b.bres.(k)
+
+(** [run_batch t b] — the issue/retire loop: execute every queued
+    primitive in submission order through the plain (un-faultable)
+    primitives, retiring results into the batch's result slots.  Charges,
+    stats and trace events are identical to issuing the primitives one by
+    one. *)
+let run_batch t b =
+  for k = 0 to b.blen - 1 do
+    let i = b.bmach.(k) and x = b.bloc.(k) in
+    match b.bop.(k) with
+    | 0 -> b.bres.(k) <- load t i x
+    | 1 -> lstore t i x b.barg.(k)
+    | 2 -> rstore t i x b.barg.(k)
+    | 3 -> mstore t i x b.barg.(k)
+    | 4 -> lflush t i x
+    | 5 -> rflush t i x
+    | 6 -> b.bres.(k) <- faa t i x b.barg.(k)
+    | _ ->
+        b.bres.(k) <-
+          (if
+             cas t i x ~expected:b.barg.(k) ~desired:b.barg2.(k)
+               ~kind:(kind_of_int b.bkind.(k))
+           then 1
+           else 0)
+  done
+
+(** [run_batch_op_result t b k] — issue slot [k] alone through the
+    fault-aware [_result] primitives (the degraded path for fabrics with
+    a RAS plan: each primitive must be individually visible to the retry
+    engine).  The slot's result is retired on success. *)
+let run_batch_op_result t b k : (unit, Faults.fault) result =
+  if k < 0 || k >= b.blen then invalid_arg "Fabric.run_batch_op_result";
+  let i = b.bmach.(k) and x = b.bloc.(k) in
+  match b.bop.(k) with
+  | 0 -> (
+      match load_result t i x with
+      | Ok v ->
+          b.bres.(k) <- v;
+          Ok ()
+      | Error _ as e -> e)
+  | 1 -> lstore_result t i x b.barg.(k)
+  | 2 -> rstore_result t i x b.barg.(k)
+  | 3 -> mstore_result t i x b.barg.(k)
+  | 4 -> lflush_result t i x
+  | 5 -> rflush_result t i x
+  | 6 -> (
+      match faa_result t i x b.barg.(k) with
+      | Ok v ->
+          b.bres.(k) <- v;
+          Ok ()
+      | Error _ as e -> e)
+  | _ -> (
+      match
+        cas_result t i x ~expected:b.barg.(k) ~desired:b.barg2.(k)
+          ~kind:(kind_of_int b.bkind.(k))
+      with
+      | Ok ok ->
+          b.bres.(k) <- (if ok then 1 else 0);
+          Ok ()
+      | Error _ as e -> e)
+
+(* ------------------------------------------------------------------ *)
 (* Metadata accounting                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -615,22 +894,22 @@ let link_degraded t a b =
    hosted by [x]'s owner. *)
 
 let account_meta_faa t i x =
+  check_loc t x;
   let t0 = t.stats.Stats.cycles in
-  let st = state t x in
+  let ow = t.owner.(x) in
   t.stats.Stats.faas <- t.stats.Stats.faas + 1;
   charge t
-    ((if st.owner = i then t.model.Latency.local_cache
-      else remote_to t i st.owner t.model.Latency.remote_cache)
-    + t.model.Latency.atomic_extra);
+    ((if ow = i then t.lat_local_cache else cost_rc t i ow)
+    + t.lat_atomic_extra);
   trace_prim t Obs.Event.Meta_faa i x t0
 
 (* Counter *reads* ride along with the data access they accompany (FliT
    packs the counter into the object's cache lines), so they cost a
    local-cache touch, not a second fabric crossing. *)
 let account_meta_read t i x =
+  check_loc t x;
   let t0 = t.stats.Stats.cycles in
-  ignore (state t x);
-  charge t t.model.Latency.local_cache;
+  charge t t.lat_local_cache;
   trace_prim t Obs.Event.Meta_read i x t0
 
 (* ------------------------------------------------------------------ *)
@@ -641,7 +920,9 @@ let account_meta_read t i x =
     [x] out of machine [i]'s cache (no-op if [i] does not hold it).
     Exposed for tests that need to place the system in a specific
     configuration. *)
-let evict_loc t i x = propagate_from t x i
+let evict_loc t i x =
+  check_loc t x;
+  propagate_from t x i
 
 (** [maybe_evict t] — with probability [evict_prob], evict the oldest line
     of a random machine that caches anything.  Called by the scheduler
@@ -649,7 +930,7 @@ let evict_loc t i x = propagate_from t x i
     model's τ-steps. *)
 let maybe_evict t =
   if Random.State.float t.rng 1.0 < t.evict_prob then begin
-    let n = n_machines t in
+    let n = t.n_m in
     let start = Random.State.int t.rng n in
     let rec find k =
       if k = n then ()
@@ -669,7 +950,7 @@ let drain t =
   let dirty = ref true in
   while !dirty do
     dirty := false;
-    for i = 0 to n_machines t - 1 do
+    for i = 0 to t.n_m - 1 do
       while t.live.(i) > 0 do
         dirty := true;
         evict_one t i
@@ -689,15 +970,14 @@ let crash t i =
         (Obs.Event.Crash { machine = i; cycle = t.stats.Stats.cycles }));
   let vol = t.conf.(i).volatile in
   for x = 0 to t.n_locs - 1 do
-    let st = t.locs.(x) in
-    clear_holder t st i;
-    if vol && st.owner = i then begin
-      st.mem <- 0;
+    clear_holder t x i;
+    if vol && t.owner.(x) = i then begin
+      t.mem.(x) <- 0;
       (* re-initialised volatile memory is fresh data: poison gone *)
       heal_if_planned t x
     end
   done;
-  Queue.clear t.queues.(i);
+  ring_clear t.rings.(i);
   t.live.(i) <- 0
 
 (* ------------------------------------------------------------------ *)
@@ -707,8 +987,8 @@ let crash t i =
 (** [to_loc t x] — the formal-model location corresponding to fabric
     location [x]. *)
 let to_loc t x =
-  let st = state t x in
-  Cxl0.Loc.v ~owner:st.owner st.coff
+  check_loc t x;
+  Cxl0.Loc.v ~owner:t.owner.(x) t.coff.(x)
 
 (** [to_config t] — export the fabric state as a formal-model
     configuration; tests check that running the same primitive sequence
@@ -716,11 +996,10 @@ let to_loc t x =
 let to_config t =
   let cfg = ref Cxl0.Config.init in
   for x = 0 to t.n_locs - 1 do
-    let st = t.locs.(x) in
     let l = to_loc t x in
-    cfg := Cxl0.Config.mem_set !cfg l st.mem;
-    for i = 0 to n_machines t - 1 do
-      if holds st i then cfg := Cxl0.Config.cache_set !cfg i l st.cval
+    cfg := Cxl0.Config.mem_set !cfg l t.mem.(x);
+    for i = 0 to t.n_m - 1 do
+      if holds t x i then cfg := Cxl0.Config.cache_set !cfg i l t.cval.(x)
     done
   done;
   !cfg
@@ -743,16 +1022,15 @@ let to_system t =
     validates the live-count bookkeeping. *)
 let check_coherence t =
   let ok = ref true in
-  let counted = Array.make (n_machines t) 0 in
+  let counted = Array.make t.n_m 0 in
   for x = 0 to t.n_locs - 1 do
-    let st = t.locs.(x) in
-    for i = 0 to n_machines t - 1 do
-      if holds st i then counted.(i) <- counted.(i) + 1
+    for i = 0 to t.n_m - 1 do
+      if holds t x i then counted.(i) <- counted.(i) + 1
     done
   done;
   Array.iteri (fun i c -> if c <> t.live.(i) then ok := false) counted;
   !ok
 
 let pp ppf t =
-  Fmt.pf ppf "@[<v>fabric: %d machines, %d locations@,%a@]" (n_machines t)
+  Fmt.pf ppf "@[<v>fabric: %d machines, %d locations@,%a@]" t.n_m
     t.n_locs Stats.pp t.stats

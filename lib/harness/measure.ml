@@ -60,7 +60,7 @@ let run ?tracer (c : config) : point =
       ~evict_prob:c.evict_prob ?tracer
       (Array.init c.n_machines (fun i ->
            Fabric.machine ~cache_capacity:c.cache_capacity
-             (Printf.sprintf "M%d" (i + 1))))
+             (Fabric.default_name i)))
   in
   let flit = Flit.Flit_intf.instantiate c.transform fab in
   (* sync is a no-op for transformations without buffering (nothing is

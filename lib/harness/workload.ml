@@ -139,8 +139,7 @@ let build_fabric ?tracer (c : config) : Fabric.t =
     (Array.init c.n_machines (fun i ->
          Fabric.machine
            ~volatile:(i = c.home && c.volatile_home)
-           ~cache_capacity:c.cache_capacity
-           (Printf.sprintf "M%d" (i + 1))))
+           ~cache_capacity:c.cache_capacity (Fabric.default_name i)))
 
 (* The body shared by initial and recovery workers: [ops] recorded random
    operations.  A broken transformation (the noflush control) can leave
@@ -218,6 +217,11 @@ let install_fault_plan sched (c : config) =
       | Degrade_link _ | Down_link _ -> ())
     c.faults
 
+let worker_names = lazy (Array.init 16 (fun i -> Printf.sprintf "w%d" i))
+
+let worker_name i =
+  if i < 16 then (Lazy.force worker_names).(i) else Printf.sprintf "w%d" i
+
 let run ?tracer (c : config) : result =
   let fab = build_fabric ?tracer c in
   (* the transformation instance is minted once per run and closed over
@@ -245,7 +249,9 @@ let run ?tracer (c : config) : result =
   (* the init thread creates the object, then spawns the workers; a
      worker whose machine is down at spawn time (a crash plan can fell a
      machine before the init thread runs) is skipped — the machine has no
-     one to start it *)
+     one to start it.  Worker names come from a static table (the
+     fuzzer's cells spawn at most a handful) so per-run spawning formats
+     nothing. *)
   let instance_ref = ref None in
   let _init =
     Runtime.Sched.spawn sched ~machine:c.home ~name:"init" (fun ctx ->
@@ -262,8 +268,7 @@ let run ?tracer (c : config) : result =
               (fun i machine ->
                 if Runtime.Sched.machine_is_up sched machine then
                   ignore
-                    (Runtime.Sched.spawn sched ~machine
-                       ~name:(Printf.sprintf "w%d" i)
+                    (Runtime.Sched.spawn sched ~machine ~name:(worker_name i)
                        (worker c ~record ~ops:c.ops_per_thread
                           ~rng_seed:((c.seed * 131) + i)
                           instance)))

@@ -66,7 +66,10 @@ let linearizable (module M : Spec.S) (ops : History.op list) :
         !mask)
   in
   (* memo: (mask, state-hash) -> states already explored with that mask *)
-  let memo : (int * int, M.state list) Hashtbl.t = Hashtbl.create 1024 in
+  (* start small: fuzz histories visit a few hundred nodes at most, and
+     the table doubles as needed — a 1024-bucket table per check was
+     measurable allocation across a campaign *)
+  let memo : (int * int, M.state list) Hashtbl.t = Hashtbl.create 64 in
   let seen mask state =
     let key = (mask, M.hash state) in
     let states = Option.value ~default:[] (Hashtbl.find_opt memo key) in

@@ -39,8 +39,9 @@ let check ?provenance spec (h : History.t) : verdict =
     { durable = false; history = h; crash_events; outcome = no_outcome;
       skipped = None; provenance }
   else
-    (* fault-aborted ops count as pending (may-complete-or-omit) *)
-    match Check.linearizable spec (History.demote_faulted (History.ops h)) with
+    (* fault-aborted ops count as pending (may-complete-or-omit);
+       [Check.linearizable] demotes them itself *)
+    match Check.linearizable spec (History.ops h) with
     | Ok outcome ->
         { durable = outcome.Check.ok; history = h; crash_events; outcome;
           skipped = None; provenance }

@@ -115,25 +115,62 @@ let store_result ctx (kind : Cxl0.Label.store_kind) x v =
 let flush_result ctx (kind : Cxl0.Label.flush_kind) x =
   match kind with LF -> lflush_result ctx x | RF -> rflush_result ctx x
 
+(* The plain primitives take a fabric-level fast path when no fault plan
+   is attached: call the un-faultable fabric primitive directly and
+   yield.  Same fabric effects and the same single scheduling point as
+   the [_result] route — minus its per-call closure and [Ok] box, which
+   sit on the interpreter's innermost loop. *)
+
 (** [load ctx x] — coherent load (the model's single [Load]). *)
-let load ctx x = ok_or_raise (load_result ctx x)
+let load (ctx : Sched.ctx) x =
+  match Fabric.faults ctx.fab with
+  | None ->
+      let v = Fabric.load ctx.fab ctx.machine x in
+      yield ctx;
+      v
+  | Some _ -> ok_or_raise (load_result ctx x)
 
 (** [lstore ctx x v] — LStore: complete once in the local cache. *)
-let lstore ctx x v = ok_or_raise (lstore_result ctx x v)
+let lstore (ctx : Sched.ctx) x v =
+  match Fabric.faults ctx.fab with
+  | None ->
+      Fabric.lstore ctx.fab ctx.machine x v;
+      yield ctx
+  | Some _ -> ok_or_raise (lstore_result ctx x v)
 
 (** [rstore ctx x v] — RStore: complete once at the owner's cache. *)
-let rstore ctx x v = ok_or_raise (rstore_result ctx x v)
+let rstore (ctx : Sched.ctx) x v =
+  match Fabric.faults ctx.fab with
+  | None ->
+      Fabric.rstore ctx.fab ctx.machine x v;
+      yield ctx
+  | Some _ -> ok_or_raise (rstore_result ctx x v)
 
 (** [mstore ctx x v] — MStore: complete once in the owner's physical
     memory. *)
-let mstore ctx x v = ok_or_raise (mstore_result ctx x v)
+let mstore (ctx : Sched.ctx) x v =
+  match Fabric.faults ctx.fab with
+  | None ->
+      Fabric.mstore ctx.fab ctx.machine x v;
+      yield ctx
+  | Some _ -> ok_or_raise (mstore_result ctx x v)
 
 (** [lflush ctx x] — LFlush: write the line back one hierarchy level. *)
-let lflush ctx x = ok_or_raise (lflush_result ctx x)
+let lflush (ctx : Sched.ctx) x =
+  match Fabric.faults ctx.fab with
+  | None ->
+      Fabric.lflush ctx.fab ctx.machine x;
+      yield ctx
+  | Some _ -> ok_or_raise (lflush_result ctx x)
 
 (** [rflush ctx x] — RFlush: force the line into the owner's physical
     memory. *)
-let rflush ctx x = ok_or_raise (rflush_result ctx x)
+let rflush (ctx : Sched.ctx) x =
+  match Fabric.faults ctx.fab with
+  | None ->
+      Fabric.rflush ctx.fab ctx.machine x;
+      yield ctx
+  | Some _ -> ok_or_raise (rflush_result ctx x)
 
 (** [store ctx kind x v] — store with dynamic strength. *)
 let store ctx (kind : Cxl0.Label.store_kind) x v =
@@ -147,12 +184,46 @@ let flush ctx (kind : Cxl0.Label.flush_kind) x =
   match kind with LF -> lflush ctx x | RF -> rflush ctx x
 
 (** [faa ctx x d] — atomic fetch-and-add; returns the previous value. *)
-let faa ctx x d = ok_or_raise (faa_result ctx x d)
+let faa (ctx : Sched.ctx) x d =
+  match Fabric.faults ctx.fab with
+  | None ->
+      let v = Fabric.faa ctx.fab ctx.machine x d in
+      yield ctx;
+      v
+  | Some _ -> ok_or_raise (faa_result ctx x d)
 
 (** [cas ctx x ~expected ~desired ~kind] — atomic compare-and-swap whose
     successful store has strength [kind]. *)
-let cas ctx x ~expected ~desired ~kind =
-  ok_or_raise (cas_result ctx x ~expected ~desired ~kind)
+let cas (ctx : Sched.ctx) x ~expected ~desired ~kind =
+  match Fabric.faults ctx.fab with
+  | None ->
+      let ok = Fabric.cas ctx.fab ctx.machine x ~expected ~desired ~kind in
+      yield ctx;
+      ok
+  | Some _ -> ok_or_raise (cas_result ctx x ~expected ~desired ~kind)
+
+(** [run_batch ctx b] — issue and retire a whole {!Fabric.batch} as one
+    pipelined submission: every queued primitive executes back to back,
+    followed by a {e single} scheduling point — that one fabric call
+    instead of N dispatches (and N yields) is the batching win.  An
+    empty batch is a no-op (no yield).
+
+    On a fabric with a RAS plan the batch degrades to per-primitive
+    issue through the retry engine — each slot individually retried and
+    yielded, exactly as if issued unbatched — because the retry policy
+    must see every link crossing.  A fault that survives the policy
+    raises {!Fault}, leaving later slots unissued. *)
+let run_batch (ctx : Sched.ctx) b =
+  if Fabric.batch_length b > 0 then
+    match Fabric.faults ctx.fab with
+    | None ->
+        Fabric.run_batch ctx.fab b;
+        yield ctx
+    | Some _ ->
+        for k = 0 to Fabric.batch_length b - 1 do
+          ok_or_raise
+            (protect ctx (fun () -> Fabric.run_batch_op_result ctx.fab b k))
+        done
 
 (** [alloc ctx ~owner] — allocate a fresh zero-initialised location on
     machine [owner]. *)

@@ -65,5 +65,14 @@ val cas :
   kind:Cxl0.Label.store_kind -> bool
 (** Atomic compare-and-swap; a successful store has strength [kind]. *)
 
+val run_batch : Sched.ctx -> Fabric.batch -> unit
+(** Issue and retire a whole {!Fabric.batch} as one pipelined
+    submission: all queued primitives back to back, then a single
+    scheduling point.  Empty batches are a no-op (no yield).  On a
+    fabric with a fault plan the batch degrades to per-primitive issue
+    through the retry engine (each slot retried and yielded
+    individually); a surviving fault raises {!Fault}, leaving later
+    slots unissued. *)
+
 val alloc : Sched.ctx -> owner:int -> loc
 val alloc_local : Sched.ctx -> loc

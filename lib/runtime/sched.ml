@@ -15,7 +15,14 @@
     model (§3.1: "the local state of any thread or process currently
     executing on it is lost", §4.2: replacement processes get fresh
     identifiers).  Recovery code (spawning replacement threads) is
-    expressed as a crash-plan callback. *)
+    expressed as a crash-plan callback.
+
+    The run loop is allocation-free in steady state (DESIGN.md decision
+    12): tasks live in a flat array compacted in place (stable, so the
+    seeded selection draw sees live tasks in spawn order — exactly the
+    set the list-based loop saw), the crash-plan is an array scanned in
+    registration order, and crashed machines are an int bitmask.  Only a
+    suspension allocates (the fresh continuation's one-word wrapper). *)
 
 type ctx = {
   sched : t;
@@ -26,60 +33,103 @@ type ctx = {
 
 and status = Done | Suspended of (unit, status) Effect.Deep.continuation
 
+(* What resuming a task means: run its fibre from the start, continue a
+   suspended continuation, or nothing — finished/killed tasks stay
+   [Dead] until the next in-place compaction drops them. *)
+and tstate =
+  | Start of (unit -> status)
+  | Cont of (unit, status) Effect.Deep.continuation
+  | Dead
+
 and task = {
   task_tid : int;
   task_machine : int;
   name : string;
-  mutable resume : (unit -> status) option;
-      (** [None] once finished or killed *)
+  mutable state : tstate;
 }
 
 and action =
   | Crash of int  (** crash machine [i] (fabric wipe + thread kill) *)
   | Call of (t -> unit)  (** arbitrary hook, e.g. recovery spawning *)
 
+(* Plan entries are never removed, only marked done: the array scan in
+   registration order reproduces the list-partition semantics (entries
+   appended by a running action have index past the captured length, so
+   they run on the next call — as the partitioned-off list did). *)
+and plan_entry = {
+  pstep : int;
+  paction : action;
+  mutable pdone : bool;
+}
+
 and t = {
   fabric : Fabric.t;
-  mutable tasks : task list;  (** in spawn order; dead tasks pruned *)
+  mutable tasks : task array;  (** [0, n_tasks) in spawn order *)
+  mutable n_tasks : int;
   mutable next_tid : int;
-  mutable step : int;         (** scheduling decisions taken so far *)
-  mutable plan : (int * action) list;  (** sorted by step *)
+  mutable step : int;          (** scheduling decisions taken so far *)
+  mutable plan : plan_entry array;
+  mutable n_plan : int;
+  mutable plan_pending : int;  (** entries not yet run *)
   rng : Random.State.t;
   retry_rng : Random.State.t;
       (** dedicated stream for {!Ops} retry-backoff jitter, derived from
           the same seed — drawing jitter must not perturb the
           interleaving stream *)
-  mutable crashed : int list; (** machines currently down *)
+  mutable crashed : int;       (** bitmask of machines currently down *)
 }
 
 type _ Effect.t += Yield : unit Effect.t
 
+let dummy_task = { task_tid = -1; task_machine = 0; name = ""; state = Dead }
+let dummy_entry = { pstep = 0; paction = Crash 0; pdone = true }
+
 let create ?(seed = 42) fabric =
   {
     fabric;
-    tasks = [];
+    tasks = Array.make 8 dummy_task;
+    n_tasks = 0;
     next_tid = 0;
     step = 0;
-    plan = [];
+    plan = Array.make 4 dummy_entry;
+    n_plan = 0;
+    plan_pending = 0;
     rng = Random.State.make [| seed |];
     retry_rng = Random.State.make [| seed; 0x4e7431 |];
-    crashed = [];
+    crashed = 0;
   }
 
 let fabric t = t.fabric
 
+let push_task t task =
+  if t.n_tasks = Array.length t.tasks then begin
+    let bigger = Array.make (2 * t.n_tasks) dummy_task in
+    Array.blit t.tasks 0 bigger 0 t.n_tasks;
+    t.tasks <- bigger
+  end;
+  t.tasks.(t.n_tasks) <- task;
+  t.n_tasks <- t.n_tasks + 1
+
 (** [at_step t n action] schedules [action] to run when the scheduler has
     taken [n] scheduling decisions.  Actions at the same step run in
     registration order. *)
-let at_step t n action = t.plan <- t.plan @ [ (n, action) ]
+let at_step t n action =
+  if t.n_plan = Array.length t.plan then begin
+    let bigger = Array.make (2 * t.n_plan) dummy_entry in
+    Array.blit t.plan 0 bigger 0 t.n_plan;
+    t.plan <- bigger
+  end;
+  t.plan.(t.n_plan) <- { pstep = n; paction = action; pdone = false };
+  t.n_plan <- t.n_plan + 1;
+  t.plan_pending <- t.plan_pending + 1
 
-let machine_is_up t i = not (List.mem i t.crashed)
+let machine_is_up t i = t.crashed land (1 lsl i) = 0
 
 (** [restart t i] marks a crashed machine as recovered, allowing new
     threads to be spawned on it.  Its fabric state was already wiped at
     crash time; non-volatile memory contents survived. *)
 let restart t i =
-  t.crashed <- List.filter (fun j -> j <> i) t.crashed;
+  t.crashed <- t.crashed land lnot (1 lsl i);
   match Fabric.tracer t.fabric with
   | None -> ()
   | Some tr ->
@@ -116,11 +166,13 @@ let spawn t ~machine ~name (body : ctx -> unit) =
   let tid = t.next_tid in
   t.next_tid <- tid + 1;
   let ctx = { sched = t; fab = t.fabric; machine; tid } in
-  let task =
-    { task_tid = tid; task_machine = machine; name; resume = None }
-  in
-  task.resume <- Some (fiber (fun () -> body ctx));
-  t.tasks <- t.tasks @ [ task ];
+  push_task t
+    {
+      task_tid = tid;
+      task_machine = machine;
+      name;
+      state = Start (fiber (fun () -> body ctx));
+    };
   tid
 
 (** [yield ctx] — a scheduling point; every {!Ops} primitive calls this. *)
@@ -135,21 +187,49 @@ let jitter ctx n = Random.State.int ctx.sched.retry_rng (max 1 n)
     state and kill its threads (their fibres are dropped). *)
 let crash_now t i =
   Fabric.crash t.fabric i;
-  t.crashed <- i :: List.filter (fun j -> j <> i) t.crashed;
-  List.iter
-    (fun task -> if task.task_machine = i then task.resume <- None)
-    t.tasks;
-  t.tasks <- List.filter (fun task -> task.task_machine <> i) t.tasks
+  t.crashed <- t.crashed lor (1 lsl i);
+  for k = 0 to t.n_tasks - 1 do
+    let task = t.tasks.(k) in
+    if task.task_machine = i then task.state <- Dead
+  done
 
 let run_action t = function
   | Crash i -> crash_now t i
   | Call f -> f t
 
-(* Run every plan action due at or before the current step. *)
+(* Run every plan action due at or before the current step, in
+   registration order.  Entries appended by a running action land past
+   the captured length and run on the next call. *)
 let run_due_actions t =
-  let due, rest = List.partition (fun (n, _) -> n <= t.step) t.plan in
-  t.plan <- rest;
-  List.iter (fun (_, a) -> run_action t a) due
+  if t.plan_pending > 0 then begin
+    let len = t.n_plan in
+    for k = 0 to len - 1 do
+      let e = t.plan.(k) in
+      if (not e.pdone) && e.pstep <= t.step then begin
+        e.pdone <- true;
+        t.plan_pending <- t.plan_pending - 1;
+        run_action t e.paction
+      end
+    done
+  end
+
+(* Drop dead tasks, in place and stably: live tasks keep their spawn
+   order, so the selection draw below indexes the same set the
+   list-based filter produced. *)
+let prune_dead t =
+  let w = ref 0 in
+  for r = 0 to t.n_tasks - 1 do
+    let task = t.tasks.(r) in
+    match task.state with
+    | Dead -> ()
+    | Start _ | Cont _ ->
+        if !w <> r then t.tasks.(!w) <- task;
+        incr w
+  done;
+  for k = !w to t.n_tasks - 1 do
+    t.tasks.(k) <- dummy_task (* don't retain dead fibres *)
+  done;
+  t.n_tasks <- !w
 
 (** [run t] — schedule until no runnable threads remain and no plan
     actions are pending.  Returns the number of scheduling decisions
@@ -157,49 +237,59 @@ let run_due_actions t =
 let run t =
   let rec loop () =
     run_due_actions t;
-    t.tasks <- List.filter (fun task -> task.resume <> None) t.tasks;
-    match t.tasks with
-    | [] ->
-        if t.plan = [] then t.step
-        else begin
-          (* idle until the next planned action *)
-          let next = List.fold_left (fun acc (n, _) -> min acc n) max_int t.plan in
-          t.step <- max t.step next;
-          loop ()
-        end
-    | tasks ->
-        t.step <- t.step + 1;
-        Fabric.maybe_evict t.fabric;
-        let n = List.length tasks in
-        let chosen = List.nth tasks (Random.State.int t.rng n) in
-        (match Fabric.tracer t.fabric with
-        | None -> ()
-        | Some tr ->
-            (* every event emitted until the next switch belongs to this
-               thread — the exporters attribute tracks this way *)
-            Obs.Tracer.emit tr
-              (Obs.Event.Switch
-                 {
-                   step = t.step;
-                   tid = chosen.task_tid;
-                   machine = chosen.task_machine;
-                   cycle = Fabric.cycles t.fabric;
-                 }));
-        (match chosen.resume with
-        | None -> ()
-        | Some resume ->
-            chosen.resume <- None;
-            (match resume () with
-            | Done -> ()
-            | Suspended k ->
-                (* The task's machine may have crashed while it ran (a
-                   thread can call {!crash_now} directly); if so the task
-                   was already removed — drop the continuation. *)
-                if machine_is_up t chosen.task_machine then
-                  chosen.resume <- Some (fun () -> Effect.Deep.continue k ())));
+    prune_dead t;
+    if t.n_tasks = 0 then
+      if t.plan_pending = 0 then t.step
+      else begin
+        (* idle until the next planned action *)
+        let next = ref max_int in
+        for k = 0 to t.n_plan - 1 do
+          let e = t.plan.(k) in
+          if (not e.pdone) && e.pstep < !next then next := e.pstep
+        done;
+        t.step <- max t.step !next;
         loop ()
+      end
+    else begin
+      t.step <- t.step + 1;
+      Fabric.maybe_evict t.fabric;
+      let chosen = t.tasks.(Random.State.int t.rng t.n_tasks) in
+      (match Fabric.tracer t.fabric with
+      | None -> ()
+      | Some tr ->
+          (* every event emitted until the next switch belongs to this
+             thread — the exporters attribute tracks this way *)
+          Obs.Tracer.emit tr
+            (Obs.Event.Switch
+               {
+                 step = t.step;
+                 tid = chosen.task_tid;
+                 machine = chosen.task_machine;
+                 cycle = Fabric.cycles t.fabric;
+               }));
+      let st = chosen.state in
+      chosen.state <- Dead;
+      (match
+         (match st with
+         | Start f -> f ()
+         | Cont k -> Effect.Deep.continue k ()
+         | Dead -> Done (* unreachable: pruned above *))
+       with
+      | Done -> ()
+      | Suspended k ->
+          (* The task's machine may have crashed while it ran (a thread
+             can call {!crash_now} directly); if so the task is already
+             marked dead — drop the continuation. *)
+          if machine_is_up t chosen.task_machine then chosen.state <- Cont k);
+      loop ()
+    end
   in
   loop ()
 
 (** [alive t] — number of runnable threads. *)
-let alive t = List.length t.tasks
+let alive t =
+  let n = ref 0 in
+  for k = 0 to t.n_tasks - 1 do
+    match t.tasks.(k).state with Dead -> () | Start _ | Cont _ -> incr n
+  done;
+  !n
