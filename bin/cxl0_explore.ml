@@ -21,7 +21,7 @@ let max_machine_in labels =
       max acc (max m o))
     0 labels
 
-let run events n volatile outcomes_for verbose =
+let run events n volatile outcomes_for verbose por sym no_reduction =
   match Cxl0.Parse.program events with
   | Error e ->
       Fmt.epr "parse error: %s@."
@@ -40,7 +40,37 @@ let run events n volatile outcomes_for verbose =
       in
       Fmt.pr "system: %a@." Cxl0.Machine.pp_system sys;
       Fmt.pr "events: %a@." Cxl0.Litmus.pp_events labels;
-      let reach = Cxl0.Explore.run sys Cxl0.Config.init labels in
+      (* Reductions preserve feasibility exactly; symmetry keeps only
+         orbit representatives, so it is switched off whenever the
+         reachable set itself is printed or queried. *)
+      let reduction =
+        if no_reduction then Cxl0.Explore.Fast.no_reduction
+        else
+          {
+            Cxl0.Explore.Fast.por;
+            sym = (sym && (not verbose) && outcomes_for = None);
+          }
+      in
+      let reach =
+        let fast () =
+          let locs =
+            List.filter_map Cxl0.Label.loc labels
+            |> List.sort_uniq Cxl0.Loc.compare
+          in
+          let ctx = Cxl0.Packed.make sys ~locs in
+          let cache = Cxl0.Explore.Fast.create ~reduction ctx in
+          let set = Cxl0.Explore.Fast.run cache (Cxl0.Packed.init ctx) labels in
+          let st = Cxl0.Explore.Fast.stats cache in
+          Fmt.epr
+            "reduction: por=%b sym=%b; %d state(s), %d transition(s) explored@."
+            reduction.Cxl0.Explore.Fast.por reduction.Cxl0.Explore.Fast.sym
+            st.Cxl0.Explore.Fast.states st.Cxl0.Explore.Fast.transitions;
+          Cxl0.Explore.Fast.to_set cache set
+        in
+        try fast ()
+        with Cxl0.Packed.Unrepresentable _ ->
+          Cxl0.Explore.run sys Cxl0.Config.init labels
+      in
       let feasible = not (Cxl0.Config.Set.is_empty reach) in
       Fmt.pr "verdict: %s@."
         (if feasible then "ALLOWED (some execution realises this sequence)"
@@ -98,10 +128,35 @@ let verbose =
     value & flag
     & info [ "v"; "verbose" ] ~doc:"Print the reachable configurations.")
 
+let por =
+  Arg.(
+    value & opt bool true
+    & info [ "por" ] ~docv:"BOOL"
+        ~doc:"Sleep-set partial-order reduction (default on).")
+
+let sym =
+  Arg.(
+    value & opt bool true
+    & info [ "sym" ] ~docv:"BOOL"
+        ~doc:
+          "Symmetry (orbit-representative) reduction (default on; \
+           automatically disabled when the reachable set is printed or \
+           queried, so output is always exact).")
+
+let no_reduction =
+  Arg.(
+    value & flag
+    & info [ "no-reduction" ]
+        ~doc:
+          "Disable every state-space reduction (equivalent to $(b,--por)=false \
+           $(b,--sym)=false).")
+
 let cmd =
   Cmd.v
     (Cmd.info "cxl0-explore"
        ~doc:"Decide feasibility of CXL0 event sequences")
-    Term.(const run $ events $ n $ volatile $ outcomes_for $ verbose)
+    Term.(
+      const run $ events $ n $ volatile $ outcomes_for $ verbose $ por $ sym
+      $ no_reduction)
 
 let () = exit (Cmd.eval' cmd)

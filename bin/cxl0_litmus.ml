@@ -63,7 +63,11 @@ let trace_tests tests file =
   Fmt.pr "@.wrote %d event(s) from %d test(s) to %s@."
     (Obs.Tracer.length tracer) (List.length tests) file
 
-let run only name configs trace jobs =
+let run only name configs trace jobs por sym no_reduction =
+  let reduction =
+    if no_reduction then Cxl0.Explore.Fast.no_reduction
+    else { Cxl0.Explore.Fast.por; sym }
+  in
   let tests =
     match only with
     | "fig4" -> Cxl0.Litmus.fig4
@@ -82,7 +86,9 @@ let run only name configs trace jobs =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Cxl0.Parallel.default_jobs ()
   in
-  let decided = Cxl0.Litmus.decide_all ~jobs tests in
+  Fmt.epr "reduction: por=%b sym=%b@." reduction.Cxl0.Explore.Fast.por
+    reduction.Cxl0.Explore.Fast.sym;
+  let decided = Cxl0.Litmus.decide_all ~jobs ~reduction tests in
   let all_ok = ref true in
   List.iter
     (fun ((t, got) as row) ->
@@ -149,9 +155,35 @@ let jobs =
           "Worker domains to decide tests in parallel (default: the number \
            of cores).")
 
+let por =
+  Arg.(
+    value & opt bool true
+    & info [ "por" ] ~docv:"BOOL"
+        ~doc:
+          "Sleep-set partial-order reduction (default on).  Feasibility is \
+           preserved exactly; verdicts never depend on it.")
+
+let sym =
+  Arg.(
+    value & opt bool true
+    & info [ "sym" ] ~docv:"BOOL"
+        ~doc:
+          "Symmetry (orbit-representative) reduction (default on).  \
+           Feasibility is preserved exactly; verdicts never depend on it.")
+
+let no_reduction =
+  Arg.(
+    value & flag
+    & info [ "no-reduction" ]
+        ~doc:
+          "Disable every state-space reduction (equivalent to $(b,--por)=false \
+           $(b,--sym)=false): the exploration of PR 1.")
+
 let cmd =
   Cmd.v
     (Cmd.info "cxl0-litmus" ~doc:"Run the paper's CXL0 litmus tests")
-    Term.(const run $ only $ test_name $ configs $ trace $ jobs)
+    Term.(
+      const run $ only $ test_name $ configs $ trace $ jobs $ por $ sym
+      $ no_reduction)
 
 let () = exit (Cmd.eval' cmd)

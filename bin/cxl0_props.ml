@@ -8,7 +8,11 @@
 
 open Cmdliner
 
-let run n locs vals item volatile jobs =
+let run n locs vals item volatile jobs por sym no_reduction =
+  let reduction =
+    if no_reduction then Cxl0.Explore.Fast.no_reduction
+    else { Cxl0.Explore.Fast.por; sym }
+  in
   let persistence =
     if volatile then Cxl0.Machine.Volatile else Cxl0.Machine.Non_volatile
   in
@@ -34,9 +38,18 @@ let run n locs vals item volatile jobs =
     (List.length items) n
     (if volatile then "volatile" else "non-volatile")
     locs vals n_configs jobs;
-  let failures =
-    Cxl0.Props.check_exhaustive ~items ~jobs sys ~locs:locations ~vals:values
+  let failures, stats =
+    Cxl0.Props.check_exhaustive_stats ~items ~jobs ~reduction sys
+      ~locs:locations ~vals:values
   in
+  (* Stats go to stderr: the stdout verdict table stays byte-comparable
+     across reduction settings (the CI smoke diffs it). *)
+  Fmt.epr
+    "reduction: por=%b sym=%b; %d of %d start configuration(s) checked, %d \
+     state(s), %d transition(s)@."
+    reduction.Cxl0.Explore.Fast.por reduction.Cxl0.Explore.Fast.sym
+    stats.Cxl0.Props.sweep_starts stats.Cxl0.Props.sweep_configs
+    stats.Cxl0.Props.sweep_states stats.Cxl0.Props.sweep_transitions;
   List.iter
     (fun it ->
       let f =
@@ -88,9 +101,35 @@ let jobs =
           "Worker domains to shard the sweep over (default: the number of \
            cores).  The failure list is identical for every value.")
 
+let por =
+  Arg.(
+    value & opt bool true
+    & info [ "por" ] ~docv:"BOOL"
+        ~doc:
+          "Sleep-set partial-order reduction (default on).  Never changes \
+           the verdicts or the failure list.")
+
+let sym =
+  Arg.(
+    value & opt bool true
+    & info [ "sym" ] ~docv:"BOOL"
+        ~doc:
+          "Symmetry (orbit-representative) reduction (default on).  Never \
+           changes the verdicts or the failure list.")
+
+let no_reduction =
+  Arg.(
+    value & flag
+    & info [ "no-reduction" ]
+        ~doc:
+          "Disable every state-space reduction (equivalent to $(b,--por)=false \
+           $(b,--sym)=false): the exhaustive sweep of PR 1.")
+
 let cmd =
   Cmd.v
     (Cmd.info "cxl0-props" ~doc:"Exhaustively check Proposition 1")
-    Term.(const run $ n $ locs $ vals $ item $ volatile $ jobs)
+    Term.(
+      const run $ n $ locs $ vals $ item $ volatile $ jobs $ por $ sym
+      $ no_reduction)
 
 let () = exit (Cmd.eval' cmd)

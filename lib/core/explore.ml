@@ -115,95 +115,273 @@ module Fast = struct
       revisit the same configurations constantly, so successor
       enumeration amortises to a table lookup.  A cache is private to
       one domain (hash tables are not domain-safe); the parallel driver
-      creates one per worker. *)
+      creates one per worker.
+
+      On top of the packed representation sit two state-space
+      reductions, both off by default at this layer (callers such as
+      {!Litmus.decide} and {!Props.check_exhaustive} switch them on):
+
+      - {e dynamic partial-order reduction} ([por]): τ-steps on
+        distinct locations touch disjoint packed words, never disable
+        one another, and commute — the τ-system is an independent
+        product of per-location chains.  The closure worklist keeps a
+        {e sleep set} per state (a bitmask of location indices whose
+        τ-steps are already covered by a sibling ordering) and skips
+        generating those successors.  Crucially this prunes only
+        {e redundant edge generations}, never states: the computed
+        closure {e set} is bit-identical with and without [por] (every
+        state is still reached via its canonical location-ordered
+        path).  A state re-reached with a smaller sleep set is
+        re-expanded with the intersection, the standard sleep-set
+        state-matching refinement, so sharing the visited table across
+        worklist roots stays exact.
+
+      - {e symmetry reduction} ([sym]): states are canonicalised to
+        their {!Sym} orbit representative before insertion, under the
+        stabilizer of the run's start state and labels — the subgroup
+        that provably maps executions to executions of the {e same}
+        run.  Reduced sets contain one representative per orbit;
+        emptiness, subset (between runs sharing one group) and
+        load-outcome queries on stabilised locations are preserved
+        exactly, which is all the checked properties consume. *)
+
+  type reduction = { por : bool; sym : bool }
+
+  let no_reduction = { por = false; sym = false }
+  let full_reduction = { por = true; sym = true }
+
+  type stats = {
+    states : int;       (** insertions into reachable sets *)
+    transitions : int;  (** τ-successors generated + labels applied *)
+  }
 
   type cache = {
     ctx : Packed.ctx;
-    taus : Packed.t array Packed.Tbl.t;  (** τ-successor memo *)
+    taus : (int array * Packed.t array) Packed.Tbl.t;
+        (** τ-successor memo: source-location tags (ascending) and the
+            successor states, index-aligned *)
+    reduction : reduction;
+    group : Sym.perm array Lazy.t;
+        (** the full context symmetry group (forced only when [sym]) *)
+    mutable n_states : int;
+    mutable n_transitions : int;
   }
 
-  let create ctx = { ctx; taus = Packed.Tbl.create 4096 }
-  let ctx cache = cache.ctx
+  let create ?(reduction = no_reduction) ctx =
+    {
+      ctx;
+      taus = Packed.Tbl.create 4096;
+      reduction;
+      group = lazy (if reduction.sym then Sym.group ctx else [||]);
+      n_states = 0;
+      n_transitions = 0;
+    }
 
-  type set = unit Packed.Tbl.t
-  (** a reachable set: keys are the members *)
+  let ctx cache = cache.ctx
+  let reduction cache = cache.reduction
+  let stats cache = { states = cache.n_states; transitions = cache.n_transitions }
+
+  let reset_stats cache =
+    cache.n_states <- 0;
+    cache.n_transitions <- 0
+
+  (** [sym_group cache ~fixing st] — the symmetry group a reduced run
+      from [st] over the labels [fixing] may use: the stabilizer of
+      both within the context group ([[||]] when [sym] is off).  Runs
+      whose result sets are compared ({!subset}) must share one group —
+      pass the union of both runs' labels as [fixing]. *)
+  let sym_group cache ~fixing st =
+    if cache.reduction.sym then
+      Sym.stabilizer cache.ctx (Lazy.force cache.group) ~fixing st
+    else [||]
+
+  type set = int Packed.Tbl.t
+  (** a reachable set: keys are the members; the value is the state's
+      current sleep-set mask (0 outside a [por] closure) *)
 
   let of_packed st : set =
     let s = Packed.Tbl.create 64 in
-    Packed.Tbl.replace s st ();
+    Packed.Tbl.replace s st 0;
     s
 
   let successors cache st =
     match Packed.Tbl.find_opt cache.taus st with
-    | Some a -> a
+    | Some ts -> ts
     | None ->
         let acc = ref [] in
-        Packed.taus_iter cache.ctx st (fun s -> acc := s :: !acc);
-        let a = Array.of_list !acc in
-        Packed.Tbl.add cache.taus st a;
-        a
+        Packed.taus_iter_loc cache.ctx st (fun xi s -> acc := (xi, s) :: !acc);
+        let l = List.rev !acc in
+        let ts = (Array.of_list (List.map fst l), Array.of_list (List.map snd l)) in
+        Packed.Tbl.add cache.taus st ts;
+        ts
+
+  (* Canonicalise a (state, sleep-mask) pair: the mask is transported
+     through the same permutation that minimises the state. *)
+  let canon_with_mask (g : Sym.perm array) st mask =
+    if Array.length g = 0 then (st, mask)
+    else begin
+      let best = ref st and bestp = ref None in
+      Array.iter
+        (fun p ->
+          let c = Sym.apply p st in
+          if Packed.compare c !best < 0 then begin
+            best := c;
+            bestp := Some p
+          end)
+        g;
+      match !bestp with
+      | None -> (st, mask)
+      | Some p -> (!best, Sym.apply_mask p mask)
+    end
 
   (** Worklist τ-closure, in place: [s] is grown to its closure and
-      returned. *)
-  let tau_closure cache (s : set) : set =
+      returned.  With [por], sleep-set masks prune commuting successor
+      orderings (the resulting set is unchanged); with a non-empty
+      [group], members are canonicalised to orbit representatives. *)
+  let tau_closure ?(group = [||]) cache (s : set) : set =
+    let por = cache.reduction.por in
     let work = Stack.create () in
-    Packed.Tbl.iter (fun st () -> Stack.push st work) s;
+    Packed.Tbl.iter (fun st _ -> Stack.push st work) s;
+    let insert st mask =
+      let st, mask = canon_with_mask group st mask in
+      match Packed.Tbl.find_opt s st with
+      | None ->
+          Packed.Tbl.replace s st mask;
+          cache.n_states <- cache.n_states + 1;
+          Stack.push st work
+      | Some old ->
+          (* sleep-set state matching: re-reached with fewer slept
+             locations — re-expand with the intersection so no successor
+             certified only by the other path is lost *)
+          let refined = old land mask in
+          if refined <> old then begin
+            Packed.Tbl.replace s st refined;
+            Stack.push st work
+          end
+    in
     while not (Stack.is_empty work) do
       let st = Stack.pop work in
-      Array.iter
-        (fun st' ->
-          if not (Packed.Tbl.mem s st') then begin
-            Packed.Tbl.replace s st' ();
-            Stack.push st' work
-          end)
-        (successors cache st)
+      let mask =
+        match Packed.Tbl.find_opt s st with Some m -> m | None -> 0
+      in
+      let tags, succs = successors cache st in
+      if por then begin
+        let enabled = ref 0 in
+        Array.iter (fun xi -> enabled := !enabled lor (1 lsl xi)) tags;
+        let enabled = !enabled in
+        Array.iteri
+          (fun j st' ->
+            let xi = tags.(j) in
+            if mask land (1 lsl xi) = 0 then begin
+              cache.n_transitions <- cache.n_transitions + 1;
+              (* sleep the locations whose enabled steps were ordered
+                 before [xi]: their interleavings with this step are
+                 covered by the sibling branches *)
+              insert st' (mask lor (enabled land ((1 lsl xi) - 1)))
+            end)
+          succs
+      end
+      else
+        Array.iter
+          (fun st' ->
+            cache.n_transitions <- cache.n_transitions + 1;
+            insert st' 0)
+          succs
     done;
     s
 
-  let apply_label cache (s : set) (l : Label.t) : set =
+  let apply_label ?(group = [||]) cache (s : set) (l : Label.t) : set =
     let out = Packed.Tbl.create (Packed.Tbl.length s) in
     Packed.Tbl.iter
-      (fun st () ->
+      (fun st _ ->
         match Packed.apply cache.ctx st l with
-        | Some st' -> Packed.Tbl.replace out st' ()
+        | Some st' ->
+            cache.n_transitions <- cache.n_transitions + 1;
+            let st' = Sym.canon group st' in
+            if not (Packed.Tbl.mem out st') then begin
+              Packed.Tbl.replace out st' 0;
+              cache.n_states <- cache.n_states + 1
+            end
         | None -> ())
       s;
     out
 
-  let step cache s l = apply_label cache (tau_closure cache s) l
+  let step ?group cache s l =
+    apply_label ?group cache (tau_closure ?group cache s) l
 
-  let run cache st ls =
-    tau_closure cache (List.fold_left (step cache) (of_packed st) ls)
+  (** [run ?group cache st ls] — the packed mirror of {!Explore.run}.
+      With [sym] on and no explicit [group], the stabilizer of
+      [(st, ls)] is computed and the result contains orbit
+      representatives only; pass an explicit (possibly coarser) [group]
+      when two runs' results will be compared. *)
+  let run ?group cache st ls =
+    let group =
+      match group with Some g -> g | None -> sym_group cache ~fixing:ls st
+    in
+    tau_closure ~group cache
+      (List.fold_left (step ~group cache) (of_packed st) ls)
 
   let cardinal = Packed.Tbl.length
   let is_empty s = Packed.Tbl.length s = 0
   let mem (s : set) st = Packed.Tbl.mem s st
 
-  let feasible cache st ls = not (is_empty (run cache st ls))
+  let feasible ?group cache st ls = not (is_empty (run ?group cache st ls))
 
   let subset (a : set) (b : set) =
     try
       Packed.Tbl.iter
-        (fun st () -> if not (Packed.Tbl.mem b st) then raise Exit)
+        (fun st _ -> if not (Packed.Tbl.mem b st) then raise Exit)
         a;
       true
     with Exit -> false
 
   let equal_sets a b = cardinal a = cardinal b && subset a b
 
-  let elements (s : set) =
-    Packed.Tbl.fold (fun st () acc -> st :: acc) s []
+  let elements (s : set) = Packed.Tbl.fold (fun st _ acc -> st :: acc) s []
 
   (** [diff_elements a b] — members of [a] not in [b] (unordered). *)
   let diff_elements (a : set) (b : set) =
     Packed.Tbl.fold
-      (fun st () acc -> if Packed.Tbl.mem b st then acc else st :: acc)
+      (fun st _ acc -> if Packed.Tbl.mem b st then acc else st :: acc)
       a []
 
+  (** [load_outcomes_closed cache s i x] — values the next load of [x]
+      by machine [i] can observe from members of the τ-closed set [s]
+      (the visible value of [x]: the shared cached value if any cache
+      holds it, the owner's memory otherwise).  Exact on sym-reduced
+      sets whenever the reducing group stabilises [x] — e.g. when [x]
+      occurs in the run's labels. *)
+  let load_outcomes_closed cache (s : set) _i x =
+    let xi = Packed.loc_index cache.ctx x in
+    Packed.Tbl.fold
+      (fun st _ acc ->
+        let w = st.(xi) in
+        let v =
+          if Packed.holders cache.ctx w <> 0 then Packed.cval cache.ctx w
+          else Packed.memv cache.ctx w
+        in
+        v :: acc)
+      s []
+    |> List.sort_uniq Value.compare
+
+  (** [independent l1 l2] — the static independence relation the POR
+      layer is built on: two labels commute (and never disable one
+      another) when they touch disjoint location words.  Crashes touch
+      every location of a machine and are dependent with everything;
+      same-location steps conflict through the shared word.  Sound but
+      deliberately conservative — see the QCheck soundness property in
+      [test/test_reduction.ml]. *)
+  let independent (l1 : Label.t) (l2 : Label.t) =
+    match (Label.loc l1, Label.loc l2) with
+    | Some x1, Some x2 -> not (Loc.equal x1 x2)
+    | _ -> false (* a crash, dependent with everything *)
+
   (** [to_set cache s] — the reference-representation image, for
-      cross-checking against the map-based engine. *)
+      cross-checking against the map-based engine.  (On a sym-reduced
+      set this is the image of the {e representatives}; expand orbits
+      with {!Sym.orbit} to compare against an unreduced engine.) *)
   let to_set cache (s : set) : Config.Set.t =
     Packed.Tbl.fold
-      (fun st () acc -> Config.Set.add (Packed.to_config cache.ctx st) acc)
+      (fun st _ acc -> Config.Set.add (Packed.to_config cache.ctx st) acc)
       s Config.Set.empty
 end

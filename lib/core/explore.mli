@@ -56,24 +56,58 @@ module Fast : sig
   (** Exploration context plus the τ-successor memo shared across runs.
       Not domain-safe: create one per worker domain. *)
 
-  val create : Packed.ctx -> cache
+  type reduction = { por : bool; sym : bool }
+  (** Which state-space reductions the cache's explorations use.
+      [por] — sleep-set partial-order reduction over the per-location
+      τ-conflict classes; prunes redundant successor generations only,
+      the computed sets are bit-identical.  [sym] — orbit-representative
+      canonicalisation under {!Sym} stabilizer groups; reduced sets hold
+      one member per orbit (emptiness, shared-group subsets and
+      stabilised load outcomes are preserved exactly). *)
+
+  val no_reduction : reduction
+  val full_reduction : reduction
+
+  type stats = { states : int; transitions : int }
+  (** Cumulative work counters: reachable-set insertions and generated
+      τ-successors / applied labels since creation (or {!reset_stats}). *)
+
+  val create : ?reduction:reduction -> Packed.ctx -> cache
+  (** Defaults to {!no_reduction}: this layer is also the differential
+      oracle's mirror, so reductions are strictly opt-in here (callers
+      like [Litmus.decide] and [Props.check_exhaustive] default them
+      on). *)
+
   val ctx : cache -> Packed.ctx
+  val reduction : cache -> reduction
+  val stats : cache -> stats
+  val reset_stats : cache -> unit
+
+  val sym_group :
+    cache -> fixing:Label.t list -> Packed.t -> Sym.perm array
+  (** The symmetry group a reduced run may use: the stabilizer of the
+      start state and the given labels (empty when [sym] is off).  Runs
+      whose result sets are compared must share one group — pass the
+      union of both label lists as [fixing]. *)
 
   type set
-  (** A reachable set of packed states (hash-set backed). *)
+  (** A reachable set of packed states (hash-set backed).  Under [sym]
+      reduction, members are orbit representatives. *)
 
   val of_packed : Packed.t -> set
 
-  val tau_closure : cache -> set -> set
-  (** In-place worklist closure (the argument is grown and returned). *)
+  val tau_closure : ?group:Sym.perm array -> cache -> set -> set
+  (** In-place worklist closure (the argument is grown and returned).
+      [group] (default: none) canonicalises inserted states. *)
 
-  val apply_label : cache -> set -> Label.t -> set
-  val step : cache -> set -> Label.t -> set
+  val apply_label : ?group:Sym.perm array -> cache -> set -> Label.t -> set
+  val step : ?group:Sym.perm array -> cache -> set -> Label.t -> set
 
-  val run : cache -> Packed.t -> Label.t list -> set
-  (** Packed mirror of {!Explore.run}. *)
+  val run : ?group:Sym.perm array -> cache -> Packed.t -> Label.t list -> set
+  (** Packed mirror of {!Explore.run}.  With [sym] on and no explicit
+      [group], the stabilizer of the start state and labels is used. *)
 
-  val feasible : cache -> Packed.t -> Label.t list -> bool
+  val feasible : ?group:Sym.perm array -> cache -> Packed.t -> Label.t list -> bool
   val cardinal : set -> int
   val is_empty : set -> bool
   val mem : set -> Packed.t -> bool
@@ -83,6 +117,20 @@ module Fast : sig
   val diff_elements : set -> set -> Packed.t list
   (** Members of the first set absent from the second (unordered). *)
 
+  val load_outcomes_closed :
+    cache -> set -> Machine.id -> Loc.t -> Value.t list
+  (** Values the next load of the location can observe from members of
+      the (already τ-closed) set, sorted and deduplicated.  Exact on
+      sym-reduced sets whenever the reducing group stabilises the
+      location. *)
+
+  val independent : Label.t -> Label.t -> bool
+  (** The static independence relation underlying the POR layer: labels
+      touching provably disjoint location words (crashes are dependent
+      with everything).  Independent enabled pairs commute — see the
+      QCheck soundness property in [test/test_reduction.ml]. *)
+
   val to_set : cache -> set -> Config.Set.t
-  (** Reference-representation image, for differential testing. *)
+  (** Reference-representation image, for differential testing (orbit
+      representatives only under [sym] reduction). *)
 end

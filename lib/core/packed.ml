@@ -261,10 +261,13 @@ let prop_cache_mem ctx c xi =
   if h land bit ctx.owners.(xi) = 0 then None
   else Some (with_word c xi (word ctx ~holders:0 ~cval:0 ~mem:(cval ctx w)))
 
-(** [taus_iter ctx c f] applies [f] to every τ-successor of [c] (both
-    propagation rules, every enabled instance).  Successors of distinct
-    τ-labels may coincide; deduplication is the visited set's job. *)
-let taus_iter ctx (c : t) f =
+(** [taus_iter_loc ctx c f] applies [f xi succ] to every τ-successor of
+    [c] (both propagation rules, every enabled instance), tagging each
+    with the dense index [xi] of the one location the step touches —
+    the conflict class the reduced exploration engine prunes on.
+    Successors of distinct τ-labels may coincide; deduplication is the
+    visited set's job. *)
+let taus_iter_loc ctx (c : t) f =
   for xi = 0 to Array.length c - 1 do
     let w = c.(xi) in
     let h = holders ctx w in
@@ -275,16 +278,19 @@ let taus_iter ctx (c : t) f =
       iter_bits
         (fun i ->
           if i <> k then
-            f
+            f xi
               (with_word c xi
                  (word ctx ~holders:(h land lnot (bit i) lor bit k) ~cval:cv
                     ~mem:m)))
         h;
       (* cache->mem: the owner writes back, every cache drops the line *)
       if h land bit k <> 0 then
-        f (with_word c xi (word ctx ~holders:0 ~cval:0 ~mem:cv))
+        f xi (with_word c xi (word ctx ~holders:0 ~cval:0 ~mem:cv))
     end
   done
+
+(** [taus_iter ctx c f] — {!taus_iter_loc} without the location tag. *)
+let taus_iter ctx (c : t) f = taus_iter_loc ctx c (fun _ s -> f s)
 
 (** [apply ctx c l] — packed mirror of {!Semantics.apply}: the successor
     under label [l], or [None] when [l] is not enabled. *)

@@ -172,7 +172,11 @@ let check_item sys it cfg ~locs ~vals : failure option =
 (** [check_item_packed cache it pc ~locs ~vals] — same check on the
     packed engine, sharing [cache]'s τ-successor memo across all
     instantiations (and across calls).  Iteration order, and hence the
-    failure reported, is identical to {!check_item}. *)
+    failure reported, is identical to {!check_item} when the cache is
+    unreduced.  With a sym-reducing cache, both runs of an
+    instantiation share one stabilizer group (of the start and the
+    union of both label lists) so the subset verdict is still exact;
+    only the reported witness is then canonical up to symmetry. *)
 let check_item_packed cache it (pc : Packed.t) ~locs ~vals : failure option =
   let ctx = Explore.Fast.ctx cache in
   let n = Machine.n_machines (Packed.system ctx) in
@@ -185,8 +189,12 @@ let check_item_packed cache it (pc : Packed.t) ~locs ~vals : failure option =
           (fun i ->
             List.iter
               (fun v ->
-                let r_lhs = Explore.Fast.run cache pc (it.lhs i x v) in
-                let r_rhs = Explore.Fast.run cache pc (it.rhs i x v) in
+                let lhs = it.lhs i x v and rhs = it.rhs i x v in
+                let group =
+                  Explore.Fast.sym_group cache ~fixing:(lhs @ rhs) pc
+                in
+                let r_lhs = Explore.Fast.run ~group cache pc lhs in
+                let r_rhs = Explore.Fast.run ~group cache pc rhs in
                 if not (Explore.Fast.subset r_lhs r_rhs) then
                   let witness =
                     (* the minimum of the diff under Config.compare —
@@ -309,55 +317,154 @@ let enum_configs sys ~locs ~vals : Config.t list =
 (* Exhaustive sweeps                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* Reassemble per-configuration rows (one failure option per item, in
-   item order) into the historical item-major failure order. *)
-let gather_failures ~n_items (rows : failure option array array) =
-  List.concat
-    (List.init n_items (fun j ->
-         Array.to_list rows
-         |> List.filter_map (fun (row : failure option array) -> row.(j))))
-
 (** [check_exhaustive_reference sys ~locs ~vals] — the original
-    sequential map-set sweep, kept verbatim as the differential oracle
-    and benchmark baseline. *)
+    sequential map-set sweep, kept as the differential oracle and
+    benchmark baseline.  Configurations are streamed per item through
+    {!enum_configs_seq} rather than materialised once up front: on the
+    N=3 domains the eager list kept hundreds of thousands of map-backed
+    configurations live for the whole sweep, dominating peak memory. *)
 let check_exhaustive_reference ?(items = items) sys ~locs ~vals : failure list =
-  let cfgs = enum_configs sys ~locs ~vals in
   List.concat_map
     (fun it ->
-      List.filter_map (fun cfg -> check_item sys it cfg ~locs ~vals) cfgs)
+      enum_configs_seq sys ~locs ~vals
+      |> Seq.filter_map (fun cfg -> check_item sys it cfg ~locs ~vals)
+      |> List.of_seq)
     items
 
-(** [check_exhaustive sys ~locs ~vals] checks all eight items from every
-    invariant-satisfying configuration.  Returns all failures (empty list
-    = Proposition 1 validated over this bounded domain), in a
-    deterministic order independent of [jobs].
+type sweep_stats = {
+  sweep_configs : int;       (** size of the enumerated domain *)
+  sweep_starts : int;        (** start configurations actually checked *)
+  sweep_states : int;        (** engine reachable-set insertions *)
+  sweep_transitions : int;   (** engine τ-successors + label applications *)
+}
+
+(* Sum the engine counters of every worker cache created by one sweep.
+   Caches are registered from worker domains; lock-free prepend. *)
+let collect_caches () =
+  let caches = Atomic.make [] in
+  let register c =
+    let rec go () =
+      let old = Atomic.get caches in
+      if not (Atomic.compare_and_set caches old (c :: old)) then go ()
+    in
+    go ();
+    c
+  in
+  let totals () =
+    List.fold_left
+      (fun (s, t) c ->
+        let st = Explore.Fast.stats c in
+        (s + st.Explore.Fast.states, t + st.Explore.Fast.transitions))
+      (0, 0) (Atomic.get caches)
+  in
+  (register, totals)
+
+(** [check_exhaustive_stats sys ~locs ~vals] checks all eight items from
+    every invariant-satisfying configuration.  Returns all failures
+    (empty list = Proposition 1 validated over this bounded domain) in a
+    deterministic order independent of [jobs] and [reduction], plus
+    sweep statistics.
 
     Runs on the packed engine, sharding start configurations over [jobs]
     domains (each worker owns a private τ-memo cache); falls back to the
-    reference engine when the domain does not fit the packed layout. *)
-let check_exhaustive ?(items = items) ?(jobs = 1) sys ~locs ~vals :
-    failure list =
+    reference engine when the domain does not fit the packed layout.
+
+    [reduction] (default {!Explore.Fast.full_reduction}) prunes the
+    sweep two ways without changing its result:
+
+    - {e orbit skipping}: the items quantify over every issuer, location
+      and value, and the issuer policies are ownership-based, so "item
+      [it] holds from start [γ]" is invariant under the context's
+      {!Sym.group} — only orbit-representative starts are checked.
+    - {e reduced runs}: each representative's runs use sleep-set POR and
+      per-instantiation stabilizer canonicalisation ({!check_item_packed}),
+      which preserve the subset verdict exactly.
+
+    Exactness of the returned failure list does not rest on the checks
+    alone: any item that fails at any representative is re-checked
+    {e unreduced} over the full domain, reproducing the reference
+    engine's failures (including witnesses) byte-identically.  Items
+    that pass at every representative pass everywhere by equivariance
+    and contribute no failures — so reduced and unreduced sweeps always
+    agree verbatim, at any [jobs]. *)
+let check_exhaustive_stats ?(items = items) ?(jobs = 1)
+    ?(reduction = Explore.Fast.full_reduction) sys ~locs ~vals :
+    failure list * sweep_stats =
   let packed_ctx =
     match Packed.make sys ~locs with
     | ctx when List.for_all (Packed.fits_value ctx) vals -> Some ctx
     | _ -> None
     | exception Packed.Unrepresentable _ -> None
   in
+  let total = enum_configs_count sys ~locs ~vals in
   match packed_ctx with
-  | None -> check_exhaustive_reference ~items sys ~locs ~vals
-  | Some _ ->
-      let total = enum_configs_count sys ~locs ~vals in
+  | None ->
+      let fs = check_exhaustive_reference ~items sys ~locs ~vals in
+      ( fs,
+        {
+          sweep_configs = total;
+          sweep_starts = total;
+          sweep_states = 0;
+          sweep_transitions = 0;
+        } )
+  | Some ctx ->
       let items_a = Array.of_list items in
+      let n_items = Array.length items_a in
+      let register, totals = collect_caches () in
+      let g = if reduction.Explore.Fast.sym then Sym.group ctx else [||] in
+      let starts = Atomic.make 0 in
       let rows =
         Parallel.map_chunked ~jobs total
-          ~init:(fun () -> Explore.Fast.create (Packed.make sys ~locs))
+          ~init:(fun () ->
+            register (Explore.Fast.create ~reduction (Packed.make sys ~locs)))
           ~f:(fun cache m ->
             let pc = enum_packed_nth (Explore.Fast.ctx cache) ~vals m in
-            Array.map
-              (fun it -> check_item_packed cache it pc ~locs ~vals)
-              items_a)
+            if not (Sym.is_canonical g pc) then None
+            else begin
+              Atomic.incr starts;
+              Some
+                (Array.map
+                   (fun it -> check_item_packed cache it pc ~locs ~vals)
+                   items_a)
+            end)
       in
-      gather_failures ~n_items:(Array.length items_a) rows
+      let dirty =
+        Array.init n_items (fun j ->
+            Array.exists
+              (function Some row -> row.(j) <> None | None -> false)
+              rows)
+      in
+      let failures =
+        if not (Array.exists Fun.id dirty) then []
+        else begin
+          (* Exact-failure fallback: re-check every dirty item over the
+             whole domain with the unreduced packed engine (differentially
+             identical to the reference), so witnesses and ordering match
+             the oracle byte for byte. *)
+          let cache = Explore.Fast.create (Packed.make sys ~locs) in
+          let fctx = Explore.Fast.ctx cache in
+          List.concat
+            (List.init n_items (fun j ->
+                 if not dirty.(j) then []
+                 else
+                   let it = items_a.(j) in
+                   Seq.init total (fun m -> enum_packed_nth fctx ~vals m)
+                   |> Seq.filter_map (fun pc ->
+                          check_item_packed cache it pc ~locs ~vals)
+                   |> List.of_seq))
+        end
+      in
+      let states, transitions = totals () in
+      ( failures,
+        {
+          sweep_configs = total;
+          sweep_starts = Atomic.get starts;
+          sweep_states = states;
+          sweep_transitions = transitions;
+        } )
+
+let check_exhaustive ?items ?jobs ?reduction sys ~locs ~vals : failure list =
+  fst (check_exhaustive_stats ?items ?jobs ?reduction sys ~locs ~vals)
 
 (** Default bounded domain: 2 NV machines, one location each, values
     {0, 1}.  [check_default ()] is the entry point used by the CLI. *)

@@ -56,7 +56,10 @@ val check_item_packed :
   Explore.Fast.cache -> item -> Packed.t -> locs:Loc.t list ->
   vals:Value.t list -> failure option
 (** Same check on the packed engine, sharing the cache's τ-successor
-    memo; reports the identical first failure. *)
+    memo; with an unreduced cache, reports the identical first failure.
+    With a sym-reducing cache each instantiation's two runs share one
+    stabilizer group, so the pass/fail verdict is still exact (the
+    reported witness is then canonical up to symmetry). *)
 
 (** {1 Configuration enumeration}
 
@@ -85,13 +88,31 @@ val enum_configs :
 
 (** {1 Exhaustive sweeps} *)
 
-val check_exhaustive :
-  ?items:item list -> ?jobs:int ->
-  Machine.system -> locs:Loc.t list -> vals:Value.t list -> failure list
+type sweep_stats = {
+  sweep_configs : int;       (** size of the enumerated domain *)
+  sweep_starts : int;        (** start configurations actually checked *)
+  sweep_states : int;        (** engine reachable-set insertions *)
+  sweep_transitions : int;   (** engine τ-successors + label applications *)
+}
+
+val check_exhaustive_stats :
+  ?items:item list -> ?jobs:int -> ?reduction:Explore.Fast.reduction ->
+  Machine.system -> locs:Loc.t list -> vals:Value.t list ->
+  failure list * sweep_stats
 (** All items from all enumerated configurations; empty = verified.
     Packed engine, [jobs] worker domains (default 1); identical output
-    for every [jobs] value.  Falls back to the reference engine when
-    the domain does not fit the packed layout. *)
+    for every [jobs] and [reduction] value.  [reduction] (default
+    {!Explore.Fast.full_reduction}) sweeps orbit-representative starts
+    only and runs each with sleep-set POR and stabilizer
+    canonicalisation; exactness is restored by equivariance plus an
+    unreduced full re-check of any item failing at a representative.
+    Falls back to the reference engine when the domain does not fit
+    the packed layout ([sweep_states]/[sweep_transitions] are then 0). *)
+
+val check_exhaustive :
+  ?items:item list -> ?jobs:int -> ?reduction:Explore.Fast.reduction ->
+  Machine.system -> locs:Loc.t list -> vals:Value.t list -> failure list
+(** {!check_exhaustive_stats} without the statistics. *)
 
 val check_exhaustive_reference :
   ?items:item list ->

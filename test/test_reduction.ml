@@ -1,0 +1,570 @@
+(* Differential gate for the reduced exploration engine: partial-order
+   and symmetry reduction must never change what the checker reports.
+
+   - every litmus file in test/data/litmus is decided with every
+     reduction setting and against the reference map-set oracle, and the
+     reachable sets themselves are compared (bit-identical under POR,
+     orbit-expansion-identical under symmetry);
+   - the Proposition 1 sweep is run reduced and unreduced over Prop-1
+     and Prop-2 (volatile / mixed persistence) domains at N=2 and N=3,
+     with failure lists compared verbatim (including a deliberately
+     false item, which exercises the exact-failure fallback);
+   - QCheck properties pin the algebra the reductions rest on: canon is
+     idempotent and permutation-invariant, and statically independent
+     enabled label pairs commute without disabling each other;
+   - a seeded sweep of random small systems diffs reduced vs unreduced
+     verdicts, shrinking and printing any offending system;
+   - the configuration enumeration stays memory-bounded (streaming). *)
+
+open Cxl0
+
+let x1 = Loc.v ~owner:0 0
+let x2 = Loc.v ~owner:1 0
+let x3 = Loc.v ~owner:2 0
+let y1 = Loc.v ~owner:0 1
+
+let plain = Explore.Fast.no_reduction
+let por_only = { Explore.Fast.por = true; sym = false }
+let sym_only = { Explore.Fast.por = false; sym = true }
+let full = Explore.Fast.full_reduction
+
+let reductions =
+  [ ("plain", plain); ("por", por_only); ("sym", sym_only); ("full", full) ]
+
+(* ------------------------------------------------------------------ *)
+(* Litmus files                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* dune runs tests from _build/default/test; the litmus files live in
+   the source tree, so walk up until we find them *)
+let repo_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "test/data/litmus") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
+let litmus_dir () =
+  match repo_root () with
+  | Some root -> Filename.concat root "test/data/litmus"
+  | None -> Alcotest.fail "cannot locate test/data/litmus from the cwd"
+
+(* One test per file, in a line-based [key: value] format:
+     name: fig4.1
+     machines: 3
+     persistence: nv | volatile
+     expect: allowed | forbidden
+     events: RStore_1(x^1,1); crash_1; Load_1(x^1,0)
+   Blank lines and #-comments are ignored. *)
+let parse_litmus_file path : Litmus.t =
+  let ic = open_in path in
+  let fields = Hashtbl.create 8 in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = String.trim (input_line ic) in
+          if line <> "" && line.[0] <> '#' then
+            match String.index_opt line ':' with
+            | None ->
+                Alcotest.failf "%s: malformed line %S" (Filename.basename path)
+                  line
+            | Some i ->
+                Hashtbl.replace fields
+                  (String.trim (String.sub line 0 i))
+                  (String.trim
+                     (String.sub line (i + 1) (String.length line - i - 1)))
+        done
+      with End_of_file -> ());
+  let get k =
+    match Hashtbl.find_opt fields k with
+    | Some v -> v
+    | None ->
+        Alcotest.failf "%s: missing field %S" (Filename.basename path) k
+  in
+  let system =
+    let n = int_of_string (get "machines") in
+    let persistence =
+      match get "persistence" with
+      | "nv" -> Machine.Non_volatile
+      | "volatile" -> Machine.Volatile
+      | p -> Alcotest.failf "%s: bad persistence %S" path p
+    in
+    Machine.uniform ~persistence n
+  in
+  let expect =
+    match get "expect" with
+    | "allowed" -> Litmus.Allowed
+    | "forbidden" -> Litmus.Forbidden
+    | v -> Alcotest.failf "%s: bad expect %S" path v
+  in
+  let events =
+    match Parse.program [ get "events" ] with
+    | Ok ls -> ls
+    | Error e -> Alcotest.failf "%s: bad events: %s" path e
+  in
+  Litmus.make ~system ~expect (get "name") events
+
+let litmus_files () =
+  let dir = litmus_dir () in
+  Sys.readdir dir
+  |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".litmus")
+  |> List.sort String.compare
+  |> List.map (fun f -> Filename.concat dir f)
+
+(* Every reduction setting agrees with the map-set oracle (and with the
+   paper) on every litmus file's verdict. *)
+let test_litmus_verdicts () =
+  let files = litmus_files () in
+  Alcotest.(check bool) "found litmus files" true (List.length files >= 16);
+  List.iter
+    (fun path ->
+      let t = parse_litmus_file path in
+      let oracle =
+        if Explore.feasible t.Litmus.system Config.init t.Litmus.events then
+          Litmus.Allowed
+        else Litmus.Forbidden
+      in
+      Alcotest.(check bool)
+        (t.Litmus.name ^ ": oracle matches the paper")
+        true
+        (Litmus.verdict_equal oracle t.Litmus.expect);
+      List.iter
+        (fun (rname, reduction) ->
+          Alcotest.(check bool)
+            (Fmt.str "%s: %s verdict = oracle" t.Litmus.name rname)
+            true
+            (Litmus.verdict_equal (Litmus.decide ~reduction t) oracle))
+        reductions)
+    (litmus_files ())
+
+(* The reachable sets themselves: POR is bit-identical to the unreduced
+   engine; the sym-reduced set orbit-expands to exactly the oracle's
+   set. *)
+let test_litmus_sets () =
+  List.iter
+    (fun path ->
+      let t = parse_litmus_file path in
+      let sys = t.Litmus.system and events = t.Litmus.events in
+      let reference = Explore.run sys Config.init events in
+      let locs =
+        List.filter_map Label.loc events |> List.sort_uniq Loc.compare
+      in
+      let ctx = Packed.make sys ~locs in
+      let set_of reduction =
+        let cache = Explore.Fast.create ~reduction ctx in
+        (cache, Explore.Fast.run cache (Packed.init ctx) events)
+      in
+      let check_exact rname reduction =
+        let cache, s = set_of reduction in
+        Alcotest.(check bool)
+          (Fmt.str "%s: %s set = oracle set" t.Litmus.name rname)
+          true
+          (Config.Set.equal reference (Explore.Fast.to_set cache s))
+      in
+      check_exact "plain" plain;
+      check_exact "por" por_only;
+      (* sym: expand every representative's orbit under the run's group *)
+      let cache = Explore.Fast.create ~reduction:full ctx in
+      let group =
+        Explore.Fast.sym_group cache ~fixing:events (Packed.init ctx)
+      in
+      let s = Explore.Fast.run ~group cache (Packed.init ctx) events in
+      let expanded =
+        List.fold_left
+          (fun acc st ->
+            List.fold_left
+              (fun acc st' ->
+                Config.Set.add (Packed.to_config ctx st') acc)
+              acc (Sym.orbit group st))
+          Config.Set.empty
+          (Explore.Fast.elements s)
+      in
+      Alcotest.(check bool)
+        (Fmt.str "%s: sym orbit expansion = oracle set" t.Litmus.name)
+        true
+        (Config.Set.equal reference expanded))
+    (litmus_files ())
+
+(* ------------------------------------------------------------------ *)
+(* Proposition sweeps, reduced vs unreduced vs oracle                  *)
+(* ------------------------------------------------------------------ *)
+
+let check_failures_identical msg a b =
+  Alcotest.(check int) (msg ^ ": same count") (List.length a) (List.length b);
+  List.iter2
+    (fun x y ->
+      if not (Props.failure_equal x y) then
+        Alcotest.failf "%s: %a <> %a" msg Props.pp_failure x Props.pp_failure y)
+    a b
+
+(* a deliberately false item: LStore is *not* stronger than MStore *)
+let bogus_item =
+  {
+    Props.id = 99;
+    name = "LStore is stronger than MStore (false)";
+    lhs = (fun i x v -> [ Label.lstore i x v ]);
+    rhs = (fun i x v -> [ Label.mstore i x v ]);
+    issuers = Props.all_machines;
+  }
+
+let mixed2 =
+  Machine.system
+    [|
+      Machine.make ~persistence:Machine.Volatile "M1";
+      Machine.make "M2";
+    |]
+
+(* Prop-1 (non-volatile) and Prop-2 (volatile / mixed persistence)
+   domains at N=2, plus the N=3 benchmark domain.  The reference oracle
+   runs on the N=2 domains and on a single-item slice of N=3; the
+   engine pairs (reduced vs unreduced, all settings) run everywhere. *)
+let domains =
+  [
+    ("n2-nv", Machine.uniform 2, [ x1; x2 ], true);
+    ("n2-volatile", Machine.uniform ~persistence:Machine.Volatile 2,
+     [ x1; x2 ], true);
+    ("n2-mixed", mixed2, [ x1; x2 ], true);
+    ("n3-nv", Machine.uniform 3, [ x1; x2 ], false);
+    ("n3-volatile", Machine.uniform ~persistence:Machine.Volatile 3,
+     [ x1; x2 ], false);
+  ]
+
+let test_sweep_differential () =
+  let vals = [ 0; 1 ] in
+  List.iter
+    (fun (dname, sys, locs, with_oracle) ->
+      let by_reduction =
+        List.map
+          (fun (rname, reduction) ->
+            ( rname,
+              Props.check_exhaustive ~reduction ~jobs:1 sys ~locs ~vals ))
+          reductions
+      in
+      let _, base = List.hd by_reduction in
+      List.iter
+        (fun (rname, fs) ->
+          check_failures_identical
+            (Fmt.str "%s: %s vs plain" dname rname)
+            base fs)
+        (List.tl by_reduction);
+      if with_oracle then
+        check_failures_identical
+          (Fmt.str "%s: oracle vs plain" dname)
+          (Props.check_exhaustive_reference sys ~locs ~vals)
+          base)
+    domains;
+  (* one cheap item of the N=3 domain against the oracle *)
+  let sys = Machine.uniform 3 and locs = [ x1; x2 ] in
+  let items = [ Props.item 2 ] in
+  check_failures_identical "n3 item 2: oracle vs reduced"
+    (Props.check_exhaustive_reference ~items sys ~locs ~vals)
+    (Props.check_exhaustive ~items ~reduction:full sys ~locs ~vals)
+
+(* The failing-item path: the exact-failure fallback must reproduce the
+   oracle's failures (witnesses included) byte for byte, at any jobs
+   count and reduction setting. *)
+let test_sweep_failing_item () =
+  let vals = [ 0; 1 ] in
+  List.iter
+    (fun (sys, locs) ->
+      let items = [ bogus_item; Props.item 2 ] in
+      let oracle = Props.check_exhaustive_reference ~items sys ~locs ~vals in
+      Alcotest.(check bool) "bogus item does fail" true (oracle <> []);
+      List.iter
+        (fun (rname, reduction) ->
+          List.iter
+            (fun jobs ->
+              check_failures_identical
+                (Fmt.str "bogus: %s jobs=%d vs oracle" rname jobs)
+                oracle
+                (Props.check_exhaustive ~items ~reduction ~jobs sys ~locs
+                   ~vals))
+            [ 1; 3 ])
+        reductions)
+    [ (Machine.uniform 2, [ x1; x2 ]); (mixed2, [ x1; y1; x2 ]) ]
+
+(* Orbit skipping really skips: on a symmetric domain the reduced sweep
+   checks strictly fewer starts, and its counters shrink accordingly. *)
+let test_sweep_stats () =
+  let sys = Machine.uniform 3
+  and locs = [ x1; x2; x3 ]
+  and vals = [ 0; 1 ] in
+  let items = [ Props.item 2 ] in
+  let _, red = Props.check_exhaustive_stats ~items ~reduction:full sys ~locs ~vals in
+  let _, unred =
+    Props.check_exhaustive_stats ~items ~reduction:plain sys ~locs ~vals
+  in
+  Alcotest.(check int) "domain size" 27000 unred.Props.sweep_configs;
+  Alcotest.(check int) "unreduced checks every start" 27000
+    unred.Props.sweep_starts;
+  (* |G| = 6 on this domain; Burnside gives 4720 orbits *)
+  Alcotest.(check int) "reduced checks one start per orbit" 4720
+    red.Props.sweep_starts;
+  Alcotest.(check bool) "engine explores >= 5x fewer states" true
+    (red.Props.sweep_states * 5 <= unred.Props.sweep_states)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: the algebra under the reductions                            *)
+(* ------------------------------------------------------------------ *)
+
+let walk_domain n =
+  let sys = Machine.uniform n in
+  let locs = if n = 3 then [ x1; x2; x3; y1 ] else [ x1; x2; y1 ] in
+  (sys, locs)
+
+(* canon is idempotent, and constant on orbits: canon (apply p s) =
+   canon s for every p in the group. *)
+let prop_canon =
+  QCheck.Test.make ~name:"canon is idempotent and permutation-invariant"
+    ~count:150
+    QCheck.(triple small_nat (int_bound 25) (int_range 2 3))
+    (fun (seed, len, n) ->
+      let sys, locs = walk_domain n in
+      let vals = [ 0; 1 ] in
+      let ctx = Packed.make sys ~locs in
+      let g = Sym.group ctx in
+      QCheck.assume (Array.length g > 0);
+      let t = Lts_trace.random_walk ~seed ~len sys ~locs ~vals in
+      List.for_all
+        (fun cfg ->
+          let st = Packed.of_config ctx cfg in
+          let c = Sym.canon g st in
+          Packed.equal c (Sym.canon g c)
+          && Sym.is_canonical g c
+          && Array.for_all
+               (fun p -> Packed.equal c (Sym.canon g (Sym.apply p st)))
+               g)
+        (Lts_trace.configs t))
+
+(* the action commutes with the step rules: apply ctx (Sym.apply p st) l
+   under the permuted label equals Sym.apply p of the plain step *)
+let prop_action_commutes =
+  QCheck.Test.make ~name:"Sym.apply commutes with Packed.apply" ~count:150
+    QCheck.(triple small_nat (int_bound 25) (int_range 2 3))
+    (fun (seed, len, n) ->
+      let sys, locs = walk_domain n in
+      let vals = [ 0; 1 ] in
+      let ctx = Packed.make sys ~locs in
+      let g = Sym.group ctx in
+      QCheck.assume (Array.length g > 0);
+      let t = Lts_trace.random_walk ~seed ~len sys ~locs ~vals in
+      let cfg = t.Lts_trace.final in
+      let st = Packed.of_config ctx cfg in
+      let labels = Lts_trace.candidates sys cfg ~locs ~vals in
+      List.for_all
+        (fun l ->
+          Array.for_all
+            (fun p ->
+              let lhs =
+                Packed.apply ctx (Sym.apply p st) (Sym.on_label ctx p l)
+              in
+              let rhs = Option.map (Sym.apply p) (Packed.apply ctx st l) in
+              match (lhs, rhs) with
+              | None, None -> true
+              | Some a, Some b -> Packed.equal a b
+              | _ -> false)
+            g)
+        labels)
+
+(* independence is sound: two independent labels enabled at the same
+   state commute to the same successor, and neither disables the other *)
+let prop_independence_sound =
+  QCheck.Test.make ~name:"independent enabled pairs commute" ~count:150
+    QCheck.(triple small_nat (int_bound 25) (int_range 2 3))
+    (fun (seed, len, n) ->
+      let sys, locs = walk_domain n in
+      let vals = [ 0; 1 ] in
+      let ctx = Packed.make sys ~locs in
+      let t = Lts_trace.random_walk ~seed ~len sys ~locs ~vals in
+      let cfg = t.Lts_trace.final in
+      let st = Packed.of_config ctx cfg in
+      let labels = Lts_trace.candidates sys cfg ~locs ~vals in
+      List.for_all
+        (fun l1 ->
+          List.for_all
+            (fun l2 ->
+              (not (Explore.Fast.independent l1 l2))
+              ||
+              match (Packed.apply ctx st l1, Packed.apply ctx st l2) with
+              | Some s1, Some s2 -> (
+                  (* no disabling, and the diamond closes *)
+                  match (Packed.apply ctx s1 l2, Packed.apply ctx s2 l1) with
+                  | Some s12, Some s21 -> Packed.equal s12 s21
+                  | _ -> false)
+              | _ -> true)
+            labels)
+        labels)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded random-system sweep                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pp_sys_sexp ppf (sys, locs, labels) =
+  let pp_m ppf i =
+    Fmt.pf ppf "(M%d %s)" (i + 1)
+      (if Machine.is_volatile sys i then "volatile" else "nv")
+  in
+  Fmt.pf ppf "@[<v>(system %a)@,(locs %a)@,(events %a)@]"
+    Fmt.(list ~sep:sp pp_m)
+    (Machine.ids sys)
+    Fmt.(list ~sep:sp Loc.pp)
+    locs
+    Fmt.(list ~sep:(any "; ") Label.pp)
+    labels
+
+let random_system rng =
+  let n = 2 + Random.State.int rng 2 in
+  let sys =
+    Machine.system
+      (Array.init n (fun i ->
+           Machine.make
+             ~persistence:
+               (if Random.State.bool rng then Machine.Non_volatile
+                else Machine.Volatile)
+             (Printf.sprintf "M%d" (i + 1))))
+  in
+  let n_locs = 1 + Random.State.int rng 3 in
+  let locs =
+    List.init n_locs (fun j -> Loc.v ~owner:(Random.State.int rng n) j)
+  in
+  (sys, locs)
+
+let random_events rng sys locs =
+  let n = Machine.n_machines sys in
+  let vals = [ 0; 1 ] in
+  let pool =
+    List.concat_map
+      (fun x ->
+        List.concat_map
+          (fun i ->
+            List.concat_map
+              (fun v ->
+                [
+                  Label.lstore i x v; Label.rstore i x v; Label.mstore i x v;
+                  Label.load i x v;
+                ])
+              vals
+            @ [ Label.lflush i x; Label.rflush i x ])
+          (List.init n Fun.id))
+      locs
+    @ List.init n (fun i -> Label.crash i)
+  in
+  let pool = Array.of_list pool in
+  let len = 1 + Random.State.int rng 5 in
+  List.init len (fun _ -> pool.(Random.State.int rng (Array.length pool)))
+
+(* every engine's verdict on one random instance; [None] = all agree *)
+let verdicts sys locs labels =
+  let reference = Explore.feasible sys Config.init labels in
+  let fast reduction =
+    let ctx = Packed.make sys ~locs in
+    let cache = Explore.Fast.create ~reduction ctx in
+    Explore.Fast.feasible cache (Packed.init ctx) labels
+  in
+  let got =
+    ("oracle", reference)
+    :: List.map (fun (rn, r) -> (rn, fast r)) reductions
+  in
+  if List.for_all (fun (_, v) -> v = reference) got then None else Some got
+
+(* greedy shrink: drop events while the disagreement persists *)
+let rec shrink sys locs labels =
+  let len = List.length labels in
+  let rec try_drop i =
+    if i >= len then labels
+    else
+      let shorter = List.filteri (fun j _ -> j <> i) labels in
+      if verdicts sys locs shorter <> None then shrink sys locs shorter
+      else try_drop (i + 1)
+  in
+  if len = 0 then labels else try_drop 0
+
+let test_random_sweep () =
+  for seed = 0 to 49 do
+    let rng = Random.State.make [| 0xC0FFEE; seed |] in
+    let sys, locs = random_system rng in
+    let labels = random_events rng sys locs in
+    match verdicts sys locs labels with
+    | None -> ()
+    | Some got ->
+        let small = shrink sys locs labels in
+        Alcotest.failf
+          "seed %d: engines disagree (%a)@.shrunk instance:@.%a" seed
+          Fmt.(
+            list ~sep:comma (fun ppf (n, v) -> Fmt.pf ppf "%s=%b" n v))
+          got pp_sys_sexp (sys, locs, small)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Memory-bounded enumeration                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* the streaming enumeration must not materialise the domain: forcing a
+   handful of configurations of an 810k-config domain stays in the
+   kilobyte range (the eager list was hundreds of megabytes) *)
+let test_enum_streaming () =
+  let sys = Machine.uniform 3
+  and locs = [ x1; x2; x3; y1 ]
+  and vals = [ 0; 1 ] in
+  let total = Props.enum_configs_count sys ~locs ~vals in
+  Alcotest.(check int) "domain size" 810000 total;
+  let before = Gc.allocated_bytes () in
+  let seq = Props.enum_configs_seq sys ~locs ~vals in
+  let first10 = List.of_seq (Seq.take 10 seq) in
+  let allocated = Gc.allocated_bytes () -. before in
+  Alcotest.(check int) "got 10 configs" 10 (List.length first10);
+  if allocated > 2_000_000. then
+    Alcotest.failf "streaming enumeration allocated %.0f bytes" allocated;
+  (* random access near the end of the domain is O(#locs) too *)
+  let before = Gc.allocated_bytes () in
+  for i = 0 to 99 do
+    ignore (Props.enum_config_nth sys ~locs ~vals (total - 1 - i))
+  done;
+  let allocated = Gc.allocated_bytes () -. before in
+  if allocated > 2_000_000. then
+    Alcotest.failf "enum_config_nth allocated %.0f bytes per 100 calls"
+      allocated
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "cxl0-reduction"
+    [
+      ( "litmus-files",
+        [
+          Alcotest.test_case "verdicts: all reductions = oracle = paper"
+            `Quick test_litmus_verdicts;
+          Alcotest.test_case "reachable sets: exact / orbit-expanded" `Quick
+            test_litmus_sets;
+        ] );
+      ( "prop-sweeps",
+        [
+          Alcotest.test_case "reduced = unreduced = oracle (N=2, N=3)" `Slow
+            test_sweep_differential;
+          Alcotest.test_case "failing item: fallback is byte-identical" `Slow
+            test_sweep_failing_item;
+          Alcotest.test_case "orbit skipping counts (N=3 full domain)" `Slow
+            test_sweep_stats;
+        ] );
+      ( "qcheck",
+        [
+          QCheck_alcotest.to_alcotest prop_canon;
+          QCheck_alcotest.to_alcotest prop_action_commutes;
+          QCheck_alcotest.to_alcotest prop_independence_sound;
+        ] );
+      ( "random-systems",
+        [
+          Alcotest.test_case "50 seeded systems: verdicts agree" `Slow
+            test_random_sweep;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "enumeration is streaming" `Quick
+            test_enum_streaming;
+        ] );
+    ]
