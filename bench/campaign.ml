@@ -21,13 +21,7 @@ let transforms () =
     Flit.Registry.buffered;
   ]
 
-let rec rm_rf path =
-  if Sys.file_exists path then
-    if Sys.is_directory path then begin
-      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
-      Sys.rmdir path
-    end
-    else Sys.remove path
+let rm_rf = Bench_util.rm_rf
 
 let run_once ~jobs ~cells ~seed =
   let dir =
@@ -47,15 +41,12 @@ let run_once ~jobs ~cells ~seed =
   rm_rf dir;
   (seconds, summaries)
 
-(* The campaign-wide counter sums ride in the signature: cells are
-   deterministic in (seed, index) alone, so the aggregated stats must be
-   jobs-independent too — any divergence (a counter reset missed, traffic
-   depending on shard layout) fails the cross-jobs check below. *)
-let summary_sig (s : C.summary) =
-  Printf.sprintf "%s cells=%d ok=%d skipped=%d violations=%d stats=%s"
-    s.C.transform_name s.C.cells s.C.ok s.C.skipped
-    (List.length s.C.violations)
-    (Fabric.Stats.to_json s.C.stats)
+(* The campaign-wide counter sums ride in the signature (see
+   Bench_util.campaign_sig): cells are deterministic in (seed, index)
+   alone, so the aggregated stats must be jobs-independent too — any
+   divergence (a counter reset missed, traffic depending on shard
+   layout) fails the cross-jobs check below. *)
+let summary_sig = Bench_util.campaign_sig
 
 let () =
   let jobs_list = ref [ 1; 4; 8 ] in

@@ -57,9 +57,7 @@ let step f s acc =
       acc + 4
   | _ -> (acc * 17) + F.faa f m x 1
 
-let signature f acc =
-  Printf.sprintf "acc=%d cycles=%d stats=%s" acc (F.cycles f)
-    (F.Stats.to_json (F.stats f))
+let signature f acc = Bench_util.fabric_sig f ~acc
 
 (* Raw primitive dispatch, one call per operation. *)
 let bench_raw ~ops ~cache_capacity =

@@ -1,0 +1,387 @@
+(* cxl0-kv: the sharded durable KV service under open-loop Zipfian
+   traffic (ROADMAP item 1, EXPERIMENTS E17).
+
+     dune exec bin/cxl0_kv.exe -- --sessions 64 --rate 200 --theta 0.9
+     dune exec bin/cxl0_kv.exe -- --transform alg2-mstore,adaptive --mix a,b
+     dune exec bin/cxl0_kv.exe -- --crash home --faults degraded --check
+     dune exec bin/cxl0_kv.exe -- --sig          # determinism signatures
+
+   Sweeps transform x mix combos; each combo is one serving run
+   (Harness.Kv.serve) reporting throughput in ops per 1000 simulated
+   cycles and per-op-type p50/p99 latency (completion minus *arrival*,
+   so queueing under overload is visible).  Everything is deterministic
+   in --seed: --sig prints one signature line per combo and CI diffs two
+   runs byte-for-byte. *)
+
+open Cmdliner
+module K = Harness.Kv
+module T = Harness.Traffic
+module R = Harness.Runcore
+
+(* Deterministic crash schedule: scheduler steps, early enough that a
+   default-size run has plenty of serving on both sides of the crash. *)
+let crash_schedule ~crash ~home seed : R.crash_spec list =
+  match crash with
+  | "none" -> []
+  | "home" ->
+      [
+        { R.at = 400 + (seed mod 29); machine = home;
+          restart_at = 900 + (seed mod 29); recovery_threads = 1;
+          recovery_ops = 0 };
+      ]
+  | _ ->
+      (* worker: a serving machine that is not the shard-0 home *)
+      [
+        { R.at = 400 + (seed mod 29); machine = 0;
+          restart_at = 900 + (seed mod 29); recovery_threads = 1;
+          recovery_ops = 0 };
+      ]
+
+(* Deterministic RAS schedules per envelope, shaped like flit_run's but
+   with cycle windows sized for serving runs (arrivals stretch over
+   ~total_ops/rate kilocycles, not a few hundred cycles). *)
+let fault_schedule ~faults ~home seed : R.fault_spec list =
+  match faults with
+  | "none" -> []
+  | "transient" ->
+      [
+        R.Degrade_link
+          { m1 = seed mod 2; m2 = home; nack_prob = 0.1; delay_prob = 0.1;
+            delay_cycles = 40 };
+      ]
+  | "degraded" ->
+      [
+        R.Degrade_link
+          { m1 = seed mod 2; m2 = home; nack_prob = 0.4; delay_prob = 0.3;
+            delay_cycles = 80 };
+        R.Down_link
+          { m1 = (seed + 1) mod 2; m2 = home;
+            from_cycle = 2000 + (seed mod 7 * 200);
+            until_cycle = 6000 + (seed mod 7 * 200) };
+      ]
+  | _ -> [ R.Poison_at { at = 150 + (seed mod 23); loc_seed = seed } ]
+
+let op_names = [| "read"; "update"; "insert" |]
+
+(* One combo's deterministic signature: counters, clock, per-op
+   histogram shapes, and the full fabric stats JSON.  CI diffs two runs
+   of these lines; any nondeterminism anywhere in the serving stack
+   (schedule generation, shard mapping, scheduler, fault plan) shows. *)
+let signature transform mix (r : K.serve_result) =
+  Printf.sprintf "kv %s mix=%s served=%d/%d/%d faulted=%d dropped=%d \
+                  cycles=%d read:[%s] update:[%s] insert:[%s] stats=%s"
+    (Flit.Flit_intf.name transform)
+    (T.mix_name mix) r.K.served.(0) r.K.served.(1) r.K.served.(2) r.K.faulted
+    r.K.dropped r.K.cycles
+    (Bench_util.hist_sig r.K.latencies.(0))
+    (Bench_util.hist_sig r.K.latencies.(1))
+    (Bench_util.hist_sig r.K.latencies.(2))
+    (Fabric.Stats.to_json r.K.stats)
+
+let total_served (r : K.serve_result) =
+  r.K.served.(0) + r.K.served.(1) + r.K.served.(2)
+
+let throughput (r : K.serve_result) =
+  if r.K.cycles = 0 then 0.0
+  else float_of_int (total_served r) *. 1000.0 /. float_of_int r.K.cycles
+
+let combo_json transform mix (r : K.serve_result) ~seconds =
+  let hist_json h =
+    Printf.sprintf
+      "{ \"n\": %d, \"mean\": %.1f, \"p50\": %d, \"p90\": %d, \"p99\": %d, \
+       \"max\": %d }"
+      (Obs.Hist.count h) (Obs.Hist.mean h) (Obs.Hist.p50 h) (Obs.Hist.p90 h)
+      (Obs.Hist.p99 h) (Obs.Hist.max_value h)
+  in
+  Printf.sprintf
+    "    { \"transform\": %S, \"mix\": %S, \"throughput_ops_per_kcycle\": \
+     %.2f, \"served\": %d, \"faulted\": %d, \"dropped\": %d, \"cycles\": %d, \
+     \"seconds\": %.3f,\n\
+     \      \"read\": %s,\n\
+     \      \"update\": %s,\n\
+     \      \"insert\": %s }"
+    (Flit.Flit_intf.name transform)
+    (T.mix_name mix) (throughput r) (total_served r) r.K.faulted r.K.dropped
+    r.K.cycles seconds
+    (hist_json r.K.latencies.(0))
+    (hist_json r.K.latencies.(1))
+    (hist_json r.K.latencies.(2))
+
+let print_combo transform mix (r : K.serve_result) =
+  Fmt.pr "%-16s mix=%-9s  %6d served  %5.1f ops/kcycle  cycles=%d%s%s@."
+    (Flit.Flit_intf.name transform)
+    (T.mix_name mix) (total_served r) (throughput r) r.K.cycles
+    (if r.K.faulted > 0 then Fmt.str "  faulted=%d" r.K.faulted else "")
+    (if r.K.dropped > 0 then Fmt.str "  dropped=%d" r.K.dropped else "");
+  Array.iteri
+    (fun i h ->
+      if Obs.Hist.count h > 0 then
+        Fmt.pr "    %-7s n=%-6d p50=%-6d p90=%-6d p99=%-6d max=%d@."
+          op_names.(i) (Obs.Hist.count h) (Obs.Hist.p50 h) (Obs.Hist.p90 h)
+          (Obs.Hist.p99 h) (Obs.Hist.max_value h))
+    r.K.latencies
+
+let run sessions ops rate theta keys mixes transforms shards servers machines
+    jobs seed crash faults check sig_only trace json append label =
+  let transforms =
+    List.map
+      (fun n ->
+        match Flit.Registry.find n with
+        | Some t -> t
+        | None ->
+            Fmt.epr "unknown transformation %S; available: %a@." n
+              Fmt.(list ~sep:comma string)
+              Flit.Registry.names;
+            exit 2)
+      (String.split_on_char ',' transforms)
+  in
+  let mixes =
+    List.map
+      (fun s ->
+        try T.mix_of_string s
+        with Invalid_argument m ->
+          Fmt.epr "%s@." m;
+          exit 2)
+      (String.split_on_char ',' mixes)
+  in
+  if not (List.mem faults [ "none"; "transient"; "degraded"; "poison" ])
+  then begin
+    Fmt.epr "unknown fault envelope %S (none/transient/degraded/poison)@."
+      faults;
+    exit 2
+  end;
+  if not (List.mem crash [ "none"; "worker"; "home" ]) then begin
+    Fmt.epr "unknown crash regime %S (none/worker/home)@." crash;
+    exit 2
+  end;
+  let home = machines - 1 in
+  let config transform mix =
+    let traffic =
+      { T.default_spec with T.sessions; ops_per_session = ops; rate; theta;
+        keyspace = keys; mix; seed }
+    in
+    let base = K.default_serve_config ~transform ~traffic in
+    { base with
+      K.env =
+        { base.K.env with
+          R.n_machines = machines;
+          home;
+          crashes = crash_schedule ~crash ~home seed;
+          faults = fault_schedule ~faults ~home seed };
+      shards;
+      servers_per_machine = servers }
+  in
+  let merged_report = Obs.Report.create () in
+  let failures = ref 0 in
+  let results =
+    List.concat_map
+      (fun transform ->
+        List.map
+          (fun mix ->
+            let c = config transform mix in
+            let tracer = if trace then Some (Obs.Tracer.create ()) else None in
+            let t0 = Unix.gettimeofday () in
+            let r = K.serve ?tracer ~jobs c in
+            let seconds = Unix.gettimeofday () -. t0 in
+            Option.iter
+              (fun t ->
+                Obs.Report.merge ~into:merged_report (Obs.Tracer.report t))
+              tracer;
+            if sig_only then print_endline (signature transform mix r)
+            else print_combo transform mix r;
+            if check then begin
+              let v = K.check ~jobs c in
+              match v.Lincheck.Durable.skipped with
+              | Some _ ->
+                  (* undecided, not refuted: the bitmask search tops out
+                     at 62 ops — shrink the domain to get a verdict *)
+                  Fmt.pr "  durability: undecided@.%a@."
+                    Lincheck.Durable.pp_verdict v
+              | None ->
+                  if not v.Lincheck.Durable.durable then begin
+                    incr failures;
+                    Fmt.pr "  durability VIOLATION:@.%a@."
+                      Lincheck.Durable.pp_verdict v
+                  end
+                  else Fmt.pr "  durability: ok@."
+            end;
+            (transform, mix, r, seconds))
+          mixes)
+      transforms
+  in
+  if trace && not sig_only then
+    Fmt.pr "@.merged fabric-wide report (all combos):@.%a@." Obs.Report.pp
+      merged_report;
+  let total_seconds =
+    List.fold_left (fun a (_, _, _, s) -> a +. s) 0.0 results
+  in
+  (match json with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      Printf.fprintf oc
+        "{ \"label\": %S, \"seed\": %d, \"sessions\": %d, \
+         \"ops_per_session\": %d, \"rate\": %.1f, \"theta\": %.2f, \
+         \"keys\": %d, \"shards\": %d, \"machines\": %d, \"crash\": %S, \
+         \"faults\": %S,\n\
+         \  \"combos\": [\n\
+         %s\n\
+         \  ] }\n"
+        label seed sessions ops rate theta keys shards machines crash faults
+        (String.concat ",\n"
+           (List.map
+              (fun (t, m, r, s) -> combo_json t m r ~seconds:s)
+              results));
+      close_out oc;
+      Fmt.pr "wrote %s@." file);
+  (match append with
+  | None -> ()
+  | Some file ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
+      Printf.fprintf oc
+        "{ \"label\": %S, \"seed\": %d, \"combos\": %d, \"ops\": %d, \
+         \"seconds\": %.3f }\n"
+        label seed (List.length results)
+        (List.fold_left (fun a (_, _, r, _) -> a + total_served r) 0 results)
+        total_seconds;
+      close_out oc);
+  if !failures > 0 then 1 else 0
+
+let sessions =
+  Arg.(
+    value & opt int 64
+    & info [ "sessions" ] ~docv:"N" ~doc:"Simulated client sessions.")
+
+let ops =
+  Arg.(
+    value & opt int 32
+    & info [ "ops" ] ~docv:"N" ~doc:"Operations per session.")
+
+let rate =
+  Arg.(
+    value & opt float 2.0
+    & info [ "rate" ] ~docv:"R"
+        ~doc:"Aggregate offered load, ops per 1000 simulated cycles.")
+
+let theta =
+  Arg.(
+    value & opt float 0.9
+    & info [ "theta" ] ~docv:"F"
+        ~doc:"Zipfian skew in [0, 1): 0 uniform, 0.99 YCSB-hot.")
+
+let keys =
+  Arg.(
+    value & opt int 256
+    & info [ "keys" ] ~docv:"N" ~doc:"Preloaded keyspace size.")
+
+let mix =
+  Arg.(
+    value & opt string "b"
+    & info [ "mix" ] ~docv:"MIXES"
+        ~doc:
+          "Comma-separated op mixes: R:U:I weights (95:4:1) or YCSB \
+           letters a (50/50), b (95/5), c (read-only), d (95r/5i).")
+
+let transform =
+  Arg.(
+    value
+    & opt string "alg2-mstore,alg3'-weakest,adaptive"
+    & info [ "transform" ] ~docv:"TS"
+        ~doc:"Comma-separated transformations to sweep.")
+
+let shards =
+  Arg.(
+    value & opt int 4
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Hash-map shards, homed round-robin across machines.")
+
+let servers =
+  Arg.(
+    value & opt int 2
+    & info [ "servers" ] ~docv:"N" ~doc:"Serving threads per machine.")
+
+let machines =
+  Arg.(value & opt int 3 & info [ "machines" ] ~docv:"N" ~doc:"Fabric size.")
+
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"J"
+        ~doc:
+          "Domains for schedule pregeneration; never changes the \
+           schedule (byte-identical for every value).")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Run seed.")
+
+let crash =
+  Arg.(
+    value & opt string "none"
+    & info [ "crash" ] ~docv:"WHO"
+        ~doc:
+          "Crash regime: none, worker (serving machine), home (shard-0 \
+           owner); deterministic schedule per seed, restarted machines \
+           rejoin serving.")
+
+let faults =
+  Arg.(
+    value & opt string "none"
+    & info [ "faults" ] ~docv:"ENV"
+        ~doc:
+          "RAS fault envelope layered onto the crash regime: none, \
+           transient, degraded, poison — deterministic per seed.")
+
+let check =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Re-run each combo with history recording and run the \
+           durability checker against the map spec (keep the domain \
+           small: the checker is exponential).  Exit 1 on violation.")
+
+let sig_only =
+  Arg.(
+    value & flag
+    & info [ "sig" ]
+        ~doc:
+          "Print one deterministic signature line per combo instead of \
+           the human tables (for run-twice determinism diffs in CI).")
+
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Attach an event tracer to every combo and print the merged \
+           fabric-wide per-primitive latency report after the sweep.")
+
+let json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the full sweep results as a JSON document to $(docv).")
+
+let append =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "append" ] ~docv:"FILE"
+        ~doc:"Append a one-line timing record to $(docv) (JSONL).")
+
+let label =
+  Arg.(
+    value & opt string "run"
+    & info [ "label" ] ~docv:"S" ~doc:"Label echoed into JSON output.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "cxl0-kv"
+       ~doc:
+         "Sharded durable KV serving under open-loop Zipfian traffic")
+    Term.(
+      const run $ sessions $ ops $ rate $ theta $ keys $ mix $ transform
+      $ shards $ servers $ machines $ jobs $ seed $ crash $ faults $ check
+      $ sig_only $ trace $ json $ append $ label)
+
+let () = exit (Cmd.eval' cmd)

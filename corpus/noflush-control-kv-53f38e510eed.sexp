@@ -1,0 +1,35 @@
+; found by campaign seed=5 cell=24
+; NOT durably linearizable (1 crash(es), 14 nodes explored) [kv/noflush-control seed=6841 machines=3 workers=3 ops=1 crashes=1]
+; history:
+; inv  t2 put(3,
+; 1)
+; inv  t1 put(3,
+; 2)
+; inv  t3 put(2,
+; 1)
+; res  t2 -> 0
+; res  t3 -> 0
+; res  t1 -> 0
+; CRASH M2
+; inv  t4 get(2)
+; res  t4 -> -1
+(config
+ (kind kv)
+ (transform noflush-control)
+ (n-machines 3)
+ (home 2)
+ (volatile-home false)
+ (workers (0 0 0))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 25)
+    (machine 1)
+    (restart-at 25)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 6841)
+ (evict-prob 0)
+ (cache-capacity 4)
+ (value-range 3)
+ (pflag true))

@@ -1,0 +1,29 @@
+; found by campaign seed=5 cell=13
+; NOT durably linearizable (1 crash(es), 2 nodes explored) [map/noflush-control seed=102594 machines=2 workers=1 ops=1 crashes=1]
+; history:
+; inv  t1 put(1,
+; 1)
+; res  t1 -> 0
+; CRASH M2
+; inv  t2 del(1)
+; res  t2 -> 0
+(config
+ (kind map)
+ (transform noflush-control)
+ (n-machines 2)
+ (home 1)
+ (volatile-home false)
+ (workers (0))
+ (ops-per-thread 1)
+ (crashes
+  ((crash
+    (at 10)
+    (machine 1)
+    (restart-at 10)
+    (recovery-threads 1)
+    (recovery-ops 1))))
+ (seed 102594)
+ (evict-prob 0)
+ (cache-capacity 2)
+ (value-range 1)
+ (pflag true))

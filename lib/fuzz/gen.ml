@@ -41,7 +41,13 @@
       crashes (Finding F3): when a machine hosting writers crashes, its
       un-synced completed suffix dies while completed operations on the
       surviving machines live on, so no happens-after-closed drop set
-      exists and even the buffered criterion is violated. *)
+      exists and even the buffered criterion is violated.
+
+    Orthogonal to all of the above: the sharded [Kv] kind is homed on
+    *every* machine (shard [i] lives at [(home + i) mod n_machines]), so
+    under any home-sparing envelope there is no bystander left to
+    crash — Kv cells for those transforms sample crash-free (they still
+    exercise faults, eviction pressure, and plain linearizability). *)
 
 type oracle =
   | Durable  (** {!Lincheck.Durable.check} *)
@@ -252,6 +258,18 @@ let gen (p : profile) (rng : Random.State.t) : Harness.Workload.config =
       value_range = 1 + Random.State.int rng 3;
       pflag = true;
     }
+  in
+  (* The sharded KV is homed on *every* machine ((home + i) mod n for
+     each shard), so for home-crash-sensitive envelopes there is no
+     bystander machine to crash: any crash is a shard-home crash and
+     lands in the Finding-F1/F2 window (the fuzzer rediscovered this —
+     weakest-lflush lost completed stores to "bystander" crashes the
+     moment the Kv kind appeared).  Dropping the sampled specs draws
+     nothing from [rng], so every other kind samples byte-identically. *)
+  let base =
+    if base.kind = Harness.Objects.Kv && not p.crash_home then
+      { base with crashes = [] }
+    else base
   in
   (* sampled after the base record so [Fault_free] draws nothing — see
      [sample_faults] *)

@@ -71,6 +71,13 @@ let candidates (c : W.config) : W.config list =
   let volatile =
     if c.volatile_home then [ { c with volatile_home = false } ] else []
   in
+  (* a failing sharded KV cell usually fails for the same reason on one
+     unsharded map — same op surface and spec, fewer moving parts *)
+  let unshard =
+    if c.kind = Harness.Objects.Kv then
+      [ { c with kind = Harness.Objects.Map } ]
+    else []
+  in
   let machines =
     let last = c.n_machines - 1 in
     if
@@ -103,7 +110,7 @@ let candidates (c : W.config) : W.config list =
          c.crashes)
   in
   workers @ crashes_dropped @ faults_dropped @ ops @ recovery @ values @ evict
-  @ volatile @ machines @ crash_later
+  @ volatile @ unshard @ machines @ crash_later
 
 (* aggregate shrink measures; every candidate is <= on all of them *)
 let measures (c : W.config) =
@@ -117,6 +124,8 @@ let measures (c : W.config) =
     c.value_range;
     c.n_machines;
     (if c.volatile_home then 1 else 0);
+    (* Kv shrinks to Map (the unsharded special case), never back *)
+    (if c.kind = Harness.Objects.Kv then 1 else 0);
   ]
 
 (** [leq a b] — [a] is no larger than [b] in every shrinkable dimension

@@ -1,0 +1,249 @@
+(** Sharded durable KV over {!Dstruct.Hmap} + the open-loop serving
+    engine.  See the interface for the correctness argument (locality of
+    durable linearizability) and the open-loop clock contract. *)
+
+type t = { shards : Dstruct.Hmap.t array }
+
+let create ctx ?(pflag = true) ?(shards = 4) ?buckets ~flit ~home () =
+  if shards <= 0 then invalid_arg "Kv.create: shards must be positive";
+  let n_machines = Fabric.n_machines ctx.Runtime.Sched.fab in
+  {
+    shards =
+      Array.init shards (fun i ->
+          Dstruct.Hmap.create ctx ~pflag ?buckets ~flit
+            ~home:((home + i) mod n_machines)
+            ());
+  }
+
+let n_shards t = Array.length t.shards
+
+(* Knuth's multiplicative hash before the mod: Zipf-hot ranks are the
+   *small* keys, and without scrambling they would all land in the first
+   shards.  Positive keys only (Hmap's contract), so no sign fix-up. *)
+let shard_of_key t k = k * 2654435761 lsr 11 mod Array.length t.shards
+
+let put t ctx k v = Dstruct.Hmap.put t.shards.(shard_of_key t k) ctx k v
+let get t ctx k = Dstruct.Hmap.get t.shards.(shard_of_key t k) ctx k
+let del t ctx k = Dstruct.Hmap.del t.shards.(shard_of_key t k) ctx k
+
+let dispatch t ctx op args =
+  match (op, args) with
+  | "put", [ k; v ] -> put t ctx k v
+  | "get", [ k ] -> get t ctx k
+  | "del", [ k ] -> del t ctx k
+  | _ -> invalid_arg ("Kv.dispatch: " ^ op)
+
+(* ------------------------------------------------------------------ *)
+(* Open-loop serving engine                                            *)
+(* ------------------------------------------------------------------ *)
+
+type serve_config = {
+  env : Runcore.env;
+  transform : Flit.Flit_intf.t;
+  traffic : Traffic.spec;
+  shards : int;
+  buckets : int option;
+  pflag : bool;
+  servers_per_machine : int;
+  record_history : bool;
+}
+
+let default_serve_config ~transform ~traffic =
+  {
+    env =
+      {
+        Runcore.n_machines = 3;
+        home = 2;
+        volatile_home = false;
+        crashes = [];
+        faults = [];
+        seed = traffic.Traffic.seed;
+        evict_prob = 0.15;
+        cache_capacity = 4;
+      };
+    transform;
+    traffic;
+    shards = 4;
+    buckets = None;
+    pflag = true;
+    servers_per_machine = 2;
+    record_history = false;
+  }
+
+type serve_result = {
+  history : Lincheck.History.t;
+  stats : Fabric.Stats.t;
+  cycles : int;
+  served : int array;
+  latencies : Obs.Hist.t array;
+  faulted : int;
+  dropped : int;
+}
+
+let op_index = function
+  | Traffic.Read -> 0
+  | Traffic.Update -> 1
+  | Traffic.Insert -> 2
+
+(* Requests carry 0-based key ranks; Hmap keys must be positive. *)
+let map_op (r : Traffic.request) =
+  match r.Traffic.op with
+  | Traffic.Read -> ("get", [ r.Traffic.key + 1 ])
+  | Traffic.Update | Traffic.Insert ->
+      ("put", [ r.Traffic.key + 1; r.Traffic.value ])
+
+let serve ?tracer ?jobs (c : serve_config) : serve_result =
+  let reqs = Traffic.generate ?jobs c.traffic in
+  let fab = Runcore.build_fabric ?tracer c.env in
+  let flit = Flit.Flit_intf.instantiate c.transform fab in
+  (* the Workload seed-derivation formula, so a KV serving run and a
+     closed-loop run on the same env explore the same schedule stream *)
+  let sched = Runtime.Sched.create ~seed:((c.env.seed * 7919) + 1) fab in
+  let events = ref [] in
+  let record =
+    if c.record_history then fun e -> events := e :: !events
+    else fun _ -> ()
+  in
+  let kv_ref = ref None in
+  let cursor = ref 0 in
+  let served = [| 0; 0; 0 |] in
+  let latencies = Array.init 3 (fun _ -> Obs.Hist.create ()) in
+  let faulted = ref 0 in
+  (* Each server claims the next request off the shared cursor; every
+     claim decision is a handful of shared-ref accesses with no
+     scheduling point in between, so it is race-free under the
+     cooperative scheduler (fibres only switch at effect yields).
+
+     Open-loop clock: a request may be claimed once it has *arrived*
+     (fabric clock past its arrival stamp) — then its latency sample,
+     completion minus arrival, carries the queueing delay a closed-loop
+     harness can never show.  A request whose arrival is still in the
+     future may only be claimed when no op is in flight anywhere
+     ([busy = 0]): the claiming server then advances the fabric clock to
+     the arrival, charging the idle gap.  Without the [busy] guard an
+     idle server would pre-claim a future request and fast-forward the
+     shared clock over ops still in flight, billing them phantom
+     queueing delay.
+
+     The stall bound: a server that has yielded [stall_limit] times
+     without seeing the clock move claims anyway.  In a healthy run the
+     clock always moves while anyone is busy (every primitive charges),
+     so the bound only fires when a crash killed a busy server — whose
+     in-flight increment nobody will ever undo — and the survivors must
+     not spin forever behind it. *)
+  let stall_limit = 64 in
+  let busy = ref 0 in
+  let serve_one kv ctx (r : Traffic.request) =
+    let op, args = map_op r in
+    record (Lincheck.History.Inv { tid = ctx.Runtime.Sched.tid; op; args });
+    let oi = op_index r.Traffic.op in
+    match dispatch kv ctx op args with
+    | ret ->
+        record
+          (Lincheck.History.Res
+             { tid = ctx.Runtime.Sched.tid; ret = Lincheck.History.Ret ret });
+        served.(oi) <- served.(oi) + 1;
+        Obs.Hist.add latencies.(oi) (Fabric.cycles fab - r.Traffic.arrival)
+    | exception Runtime.Ops.Fault _ ->
+        record
+          (Lincheck.History.Res
+             { tid = ctx.Runtime.Sched.tid; ret = Lincheck.History.Faulted });
+        incr faulted
+  in
+  let server kv ctx =
+    let n = Array.length reqs in
+    let rec loop stalls last_seen =
+      if !cursor < n then begin
+        let r = reqs.(!cursor) in
+        let now = Fabric.cycles fab in
+        if r.Traffic.arrival <= now || !busy = 0 || stalls >= stall_limit
+        then begin
+          cursor := !cursor + 1;
+          if now < r.Traffic.arrival then
+            Fabric.charge fab (r.Traffic.arrival - now);
+          busy := !busy + 1;
+          serve_one kv ctx r;
+          busy := !busy - 1;
+          loop 0 (Fabric.cycles fab)
+        end
+        else begin
+          Runtime.Sched.yield ctx;
+          let stalls = if now = last_seen then stalls + 1 else 0 in
+          loop stalls now
+        end
+      end
+    in
+    loop 0 (-1)
+  in
+  let spawn_servers s ~machine ~tag kv =
+    for r = 0 to c.servers_per_machine - 1 do
+      if Runtime.Sched.machine_is_up s machine then
+        ignore
+          (Runtime.Sched.spawn s ~machine
+             ~name:(Printf.sprintf "%s%d.%d" tag machine r)
+             (server kv))
+    done
+  in
+  let sched_of ctx = ctx.Runtime.Sched.sched in
+  let _init =
+    Runtime.Sched.spawn sched ~machine:c.env.home ~name:"init" (fun ctx ->
+        match
+          create ctx ~pflag:c.pflag ~shards:c.shards ?buckets:c.buckets ~flit
+            ~home:c.env.home ()
+        with
+        | exception Runtime.Ops.Fault _ -> ()
+        | kv ->
+            (* preload the keyspace so reads hit; recorded like any op so
+               a checked history starts from a consistent prefix *)
+            for k = 1 to c.traffic.Traffic.keyspace do
+              record
+                (Lincheck.History.Inv
+                   {
+                     tid = ctx.Runtime.Sched.tid;
+                     op = "put";
+                     args = [ k; k ];
+                   });
+              let ret =
+                try Lincheck.History.Ret (put kv ctx k k)
+                with Runtime.Ops.Fault _ -> Lincheck.History.Faulted
+              in
+              record
+                (Lincheck.History.Res { tid = ctx.Runtime.Sched.tid; ret })
+            done;
+            kv_ref := Some kv;
+            for m = 0 to c.env.n_machines - 1 do
+              spawn_servers (sched_of ctx) ~machine:m ~tag:"s" kv
+            done)
+  in
+  Runcore.install_crash_plan sched c.env ~record ~recovery:(fun ~ci spec s ->
+      match !kv_ref with
+      | None -> ()
+      | Some kv ->
+          (* restarted machines rejoin the drain with fresh serving
+             threads (the crashed ones died mid-request; those requests
+             are the dropped count) *)
+          spawn_servers s ~machine:spec.Runcore.machine
+            ~tag:(Printf.sprintf "r%d." ci)
+            kv);
+  Runcore.install_fault_plan sched c.env;
+  ignore (Runtime.Sched.run sched);
+  let total_served = served.(0) + served.(1) + served.(2) in
+  {
+    history = List.rev !events;
+    stats = Fabric.Stats.copy (Fabric.stats fab);
+    cycles = Fabric.cycles fab;
+    served;
+    latencies;
+    faulted = !faulted;
+    dropped = Traffic.total_ops c.traffic - total_served - !faulted;
+  }
+
+let check ?jobs (c : serve_config) : Lincheck.Durable.verdict =
+  let r = serve ?jobs { c with record_history = true } in
+  Lincheck.Durable.check
+    ~provenance:
+      (Printf.sprintf "kv/%s shards=%d %s"
+         (Flit.Flit_intf.name c.transform)
+         c.shards
+         (Traffic.describe c.traffic))
+    Lincheck.Specs.map r.history

@@ -1,0 +1,94 @@
+(** Sharded durable KV service: {!Dstruct.Hmap} shards homed round-robin
+    across machines, every operation going through a FliT transformation
+    instance — plus the open-loop serving engine that drives it with
+    {!Traffic} schedules.
+
+    Correctness: the shards partition the keyspace, each shard is
+    durably linearizable under the map specification, and durable
+    linearizability is local — so the composite is durably linearizable
+    against the same map spec, and the durability checker can consume a
+    serving history unchanged (the {!Objects.Kv} kind puts exactly this
+    composite under the fuzzer's crash + RAS envelopes). *)
+
+type t
+
+val create :
+  Runtime.Sched.ctx ->
+  ?pflag:bool ->
+  ?shards:int ->
+  ?buckets:int ->
+  flit:Flit.Flit_intf.instance ->
+  home:int ->
+  unit ->
+  t
+(** [shards] (default 4) hash maps, shard [i] homed on machine
+    [(home + i) mod n_machines] — round-robin from the object's nominal
+    home, so a multi-machine fabric spreads shard traffic.  Must run
+    inside a scheduled thread.  [buckets] per shard as in
+    {!Dstruct.Hmap.create}. *)
+
+val n_shards : t -> int
+
+val shard_of_key : t -> int -> int
+(** Multiplicative-hash shard mapping (Knuth 2654435761), so the
+    Zipf-hot low ranks scatter across shards instead of piling onto
+    shard 0. *)
+
+val put : t -> Runtime.Sched.ctx -> int -> int -> int
+val get : t -> Runtime.Sched.ctx -> int -> int
+val del : t -> Runtime.Sched.ctx -> int -> int
+
+val dispatch : t -> Runtime.Sched.ctx -> string -> int list -> int
+(** ["put" [k; v]], ["get" [k]], ["del" [k]] — the map-spec op surface,
+    routed to the owning shard. *)
+
+(** {1 Open-loop serving} *)
+
+(** One serving run: fabric/crash/fault environment + offered traffic +
+    service shape. *)
+type serve_config = {
+  env : Runcore.env;        (** machines, crashes, faults, seed *)
+  transform : Flit.Flit_intf.t;
+  traffic : Traffic.spec;
+  shards : int;
+  buckets : int option;
+  pflag : bool;
+  servers_per_machine : int;  (** serving threads spawned per up machine *)
+  record_history : bool;
+      (** record every op (and the preload) for the durability checker —
+          keep domains small when set *)
+}
+
+val default_serve_config :
+  transform:Flit.Flit_intf.t -> traffic:Traffic.spec -> serve_config
+(** 3 machines (home 2), no crashes/faults, seed from the traffic spec,
+    4 shards, 2 servers per machine, history off. *)
+
+type serve_result = {
+  history : Lincheck.History.t;  (** [[]] unless [record_history] *)
+  stats : Fabric.Stats.t;
+  cycles : int;                  (** fabric clock when serving finished *)
+  served : int array;            (** completions, indexed by {!op_index} *)
+  latencies : Obs.Hist.t array;  (** completion − arrival, by {!op_index} *)
+  faulted : int;       (** ops aborted by a RAS fault past the retry policy *)
+  dropped : int;       (** requests lost to crashes / never claimed *)
+}
+
+val op_index : Traffic.op_type -> int
+(** [Read] = 0, [Update] = 1, [Insert] = 2 — the index into [served]
+    and [latencies]. *)
+
+val serve : ?tracer:Obs.Tracer.t -> ?jobs:int -> serve_config -> serve_result
+(** Run the service: pregenerate the schedule ({!Traffic.generate} —
+    [jobs] never changes it), preload the keyspace, spawn
+    [servers_per_machine] serving threads on every up machine, drain the
+    schedule open-loop (a server ahead of schedule advances the fabric
+    clock to the next arrival; a server behind serves immediately, and
+    the request's latency — completion minus *arrival* — shows the
+    queueing delay), crash/restart per the env plan (restarted machines
+    get fresh serving threads), and return throughput counters and
+    per-op-type latency histograms.  Deterministic in the config. *)
+
+val check : ?jobs:int -> serve_config -> Lincheck.Durable.verdict
+(** {!serve} with history recording forced on, then the durability
+    checker against the map spec. *)

@@ -5,9 +5,9 @@
     and a random-operation generator, so the workload runner and the
     benches can be generic over objects. *)
 
-type kind = Register | Counter | Stack | Queue | Set | Map | Log
+type kind = Register | Counter | Stack | Queue | Set | Map | Log | Kv
 
-let all_kinds = [ Register; Counter; Stack; Queue; Set; Map; Log ]
+let all_kinds = [ Register; Counter; Stack; Queue; Set; Map; Log; Kv ]
 
 let kind_name = function
   | Register -> "register"
@@ -17,6 +17,7 @@ let kind_name = function
   | Set -> "set"
   | Map -> "map"
   | Log -> "log"
+  | Kv -> "kv"
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 
@@ -28,6 +29,10 @@ let spec : kind -> Lincheck.Spec.t = function
   | Set -> Lincheck.Specs.set
   | Map -> Lincheck.Specs.map
   | Log -> Lincheck.Specs.log
+  (* the sharded composite partitions the keyspace over per-machine
+     Hmap shards; durable linearizability is local, so the map spec
+     carries over unchanged *)
+  | Kv -> Lincheck.Specs.map
 
 type instance = {
   dispatch : Runtime.Sched.ctx -> string -> int list -> int;
@@ -61,6 +66,9 @@ let create (kind : kind) (flit : Flit.Flit_intf.instance) ctx ~home ~pflag :
   | Log ->
       let t = Dstruct.Dlog.create ctx ~pflag ~flit ~home () in
       { dispatch = Dstruct.Dlog.dispatch t }
+  | Kv ->
+      let t = Kv.create ctx ~pflag ~flit ~home () in
+      { dispatch = Kv.dispatch t }
 
 (** [random_op ?range kind rng] — a random operation with payloads and
     keys drawn from [1, range] (default 3; contention is the point:
@@ -78,7 +86,8 @@ let random_op ?(range = 3) (kind : kind) rng : string * int list =
   | Queue -> pick [ ("enq", [ v () ]); ("deq", []) ]
   | Set ->
       pick [ ("add", [ k () ]); ("remove", [ k () ]); ("contains", [ k () ]) ]
-  | Map -> pick [ ("put", [ k (); v () ]); ("get", [ k () ]); ("del", [ k () ]) ]
+  | Map | Kv ->
+      pick [ ("put", [ k (); v () ]); ("get", [ k () ]); ("del", [ k () ]) ]
   | Log ->
       pick
         [ ("append", [ v () ]); ("read", [ Random.State.int rng 5 ]); ("size", []) ]
@@ -97,7 +106,7 @@ let ratio_op (kind : kind) rng ~read_ratio : string * int list =
       if read then ("contains", [ k () ])
       else if Random.State.bool rng then ("add", [ k () ])
       else ("remove", [ k () ])
-  | Map ->
+  | Map | Kv ->
       if read then ("get", [ k () ])
       else if Random.State.bool rng then ("put", [ k (); v () ])
       else ("del", [ k () ])

@@ -3,7 +3,7 @@
     random-operation generators, so the workload runner and the benches
     are generic over objects. *)
 
-type kind = Register | Counter | Stack | Queue | Set | Map | Log
+type kind = Register | Counter | Stack | Queue | Set | Map | Log | Kv
 
 val all_kinds : kind list
 val kind_name : kind -> string

@@ -1,0 +1,213 @@
+(** Open-loop serving traffic: sessions, arrival schedules, Zipfian
+    skew, op mixes.  See the interface for the determinism contract —
+    the short version is that every random draw comes from a per-session
+    [Random.State] seeded by [(spec.seed, session)], so neither [~jobs]
+    nor evaluation order can change a byte of the schedule. *)
+
+module Zipf = struct
+  (* The YCSB generator (Gray et al., "Quickly generating
+     billion-record synthetic databases"): draw u ~ U(0,1), compare
+     u * zeta(n) against the head-of-distribution masses, else invert
+     the tail power law.  All constants precomputed at [create]. *)
+  type t = {
+    theta : float;
+    n : int;
+    zetan : float;   (* sum_{i=1..n} 1/i^theta *)
+    alpha : float;   (* 1 / (1 - theta) *)
+    eta : float;
+    half_pow : float; (* 0.5^theta: the rank-1 boundary *)
+  }
+
+  let theta t = t.theta
+  let n t = t.n
+
+  let zeta ~theta n =
+    let s = ref 0.0 in
+    for i = 1 to n do
+      s := !s +. (1.0 /. Float.pow (float_of_int i) theta)
+    done;
+    !s
+
+  let create ~theta ~n =
+    if n <= 0 then invalid_arg "Traffic.Zipf.create: n must be positive";
+    if theta < 0.0 || theta >= 1.0 then
+      invalid_arg "Traffic.Zipf.create: theta must be in [0, 1)";
+    let zetan = zeta ~theta n in
+    let zeta2 = zeta ~theta (min 2 n) in
+    let alpha = 1.0 /. (1.0 -. theta) in
+    let eta =
+      (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+      /. (1.0 -. (zeta2 /. zetan))
+    in
+    { theta; n; zetan; alpha; eta; half_pow = Float.pow 0.5 theta }
+
+  let draw t rng =
+    if t.n = 1 then 0
+    else
+      let u = Random.State.float rng 1.0 in
+      let uz = u *. t.zetan in
+      if uz < 1.0 then 0
+      else if uz < 1.0 +. t.half_pow then 1
+      else
+        let r =
+          float_of_int t.n
+          *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha
+        in
+        (* clamp: float rounding can land exactly on n *)
+        min (t.n - 1) (int_of_float r)
+end
+
+type mix = { reads : int; updates : int; inserts : int }
+
+let mix_of_string s =
+  let named r u i = { reads = r; updates = u; inserts = i } in
+  match String.lowercase_ascii (String.trim s) with
+  | "a" -> named 50 50 0
+  | "b" -> named 95 5 0
+  | "c" -> named 100 0 0
+  | "d" -> named 95 0 5
+  | s -> (
+      match String.split_on_char ':' s with
+      | [ r; u; i ] -> (
+          match (int_of_string_opt r, int_of_string_opt u, int_of_string_opt i)
+          with
+          | Some reads, Some updates, Some inserts
+            when reads >= 0 && updates >= 0 && inserts >= 0
+                 && reads + updates + inserts > 0 ->
+              { reads; updates; inserts }
+          | _ ->
+              invalid_arg
+                (Printf.sprintf "Traffic.mix_of_string: bad weights %S" s))
+      | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Traffic.mix_of_string: expected R:U:I or a/b/c/d, got %S" s))
+
+let mix_name m = Printf.sprintf "r%du%di%d" m.reads m.updates m.inserts
+
+type op_type = Read | Update | Insert
+
+let op_type_name = function
+  | Read -> "read"
+  | Update -> "update"
+  | Insert -> "insert"
+
+type spec = {
+  sessions : int;
+  ops_per_session : int;
+  rate : float;
+  theta : float;
+  keyspace : int;
+  mix : mix;
+  value_range : int;
+  seed : int;
+}
+
+let default_spec =
+  {
+    sessions = 64;
+    ops_per_session = 32;
+    rate = 2.0;
+    theta = 0.9;
+    keyspace = 256;
+    mix = { reads = 95; updates = 5; inserts = 0 };
+    value_range = 1000;
+    seed = 1;
+  }
+
+let describe (s : spec) =
+  Printf.sprintf
+    "sessions=%d ops=%d rate=%.1f theta=%.2f keys=%d mix=%s range=%d seed=%d"
+    s.sessions s.ops_per_session s.rate s.theta s.keyspace (mix_name s.mix)
+    s.value_range s.seed
+
+type request = {
+  session : int;
+  seq : int;
+  arrival : int;
+  op : op_type;
+  key : int;
+  value : int;
+}
+
+let total_ops (s : spec) = s.sessions * s.ops_per_session
+
+(* Mean inter-arrival gap per session, in cycles: [rate] is the
+   aggregate offered load per 1000 cycles, spread evenly across
+   sessions. *)
+let mean_gap (s : spec) =
+  if s.rate <= 0.0 then invalid_arg "Traffic.generate: rate must be positive";
+  float_of_int s.sessions *. 1000.0 /. s.rate
+
+(* Exponential inter-arrival (Poisson session), truncated to a whole
+   cycle >= 1 so arrivals strictly advance within a session. *)
+let draw_gap rng mean =
+  let u = 1.0 -. Random.State.float rng 1.0 (* in (0, 1] *) in
+  max 1 (int_of_float (Float.round (-.mean *. log u)))
+
+let session_stream (s : spec) zipf ~session : request array =
+  (* one RNG per session, derived only from (seed, session): the
+     stream is independent of every other session and of scheduling *)
+  let rng = Random.State.make [| s.seed; session; 0x5e55 |] in
+  let mean = mean_gap s in
+  let clock = ref 0 in
+  let inserted = ref 0 in
+  let weights = s.mix in
+  let total_w = weights.reads + weights.updates + weights.inserts in
+  Array.init s.ops_per_session (fun seq ->
+      clock := !clock + draw_gap rng mean;
+      let w = Random.State.int rng total_w in
+      let op =
+        if w < weights.reads then Read
+        else if w < weights.reads + weights.updates then Update
+        else Insert
+      in
+      let key =
+        match op with
+        | Read | Update -> Zipf.draw zipf rng
+        | Insert ->
+            (* fresh keys live above the preloaded keyspace, in a
+               per-session block so streams never collide *)
+            let k =
+              s.keyspace + (session * s.ops_per_session) + !inserted
+            in
+            incr inserted;
+            k
+      in
+      let value =
+        match op with
+        | Read -> 0
+        | Update | Insert -> 1 + Random.State.int rng s.value_range
+      in
+      { session; seq; arrival = !clock; op; key; value })
+
+let compare_request (a : request) (b : request) =
+  (* total order: sort stability is irrelevant, so any sort gives the
+     same schedule *)
+  match compare a.arrival b.arrival with
+  | 0 -> (
+      match compare a.session b.session with
+      | 0 -> compare a.seq b.seq
+      | c -> c)
+  | c -> c
+
+let generate ?jobs (s : spec) : request array =
+  if s.sessions <= 0 then
+    invalid_arg "Traffic.generate: sessions must be positive";
+  if s.ops_per_session <= 0 then
+    invalid_arg "Traffic.generate: ops_per_session must be positive";
+  if s.keyspace <= 0 then
+    invalid_arg "Traffic.generate: keyspace must be positive";
+  if s.value_range <= 0 then
+    invalid_arg "Traffic.generate: value_range must be positive";
+  ignore (mix_name s.mix);
+  let zipf = Zipf.create ~theta:s.theta ~n:s.keyspace in
+  let streams =
+    Cxl0.Parallel.map_items ?jobs
+      ~init:(fun () -> ())
+      ~f:(fun () session -> session_stream s zipf ~session)
+      (Array.init s.sessions (fun i -> i))
+  in
+  let all = Array.concat (Array.to_list streams) in
+  Array.sort compare_request all;
+  all

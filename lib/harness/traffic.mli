@@ -1,0 +1,88 @@
+(** Open-loop serving traffic: simulated client sessions issuing
+    YCSB-style read/update/insert mixes under Zipfian key skew.
+
+    A {!spec} describes the offered load; {!generate} pregenerates the
+    whole request schedule — every request stamped with its arrival
+    cycle — deterministically in [seed] and independently of [?jobs]
+    (per-session RNG streams, order-preserving parallel map, total-order
+    sort).  The serving engine ({!Kv.serve}) then drains the schedule
+    open-loop: a request's latency is measured from its *arrival* cycle,
+    so queueing delay under overload is visible, unlike the closed-loop
+    {!Workload} shape where each worker waits for its previous op. *)
+
+module Zipf : sig
+  (** The YCSB Zipfian generator (Gray et al.): rank [0] is the most
+      popular of [n] items, rank frequency decays as [1/(r+1)^theta].
+      [theta = 0] is uniform; [theta] must be [< 1] (the usual YCSB
+      skew is 0.99). *)
+  type t
+
+  val create : theta:float -> n:int -> t
+  (** Precomputes the harmonic constants; O(n).
+      @raise Invalid_argument on [n <= 0], [theta < 0] or [theta >= 1]. *)
+
+  val theta : t -> float
+  val n : t -> int
+
+  val draw : t -> Random.State.t -> int
+  (** A rank in [[0, n)]; rank 0 most frequent, frequencies
+      non-increasing in rank. *)
+end
+
+(** Operation mix as integer weights (summing to any positive total);
+    integer weights keep mix specs exact and printable. *)
+type mix = { reads : int; updates : int; inserts : int }
+
+val mix_of_string : string -> mix
+(** ["R:U:I"] weights (e.g. ["95:4:1"]), or a YCSB workload letter:
+    ["a"] = 50:50:0, ["b"] = 95:5:0, ["c"] = 100:0:0, ["d"] = 95:0:5.
+    @raise Invalid_argument on malformed or all-zero specs. *)
+
+val mix_name : mix -> string
+(** ["r95u4i1"] — compact, filename- and JSON-key-safe. *)
+
+type op_type = Read | Update | Insert
+
+val op_type_name : op_type -> string
+(** ["read"] / ["update"] / ["insert"]. *)
+
+(** The offered load of one serving run. *)
+type spec = {
+  sessions : int;          (** simulated client sessions *)
+  ops_per_session : int;
+  rate : float;            (** aggregate offered ops per 1000 cycles *)
+  theta : float;           (** Zipfian skew over [keyspace]; 0 = uniform *)
+  keyspace : int;          (** keys preloaded before serving starts *)
+  mix : mix;
+  value_range : int;       (** update/insert payloads drawn from [1, range] *)
+  seed : int;
+}
+
+val default_spec : spec
+(** 64 sessions × 32 ops, rate 2/kcycle, theta 0.9 over 256 keys,
+    mix b, values in [1, 1000], seed 1. *)
+
+val describe : spec -> string
+(** One-line summary for signatures and verdict provenance. *)
+
+(** One scheduled client request.  [key] is a rank in [[0, keyspace)]
+    for reads/updates and a fresh key [>= keyspace] for inserts;
+    [value = 0] for reads. *)
+type request = {
+  session : int;
+  seq : int;               (** per-session issue index *)
+  arrival : int;           (** arrival cycle (open-loop timestamp) *)
+  op : op_type;
+  key : int;
+  value : int;
+}
+
+val generate : ?jobs:int -> spec -> request array
+(** The full request schedule, sorted by [(arrival, session, seq)].
+    Byte-identical for a fixed [spec.seed] across every [jobs] value:
+    each session's stream comes from its own seeded RNG, sessions are
+    pregenerated with an order-preserving parallel map, and the merge
+    sort key is a total order. *)
+
+val total_ops : spec -> int
+(** [sessions * ops_per_session]. *)

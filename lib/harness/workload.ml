@@ -1,5 +1,5 @@
-(** Concurrent workload runner with crash injection and history recording
-    (experiments E6/E7).
+(** Closed-loop concurrent workload runner with crash injection and
+    history recording (experiments E6/E7).
 
     A run builds a fabric, creates one transformed object, spawns worker
     threads that perform random operations on it (each invocation and
@@ -12,11 +12,15 @@
     The run is fully deterministic in [seed] (scheduling, operation
     choice, spontaneous evictions).
 
-    The pieces of [run] — fabric construction, the worker body, and the
-    crash-plan wiring — are exposed separately so that crafted scenarios
-    and the fuzzer's replay can reuse them around a raw scheduler. *)
+    This module is the *traffic shape* — "n workers × k random ops on one
+    object" — layered over the generic run machinery in {!Runcore}
+    (fabric construction, crash-plan and fault-plan wiring), which the
+    open-loop serving engine ({!Kv.serve}) shares.  The split is
+    behaviour-preserving: the types below are re-export equations of
+    {!Runcore}'s, every seed-derivation formula is unchanged, and the
+    corpus replay gate pins byte-identical histories. *)
 
-type crash_spec = {
+type crash_spec = Runcore.crash_spec = {
   at : int;            (** scheduler step at which the machine crashes *)
   machine : int;
   restart_at : int;    (** step at which it recovers (>= [at]) *)
@@ -25,11 +29,8 @@ type crash_spec = {
 }
 
 (** A scheduled RAS fault, shrunk/serialised exactly like a
-    {!crash_spec}.  Link faults are standing configuration handed to the
-    fabric's fault plan at creation; poisoning fires as a plan action at
-    a scheduler step (the poisoned location is [loc_seed] reduced modulo
-    the locations allocated by then). *)
-type fault_spec =
+    {!crash_spec}; see {!Runcore.fault_spec}. *)
+type fault_spec = Runcore.fault_spec =
   | Degrade_link of {
       m1 : int;
       m2 : int;
@@ -75,6 +76,20 @@ let default_config kind transform =
     pflag = true;
   }
 
+(** The {!Runcore.env} slice of a config — everything but the traffic
+    shape (object kind, transform, workers, op counts, value range). *)
+let env_of_config (c : config) : Runcore.env =
+  {
+    Runcore.n_machines = c.n_machines;
+    home = c.home;
+    volatile_home = c.volatile_home;
+    crashes = c.crashes;
+    faults = c.faults;
+    seed = c.seed;
+    evict_prob = c.evict_prob;
+    cache_capacity = c.cache_capacity;
+  }
+
 (** [describe c] — a one-line summary used as verdict provenance (the
     corpus file carries the full config; this is the human-readable
     pointer attached to every verdict). *)
@@ -109,37 +124,8 @@ type result = {
   phases : phases;
 }
 
-(** [build_fabric c] — the fabric of a run: [n_machines] machines with
-    [cache_capacity]-line caches, the home's memory volatile iff
-    [volatile_home], seeded eviction noise. *)
-(* The fault plan of a run: none at all for a fault-free config (the
-   [?faults:None] path leaves the fabric on the exact pre-fault code
-   path); otherwise a plan seeded from the run seed, with the standing
-   link faults configured up front.  [Poison_at] specs fire later, as
-   scheduler-plan actions ({!install_fault_plan}). *)
-let build_faults (c : config) : Fabric.Faults.t option =
-  match c.faults with
-  | [] -> None
-  | specs ->
-      let plan = Fabric.Faults.plan ~seed:((c.seed * 31) + 17) () in
-      List.iter
-        (function
-          | Degrade_link { m1; m2; nack_prob; delay_prob; delay_cycles } ->
-              Fabric.Faults.degrade_link plan m1 m2 ~nack_prob ~delay_prob
-                ~delay_cycles
-          | Down_link { m1; m2; from_cycle; until_cycle } ->
-              Fabric.Faults.down_link plan m1 m2 ~from_cycle ~until_cycle
-          | Poison_at _ -> ())
-        specs;
-      Some plan
-
 let build_fabric ?tracer (c : config) : Fabric.t =
-  Fabric.create ~seed:c.seed ~evict_prob:c.evict_prob ?faults:(build_faults c)
-    ?tracer
-    (Array.init c.n_machines (fun i ->
-         Fabric.machine
-           ~volatile:(i = c.home && c.volatile_home)
-           ~cache_capacity:c.cache_capacity (Fabric.default_name i)))
+  Runcore.build_fabric ?tracer (env_of_config c)
 
 (* The body shared by initial and recovery workers: [ops] recorded random
    operations.  A broken transformation (the noflush control) can leave
@@ -167,55 +153,29 @@ let worker (c : config) ~record ~ops ~rng_seed (instance : Objects.instance)
   done
 
 (** [install_crash_plan sched c ~record ~instance] — register [c]'s crash
-    plan on [sched]: each spec crashes its machine at [at] (recording the
-    crash event), restarts it at [max restart_at at], and spawns
-    [recovery_threads] recovery workers of [recovery_ops] operations each
-    — provided the object existed by then ([instance () = None] means the
-    init thread died before creation finished, so there is nothing to
-    recover). *)
+    plan on [sched] via {!Runcore.install_crash_plan}; the recovery hook
+    spawns [recovery_threads] recovery workers of [recovery_ops]
+    operations each — provided the object existed by then
+    ([instance () = None] means the init thread died before creation
+    finished, so there is nothing to recover). *)
 let install_crash_plan sched (c : config) ~record
     ~(instance : unit -> Objects.instance option) =
-  List.iteri
-    (fun ci spec ->
-      Runtime.Sched.at_step sched spec.at
-        (Runtime.Sched.Call
-           (fun s ->
-             record (Lincheck.History.Crash { machine = spec.machine });
-             Runtime.Sched.crash_now s spec.machine));
-      Runtime.Sched.at_step sched (max spec.restart_at spec.at)
-        (Runtime.Sched.Call
-           (fun s ->
-             Runtime.Sched.restart s spec.machine;
-             match instance () with
-             | None -> () (* crashed before creation finished *)
-             | Some inst ->
-                 for r = 0 to spec.recovery_threads - 1 do
-                   ignore
-                     (Runtime.Sched.spawn s ~machine:spec.machine
-                        ~name:(Printf.sprintf "r%d.%d" ci r)
-                        (worker c ~record ~ops:spec.recovery_ops
-                           ~rng_seed:((c.seed * 733) + (100 * ci) + r)
-                           inst))
-                 done)))
-    c.crashes
+  Runcore.install_crash_plan sched (env_of_config c) ~record
+    ~recovery:(fun ~ci spec s ->
+      match instance () with
+      | None -> () (* crashed before creation finished *)
+      | Some inst ->
+          for r = 0 to spec.recovery_threads - 1 do
+            ignore
+              (Runtime.Sched.spawn s ~machine:spec.machine
+                 ~name:(Printf.sprintf "r%d.%d" ci r)
+                 (worker c ~record ~ops:spec.recovery_ops
+                    ~rng_seed:((c.seed * 733) + (100 * ci) + r)
+                    inst))
+          done)
 
-(** [install_fault_plan sched c] — register [c]'s scheduled fault
-    actions: each [Poison_at] poisons a location at its step ([loc_seed]
-    reduced modulo the locations allocated by then; nothing to poison →
-    no-op).  Standing link faults need no action — {!build_faults}
-    configured them into the fabric's plan. *)
 let install_fault_plan sched (c : config) =
-  List.iter
-    (function
-      | Poison_at { at; loc_seed } ->
-          Runtime.Sched.at_step sched at
-            (Runtime.Sched.Call
-               (fun s ->
-                 let fab = Runtime.Sched.fabric s in
-                 let n = Fabric.n_locs fab in
-                 if n > 0 then Fabric.poison fab (abs loc_seed mod n)))
-      | Degrade_link _ | Down_link _ -> ())
-    c.faults
+  Runcore.install_fault_plan sched (env_of_config c)
 
 let worker_names = lazy (Array.init 16 (fun i -> Printf.sprintf "w%d" i))
 

@@ -48,6 +48,21 @@ let add t v =
   t.total <- t.total + v;
   if v > t.max_value then t.max_value <- v
 
+(** [merge ~into src] — fold [src] into [into] bucket-exactly: counts
+    add per bucket, bucket maxima take the max, so percentiles of the
+    merge are exactly what a single histogram fed both sample streams
+    would report — per-shard/per-worker histograms aggregate into
+    fabric-wide percentiles with no precision loss.  [src] is
+    unchanged; merging an empty histogram is the identity. *)
+let merge ~into src =
+  for b = 0 to buckets - 1 do
+    into.counts.(b) <- into.counts.(b) + src.counts.(b);
+    if src.maxs.(b) > into.maxs.(b) then into.maxs.(b) <- src.maxs.(b)
+  done;
+  into.n <- into.n + src.n;
+  into.total <- into.total + src.total;
+  if src.max_value > into.max_value then into.max_value <- src.max_value
+
 let count t = t.n
 let max_value t = t.max_value
 let total t = t.total

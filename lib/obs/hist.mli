@@ -14,6 +14,12 @@ val bucket : int -> int
 (** The bit-width of the value; 0 for non-positive values. *)
 
 val add : t -> int -> unit
+
+(** [merge ~into src] — bucket-exact aggregation: counts add per bucket,
+    bucket maxima max, so the merge reports exactly the percentiles a
+    single histogram fed both sample streams would.  [src] is unchanged;
+    merging an empty histogram is the identity. *)
+val merge : into:t -> t -> unit
 val count : t -> int
 val max_value : t -> int
 val total : t -> int

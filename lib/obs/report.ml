@@ -41,6 +41,23 @@ let observe t ~prim ~machine ~loc ~cycles =
     Hashtbl.replace t.line_ops loc
       (1 + Option.value ~default:0 (Hashtbl.find_opt t.line_ops loc))
 
+(** [merge ~into src] — fold [src] into [into]: per-primitive histograms
+    merge bucket-exactly ({!Hist.merge}), machine counters add, line
+    traffic adds per location.  Lets per-run (or per-shard) reports
+    aggregate into one fabric-wide table without losing percentile
+    precision. *)
+let merge ~into src =
+  Array.iteri (fun i h -> Hist.merge ~into:into.hists.(i) h) src.hists;
+  for m = 0 to max_machines - 1 do
+    into.machine_ops.(m) <- into.machine_ops.(m) + src.machine_ops.(m);
+    into.machine_cycles.(m) <- into.machine_cycles.(m) + src.machine_cycles.(m)
+  done;
+  Hashtbl.iter
+    (fun loc n ->
+      Hashtbl.replace into.line_ops loc
+        (n + Option.value ~default:0 (Hashtbl.find_opt into.line_ops loc)))
+    src.line_ops
+
 let hist t prim = t.hists.(Event.prim_index prim)
 
 let total_ops t = Array.fold_left (fun acc h -> acc + Hist.count h) 0 t.hists

@@ -11,6 +11,11 @@ val observe : t -> prim:Event.prim -> machine:int -> loc:int -> cycles:int -> un
 (** Record one completed primitive.  Called by {!Tracer.emit}; exposed
     for tests. *)
 
+val merge : into:t -> t -> unit
+(** Fold a report into another: histograms merge bucket-exactly
+    ({!Hist.merge}), machine counters add, line traffic adds per
+    location.  The source is unchanged. *)
+
 val hist : t -> Event.prim -> Hist.t
 val total_ops : t -> int
 

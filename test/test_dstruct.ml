@@ -108,6 +108,7 @@ let script_for = function
   | O.Set -> set_script
   | O.Map -> map_script
   | O.Log -> log_script
+  | O.Kv -> map_script (* same op surface and spec as Map, sharded *)
 
 let sequential_cases =
   List.concat_map

@@ -12,7 +12,7 @@ module M = Harness.Measure
 
 let test_kind_names_unique () =
   let names = List.map O.kind_name O.all_kinds in
-  Alcotest.(check int) "seven kinds" 7 (List.length O.all_kinds);
+  Alcotest.(check int) "eight kinds" 8 (List.length O.all_kinds);
   Alcotest.(check int) "names unique" (List.length names)
     (List.length (List.sort_uniq compare names))
 

@@ -1,0 +1,176 @@
+(* The sharded KV service and its open-loop serving engine: shard
+   spread, request accounting, run-twice and cross-jobs determinism,
+   queueing visibility (open-loop latency grows under overload), crash
+   behaviour, and end-to-end durability of small serving runs. *)
+
+module K = Harness.Kv
+module T = Harness.Traffic
+module R = Harness.Runcore
+
+(* ------------------------------------------------------------------ *)
+(* Shard mapping                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_shard_spread () =
+  (* the multiplicative hash must scatter the Zipf-hot low keys: on a
+     3-machine fabric with 4 shards, keys 1..32 must touch every shard,
+     and no shard may own more than half of them *)
+  let fab =
+    Fabric.create ~seed:1
+      (Array.init 3 (fun i -> Fabric.machine (Fabric.default_name i)))
+  in
+  let flit = Flit.Flit_intf.instantiate Flit.Registry.alg2_mstore fab in
+  let sched = Runtime.Sched.create ~seed:1 fab in
+  let counts = Array.make 4 0 in
+  ignore
+    (Runtime.Sched.spawn sched ~machine:0 ~name:"t" (fun ctx ->
+         let kv = K.create ctx ~shards:4 ~flit ~home:2 () in
+         Alcotest.(check int) "n_shards" 4 (K.n_shards kv);
+         for k = 1 to 32 do
+           let s = K.shard_of_key kv k in
+           Alcotest.(check bool) "shard in range" true (s >= 0 && s < 4);
+           counts.(s) <- counts.(s) + 1
+         done));
+  ignore (Runtime.Sched.run sched);
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Fmt.str "shard %d non-empty" i) true (c > 0);
+      Alcotest.(check bool) (Fmt.str "shard %d not dominant" i) true (c <= 16))
+    counts
+
+(* ------------------------------------------------------------------ *)
+(* Serving engine                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let small_traffic =
+  { T.default_spec with T.sessions = 6; ops_per_session = 4; keyspace = 12;
+    rate = 1.0; seed = 3; mix = T.mix_of_string "80:15:5" }
+
+let config ?(traffic = small_traffic) ?(crashes = []) ?(faults = [])
+    ?(transform = Flit.Registry.alg2_mstore) () =
+  let c = K.default_serve_config ~transform ~traffic in
+  { c with K.shards = 3; env = { c.K.env with R.crashes; faults } }
+
+let fingerprint (r : K.serve_result) =
+  Fmt.str "served=%d/%d/%d faulted=%d dropped=%d cycles=%d lat=%a/%a/%a"
+    r.K.served.(0) r.K.served.(1) r.K.served.(2) r.K.faulted r.K.dropped
+    r.K.cycles Obs.Hist.pp r.K.latencies.(0) Obs.Hist.pp r.K.latencies.(1)
+    Obs.Hist.pp
+    r.K.latencies.(2)
+
+let test_serve_accounting () =
+  let r = K.serve (config ()) in
+  let total = r.K.served.(0) + r.K.served.(1) + r.K.served.(2) in
+  Alcotest.(check int) "all requests served" (T.total_ops small_traffic) total;
+  Alcotest.(check int) "no faults" 0 r.K.faulted;
+  Alcotest.(check int) "no drops" 0 r.K.dropped;
+  (* latency histograms hold exactly the completions, per op type *)
+  Array.iteri
+    (fun i h ->
+      Alcotest.(check int)
+        (Fmt.str "hist %d matches served" i)
+        r.K.served.(i) (Obs.Hist.count h))
+    r.K.latencies;
+  Alcotest.(check bool) "clock advanced" true (r.K.cycles > 0)
+
+let test_serve_deterministic () =
+  let a = K.serve ~jobs:1 (config ()) and b = K.serve ~jobs:1 (config ()) in
+  Alcotest.(check string) "run-twice identical" (fingerprint a) (fingerprint b);
+  let c = K.serve ~jobs:4 (config ()) in
+  Alcotest.(check string) "jobs-independent" (fingerprint a) (fingerprint c);
+  let d =
+    K.serve { (config ()) with K.traffic = { small_traffic with T.seed = 4 } }
+  in
+  Alcotest.(check bool) "seed matters" true (fingerprint a <> fingerprint d)
+
+let test_open_loop_queueing () =
+  (* same work at a 100x higher offered rate: arrivals bunch up, the
+     service cannot keep pace, and the open-loop latency measure
+     (completion - arrival) must blow up; the underloaded run's mean
+     latency stays near service time *)
+  let mean_lat rate =
+    let r =
+      K.serve (config ~traffic:{ small_traffic with T.rate } ())
+    in
+    let h = Obs.Hist.create () in
+    Array.iter (fun l -> Obs.Hist.merge ~into:h l) r.K.latencies;
+    Obs.Hist.mean h
+  in
+  let slow = mean_lat 0.2 and fast = mean_lat 20.0 in
+  Alcotest.(check bool)
+    (Fmt.str "queueing visible (%.0f vs %.0f)" slow fast)
+    true
+    (fast > 2.0 *. slow)
+
+let test_serve_crash_accounting () =
+  (* crash a serving machine mid-run without restart: every request is
+     still accounted for — served, faulted, or dropped *)
+  let crashes =
+    [ { R.at = 150; machine = 0; restart_at = 150; recovery_threads = 0;
+        recovery_ops = 0 } ]
+  in
+  let traffic = { small_traffic with T.sessions = 8; ops_per_session = 6 } in
+  let r = K.serve (config ~traffic ~crashes ()) in
+  let total = r.K.served.(0) + r.K.served.(1) + r.K.served.(2) in
+  Alcotest.(check int) "conservation" (T.total_ops traffic)
+    (total + r.K.faulted + r.K.dropped);
+  Alcotest.(check int) "crash recorded in stats" 1 r.K.stats.Fabric.Stats.crashes
+
+let test_serve_history_checked () =
+  (* a small crash+fault serving run through the durability checker,
+     end to end, for each durable transformation *)
+  let crashes =
+    [ { R.at = 120; machine = 0; restart_at = 260; recovery_threads = 1;
+        recovery_ops = 0 } ]
+  in
+  let faults =
+    [ R.Degrade_link
+        { m1 = 0; m2 = 2; nack_prob = 0.15; delay_prob = 0.1;
+          delay_cycles = 30 } ]
+  in
+  let traffic =
+    { small_traffic with T.sessions = 4; ops_per_session = 3; keyspace = 6 }
+  in
+  List.iter
+    (fun transform ->
+      let v = K.check (config ~traffic ~crashes ~faults ~transform ()) in
+      Alcotest.(check bool)
+        (Fmt.str "%s durable" (Flit.Flit_intf.name transform))
+        true v.Lincheck.Durable.durable;
+      Alcotest.(check bool) "checker did not skip" true
+        (v.Lincheck.Durable.skipped = None);
+      Alcotest.(check bool) "crash in history" true
+        (v.Lincheck.Durable.crash_events > 0))
+    [ Flit.Registry.alg2_mstore; Flit.Registry.alg3'_weakest ]
+
+let test_serve_history_matches_counts () =
+  let r = K.serve { (config ()) with K.record_history = true } in
+  let total = r.K.served.(0) + r.K.served.(1) + r.K.served.(2) in
+  (* history = preload puts + served ops, each Inv+Res, crash-free *)
+  Alcotest.(check int) "event count"
+    (2 * (small_traffic.T.keyspace + total))
+    (List.length r.K.history);
+  Alcotest.(check bool) "well-formed" true
+    (Lincheck.History.well_formed r.K.history)
+
+let () =
+  Alcotest.run "kv"
+    [
+      ("shards", [ Alcotest.test_case "spread" `Quick test_shard_spread ]);
+      ( "serve",
+        [
+          Alcotest.test_case "accounting" `Quick test_serve_accounting;
+          Alcotest.test_case "deterministic" `Quick test_serve_deterministic;
+          Alcotest.test_case "open-loop queueing" `Quick
+            test_open_loop_queueing;
+          Alcotest.test_case "crash accounting" `Quick
+            test_serve_crash_accounting;
+          Alcotest.test_case "history well-formed" `Quick
+            test_serve_history_matches_counts;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "crash+fault serving runs durable" `Quick
+            test_serve_history_checked;
+        ] );
+    ]

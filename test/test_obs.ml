@@ -43,6 +43,80 @@ let test_hist_single_value () =
   Alcotest.(check int) "p50 = the value" 250 (Obs.Hist.p50 h);
   Alcotest.(check int) "p99 = the value" 250 (Obs.Hist.p99 h)
 
+let hist_fingerprint h =
+  Fmt.str "%d/%d/%d/%d/%d/%d/%d" (Obs.Hist.count h) (Obs.Hist.total h)
+    (Obs.Hist.p50 h) (Obs.Hist.p90 h) (Obs.Hist.p99 h) (Obs.Hist.max_value h)
+    (Obs.Hist.percentile h 0.25)
+
+let test_hist_merge_exact () =
+  (* merging shard histograms must equal one histogram fed both streams
+     — including at bucket boundaries (powers of two on both sides) *)
+  let split_a = [ 1; 2; 3; 4; 63; 64; 1024 ]
+  and split_b = [ 4; 7; 8; 65; 127; 128; 1023; 1025 ] in
+  let ha = Obs.Hist.create ()
+  and hb = Obs.Hist.create ()
+  and whole = Obs.Hist.create () in
+  List.iter (fun v -> Obs.Hist.add ha v; Obs.Hist.add whole v) split_a;
+  List.iter (fun v -> Obs.Hist.add hb v; Obs.Hist.add whole v) split_b;
+  Obs.Hist.merge ~into:ha hb;
+  Alcotest.(check string) "merge = single histogram" (hist_fingerprint whole)
+    (hist_fingerprint ha);
+  Alcotest.(check string) "source untouched"
+    (hist_fingerprint hb)
+    (let fresh = Obs.Hist.create () in
+     List.iter (Obs.Hist.add fresh) split_b;
+     hist_fingerprint fresh)
+
+let test_hist_merge_empty () =
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.add h) [ 5; 9; 300 ];
+  let before = hist_fingerprint h in
+  (* empty into populated: identity *)
+  Obs.Hist.merge ~into:h (Obs.Hist.create ());
+  Alcotest.(check string) "empty is identity" before (hist_fingerprint h);
+  (* populated into empty: copy *)
+  let e = Obs.Hist.create () in
+  Obs.Hist.merge ~into:e h;
+  Alcotest.(check string) "into empty copies" before (hist_fingerprint e);
+  (* empty into empty stays empty *)
+  let e2 = Obs.Hist.create () in
+  Obs.Hist.merge ~into:e2 (Obs.Hist.create ());
+  Alcotest.(check int) "empty+empty" 0 (Obs.Hist.count e2);
+  Alcotest.(check int) "empty percentile still 0" 0 (Obs.Hist.p99 e2)
+
+let test_report_merge () =
+  (* two reports fed disjoint slices of the same observation stream must
+     merge into the report of the whole stream *)
+  let obs_a =
+    [ (Obs.Event.Load, 0, 3, 10); (Obs.Event.Load, 1, 3, 64);
+      (Obs.Event.Lstore, 0, 7, 2) ]
+  and obs_b =
+    [ (Obs.Event.Load, 0, 3, 1024); (Obs.Event.Rflush, 2, 7, 300);
+      (Obs.Event.Lstore, 0, 9, 4) ]
+  in
+  let feed r l =
+    List.iter
+      (fun (prim, machine, loc, cycles) ->
+        Obs.Report.observe r ~prim ~machine ~loc ~cycles)
+      l
+  in
+  let ra = Obs.Report.create ()
+  and rb = Obs.Report.create ()
+  and whole = Obs.Report.create () in
+  feed ra obs_a;
+  feed rb obs_b;
+  feed whole (obs_a @ obs_b);
+  Obs.Report.merge ~into:ra rb;
+  Alcotest.(check string) "rendered tables equal"
+    (Fmt.str "%a" Obs.Report.pp whole)
+    (Fmt.str "%a" Obs.Report.pp ra);
+  Alcotest.(check int) "total ops" (Obs.Report.total_ops whole)
+    (Obs.Report.total_ops ra);
+  Alcotest.(check bool) "machine rows equal" true
+    (Obs.Report.machines whole = Obs.Report.machines ra);
+  Alcotest.(check bool) "line rows equal" true
+    (Obs.Report.lines whole = Obs.Report.lines ra)
+
 (* ------------------------------------------------------------------ *)
 (* Ring buffer                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -353,6 +427,9 @@ let () =
           Alcotest.test_case "buckets" `Quick test_hist_buckets;
           Alcotest.test_case "percentiles" `Quick test_hist_percentiles;
           Alcotest.test_case "single value" `Quick test_hist_single_value;
+          Alcotest.test_case "merge bucket-exact" `Quick test_hist_merge_exact;
+          Alcotest.test_case "merge empty cases" `Quick test_hist_merge_empty;
+          Alcotest.test_case "report merge" `Quick test_report_merge;
         ] );
       ( "tracer",
         [
