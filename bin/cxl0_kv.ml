@@ -1,9 +1,10 @@
 (* cxl0-kv: the sharded durable KV service under open-loop Zipfian
-   traffic (ROADMAP item 1, EXPERIMENTS E17).
+   traffic (ROADMAP item 1, EXPERIMENTS E17/E18).
 
      dune exec bin/cxl0_kv.exe -- --sessions 64 --rate 200 --theta 0.9
      dune exec bin/cxl0_kv.exe -- --transform alg2-mstore,adaptive --mix a,b
      dune exec bin/cxl0_kv.exe -- --crash home --faults degraded --check
+     dune exec bin/cxl0_kv.exe -- --replicas 2 --storm 5 --check   # failover
      dune exec bin/cxl0_kv.exe -- --sig          # determinism signatures
 
    Sweeps transform x mix combos; each combo is one serving run
@@ -61,6 +62,22 @@ let fault_schedule ~faults ~home seed : R.fault_spec list =
       ]
   | _ -> [ R.Poison_at { at = 150 + (seed mod 23); loc_seed = seed } ]
 
+(* Chaos storm: [storm] sequential crash/restart cycles rotating over
+   the machines — with replication on, every one is a shard-home crash
+   and the service is expected to fail over, heal the restarted
+   replicas, and stay strictly durable.  Steps are spaced so each cycle
+   sees serving traffic on both sides of the outage. *)
+let storm_schedule ~storm ~machines seed : R.crash_spec list =
+  List.init storm (fun i ->
+      let at = 150 + (i * 450) + (seed mod 13) in
+      {
+        R.at;
+        machine = i mod machines;
+        restart_at = at + 200;
+        recovery_threads = 0;
+        recovery_ops = 0;
+      })
+
 let op_names = [| "read"; "update"; "insert" |]
 
 (* One combo's deterministic signature: counters, clock, per-op
@@ -68,11 +85,14 @@ let op_names = [| "read"; "update"; "insert" |]
    of these lines; any nondeterminism anywhere in the serving stack
    (schedule generation, shard mapping, scheduler, fault plan) shows. *)
 let signature transform mix (r : K.serve_result) =
-  Printf.sprintf "kv %s mix=%s served=%d/%d/%d faulted=%d dropped=%d \
-                  cycles=%d read:[%s] update:[%s] insert:[%s] stats=%s"
+  Printf.sprintf
+    "kv %s mix=%s served=%d/%d/%d faulted=%d timed_out=%d dropped=%d \
+     failovers=%d rejoins=%d avail=%.4f cycles=%d read:[%s] update:[%s] \
+     insert:[%s] stats=%s"
     (Flit.Flit_intf.name transform)
     (T.mix_name mix) r.K.served.(0) r.K.served.(1) r.K.served.(2) r.K.faulted
-    r.K.dropped r.K.cycles
+    r.K.timed_out r.K.dropped r.K.failovers r.K.rejoins r.K.availability
+    r.K.cycles
     (Bench_util.hist_sig r.K.latencies.(0))
     (Bench_util.hist_sig r.K.latencies.(1))
     (Bench_util.hist_sig r.K.latencies.(2))
@@ -95,14 +115,15 @@ let combo_json transform mix (r : K.serve_result) ~seconds =
   in
   Printf.sprintf
     "    { \"transform\": %S, \"mix\": %S, \"throughput_ops_per_kcycle\": \
-     %.2f, \"served\": %d, \"faulted\": %d, \"dropped\": %d, \"cycles\": %d, \
-     \"seconds\": %.3f,\n\
+     %.2f, \"served\": %d, \"faulted\": %d, \"timed_out\": %d, \"dropped\": \
+     %d, \"failovers\": %d, \"rejoins\": %d, \"availability\": %.4f, \
+     \"cycles\": %d, \"seconds\": %.3f,\n\
      \      \"read\": %s,\n\
      \      \"update\": %s,\n\
      \      \"insert\": %s }"
     (Flit.Flit_intf.name transform)
-    (T.mix_name mix) (throughput r) (total_served r) r.K.faulted r.K.dropped
-    r.K.cycles seconds
+    (T.mix_name mix) (throughput r) (total_served r) r.K.faulted r.K.timed_out
+    r.K.dropped r.K.failovers r.K.rejoins r.K.availability r.K.cycles seconds
     (hist_json r.K.latencies.(0))
     (hist_json r.K.latencies.(1))
     (hist_json r.K.latencies.(2))
@@ -112,7 +133,14 @@ let print_combo transform mix (r : K.serve_result) =
     (Flit.Flit_intf.name transform)
     (T.mix_name mix) (total_served r) (throughput r) r.K.cycles
     (if r.K.faulted > 0 then Fmt.str "  faulted=%d" r.K.faulted else "")
-    (if r.K.dropped > 0 then Fmt.str "  dropped=%d" r.K.dropped else "");
+    ((if r.K.timed_out > 0 then Fmt.str "  timed_out=%d" r.K.timed_out else "")
+    ^ (if r.K.dropped > 0 then Fmt.str "  dropped=%d" r.K.dropped else "")
+    ^ (if r.K.failovers > 0 || r.K.rejoins > 0 then
+         Fmt.str "  failovers=%d rejoins=%d" r.K.failovers r.K.rejoins
+       else "")
+    ^
+    if r.K.availability < 1.0 then Fmt.str "  avail=%.3f" r.K.availability
+    else "");
   Array.iteri
     (fun i h ->
       if Obs.Hist.count h > 0 then
@@ -122,7 +150,32 @@ let print_combo transform mix (r : K.serve_result) =
     r.K.latencies
 
 let run sessions ops rate theta keys mixes transforms shards servers machines
-    jobs seed crash faults check sig_only trace json append label =
+    replicas deadline storm jobs seed crash faults check sig_only trace json
+    append label =
+  (* typed argument validation, exit 2 with the offending field named;
+     the traffic fields share Traffic.validate with the library so the
+     CLI and Kv.serve reject with the same message *)
+  let reject msg =
+    Fmt.epr "cxl0-kv: %s@." msg;
+    exit 2
+  in
+  (match
+     T.validate
+       { T.default_spec with T.sessions; ops_per_session = ops; rate; theta;
+         keyspace = keys; seed }
+   with
+  | Error m -> reject m
+  | Ok () -> ());
+  if machines <= 0 then reject "machines must be positive";
+  if shards <= 0 then reject "shards must be positive";
+  if servers <= 0 then reject "servers must be positive";
+  if replicas <= 0 then reject "replicas must be positive";
+  if replicas > machines then
+    reject
+      (Printf.sprintf "replicas (%d) must not exceed the machine count (%d)"
+         replicas machines);
+  if storm < 0 then reject "storm must be non-negative";
+  if deadline <= 0 then reject "deadline must be positive";
   let transforms =
     List.map
       (fun n ->
@@ -166,10 +219,14 @@ let run sessions ops rate theta keys mixes transforms shards servers machines
         { base.K.env with
           R.n_machines = machines;
           home;
-          crashes = crash_schedule ~crash ~home seed;
+          crashes =
+            crash_schedule ~crash ~home seed
+            @ storm_schedule ~storm ~machines seed;
           faults = fault_schedule ~faults ~home seed };
       shards;
-      servers_per_machine = servers }
+      servers_per_machine = servers;
+      replicas;
+      deadline }
   in
   let merged_report = Obs.Report.create () in
   let failures = ref 0 in
@@ -222,12 +279,13 @@ let run sessions ops rate theta keys mixes transforms shards servers machines
       Printf.fprintf oc
         "{ \"label\": %S, \"seed\": %d, \"sessions\": %d, \
          \"ops_per_session\": %d, \"rate\": %.1f, \"theta\": %.2f, \
-         \"keys\": %d, \"shards\": %d, \"machines\": %d, \"crash\": %S, \
-         \"faults\": %S,\n\
+         \"keys\": %d, \"shards\": %d, \"machines\": %d, \"replicas\": %d, \
+         \"deadline\": %d, \"storm\": %d, \"crash\": %S, \"faults\": %S,\n\
          \  \"combos\": [\n\
          %s\n\
          \  ] }\n"
-        label seed sessions ops rate theta keys shards machines crash faults
+        label seed sessions ops rate theta keys shards machines replicas
+        deadline storm crash faults
         (String.concat ",\n"
            (List.map
               (fun (t, m, r, s) -> combo_json t m r ~seconds:s)
@@ -238,11 +296,17 @@ let run sessions ops rate theta keys mixes transforms shards servers machines
   | None -> ()
   | Some file ->
       let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
+      let offered = List.length results * sessions * ops in
+      let served_all =
+        List.fold_left (fun a (_, _, r, _) -> a + total_served r) 0 results
+      in
       Printf.fprintf oc
-        "{ \"label\": %S, \"seed\": %d, \"combos\": %d, \"ops\": %d, \
-         \"seconds\": %.3f }\n"
-        label seed (List.length results)
-        (List.fold_left (fun a (_, _, r, _) -> a + total_served r) 0 results)
+        "{ \"label\": %S, \"seed\": %d, \"combos\": %d, \"replicas\": %d, \
+         \"storm\": %d, \"ops\": %d, \"availability\": %.4f, \"seconds\": \
+         %.3f }\n"
+        label seed (List.length results) replicas storm served_all
+        (if offered = 0 then 0.0
+         else float_of_int served_all /. float_of_int offered)
         total_seconds;
       close_out oc);
   if !failures > 0 then 1 else 0
@@ -302,6 +366,35 @@ let servers =
 
 let machines =
   Arg.(value & opt int 3 & info [ "machines" ] ~docv:"N" ~doc:"Fabric size.")
+
+let replicas =
+  Arg.(
+    value & opt int 1
+    & info [ "replicas" ] ~docv:"N"
+        ~doc:
+          "Replicas per shard on distinct machines (1 = unreplicated).  \
+           Writes acknowledge on every replica; after a shard-home \
+           crash a backup is promoted and the restarted replica is \
+           re-synced, so acknowledged updates survive.")
+
+let deadline =
+  Arg.(
+    value & opt int 4_000
+    & info [ "deadline" ] ~docv:"CYCLES"
+        ~doc:
+          "Per-request budget before a replicated op gives up and \
+           counts as timed out (accounted in waiting heartbeats, so \
+           requests that never wait never expire).")
+
+let storm =
+  Arg.(
+    value & opt int 0
+    & info [ "storm" ] ~docv:"N"
+        ~doc:
+          "Chaos storm: $(docv) sequential crash/restart cycles \
+           rotating over the machines, layered onto --crash.  With \
+           --replicas 2 every cycle is a survivable shard-home crash; \
+           --check proves acknowledged writes outlived it.")
 
 let jobs =
   Arg.(
@@ -381,7 +474,8 @@ let cmd =
          "Sharded durable KV serving under open-loop Zipfian traffic")
     Term.(
       const run $ sessions $ ops $ rate $ theta $ keys $ mix $ transform
-      $ shards $ servers $ machines $ jobs $ seed $ crash $ faults $ check
-      $ sig_only $ trace $ json $ append $ label)
+      $ shards $ servers $ machines $ replicas $ deadline $ storm $ jobs
+      $ seed $ crash $ faults $ check $ sig_only $ trace $ json $ append
+      $ label)
 
 let () = exit (Cmd.eval' cmd)

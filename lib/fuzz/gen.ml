@@ -46,8 +46,18 @@
     Orthogonal to all of the above: the sharded [Kv] kind is homed on
     *every* machine (shard [i] lives at [(home + i) mod n_machines]), so
     under any home-sparing envelope there is no bystander left to
-    crash — Kv cells for those transforms sample crash-free (they still
-    exercise faults, eviction pressure, and plain linearizability). *)
+    crash.  Replication restores the crash dimension: Kv cells for
+    home-sparing transforms sample with [replicas = 2] and a
+    *chaos-storm* plan — sequential crash/restart cycles that are all
+    shard-home crashes by construction — because the replicated service
+    acknowledges a write only once every replica holds it and serves
+    reads only from crash-validated replicas, so strict durable
+    linearizability is back inside the envelope for any storm shape
+    (shards that lose every trusted replica stop answering instead of
+    guessing; see {!Harness.Kv}).  A volatile home is still never
+    crashed (the wipe destroys that machine's shard structure itself,
+    not just unflushed stores), and spared-worker envelopes keep sparing
+    worker machines. *)
 
 type oracle =
   | Durable  (** {!Lincheck.Durable.check} *)
@@ -257,18 +267,52 @@ let gen (p : profile) (rng : Random.State.t) : Harness.Workload.config =
       cache_capacity = pick rng [ 1; 2; 4 ];
       value_range = 1 + Random.State.int rng 3;
       pflag = true;
+      replicas = 1;
     }
   in
   (* The sharded KV is homed on *every* machine ((home + i) mod n for
-     each shard), so for home-crash-sensitive envelopes there is no
-     bystander machine to crash: any crash is a shard-home crash and
-     lands in the Finding-F1/F2 window (the fuzzer rediscovered this —
-     weakest-lflush lost completed stores to "bystander" crashes the
-     moment the Kv kind appeared).  Dropping the sampled specs draws
-     nothing from [rng], so every other kind samples byte-identically. *)
+     each shard), so for home-crash-sensitive envelopes every crash is a
+     shard-home crash and lands in the Finding-F1/F2 window (the fuzzer
+     rediscovered this — weakest-lflush lost completed stores to
+     "bystander" crashes the moment the Kv kind appeared).  Replication
+     puts those crashes back in the envelope: with [replicas = 2] the
+     service acknowledges writes on every replica and distrusts crashed
+     homes, so we resample the crash plan as a chaos storm — sequential
+     non-overlapping crash/restart cycles, recovery-thread-free, never
+     hitting a volatile home (the wipe kills the shard structure, not
+     just unflushed stores) and respecting spared workers.  All the
+     extra [rng] draws happen inside this branch, after the base record:
+     every other kind still samples byte-identically to the pre-storm
+     fuzzer (the corpus replay gate pins this). *)
   let base =
-    if base.kind = Harness.Objects.Kv && not p.crash_home then
-      { base with crashes = [] }
+    if base.kind = Harness.Objects.Kv && not p.crash_home then begin
+      let stormable =
+        List.filter
+          (fun m ->
+            (workers_may_crash || not (List.mem m worker_machines))
+            && not (volatile_home && m = home))
+          (List.init n_machines Fun.id)
+      in
+      let crashes =
+        if stormable = [] then []
+        else
+          let step = ref (1 + Random.State.int rng 8) in
+          List.init
+            (1 + Random.State.int rng 3)
+            (fun _ ->
+              let at = !step in
+              let restart_at = at + 1 + Random.State.int rng 12 in
+              step := restart_at + 1 + Random.State.int rng 8;
+              {
+                Harness.Workload.at;
+                machine = pick rng stormable;
+                restart_at;
+                recovery_threads = 0;
+                recovery_ops = 0;
+              })
+      in
+      { base with crashes; replicas = 2 }
+    end
     else base
   in
   (* sampled after the base record so [Fault_free] draws nothing — see

@@ -71,17 +71,29 @@ let candidates (c : W.config) : W.config list =
   let volatile =
     if c.volatile_home then [ { c with volatile_home = false } ] else []
   in
+  (* dropping a replica, like unsharding below, is only envelope-safe on
+     a crash-free cell: a chaos-storm plan is all shard-home crashes,
+     which are *inside* the envelope only because of replication — the
+     dereplicated (or unsharded) variant would fail for the known-lost
+     Finding-F1 reason and the shrinker would latch onto that
+     counterfeit minimum *)
+  let dereplicate =
+    if c.replicas > 1 && c.crashes = [] then
+      [ { c with replicas = c.replicas - 1 } ]
+    else []
+  in
   (* a failing sharded KV cell usually fails for the same reason on one
      unsharded map — same op surface and spec, fewer moving parts *)
   let unshard =
-    if c.kind = Harness.Objects.Kv then
-      [ { c with kind = Harness.Objects.Map } ]
+    if c.kind = Harness.Objects.Kv && (c.replicas <= 1 || c.crashes = []) then
+      [ { c with kind = Harness.Objects.Map; replicas = 1 } ]
     else []
   in
   let machines =
     let last = c.n_machines - 1 in
     if
       c.n_machines > 1 && c.home < last
+      && (c.kind <> Harness.Objects.Kv || c.replicas <= last)
       && List.for_all (fun m -> m < last) c.worker_machines
       && List.for_all (fun (s : W.crash_spec) -> s.machine < last) c.crashes
       && List.for_all
@@ -110,7 +122,7 @@ let candidates (c : W.config) : W.config list =
          c.crashes)
   in
   workers @ crashes_dropped @ faults_dropped @ ops @ recovery @ values @ evict
-  @ volatile @ unshard @ machines @ crash_later
+  @ volatile @ dereplicate @ unshard @ machines @ crash_later
 
 (* aggregate shrink measures; every candidate is <= on all of them *)
 let measures (c : W.config) =
@@ -126,12 +138,13 @@ let measures (c : W.config) =
     (if c.volatile_home then 1 else 0);
     (* Kv shrinks to Map (the unsharded special case), never back *)
     (if c.kind = Harness.Objects.Kv then 1 else 0);
+    c.replicas;
   ]
 
 (** [leq a b] — [a] is no larger than [b] in every shrinkable dimension
     (worker count, ops per thread, crash count, fault count, recovery
-    totals, value range, machine count, volatile-home flag, eviction
-    noise). *)
+    totals, value range, machine count, volatile-home flag, replica
+    count, eviction noise). *)
 let leq (a : W.config) (b : W.config) =
   List.for_all2 ( <= ) (measures a) (measures b) && a.evict_prob <= b.evict_prob
 

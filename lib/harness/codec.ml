@@ -144,14 +144,16 @@ let config_to_sexp (c : Workload.config) : sexp =
        field "value-range" [ atom_int c.Workload.value_range ];
        field "pflag" [ atom_bool c.Workload.pflag ];
      ]
-    (* the faults field is emitted only when non-empty, so fault-free
-       configs serialise byte-identically to the pre-fault format: old
-       corpus files keep their content-hash names, and re-found
-       counterexamples dedup against them *)
+    (* the faults and replicas fields are emitted only when non-default,
+       so fault-free unreplicated configs serialise byte-identically to
+       the earlier formats: old corpus files keep their content-hash
+       names, and re-found counterexamples dedup against them *)
+    @ (match c.Workload.faults with
+      | [] -> []
+      | fs -> [ field "faults" [ List (List.map fault_to_sexp fs) ] ])
     @
-    match c.Workload.faults with
-    | [] -> []
-    | fs -> [ field "faults" [ List (List.map fault_to_sexp fs) ] ])
+    if c.Workload.replicas <= 1 then []
+    else [ field "replicas" [ atom_int c.Workload.replicas ] ])
 
 let config_to_string c = sexp_to_string (config_to_sexp c)
 
@@ -320,6 +322,12 @@ let config_of_sexp (s : sexp) : (Workload.config, error) result =
         let* v = lookup fields "pflag" in
         as_bool "pflag" v
       in
+      (* absent in pre-replication corpus files: default to 1 copy *)
+      let* replicas =
+        match lookup fields "replicas" with
+        | Error _ -> Ok 1
+        | Ok v -> as_int "replicas" v
+      in
       Ok
         {
           Workload.kind;
@@ -336,6 +344,7 @@ let config_of_sexp (s : sexp) : (Workload.config, error) result =
           cache_capacity;
           value_range;
           pflag;
+          replicas;
         }
   | _ -> msg "expected (config ...)"
 

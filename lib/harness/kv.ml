@@ -1,30 +1,436 @@
 (** Sharded durable KV over {!Dstruct.Hmap} + the open-loop serving
-    engine.  See the interface for the correctness argument (locality of
-    durable linearizability) and the open-loop clock contract. *)
+    engine, with optional primary/backup replication and failover.  See
+    the interface for the correctness argument (locality of durable
+    linearizability, and the write-all replication invariant) and the
+    open-loop clock contract. *)
 
-type t = { shards : Dstruct.Hmap.t array }
+exception Unavailable
 
-let create ctx ?(pflag = true) ?(shards = 4) ?buckets ~flit ~home () =
+(* One copy of a shard's map.  [watermark]/[validated] are the failure
+   detector's view: the replica holds every logged write iff
+   [watermark = log_len], and its home has not crashed since we last
+   knew that iff [validated = crash_epoch r_home].  Both live in
+   simulation-host state (they model the metadata a real failover
+   service keeps off the data path). *)
+type replica = {
+  map : Dstruct.Hmap.t;
+  r_home : int;
+  mutable watermark : int;  (** shard-log entries known applied here *)
+  mutable validated : int;  (** crash epoch of [r_home] at that knowledge *)
+}
+
+type shard = {
+  reps : replica array;        (** [reps.(0)] is the configured primary *)
+  mutable acting : int;        (** index of the replica serving reads *)
+  mutable log : int array;     (** keys of every write, append-only *)
+  mutable log_len : int;
+  mutable lock : (int * int) option;
+      (** write lock: (holder machine, its crash epoch at acquire) —
+          stolen when the holder's machine has crashed since *)
+  mutable down_since : int;    (** cycle the acting replica went dark; -1 = healthy *)
+  mutable unavail_since : int; (** open unavailability window start; -1 = none *)
+}
+
+type t = {
+  shards : shard array;
+  replicas : int;
+  deadline : int;          (** per-request cycle budget when replicated *)
+  failover_timeout : int;  (** dark cycles before promoting a backup *)
+  mutable failovers : int;
+  mutable rejoins : int;
+  mutable timed_out : int; (** requests that exhausted their deadline *)
+}
+
+let create ctx ?(pflag = true) ?(shards = 4) ?buckets ?(replicas = 1)
+    ?(deadline = 4_000) ?(failover_timeout = 400) ~flit ~home () =
   if shards <= 0 then invalid_arg "Kv.create: shards must be positive";
+  if replicas <= 0 then invalid_arg "Kv.create: replicas must be positive";
   let n_machines = Fabric.n_machines ctx.Runtime.Sched.fab in
+  if replicas > n_machines then
+    invalid_arg "Kv.create: replicas must not exceed the machine count";
+  if deadline <= 0 then invalid_arg "Kv.create: deadline must be positive";
+  if failover_timeout <= 0 then
+    invalid_arg "Kv.create: failover_timeout must be positive";
+  let sched = ctx.Runtime.Sched.sched in
   {
     shards =
       Array.init shards (fun i ->
-          Dstruct.Hmap.create ctx ~pflag ?buckets ~flit
-            ~home:((home + i) mod n_machines)
-            ());
+          {
+            reps =
+              Array.init replicas (fun r ->
+                  (* replica r of shard i on (home + i + r) mod n: every
+                     replica of a shard lives on a distinct machine *)
+                  let r_home = (home + i + r) mod n_machines in
+                  {
+                    map =
+                      Dstruct.Hmap.create ctx ~pflag ?buckets ~flit
+                        ~home:r_home ();
+                    r_home;
+                    watermark = 0;
+                    validated = Runtime.Sched.crash_epoch sched r_home;
+                  });
+            acting = 0;
+            log = Array.make 16 0;
+            log_len = 0;
+            lock = None;
+            down_since = -1;
+            unavail_since = -1;
+          });
+    replicas;
+    deadline;
+    failover_timeout;
+    failovers = 0;
+    rejoins = 0;
+    timed_out = 0;
   }
 
 let n_shards t = Array.length t.shards
+let n_replicas t = t.replicas
+let failovers t = t.failovers
+let rejoins t = t.rejoins
+let timed_out t = t.timed_out
 
 (* Knuth's multiplicative hash before the mod: Zipf-hot ranks are the
    *small* keys, and without scrambling they would all land in the first
    shards.  Positive keys only (Hmap's contract), so no sign fix-up. *)
 let shard_of_key t k = k * 2654435761 lsr 11 mod Array.length t.shards
 
-let put t ctx k v = Dstruct.Hmap.put t.shards.(shard_of_key t k) ctx k v
-let get t ctx k = Dstruct.Hmap.get t.shards.(shard_of_key t k) ctx k
-let del t ctx k = Dstruct.Hmap.del t.shards.(shard_of_key t k) ctx k
+(* ------------------------------------------------------------------ *)
+(* Replication machinery                                               *)
+(* ------------------------------------------------------------------ *)
+
+let now ctx = Fabric.cycles ctx.Runtime.Sched.fab
+let epoch ctx m = Runtime.Sched.crash_epoch ctx.Runtime.Sched.sched m
+let up ctx m = Runtime.Sched.machine_is_up ctx.Runtime.Sched.sched m
+
+(* [servable]: safe to *read* — home up and not crashed since the
+   replica was last validated (a crash may have eaten unflushed writes:
+   Finding F1).  [trusted]: safe to *ack against* — additionally holds
+   every logged write, so all trusted replicas carry identical logical
+   content. *)
+let servable ctx rep = up ctx rep.r_home && rep.validated = epoch ctx rep.r_home
+let trusted ctx sh rep = servable ctx rep && rep.watermark = sh.log_len
+
+let emit ctx ev =
+  match Fabric.tracer ctx.Runtime.Sched.fab with
+  | None -> ()
+  | Some tr -> Obs.Tracer.emit tr ev
+
+let log_push sh k =
+  if sh.log_len = Array.length sh.log then begin
+    let bigger = Array.make (2 * Array.length sh.log) 0 in
+    Array.blit sh.log 0 bigger 0 sh.log_len;
+    sh.log <- bigger
+  end;
+  sh.log.(sh.log_len) <- k;
+  sh.log_len <- sh.log_len + 1
+
+(* One poll step: yield, and if nothing else moved the clock, charge a
+   heartbeat so failover timeouts make progress even when every fibre is
+   waiting on the same dead shard. *)
+let heartbeat = 16
+
+let poll_wait ctx =
+  let before = now ctx in
+  Runtime.Sched.yield ctx;
+  if now ctx = before then Fabric.charge ctx.Runtime.Sched.fab heartbeat
+
+(* The per-request deadline is accounted in *waiting polls* (each worth
+   one heartbeat of the cycle budget), not in wall cycles: the open-loop
+   engine fast-forwards the shared clock over idle gaps, and an elapsed-
+   cycle deadline would expire healthy in-flight requests whenever a
+   bored server charged the clock past them.  A request that never waits
+   can never time out. *)
+let patience t = max 1 (t.deadline / heartbeat)
+
+(* The failover state machine, run lazily at the top of every op on the
+   shard.  All transitions are plain host-state mutations with no
+   scheduling point, so they are atomic under the cooperative
+   scheduler. *)
+let step_failover t ctx i sh =
+  let n = now ctx in
+  if servable ctx sh.reps.(sh.acting) then begin
+    sh.down_since <- -1;
+    if sh.unavail_since >= 0 then begin
+      emit ctx
+        (Obs.Event.Unavail
+           { shard = i; cycles = n - sh.unavail_since; cycle = n });
+      sh.unavail_since <- -1
+    end;
+    (* re-demotion: hand the role back to the configured primary once it
+       is fully caught up, keeping steady state deterministic *)
+    if sh.acting <> 0 && trusted ctx sh sh.reps.(0) then begin
+      emit ctx
+        (Obs.Event.Failover
+           {
+             shard = i;
+             from_machine = sh.reps.(sh.acting).r_home;
+             to_machine = sh.reps.(0).r_home;
+             cycle = n;
+           });
+      t.failovers <- t.failovers + 1;
+      sh.acting <- 0
+    end
+  end
+  else begin
+    if sh.down_since < 0 then sh.down_since <- n;
+    if sh.unavail_since < 0 then sh.unavail_since <- n;
+    if n - sh.down_since >= t.failover_timeout then begin
+      (* heartbeat timeout: promote the first servable replica (the
+         configured primary wins ties, so re-demotion converges) *)
+      let cand = ref (-1) in
+      Array.iteri
+        (fun j rep -> if !cand < 0 && servable ctx rep then cand := j)
+        sh.reps;
+      if !cand >= 0 then begin
+        emit ctx
+          (Obs.Event.Failover
+             {
+               shard = i;
+               from_machine = sh.reps.(sh.acting).r_home;
+               to_machine = sh.reps.(!cand).r_home;
+               cycle = n;
+             });
+        t.failovers <- t.failovers + 1;
+        sh.acting <- !cand;
+        sh.down_since <- -1
+      end
+    end
+  end
+
+(* Acquire the shard write lock, stealing it when the holder's machine
+   has crashed since acquiring (the holder fibre died without
+   unwinding).  [polls] is the request's remaining waiting budget. *)
+let rec lock_shard ctx sh ~polls =
+  let me = ctx.Runtime.Sched.machine in
+  match sh.lock with
+  | None -> sh.lock <- Some (me, epoch ctx me)
+  | Some (m, e) when epoch ctx m > e -> sh.lock <- Some (me, epoch ctx me)
+  | Some _ ->
+      if !polls <= 0 then raise Unavailable;
+      decr polls;
+      poll_wait ctx;
+      lock_shard ctx sh ~polls
+
+(* Heal every non-trusted, up replica from a trusted peer: replay the
+   write log (each key once, newest first) reading the authoritative
+   value from the source.  Caller holds the write lock, so the log
+   cannot grow underneath the replay.  Epochs of both ends are captured
+   first and re-checked before declaring success: a crash on either side
+   mid-replay aborts the heal (the replica stays distrusted and is
+   retried later). *)
+let resync t ctx i sh =
+  let src = ref (-1) in
+  Array.iteri
+    (fun j rep -> if !src < 0 && trusted ctx sh rep then src := j)
+    sh.reps;
+  if !src >= 0 then begin
+    let src_rep = sh.reps.(!src) in
+    let src_e0 = epoch ctx src_rep.r_home in
+    Array.iteri
+      (fun j rep ->
+        if j <> !src && (not (trusted ctx sh rep)) && up ctx rep.r_home then begin
+          let tgt_e0 = epoch ctx rep.r_home in
+          let seen = Hashtbl.create 64 in
+          try
+            let live = ref true in
+            for e = sh.log_len - 1 downto 0 do
+              let k = sh.log.(e) in
+              if !live && not (Hashtbl.mem seen k) then begin
+                Hashtbl.add seen k ();
+                let v = Dstruct.Hmap.get src_rep.map ctx k in
+                ignore
+                  (if v = Dstruct.Absent.absent then
+                     Dstruct.Hmap.del rep.map ctx k
+                   else Dstruct.Hmap.put rep.map ctx k v);
+                if
+                  epoch ctx src_rep.r_home <> src_e0
+                  || epoch ctx rep.r_home <> tgt_e0
+                then live := false
+              end
+            done;
+            if
+              !live
+              && epoch ctx src_rep.r_home = src_e0
+              && epoch ctx rep.r_home = tgt_e0
+            then begin
+              rep.watermark <- sh.log_len;
+              rep.validated <- tgt_e0;
+              t.rejoins <- t.rejoins + 1;
+              emit ctx
+                (Obs.Event.Rejoin
+                   { shard = i; machine = rep.r_home; cycle = now ctx })
+            end
+          with Runtime.Ops.Fault _ -> ()
+        end)
+      sh.reps
+  end
+
+type write_op = Put of int * int | Del of int
+
+let key_of_op = function Put (k, _) | Del k -> k
+
+let apply_op op map ctx =
+  match op with
+  | Put (k, v) -> Dstruct.Hmap.put map ctx k v
+  | Del k -> Dstruct.Hmap.del map ctx k
+
+(* Replicated write: write-all under the shard lock.  An op only
+   acknowledges when every replica applied it and none crashed while it
+   was in flight, so every acknowledged write lives on all [replicas]
+   distinct machines — that is the invariant that makes acknowledged
+   updates survive any single home crash.  Backups apply *before* the
+   acting replica: a value readable at the acting replica is already
+   everywhere, so promotion can never un-publish an observed value. *)
+let replicated_write t ctx i sh op =
+  let polls = ref (patience t) in
+  let rec attempt () =
+    step_failover t ctx i sh;
+    lock_shard ctx sh ~polls;
+    let decision =
+      Fun.protect
+        ~finally:(fun () -> sh.lock <- None)
+        (fun () ->
+          resync t ctx i sh;
+          if not (Array.for_all (fun rep -> trusted ctx sh rep) sh.reps) then
+            `Retry
+          else begin
+            let epochs0 =
+              Array.map (fun rep -> epoch ctx rep.r_home) sh.reps
+            in
+            log_push sh (key_of_op op);
+            let acting = sh.acting in
+            let ret = ref Dstruct.Absent.absent in
+            let fault = ref None in
+            let apply_to j =
+              let rep = sh.reps.(j) in
+              match apply_op op rep.map ctx with
+              | v ->
+                  rep.watermark <- sh.log_len;
+                  if j = acting then ret := v
+              | exception Runtime.Ops.Fault f ->
+                  (* the replica's state for this key is now uncertain:
+                     its watermark stays behind, distrusting it until a
+                     resync replays the authoritative value *)
+                  if !fault = None then fault := Some f
+            in
+            for j = 0 to Array.length sh.reps - 1 do
+              if j <> acting then apply_to j
+            done;
+            apply_to acting;
+            match !fault with
+            | Some f -> `Fault f
+            | None ->
+                let crashed = ref false in
+                Array.iteri
+                  (fun j rep ->
+                    if epoch ctx rep.r_home <> epochs0.(j) then begin
+                      crashed := true;
+                      (* the write may have died in the crash's unflushed
+                         window; distrust the replica *)
+                      rep.watermark <- min rep.watermark (sh.log_len - 1)
+                    end)
+                  sh.reps;
+                if !crashed then
+                  `Fault
+                    (Fabric.Faults.Nack
+                       {
+                         from_m = ctx.Runtime.Sched.machine;
+                         to_m = sh.reps.(acting).r_home;
+                       })
+                else `Ack !ret
+          end)
+    in
+    match decision with
+    | `Ack v -> v
+    | `Fault f -> raise (Runtime.Ops.Fault f)
+    | `Retry ->
+        if !polls <= 0 then begin
+          t.timed_out <- t.timed_out + 1;
+          raise Unavailable
+        end;
+        decr polls;
+        poll_wait ctx;
+        attempt ()
+  in
+  attempt ()
+
+(* Replicated read: serve from the acting replica, lock-free.  The only
+   hazard is a crash of the acting home *during* the read (the observed
+   value may already be post-wipe), so the epoch is captured before and
+   re-checked after; concurrent writes are harmless (the chain applies
+   to the acting replica last, so any value visible here is already on
+   every backup). *)
+let replicated_read t ctx i sh k =
+  let polls = ref (patience t) in
+  let rec attempt () =
+    step_failover t ctx i sh;
+    let rep = sh.reps.(sh.acting) in
+    if servable ctx rep then begin
+      let e0 = epoch ctx rep.r_home in
+      match Dstruct.Hmap.get rep.map ctx k with
+      | v when epoch ctx rep.r_home = e0 -> v
+      | _ -> retry ()
+    end
+    else retry ()
+  and retry () =
+    if !polls <= 0 then begin
+      t.timed_out <- t.timed_out + 1;
+      raise Unavailable
+    end;
+    decr polls;
+    poll_wait ctx;
+    attempt ()
+  in
+  attempt ()
+
+(* Opportunistic heal, run from restart recovery hooks: lock each shard
+   that has a distrusted-but-up replica and resync it, so replication
+   factor is restored promptly after a crash instead of waiting for the
+   next write.  Best-effort: an unobtainable lock within the deadline
+   just skips the shard. *)
+let heal t ctx =
+  if t.replicas > 1 then
+    Array.iteri
+      (fun i sh ->
+        let needs =
+          Array.exists
+            (fun rep -> up ctx rep.r_home && not (trusted ctx sh rep))
+            sh.reps
+        in
+        if needs then begin
+          let polls = ref (patience t) in
+          match lock_shard ctx sh ~polls with
+          | () ->
+              Fun.protect
+                ~finally:(fun () -> sh.lock <- None)
+                (fun () -> resync t ctx i sh);
+              step_failover t ctx i sh
+          | exception Unavailable -> ()
+        end)
+      t.shards
+
+(* ------------------------------------------------------------------ *)
+(* The op surface                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let put t ctx k v =
+  let i = shard_of_key t k in
+  let sh = t.shards.(i) in
+  if t.replicas = 1 then Dstruct.Hmap.put sh.reps.(0).map ctx k v
+  else replicated_write t ctx i sh (Put (k, v))
+
+let get t ctx k =
+  let i = shard_of_key t k in
+  let sh = t.shards.(i) in
+  if t.replicas = 1 then Dstruct.Hmap.get sh.reps.(0).map ctx k
+  else replicated_read t ctx i sh k
+
+let del t ctx k =
+  let i = shard_of_key t k in
+  let sh = t.shards.(i) in
+  if t.replicas = 1 then Dstruct.Hmap.del sh.reps.(0).map ctx k
+  else replicated_write t ctx i sh (Del k)
 
 let dispatch t ctx op args =
   match (op, args) with
@@ -45,6 +451,8 @@ type serve_config = {
   buckets : int option;
   pflag : bool;
   servers_per_machine : int;
+  replicas : int;
+  deadline : int;
   record_history : bool;
 }
 
@@ -67,6 +475,8 @@ let default_serve_config ~transform ~traffic =
     buckets = None;
     pflag = true;
     servers_per_machine = 2;
+    replicas = 1;
+    deadline = 4_000;
     record_history = false;
   }
 
@@ -77,7 +487,11 @@ type serve_result = {
   served : int array;
   latencies : Obs.Hist.t array;
   faulted : int;
+  timed_out : int;
   dropped : int;
+  failovers : int;
+  rejoins : int;
+  availability : float;
 }
 
 let op_index = function
@@ -93,7 +507,13 @@ let map_op (r : Traffic.request) =
       ("put", [ r.Traffic.key + 1; r.Traffic.value ])
 
 let serve ?tracer ?jobs (c : serve_config) : serve_result =
-  let reqs = Traffic.generate ?jobs c.traffic in
+  ignore jobs;
+  (match Traffic.validate c.traffic with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Kv.serve: " ^ m));
+  if c.replicas <= 0 then invalid_arg "Kv.serve: replicas must be positive";
+  if c.replicas > c.env.n_machines then
+    invalid_arg "Kv.serve: replicas must not exceed the machine count";
   let fab = Runcore.build_fabric ?tracer c.env in
   let flit = Flit.Flit_intf.instantiate c.transform fab in
   (* the Workload seed-derivation formula, so a KV serving run and a
@@ -105,12 +525,26 @@ let serve ?tracer ?jobs (c : serve_config) : serve_result =
     else fun _ -> ()
   in
   let kv_ref = ref None in
-  let cursor = ref 0 in
+  (* the schedule is consumed as a stream: [pending] is the undrained
+     tail and [next_req] the memoized head, so the full request array is
+     never materialised *)
+  let pending = ref (Traffic.stream c.traffic) in
+  let next_req = ref None in
+  let refill () =
+    if !next_req = None then
+      match Seq.uncons !pending with
+      | None -> ()
+      | Some (r, rest) ->
+          next_req := Some r;
+          pending := rest
+  in
   let served = [| 0; 0; 0 |] in
   let latencies = Array.init 3 (fun _ -> Obs.Hist.create ()) in
   let faulted = ref 0 in
-  (* Each server claims the next request off the shared cursor; every
-     claim decision is a handful of shared-ref accesses with no
+  (* distinct from [Kv.timed_out kv], which also counts preload puts *)
+  let req_timed_out = ref 0 in
+  (* Each server claims the next request off the shared stream head;
+     every claim decision is a handful of shared-ref accesses with no
      scheduling point in between, so it is race-free under the
      cooperative scheduler (fibres only switch at effect yields).
 
@@ -149,29 +583,37 @@ let serve ?tracer ?jobs (c : serve_config) : serve_result =
           (Lincheck.History.Res
              { tid = ctx.Runtime.Sched.tid; ret = Lincheck.History.Faulted });
         incr faulted
+    | exception Unavailable ->
+        (* deadline exhausted against a dead shard: the op is pending
+           (it may or may not have reached a backup), which is exactly
+           [Faulted] to the durability checker *)
+        record
+          (Lincheck.History.Res
+             { tid = ctx.Runtime.Sched.tid; ret = Lincheck.History.Faulted });
+        incr req_timed_out
   in
   let server kv ctx =
-    let n = Array.length reqs in
     let rec loop stalls last_seen =
-      if !cursor < n then begin
-        let r = reqs.(!cursor) in
-        let now = Fabric.cycles fab in
-        if r.Traffic.arrival <= now || !busy = 0 || stalls >= stall_limit
-        then begin
-          cursor := !cursor + 1;
-          if now < r.Traffic.arrival then
-            Fabric.charge fab (r.Traffic.arrival - now);
-          busy := !busy + 1;
-          serve_one kv ctx r;
-          busy := !busy - 1;
-          loop 0 (Fabric.cycles fab)
-        end
-        else begin
-          Runtime.Sched.yield ctx;
-          let stalls = if now = last_seen then stalls + 1 else 0 in
-          loop stalls now
-        end
-      end
+      refill ();
+      match !next_req with
+      | None -> ()
+      | Some r ->
+          let now = Fabric.cycles fab in
+          if r.Traffic.arrival <= now || !busy = 0 || stalls >= stall_limit
+          then begin
+            next_req := None;
+            if now < r.Traffic.arrival then
+              Fabric.charge fab (r.Traffic.arrival - now);
+            busy := !busy + 1;
+            serve_one kv ctx r;
+            busy := !busy - 1;
+            loop 0 (Fabric.cycles fab)
+          end
+          else begin
+            Runtime.Sched.yield ctx;
+            let stalls = if now = last_seen then stalls + 1 else 0 in
+            loop stalls now
+          end
     in
     loop 0 (-1)
   in
@@ -185,49 +627,104 @@ let serve ?tracer ?jobs (c : serve_config) : serve_result =
     done
   in
   let sched_of ctx = ctx.Runtime.Sched.sched in
+  (* Preload progress, shared between the init fibre and the crash
+     recovery hook: if the preloading fibre's machine crashes mid-way
+     (a storm can fell the home long before [keyspace] puts drain
+     through a replicated, degraded fabric), the run would otherwise
+     never spawn a single server and drop the entire schedule.  The
+     hook rescues it: a fibre on the restarted machine resumes from
+     [preloaded] — re-putting the key the dead fibre was on is
+     harmless (same value, recorded as a fresh op) — and only when the
+     *current* preloader's machine has a newer crash epoch, so two
+     rescuers never run at once. *)
+  let kv_obj = ref None in
+  let preloaded = ref 0 in
+  let preloader = ref None in
+  let preloader_dead s =
+    match !preloader with
+    | None -> true
+    | Some (m, e) -> Runtime.Sched.crash_epoch s m > e
+  in
+  let finish_preload kv ctx =
+    (* preload the keyspace so reads hit; recorded like any op so a
+       checked history starts from a consistent prefix *)
+    while !preloaded < c.traffic.Traffic.keyspace do
+      let k = !preloaded + 1 in
+      record
+        (Lincheck.History.Inv
+           { tid = ctx.Runtime.Sched.tid; op = "put"; args = [ k; k ] });
+      let ret =
+        try Lincheck.History.Ret (put kv ctx k k)
+        with Runtime.Ops.Fault _ | Unavailable -> Lincheck.History.Faulted
+      in
+      record (Lincheck.History.Res { tid = ctx.Runtime.Sched.tid; ret });
+      preloaded := k
+    done;
+    if !kv_ref = None then begin
+      kv_ref := Some kv;
+      for m = 0 to c.env.n_machines - 1 do
+        spawn_servers (sched_of ctx) ~machine:m ~tag:"s" kv
+      done
+    end
+  in
   let _init =
     Runtime.Sched.spawn sched ~machine:c.env.home ~name:"init" (fun ctx ->
         match
-          create ctx ~pflag:c.pflag ~shards:c.shards ?buckets:c.buckets ~flit
-            ~home:c.env.home ()
+          create ctx ~pflag:c.pflag ~shards:c.shards ?buckets:c.buckets
+            ~replicas:c.replicas ~deadline:c.deadline ~flit ~home:c.env.home
+            ()
         with
         | exception Runtime.Ops.Fault _ -> ()
         | kv ->
-            (* preload the keyspace so reads hit; recorded like any op so
-               a checked history starts from a consistent prefix *)
-            for k = 1 to c.traffic.Traffic.keyspace do
-              record
-                (Lincheck.History.Inv
-                   {
-                     tid = ctx.Runtime.Sched.tid;
-                     op = "put";
-                     args = [ k; k ];
-                   });
-              let ret =
-                try Lincheck.History.Ret (put kv ctx k k)
-                with Runtime.Ops.Fault _ -> Lincheck.History.Faulted
-              in
-              record
-                (Lincheck.History.Res { tid = ctx.Runtime.Sched.tid; ret })
-            done;
-            kv_ref := Some kv;
-            for m = 0 to c.env.n_machines - 1 do
-              spawn_servers (sched_of ctx) ~machine:m ~tag:"s" kv
-            done)
+            kv_obj := Some kv;
+            preloader :=
+              Some
+                ( c.env.home,
+                  Runtime.Sched.crash_epoch (sched_of ctx) c.env.home );
+            finish_preload kv ctx)
   in
   Runcore.install_crash_plan sched c.env ~record ~recovery:(fun ~ci spec s ->
       match !kv_ref with
-      | None -> ()
+      | None -> (
+          (* serving never started: the preloader died with its machine.
+             Resume the preload from the restarted machine (see
+             [finish_preload]); it spawns the servers when it's done. *)
+          match !kv_obj with
+          | Some kv when preloader_dead s ->
+              preloader :=
+                Some
+                  ( spec.Runcore.machine,
+                    Runtime.Sched.crash_epoch s spec.Runcore.machine );
+              ignore
+                (Runtime.Sched.spawn s ~machine:spec.Runcore.machine
+                   ~name:(Printf.sprintf "p%d" ci)
+                   (finish_preload kv))
+          | Some _ | None -> ())
       | Some kv ->
           (* restarted machines rejoin the drain with fresh serving
              threads (the crashed ones died mid-request; those requests
              are the dropped count) *)
           spawn_servers s ~machine:spec.Runcore.machine
             ~tag:(Printf.sprintf "r%d." ci)
-            kv);
+            kv;
+          (* ... and, when replicated, a healer that resyncs the
+             replicas homed on the restarted machine so replication
+             factor recovers without waiting for the next write *)
+          if c.replicas > 1 && Runtime.Sched.machine_is_up s spec.Runcore.machine
+          then
+            ignore
+              (Runtime.Sched.spawn s ~machine:spec.Runcore.machine
+                 ~name:(Printf.sprintf "h%d.%d" ci spec.Runcore.machine)
+                 (fun ctx -> heal kv ctx)));
   Runcore.install_fault_plan sched c.env;
   ignore (Runtime.Sched.run sched);
   let total_served = served.(0) + served.(1) + served.(2) in
+  let total = Traffic.total_ops c.traffic in
+  let kv_failovers, kv_rejoins =
+    match !kv_ref with
+    | None -> (0, 0)
+    | Some kv -> (failovers kv, rejoins kv)
+  in
   {
     history = List.rev !events;
     stats = Fabric.Stats.copy (Fabric.stats fab);
@@ -235,15 +732,22 @@ let serve ?tracer ?jobs (c : serve_config) : serve_result =
     served;
     latencies;
     faulted = !faulted;
-    dropped = Traffic.total_ops c.traffic - total_served - !faulted;
+    timed_out = !req_timed_out;
+    dropped = total - total_served - !faulted - !req_timed_out;
+    failovers = kv_failovers;
+    rejoins = kv_rejoins;
+    availability =
+      (if total = 0 then 1.0 else float_of_int total_served /. float_of_int total);
   }
 
 let check ?jobs (c : serve_config) : Lincheck.Durable.verdict =
   let r = serve ?jobs { c with record_history = true } in
   Lincheck.Durable.check
     ~provenance:
-      (Printf.sprintf "kv/%s shards=%d %s"
+      (Printf.sprintf "kv/%s shards=%d%s %s"
          (Flit.Flit_intf.name c.transform)
          c.shards
+         (if c.replicas > 1 then Printf.sprintf " replicas=%d" c.replicas
+          else "")
          (Traffic.describe c.traffic))
     Lincheck.Specs.map r.history

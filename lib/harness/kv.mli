@@ -1,14 +1,42 @@
 (** Sharded durable KV service: {!Dstruct.Hmap} shards homed round-robin
     across machines, every operation going through a FliT transformation
-    instance — plus the open-loop serving engine that drives it with
-    {!Traffic} schedules.
+    instance — plus optional primary/backup replication with failover,
+    and the open-loop serving engine that drives it with {!Traffic}
+    schedules.
 
-    Correctness: the shards partition the keyspace, each shard is
-    durably linearizable under the map specification, and durable
-    linearizability is local — so the composite is durably linearizable
-    against the same map spec, and the durability checker can consume a
-    serving history unchanged (the {!Objects.Kv} kind puts exactly this
-    composite under the fuzzer's crash + RAS envelopes). *)
+    Correctness, unreplicated: the shards partition the keyspace, each
+    shard is durably linearizable under the map specification, and
+    durable linearizability is local — so the composite is durably
+    linearizable against the same map spec, and the durability checker
+    can consume a serving history unchanged.
+
+    Correctness, replicated ([replicas > 1]): writes are *write-all*
+    under a per-shard lock — an operation acknowledges only when every
+    replica applied it and no replica home crashed while it was in
+    flight — so every acknowledged write lives on [replicas] distinct
+    machines, all holding identical logical content.  A failure detector
+    (per-machine crash epochs, {!Runtime.Sched.crash_epoch}) distrusts
+    any replica whose home has crashed since it was last validated —
+    even though its non-volatile map survives, the crash may have eaten
+    completed-but-unflushed stores (Finding F1) — until a re-sync
+    replays the shard's write log from a trusted peer.  Reads are served
+    by the *acting* replica only, with the home's crash epoch
+    re-checked around the read; after a heartbeat timeout a servable
+    backup is promoted, and the configured primary is re-demoted into
+    the role once it is caught back up.  Because reads come only from
+    crash-validated replicas, acknowledged writes come from all of
+    them, and shards with no trusted replica left simply stop answering
+    (deadline expiry, {!Unavailable} → [Faulted]), the composite stays
+    durably linearizable against the map spec under *any* storm of
+    single-home crashes — availability degrades, correctness does not.
+    The {!Objects.Kv} kind puts exactly this composite under the
+    fuzzer's crash + RAS envelopes. *)
+
+exception Unavailable
+(** Raised by an operation that exhausted its per-request deadline
+    without finding a servable/trusted replica set.  The op is
+    *pending*: it may or may not have reached a backup, so harnesses
+    record it as [Faulted] (the checker decides). *)
 
 type t
 
@@ -17,17 +45,43 @@ val create :
   ?pflag:bool ->
   ?shards:int ->
   ?buckets:int ->
+  ?replicas:int ->
+  ?deadline:int ->
+  ?failover_timeout:int ->
   flit:Flit.Flit_intf.instance ->
   home:int ->
   unit ->
   t
-(** [shards] (default 4) hash maps, shard [i] homed on machine
-    [(home + i) mod n_machines] — round-robin from the object's nominal
-    home, so a multi-machine fabric spreads shard traffic.  Must run
-    inside a scheduled thread.  [buckets] per shard as in
-    {!Dstruct.Hmap.create}. *)
+(** [shards] (default 4) hash maps; replica [r] of shard [i] is homed on
+    machine [(home + i + r) mod n_machines] — round-robin from the
+    object's nominal home, every replica of a shard on a distinct
+    machine.  [replicas] defaults to 1 (no replication: byte-identical
+    behaviour to the pre-replication service).  [deadline] (default
+    4000) is the per-request cycle budget — accounted in waiting
+    heartbeats (16 cycles each), so a request that never waits never
+    times out and the open-loop engine's idle fast-forwards cannot
+    expire in-flight requests — and [failover_timeout] (default 400,
+    wall cycles) the heartbeat timeout before promoting a backup; both
+    only matter when [replicas > 1].  Must run inside a scheduled
+    thread.  [buckets] per shard as in {!Dstruct.Hmap.create}.
+    @raise Invalid_argument when [shards <= 0], [replicas <= 0],
+    [replicas] exceeds the machine count, or a timeout is
+    non-positive. *)
 
 val n_shards : t -> int
+val n_replicas : t -> int
+
+val failovers : t -> int
+(** Acting-replica changes so far: promotions after a heartbeat timeout
+    plus re-demotions to the configured primary. *)
+
+val rejoins : t -> int
+(** Completed replica re-syncs (write-log replays from a trusted
+    peer). *)
+
+val timed_out : t -> int
+(** Operations that raised {!Unavailable}, including any preload puts
+    made through this object. *)
 
 val shard_of_key : t -> int -> int
 (** Multiplicative-hash shard mapping (Knuth 2654435761), so the
@@ -40,7 +94,16 @@ val del : t -> Runtime.Sched.ctx -> int -> int
 
 val dispatch : t -> Runtime.Sched.ctx -> string -> int list -> int
 (** ["put" [k; v]], ["get" [k]], ["del" [k]] — the map-spec op surface,
-    routed to the owning shard. *)
+    routed to the owning shard (and, when replicated, through the
+    failover state machine).
+    @raise Unavailable when the per-request deadline expires. *)
+
+val heal : t -> Runtime.Sched.ctx -> unit
+(** Opportunistically re-sync every distrusted-but-up replica from a
+    trusted peer (no-op when [replicas = 1]).  Run from restart recovery
+    hooks so replication factor recovers promptly after a crash instead
+    of waiting for the next write.  Best-effort and bounded by the
+    per-request deadline per shard. *)
 
 (** {1 Open-loop serving} *)
 
@@ -54,6 +117,8 @@ type serve_config = {
   buckets : int option;
   pflag : bool;
   servers_per_machine : int;  (** serving threads spawned per up machine *)
+  replicas : int;           (** replicas per shard; 1 = unreplicated *)
+  deadline : int;           (** per-request cycle budget when replicated *)
   record_history : bool;
       (** record every op (and the preload) for the durability checker —
           keep domains small when set *)
@@ -62,7 +127,8 @@ type serve_config = {
 val default_serve_config :
   transform:Flit.Flit_intf.t -> traffic:Traffic.spec -> serve_config
 (** 3 machines (home 2), no crashes/faults, seed from the traffic spec,
-    4 shards, 2 servers per machine, history off. *)
+    4 shards, 2 servers per machine, 1 replica, deadline 4000, history
+    off. *)
 
 type serve_result = {
   history : Lincheck.History.t;  (** [[]] unless [record_history] *)
@@ -71,7 +137,11 @@ type serve_result = {
   served : int array;            (** completions, indexed by {!op_index} *)
   latencies : Obs.Hist.t array;  (** completion − arrival, by {!op_index} *)
   faulted : int;       (** ops aborted by a RAS fault past the retry policy *)
+  timed_out : int;     (** requests that exhausted their deadline budget *)
   dropped : int;       (** requests lost to crashes / never claimed *)
+  failovers : int;     (** acting-replica changes during the run *)
+  rejoins : int;       (** completed replica re-syncs during the run *)
+  availability : float;  (** served / offered, in [0, 1] *)
 }
 
 val op_index : Traffic.op_type -> int
@@ -79,15 +149,19 @@ val op_index : Traffic.op_type -> int
     and [latencies]. *)
 
 val serve : ?tracer:Obs.Tracer.t -> ?jobs:int -> serve_config -> serve_result
-(** Run the service: pregenerate the schedule ({!Traffic.generate} —
-    [jobs] never changes it), preload the keyspace, spawn
-    [servers_per_machine] serving threads on every up machine, drain the
+(** Run the service: preload the keyspace, spawn [servers_per_machine]
+    serving threads on every up machine, drain the {!Traffic.stream}
     schedule open-loop (a server ahead of schedule advances the fabric
     clock to the next arrival; a server behind serves immediately, and
     the request's latency — completion minus *arrival* — shows the
     queueing delay), crash/restart per the env plan (restarted machines
-    get fresh serving threads), and return throughput counters and
-    per-op-type latency histograms.  Deterministic in the config. *)
+    get fresh serving threads, and — when replicated — a healer fibre
+    that re-syncs the replicas homed there), and return throughput
+    counters, per-op-type latency histograms, failover counts and
+    availability.  Deterministic in the config; [jobs] is accepted for
+    compatibility and ignored (the schedule never depended on it).
+    @raise Invalid_argument when the traffic spec fails
+    {!Traffic.validate} or [replicas] is out of range. *)
 
 val check : ?jobs:int -> serve_config -> Lincheck.Durable.verdict
 (** {!serve} with history recording forced on, then the durability

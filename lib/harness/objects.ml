@@ -41,9 +41,10 @@ type instance = {
 (** [create kind flit ctx ~home ~pflag] — instantiate the object on
     machine [home]'s memory, wrapped with the transformation instance
     [flit].  Must run inside a scheduled thread (object creation performs
-    initialising stores). *)
-let create (kind : kind) (flit : Flit.Flit_intf.instance) ctx ~home ~pflag :
-    instance =
+    initialising stores).  [replicas] (default 1) only affects the
+    sharded {!Kv} composite — every other kind is single-copy. *)
+let create (kind : kind) (flit : Flit.Flit_intf.instance) ?(replicas = 1) ctx
+    ~home ~pflag : instance =
   match kind with
   | Register ->
       let t = Dstruct.Dreg.create ctx ~pflag ~flit ~home () in
@@ -67,7 +68,7 @@ let create (kind : kind) (flit : Flit.Flit_intf.instance) ctx ~home ~pflag :
       let t = Dstruct.Dlog.create ctx ~pflag ~flit ~home () in
       { dispatch = Dstruct.Dlog.dispatch t }
   | Kv ->
-      let t = Kv.create ctx ~pflag ~flit ~home () in
+      let t = Kv.create ctx ~pflag ~replicas ~flit ~home () in
       { dispatch = Kv.dispatch t }
 
 (** [random_op ?range kind rng] — a random operation with payloads and

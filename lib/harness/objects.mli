@@ -20,13 +20,17 @@ type instance = {
 val create :
   kind ->
   Flit.Flit_intf.instance ->
+  ?replicas:int ->
   Runtime.Sched.ctx ->
   home:int ->
   pflag:bool ->
   instance
 (** Instantiate the object on machine [home]'s memory, wrapped with the
     given transformation instance; must run inside a scheduled thread
-    (creation performs initialising stores). *)
+    (creation performs initialising stores).  [replicas] (default 1)
+    only affects the sharded {!Kv} composite, which then keeps every
+    shard on [replicas] distinct machines with failover
+    ({!Kv.create}). *)
 
 val random_op : ?range:int -> kind -> Random.State.t -> string * int list
 (** Payloads and keys drawn from [1, range] (default 3) — small ranges

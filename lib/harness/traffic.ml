@@ -145,42 +145,6 @@ let draw_gap rng mean =
   let u = 1.0 -. Random.State.float rng 1.0 (* in (0, 1] *) in
   max 1 (int_of_float (Float.round (-.mean *. log u)))
 
-let session_stream (s : spec) zipf ~session : request array =
-  (* one RNG per session, derived only from (seed, session): the
-     stream is independent of every other session and of scheduling *)
-  let rng = Random.State.make [| s.seed; session; 0x5e55 |] in
-  let mean = mean_gap s in
-  let clock = ref 0 in
-  let inserted = ref 0 in
-  let weights = s.mix in
-  let total_w = weights.reads + weights.updates + weights.inserts in
-  Array.init s.ops_per_session (fun seq ->
-      clock := !clock + draw_gap rng mean;
-      let w = Random.State.int rng total_w in
-      let op =
-        if w < weights.reads then Read
-        else if w < weights.reads + weights.updates then Update
-        else Insert
-      in
-      let key =
-        match op with
-        | Read | Update -> Zipf.draw zipf rng
-        | Insert ->
-            (* fresh keys live above the preloaded keyspace, in a
-               per-session block so streams never collide *)
-            let k =
-              s.keyspace + (session * s.ops_per_session) + !inserted
-            in
-            incr inserted;
-            k
-      in
-      let value =
-        match op with
-        | Read -> 0
-        | Update | Insert -> 1 + Random.State.int rng s.value_range
-      in
-      { session; seq; arrival = !clock; op; key; value })
-
 let compare_request (a : request) (b : request) =
   (* total order: sort stability is irrelevant, so any sort gives the
      same schedule *)
@@ -191,23 +155,145 @@ let compare_request (a : request) (b : request) =
       | c -> c)
   | c -> c
 
-let generate ?jobs (s : spec) : request array =
-  if s.sessions <= 0 then
-    invalid_arg "Traffic.generate: sessions must be positive";
-  if s.ops_per_session <= 0 then
-    invalid_arg "Traffic.generate: ops_per_session must be positive";
-  if s.keyspace <= 0 then
-    invalid_arg "Traffic.generate: keyspace must be positive";
-  if s.value_range <= 0 then
-    invalid_arg "Traffic.generate: value_range must be positive";
-  ignore (mix_name s.mix);
-  let zipf = Zipf.create ~theta:s.theta ~n:s.keyspace in
-  let streams =
-    Cxl0.Parallel.map_items ?jobs
-      ~init:(fun () -> ())
-      ~f:(fun () session -> session_stream s zipf ~session)
-      (Array.init s.sessions (fun i -> i))
+(** [validate s] — the typed spec validation shared by the generator and
+    the CLI: every rejection names its field, and NaNs fail the positive
+    checks (comparisons are written to reject them). *)
+let validate (s : spec) : (unit, string) result =
+  if s.sessions <= 0 then Error "sessions must be positive"
+  else if s.ops_per_session <= 0 then Error "ops per session must be positive"
+  else if not (s.rate > 0.0) then Error "rate must be positive"
+  else if not (s.theta >= 0.0 && s.theta < 1.0) then
+    Error "theta must be in [0, 1)"
+  else if s.keyspace <= 0 then Error "keyspace must be positive"
+  else if s.value_range <= 0 then Error "value range must be positive"
+  else if
+    s.mix.reads < 0 || s.mix.updates < 0 || s.mix.inserts < 0
+    || s.mix.reads + s.mix.updates + s.mix.inserts <= 0
+  then Error "mix weights must be non-negative and sum to > 0"
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Streaming generation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* One session's merge cursor: the request it offers next plus the
+   frozen generator state that produces its successor.  Cells are
+   immutable — stepping a cell *copies* its RNG before drawing — so the
+   request sequence built from them is a persistent [Seq.t]: forcing a
+   node twice replays the identical draws. *)
+type cell = {
+  c_rng : Random.State.t;  (** state *before* generating the successor *)
+  c_session : int;
+  c_clock : int;
+  c_inserted : int;
+  c_pending : request;     (** what this session offers the merge next *)
+}
+
+(* Persistent pairing heap over cells ordered by [compare_request] on
+   the pending request — [(arrival, session, seq)] is a total order, so
+   the pop sequence equals the sorted order of the materialised
+   schedule, element for element. *)
+type heap = E | N of cell * heap list
+
+let heap_merge a b =
+  match (a, b) with
+  | E, h | h, E -> h
+  | N (x, xs), N (y, ys) ->
+      if compare_request x.c_pending y.c_pending <= 0 then N (x, b :: xs)
+      else N (y, a :: ys)
+
+let rec heap_merge_pairs = function
+  | [] -> E
+  | [ h ] -> h
+  | a :: b :: rest -> heap_merge (heap_merge a b) (heap_merge_pairs rest)
+
+(* The per-request draw sequence — gap, op weight, key, value, in that
+   order — is the byte-identity contract: it must match the PR-8
+   materialising generator draw for draw, which test_traffic pins. *)
+let draw_request (s : spec) zipf rng ~session ~seq ~clock ~inserted =
+  let clock = clock + draw_gap rng (mean_gap s) in
+  let w = Random.State.int rng (s.mix.reads + s.mix.updates + s.mix.inserts) in
+  let op =
+    if w < s.mix.reads then Read
+    else if w < s.mix.reads + s.mix.updates then Update
+    else Insert
   in
-  let all = Array.concat (Array.to_list streams) in
-  Array.sort compare_request all;
-  all
+  let key, inserted =
+    match op with
+    | Read | Update -> (Zipf.draw zipf rng, inserted)
+    | Insert ->
+        (* fresh keys live above the preloaded keyspace, in a
+           per-session block so streams never collide *)
+        (s.keyspace + (session * s.ops_per_session) + inserted, inserted + 1)
+  in
+  let value =
+    match op with
+    | Read -> 0
+    | Update | Insert -> 1 + Random.State.int rng s.value_range
+  in
+  ({ session; seq; arrival = clock; op; key; value }, clock, inserted)
+
+let step_cell (s : spec) zipf (c : cell) : cell option =
+  let seq = c.c_pending.seq + 1 in
+  if seq >= s.ops_per_session then None
+  else
+    let rng = Random.State.copy c.c_rng in
+    let pending, clock, inserted =
+      draw_request s zipf rng ~session:c.c_session ~seq ~clock:c.c_clock
+        ~inserted:c.c_inserted
+    in
+    Some
+      {
+        c_rng = rng;
+        c_session = c.c_session;
+        c_clock = clock;
+        c_inserted = inserted;
+        c_pending = pending;
+      }
+
+let validate_exn ~ctx s =
+  match validate s with
+  | Ok () -> ()
+  | Error m -> invalid_arg (Printf.sprintf "Traffic.%s: %s" ctx m)
+
+let stream (s : spec) : request Seq.t =
+  validate_exn ~ctx:"stream" s;
+  let zipf = Zipf.create ~theta:s.theta ~n:s.keyspace in
+  let init = ref E in
+  for session = s.sessions - 1 downto 0 do
+    (* one RNG per session, derived only from (seed, session): the
+       stream is independent of every other session and of evaluation
+       order *)
+    let rng = Random.State.make [| s.seed; session; 0x5e55 |] in
+    let pending, clock, inserted =
+      draw_request s zipf rng ~session ~seq:0 ~clock:0 ~inserted:0
+    in
+    init :=
+      heap_merge
+        (N
+           ( { c_rng = rng; c_session = session; c_clock = clock;
+               c_inserted = inserted; c_pending = pending },
+             [] ))
+        !init
+  done;
+  let rec seq_of = function
+    | E -> Seq.empty
+    | N (c, hs) ->
+        fun () ->
+          let rest = heap_merge_pairs hs in
+          let rest =
+            match step_cell s zipf c with
+            | None -> rest
+            | Some c' -> heap_merge (N (c', [])) rest
+          in
+          Seq.Cons (c.c_pending, seq_of rest)
+  in
+  seq_of !init
+
+let generate ?jobs (s : spec) : request array =
+  (* [jobs] sharded schedule *pregeneration* in the materialising
+     engine; the streaming merge is sequential and jobs-independent by
+     construction, so the parameter survives only for caller compat *)
+  ignore jobs;
+  validate_exn ~ctx:"generate" s;
+  Array.of_seq (stream s)

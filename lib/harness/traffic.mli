@@ -1,11 +1,15 @@
 (** Open-loop serving traffic: simulated client sessions issuing
     YCSB-style read/update/insert mixes under Zipfian key skew.
 
-    A {!spec} describes the offered load; {!generate} pregenerates the
-    whole request schedule — every request stamped with its arrival
-    cycle — deterministically in [seed] and independently of [?jobs]
-    (per-session RNG streams, order-preserving parallel map, total-order
-    sort).  The serving engine ({!Kv.serve}) then drains the schedule
+    A {!spec} describes the offered load; {!stream} produces the request
+    schedule — every request stamped with its arrival cycle — as a lazy
+    persistent sequence in arrival order, holding O(sessions) state
+    rather than the whole materialised schedule (a pairing-heap merge of
+    per-session generators).  {!generate} is [Array.of_seq] over the
+    same stream, kept for callers that index the schedule.  Both are
+    deterministic in [seed] alone: every random draw comes from a
+    per-session RNG, so neither [?jobs] nor evaluation order can change
+    a byte.  The serving engine ({!Kv.serve}) drains the schedule
     open-loop: a request's latency is measured from its *arrival* cycle,
     so queueing delay under overload is visible, unlike the closed-loop
     {!Workload} shape where each worker waits for its previous op. *)
@@ -77,12 +81,29 @@ type request = {
   value : int;
 }
 
+val validate : spec -> (unit, string) result
+(** Typed spec validation: [Error msg] names the offending field
+    (non-positive [sessions]/[ops_per_session]/[keyspace]/[value_range],
+    [rate <= 0] or NaN, [theta] outside [[0, 1)], negative or all-zero
+    mix weights).  Shared by the generator and the CLI front-ends so
+    both reject with the same message. *)
+
+val stream : spec -> request Seq.t
+(** The request schedule as a lazy *persistent* sequence in
+    [(arrival, session, seq)] order.  Element-for-element identical to
+    [generate] for the same spec; forcing a node twice replays the
+    identical draws (each step copies its session RNG), so the sequence
+    can be shared or re-traversed.  Memory is O(sessions) — independent
+    of [ops_per_session].
+    @raise Invalid_argument when {!validate} rejects the spec. *)
+
 val generate : ?jobs:int -> spec -> request array
-(** The full request schedule, sorted by [(arrival, session, seq)].
-    Byte-identical for a fixed [spec.seed] across every [jobs] value:
-    each session's stream comes from its own seeded RNG, sessions are
-    pregenerated with an order-preserving parallel map, and the merge
-    sort key is a total order. *)
+(** [Array.of_seq (stream spec)]: the full materialised schedule, sorted
+    by [(arrival, session, seq)].  Byte-identical for a fixed
+    [spec.seed] across every [jobs] value — the streaming merge is
+    sequential, so [?jobs] is accepted only for caller compatibility and
+    ignored.
+    @raise Invalid_argument when {!validate} rejects the spec. *)
 
 val total_ops : spec -> int
 (** [sessions * ops_per_session]. *)

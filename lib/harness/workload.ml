@@ -56,6 +56,7 @@ type config = {
   cache_capacity : int;
   value_range : int;         (** operation payloads drawn from [1, range] *)
   pflag : bool;
+  replicas : int;            (** Kv shard replicas; 1 = unreplicated *)
 }
 
 let default_config kind transform =
@@ -74,6 +75,7 @@ let default_config kind transform =
     cache_capacity = 4;
     value_range = 3;
     pflag = true;
+    replicas = 1;
   }
 
 (** The {!Runcore.env} slice of a config — everything but the traffic
@@ -104,8 +106,11 @@ let describe (c : config) =
     (List.length c.crashes)
     (* appended only when present, so fault-free provenance strings —
        and therefore every blessed corpus verdict — are unchanged *)
-    (if c.faults = [] then ""
-     else Printf.sprintf " faults=%d" (List.length c.faults))
+    ((if c.faults = [] then ""
+      else Printf.sprintf " faults=%d" (List.length c.faults))
+    ^
+    if c.replicas <= 1 then ""
+    else Printf.sprintf " replicas=%d" c.replicas)
 
 (** Per-phase {!Fabric.Stats.diff}s of one run: [setup] covers fabric
     traffic up to the object's creation, [measured] the worker operations
@@ -147,6 +152,11 @@ let worker (c : config) ~record ~ops ~rng_seed (instance : Objects.instance)
           (* a fault survived the retry policy mid-operation: the op may
              have taken partial effect — record the typed abort, which
              the checkers treat as a pending invocation *)
+          Lincheck.History.Faulted
+      | Kv.Unavailable ->
+          (* a replicated KV op exhausted its deadline with no trusted
+             replica set: it may have reached a backup, so it is pending
+             exactly like a faulted op *)
           Lincheck.History.Faulted
     in
     record (Lincheck.History.Res { tid = ctx.Runtime.Sched.tid; ret })
@@ -215,7 +225,10 @@ let run ?tracer (c : config) : result =
   let instance_ref = ref None in
   let _init =
     Runtime.Sched.spawn sched ~machine:c.home ~name:"init" (fun ctx ->
-        match Objects.create c.kind flit ctx ~home:c.home ~pflag:c.pflag with
+        match
+          Objects.create c.kind flit ~replicas:c.replicas ctx ~home:c.home
+            ~pflag:c.pflag
+        with
         | exception Runtime.Ops.Fault _ ->
             (* object creation itself hit a persistent fault (e.g. an
                early poison landed on a line creation reads): no object,

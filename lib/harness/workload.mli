@@ -45,11 +45,17 @@ type config = {
   cache_capacity : int;
   value_range : int;          (** operation payloads drawn from [1, range] *)
   pflag : bool;
+  replicas : int;
+      (** {!Objects.Kv} shard replicas (1 = unreplicated; ignored by
+          every other kind).  Replicated cells tolerate shard-home
+          crashes: writes acknowledge on all replicas, reads come only
+          from crash-validated ones, and deadline expiry surfaces as a
+          pending [Faulted] op ({!Kv.Unavailable}). *)
 }
 
 val default_config : Objects.kind -> Flit.Flit_intf.t -> config
 (** 3 machines, object on machine 2, workers on 0/1, 3 ops each, values
-    in [1, 3], no crashes, no faults, seed 1. *)
+    in [1, 3], no crashes, no faults, 1 replica, seed 1. *)
 
 val describe : config -> string
 (** One-line summary, used as the verdict's provenance label. *)

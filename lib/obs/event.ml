@@ -100,6 +100,16 @@ type t =
       (** FliT counter transition: the counter for [loc] became [value] *)
   | Switch of { step : int; tid : int; machine : int; cycle : int }
       (** the scheduler switched thread [tid] in at decision [step] *)
+  | Failover of { shard : int; from_machine : int; to_machine : int; cycle : int }
+      (** the replicated KV promoted shard [shard]'s acting primary from
+          [from_machine] to [to_machine] (re-demotion back to the
+          original primary is the same event with the roles swapped) *)
+  | Rejoin of { shard : int; machine : int; cycle : int }
+      (** a stale replica of [shard] homed on [machine] finished
+          re-syncing and is promotable again *)
+  | Unavail of { shard : int; cycles : int; cycle : int }
+      (** shard [shard] came back after [cycles] simulated cycles during
+          which no trusted primary could answer for it *)
 
 (** [cycle e] — the simulated cycle at which [e] was recorded (for a
     primitive, its completion time); nondecreasing in emission order. *)
@@ -112,7 +122,10 @@ let cycle = function
   | Retry { cycle; _ }
   | Fallback { cycle; _ }
   | Counter { cycle; _ }
-  | Switch { cycle; _ } -> cycle
+  | Switch { cycle; _ }
+  | Failover { cycle; _ }
+  | Rejoin { cycle; _ }
+  | Unavail { cycle; _ } -> cycle
 
 (* The compact sexp rendering (one event per line in the sexp dump). *)
 let pp ppf = function
@@ -140,3 +153,10 @@ let pp ppf = function
   | Switch { step; tid; machine; cycle } ->
       Fmt.pf ppf "(switch (step %d) (tid %d) (m %d) (at %d))" step tid machine
         cycle
+  | Failover { shard; from_machine; to_machine; cycle } ->
+      Fmt.pf ppf "(failover (shard %d) (from %d) (to %d) (at %d))" shard
+        from_machine to_machine cycle
+  | Rejoin { shard; machine; cycle } ->
+      Fmt.pf ppf "(rejoin (shard %d) (m %d) (at %d))" shard machine cycle
+  | Unavail { shard; cycles; cycle } ->
+      Fmt.pf ppf "(unavail (shard %d) (cycles %d) (at %d))" shard cycles cycle

@@ -62,6 +62,15 @@ type t =
       (** FliT counter transition: the counter for [loc] became [value] *)
   | Switch of { step : int; tid : int; machine : int; cycle : int }
       (** the scheduler switched thread [tid] in at decision [step] *)
+  | Failover of { shard : int; from_machine : int; to_machine : int; cycle : int }
+      (** the replicated KV promoted shard [shard]'s acting primary from
+          [from_machine] to [to_machine] (re-demotion is the same event
+          with the roles swapped) *)
+  | Rejoin of { shard : int; machine : int; cycle : int }
+      (** a stale replica of [shard] on [machine] finished re-syncing *)
+  | Unavail of { shard : int; cycles : int; cycle : int }
+      (** shard [shard] came back after [cycles] cycles with no trusted
+          primary *)
 
 val cycle : t -> int
 (** The simulated cycle at which the event was recorded (a primitive's

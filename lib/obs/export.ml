@@ -80,7 +80,10 @@ let to_chrome_json tracer =
       | Event.Evict { machine; _ }
       | Event.Fault { machine; _ }
       | Event.Crash { machine; _ }
-      | Event.Restart { machine; _ } -> see machine)
+      | Event.Restart { machine; _ }
+      | Event.Rejoin { machine; _ } -> see machine
+      | Event.Failover { to_machine; _ } -> see to_machine
+      | Event.Unavail _ -> see (-1))
     tracer;
   (* Pass 2: render. *)
   let buf = Buffer.create 4096 in
@@ -146,6 +149,24 @@ let to_chrome_json tracer =
             ~name:(Printf.sprintf "flit-ctr-loc%d" loc)
             ~ph:"C" ~pid:(pid_of_machine machine) ~tid ~ts:cycle
             ~args:(Printf.sprintf "\"value\":%d" value)
+            ()
+      | Event.Failover { shard; from_machine; to_machine; cycle } ->
+          obj buf ~first
+            ~name:(Printf.sprintf "failover-shard%d" shard)
+            ~ph:"i" ~pid:(pid_of_machine to_machine) ~tid ~ts:cycle ~scope:"g"
+            ~args:(Printf.sprintf "\"from\":%d,\"to\":%d" from_machine to_machine)
+            ()
+      | Event.Rejoin { shard; machine; cycle } ->
+          obj buf ~first
+            ~name:(Printf.sprintf "rejoin-shard%d" shard)
+            ~ph:"i" ~pid:(pid_of_machine machine) ~tid ~ts:cycle ~scope:"p"
+            ~args:(Printf.sprintf "\"shard\":%d" shard)
+            ()
+      | Event.Unavail { shard; cycles; cycle } ->
+          obj buf ~first
+            ~name:(Printf.sprintf "unavail-shard%d" shard)
+            ~ph:"X" ~pid:0 ~tid ~ts:(cycle - cycles) ~dur:cycles
+            ~args:(Printf.sprintf "\"shard\":%d" shard)
             ())
     tracer;
   Buffer.add_string buf

@@ -15,6 +15,9 @@ type t = {
   machine_ops : int array;       (** primitives issued by each machine *)
   machine_cycles : int array;    (** cycles spent by each machine *)
   line_ops : (int, int) Hashtbl.t;  (** location -> primitives touching it *)
+  mutable failovers : int;       (** KV shard promotions/re-demotions *)
+  mutable rejoins : int;         (** stale replicas re-synced *)
+  unavail : Hist.t;  (** lengths of shard unavailability windows, cycles *)
 }
 
 let create () =
@@ -23,13 +26,19 @@ let create () =
     machine_ops = Array.make max_machines 0;
     machine_cycles = Array.make max_machines 0;
     line_ops = Hashtbl.create 64;
+    failovers = 0;
+    rejoins = 0;
+    unavail = Hist.create ();
   }
 
 let clear t =
   Array.iter Hist.clear t.hists;
   Array.fill t.machine_ops 0 max_machines 0;
   Array.fill t.machine_cycles 0 max_machines 0;
-  Hashtbl.reset t.line_ops
+  Hashtbl.reset t.line_ops;
+  t.failovers <- 0;
+  t.rejoins <- 0;
+  Hist.clear t.unavail
 
 let observe t ~prim ~machine ~loc ~cycles =
   Hist.add t.hists.(Event.prim_index prim) cycles;
@@ -40,6 +49,14 @@ let observe t ~prim ~machine ~loc ~cycles =
   if loc >= 0 then
     Hashtbl.replace t.line_ops loc
       (1 + Option.value ~default:0 (Hashtbl.find_opt t.line_ops loc))
+
+let observe_failover t = t.failovers <- t.failovers + 1
+let observe_rejoin t = t.rejoins <- t.rejoins + 1
+let observe_unavail t ~cycles = Hist.add t.unavail cycles
+
+let failovers t = t.failovers
+let rejoins t = t.rejoins
+let unavail t = t.unavail
 
 (** [merge ~into src] — fold [src] into [into]: per-primitive histograms
     merge bucket-exactly ({!Hist.merge}), machine counters add, line
@@ -56,7 +73,10 @@ let merge ~into src =
     (fun loc n ->
       Hashtbl.replace into.line_ops loc
         (n + Option.value ~default:0 (Hashtbl.find_opt into.line_ops loc)))
-    src.line_ops
+    src.line_ops;
+  into.failovers <- into.failovers + src.failovers;
+  into.rejoins <- into.rejoins + src.rejoins;
+  Hist.merge ~into:into.unavail src.unavail
 
 let hist t prim = t.hists.(Event.prim_index prim)
 
@@ -98,4 +118,10 @@ let pp ppf t =
   (match lines t with
   | [] -> ()
   | (hot, n) :: _ -> Fmt.pf ppf "hottest line: loc %d (%d ops)@," hot n);
+  if t.failovers > 0 || t.rejoins > 0 then
+    Fmt.pf ppf "failovers %d, rejoins %d@," t.failovers t.rejoins;
+  if Hist.count t.unavail > 0 then
+    Fmt.pf ppf "unavailability windows: %d (p50=%d p99=%d max=%d cycles)@,"
+      (Hist.count t.unavail) (Hist.p50 t.unavail) (Hist.p99 t.unavail)
+      (Hist.max_value t.unavail);
   Fmt.pf ppf "@]"

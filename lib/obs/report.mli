@@ -11,6 +11,20 @@ val observe : t -> prim:Event.prim -> machine:int -> loc:int -> cycles:int -> un
 (** Record one completed primitive.  Called by {!Tracer.emit}; exposed
     for tests. *)
 
+val observe_failover : t -> unit
+val observe_rejoin : t -> unit
+val observe_unavail : t -> cycles:int -> unit
+(** Record replicated-KV failover machinery events (shard promotion /
+    replica re-sync / a completed unavailability window).  Called by
+    {!Tracer.emit} on the corresponding {!Event.t} variants. *)
+
+val failovers : t -> int
+val rejoins : t -> int
+
+val unavail : t -> Hist.t
+(** Lengths (simulated cycles) of completed shard unavailability
+    windows. *)
+
 val merge : into:t -> t -> unit
 (** Fold a report into another: histograms merge bucket-exactly
     ({!Hist.merge}), machine counters add, line traffic adds per

@@ -43,6 +43,9 @@ let emit t e =
   (match e with
   | Event.Prim { prim; machine; loc; t0; t1 } ->
       Report.observe t.report ~prim ~machine ~loc ~cycles:(t1 - t0)
+  | Event.Failover _ -> Report.observe_failover t.report
+  | Event.Rejoin _ -> Report.observe_rejoin t.report
+  | Event.Unavail { cycles; _ } -> Report.observe_unavail t.report ~cycles
   | _ -> ());
   if t.len < t.cap then begin
     t.buf.((t.start + t.len) mod t.cap) <- e;

@@ -77,6 +77,10 @@ and t = {
           the same seed — drawing jitter must not perturb the
           interleaving stream *)
   mutable crashed : int;       (** bitmask of machines currently down *)
+  crash_epochs : int array;
+      (** per-machine crash counter; lets failure detectors distinguish
+          "still the machine I validated" from "crashed and restarted
+          while I wasn't looking" without observing the down window *)
 }
 
 type _ Effect.t += Yield : unit Effect.t
@@ -97,6 +101,7 @@ let create ?(seed = 42) fabric =
     rng = Random.State.make [| seed |];
     retry_rng = Random.State.make [| seed; 0x4e7431 |];
     crashed = 0;
+    crash_epochs = Array.make (Fabric.n_machines fabric) 0;
   }
 
 let fabric t = t.fabric
@@ -124,6 +129,11 @@ let at_step t n action =
   t.plan_pending <- t.plan_pending + 1
 
 let machine_is_up t i = t.crashed land (1 lsl i) = 0
+
+(** [crash_epoch t i] — how many times machine [i] has crashed so far.
+    Monotone; incremented by {!crash_now} before the fabric wipe, so any
+    state validated under an older epoch is known to predate the wipe. *)
+let crash_epoch t i = t.crash_epochs.(i)
 
 (** [restart t i] marks a crashed machine as recovered, allowing new
     threads to be spawned on it.  Its fabric state was already wiped at
@@ -186,6 +196,7 @@ let jitter ctx n = Random.State.int ctx.sched.retry_rng (max 1 n)
 (** [crash_now t i] — immediately crash machine [i]: wipe its fabric
     state and kill its threads (their fibres are dropped). *)
 let crash_now t i =
+  t.crash_epochs.(i) <- t.crash_epochs.(i) + 1;
   Fabric.crash t.fabric i;
   t.crashed <- t.crashed lor (1 lsl i);
   for k = 0 to t.n_tasks - 1 do

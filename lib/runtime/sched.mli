@@ -33,6 +33,14 @@ val at_step : t -> int -> action -> unit
 
 val machine_is_up : t -> int -> bool
 
+val crash_epoch : t -> int -> int
+(** [crash_epoch t i] — how many times machine [i] has crashed so far
+    (monotone, bumped by {!crash_now} before the fabric wipe).  A
+    failure detector that records the epoch when it validates a
+    machine's state can later tell "still valid" from "crashed and
+    restarted unobserved" — the down window itself need never be
+    witnessed. *)
+
 val restart : t -> int -> unit
 (** Mark a crashed machine recovered (its non-volatile memory contents
     survived; everything else was wiped at crash time). *)

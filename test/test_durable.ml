@@ -340,6 +340,7 @@ let f2_config transform =
     cache_capacity = 1;
     value_range = 1;
     pflag = true;
+    replicas = 1;
   }
 
 let test_f2_lflush_violation () =

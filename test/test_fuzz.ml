@@ -44,16 +44,27 @@ let prop_gen_inside_envelope =
         | G.Workers_spared -> true
         | G.Workers_spared_if_volatile_home -> c.W.volatile_home
       in
+      (* a replicated Kv cell is the one place a home-sparing envelope
+         legally crashes the home: every crash is a shard-home crash, and
+         replication puts those inside the envelope — except a volatile
+         home, whose wipe kills the shard structure itself *)
+      let may_crash_home =
+        profile.G.crash_home
+        || (c.W.kind = Harness.Objects.Kv && c.W.replicas > 1
+           && not c.W.volatile_home)
+      in
       List.for_all (fun m -> m >= 0 && m < c.W.n_machines) c.W.worker_machines
       && c.W.home >= 0
       && c.W.home < c.W.n_machines
       && (profile.G.allow_volatile_home || not c.W.volatile_home)
+      && c.W.replicas >= 1
+      && c.W.replicas <= c.W.n_machines
       && List.for_all
            (fun (sp : W.crash_spec) ->
              sp.machine >= 0
              && sp.machine < c.W.n_machines
              && sp.restart_at >= sp.at
-             && (profile.G.crash_home || sp.machine <> c.W.home)
+             && (may_crash_home || sp.machine <> c.W.home)
              && ((not workers_spared)
                 || (not (List.mem sp.machine c.W.worker_machines)
                    && sp.recovery_threads = 0)))
@@ -185,6 +196,7 @@ let test_f3_buffered_worker_crash_violation () =
       cache_capacity = 1;
       value_range = 1;
       pflag = true;
+      replicas = 1;
     }
   in
   let profile = G.profile_of_transform Flit.Registry.buffered in

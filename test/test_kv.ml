@@ -153,6 +153,172 @@ let test_serve_history_matches_counts () =
   Alcotest.(check bool) "well-formed" true
     (Lincheck.History.well_formed r.K.history)
 
+(* ------------------------------------------------------------------ *)
+(* Replication and failover                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rconfig ?(traffic = small_traffic) ?(crashes = []) ?(faults = [])
+    ?(transform = Flit.Registry.alg3'_weakest) ?(replicas = 2) () =
+  let c = config ~traffic ~crashes ~faults ~transform () in
+  { c with K.replicas }
+
+(* A chaos storm: [cycles] sequential, non-overlapping crash/restart
+   cycles rotating over the machines (every machine homes replicas, so
+   each hit lands on shard homes). *)
+let storm ?(cycles = 5) ?(first = 150) ?(gap = 200) ?(down = 80) () =
+  List.init cycles (fun i ->
+      {
+        R.at = first + (i * gap);
+        machine = i mod 3;
+        restart_at = first + (i * gap) + down;
+        recovery_threads = 0;
+        recovery_ops = 0;
+      })
+
+let degraded =
+  [ R.Degrade_link
+      { m1 = 0; m2 = 1; nack_prob = 0.15; delay_prob = 0.1; delay_cycles = 30 }
+  ]
+
+let test_replicated_quiet () =
+  (* without crashes, replication must not cost any requests: everything
+     is served, availability is 1, and no failover machinery fires *)
+  let r = K.serve (rconfig ()) in
+  let total = r.K.served.(0) + r.K.served.(1) + r.K.served.(2) in
+  Alcotest.(check int) "all served" (T.total_ops small_traffic) total;
+  Alcotest.(check int) "no timeouts" 0 r.K.timed_out;
+  Alcotest.(check int) "no failovers" 0 r.K.failovers;
+  Alcotest.(check (float 0.0)) "availability 1" 1.0 r.K.availability;
+  let v = K.check (rconfig ()) in
+  Alcotest.(check bool) "durable" true v.Lincheck.Durable.durable
+
+let test_unreplicated_unchanged () =
+  (* replicas = 1 must be byte-identical to the pre-replication engine:
+     pin the fingerprint equality between an explicit replicas = 1 run
+     and the default config *)
+  let a = K.serve (config ()) in
+  let b = K.serve { (config ()) with K.replicas = 1 } in
+  Alcotest.(check string) "identical" (fingerprint a) (fingerprint b)
+
+let test_storm_conservation () =
+  (* a 5-cycle shard-home crash storm under a degraded link: every
+     request still accounted for, the service survives with partial
+     availability, and the failover machinery demonstrably fired *)
+  let r = K.serve (rconfig ~crashes:(storm ()) ~faults:degraded ()) in
+  let total = r.K.served.(0) + r.K.served.(1) + r.K.served.(2) in
+  Alcotest.(check int) "conservation" (T.total_ops small_traffic)
+    (total + r.K.faulted + r.K.timed_out + r.K.dropped);
+  Alcotest.(check int) "all crashes landed" 5 r.K.stats.Fabric.Stats.crashes;
+  Alcotest.(check bool)
+    (Fmt.str "some availability (%.2f)" r.K.availability)
+    true
+    (r.K.availability > 0.0);
+  Alcotest.(check bool) "failover machinery fired" true
+    (r.K.failovers + r.K.rejoins > 0)
+
+let test_storm_durable () =
+  (* the tentpole claim: under single-home-at-a-time crash storms, the
+     replicated service stays *strictly* durably linearizable even for
+     transforms whose un-replicated envelope must spare the home
+     (Finding F1) — acknowledged writes survive on the backup *)
+  List.iter
+    (fun transform ->
+      let v =
+        K.check (rconfig ~transform ~crashes:(storm ()) ~faults:degraded ())
+      in
+      Alcotest.(check bool)
+        (Fmt.str "%s durable under storm" (Flit.Flit_intf.name transform))
+        true v.Lincheck.Durable.durable;
+      Alcotest.(check bool) "crashes in history" true
+        (v.Lincheck.Durable.crash_events > 0))
+    [ Flit.Registry.alg2_mstore; Flit.Registry.alg3'_weakest ]
+
+let test_storm_deterministic () =
+  let fp r =
+    Fmt.str "%s to=%d fo=%d rj=%d" (fingerprint r) r.K.timed_out r.K.failovers
+      r.K.rejoins
+  in
+  let a = K.serve (rconfig ~crashes:(storm ()) ~faults:degraded ()) in
+  let b = K.serve (rconfig ~crashes:(storm ()) ~faults:degraded ()) in
+  Alcotest.(check string) "storm run-twice identical" (fp a) (fp b)
+
+let test_recovery_interleavings () =
+  (* Sched.restart racing the failover machinery: a fast restart lands
+     before the heartbeat timeout promotes a backup (heal-in-place), a
+     slow one lands after promotion (heal then re-demotion); both must
+     stay durable with every request accounted for *)
+  List.iter
+    (fun (at, restart_at) ->
+      let crashes =
+        [ { R.at; machine = 2; restart_at; recovery_threads = 0;
+            recovery_ops = 0 } ]
+      in
+      let v = K.check (rconfig ~crashes ()) in
+      Alcotest.(check bool)
+        (Fmt.str "restart@%d durable" restart_at)
+        true v.Lincheck.Durable.durable;
+      let r = K.serve (rconfig ~crashes ()) in
+      let total = r.K.served.(0) + r.K.served.(1) + r.K.served.(2) in
+      Alcotest.(check int) "conservation" (T.total_ops small_traffic)
+        (total + r.K.faulted + r.K.timed_out + r.K.dropped))
+    [ (180, 200); (180, 1200) ]
+
+let test_no_fibre_leak () =
+  (* a crash mid-write-chain plus a restart mid-heal: the run must
+     terminate (deadlines bound every wait loop) with zero leaked
+     fibres, and the scheduler must report no runnable work left *)
+  let fab =
+    Fabric.create ~seed:7
+      (Array.init 3 (fun i -> Fabric.machine (Fabric.default_name i)))
+  in
+  let flit = Flit.Flit_intf.instantiate Flit.Registry.alg3'_weakest fab in
+  let sched = Runtime.Sched.create ~seed:7 fab in
+  let kv_ref = ref None in
+  ignore
+    (Runtime.Sched.spawn sched ~machine:2 ~name:"init" (fun ctx ->
+         let kv =
+           K.create ctx ~replicas:2 ~deadline:600 ~failover_timeout:100 ~flit
+             ~home:2 ()
+         in
+         kv_ref := Some kv;
+         for m = 0 to 1 do
+           ignore
+             (Runtime.Sched.spawn ctx.Runtime.Sched.sched ~machine:m
+                ~name:(Fmt.str "w%d" m)
+                (fun ctx ->
+                  for k = 1 to 6 do
+                    (try ignore (K.put kv ctx k (k + 10))
+                     with Runtime.Ops.Fault _ | K.Unavailable -> ());
+                    try ignore (K.get kv ctx k)
+                    with Runtime.Ops.Fault _ | K.Unavailable -> ()
+                  done))
+         done));
+  Runtime.Sched.at_step sched 40 (Runtime.Sched.Crash 2);
+  Runtime.Sched.at_step sched 70
+    (Runtime.Sched.Call
+       (fun s ->
+         Runtime.Sched.restart s 2;
+         ignore
+           (Runtime.Sched.spawn s ~machine:2 ~name:"heal" (fun ctx ->
+                match !kv_ref with
+                | Some kv -> K.heal kv ctx
+                | None -> ()))));
+  ignore (Runtime.Sched.run sched);
+  Alcotest.(check int) "no leaked fibres" 0 (Runtime.Sched.alive sched)
+
+let test_replica_validation () =
+  Alcotest.check_raises "replicas > machines"
+    (Invalid_argument "Kv.serve: replicas must not exceed the machine count")
+    (fun () -> ignore (K.serve { (config ()) with K.replicas = 4 }));
+  Alcotest.check_raises "zero replicas"
+    (Invalid_argument "Kv.serve: replicas must be positive") (fun () ->
+      ignore (K.serve { (config ()) with K.replicas = 0 }));
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Kv.serve: rate must be positive") (fun () ->
+      ignore
+        (K.serve
+           { (config ()) with K.traffic = { small_traffic with T.rate = 0.0 } }))
+
 let () =
   Alcotest.run "kv"
     [
@@ -172,5 +338,21 @@ let () =
         [
           Alcotest.test_case "crash+fault serving runs durable" `Quick
             test_serve_history_checked;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "quiet run costs nothing" `Quick
+            test_replicated_quiet;
+          Alcotest.test_case "replicas=1 unchanged" `Quick
+            test_unreplicated_unchanged;
+          Alcotest.test_case "storm conservation" `Quick
+            test_storm_conservation;
+          Alcotest.test_case "storm durable" `Quick test_storm_durable;
+          Alcotest.test_case "storm deterministic" `Quick
+            test_storm_deterministic;
+          Alcotest.test_case "recovery interleavings" `Quick
+            test_recovery_interleavings;
+          Alcotest.test_case "no fibre leak" `Quick test_no_fibre_leak;
+          Alcotest.test_case "validation" `Quick test_replica_validation;
         ] );
     ]

@@ -144,6 +144,48 @@ let test_schedule_well_formed () =
     (List.length !insert_keys)
     (List.length (List.sort_uniq compare !insert_keys))
 
+let test_stream_equals_generate () =
+  (* the streaming engine's contract: element-for-element equal to the
+     materialised schedule, persistent (forcing twice replays the same
+     draws), and O(sessions) in state — the big spec here would blow an
+     eager engine's memory budget times over if it materialised *)
+  let arr = T.generate spec in
+  let s = T.stream spec in
+  Alcotest.(check bool) "stream = generate" true (Array.of_seq s = arr);
+  Alcotest.(check bool) "stream is persistent" true
+    (Array.of_seq s = arr);
+  let big = { spec with T.sessions = 3; ops_per_session = 100_000 } in
+  let n = Seq.fold_left (fun n (_ : T.request) -> n + 1) 0 (T.stream big) in
+  Alcotest.(check int) "lazy stream drains fully" (T.total_ops big) n
+
+let test_validate () =
+  let ok s = Result.is_ok (T.validate s) in
+  let err s msg =
+    match T.validate s with
+    | Error m -> Alcotest.(check string) "error names the field" msg m
+    | Ok () -> Alcotest.failf "expected %S" msg
+  in
+  Alcotest.(check bool) "default spec valid" true (ok T.default_spec);
+  err { spec with T.sessions = 0 } "sessions must be positive";
+  err { spec with T.ops_per_session = -1 } "ops per session must be positive";
+  err { spec with T.rate = 0.0 } "rate must be positive";
+  err { spec with T.rate = Float.nan } "rate must be positive";
+  err { spec with T.theta = 1.0 } "theta must be in [0, 1)";
+  err { spec with T.theta = -0.1 } "theta must be in [0, 1)";
+  err { spec with T.keyspace = 0 } "keyspace must be positive";
+  err { spec with T.value_range = 0 } "value range must be positive";
+  err
+    { spec with T.mix = { T.reads = 0; updates = 0; inserts = 0 } }
+    "mix weights must be non-negative and sum to > 0";
+  (* generate/stream raise the same message, prefixed by their entry
+     point — the CLI shares validate, so cxl0-kv rejects identically *)
+  Alcotest.check_raises "generate raises"
+    (Invalid_argument "Traffic.generate: rate must be positive") (fun () ->
+      ignore (T.generate { spec with T.rate = -1.0 }));
+  Alcotest.check_raises "stream raises"
+    (Invalid_argument "Traffic.stream: sessions must be positive") (fun () ->
+      ignore (T.stream { spec with T.sessions = 0 } : T.request Seq.t))
+
 let test_mix_respected () =
   let all_ops mix =
     Array.to_list (T.generate ~jobs:1 { spec with T.mix })
@@ -176,6 +218,9 @@ let () =
           Alcotest.test_case "jobs-identical streams" `Quick
             test_jobs_identical_streams;
           Alcotest.test_case "well-formed" `Quick test_schedule_well_formed;
+          Alcotest.test_case "stream equals generate" `Quick
+            test_stream_equals_generate;
+          Alcotest.test_case "validate" `Quick test_validate;
           Alcotest.test_case "mix respected" `Quick test_mix_respected;
         ] );
     ]
