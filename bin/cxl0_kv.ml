@@ -83,12 +83,15 @@ let op_names = [| "read"; "update"; "insert" |]
 (* One combo's deterministic signature: counters, clock, per-op
    histogram shapes, and the full fabric stats JSON.  CI diffs two runs
    of these lines; any nondeterminism anywhere in the serving stack
-   (schedule generation, shard mapping, scheduler, fault plan) shows. *)
-let signature transform mix (r : K.serve_result) =
+   (schedule generation, shard mapping, scheduler, fault plan) shows.
+   With a tracer attached the span digest folds in, so span assembly is
+   covered by the same run-twice and cross-jobs diffs; untraced
+   signature lines are byte-identical to previous releases. *)
+let signature transform mix ?spans (r : K.serve_result) =
   Printf.sprintf
     "kv %s mix=%s served=%d/%d/%d faulted=%d timed_out=%d dropped=%d \
      failovers=%d rejoins=%d avail=%.4f cycles=%d read:[%s] update:[%s] \
-     insert:[%s] stats=%s"
+     insert:[%s] stats=%s%s"
     (Flit.Flit_intf.name transform)
     (T.mix_name mix) r.K.served.(0) r.K.served.(1) r.K.served.(2) r.K.faulted
     r.K.timed_out r.K.dropped r.K.failovers r.K.rejoins r.K.availability
@@ -97,6 +100,9 @@ let signature transform mix (r : K.serve_result) =
     (Bench_util.hist_sig r.K.latencies.(1))
     (Bench_util.hist_sig r.K.latencies.(2))
     (Fabric.Stats.to_json r.K.stats)
+    (match spans with
+    | None -> ""
+    | Some sp -> " spans=" ^ Obs.Span.digest sp)
 
 let total_served (r : K.serve_result) =
   r.K.served.(0) + r.K.served.(1) + r.K.served.(2)
@@ -144,14 +150,15 @@ let print_combo transform mix (r : K.serve_result) =
   Array.iteri
     (fun i h ->
       if Obs.Hist.count h > 0 then
-        Fmt.pr "    %-7s n=%-6d p50=%-6d p90=%-6d p99=%-6d max=%d@."
-          op_names.(i) (Obs.Hist.count h) (Obs.Hist.p50 h) (Obs.Hist.p90 h)
-          (Obs.Hist.p99 h) (Obs.Hist.max_value h))
+        Fmt.pr
+          "    %-7s n=%-6d mean=%-8.1f p50=%-6d p90=%-6d p99=%-6d max=%d@."
+          op_names.(i) (Obs.Hist.count h) (Obs.Hist.mean h) (Obs.Hist.p50 h)
+          (Obs.Hist.p90 h) (Obs.Hist.p99 h) (Obs.Hist.max_value h))
     r.K.latencies
 
 let run sessions ops rate theta keys mixes transforms shards servers machines
     replicas deadline storm jobs seed crash faults check sig_only trace json
-    append label =
+    append label explain_tail timeline window trace_out =
   (* typed argument validation, exit 2 with the offending field named;
      the traffic fields share Traffic.validate with the library so the
      CLI and Kv.serve reject with the same message *)
@@ -176,6 +183,8 @@ let run sessions ops rate theta keys mixes transforms shards servers machines
          replicas machines);
   if storm < 0 then reject "storm must be non-negative";
   if deadline <= 0 then reject "deadline must be positive";
+  if explain_tail < 0 then reject "explain-tail must be non-negative";
+  if window <= 0 then reject "window must be positive";
   let transforms =
     List.map
       (fun n ->
@@ -228,24 +237,77 @@ let run sessions ops rate theta keys mixes transforms shards servers machines
       replicas;
       deadline }
   in
+  if trace_out <> None && List.length transforms * List.length mixes > 1 then
+    reject "--trace-out needs exactly one transform x mix combo";
   let merged_report = Obs.Report.create () in
   let failures = ref 0 in
+  (* span/timeline features imply tracing for that combo; the trace ring
+     is enlarged so early spans of a long run survive for attribution
+     (span stats and the timeline are online and never lossy; only the
+     raw marks for --explain-tail / --trace-out live in the ring) *)
+  let want_spans =
+    explain_tail > 0 || timeline <> None || trace_out <> None
+  in
+  let series_acc = ref [] in
   let results =
     List.concat_map
       (fun transform ->
         List.map
           (fun mix ->
             let c = config transform mix in
-            let tracer = if trace then Some (Obs.Tracer.create ()) else None in
+            let tracer =
+              if trace || want_spans then
+                let series =
+                  if timeline <> None then Some (Obs.Series.create ~window)
+                  else None
+                in
+                Some
+                  (Obs.Tracer.create
+                     ~capacity:
+                       (if want_spans then 1 lsl 20
+                        else Obs.Tracer.default_capacity)
+                     ?series ())
+              else None
+            in
             let t0 = Unix.gettimeofday () in
             let r = K.serve ?tracer ~jobs c in
             let seconds = Unix.gettimeofday () -. t0 in
             Option.iter
               (fun t ->
-                Obs.Report.merge ~into:merged_report (Obs.Tracer.report t))
+                Obs.Report.merge ~into:merged_report (Obs.Tracer.report t);
+                Option.iter
+                  (fun s -> series_acc := (transform, mix, s) :: !series_acc)
+                  (Obs.Tracer.series t))
               tracer;
-            if sig_only then print_endline (signature transform mix r)
-            else print_combo transform mix r;
+            let spans =
+              match tracer with
+              | Some tr when want_spans || sig_only ->
+                  Some (Obs.Span.assemble tr)
+              | _ -> None
+            in
+            if sig_only then print_endline (signature transform mix ?spans r)
+            else begin
+              print_combo transform mix r;
+              match spans with
+              | Some sp when explain_tail > 0 ->
+                  let attrib = Obs.Attrib.of_spans sp in
+                  Fmt.pr "  tail attribution (exact per-phase cycle totals; \
+                          dominant = heaviest phase over the p99 tail):@.";
+                  Fmt.pr "  @[<v>%a@]@." Obs.Attrib.pp attrib;
+                  List.iteri
+                    (fun i s ->
+                      Fmt.pr "  #%d %a@." (i + 1) Obs.Span.pp s)
+                    (Obs.Attrib.slowest attrib explain_tail)
+              | _ -> ()
+            end;
+            (match trace_out with
+            | Some file ->
+                Option.iter
+                  (fun tr ->
+                    Obs.Export.write tr file;
+                    Fmt.epr "wrote %s@." file)
+                  tracer
+            | None -> ());
             if check then begin
               let v = K.check ~jobs c in
               match v.Lincheck.Durable.skipped with
@@ -291,7 +353,24 @@ let run sessions ops rate theta keys mixes transforms shards servers machines
               (fun (t, m, r, s) -> combo_json t m r ~seconds:s)
               results));
       close_out oc;
-      Fmt.pr "wrote %s@." file);
+      Fmt.epr "wrote %s@." file);
+  (match timeline with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      Printf.fprintf oc
+        "{ \"label\": %S, \"seed\": %d, \"window\": %d, \"combos\": [\n%s\n] }\n"
+        label seed window
+        (String.concat ",\n"
+           (List.rev_map
+              (fun (t, m, s) ->
+                Printf.sprintf
+                  "  { \"transform\": %S, \"mix\": %S, \"series\": %s }"
+                  (Flit.Flit_intf.name t) (T.mix_name m)
+                  (Obs.Series.to_json s))
+              !series_acc));
+      close_out oc;
+      Fmt.epr "wrote %s@." file);
   (match append with
   | None -> ()
   | Some file ->
@@ -300,14 +379,23 @@ let run sessions ops rate theta keys mixes transforms shards servers machines
       let served_all =
         List.fold_left (fun a (_, _, r, _) -> a + total_served r) 0 results
       in
+      (* aggregate latency shape over every op type and combo;
+         schema-additive fields so older history lines parse unchanged *)
+      let lat_all = Obs.Hist.create () in
+      List.iter
+        (fun (_, _, r, _) ->
+          Array.iter (fun h -> Obs.Hist.merge ~into:lat_all h) r.K.latencies)
+        results;
       Printf.fprintf oc
         "{ \"label\": %S, \"seed\": %d, \"combos\": %d, \"replicas\": %d, \
-         \"storm\": %d, \"ops\": %d, \"availability\": %.4f, \"seconds\": \
+         \"storm\": %d, \"ops\": %d, \"availability\": %.4f, \"lat_n\": %d, \
+         \"lat_mean\": %.1f, \"lat_p50\": %d, \"lat_p99\": %d, \"seconds\": \
          %.3f }\n"
         label seed (List.length results) replicas storm served_all
         (if offered = 0 then 0.0
          else float_of_int served_all /. float_of_int offered)
-        total_seconds;
+        (Obs.Hist.count lat_all) (Obs.Hist.mean lat_all)
+        (Obs.Hist.p50 lat_all) (Obs.Hist.p99 lat_all) total_seconds;
       close_out oc);
   if !failures > 0 then 1 else 0
 
@@ -467,6 +555,44 @@ let label =
     value & opt string "run"
     & info [ "label" ] ~docv:"S" ~doc:"Label echoed into JSON output.")
 
+let explain_tail =
+  Arg.(
+    value & opt int 0
+    & info [ "explain-tail" ] ~docv:"N"
+        ~doc:
+          "Trace every request as a span and print the tail-latency \
+           attribution per op type (queue / service / replication / \
+           retry / failover-wait, exact cycle totals plus the dominant \
+           p99 phase), then the $(docv) slowest requests as annotated \
+           span trees.")
+
+let timeline =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeline" ] ~docv:"FILE"
+        ~doc:
+          "Write a windowed time-series JSON (per --window bucket: \
+           dispatches, completions by outcome, failovers, crashes, \
+           trusted-replica and in-flight gauges) per combo to $(docv).")
+
+let window =
+  Arg.(
+    value & opt int 2_000
+    & info [ "window" ] ~docv:"CYCLES"
+        ~doc:"Timeline bucket width in simulated cycles.")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the combo's Chrome/Perfetto trace JSON to $(docv), \
+           request spans nested as a synthetic \"requests\" process \
+           (sexp dump when $(docv) ends in .sexp).  Needs exactly one \
+           transform x mix combo.")
+
 let cmd =
   Cmd.v
     (Cmd.info "cxl0-kv"
@@ -476,6 +602,6 @@ let cmd =
       const run $ sessions $ ops $ rate $ theta $ keys $ mix $ transform
       $ shards $ servers $ machines $ replicas $ deadline $ storm $ jobs
       $ seed $ crash $ faults $ check $ sig_only $ trace $ json $ append
-      $ label)
+      $ label $ explain_tail $ timeline $ window $ trace_out)
 
 let () = exit (Cmd.eval' cmd)

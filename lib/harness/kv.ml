@@ -29,6 +29,22 @@ type shard = {
           stolen when the holder's machine has crashed since *)
   mutable down_since : int;    (** cycle the acting replica went dark; -1 = healthy *)
   mutable unavail_since : int; (** open unavailability window start; -1 = none *)
+  mutable last_trusted : int;
+      (** trusted-replica count last published to the tracer's Trust
+          gauge; only maintained when traced *)
+}
+
+(* Per-request span bookkeeping for one serving fibre: identity of the
+   request it is currently serving plus cumulative wait counters.  The
+   counters ride on every emitted phase mark, so span assembly can
+   attribute waiting time exactly without per-poll events.  Only
+   written when a tracer is attached. *)
+type span_state = {
+  s_session : int;
+  s_seq : int;
+  s_op : int;                     (** serving op index, {!op_index} *)
+  mutable s_wait_lock : int;      (** cycles spent waiting on shard locks *)
+  mutable s_wait_degraded : int;  (** cycles waiting out failovers/resyncs *)
 }
 
 type t = {
@@ -39,6 +55,11 @@ type t = {
   mutable failovers : int;
   mutable rejoins : int;
   mutable timed_out : int; (** requests that exhausted their deadline *)
+  spans : (int, span_state) Hashtbl.t;
+      (** tid -> in-flight request span; populated by the serving engine
+          only when traced (empty otherwise — never touched untraced) *)
+  mutable trusted_total : int;
+      (** Trust-gauge value across all shards; maintained when traced *)
 }
 
 let create ctx ?(pflag = true) ?(shards = 4) ?buckets ?(replicas = 1)
@@ -52,7 +73,7 @@ let create ctx ?(pflag = true) ?(shards = 4) ?buckets ?(replicas = 1)
   if failover_timeout <= 0 then
     invalid_arg "Kv.create: failover_timeout must be positive";
   let sched = ctx.Runtime.Sched.sched in
-  {
+  let t = {
     shards =
       Array.init shards (fun i ->
           {
@@ -75,6 +96,7 @@ let create ctx ?(pflag = true) ?(shards = 4) ?buckets ?(replicas = 1)
             lock = None;
             down_since = -1;
             unavail_since = -1;
+            last_trusted = replicas;
           });
     replicas;
     deadline;
@@ -82,7 +104,22 @@ let create ctx ?(pflag = true) ?(shards = 4) ?buckets ?(replicas = 1)
     failovers = 0;
     rejoins = 0;
     timed_out = 0;
+    spans = Hashtbl.create 16;
+    trusted_total = shards * replicas;
   }
+  in
+  (* publish the Trust-gauge baseline so a timeline starts at full
+     replication factor instead of "unknown" *)
+  (match Fabric.tracer ctx.Runtime.Sched.fab with
+  | Some tr when replicas > 1 ->
+      Obs.Tracer.emit tr
+        (Obs.Event.Trust
+           {
+             trusted = t.trusted_total;
+             cycle = Fabric.cycles ctx.Runtime.Sched.fab;
+           })
+  | _ -> ());
+  t
 
 let n_shards t = Array.length t.shards
 let n_replicas t = t.replicas
@@ -116,6 +153,66 @@ let emit ctx ev =
   | None -> ()
   | Some tr -> Obs.Tracer.emit tr ev
 
+(* ------------------------------------------------------------------ *)
+(* Span instrumentation (all zero-cost when no tracer is attached:     *)
+(* every entry point is a direct match on the tracer option)           *)
+(* ------------------------------------------------------------------ *)
+
+(* The span state of the fibre's in-flight request, if the serving
+   engine registered one (preload puts and direct Kv calls have none). *)
+let span_st t ctx =
+  match Fabric.tracer ctx.Runtime.Sched.fab with
+  | None -> None
+  | Some _ -> Hashtbl.find_opt t.spans ctx.Runtime.Sched.tid
+
+let fibre_retry ctx =
+  Runtime.Sched.retry_cycles ctx.Runtime.Sched.sched ctx.Runtime.Sched.tid
+
+(* Emit a phase mark for the fibre's in-flight request (no-op without a
+   tracer or span state).  [t0] is the arrival stamp, only meaningful on
+   [P_dispatch]. *)
+let mark ctx st phase ~replica ?(t0 = -1) () =
+  match Fabric.tracer ctx.Runtime.Sched.fab with
+  | None -> ()
+  | Some tr -> (
+      match st with
+      | None -> ()
+      | Some s ->
+          Obs.Tracer.emit tr
+            (Obs.Event.Mark
+               {
+                 session = s.s_session;
+                 seq = s.s_seq;
+                 op = s.s_op;
+                 phase;
+                 replica;
+                 t0;
+                 wait_lock = s.s_wait_lock;
+                 wait_degraded = s.s_wait_degraded;
+                 retry = fibre_retry ctx;
+                 cycle = now ctx;
+               }))
+
+let count_trusted ctx sh =
+  Array.fold_left (fun a rep -> if trusted ctx sh rep then a + 1 else a) 0
+    sh.reps
+
+(* Publish the trusted-replica gauge when a shard's count changed.
+   Traced-only, like all span machinery. *)
+let note_trust t ctx sh =
+  match Fabric.tracer ctx.Runtime.Sched.fab with
+  | None -> ()
+  | Some tr ->
+      if t.replicas > 1 then begin
+        let c = count_trusted ctx sh in
+        if c <> sh.last_trusted then begin
+          t.trusted_total <- t.trusted_total + c - sh.last_trusted;
+          sh.last_trusted <- c;
+          Obs.Tracer.emit tr
+            (Obs.Event.Trust { trusted = t.trusted_total; cycle = now ctx })
+        end
+      end
+
 let log_push sh k =
   if sh.log_len = Array.length sh.log then begin
     let bigger = Array.make (2 * Array.length sh.log) 0 in
@@ -134,6 +231,21 @@ let poll_wait ctx =
   let before = now ctx in
   Runtime.Sched.yield ctx;
   if now ctx = before then Fabric.charge ctx.Runtime.Sched.fab heartbeat
+
+(* A poll step that books its elapsed time onto the request's span (lock
+   waits count as queueing; degraded waits as failover-wait).  The
+   elapsed window includes cycles charged by other fibres during the
+   yield — correctly so: that is real time this request spent waiting. *)
+let timed_poll ctx st kind =
+  match st with
+  | None -> poll_wait ctx
+  | Some s ->
+      let t0 = now ctx in
+      poll_wait ctx;
+      let d = now ctx - t0 in
+      (match kind with
+      | `Lock -> s.s_wait_lock <- s.s_wait_lock + d
+      | `Degraded -> s.s_wait_degraded <- s.s_wait_degraded + d)
 
 (* The per-request deadline is accounted in *waiting polls* (each worth
    one heartbeat of the cycle budget), not in wall cycles: the open-loop
@@ -196,12 +308,15 @@ let step_failover t ctx i sh =
         sh.down_since <- -1
       end
     end
-  end
+  end;
+  (* keep the trusted-replica gauge current: this runs at the top of
+     every replicated op, so crashes show up on the timeline promptly *)
+  note_trust t ctx sh
 
 (* Acquire the shard write lock, stealing it when the holder's machine
    has crashed since acquiring (the holder fibre died without
    unwinding).  [polls] is the request's remaining waiting budget. *)
-let rec lock_shard ctx sh ~polls =
+let rec lock_shard ctx sh ~polls ~st =
   let me = ctx.Runtime.Sched.machine in
   match sh.lock with
   | None -> sh.lock <- Some (me, epoch ctx me)
@@ -209,8 +324,8 @@ let rec lock_shard ctx sh ~polls =
   | Some _ ->
       if !polls <= 0 then raise Unavailable;
       decr polls;
-      poll_wait ctx;
-      lock_shard ctx sh ~polls
+      timed_poll ctx st `Lock;
+      lock_shard ctx sh ~polls ~st
 
 (* Heal every non-trusted, up replica from a trusted peer: replay the
    write log (each key once, newest first) reading the authoritative
@@ -284,14 +399,29 @@ let apply_op op map ctx =
    everywhere, so promotion can never un-publish an observed value. *)
 let replicated_write t ctx i sh op =
   let polls = ref (patience t) in
+  let st = span_st t ctx in
+  (* resync time books as failover-wait, minus any retry backoff charged
+     inside it (retry cycles are attributed separately via the fibre's
+     cumulative counter; double-booking would break the exact-sum
+     invariant of span components) *)
+  let timed_resync () =
+    match st with
+    | None -> resync t ctx i sh
+    | Some s ->
+        let r0 = fibre_retry ctx in
+        let t0 = now ctx in
+        resync t ctx i sh;
+        s.s_wait_degraded <-
+          s.s_wait_degraded + (now ctx - t0) - (fibre_retry ctx - r0)
+  in
   let rec attempt () =
     step_failover t ctx i sh;
-    lock_shard ctx sh ~polls;
+    lock_shard ctx sh ~polls ~st;
     let decision =
       Fun.protect
         ~finally:(fun () -> sh.lock <- None)
         (fun () ->
-          resync t ctx i sh;
+          timed_resync ();
           if not (Array.for_all (fun rep -> trusted ctx sh rep) sh.reps) then
             `Retry
           else begin
@@ -307,7 +437,11 @@ let replicated_write t ctx i sh op =
               match apply_op op rep.map ctx with
               | v ->
                   rep.watermark <- sh.log_len;
-                  if j = acting then ret := v
+                  if j = acting then ret := v;
+                  mark ctx st
+                    (if j = acting then Obs.Event.P_apply_acting
+                     else Obs.Event.P_apply_backup)
+                    ~replica:j ()
               | exception Runtime.Ops.Fault f ->
                   (* the replica's state for this key is now uncertain:
                      its watermark stays behind, distrusting it until a
@@ -341,6 +475,7 @@ let replicated_write t ctx i sh op =
                 else `Ack !ret
           end)
     in
+    note_trust t ctx sh;
     match decision with
     | `Ack v -> v
     | `Fault f -> raise (Runtime.Ops.Fault f)
@@ -350,7 +485,7 @@ let replicated_write t ctx i sh op =
           raise Unavailable
         end;
         decr polls;
-        poll_wait ctx;
+        timed_poll ctx st `Degraded;
         attempt ()
   in
   attempt ()
@@ -363,6 +498,7 @@ let replicated_write t ctx i sh op =
    every backup). *)
 let replicated_read t ctx i sh k =
   let polls = ref (patience t) in
+  let st = span_st t ctx in
   let rec attempt () =
     step_failover t ctx i sh;
     let rep = sh.reps.(sh.acting) in
@@ -379,7 +515,7 @@ let replicated_read t ctx i sh k =
       raise Unavailable
     end;
     decr polls;
-    poll_wait ctx;
+    timed_poll ctx st `Degraded;
     attempt ()
   in
   attempt ()
@@ -400,7 +536,7 @@ let heal t ctx =
         in
         if needs then begin
           let polls = ref (patience t) in
-          match lock_shard ctx sh ~polls with
+          match lock_shard ctx sh ~polls ~st:None with
           | () ->
               Fun.protect
                 ~finally:(fun () -> sh.lock <- None)
@@ -571,18 +707,45 @@ let serve ?tracer ?jobs (c : serve_config) : serve_result =
     let op, args = map_op r in
     record (Lincheck.History.Inv { tid = ctx.Runtime.Sched.tid; op; args });
     let oi = op_index r.Traffic.op in
+    let tid = ctx.Runtime.Sched.tid in
+    (* span open: register the request on this fibre and emit the
+       dispatch mark (which carries the arrival stamp — marks ride the
+       tracer's nondecreasing cycle stream, so arrival cannot be its own
+       event).  Zero work when untraced. *)
+    (match tracer with
+    | None -> ()
+    | Some _ ->
+        Hashtbl.replace kv.spans tid
+          {
+            s_session = r.Traffic.session;
+            s_seq = r.Traffic.seq;
+            s_op = oi;
+            s_wait_lock = 0;
+            s_wait_degraded = 0;
+          };
+        mark ctx (span_st kv ctx) Obs.Event.P_dispatch ~replica:(-1)
+          ~t0:r.Traffic.arrival ());
+    let close phase =
+      match tracer with
+      | None -> ()
+      | Some _ ->
+          mark ctx (span_st kv ctx) phase ~replica:(-1) ();
+          Hashtbl.remove kv.spans tid
+    in
     match dispatch kv ctx op args with
     | ret ->
         record
           (Lincheck.History.Res
              { tid = ctx.Runtime.Sched.tid; ret = Lincheck.History.Ret ret });
         served.(oi) <- served.(oi) + 1;
-        Obs.Hist.add latencies.(oi) (Fabric.cycles fab - r.Traffic.arrival)
+        Obs.Hist.add latencies.(oi) (Fabric.cycles fab - r.Traffic.arrival);
+        close Obs.Event.P_ack
     | exception Runtime.Ops.Fault _ ->
         record
           (Lincheck.History.Res
              { tid = ctx.Runtime.Sched.tid; ret = Lincheck.History.Faulted });
-        incr faulted
+        incr faulted;
+        close Obs.Event.P_fault
     | exception Unavailable ->
         (* deadline exhausted against a dead shard: the op is pending
            (it may or may not have reached a backup), which is exactly
@@ -590,7 +753,8 @@ let serve ?tracer ?jobs (c : serve_config) : serve_result =
         record
           (Lincheck.History.Res
              { tid = ctx.Runtime.Sched.tid; ret = Lincheck.History.Faulted });
-        incr req_timed_out
+        incr req_timed_out;
+        close Obs.Event.P_timeout
   in
   let server kv ctx =
     let rec loop stalls last_seen =

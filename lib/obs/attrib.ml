@@ -1,0 +1,131 @@
+(** Tail-latency attribution: per-op-type decomposition of end-to-end
+    latency into {!Span.component} histograms, plus the p99 critical
+    path.
+
+    Built from assembled spans ({!Span.assemble}); incomplete spans are
+    excluded (their latency is not defined) but counted.  The component
+    histograms share the bucketing of {!Hist}, so the usual caveat
+    applies to percentiles (bucket maxima); the *exact* totals are kept
+    alongside, and per-span the components sum exactly to end-to-end
+    latency ({!Span.components}).
+
+    The "p99 tail" of an op type is its ceil(n/100) slowest spans (ties
+    broken by session then seq, so the set is deterministic); the
+    dominant component is the one with the most cycles summed over that
+    tail — the phase to attack to move p99. *)
+
+type per_op = {
+  e2e : Hist.t;                (** end-to-end latency *)
+  comp : Hist.t array;         (** per-component, by {!Span.component_index} *)
+  totals : int array;          (** exact per-component cycle totals *)
+  mutable spans : Span.t list; (** complete spans, accumulation order *)
+}
+
+type t = {
+  ops : per_op array;          (** indexed by op type, 0..n_ops-1 *)
+  mutable incomplete : int;    (** spans excluded for missing a terminal *)
+}
+
+let n_ops = 3 (* read / update / insert — Span.op_name *)
+
+let fresh_op () =
+  {
+    e2e = Hist.create ();
+    comp = Array.init Span.n_components (fun _ -> Hist.create ());
+    totals = Array.make Span.n_components 0;
+    spans = [];
+  }
+
+let of_spans spans =
+  let t = { ops = Array.init n_ops (fun _ -> fresh_op ()); incomplete = 0 } in
+  List.iter
+    (fun s ->
+      if not (Span.complete s) then t.incomplete <- t.incomplete + 1
+      else if s.Span.op >= 0 && s.Span.op < n_ops then begin
+        let o = t.ops.(s.Span.op) in
+        Hist.add o.e2e (Span.latency s);
+        let c = Span.components s in
+        Array.iteri
+          (fun i v ->
+            if v > 0 then Hist.add o.comp.(i) v;
+            o.totals.(i) <- o.totals.(i) + v)
+          c;
+        o.spans <- s :: o.spans
+      end)
+    spans;
+  t
+
+let e2e t ~op = t.ops.(op).e2e
+let component t ~op c = t.ops.(op).comp.(Span.component_index c)
+let totals t ~op = Array.copy t.ops.(op).totals
+let incomplete t = t.incomplete
+
+(* Slowest first; deterministic tie-break. *)
+let by_latency a b =
+  let la = Span.latency a and lb = Span.latency b in
+  if la <> lb then compare lb la
+  else if a.Span.session <> b.Span.session then
+    compare a.Span.session b.Span.session
+  else compare a.Span.seq b.Span.seq
+
+(** [tail t ~op] — the op's p99 tail: its ceil(n/100) slowest complete
+    spans, slowest first. *)
+let tail t ~op =
+  let o = t.ops.(op) in
+  let n = List.length o.spans in
+  if n = 0 then []
+  else
+    let k = (n + 99) / 100 in
+    List.filteri (fun i _ -> i < k) (List.sort by_latency o.spans)
+
+(** [dominant t ~op] — [(component, cycles, tail_size)]: the component
+    with the most cycles across the op's p99 tail (ties go to the
+    earlier component in {!Span.all_components} order), or [None] if the
+    op served nothing. *)
+let dominant t ~op =
+  match tail t ~op with
+  | [] -> None
+  | spans ->
+      let sums = Array.make Span.n_components 0 in
+      List.iter
+        (fun s ->
+          Array.iteri
+            (fun i v -> sums.(i) <- sums.(i) + v)
+            (Span.components s))
+        spans;
+      let best = ref Span.Queue in
+      List.iter
+        (fun c ->
+          if sums.(Span.component_index c) > sums.(Span.component_index !best)
+          then best := c)
+        Span.all_components;
+      Some (!best, sums.(Span.component_index !best), List.length spans)
+
+(** [slowest t n] — the [n] slowest complete spans across all op types,
+    slowest first (the [--explain-tail N] set). *)
+let slowest t n =
+  Array.to_list t.ops
+  |> List.concat_map (fun o -> o.spans)
+  |> List.sort by_latency
+  |> List.filteri (fun i _ -> i < n)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  Fmt.pf ppf "%-8s %6s %9s %9s | %9s %9s %9s %9s %9s | %s@," "op" "n" "mean"
+    "p99" "queue" "service" "replic" "retry" "failover" "p99-dominant";
+  for op = 0 to n_ops - 1 do
+    let o = t.ops.(op) in
+    if Hist.count o.e2e > 0 then begin
+      Fmt.pf ppf "%-8s %6d %9.1f %9d |" (Span.op_name op) (Hist.count o.e2e)
+        (Hist.mean o.e2e) (Hist.p99 o.e2e);
+      Array.iter (fun v -> Fmt.pf ppf " %9d" v) o.totals;
+      match dominant t ~op with
+      | None -> Fmt.pf ppf " | -@,"
+      | Some (c, cycles, k) ->
+          Fmt.pf ppf " | %s (%d cycles over %d spans)@,"
+            (Span.component_name c) cycles k
+    end
+  done;
+  if t.incomplete > 0 then
+    Fmt.pf ppf "incomplete spans (no terminal mark): %d@," t.incomplete;
+  Fmt.pf ppf "@]"

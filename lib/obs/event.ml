@@ -55,6 +55,27 @@ let all_prims =
   [ Load; Lstore; Rstore; Mstore; Lflush; Rflush; Faa; Cas; Meta_faa;
     Meta_read ]
 
+(** Request-lifecycle phase marks for the serving stack (see
+    {!Span}): every mark names the point a request just passed.
+    Waiting time is not marked pointwise — the cumulative
+    [wait_lock]/[wait_degraded]/[retry] counters ride on every mark, so
+    a span needs only a handful of events however long it waited. *)
+type span_phase =
+  | P_dispatch      (** a server claimed the request; [t0] = arrival stamp *)
+  | P_apply_backup  (** backup replica [replica] applied the write *)
+  | P_apply_acting  (** the acting replica applied the write *)
+  | P_ack           (** terminal: the request completed successfully *)
+  | P_timeout       (** terminal: deadline exhausted ([Kv.Unavailable]) *)
+  | P_fault         (** terminal: a RAS fault surfaced past the retry policy *)
+
+let span_phase_name = function
+  | P_dispatch -> "dispatch"
+  | P_apply_backup -> "apply-backup"
+  | P_apply_acting -> "apply-acting"
+  | P_ack -> "ack"
+  | P_timeout -> "timeout"
+  | P_fault -> "fault"
+
 type evict_kind =
   | Horizontal  (** line moved to the owner's cache *)
   | Vertical    (** owner wrote the line back to physical memory *)
@@ -110,6 +131,20 @@ type t =
   | Unavail of { shard : int; cycles : int; cycle : int }
       (** shard [shard] came back after [cycles] simulated cycles during
           which no trusted primary could answer for it *)
+  | Mark of {
+      session : int;        (** request identity: generating session… *)
+      seq : int;            (** …and sequence number within it *)
+      op : int;             (** serving op index (0 read, 1 update, 2 insert) *)
+      phase : span_phase;
+      replica : int;        (** replica index for apply phases; [-1] otherwise *)
+      t0 : int;             (** arrival stamp on [P_dispatch]; [-1] otherwise *)
+      wait_lock : int;      (** cumulative cycles spent waiting on shard locks *)
+      wait_degraded : int;  (** cumulative cycles waiting out failovers/resyncs *)
+      retry : int;          (** cumulative retry-backoff cycles for this fibre *)
+      cycle : int;
+    }  (** a request passed lifecycle phase [phase] (see {!Span}) *)
+  | Trust of { trusted : int; cycle : int }
+      (** the total trusted-replica count across all shards changed *)
 
 (** [cycle e] — the simulated cycle at which [e] was recorded (for a
     primitive, its completion time); nondecreasing in emission order. *)
@@ -125,7 +160,9 @@ let cycle = function
   | Switch { cycle; _ }
   | Failover { cycle; _ }
   | Rejoin { cycle; _ }
-  | Unavail { cycle; _ } -> cycle
+  | Unavail { cycle; _ }
+  | Mark { cycle; _ }
+  | Trust { cycle; _ } -> cycle
 
 (* The compact sexp rendering (one event per line in the sexp dump). *)
 let pp ppf = function
@@ -160,3 +197,12 @@ let pp ppf = function
       Fmt.pf ppf "(rejoin (shard %d) (m %d) (at %d))" shard machine cycle
   | Unavail { shard; cycles; cycle } ->
       Fmt.pf ppf "(unavail (shard %d) (cycles %d) (at %d))" shard cycles cycle
+  | Mark { session; seq; op; phase; replica; t0; wait_lock; wait_degraded;
+           retry; cycle } ->
+      Fmt.pf ppf
+        "(mark %s (s %d) (q %d) (op %d) (rep %d) (t0 %d) (wl %d) (wd %d) \
+         (rt %d) (at %d))"
+        (span_phase_name phase) session seq op replica t0 wait_lock
+        wait_degraded retry cycle
+  | Trust { trusted; cycle } ->
+      Fmt.pf ppf "(trust (n %d) (at %d))" trusted cycle

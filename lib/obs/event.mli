@@ -40,6 +40,20 @@ type fault_kind =
 
 val fault_kind_name : fault_kind -> string
 
+(** Request-lifecycle phase marks for the serving stack (assembled into
+    spans by {!Span}).  Waiting time is never marked pointwise: the
+    cumulative [wait_lock]/[wait_degraded]/[retry] counters ride on every
+    mark, so a span costs a handful of events however long it waited. *)
+type span_phase =
+  | P_dispatch      (** a server claimed the request; [t0] = arrival stamp *)
+  | P_apply_backup  (** backup replica [replica] applied the write *)
+  | P_apply_acting  (** the acting replica applied the write *)
+  | P_ack           (** terminal: the request completed successfully *)
+  | P_timeout       (** terminal: deadline exhausted ([Kv.Unavailable]) *)
+  | P_fault         (** terminal: a RAS fault surfaced past the retry policy *)
+
+val span_phase_name : span_phase -> string
+
 (** One runtime event.  [machine]/[to_machine]/[loc] are [-1] when not
     applicable. *)
 type t =
@@ -71,6 +85,20 @@ type t =
   | Unavail of { shard : int; cycles : int; cycle : int }
       (** shard [shard] came back after [cycles] cycles with no trusted
           primary *)
+  | Mark of {
+      session : int;        (** request identity: generating session… *)
+      seq : int;            (** …and sequence number within it *)
+      op : int;             (** serving op index (0 read, 1 update, 2 insert) *)
+      phase : span_phase;
+      replica : int;        (** replica index for apply phases; [-1] otherwise *)
+      t0 : int;             (** arrival stamp on [P_dispatch]; [-1] otherwise *)
+      wait_lock : int;      (** cumulative cycles spent waiting on shard locks *)
+      wait_degraded : int;  (** cumulative cycles waiting out failovers/resyncs *)
+      retry : int;          (** cumulative retry-backoff cycles for this fibre *)
+      cycle : int;
+    }  (** a request passed lifecycle phase [phase] (see {!Span}) *)
+  | Trust of { trusted : int; cycle : int }
+      (** the total trusted-replica count across all shards changed *)
 
 val cycle : t -> int
 (** The simulated cycle at which the event was recorded (a primitive's

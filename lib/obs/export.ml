@@ -15,10 +15,18 @@
     Thread attribution uses the cooperative-execution invariant: exactly
     one thread runs between two [Switch] events, so every event belongs
     to the most recently switched-in thread.  Exporting is a pure
-    function of the event sequence — deterministic in the run's seed. *)
+    function of the event sequence — deterministic in the run's seed.
+
+    Request spans ({!Span}, assembled from [Mark] events) render as a
+    separate synthetic "requests" process (pid 100 — machine pids top
+    out at 63), one thread per traffic session: each request is a
+    complete slice from arrival to completion with its per-segment
+    children nested inside, so the queue/replication/failover anatomy of
+    a slow request is visible directly on the timeline. *)
 
 let pid_of_machine m = m + 1 (* machine -1 (no machine) -> pid 0, "fabric" *)
 let tid_of_thread tid = tid + 1 (* thread -1 (no thread) -> tid 0 *)
+let requests_pid = 100 (* synthetic process hosting request spans *)
 
 let process_name pid = if pid = 0 then "fabric" else Printf.sprintf "M%d" pid
 let thread_name tid = if tid = 0 then "(fabric)" else Printf.sprintf "t%d" (tid - 1)
@@ -83,8 +91,13 @@ let to_chrome_json tracer =
       | Event.Restart { machine; _ }
       | Event.Rejoin { machine; _ } -> see machine
       | Event.Failover { to_machine; _ } -> see to_machine
-      | Event.Unavail _ -> see (-1))
+      | Event.Unavail _ | Event.Trust _ -> see (-1)
+      | Event.Mark _ -> ())
     tracer;
+  let spans = Span.assemble tracer in
+  let sessions =
+    List.fold_left (fun s sp -> Iset.add sp.Span.session s) Iset.empty spans
+  in
   (* Pass 2: render. *)
   let buf = Buffer.create 4096 in
   let first = ref true in
@@ -96,6 +109,15 @@ let to_chrome_json tracer =
     (fun (pid, tid) ->
       meta buf ~first ~name:"thread_name" ~pid ~tid ~value:(thread_name tid) ())
     !pairs;
+  if not (Iset.is_empty sessions) then begin
+    meta buf ~first ~name:"process_name" ~pid:requests_pid ~value:"requests" ();
+    Iset.iter
+      (fun s ->
+        meta buf ~first ~name:"thread_name" ~pid:requests_pid ~tid:(s + 1)
+          ~value:(Printf.sprintf "session %d" s)
+          ())
+      sessions
+  end;
   let cur = ref (-1) in
   Tracer.iter
     (fun e ->
@@ -167,8 +189,67 @@ let to_chrome_json tracer =
             ~name:(Printf.sprintf "unavail-shard%d" shard)
             ~ph:"X" ~pid:0 ~tid ~ts:(cycle - cycles) ~dur:cycles
             ~args:(Printf.sprintf "\"shard\":%d" shard)
-            ())
+            ()
+      | Event.Trust { trusted; cycle } ->
+          obj buf ~first ~name:"trusted-replicas" ~ph:"C" ~pid:0 ~tid ~ts:cycle
+            ~args:(Printf.sprintf "\"value\":%d" trusted)
+            ()
+      | Event.Mark _ -> () (* rendered below as nested span slices *))
     tracer;
+  (* Request spans: one complete slice per request, its per-segment
+     children nested inside by ts/dur containment. *)
+  List.iter
+    (fun sp ->
+      let tid = sp.Span.session + 1 in
+      let comp = Span.components sp in
+      let dur = Span.completion sp - sp.Span.arrival in
+      let comp_args =
+        String.concat ","
+          (List.map
+             (fun c ->
+               Printf.sprintf "\"%s\":%d" (Span.component_name c)
+                 comp.(Span.component_index c))
+             Span.all_components)
+      in
+      obj buf ~first
+        ~name:(Span.op_name sp.Span.op)
+        ~ph:"X" ~pid:requests_pid ~tid ~ts:sp.Span.arrival ~dur
+        ~args:
+          (Printf.sprintf "\"seq\":%d,\"outcome\":\"%s\",%s" sp.Span.seq
+             (Span.outcome_name (Span.outcome sp))
+             comp_args)
+        ();
+      match sp.Span.marks with
+      | [] -> ()
+      | dispatch :: rest ->
+          if dispatch.Span.cycle > sp.Span.arrival then
+            obj buf ~first ~name:"queue" ~ph:"X" ~pid:requests_pid ~tid
+              ~ts:sp.Span.arrival
+              ~dur:(dispatch.Span.cycle - sp.Span.arrival)
+              ();
+          let prev = ref dispatch in
+          List.iter
+            (fun (m : Span.mark) ->
+              let name =
+                if m.Span.replica >= 0 then
+                  Printf.sprintf "%s-r%d"
+                    (Event.span_phase_name m.Span.phase)
+                    m.Span.replica
+                else Event.span_phase_name m.Span.phase
+              in
+              obj buf ~first ~name ~ph:"X" ~pid:requests_pid ~tid
+                ~ts:!prev.Span.cycle
+                ~dur:(m.Span.cycle - !prev.Span.cycle)
+                ~args:
+                  (Printf.sprintf
+                     "\"lock_wait\":%d,\"failover_wait\":%d,\"retry\":%d"
+                     (m.Span.wait_lock - !prev.Span.wait_lock)
+                     (m.Span.wait_degraded - !prev.Span.wait_degraded)
+                     (m.Span.retry - !prev.Span.retry))
+                ();
+              prev := m)
+            rest)
+    spans;
   Buffer.add_string buf
     (Printf.sprintf
        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"events\":%d,\"dropped\":%d}}\n"

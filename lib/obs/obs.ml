@@ -14,3 +14,6 @@ module Tracer = Tracer
 module Hist = Hist
 module Report = Report
 module Export = Export
+module Span = Span
+module Attrib = Attrib
+module Series = Series

@@ -18,6 +18,9 @@ type t = {
   mutable failovers : int;       (** KV shard promotions/re-demotions *)
   mutable rejoins : int;         (** stale replicas re-synced *)
   unavail : Hist.t;  (** lengths of shard unavailability windows, cycles *)
+  mutable dropped : int;
+      (** events overwritten by the tracer's ring wrap — the summary
+          table above still covers them, the raw events are gone *)
 }
 
 let create () =
@@ -29,6 +32,7 @@ let create () =
     failovers = 0;
     rejoins = 0;
     unavail = Hist.create ();
+    dropped = 0;
   }
 
 let clear t =
@@ -38,7 +42,8 @@ let clear t =
   Hashtbl.reset t.line_ops;
   t.failovers <- 0;
   t.rejoins <- 0;
-  Hist.clear t.unavail
+  Hist.clear t.unavail;
+  t.dropped <- 0
 
 let observe t ~prim ~machine ~loc ~cycles =
   Hist.add t.hists.(Event.prim_index prim) cycles;
@@ -53,10 +58,12 @@ let observe t ~prim ~machine ~loc ~cycles =
 let observe_failover t = t.failovers <- t.failovers + 1
 let observe_rejoin t = t.rejoins <- t.rejoins + 1
 let observe_unavail t ~cycles = Hist.add t.unavail cycles
+let observe_dropped t = t.dropped <- t.dropped + 1
 
 let failovers t = t.failovers
 let rejoins t = t.rejoins
 let unavail t = t.unavail
+let dropped t = t.dropped
 
 (** [merge ~into src] — fold [src] into [into]: per-primitive histograms
     merge bucket-exactly ({!Hist.merge}), machine counters add, line
@@ -76,7 +83,8 @@ let merge ~into src =
     src.line_ops;
   into.failovers <- into.failovers + src.failovers;
   into.rejoins <- into.rejoins + src.rejoins;
-  Hist.merge ~into:into.unavail src.unavail
+  Hist.merge ~into:into.unavail src.unavail;
+  into.dropped <- into.dropped + src.dropped
 
 let hist t prim = t.hists.(Event.prim_index prim)
 
@@ -124,4 +132,6 @@ let pp ppf t =
     Fmt.pf ppf "unavailability windows: %d (p50=%d p99=%d max=%d cycles)@,"
       (Hist.count t.unavail) (Hist.p50 t.unavail) (Hist.p99 t.unavail)
       (Hist.max_value t.unavail);
+  if t.dropped > 0 then
+    Fmt.pf ppf "events dropped (ring wrapped): %d@," t.dropped;
   Fmt.pf ppf "@]"

@@ -18,8 +18,16 @@ val observe_unavail : t -> cycles:int -> unit
     replica re-sync / a completed unavailability window).  Called by
     {!Tracer.emit} on the corresponding {!Event.t} variants. *)
 
+val observe_dropped : t -> unit
+(** Record one event overwritten by the tracer's ring wrap.  Called by
+    {!Tracer.emit}; the aggregate tables above still cover the
+    overwritten event, only its raw record is gone. *)
+
 val failovers : t -> int
 val rejoins : t -> int
+
+val dropped : t -> int
+(** Events lost to ring wrap; printed in trace summaries when nonzero. *)
 
 val unavail : t -> Hist.t
 (** Lengths (simulated cycles) of completed shard unavailability

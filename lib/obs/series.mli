@@ -1,0 +1,48 @@
+(** Windowed time-series telemetry over simulated cycles.
+
+    Buckets the (cycle-nondecreasing) event stream into fixed-width
+    windows and keeps per-window counters plus end-of-window gauges, so
+    a chaos storm renders as an availability/failover timeline instead
+    of one averaged number.  Attach with [Tracer.create ~series] to feed
+    it online — it then sees every event even after the ring wraps, and
+    is deterministic in the seed like any other trace artefact. *)
+
+type row = {
+  index : int;            (** covers cycles [index*window, (index+1)*window) *)
+  mutable dispatches : int;    (** requests claimed by a server *)
+  mutable acked : int;         (** requests completed successfully *)
+  mutable timed_out : int;     (** requests that exhausted their deadline *)
+  mutable faulted : int;       (** requests aborted by a surfaced fault *)
+  mutable failovers : int;
+  mutable rejoins : int;
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable unavail_cycles : int;
+      (** outage lengths, attributed to the window where the outage ended *)
+  mutable inflight : int;      (** in-flight depth at window close *)
+  mutable trusted : int;       (** trusted-replica gauge at window close;
+                                   [-1] before the first {!Event.Trust} *)
+}
+
+type t
+
+val create : window:int -> t
+(** Raises [Invalid_argument] if [window < 1]. *)
+
+val window : t -> int
+
+val observe : t -> Event.t -> unit
+(** Feed one event.  Events must arrive with nondecreasing
+    {!Event.cycle} (the tracer contract); crossing a window boundary
+    closes the open window and any empty gap windows in between. *)
+
+val rows : t -> row list
+(** All windows, oldest first, the still-open window last with live
+    gauges captured.  Empty gap windows are included: idle time is part
+    of the timeline. *)
+
+val n_windows : t -> int
+val clear : t -> unit
+
+val to_json : t -> string
+(** [{ "window": W, "rows": [ { "w":..., "dispatches":..., ... } ] }] *)

@@ -21,6 +21,9 @@ type t = {
   mutable len : int;      (** retained events, <= [cap] *)
   mutable dropped : int;  (** events overwritten after wrap *)
   report : Report.t;
+  series : Series.t option;
+      (** optional windowed time-series, fed on every emit — like the
+          report, it survives ring wrap because it is online *)
 }
 
 let default_capacity = 1 lsl 16
@@ -28,7 +31,7 @@ let default_capacity = 1 lsl 16
 (* Any event works as the array filler; [len] guards all reads. *)
 let filler = Event.Switch { step = 0; tid = -1; machine = -1; cycle = 0 }
 
-let create ?(capacity = default_capacity) () =
+let create ?(capacity = default_capacity) ?series () =
   if capacity < 1 then invalid_arg "Obs.Tracer.create: capacity < 1";
   {
     buf = Array.make capacity filler;
@@ -37,6 +40,7 @@ let create ?(capacity = default_capacity) () =
     len = 0;
     dropped = 0;
     report = Report.create ();
+    series;
   }
 
 let emit t e =
@@ -47,6 +51,7 @@ let emit t e =
   | Event.Rejoin _ -> Report.observe_rejoin t.report
   | Event.Unavail { cycles; _ } -> Report.observe_unavail t.report ~cycles
   | _ -> ());
+  (match t.series with None -> () | Some s -> Series.observe s e);
   if t.len < t.cap then begin
     t.buf.((t.start + t.len) mod t.cap) <- e;
     t.len <- t.len + 1
@@ -54,7 +59,8 @@ let emit t e =
   else begin
     t.buf.(t.start) <- e;
     t.start <- (t.start + 1) mod t.cap;
-    t.dropped <- t.dropped + 1
+    t.dropped <- t.dropped + 1;
+    Report.observe_dropped t.report
   end
 
 let length t = t.len
@@ -62,6 +68,7 @@ let dropped t = t.dropped
 let emitted t = t.len + t.dropped
 let capacity t = t.cap
 let report t = t.report
+let series t = t.series
 
 let iter f t =
   for i = 0 to t.len - 1 do
@@ -74,4 +81,5 @@ let clear t =
   t.start <- 0;
   t.len <- 0;
   t.dropped <- 0;
-  Report.clear t.report
+  Report.clear t.report;
+  match t.series with None -> () | Some s -> Series.clear s

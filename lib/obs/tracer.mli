@@ -11,11 +11,14 @@ type t
 val default_capacity : int
 (** 65536 events. *)
 
-val create : ?capacity:int -> unit -> t
-(** Raises [Invalid_argument] on a capacity below 1. *)
+val create : ?capacity:int -> ?series:Series.t -> unit -> t
+(** Raises [Invalid_argument] on a capacity below 1.  An attached
+    [series] is fed on every emit (online, so it survives ring wrap). *)
 
 val emit : t -> Event.t -> unit
-(** Append an event; a primitive event also feeds the report. *)
+(** Append an event; a primitive event also feeds the report, and every
+    event feeds the attached series (if any).  A ring-wrap overwrite
+    bumps both {!dropped} and the report's dropped counter. *)
 
 val length : t -> int
 (** Events currently retained. *)
@@ -26,6 +29,7 @@ val emitted : t -> int
 
 val capacity : t -> int
 val report : t -> Report.t
+val series : t -> Series.t option
 
 val iter : (Event.t -> unit) -> t -> unit
 (** Oldest to newest. *)

@@ -56,11 +56,14 @@ let protect (ctx : Sched.ctx) (f : unit -> ('a, Fabric.Faults.fault) result)
               min pol.Fabric.Faults.backoff_max
                 (pol.Fabric.Faults.backoff_base lsl n)
             in
-            Fabric.charge ctx.fab
-              (backoff + Sched.jitter ctx pol.Fabric.Faults.backoff_base);
+            let charged =
+              backoff + Sched.jitter ctx pol.Fabric.Faults.backoff_base
+            in
+            Fabric.charge ctx.fab charged;
             (match Fabric.tracer ctx.fab with
             | None -> ()
             | Some tr ->
+                Sched.note_retry_cycles ctx charged;
                 Obs.Tracer.emit tr
                   (Obs.Event.Retry
                      {

@@ -81,6 +81,10 @@ and t = {
       (** per-machine crash counter; lets failure detectors distinguish
           "still the machine I validated" from "crashed and restarted
           while I wasn't looking" without observing the down window *)
+  retry_cycles : (int, int) Hashtbl.t;
+      (** per-tid cumulative retry-backoff cycles; written only by the
+          {!Ops} retry engine's *traced* arm (untraced runs never touch
+          it), read by span phase marks to attribute retry time *)
 }
 
 type _ Effect.t += Yield : unit Effect.t
@@ -102,6 +106,7 @@ let create ?(seed = 42) fabric =
     retry_rng = Random.State.make [| seed; 0x4e7431 |];
     crashed = 0;
     crash_epochs = Array.make (Fabric.n_machines fabric) 0;
+    retry_cycles = Hashtbl.create 16;
   }
 
 let fabric t = t.fabric
@@ -192,6 +197,19 @@ let yield _ctx = Effect.perform Yield
     the scheduler's dedicated retry stream (seeded alongside the
     interleaving stream but independent of it). *)
 let jitter ctx n = Random.State.int ctx.sched.retry_rng (max 1 n)
+
+(** [note_retry_cycles ctx n] — account [n] retry-backoff cycles to this
+    fibre.  Called only from the {!Ops} retry engine's traced arm, so an
+    untraced run never allocates in the table. *)
+let note_retry_cycles ctx n =
+  let tbl = ctx.sched.retry_cycles in
+  Hashtbl.replace tbl ctx.tid
+    (n + Option.value ~default:0 (Hashtbl.find_opt tbl ctx.tid))
+
+(** [retry_cycles t tid] — cumulative retry-backoff cycles charged by
+    fibre [tid] so far (0 when untraced: the table is never written). *)
+let retry_cycles t tid =
+  Option.value ~default:0 (Hashtbl.find_opt t.retry_cycles tid)
 
 (** [crash_now t i] — immediately crash machine [i]: wipe its fabric
     state and kill its threads (their fibres are dropped). *)

@@ -57,6 +57,16 @@ val jitter : ctx -> int -> int
     a dedicated stream derived from the sched seed; drawing it never
     perturbs the interleaving stream. *)
 
+val note_retry_cycles : ctx -> int -> unit
+(** Account retry-backoff cycles to the calling fibre.  Called only from
+    the {!Ops} retry engine's traced arm — untraced runs never write the
+    underlying table. *)
+
+val retry_cycles : t -> int -> int
+(** [retry_cycles t tid] — cumulative retry-backoff cycles charged by
+    fibre [tid]; the serving engine stamps this onto span phase marks so
+    spans can attribute retry time exactly. *)
+
 val crash_now : t -> int -> unit
 (** Immediately crash the machine: wipe fabric state, kill its threads
     (their fibres are dropped, leaving in-flight operations pending). *)

@@ -319,6 +319,155 @@ let test_replica_validation () =
         (K.serve
            { (config ()) with K.traffic = { small_traffic with T.rate = 0.0 } }))
 
+(* ------------------------------------------------------------------ *)
+(* Request tracing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let traced_serve ?jobs ?series c =
+  let tracer = Obs.Tracer.create ~capacity:(1 lsl 18) ?series () in
+  let r = K.serve ~tracer ?jobs c in
+  (r, tracer)
+
+let stormy () = rconfig ~crashes:(storm ()) ~faults:degraded ()
+
+let test_span_conservation () =
+  (* every request the engine accounted for has a span with the matching
+     terminal mark; requests lost to crashes are at worst Incomplete *)
+  let r, tr = traced_serve (stormy ()) in
+  Alcotest.(check int) "ring did not wrap" 0 (Obs.Tracer.dropped tr);
+  let spans = Obs.Span.assemble tr in
+  let count o = List.length (List.filter (fun s -> Obs.Span.outcome s = o) spans) in
+  let total = r.K.served.(0) + r.K.served.(1) + r.K.served.(2) in
+  Alcotest.(check int) "acked spans = served" total (count Obs.Span.Acked);
+  Alcotest.(check int) "timed-out spans" r.K.timed_out
+    (count Obs.Span.Timed_out);
+  Alcotest.(check int) "faulted spans" r.K.faulted (count Obs.Span.Faulted);
+  Alcotest.(check bool) "incomplete within dropped" true
+    (count Obs.Span.Incomplete <= r.K.dropped);
+  (* per op type, acked span count matches the latency histogram *)
+  for op = 0 to 2 do
+    let acked =
+      List.filter
+        (fun s -> s.Obs.Span.op = op && Obs.Span.outcome s = Obs.Span.Acked)
+        spans
+    in
+    Alcotest.(check int)
+      (Fmt.str "op %d span count" op)
+      (Obs.Hist.count r.K.latencies.(op))
+      (List.length acked)
+  done
+
+let test_span_components_sum () =
+  (* the exact-sum identity on a real storm run: every complete span's
+     five components sum to its end-to-end latency, cycle for cycle *)
+  let _, tr = traced_serve (stormy ()) in
+  let spans = Obs.Span.assemble tr in
+  let complete = List.filter Obs.Span.complete spans in
+  Alcotest.(check bool) "some complete spans" true (complete <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check int)
+        (Fmt.str "s%d.q%d components sum" s.Obs.Span.session s.Obs.Span.seq)
+        (Obs.Span.latency s)
+        (Array.fold_left ( + ) 0 (Obs.Span.components s)))
+    complete;
+  (* the storm must actually exercise the failover/retry components *)
+  let totals = Array.make Obs.Span.n_components 0 in
+  List.iter
+    (fun s ->
+      Array.iteri
+        (fun i v -> totals.(i) <- totals.(i) + v)
+        (Obs.Span.components s))
+    complete;
+  Alcotest.(check bool) "failover-wait attributed" true
+    (totals.(Obs.Span.component_index Obs.Span.Failover_wait) > 0)
+
+let test_span_phase_order () =
+  (* phase-mark ordering under crash/restart: dispatch first, cycles and
+     cumulative counters nondecreasing, terminal mark last if present *)
+  let _, tr = traced_serve (stormy ()) in
+  let spans = Obs.Span.assemble tr in
+  Alcotest.(check bool) "spans assembled" true (spans <> []);
+  List.iter
+    (fun s ->
+      match s.Obs.Span.marks with
+      | [] -> Alcotest.fail "empty span"
+      | first :: rest ->
+          Alcotest.(check bool) "head is dispatch" true
+            (first.Obs.Span.phase = Obs.Event.P_dispatch);
+          Alcotest.(check bool) "dispatch after arrival" true
+            (first.Obs.Span.cycle >= s.Obs.Span.arrival);
+          let prev = ref first in
+          List.iteri
+            (fun i m ->
+              let p = !prev in
+              Alcotest.(check bool) "cycles nondecreasing" true
+                (m.Obs.Span.cycle >= p.Obs.Span.cycle);
+              Alcotest.(check bool) "counters nondecreasing" true
+                (m.Obs.Span.wait_lock >= p.Obs.Span.wait_lock
+                && m.Obs.Span.wait_degraded >= p.Obs.Span.wait_degraded
+                && m.Obs.Span.retry >= p.Obs.Span.retry);
+              (match m.Obs.Span.phase with
+              | Obs.Event.P_ack | Obs.Event.P_timeout | Obs.Event.P_fault ->
+                  Alcotest.(check int) "terminal mark is last"
+                    (List.length rest - 1) i
+              | _ -> ());
+              prev := m)
+            rest)
+    spans
+
+let test_span_determinism () =
+  (* the digest folds into --sig: it must be identical run to run and
+     across --jobs, and unchanged by the tracer being attached *)
+  let digest ?jobs () =
+    let _, tr = traced_serve ?jobs (stormy ()) in
+    Obs.Span.digest (Obs.Span.assemble tr)
+  in
+  let a = digest ~jobs:1 () in
+  Alcotest.(check string) "run-twice identical" a (digest ~jobs:1 ());
+  Alcotest.(check string) "jobs-independent" a (digest ~jobs:4 ())
+
+let test_tracer_inert_serving () =
+  (* attaching a tracer must not perturb the serving run: identical
+     counters, histograms and failover activity *)
+  let fp r =
+    Fmt.str "%s to=%d fo=%d rj=%d" (fingerprint r) r.K.timed_out r.K.failovers
+      r.K.rejoins
+  in
+  let untraced = K.serve (stormy ()) in
+  let traced, _ = traced_serve (stormy ()) in
+  Alcotest.(check string) "traced = untraced" (fp untraced) (fp traced)
+
+let test_series_conservation () =
+  (* the windowed timeline is a partition of the same run: summing the
+     windows recovers every engine counter *)
+  let series = Obs.Series.create ~window:2000 in
+  let r, _ = traced_serve ~series (stormy ()) in
+  let rows = Obs.Series.rows series in
+  let sum f = List.fold_left (fun acc w -> acc + f w) 0 rows in
+  let total = r.K.served.(0) + r.K.served.(1) + r.K.served.(2) in
+  Alcotest.(check int) "acked" total (sum (fun w -> w.Obs.Series.acked));
+  Alcotest.(check int) "timed out" r.K.timed_out
+    (sum (fun w -> w.Obs.Series.timed_out));
+  Alcotest.(check int) "faulted" r.K.faulted
+    (sum (fun w -> w.Obs.Series.faulted));
+  Alcotest.(check int) "crashes" r.K.stats.Fabric.Stats.crashes
+    (sum (fun w -> w.Obs.Series.crashes));
+  Alcotest.(check int) "failovers" r.K.failovers
+    (sum (fun w -> w.Obs.Series.failovers));
+  Alcotest.(check int) "rejoins" r.K.rejoins
+    (sum (fun w -> w.Obs.Series.rejoins));
+  (* dispatched-but-never-terminated = the final in-flight gauge *)
+  let dispatches = sum (fun w -> w.Obs.Series.dispatches) in
+  let last = List.nth rows (List.length rows - 1) in
+  Alcotest.(check int) "inflight balance"
+    (dispatches - total - r.K.timed_out - r.K.faulted)
+    last.Obs.Series.inflight;
+  (* window indices are contiguous from zero *)
+  List.iteri
+    (fun i w -> Alcotest.(check int) "contiguous" i w.Obs.Series.index)
+    rows
+
 let () =
   Alcotest.run "kv"
     [
@@ -354,5 +503,20 @@ let () =
             test_recovery_interleavings;
           Alcotest.test_case "no fibre leak" `Quick test_no_fibre_leak;
           Alcotest.test_case "validation" `Quick test_replica_validation;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "span conservation" `Quick
+            test_span_conservation;
+          Alcotest.test_case "components sum to latency" `Quick
+            test_span_components_sum;
+          Alcotest.test_case "phase order under storm" `Quick
+            test_span_phase_order;
+          Alcotest.test_case "span digest deterministic" `Quick
+            test_span_determinism;
+          Alcotest.test_case "tracer is inert" `Quick
+            test_tracer_inert_serving;
+          Alcotest.test_case "series conservation" `Quick
+            test_series_conservation;
         ] );
     ]

@@ -4,6 +4,13 @@
 
 module W = Harness.Workload
 
+let contains s needle =
+  let nl = String.length needle and sl = String.length s in
+  let rec find i =
+    i + nl <= sl && (String.sub s i nl = needle || find (i + 1))
+  in
+  find 0
+
 (* ------------------------------------------------------------------ *)
 (* Histograms                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -140,9 +147,16 @@ let test_ring_wrap () =
       (Obs.Tracer.events tr)
   in
   Alcotest.(check (list int)) "oldest overwritten" [ 3; 4; 5; 6 ] steps;
+  (* the report mirrors the drop count and surfaces it in the summary *)
+  Alcotest.(check int) "report dropped" 2
+    (Obs.Report.dropped (Obs.Tracer.report tr));
+  Alcotest.(check bool) "dropped printed" true
+    (contains (Fmt.str "%a" Obs.Report.pp (Obs.Tracer.report tr)) "dropped");
   Obs.Tracer.clear tr;
   Alcotest.(check int) "cleared" 0 (Obs.Tracer.length tr);
-  Alcotest.(check int) "cleared dropped" 0 (Obs.Tracer.dropped tr)
+  Alcotest.(check int) "cleared dropped" 0 (Obs.Tracer.dropped tr);
+  Alcotest.(check int) "cleared report dropped" 0
+    (Obs.Report.dropped (Obs.Tracer.report tr))
 
 let test_ring_report_survives_wrap () =
   (* the report is fed on emit, before ring overwrite: statistics cover
@@ -329,6 +343,214 @@ let test_untraced_matches_traced_history () =
     (Fabric.Stats.to_json r2.W.stats)
 
 (* ------------------------------------------------------------------ *)
+(* Spans and tail attribution                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mark ~session ~seq ~op ~phase ?(replica = -1) ?(t0 = -1) ?(wl = 0)
+    ?(wd = 0) ?(rt = 0) cycle =
+  Obs.Event.Mark
+    {
+      session;
+      seq;
+      op;
+      phase;
+      replica;
+      t0;
+      wait_lock = wl;
+      wait_degraded = wd;
+      retry = rt;
+      cycle;
+    }
+
+(* Two interleaved complete requests, one incomplete (server died before
+   the terminal mark), and one orphan whose dispatch was lost to ring
+   wrap.  Request s1.q0 exercises every component:
+     queue       = (110-100) + lock-wait 5          = 15
+     replication = (150-110) - 5                    = 35
+     service     = (180-150) - 8 - 2 + (200-180)    = 40
+     retry       =                                     2
+     failover    =                                     8   — sum 100 *)
+let span_tracer () =
+  let tr = Obs.Tracer.create () in
+  List.iter (Obs.Tracer.emit tr)
+    [
+      mark ~session:1 ~seq:0 ~op:1 ~phase:Obs.Event.P_dispatch ~t0:100 110;
+      mark ~session:2 ~seq:0 ~op:0 ~phase:Obs.Event.P_dispatch ~t0:95 120;
+      mark ~session:1 ~seq:0 ~op:1 ~phase:Obs.Event.P_apply_backup ~replica:1
+        ~wl:5 150;
+      mark ~session:2 ~seq:0 ~op:0 ~phase:Obs.Event.P_ack 160;
+      mark ~session:3 ~seq:2 ~op:2 ~phase:Obs.Event.P_dispatch ~t0:130 170;
+      mark ~session:4 ~seq:0 ~op:0 ~phase:Obs.Event.P_apply_acting ~replica:0
+        175;
+      mark ~session:1 ~seq:0 ~op:1 ~phase:Obs.Event.P_apply_acting ~replica:0
+        ~wl:5 ~wd:8 ~rt:2 180;
+      mark ~session:1 ~seq:0 ~op:1 ~phase:Obs.Event.P_ack ~wl:5 ~wd:8 ~rt:2
+        200;
+    ];
+  tr
+
+let comp_sum s = Array.fold_left ( + ) 0 (Obs.Span.components s)
+
+let test_span_assembly () =
+  let spans = Obs.Span.assemble (span_tracer ()) in
+  (* the orphan (session 4: no dispatch mark) is dropped; order is by
+     arrival, not dispatch *)
+  Alcotest.(check (list int)) "sessions by arrival" [ 2; 1; 3 ]
+    (List.map (fun s -> s.Obs.Span.session) spans);
+  match spans with
+  | [ s2; s1; s3 ] ->
+      Alcotest.(check bool) "s2 acked" true (Obs.Span.outcome s2 = Obs.Span.Acked);
+      Alcotest.(check bool) "s3 incomplete" true
+        (Obs.Span.outcome s3 = Obs.Span.Incomplete);
+      Alcotest.(check bool) "s3 not complete" false (Obs.Span.complete s3);
+      Alcotest.(check int) "s2 latency" 65 (Obs.Span.latency s2);
+      Alcotest.(check int) "s1 latency" 100 (Obs.Span.latency s1);
+      let c = Obs.Span.components s1 in
+      let at comp = c.(Obs.Span.component_index comp) in
+      Alcotest.(check int) "queue" 15 (at Obs.Span.Queue);
+      Alcotest.(check int) "service" 40 (at Obs.Span.Service);
+      Alcotest.(check int) "replication" 35 (at Obs.Span.Replication);
+      Alcotest.(check int) "retry" 2 (at Obs.Span.Retry);
+      Alcotest.(check int) "failover-wait" 8 (at Obs.Span.Failover_wait);
+      (* the exact-sum identity, for every complete span *)
+      List.iter
+        (fun s -> Alcotest.(check int) "components sum" (Obs.Span.latency s)
+            (comp_sum s))
+        [ s1; s2 ]
+  | _ -> Alcotest.fail "expected 3 spans"
+
+let test_span_digest () =
+  let spans = Obs.Span.assemble (span_tracer ()) in
+  let d = Obs.Span.digest spans in
+  Alcotest.(check string) "stable" d
+    (Obs.Span.digest (Obs.Span.assemble (span_tracer ())));
+  (match String.split_on_char ':' d with
+  | [ n; hex ] ->
+      Alcotest.(check string) "count prefix" "3" n;
+      Alcotest.(check int) "12 hex digits" 12 (String.length hex)
+  | _ -> Alcotest.fail "digest shape");
+  Alcotest.(check bool) "order-sensitive" true
+    (Obs.Span.digest (List.rev spans) <> d);
+  (* the empty fold: count 0, the bare FNV offset basis *)
+  Alcotest.(check string) "empty" "0:9ce484222325" (Obs.Span.digest [])
+
+let test_attrib () =
+  let a = Obs.Attrib.of_spans (Obs.Span.assemble (span_tracer ())) in
+  Alcotest.(check int) "one update" 1
+    (Obs.Hist.count (Obs.Attrib.e2e a ~op:1));
+  Alcotest.(check int) "one read" 1 (Obs.Hist.count (Obs.Attrib.e2e a ~op:0));
+  Alcotest.(check int) "incomplete excluded but counted" 1
+    (Obs.Attrib.incomplete a);
+  (* per-component totals sum back to the summed end-to-end latency *)
+  let totals = Obs.Attrib.totals a ~op:1 in
+  Alcotest.(check int) "totals sum to e2e" 100
+    (Array.fold_left ( + ) 0 totals);
+  Alcotest.(check int) "replication total" 35
+    totals.(Obs.Span.component_index Obs.Span.Replication);
+  (* component hists only sample spans where the component is nonzero *)
+  Alcotest.(check int) "retry hist samples" 1
+    (Obs.Hist.count (Obs.Attrib.component a ~op:1 Obs.Span.Retry));
+  Alcotest.(check int) "read retry hist empty" 0
+    (Obs.Hist.count (Obs.Attrib.component a ~op:0 Obs.Span.Retry));
+  (match Obs.Attrib.dominant a ~op:1 with
+  | Some (comp, cycles, tail) ->
+      Alcotest.(check bool) "dominant is service" true
+        (comp = Obs.Span.Service);
+      Alcotest.(check int) "dominant cycles" 40 cycles;
+      Alcotest.(check int) "tail of one" 1 tail
+  | None -> Alcotest.fail "dominant expected");
+  Alcotest.(check (option (pair int int)) "no inserts completed") None
+    (Option.map
+       (fun (_, c, n) -> (c, n))
+       (Obs.Attrib.dominant a ~op:2));
+  (* slowest across op types: s1 (100) then s2 (65) *)
+  Alcotest.(check (list int)) "slowest order" [ 1; 2 ]
+    (List.map (fun s -> s.Obs.Span.session) (Obs.Attrib.slowest a 5));
+  let table = Fmt.str "%a" Obs.Attrib.pp a in
+  Alcotest.(check bool) "table names dominant" true
+    (contains table "service");
+  Alcotest.(check bool) "table counts incomplete" true
+    (contains table "incomplete")
+
+(* ------------------------------------------------------------------ *)
+(* Windowed series                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_series_windows () =
+  let s = Obs.Series.create ~window:100 in
+  let feed = Obs.Series.observe s in
+  feed (mark ~session:0 ~seq:0 ~op:0 ~phase:Obs.Event.P_dispatch ~t0:0 0);
+  feed (mark ~session:0 ~seq:0 ~op:0 ~phase:Obs.Event.P_ack 99);
+  (* cycle 100 closes window 0 *)
+  feed (mark ~session:0 ~seq:1 ~op:1 ~phase:Obs.Event.P_dispatch ~t0:90 100);
+  feed (Obs.Event.Trust { trusted = 5; cycle = 100 });
+  feed (Obs.Event.Crash { machine = 0; cycle = 150 });
+  (* cycle 460 closes window 1 and the empty gap windows 2 and 3 *)
+  feed (mark ~session:0 ~seq:1 ~op:1 ~phase:Obs.Event.P_ack 460);
+  Alcotest.(check int) "n_windows" 5 (Obs.Series.n_windows s);
+  let rows = Obs.Series.rows s in
+  Alcotest.(check (list int)) "indices contiguous" [ 0; 1; 2; 3; 4 ]
+    (List.map (fun r -> r.Obs.Series.index) rows);
+  (match rows with
+  | [ w0; w1; w2; w3; w4 ] ->
+      Alcotest.(check int) "w0 dispatches" 1 w0.Obs.Series.dispatches;
+      Alcotest.(check int) "w0 acked (boundary cycle 99 inside)" 1
+        w0.Obs.Series.acked;
+      Alcotest.(check int) "w0 inflight at close" 0 w0.Obs.Series.inflight;
+      Alcotest.(check int) "w0 trusted before first Trust" (-1)
+        w0.Obs.Series.trusted;
+      Alcotest.(check int) "w1 dispatches (boundary cycle 100 next window)" 1
+        w1.Obs.Series.dispatches;
+      Alcotest.(check int) "w1 crash" 1 w1.Obs.Series.crashes;
+      Alcotest.(check int) "w1 inflight" 1 w1.Obs.Series.inflight;
+      Alcotest.(check int) "w1 trusted" 5 w1.Obs.Series.trusted;
+      List.iter
+        (fun w ->
+          Alcotest.(check int) "gap window empty" 0
+            (w.Obs.Series.dispatches + w.Obs.Series.acked
+           + w.Obs.Series.crashes);
+          Alcotest.(check int) "gap carries inflight" 1 w.Obs.Series.inflight;
+          Alcotest.(check int) "gap carries trusted" 5 w.Obs.Series.trusted)
+        [ w2; w3 ];
+      Alcotest.(check int) "open window acked" 1 w4.Obs.Series.acked;
+      Alcotest.(check int) "open window inflight drained" 0
+        w4.Obs.Series.inflight
+  | _ -> Alcotest.fail "expected 5 rows");
+  let j = Obs.Series.to_json s in
+  Alcotest.(check bool) "json window" true (contains j "\"window\": 100");
+  Alcotest.(check bool) "json last row" true (contains j "\"w\": 4");
+  Obs.Series.clear s;
+  Alcotest.(check int) "cleared" 1 (Obs.Series.n_windows s)
+
+let test_series_validation () =
+  Alcotest.check_raises "zero window"
+    (Invalid_argument "Obs.Series.create: window < 1") (fun () ->
+      ignore (Obs.Series.create ~window:0))
+
+let test_series_survives_ring_wrap () =
+  (* the series is fed on emit, before ring overwrite: a capacity-2 ring
+     wraps constantly, yet the timeline still counts every request *)
+  let series = Obs.Series.create ~window:50 in
+  let tr = Obs.Tracer.create ~capacity:2 ~series () in
+  for i = 0 to 9 do
+    Obs.Tracer.emit tr
+      (mark ~session:0 ~seq:i ~op:0 ~phase:Obs.Event.P_dispatch ~t0:(i * 40)
+         (i * 40));
+    Obs.Tracer.emit tr
+      (mark ~session:0 ~seq:i ~op:0 ~phase:Obs.Event.P_ack ((i * 40) + 10))
+  done;
+  Alcotest.(check int) "ring kept 2" 2 (Obs.Tracer.length tr);
+  let rows = Obs.Series.rows series in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  Alcotest.(check int) "all dispatches counted" 10
+    (sum (fun r -> r.Obs.Series.dispatches));
+  Alcotest.(check int) "all acks counted" 10
+    (sum (fun r -> r.Obs.Series.acked));
+  Obs.Tracer.clear tr;
+  Alcotest.(check int) "tracer clear clears series" 1
+    (Obs.Series.n_windows series)
+
+(* ------------------------------------------------------------------ *)
 (* Exporters                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -449,6 +671,21 @@ let () =
           Alcotest.test_case "lf->rf fallback" `Quick test_fallback_events;
           Alcotest.test_case "tracer is inert" `Quick
             test_untraced_matches_traced_history;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "assembly + exact components" `Quick
+            test_span_assembly;
+          Alcotest.test_case "digest" `Quick test_span_digest;
+          Alcotest.test_case "tail attribution" `Quick test_attrib;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "window boundaries + gaps" `Quick
+            test_series_windows;
+          Alcotest.test_case "validation" `Quick test_series_validation;
+          Alcotest.test_case "survives ring wrap" `Quick
+            test_series_survives_ring_wrap;
         ] );
       ( "export",
         [
